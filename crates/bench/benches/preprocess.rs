@@ -1,0 +1,57 @@
+//! Criterion benches of the preprocessing stages (companion of
+//! Figure 15): reordering, blocking + balancing (PanguLU) and supernode
+//! detection + dense block construction (baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pangulu_comm::ProcessGrid;
+use pangulu_core::block::BlockMatrix;
+use pangulu_core::layout::OwnerMap;
+use pangulu_core::task::TaskGraph;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprocess");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["G3_circuit", "inline_1"] {
+        let a = pangulu_sparse::gen::paper_matrix(name, 1);
+        g.bench_function(BenchmarkId::new("reorder_mc64_nd", name), |b| {
+            b.iter(|| {
+                pangulu_reorder::reorder_for_lu(
+                    &a,
+                    pangulu_reorder::FillReducing::NestedDissection,
+                )
+                .unwrap()
+            })
+        });
+
+        let r = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+            .unwrap();
+        let fill = pangulu_symbolic::symbolic_fill(&r.matrix).unwrap();
+        let filled = fill.filled_matrix(&r.matrix).unwrap();
+        let grid = ProcessGrid::new(16);
+        let nb =
+            BlockMatrix::choose_block_size(a.ncols(), fill.nnz_lu(), grid.pr().max(grid.pc()));
+
+        g.bench_function(BenchmarkId::new("pangulu_block_and_balance", name), |b| {
+            b.iter(|| {
+                let bm = BlockMatrix::from_filled(&filled, nb).unwrap();
+                let tg = TaskGraph::build(&bm);
+                OwnerMap::balanced(&bm, grid, &tg)
+            })
+        });
+        g.bench_function(BenchmarkId::new("supernodal_detect_and_block", name), |b| {
+            b.iter(|| {
+                let part = pangulu_supernodal::supernode::detect(
+                    &fill,
+                    pangulu_supernodal::supernode::SupernodeOptions::default(),
+                );
+                pangulu_supernodal::SnBlockMatrix::from_filled(&filled, part).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

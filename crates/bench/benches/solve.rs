@@ -1,0 +1,55 @@
+//! Criterion benches of the triangular-solve phase (the paper's phase 5):
+//! sequential forward/backward, transpose solves, and the distributed
+//! message-driven solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pangulu_comm::ProcessGrid;
+use pangulu_core::dist_solve::solve_distributed;
+use pangulu_core::layout::OwnerMap;
+use pangulu_core::seq::factor_sequential;
+use pangulu_core::trisolve::{
+    backward_substitute, backward_substitute_transpose, forward_substitute,
+    forward_substitute_transpose,
+};
+use pangulu_kernels::select::{KernelSelector, Thresholds};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    for name in ["ASIC_680k", "ecology1"] {
+        let a = pangulu_sparse::gen::paper_matrix(name, 1);
+        let prep = pangulu_bench::prepare(&a, 1);
+        let mut bm = prep.bm.clone();
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        factor_sequential(&mut bm, &prep.tg, &sel, 1e-12);
+        let b = pangulu_sparse::gen::test_rhs(a.nrows(), 1);
+
+        g.bench_function(BenchmarkId::new("sequential", name), |bch| {
+            bch.iter(|| {
+                let mut x = b.clone();
+                forward_substitute(&bm, &mut x);
+                backward_substitute(&bm, &mut x);
+                x
+            })
+        });
+        g.bench_function(BenchmarkId::new("transpose", name), |bch| {
+            bch.iter(|| {
+                let mut x = b.clone();
+                forward_substitute_transpose(&bm, &mut x);
+                backward_substitute_transpose(&bm, &mut x);
+                x
+            })
+        });
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
+        g.bench_function(BenchmarkId::new("distributed_4_ranks", name), |bch| {
+            bch.iter(|| solve_distributed(&bm, &owners, &b))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches of the two symbolic factorisations (companion of
+//! Figure 11): PanguLU's symmetric-pruned fill vs. the SuperLU-style
+//! Gilbert–Peierls reachability, with and without symmetric pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["ASIC_680k", "G3_circuit", "cage12"] {
+        let a = pangulu_sparse::gen::paper_matrix(name, 1);
+        let r =
+            pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+                .unwrap();
+        let m = r.matrix;
+        g.bench_function(BenchmarkId::new("pangulu_symmetric_pruned", name), |b| {
+            b.iter(|| pangulu_symbolic::symbolic_fill(&m).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("gp_with_pruning", name), |b| {
+            b.iter(|| pangulu_symbolic::gp_symbolic(&m, true).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("gp_no_pruning", name), |b| {
+            b.iter(|| pangulu_symbolic::gp_symbolic(&m, false).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Runs every table/figure generator in sequence (the artifact's
+//! `all.sh`). Each sub-binary also writes its CSV under `data/`.
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "table3",
+        "fig03_supernode_sizes",
+        "fig04_gemm_density",
+        "fig05_sync_ratio",
+        "fig07_kernels",
+        "fig08_calibrate",
+        "fig08_validate",
+        "fig11_symbolic",
+        "fig12_scaling",
+        "fig13_sync128",
+        "fig14_ablation",
+        "fig15_preprocess",
+        "table4",
+        "weak_scaling",
+        "mapping_study",
+        "time_breakdown",
+        "ordering_study",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for fig in figures {
+        eprintln!("=== running {fig} ===");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} failed with {status}");
+    }
+    eprintln!("=== all figures done; CSVs in data/ ===");
+}

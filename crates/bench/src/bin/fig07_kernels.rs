@@ -1,0 +1,33 @@
+//! Figure 7: execution time of all 17 sparse kernels against the
+//! decision-tree feature (nnz for the panel kernels, FLOPs for SSSSM),
+//! over sub-matrices harvested from real factorisations of the suite.
+//!
+//! Use `PANGULU_MATRICES` to restrict the harvest and `PANGULU_SCALE`
+//! to grow the blocks.
+
+use pangulu_bench::kernel_timing::{harvest, HarvestCaps};
+
+fn main() {
+    let mut rows = Vec::new();
+    // A representative spread of structure classes keeps the harvest fast.
+    let default_set = ["ASIC_680k", "audikw_1", "cage12", "Si87H76"];
+    let names: Vec<&str> = if std::env::var("PANGULU_MATRICES").is_ok() {
+        pangulu_bench::suite()
+    } else {
+        default_set.to_vec()
+    };
+    for name in names {
+        let a = pangulu_bench::load(name);
+        let prep = pangulu_bench::prepare(&a, 1);
+        let mut bm = prep.bm.clone();
+        let samples = harvest(&mut bm, &prep.tg, HarvestCaps::default());
+        eprintln!("[fig07] {name}: {} samples", samples.len());
+        for s in samples {
+            rows.push(format!(
+                "{name},{},{},{:.6e},{:.6e}",
+                s.class, s.variant, s.feature, s.seconds
+            ));
+        }
+    }
+    pangulu_bench::emit_csv("fig07_kernels", "matrix,kernel,variant,feature,seconds", &rows);
+}

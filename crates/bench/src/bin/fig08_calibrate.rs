@@ -1,0 +1,46 @@
+//! Figure 8: re-calibrates the decision-tree cut points on this machine.
+//!
+//! Harvests and times kernels (as Figure 7), then reports, per tree edge,
+//! the crossover feature value where the "bigger" variant starts winning.
+//! The output doubles as a `Thresholds { .. }` literal that can be pasted
+//! into `pangulu_kernels::select`.
+
+use pangulu_bench::kernel_timing::{crossover, harvest, HarvestCaps};
+
+fn main() {
+    let mut samples = Vec::new();
+    for name in ["ASIC_680k", "audikw_1", "cage12", "Si87H76"] {
+        let a = pangulu_bench::load(name);
+        let prep = pangulu_bench::prepare(&a, 1);
+        let mut bm = prep.bm.clone();
+        samples.extend(harvest(&mut bm, &prep.tg, HarvestCaps::default()));
+        eprintln!("[fig08] harvested {name}");
+    }
+
+    let edges: [(&str, &str, &str, &str); 8] = [
+        ("GETRF", "C_V1", "G_V1", "getrf_cpu"),
+        ("GETRF", "G_V1", "G_V2", "getrf_gv1"),
+        ("GESSM", "C_V1", "C_V2", "gessm_cv1"),
+        ("GESSM", "C_V2", "G_V1", "gessm_cv2"),
+        ("TSTRF", "C_V1", "C_V2", "tstrf_cv1"),
+        ("TSTRF", "C_V2", "G_V1", "tstrf_cv2"),
+        ("SSSSM", "C_V1", "C_V2", "ssssm_cv1"),
+        ("SSSSM", "C_V2", "G_V1", "ssssm_cpu"),
+    ];
+    let mut rows = Vec::new();
+    println!("// Suggested Thresholds for this machine:");
+    for (class, small, big, field) in edges {
+        let x = crossover(&samples, class, small, big);
+        let cell = x.map(|v| format!("{v:.3e}")).unwrap_or_else(|| "none".into());
+        rows.push(format!("{class},{small},{big},{field},{cell}"));
+        match x {
+            Some(v) => println!("//   {field}: {v:.3e},"),
+            None => println!("//   {field}: (no crossover observed; keep default)"),
+        }
+    }
+    pangulu_bench::emit_csv(
+        "fig08_calibration",
+        "kernel,small_variant,big_variant,threshold_field,crossover_feature",
+        &rows,
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 14: the two-optimisation ablation (paper: 128 ranks) —
+//! (1) baseline: level-set scheduling + fixed `C_V1` kernels,
+//! (2) + adaptive kernel selection,
+//! (3) + synchronisation-free scheduling.
+//!
+//! The kernel-selection effect is **measured** on this machine: the real
+//! sequential numeric factorisation runs once with the baseline selector
+//! and once with the adaptive selector, and their ratio scales the
+//! per-task costs of the discrete-event runs. The scheduling effect comes
+//! from the DES policy switch. Reported numbers are speedups over (1).
+
+use pangulu_comm::PlatformProfile;
+use pangulu_core::des::{pangulu_sim_tasks, simulate, SimMode};
+use pangulu_core::seq::factor_sequential;
+use pangulu_kernels::select::{KernelSelector, Thresholds};
+
+fn main() {
+    // The paper runs this on 128 GPUs where kernel time is still a large
+    // share of the makespan. Our container-scale matrices are ~1000x
+    // smaller, so at 128 simulated ranks the makespan would be pure
+    // message latency and the kernel-selection effect would vanish from
+    // the model; 16 ranks keeps the same compute-visible regime.
+    // Override with PANGULU_RANKS.
+    let p: usize =
+        std::env::var("PANGULU_RANKS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let prof = PlatformProfile::a100_like();
+    let mut rows = Vec::new();
+    for name in pangulu_bench::suite() {
+        let a = pangulu_bench::load(name);
+        let prep = pangulu_bench::prepare(&a, 1);
+
+        // Measured kernel-selection factor (real sequential runs).
+        let base_sel = KernelSelector::baseline(a.nnz());
+        let adapt_sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let mut bm1 = prep.bm.clone();
+        let t_base = factor_sequential(&mut bm1, &prep.tg, &base_sel, 1e-12).total_time();
+        let mut bm2 = prep.bm.clone();
+        let t_adapt = factor_sequential(&mut bm2, &prep.tg, &adapt_sel, 1e-12).total_time();
+        let kernel_slowdown = (t_base.as_secs_f64() / t_adapt.as_secs_f64().max(1e-12)).max(1.0);
+
+        // DES runs: baseline costs are inflated by the measured factor.
+        let owners = pangulu_bench::owners_for(&prep, p);
+        let tasks = pangulu_sim_tasks(&prep.bm, &prep.tg, &owners);
+        let mut slow_tasks = tasks.clone();
+        for t in &mut slow_tasks {
+            t.flops *= kernel_slowdown;
+        }
+        let t1 = simulate(&slow_tasks, p, &prof, SimMode::LevelSet).makespan;
+        let t2 = simulate(&tasks, p, &prof, SimMode::LevelSet).makespan;
+        let t3 = simulate(&tasks, p, &prof, SimMode::SyncFree).makespan;
+
+        rows.push(format!(
+            "{name},1.00,{:.2},{:.2},{kernel_slowdown:.2}",
+            t1 / t2.max(1e-30),
+            t1 / t3.max(1e-30)
+        ));
+        eprintln!("[fig14] {name}: sel {:.2}x, sel+syncfree {:.2}x", t1 / t2, t1 / t3);
+    }
+    pangulu_bench::emit_csv(
+        "fig14_ablation",
+        "matrix,baseline,kernel_selection,kernel_selection_and_syncfree,measured_kernel_factor",
+        &rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 3: the matrix suite — order, nnz(A), the supernodal baseline's
+//! (padded) nnz(L+U), PanguLU's nnz(L+U), and PanguLU's numeric FLOPs.
+//!
+//! The paper's point: PanguLU's symmetric-pruned symbolic yields ~11%
+//! fewer stored entries than SuperLU_DIST's supernode-padded factor.
+
+fn main() {
+    let mut rows = Vec::new();
+    for name in pangulu_bench::suite() {
+        let a = pangulu_bench::load(name);
+        let prep = pangulu_bench::prepare(&a, 1);
+        let sn = pangulu_bench::prepare_supernodal(&prep.reordered);
+        // SuperLU-style panel storage is the published nnz(L+U) figure;
+        // the 2-D dense-block count is what our baseline's GEMMs operate
+        // on (reported separately).
+        rows.push(format!(
+            "{name},{},{},{},{},{},{:.3e}",
+            a.nrows(),
+            a.nnz(),
+            sn.sbm.partition().panel_nnz_lu(),
+            sn.sbm.padded_nnz(),
+            prep.nnz_lu,
+            prep.flops,
+        ));
+        eprintln!("[table3] {name} done");
+    }
+    pangulu_bench::emit_csv(
+        "table3",
+        "matrix,n,nnz_A,supernodal_panel_nnz_LU,supernodal_block_nnz_LU,pangulu_nnz_LU,pangulu_flops",
+        &rows,
+    );
+}

@@ -1,0 +1,251 @@
+//! Kernel harvesting and timing for Figures 7 and 8.
+//!
+//! Walks a real factorisation schedule and, at sampled steps, times every
+//! kernel variant of Table 1 on clones of the live blocks — the same
+//! methodology as the paper's Figure 7 (which harvested 4,550 GETRF,
+//! 18,786 GESSM/TSTRF and 86,982 SSSSM sub-matrices from the suite).
+
+use std::time::Instant;
+
+use pangulu_core::block::BlockMatrix;
+use pangulu_core::task::TaskGraph;
+use pangulu_kernels::{
+    flops, getrf, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
+};
+
+/// One timed kernel invocation.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Kernel class name (`GETRF`, `GESSM`, `TSTRF`, `SSSSM`).
+    pub class: &'static str,
+    /// Variant label (`C_V1`, `G_V2`, ...).
+    pub variant: &'static str,
+    /// The decision-tree feature: nnz for the panel kernels, FLOPs for
+    /// SSSSM.
+    pub feature: f64,
+    /// Best-of-3 execution time in seconds.
+    pub seconds: f64,
+}
+
+/// Caps on harvested instances per kernel class (keeps runtimes sane on
+/// one core).
+#[derive(Debug, Clone, Copy)]
+pub struct HarvestCaps {
+    /// Max GETRF instances.
+    pub getrf: usize,
+    /// Max GESSM instances (TSTRF capped equally).
+    pub trsm: usize,
+    /// Max SSSSM instances.
+    pub ssssm: usize,
+}
+
+impl Default for HarvestCaps {
+    fn default() -> Self {
+        HarvestCaps { getrf: 60, trsm: 120, ssssm: 200 }
+    }
+}
+
+const GETRF_VARIANTS: [(GetrfVariant, &str); 3] =
+    [(GetrfVariant::CV1, "C_V1"), (GetrfVariant::GV1, "G_V1"), (GetrfVariant::GV2, "G_V2")];
+const TRSM_VARIANTS: [(TrsmVariant, &str); 5] = [
+    (TrsmVariant::CV1, "C_V1"),
+    (TrsmVariant::CV2, "C_V2"),
+    (TrsmVariant::GV1, "G_V1"),
+    (TrsmVariant::GV2, "G_V2"),
+    (TrsmVariant::GV3, "G_V3"),
+];
+const SSSSM_VARIANTS: [(SsssmVariant, &str); 4] = [
+    (SsssmVariant::CV1, "C_V1"),
+    (SsssmVariant::CV2, "C_V2"),
+    (SsssmVariant::GV1, "G_V1"),
+    (SsssmVariant::GV2, "G_V2"),
+];
+
+fn best_of_3(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Walks the factorisation of a prepared blocked matrix, timing every
+/// variant on sampled live blocks. The factorisation itself proceeds with
+/// the `C_V1` kernels so later samples see realistic filled values.
+pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut scratch = KernelScratch::with_capacity(bm.nb());
+    let mut counts = [0usize; 4];
+    let stride = (bm.nblk() / 16).max(1); // sample every stride-th step
+
+    for k in 0..bm.nblk() {
+        let sampled = k % stride == 0;
+        let diag_id = bm.block_id(k, k).expect("diag block");
+
+        if sampled && counts[0] < caps.getrf {
+            counts[0] += 1;
+            let nnz = bm.block(diag_id).nnz() as f64;
+            for (v, label) in GETRF_VARIANTS {
+                let blk = bm.block(diag_id).clone();
+                let secs = best_of_3(|| {
+                    let mut b = blk.clone();
+                    getrf::getrf(&mut b, v, &mut scratch, 1e-12);
+                });
+                samples.push(Sample { class: "GETRF", variant: label, feature: nnz, seconds: secs });
+            }
+        }
+        getrf::getrf(bm.block_mut(diag_id), GetrfVariant::CV1, &mut scratch, 1e-12);
+
+        for &j in &tg.u_panels[k] {
+            let b_id = bm.block_id(k, j).expect("panel");
+            if sampled && counts[1] < caps.trsm {
+                counts[1] += 1;
+                let nnz = bm.block(b_id).nnz() as f64;
+                let diag = bm.block(diag_id).clone();
+                let orig = bm.block(b_id).clone();
+                for (v, label) in TRSM_VARIANTS {
+                    let secs = best_of_3(|| {
+                        let mut b = orig.clone();
+                        trsm::gessm(&diag, &mut b, v, &mut scratch);
+                    });
+                    samples.push(Sample {
+                        class: "GESSM",
+                        variant: label,
+                        feature: nnz,
+                        seconds: secs,
+                    });
+                }
+            }
+            let (diag, b) = bm.block_pair_mut(diag_id, b_id);
+            trsm::gessm(diag, b, TrsmVariant::CV1, &mut scratch);
+        }
+        for &i in &tg.l_panels[k] {
+            let b_id = bm.block_id(i, k).expect("panel");
+            if sampled && counts[2] < caps.trsm {
+                counts[2] += 1;
+                let nnz = bm.block(b_id).nnz() as f64;
+                let diag = bm.block(diag_id).clone();
+                let orig = bm.block(b_id).clone();
+                for (v, label) in TRSM_VARIANTS {
+                    let secs = best_of_3(|| {
+                        let mut b = orig.clone();
+                        trsm::tstrf(&diag, &mut b, v, &mut scratch);
+                    });
+                    samples.push(Sample {
+                        class: "TSTRF",
+                        variant: label,
+                        feature: nnz,
+                        seconds: secs,
+                    });
+                }
+            }
+            let (diag, b) = bm.block_pair_mut(diag_id, b_id);
+            trsm::tstrf(diag, b, TrsmVariant::CV1, &mut scratch);
+        }
+
+        for &i in &tg.l_panels[k] {
+            let a_id = bm.block_id(i, k).expect("L operand");
+            for &j in &tg.u_panels[k] {
+                let Some(c_id) = bm.block_id(i, j) else { continue };
+                let b_id = bm.block_id(k, j).expect("U operand");
+                if sampled && counts[3] < caps.ssssm {
+                    counts[3] += 1;
+                    let fl = flops::ssssm_flops(bm.block(a_id), bm.block(b_id));
+                    let a = bm.block(a_id).clone();
+                    let b = bm.block(b_id).clone();
+                    let orig = bm.block(c_id).clone();
+                    for (v, label) in SSSSM_VARIANTS {
+                        let secs = best_of_3(|| {
+                            let mut c = orig.clone();
+                            ssssm::ssssm(&a, &b, &mut c, v, &mut scratch);
+                        });
+                        samples.push(Sample {
+                            class: "SSSSM",
+                            variant: label,
+                            feature: fl,
+                            seconds: secs,
+                        });
+                    }
+                }
+                let (a, b, c) = bm.ssssm_operands(a_id, b_id, c_id);
+                ssssm::ssssm(a, b, c, SsssmVariant::CV1, &mut scratch);
+            }
+        }
+    }
+    samples
+}
+
+/// Suggested crossover for one tree edge: the smallest feature value at
+/// which `fast_for_big` beats `fast_for_small` in bucket-median time.
+pub fn crossover(samples: &[Sample], class: &str, small: &str, big: &str) -> Option<f64> {
+    // log2 buckets of the feature.
+    let mut buckets: std::collections::BTreeMap<i32, (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for s in samples.iter().filter(|s| s.class == class) {
+        let b = s.feature.max(1.0).log2() as i32;
+        let e = buckets.entry(b).or_default();
+        if s.variant == small {
+            e.0.push(s.seconds);
+        } else if s.variant == big {
+            e.1.push(s.seconds);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    for (b, (mut sv, mut bv)) in buckets {
+        if sv.is_empty() || bv.is_empty() {
+            continue;
+        }
+        if median(&mut bv) < median(&mut sv) {
+            return Some(2f64.powi(b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvest_produces_all_classes() {
+        let a = pangulu_sparse::gen::circuit(250, 4);
+        let prep = crate::prepare(&a, 1);
+        let mut bm = prep.bm.clone();
+        let samples = harvest(&mut bm, &prep.tg, HarvestCaps { getrf: 4, trsm: 6, ssssm: 8 });
+        for class in ["GETRF", "GESSM", "TSTRF", "SSSSM"] {
+            assert!(
+                samples.iter().any(|s| s.class == class),
+                "no samples for {class}"
+            );
+        }
+        assert!(samples.iter().all(|s| s.seconds >= 0.0 && s.feature >= 0.0));
+    }
+
+    #[test]
+    fn crossover_finds_synthetic_break_even() {
+        // Synthetic: "small" wins below 2^10, "big" above.
+        let mut samples = Vec::new();
+        for e in 5..15 {
+            let f = 2f64.powi(e);
+            samples.push(Sample {
+                class: "GETRF",
+                variant: "C_V1",
+                feature: f,
+                seconds: if e < 10 { 1.0 } else { 3.0 },
+            });
+            samples.push(Sample {
+                class: "GETRF",
+                variant: "G_V1",
+                feature: f,
+                seconds: if e < 10 { 2.0 } else { 1.0 },
+            });
+        }
+        let x = crossover(&samples, "GETRF", "C_V1", "G_V1").unwrap();
+        assert_eq!(x, 1024.0);
+    }
+}

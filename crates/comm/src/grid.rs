@@ -1,0 +1,103 @@
+//! The 2-D process grid and the block-cyclic owner map.
+//!
+//! PanguLU distributes the regular 2-D blocks over a `pr x pc` process
+//! grid cyclically (paper §4.2, Fig. 6a): block `(bi, bj)` initially
+//! belongs to rank `(bi mod pr, bj mod pc)`. The static load balancer
+//! later *remaps* individual blocks, so the owner map is materialised per
+//! block rather than recomputed from the formula.
+
+/// A two-dimensional process grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessGrid {
+    pr: usize,
+    pc: usize,
+}
+
+impl ProcessGrid {
+    /// Builds the most-square grid with exactly `p` ranks
+    /// (`pr * pc == p`, `pr <= pc`, maximising `pr`).
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "process grid needs at least one rank");
+        let mut pr = (p as f64).sqrt() as usize;
+        while pr > 1 && p % pr != 0 {
+            pr -= 1;
+        }
+        ProcessGrid { pr: pr.max(1), pc: p / pr.max(1) }
+    }
+
+    /// Builds an explicit `pr x pc` grid.
+    pub fn with_shape(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        ProcessGrid { pr, pc }
+    }
+
+    /// Number of grid rows.
+    pub fn pr(&self) -> usize {
+        self.pr
+    }
+
+    /// Number of grid columns.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// The cyclic owner of block `(bi, bj)`.
+    #[inline]
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        (bi % self.pr) * self.pc + (bj % self.pc)
+    }
+
+    /// The grid coordinates of a rank.
+    #[inline]
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.pc, rank % self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_factorisations() {
+        assert_eq!(ProcessGrid::new(1), ProcessGrid::with_shape(1, 1));
+        assert_eq!(ProcessGrid::new(4), ProcessGrid::with_shape(2, 2));
+        assert_eq!(ProcessGrid::new(8), ProcessGrid::with_shape(2, 4));
+        assert_eq!(ProcessGrid::new(128), ProcessGrid::with_shape(8, 16));
+        assert_eq!(ProcessGrid::new(7), ProcessGrid::with_shape(1, 7));
+    }
+
+    #[test]
+    fn owner_is_cyclic_and_in_range() {
+        let g = ProcessGrid::new(6); // 2 x 3
+        for bi in 0..10 {
+            for bj in 0..10 {
+                let o = g.owner(bi, bj);
+                assert!(o < 6);
+                assert_eq!(o, g.owner(bi + g.pr(), bj));
+                assert_eq!(o, g.owner(bi, bj + g.pc()));
+            }
+        }
+    }
+
+    #[test]
+    fn coords_invert_owner() {
+        let g = ProcessGrid::new(12);
+        for rank in 0..12 {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.owner(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let g = ProcessGrid::new(1);
+        assert_eq!(g.owner(5, 9), 0);
+    }
+}

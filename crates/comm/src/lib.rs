@@ -1,0 +1,25 @@
+//! Distributed-runtime substrate for the PanguLU reproduction.
+//!
+//! The paper runs on MPI ranks, four per node, one GPU each. This crate
+//! provides the message-passing runtime the solver runs on instead
+//! (see `DESIGN.md`, substitution table): **ranks are OS threads** with
+//! typed mailboxes, block payloads are copied into messages exactly as MPI
+//! would, and there is no shared mutable state between ranks.
+//!
+//! * [`grid`] — the 2-D process grid and block-cyclic owner map (§4.2);
+//! * [`msg`] — the block messages the numeric factorisation exchanges;
+//! * [`mailbox`] — per-rank channels with non-blocking probe and blocking
+//!   receive (the "wait for a sub-matrix block" state of Fig. 10);
+//! * [`cost`] — the communication/compute cost model and the two platform
+//!   profiles (A100-class, MI50-class) used by the discrete-event
+//!   scalability simulator.
+
+pub mod cost;
+pub mod grid;
+pub mod mailbox;
+pub mod msg;
+
+pub use cost::PlatformProfile;
+pub use grid::ProcessGrid;
+pub use mailbox::{Mailbox, MailboxSet};
+pub use msg::{BlockMsg, BlockRole};

@@ -1,0 +1,172 @@
+//! Per-rank mailboxes over crossbeam channels.
+//!
+//! Each rank owns a receiver and can send to every other rank; this is
+//! the thread-as-MPI-rank transport. The numeric factorisation uses
+//! [`Mailbox::try_recv`] to drain without blocking while kernels are
+//! runnable, and [`Mailbox::recv`] to block when the task queue is empty —
+//! the time spent blocked is the measured synchronisation time (Fig. 13).
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::msg::BlockMsg;
+
+/// Builder for the full set of rank mailboxes.
+pub struct MailboxSet {
+    mailboxes: Vec<Mailbox>,
+}
+
+impl MailboxSet {
+    /// Creates mailboxes for `p` ranks, all-to-all connected.
+    pub fn new(p: usize) -> Self {
+        let mut senders: Vec<Sender<BlockMsg>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Receiver<BlockMsg>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let mailboxes = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Mailbox {
+                rank,
+                receiver,
+                senders: senders.clone(),
+                sync_wait: Duration::ZERO,
+                sent_msgs: 0,
+                sent_bytes: 0,
+            })
+            .collect();
+        MailboxSet { mailboxes }
+    }
+
+    /// Takes the per-rank mailboxes (one per worker thread).
+    pub fn into_mailboxes(self) -> Vec<Mailbox> {
+        self.mailboxes
+    }
+}
+
+/// One rank's endpoint: its receiver plus senders to every rank.
+pub struct Mailbox {
+    rank: usize,
+    receiver: Receiver<BlockMsg>,
+    senders: Vec<Sender<BlockMsg>>,
+    sync_wait: Duration,
+    sent_msgs: u64,
+    sent_bytes: u64,
+}
+
+impl Mailbox {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the set.
+    pub fn world_size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends a block to `to`. Sending to self is allowed (the scheduler
+    /// short-circuits it in practice, but correctness does not depend on
+    /// that).
+    pub fn send(&mut self, to: usize, msg: BlockMsg) {
+        self.sent_msgs += 1;
+        self.sent_bytes += msg.payload_bytes() as u64;
+        // A send can only fail when the receiver thread is gone, which
+        // only happens after a panic elsewhere; propagating keeps the
+        // failure visible instead of hanging the run.
+        self.senders[to].send(msg).expect("receiving rank has shut down");
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<BlockMsg> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive with timeout; the time actually spent blocked is
+    /// added to this rank's synchronisation-wait accounting.
+    pub fn recv(&mut self, timeout: Duration) -> Option<BlockMsg> {
+        let start = Instant::now();
+        let out = match self.receiver.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        };
+        self.sync_wait += start.elapsed();
+        out
+    }
+
+    /// Total time this rank has spent blocked in [`Mailbox::recv`].
+    pub fn sync_wait(&self) -> Duration {
+        self.sync_wait
+    }
+
+    /// Number of messages sent by this rank.
+    pub fn sent_msgs(&self) -> u64 {
+        self.sent_msgs
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::BlockRole;
+
+    fn msg(bi: usize) -> BlockMsg {
+        BlockMsg { bi, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0] }
+    }
+
+    #[test]
+    fn send_and_receive_between_ranks() {
+        let mut boxes = MailboxSet::new(2).into_mailboxes();
+        let (mut a, b) = {
+            let b = boxes.pop().unwrap();
+            let a = boxes.pop().unwrap();
+            (a, b)
+        };
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.rank(), 1);
+        a.send(1, msg(7));
+        let got = b.try_recv().expect("message should be queued");
+        assert_eq!(got.bi, 7);
+        assert_eq!(a.sent_msgs(), 1);
+        assert!(a.sent_bytes() > 0);
+    }
+
+    #[test]
+    fn try_recv_empty_returns_none() {
+        let boxes = MailboxSet::new(1).into_mailboxes();
+        assert!(boxes[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_accumulates_sync_wait() {
+        let mut boxes = MailboxSet::new(1).into_mailboxes();
+        let mb = &mut boxes[0];
+        let got = mb.recv(Duration::from_millis(20));
+        assert!(got.is_none());
+        assert!(mb.sync_wait() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut boxes = MailboxSet::new(2).into_mailboxes();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                b1.send(0, msg(3));
+            });
+            let got = b0.recv(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(got.bi, 3);
+        });
+    }
+}

@@ -1,0 +1,60 @@
+//! Block messages exchanged during the numeric factorisation.
+//!
+//! The sync-free scheduling strategy (paper §4.4, Fig. 10) sends finished
+//! sub-matrix blocks to the ranks whose pending kernels depend on them.
+//! Patterns are replicated during preprocessing, so messages carry only
+//! the **values** of the block — as the real implementation would ship
+//! over MPI.
+
+/// Which role the shipped block plays at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockRole {
+    /// A factored diagonal block `(k, k)` (packed `L\U`), enabling GESSM
+    /// on block row `k` and TSTRF on block column `k`.
+    DiagFactor,
+    /// A finished L-panel block `(i, k)`, operand of SSSSM updates across
+    /// block row `i`.
+    LPanel,
+    /// A finished U-panel block `(k, j)`, operand of SSSSM updates down
+    /// block column `j`.
+    UPanel,
+    /// A solved solution segment `k` of the distributed triangular solve
+    /// (`bi == bj == k`), broadcast to the ranks owning panel blocks that
+    /// consume it.
+    XSegment,
+    /// A partial contribution `blk(i,k)·x_k` to segment `bi = i` of the
+    /// distributed triangular solve, sent to the owner of diagonal `i`
+    /// (`bj` records the source block column).
+    Partial,
+}
+
+/// A block shipped between ranks.
+#[derive(Debug, Clone)]
+pub struct BlockMsg {
+    /// Block row index.
+    pub bi: usize,
+    /// Block column index.
+    pub bj: usize,
+    /// Role at the receiver.
+    pub role: BlockRole,
+    /// The block's values in its (replicated) pattern order.
+    pub values: Vec<f64>,
+}
+
+impl BlockMsg {
+    /// Payload size in bytes, as charged by the communication cost model.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>() + 3 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accounts_header_and_values() {
+        let m = BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0; 10] };
+        assert_eq!(m.payload_bytes(), 10 * 8 + 24);
+    }
+}

@@ -1,0 +1,439 @@
+//! The two-layer sparse block structure (paper §4.2, Fig. 6a/b).
+//!
+//! The filled `L+U` matrix is cut into regular `nb x nb` tiles. The first
+//! layer is a CSC over *blocks*: `blk_col_ptr` / `blk_row_idx` / block
+//! handles, exactly the three auxiliary arrays of Fig. 6(a). Non-empty
+//! blocks are stored as intra-block CSC sub-matrices (Fig. 6b). Because
+//! the global pattern is transitively closed, every kernel writes only
+//! into existing intra-block patterns, and a missing block `(i, j)` with
+//! operands `(i, k)`, `(k, j)` present implies the product is structurally
+//! empty (the skip is free).
+
+use pangulu_sparse::{CscMatrix, Result, SparseError};
+
+/// The blocked form of the filled matrix.
+#[derive(Debug, Clone)]
+pub struct BlockMatrix {
+    /// Global matrix order.
+    n: usize,
+    /// Block (tile) size.
+    nb: usize,
+    /// Number of block rows/columns (`ceil(n / nb)`).
+    nblk: usize,
+    /// First-layer CSC: prefix sums of non-empty blocks per block column.
+    blk_col_ptr: Vec<usize>,
+    /// First-layer CSC: block row index of each non-empty block.
+    blk_row_idx: Vec<usize>,
+    /// The intra-block sub-matrices, in first-layer order.
+    blocks: Vec<CscMatrix>,
+}
+
+impl BlockMatrix {
+    /// Chooses the block size from the matrix order and the density of
+    /// the matrix *after* symbolic factorisation (paper §4.1, step 3).
+    ///
+    /// The heuristic targets `sqrt(n)`-sized tiles, nudged up for denser
+    /// factors (amortising per-kernel overhead) and clamped so the block
+    /// grid keeps at least `4 * grid_dim` tiles per side for cyclic
+    /// balance across `grid_dim`-wide process grids.
+    pub fn choose_block_size(n: usize, nnz_lu: usize, grid_dim: usize) -> usize {
+        if n == 0 {
+            return 1;
+        }
+        let avg_row = nnz_lu as f64 / n as f64;
+        // Density factor in [0.5, 2]: 8 nonzeros/row is the neutral point.
+        let density_factor = (avg_row / 8.0).powf(0.25).clamp(0.5, 2.0);
+        let nb = ((n as f64).sqrt() * density_factor).round() as usize;
+        let max_nb = (n / (4 * grid_dim.max(1))).max(1);
+        nb.clamp(1, max_nb.max(1)).clamp(1, 512).max(4.min(n))
+    }
+
+    /// Cuts a filled (closed-pattern) matrix into `nb x nb` tiles.
+    ///
+    /// # Examples
+    /// ```
+    /// use pangulu_core::BlockMatrix;
+    /// let a = pangulu_sparse::gen::laplacian_2d(6, 6);
+    /// let fill = pangulu_symbolic::symbolic_fill(&a).unwrap();
+    /// let filled = fill.filled_matrix(&a).unwrap();
+    /// let bm = BlockMatrix::from_filled(&filled, 9).unwrap();
+    /// assert_eq!(bm.nblk(), 4);             // ceil(36 / 9)
+    /// assert_eq!(bm.to_csc(), filled);      // lossless tiling
+    /// ```
+    pub fn from_filled(filled: &CscMatrix, nb: usize) -> Result<Self> {
+        if !filled.is_square() {
+            return Err(SparseError::NotSquare {
+                nrows: filled.nrows(),
+                ncols: filled.ncols(),
+            });
+        }
+        if nb == 0 {
+            return Err(SparseError::InvalidStructure("block size must be positive".into()));
+        }
+        let n = filled.ncols();
+        let nblk = n.div_ceil(nb);
+
+        // Pass 1: count entries per block within each block column, so the
+        // intra-block CSC arrays can be sized exactly.
+        // Process one block column at a time to keep the working set small.
+        let mut blk_col_ptr = Vec::with_capacity(nblk + 1);
+        blk_col_ptr.push(0usize);
+        let mut blk_row_idx: Vec<usize> = Vec::new();
+        let mut blocks: Vec<CscMatrix> = Vec::new();
+
+        // Row → block-row map avoids a division per stored entry.
+        let row_block: Vec<u32> = (0..n).map(|i| (i / nb) as u32).collect();
+
+        for bj in 0..nblk {
+            let col_lo = bj * nb;
+            let col_hi = (col_lo + nb).min(n);
+            let bcols = col_hi - col_lo;
+            // Entry counts per (present block row, local column), in one
+            // flat buffer (`slot * bcols + local_col`) to avoid nested-Vec
+            // indirection on the per-entry hot path.
+            let mut counts: Vec<usize> = Vec::new();
+            let mut present: Vec<usize> = Vec::new(); // block rows, discovery order
+            let mut slot_of = vec![usize::MAX; nblk];
+            for j in col_lo..col_hi {
+                let (rows, _) = filled.col(j);
+                for &i in rows {
+                    let bi = row_block[i] as usize;
+                    let mut s = slot_of[bi];
+                    if s == usize::MAX {
+                        s = present.len();
+                        slot_of[bi] = s;
+                        present.push(bi);
+                        counts.resize(counts.len() + bcols, 0);
+                    }
+                    counts[s * bcols + (j - col_lo)] += 1;
+                }
+            }
+            // Block rows must be sorted for the first-layer CSC invariant.
+            let mut order: Vec<usize> = (0..present.len()).collect();
+            order.sort_unstable_by_key(|&s| present[s]);
+
+            // Build intra-block col_ptr arrays and scatter entries.
+            let mut block_col_ptrs: Vec<Vec<usize>> = (0..present.len())
+                .map(|s| {
+                    let mut p = Vec::with_capacity(bcols + 1);
+                    p.push(0usize);
+                    let mut acc = 0usize;
+                    for c in 0..bcols {
+                        acc += counts[s * bcols + c];
+                        p.push(acc);
+                    }
+                    p
+                })
+                .collect();
+            let mut block_rows: Vec<Vec<usize>> =
+                block_col_ptrs.iter().map(|p| vec![0usize; *p.last().unwrap()]).collect();
+            let mut block_vals: Vec<Vec<f64>> =
+                block_col_ptrs.iter().map(|p| vec![0.0f64; *p.last().unwrap()]).collect();
+            // Flat write cursors, one per (slot, local column).
+            let mut cursor: Vec<usize> = Vec::with_capacity(present.len() * bcols);
+            for p in &block_col_ptrs {
+                cursor.extend_from_slice(&p[..bcols]);
+            }
+            for j in col_lo..col_hi {
+                let (rows, vals) = filled.col(j);
+                let lc = j - col_lo;
+                for (&i, &v) in rows.iter().zip(vals) {
+                    let bi = row_block[i] as usize;
+                    let s = slot_of[bi];
+                    let dst = cursor[s * bcols + lc];
+                    block_rows[s][dst] = i - bi * nb;
+                    block_vals[s][dst] = v;
+                    cursor[s * bcols + lc] += 1;
+                }
+            }
+
+            for &s in &order {
+                let bi = present[s];
+                let brows = ((bi * nb + nb).min(n)) - bi * nb;
+                blk_row_idx.push(bi);
+                blocks.push(CscMatrix::from_parts_unchecked(
+                    brows,
+                    bcols,
+                    std::mem::take(&mut block_col_ptrs[s]),
+                    std::mem::take(&mut block_rows[s]),
+                    std::mem::take(&mut block_vals[s]),
+                ));
+            }
+            blk_col_ptr.push(blk_row_idx.len());
+        }
+
+        Ok(BlockMatrix { n, nb, nblk, blk_col_ptr, blk_row_idx, blocks })
+    }
+
+    /// Global matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of block rows/columns.
+    pub fn nblk(&self) -> usize {
+        self.nblk
+    }
+
+    /// Number of non-empty blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// First-layer column pointers (`blk_ColumnPointer` of Fig. 6a).
+    pub fn blk_col_ptr(&self) -> &[usize] {
+        &self.blk_col_ptr
+    }
+
+    /// First-layer row indices (`blk_RowIndex` of Fig. 6a).
+    pub fn blk_row_idx(&self) -> &[usize] {
+        &self.blk_row_idx
+    }
+
+    /// Dense id of block `(bi, bj)` within the first layer, if present.
+    pub fn block_id(&self, bi: usize, bj: usize) -> Option<usize> {
+        let lo = self.blk_col_ptr[bj];
+        let hi = self.blk_col_ptr[bj + 1];
+        self.blk_row_idx[lo..hi].binary_search(&bi).ok().map(|k| lo + k)
+    }
+
+    /// Coordinates `(bi, bj)` of a block id.
+    pub fn block_coords(&self, id: usize) -> (usize, usize) {
+        let bj = self.blk_col_ptr.partition_point(|&p| p <= id) - 1;
+        (self.blk_row_idx[id], bj)
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: usize) -> &CscMatrix {
+        &self.blocks[id]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: usize) -> &mut CscMatrix {
+        &mut self.blocks[id]
+    }
+
+    /// Two blocks mutably at once (for kernels reading one and writing
+    /// another); ids must differ.
+    pub fn block_pair_mut(&mut self, a: usize, b: usize) -> (&mut CscMatrix, &mut CscMatrix) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = self.blocks.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.blocks.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    /// The three operands of an SSSSM: blocks `a` and `b` shared, block
+    /// `c` mutable. All three ids must be distinct.
+    pub fn ssssm_operands(
+        &mut self,
+        a: usize,
+        b: usize,
+        c: usize,
+    ) -> (&CscMatrix, &CscMatrix, &mut CscMatrix) {
+        assert!(a != b && a != c && b != c, "SSSSM operands must be distinct blocks");
+        let ptr = self.blocks.as_mut_ptr();
+        // Safety: the three indices are distinct and in bounds, so the
+        // shared and mutable references never alias.
+        unsafe {
+            let ra = &*ptr.add(a);
+            let rb = &*ptr.add(b);
+            let rc = &mut *ptr.add(c);
+            (ra, rb, rc)
+        }
+    }
+
+    /// Non-empty blocks of block column `bj` as `(bi, id)` pairs.
+    pub fn col_blocks(&self, bj: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let lo = self.blk_col_ptr[bj];
+        let hi = self.blk_col_ptr[bj + 1];
+        self.blk_row_idx[lo..hi].iter().enumerate().map(move |(k, &bi)| (bi, lo + k))
+    }
+
+    /// Reassembles the global matrix from the tiles (tests / solve phase).
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut coo = pangulu_sparse::CooMatrix::with_capacity(self.n, self.n, self.nnz());
+        for bj in 0..self.nblk {
+            for (bi, id) in self.col_blocks(bj) {
+                let b = &self.blocks[id];
+                for (r, c, v) in b.iter() {
+                    coo.push(bi * self.nb + r, bj * self.nb + c, v)
+                        .expect("block entries are in bounds");
+                }
+            }
+        }
+        coo.to_csc()
+    }
+
+    /// Total stored entries across blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.nnz()).sum()
+    }
+
+    /// Assembles the trailing sub-matrix spanned by block rows/columns
+    /// `from..nblk` into a CSC matrix — after a partial factorisation
+    /// (see `seq::factor_sequential_partial`) this is the Schur
+    /// complement.
+    pub fn trailing_csc(&self, from: usize) -> CscMatrix {
+        let base = from * self.nb;
+        let m = self.n - base.min(self.n);
+        let mut coo = pangulu_sparse::CooMatrix::new(m, m);
+        for bj in from..self.nblk {
+            for (bi, id) in self.col_blocks(bj) {
+                if bi < from {
+                    continue;
+                }
+                let b = &self.blocks[id];
+                for (r, c, v) in b.iter() {
+                    coo.push(bi * self.nb + r - base, bj * self.nb + c - base, v)
+                        .expect("trailing entries in bounds");
+                }
+            }
+        }
+        coo.to_csc()
+    }
+
+    /// Approximate heap bytes of the two-layer structure (the memory the
+    /// paper's preprocessing minimises by allocating per-process blocks
+    /// up front, §4.2).
+    pub fn memory_bytes(&self) -> usize {
+        let first_layer = (self.blk_col_ptr.len() + self.blk_row_idx.len())
+            * std::mem::size_of::<usize>();
+        let blocks: usize = self
+            .blocks
+            .iter()
+            .map(|b| {
+                (b.col_ptr().len() + b.row_idx().len()) * std::mem::size_of::<usize>()
+                    + b.values().len() * std::mem::size_of::<f64>()
+            })
+            .sum();
+        first_layer + blocks
+    }
+
+    /// The elimination step (time slice) of a block: `min(bi, bj)` — the
+    /// step at which its final panel operation runs (§4.2).
+    pub fn step_of(&self, id: usize) -> usize {
+        let (bi, bj) = self.block_coords(id);
+        bi.min(bj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn filled(n: usize, density: f64, seed: u64) -> CscMatrix {
+        let a = ensure_diagonal(&gen::random_sparse(n, density, seed)).unwrap();
+        symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let f = filled(50, 0.08, 3);
+        for nb in [1, 7, 16, 50, 64] {
+            let bm = BlockMatrix::from_filled(&f, nb).unwrap();
+            assert_eq!(bm.to_csc(), f, "nb = {nb}");
+            assert_eq!(bm.nnz(), f.nnz());
+        }
+    }
+
+    #[test]
+    fn block_ids_and_coords_are_inverse() {
+        let f = filled(40, 0.1, 5);
+        let bm = BlockMatrix::from_filled(&f, 8).unwrap();
+        for id in 0..bm.num_blocks() {
+            let (bi, bj) = bm.block_coords(id);
+            assert_eq!(bm.block_id(bi, bj), Some(id));
+        }
+    }
+
+    #[test]
+    fn diagonal_blocks_are_present_and_square() {
+        let f = filled(45, 0.1, 7);
+        let bm = BlockMatrix::from_filled(&f, 10).unwrap();
+        for k in 0..bm.nblk() {
+            let id = bm.block_id(k, k).expect("diagonal block must exist");
+            let b = bm.block(id);
+            assert!(b.is_square());
+            assert!(b.has_full_diagonal());
+        }
+        // Edge block is 45 - 40 = 5 wide.
+        let last = bm.block_id(4, 4).unwrap();
+        assert_eq!(bm.block(last).ncols(), 5);
+    }
+
+    #[test]
+    fn first_layer_rows_sorted() {
+        let f = filled(60, 0.06, 9);
+        let bm = BlockMatrix::from_filled(&f, 9).unwrap();
+        for bj in 0..bm.nblk() {
+            let lo = bm.blk_col_ptr()[bj];
+            let hi = bm.blk_col_ptr()[bj + 1];
+            let rows = &bm.blk_row_idx()[lo..hi];
+            for w in rows.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn choose_block_size_scales_with_n_and_density() {
+        let sparse_nb = BlockMatrix::choose_block_size(10_000, 50_000, 1);
+        let dense_nb = BlockMatrix::choose_block_size(10_000, 2_000_000, 1);
+        assert!(dense_nb > sparse_nb, "denser factor should get bigger tiles");
+        // Grid constraint: 16 ranks (4x4 grid) need >= 16 tiles per side.
+        let constrained = BlockMatrix::choose_block_size(1_000, 100_000, 4);
+        assert!(constrained <= 1_000 / 16);
+        assert!(BlockMatrix::choose_block_size(0, 0, 1) >= 1);
+    }
+
+    #[test]
+    fn block_pair_mut_disjoint() {
+        let f = filled(30, 0.15, 1);
+        let mut bm = BlockMatrix::from_filled(&f, 10).unwrap();
+        if bm.num_blocks() >= 2 {
+            let (a, b) = bm.block_pair_mut(0, 1);
+            a.values_mut()[0] = 42.0;
+            b.values_mut()[0] = 43.0;
+            assert_eq!(bm.block(0).values()[0], 42.0);
+            assert_eq!(bm.block(1).values()[0], 43.0);
+        }
+    }
+
+    #[test]
+    fn trailing_csc_of_zero_is_whole_matrix() {
+        let f = filled(30, 0.15, 4);
+        let bm = BlockMatrix::from_filled(&f, 8).unwrap();
+        assert_eq!(bm.trailing_csc(0), f);
+        assert_eq!(bm.trailing_csc(bm.nblk()).nnz(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_nnz() {
+        let f = filled(40, 0.1, 5);
+        let bm = BlockMatrix::from_filled(&f, 10).unwrap();
+        let lower_bound = f.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>());
+        assert!(bm.memory_bytes() >= lower_bound);
+    }
+
+    #[test]
+    fn step_of_is_min_coordinate() {
+        let f = filled(40, 0.2, 2);
+        let bm = BlockMatrix::from_filled(&f, 8).unwrap();
+        for id in 0..bm.num_blocks() {
+            let (bi, bj) = bm.block_coords(id);
+            assert_eq!(bm.step_of(id), bi.min(bj));
+        }
+    }
+}

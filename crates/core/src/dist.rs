@@ -1,0 +1,687 @@
+//! The multi-rank numeric factorisation: threads as MPI ranks, block
+//! messages over mailboxes, and two scheduling policies:
+//!
+//! * [`ScheduleMode::SyncFree`] — the paper's synchronisation-free
+//!   strategy (§4.4): each rank keeps the synchronisation-free counter
+//!   array for its blocks, drains its mailbox without blocking while any
+//!   kernel is runnable, executes the highest-priority runnable kernel
+//!   (lowest elimination step first, GETRF before panel solves before
+//!   SSSSM), ships finished blocks to exactly the ranks whose pending
+//!   kernels consume them, and blocks on the mailbox only when nothing is
+//!   runnable — that blocked time is the measured synchronisation cost.
+//! * [`ScheduleMode::LevelSet`] — the SuperLU_DIST-style baseline: the
+//!   same data movement, but tasks of elimination step `k+1` may not
+//!   start until a barrier confirms every rank finished step `k`
+//!   (§3.3). The ablation of Fig. 14 toggles this.
+//!
+//! Ranks share **no** mutable state: each worker clones its owned blocks
+//! out of the input structure, and remote operands exist only as received
+//! copies — the same discipline an MPI implementation is forced into.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use pangulu_comm::{BlockMsg, BlockRole, Mailbox, MailboxSet};
+use pangulu_kernels::select::KernelSelector;
+use pangulu_kernels::{flops, getrf, ssssm, trsm, KernelScratch};
+use pangulu_sparse::CscMatrix;
+
+use crate::block::BlockMatrix;
+use crate::layout::OwnerMap;
+use crate::task::{PrioritisedTask, Task, TaskGraph};
+
+/// Scheduling policy of the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Synchronisation-free counter-array scheduling (paper §4.4).
+    SyncFree,
+    /// Per-elimination-step barriers (level-set baseline, §3.3).
+    LevelSet,
+}
+
+/// Aggregated statistics of one distributed factorisation.
+#[derive(Debug, Clone, Default)]
+pub struct DistStats {
+    /// Wall-clock time of the numeric phase.
+    pub wall_time: Duration,
+    /// Per-rank time spent executing kernels.
+    pub busy: Vec<Duration>,
+    /// Per-rank time spent blocked waiting for messages or barriers.
+    pub sync_wait: Vec<Duration>,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Statically perturbed pivots across ranks.
+    pub perturbed_pivots: usize,
+}
+
+impl DistStats {
+    /// Mean per-rank synchronisation wait.
+    pub fn mean_sync_wait(&self) -> Duration {
+        if self.sync_wait.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sync_wait.iter().sum::<Duration>() / self.sync_wait.len() as u32
+    }
+}
+
+/// One executed kernel in the timeline of a traced run.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Executing rank.
+    pub rank: usize,
+    /// The kernel that ran.
+    pub task: Task,
+    /// Start offset from the beginning of the numeric phase.
+    pub start: Duration,
+    /// End offset.
+    pub end: Duration,
+}
+
+/// Factorises `bm` in place across `owners.num_ranks()` rank threads.
+pub fn factor_distributed(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    mode: ScheduleMode,
+) -> DistStats {
+    factor_distributed_impl(bm, tg, owners, selector, pivot_floor, mode, false).0
+}
+
+/// As [`factor_distributed`], additionally recording every executed
+/// kernel with wall-clock start/end offsets — the per-rank timeline used
+/// to verify at runtime that the synchronisation-free array never lets a
+/// kernel start before its dependencies finish.
+pub fn factor_distributed_traced(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    mode: ScheduleMode,
+) -> (DistStats, Vec<TraceEvent>) {
+    factor_distributed_impl(bm, tg, owners, selector, pivot_floor, mode, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn factor_distributed_impl(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    mode: ScheduleMode,
+    traced: bool,
+) -> (DistStats, Vec<TraceEvent>) {
+    let p = owners.num_ranks();
+    let start = Instant::now();
+    let mailboxes = MailboxSet::new(p).into_mailboxes();
+    let barrier = Barrier::new(p);
+
+    let mut worker_outputs: Vec<WorkerOutput> = Vec::with_capacity(p);
+    {
+        let bm_ref: &BlockMatrix = bm;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = mailboxes
+                .into_iter()
+                .map(|mb| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut w = Worker::new(
+                            bm_ref, tg, owners, selector, pivot_floor, mode, mb, barrier,
+                        );
+                        w.trace_origin = Some(start).filter(|_| traced);
+                        w.run()
+                    })
+                })
+                .collect();
+            for h in handles {
+                worker_outputs.push(h.join().expect("rank thread panicked"));
+            }
+        });
+    }
+
+    let mut stats = DistStats {
+        wall_time: start.elapsed(),
+        busy: vec![Duration::ZERO; p],
+        sync_wait: vec![Duration::ZERO; p],
+        ..Default::default()
+    };
+    let mut trace = Vec::new();
+    for out in worker_outputs {
+        stats.busy[out.rank] = out.busy;
+        stats.sync_wait[out.rank] = out.sync_wait;
+        stats.messages += out.messages;
+        stats.bytes += out.bytes;
+        stats.perturbed_pivots += out.perturbed;
+        for (id, blk) in out.blocks {
+            *bm.block_mut(id) = blk;
+        }
+        trace.extend(out.trace);
+    }
+    trace.sort_by_key(|e| e.start);
+    (stats, trace)
+}
+
+/// What one rank hands back.
+struct WorkerOutput {
+    rank: usize,
+    blocks: Vec<(usize, CscMatrix)>,
+    busy: Duration,
+    sync_wait: Duration,
+    messages: u64,
+    bytes: u64,
+    perturbed: usize,
+    trace: Vec<TraceEvent>,
+}
+
+/// Per-rank executor state.
+struct Worker<'a> {
+    rank: usize,
+    bm: &'a BlockMatrix,
+    tg: &'a TaskGraph,
+    owners: &'a OwnerMap,
+    selector: &'a KernelSelector,
+    pivot_floor: f64,
+    mode: ScheduleMode,
+    mailbox: Mailbox,
+    barrier: &'a Barrier,
+
+    /// This rank's working copies of its owned blocks.
+    my_blocks: HashMap<usize, CscMatrix>,
+    /// Received remote blocks, reconstructed over the replicated pattern.
+    remote: HashMap<(usize, usize), CscMatrix>,
+    /// Finished owned blocks (panel op done).
+    finished: HashSet<usize>,
+    /// Synchronisation-free counters for owned blocks.
+    counter: HashMap<usize, usize>,
+    /// Owned blocks already queued for their panel op.
+    queued: HashSet<usize>,
+    /// Diagonal factors available (owned-finished or received).
+    have_diag: HashSet<usize>,
+    /// L-panel operands available, keyed `(i, k)`.
+    have_l: HashSet<(usize, usize)>,
+    /// U-panel operands available, keyed `(k, j)`.
+    have_u: HashSet<(usize, usize)>,
+
+    queue: BinaryHeap<PrioritisedTask>,
+    remaining: usize,
+    /// Level-set mode: tasks done / owed per elimination step.
+    step_done: Vec<usize>,
+    step_total: Vec<usize>,
+    current_step: usize,
+
+    scratch: KernelScratch,
+    busy: Duration,
+    barrier_wait: Duration,
+    perturbed: usize,
+    /// When set, kernels are recorded relative to this origin.
+    trace_origin: Option<Instant>,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Worker<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        bm: &'a BlockMatrix,
+        tg: &'a TaskGraph,
+        owners: &'a OwnerMap,
+        selector: &'a KernelSelector,
+        pivot_floor: f64,
+        mode: ScheduleMode,
+        mailbox: Mailbox,
+        barrier: &'a Barrier,
+    ) -> Self {
+        let rank = mailbox.rank();
+        // Clone owned blocks (the "distribute the matrix" preprocessing
+        // step — each rank stores only what it computes on, §4.2).
+        let mut my_blocks = HashMap::new();
+        let mut counter = HashMap::new();
+        let mut remaining = 0usize;
+        let mut step_total = vec![0usize; bm.nblk() + 1];
+        for id in 0..bm.num_blocks() {
+            if owners.owner_of(id) == rank {
+                my_blocks.insert(id, bm.block(id).clone());
+                counter.insert(id, tg.indegree[id]);
+                remaining += 1; // the block's panel op
+                step_total[bm.step_of(id)] += 1;
+            }
+        }
+        for &(i, j, k) in &tg.ssssm {
+            let cid = bm.block_id(i, j).expect("ssssm target exists");
+            if owners.owner_of(cid) == rank {
+                remaining += 1;
+                step_total[k] += 1;
+            }
+        }
+        Worker {
+            rank,
+            bm,
+            tg,
+            owners,
+            selector,
+            pivot_floor,
+            mode,
+            mailbox,
+            barrier,
+            my_blocks,
+            remote: HashMap::new(),
+            finished: HashSet::new(),
+            counter,
+            queued: HashSet::new(),
+            have_diag: HashSet::new(),
+            have_l: HashSet::new(),
+            have_u: HashSet::new(),
+            queue: BinaryHeap::new(),
+            remaining,
+            step_done: vec![0usize; bm.nblk() + 1],
+            step_total,
+            current_step: 0,
+            scratch: KernelScratch::with_capacity(bm.nb()),
+            busy: Duration::ZERO,
+            barrier_wait: Duration::ZERO,
+            perturbed: 0,
+            trace_origin: None,
+            trace: Vec::new(),
+        }
+    }
+
+    fn owned(&self, id: usize) -> bool {
+        self.owners.owner_of(id) == self.rank
+    }
+
+    /// Fetches an operand block: an owned finished block or a received
+    /// remote copy.
+    fn operand(&self, bi: usize, bj: usize) -> &CscMatrix {
+        let id = self.bm.block_id(bi, bj).expect("operand block exists");
+        if let Some(b) = self.my_blocks.get(&id) {
+            debug_assert!(self.finished.contains(&id), "operand used before finished");
+            b
+        } else {
+            self.remote
+                .get(&(bi, bj))
+                .expect("operand block neither owned nor received")
+        }
+    }
+
+    /// Reconstructs a received block over the replicated pattern.
+    fn reconstruct(&self, bi: usize, bj: usize, values: Vec<f64>) -> CscMatrix {
+        let id = self.bm.block_id(bi, bj).expect("pattern of shipped block is replicated");
+        let tpl = self.bm.block(id);
+        assert_eq!(values.len(), tpl.nnz(), "shipped values do not match pattern");
+        CscMatrix::from_parts_unchecked(
+            tpl.nrows(),
+            tpl.ncols(),
+            tpl.col_ptr().to_vec(),
+            tpl.row_idx().to_vec(),
+            values,
+        )
+    }
+
+    fn run(mut self) -> WorkerOutput {
+        self.seed_initial_tasks();
+        let timeout = Duration::from_millis(50);
+        let mut idle_rounds = 0u32;
+        loop {
+            // Drain the mailbox without blocking (Fig. 10, step 1).
+            while let Some(msg) = self.mailbox.try_recv() {
+                self.handle_msg(msg);
+            }
+            if let Some(task) = self.pop_runnable() {
+                idle_rounds = 0;
+                self.execute(task);
+                continue;
+            }
+            if self.remaining == 0 && self.mode == ScheduleMode::SyncFree {
+                break;
+            }
+            if self.mode == ScheduleMode::LevelSet {
+                // Step finished locally? Barrier, then advance.
+                if self.current_step <= self.bm.nblk()
+                    && self.step_done[self.current_step.min(self.bm.nblk())]
+                        == self.step_total[self.current_step.min(self.bm.nblk())]
+                    && self.no_pending_messages_needed_for_step()
+                {
+                    let t = Instant::now();
+                    self.barrier.wait();
+                    self.barrier_wait += t.elapsed();
+                    self.current_step += 1;
+                    if self.current_step >= self.bm.nblk() {
+                        debug_assert_eq!(self.remaining, 0, "tasks left after final step");
+                        break;
+                    }
+                    continue;
+                }
+            }
+            // Nothing runnable: block on the mailbox (the measured
+            // synchronisation wait, Fig. 10 step 3a).
+            if self.mailbox.recv(timeout).map(|m| self.handle_msg(m)).is_none() {
+                idle_rounds += 1;
+                assert!(
+                    idle_rounds < 1200,
+                    "rank {} stalled for 60s with {} tasks remaining (step {})",
+                    self.rank,
+                    self.remaining,
+                    self.current_step
+                );
+            } else {
+                idle_rounds = 0;
+            }
+        }
+
+        WorkerOutput {
+            rank: self.rank,
+            blocks: self.my_blocks.into_iter().collect(),
+            busy: self.busy,
+            sync_wait: self.mailbox.sync_wait() + self.barrier_wait,
+            messages: self.mailbox.sent_msgs(),
+            bytes: self.mailbox.sent_bytes(),
+            perturbed: self.perturbed,
+            trace: self.trace,
+        }
+    }
+
+    /// Level-set gate helper: all owned tasks of the current step done
+    /// means the rank may enter the barrier — any still-missing operands
+    /// for *later* steps arrive in later steps.
+    fn no_pending_messages_needed_for_step(&self) -> bool {
+        true
+    }
+
+    /// Tasks runnable now (level-set mode restricts to the current step).
+    fn pop_runnable(&mut self) -> Option<Task> {
+        match self.mode {
+            ScheduleMode::SyncFree => self.queue.pop().map(|p| p.0),
+            ScheduleMode::LevelSet => {
+                if let Some(top) = self.queue.peek() {
+                    if top.0.step() == self.current_step {
+                        return self.queue.pop().map(|p| p.0);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Queues blocks with zero indegree: diagonal blocks can GETRF right
+    /// away; panels additionally wait for their diagonal factor.
+    fn seed_initial_tasks(&mut self) {
+        let ids: Vec<usize> =
+            self.counter.iter().filter(|&(_, &c)| c == 0).map(|(&id, _)| id).collect();
+        for id in ids {
+            self.maybe_queue_panel(id);
+        }
+    }
+
+    /// Queues the panel operation of block `id` if its updates are done
+    /// and its diagonal dependency is satisfied.
+    fn maybe_queue_panel(&mut self, id: usize) {
+        if self.queued.contains(&id) || self.counter[&id] > 0 {
+            return;
+        }
+        let (bi, bj) = self.bm.block_coords(id);
+        let task = match bi.cmp(&bj) {
+            std::cmp::Ordering::Equal => Task::Getrf { k: bi },
+            std::cmp::Ordering::Less => {
+                if !self.have_diag.contains(&bi) {
+                    return; // GESSM waits for the diagonal factor of row bi
+                }
+                Task::Gessm { k: bi, j: bj }
+            }
+            std::cmp::Ordering::Greater => {
+                if !self.have_diag.contains(&bj) {
+                    return;
+                }
+                Task::Tstrf { i: bi, k: bj }
+            }
+        };
+        self.queued.insert(id);
+        self.queue.push(PrioritisedTask(task));
+    }
+
+    fn execute(&mut self, task: Task) {
+        let trace_start = self.trace_origin.map(|origin| origin.elapsed());
+        let t0 = Instant::now();
+        match task {
+            Task::Getrf { k } => {
+                let id = self.bm.block_id(k, k).expect("diag exists");
+                let blk = self.my_blocks.get_mut(&id).expect("getrf on owned block");
+                let variant = self.selector.getrf(blk.nnz());
+                self.perturbed += getrf::getrf(blk, variant, &mut self.scratch, self.pivot_floor);
+                self.busy += t0.elapsed();
+                self.finish_block(id, k, BlockRole::DiagFactor);
+            }
+            Task::Gessm { k, j } => {
+                let id = self.bm.block_id(k, j).expect("panel exists");
+                let diag = self.diag_factor(k);
+                let blk = self.my_blocks.get_mut(&id).expect("gessm on owned block");
+                let variant = self.selector.gessm(blk.nnz());
+                trsm::gessm(&diag, blk, variant, &mut self.scratch);
+                self.busy += t0.elapsed();
+                self.finish_block(id, k, BlockRole::UPanel);
+            }
+            Task::Tstrf { i, k } => {
+                let id = self.bm.block_id(i, k).expect("panel exists");
+                let diag = self.diag_factor(k);
+                let blk = self.my_blocks.get_mut(&id).expect("tstrf on owned block");
+                let variant = self.selector.tstrf(blk.nnz());
+                trsm::tstrf(&diag, blk, variant, &mut self.scratch);
+                self.busy += t0.elapsed();
+                self.finish_block(id, k, BlockRole::LPanel);
+            }
+            Task::Ssssm { i, j, k } => {
+                let cid = self.bm.block_id(i, j).expect("target exists");
+                // Clone-free would need simultaneous shared + mutable
+                // borrows into the same map; operands are either remote
+                // copies or finished owned blocks, both immutable here, so
+                // temporary removal of the target keeps this safe.
+                let mut target = self.my_blocks.remove(&cid).expect("ssssm on owned block");
+                let mut scratch = std::mem::take(&mut self.scratch);
+                {
+                    let a = self.operand(i, k);
+                    let b = self.operand(k, j);
+                    let fl = flops::ssssm_flops(a, b);
+                    let variant = self.selector.ssssm(fl);
+                    ssssm::ssssm(a, b, &mut target, variant, &mut scratch);
+                }
+                self.scratch = scratch;
+                self.my_blocks.insert(cid, target);
+                self.busy += t0.elapsed();
+                self.task_done(k);
+                let c = self.counter.get_mut(&cid).expect("counter for owned block");
+                *c -= 1;
+                if *c == 0 {
+                    self.maybe_queue_panel(cid);
+                }
+            }
+        }
+        if let (Some(origin), Some(start)) = (self.trace_origin, trace_start) {
+            self.trace.push(TraceEvent {
+                rank: self.rank,
+                task,
+                start,
+                end: origin.elapsed(),
+            });
+        }
+    }
+
+    /// Book-keeping common to completed tasks (level-set accounting).
+    fn task_done(&mut self, step: usize) {
+        self.remaining -= 1;
+        self.step_done[step] += 1;
+    }
+
+    /// The diagonal factor of step `k` (owned or received).
+    fn diag_factor(&self, k: usize) -> CscMatrix {
+        // Cloned so the &mut borrow of the target panel can coexist; the
+        // clone is the moral equivalent of the receive buffer an MPI rank
+        // would read from anyway.
+        self.operand(k, k).clone()
+    }
+
+    /// Marks an owned block finished, ships it, and triggers dependents.
+    fn finish_block(&mut self, id: usize, step: usize, role: BlockRole) {
+        self.finished.insert(id);
+        self.task_done(step);
+        let (bi, bj) = self.bm.block_coords(id);
+        let dests = match role {
+            BlockRole::DiagFactor => self.tg.diag_destinations(self.bm, self.owners, bi),
+            BlockRole::LPanel => self.tg.l_panel_destinations(self.bm, self.owners, bi, bj),
+            BlockRole::UPanel => self.tg.u_panel_destinations(self.bm, self.owners, bi, bj),
+            other => unreachable!("factorisation never produces {other:?}"),
+        };
+        let values = self.my_blocks[&id].values().to_vec();
+        for dest in dests {
+            if dest != self.rank {
+                self.mailbox.send(
+                    dest,
+                    BlockMsg { bi, bj, role, values: values.clone() },
+                );
+            }
+        }
+        // Local trigger (a rank is trivially a "destination" of itself).
+        self.on_block_available(bi, bj, role);
+    }
+
+    fn handle_msg(&mut self, msg: BlockMsg) {
+        let blk = self.reconstruct(msg.bi, msg.bj, msg.values);
+        self.remote.insert((msg.bi, msg.bj), blk);
+        self.on_block_available(msg.bi, msg.bj, msg.role);
+    }
+
+    /// A block (local or remote) became available in the given role:
+    /// release whatever it gates (Fig. 9's dependency-breaking rules).
+    fn on_block_available(&mut self, bi: usize, bj: usize, role: BlockRole) {
+        match role {
+            BlockRole::DiagFactor => {
+                let k = bi;
+                self.have_diag.insert(k);
+                // Release owned panels of block row / column k whose
+                // updates are already done.
+                let row_ids: Vec<usize> = self.tg.u_panels[k]
+                    .iter()
+                    .filter_map(|&j| self.bm.block_id(k, j))
+                    .filter(|&id| self.owned(id))
+                    .collect();
+                let col_ids: Vec<usize> = self.tg.l_panels[k]
+                    .iter()
+                    .filter_map(|&i| self.bm.block_id(i, k))
+                    .filter(|&id| self.owned(id))
+                    .collect();
+                for id in row_ids.into_iter().chain(col_ids) {
+                    self.maybe_queue_panel(id);
+                }
+            }
+            BlockRole::LPanel => {
+                let (i, k) = (bi, bj);
+                self.have_l.insert((i, k));
+                for &j in &self.tg.u_panels[k] {
+                    if let Some(cid) = self.bm.block_id(i, j) {
+                        if self.owned(cid) && self.have_u.contains(&(k, j)) {
+                            self.queue.push(PrioritisedTask(Task::Ssssm { i, j, k }));
+                        }
+                    }
+                }
+            }
+            BlockRole::UPanel => {
+                let (k, j) = (bi, bj);
+                self.have_u.insert((k, j));
+                for &i in &self.tg.l_panels[k] {
+                    if let Some(cid) = self.bm.block_id(i, j) {
+                        if self.owned(cid) && self.have_l.contains(&(i, k)) {
+                            self.queue.push(PrioritisedTask(Task::Ssssm { i, j, k }));
+                        }
+                    }
+                }
+            }
+            other => panic!("unexpected message role {other:?} during factorisation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factor_sequential;
+    use pangulu_comm::ProcessGrid;
+    use pangulu_kernels::select::Thresholds;
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn build(n: usize, nb: usize, seed: u64) -> (CscMatrix, BlockMatrix, TaskGraph) {
+        let a = ensure_diagonal(&gen::random_sparse(n, 0.1, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+        let bm = BlockMatrix::from_filled(&f, nb).unwrap();
+        let tg = TaskGraph::build(&bm);
+        (a, bm, tg)
+    }
+
+    fn check_against_sequential(p: usize, mode: ScheduleMode, seed: u64) {
+        let (a, bm0, tg) = build(60, 8, seed);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+
+        let mut seq_bm = bm0.clone();
+        factor_sequential(&mut seq_bm, &tg, &sel, 0.0);
+
+        let mut dist_bm = bm0;
+        let owners = OwnerMap::balanced(&dist_bm, ProcessGrid::new(p), &tg);
+        let stats = factor_distributed(&mut dist_bm, &tg, &owners, &sel, 0.0, mode);
+        assert_eq!(stats.busy.len(), p);
+
+        let d1 = seq_bm.to_csc().to_dense();
+        let d2 = dist_bm.to_csc().to_dense();
+        let diff = d1.max_abs_diff(&d2);
+        let scale = d1.norm_max().max(1.0);
+        assert!(
+            diff / scale < 1e-10,
+            "p={p} mode={mode:?} seed={seed}: factors differ by {}",
+            diff / scale
+        );
+    }
+
+    #[test]
+    fn single_rank_sync_free_matches_sequential() {
+        check_against_sequential(1, ScheduleMode::SyncFree, 1);
+    }
+
+    #[test]
+    fn four_ranks_sync_free_matches_sequential() {
+        for seed in [2, 3] {
+            check_against_sequential(4, ScheduleMode::SyncFree, seed);
+        }
+    }
+
+    #[test]
+    fn six_ranks_sync_free_matches_sequential() {
+        check_against_sequential(6, ScheduleMode::SyncFree, 4);
+    }
+
+    #[test]
+    fn level_set_matches_sequential() {
+        for p in [2, 4] {
+            check_against_sequential(p, ScheduleMode::LevelSet, 5);
+        }
+    }
+
+    #[test]
+    fn message_counts_are_nonzero_with_multiple_ranks() {
+        let (a, mut bm, tg) = build(80, 8, 9);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
+        let stats =
+            factor_distributed(&mut bm, &tg, &owners, &sel, 0.0, ScheduleMode::SyncFree);
+        assert!(stats.messages > 0, "4-rank run must communicate");
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn oversubscribed_ranks_still_correct() {
+        // More ranks than block rows: some ranks own nothing.
+        check_against_sequential(8, ScheduleMode::SyncFree, 7);
+    }
+}

@@ -1,0 +1,336 @@
+//! Distributed block triangular solves — the paper's phase 5 run with the
+//! same thread-as-rank, message-passing discipline as the numeric phase.
+//!
+//! Solution segments live with the owners of the diagonal blocks. In the
+//! forward sweep (`L y = b`), segment `i` waits on one partial
+//! contribution `L(i,k)·y_k` per stored block left of its diagonal; each
+//! partial is computed by the *owner of that block* (ranks only ever read
+//! their own blocks, as a real distribution forces) the moment the
+//! broadcast of `y_k` reaches it. The backward sweep (`U x = y`) mirrors
+//! this with the blocks right of the diagonal. There is no global
+//! ordering or barrier — dependency counting alone drives both sweeps,
+//! the same counter-array idea as the numeric factorisation's §4.4.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pangulu_comm::{BlockMsg, BlockRole, Mailbox, MailboxSet};
+
+use crate::block::BlockMatrix;
+use crate::layout::OwnerMap;
+use crate::trisolve::{solve_diag_lower, solve_diag_upper};
+
+/// Which triangle the sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    /// `L y = b`: contributions come from blocks `(i, k)` with `k < i`.
+    Forward,
+    /// `U x = y`: contributions come from blocks `(i, k)` with `k > i`.
+    Backward,
+}
+
+/// Solves `L U x = b` across `owners.num_ranks()` rank threads; `bm`
+/// holds the factored tiles. Returns `x`.
+pub fn solve_distributed(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), bm.n(), "rhs length must match matrix order");
+    let y = run_sweep(bm, owners, b, Sweep::Forward);
+    run_sweep(bm, owners, &y, Sweep::Backward)
+}
+
+/// One dependency-counted sweep. Returns the solved vector.
+fn run_sweep(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64], sweep: Sweep) -> Vec<f64> {
+    let nblk = bm.nblk();
+    let p = owners.num_ranks();
+
+    // Replicated sweep structure: per segment i, the contributing blocks
+    // (strictly left / right of the diagonal); per column k, the blocks
+    // the broadcast of x_k triggers.
+    let mut contributors: Vec<Vec<usize>> = vec![Vec::new(); nblk]; // by target segment i
+    let mut triggers: Vec<Vec<usize>> = vec![Vec::new(); nblk]; // by source column k
+    for bj in 0..nblk {
+        for (bi, id) in bm.col_blocks(bj) {
+            let wanted = match sweep {
+                Sweep::Forward => bi > bj,
+                Sweep::Backward => bi < bj,
+            };
+            if wanted {
+                contributors[bi].push(id);
+                triggers[bj].push(id);
+            }
+        }
+    }
+
+    let mailboxes = MailboxSet::new(p).into_mailboxes();
+    let mut solved: Vec<(usize, Vec<f64>)> = Vec::with_capacity(nblk);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = mailboxes
+            .into_iter()
+            .map(|mb| {
+                let contributors = &contributors;
+                let triggers = &triggers;
+                s.spawn(move || {
+                    SweepWorker {
+                        bm,
+                        owners,
+                        b,
+                        sweep,
+                        contributors,
+                        triggers,
+                        mailbox: mb,
+                    }
+                    .run()
+                })
+            })
+            .collect();
+        for h in handles {
+            solved.extend(h.join().expect("solve rank panicked"));
+        }
+    });
+
+    let mut x = vec![0.0f64; bm.n()];
+    for (k, seg) in solved {
+        let base = k * bm.nb();
+        x[base..base + seg.len()].copy_from_slice(&seg);
+    }
+    x
+}
+
+struct SweepWorker<'a> {
+    bm: &'a BlockMatrix,
+    owners: &'a OwnerMap,
+    b: &'a [f64],
+    sweep: Sweep,
+    contributors: &'a [Vec<usize>],
+    triggers: &'a [Vec<usize>],
+    mailbox: Mailbox,
+}
+
+impl SweepWorker<'_> {
+    fn diag_owner(&self, k: usize) -> usize {
+        self.owners
+            .owner_of(self.bm.block_id(k, k).expect("diagonal block exists"))
+    }
+
+    fn run(mut self) -> Vec<(usize, Vec<f64>)> {
+        let rank = self.mailbox.rank();
+        let nblk = self.bm.nblk();
+        let nb = self.bm.nb();
+
+        // Owned diagonal segments: accumulators seeded with b, plus the
+        // outstanding-contribution counters (the solve's sync-free array).
+        let mut acc: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut pending: HashMap<usize, usize> = HashMap::new();
+        let mut remaining_solves = 0usize;
+        // Off-diagonal work this rank owes others: one partial per owned
+        // contributing block.
+        let mut remaining_partials = 0usize;
+        for k in 0..nblk {
+            if self.diag_owner(k) == rank {
+                let base = k * nb;
+                let len = self.bm.block(self.bm.block_id(k, k).unwrap()).ncols();
+                acc.insert(k, self.b[base..base + len].to_vec());
+                pending.insert(k, self.contributors[k].len());
+                remaining_solves += 1;
+            }
+        }
+        for col in self.triggers.iter() {
+            remaining_partials +=
+                col.iter().filter(|&&id| self.owners.owner_of(id) == rank).count();
+        }
+
+        let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+        // Segments whose counters hit zero solve immediately (leaves).
+        let ready: Vec<usize> =
+            pending.iter().filter(|&(_, &c)| c == 0).map(|(&k, _)| k).collect();
+        for k in ready {
+            self.solve_segment(k, &mut acc, &mut out);
+            remaining_solves -= 1;
+        }
+
+        let timeout = Duration::from_millis(50);
+        let mut idle = 0u32;
+        while remaining_solves > 0 || remaining_partials > 0 {
+            let Some(msg) = self.mailbox.recv(timeout) else {
+                idle += 1;
+                assert!(
+                    idle < 1200,
+                    "solve rank {rank} stalled: {remaining_solves} solves, \
+                     {remaining_partials} partials left"
+                );
+                continue;
+            };
+            idle = 0;
+            match msg.role {
+                BlockRole::XSegment => {
+                    let k = msg.bi;
+                    // Compute the partial for every owned block in the
+                    // trigger column and ship it to the diagonal owner.
+                    // (`triggers` is a shared borrow independent of self.)
+                    let triggers = self.triggers;
+                    for &id in &triggers[k] {
+                        if self.owners.owner_of(id) != rank {
+                            continue;
+                        }
+                        remaining_partials -= 1;
+                        let (bi, _) = self.bm.block_coords(id);
+                        let partial = block_times_segment(self.bm.block(id), &msg.values);
+                        self.deliver_partial(bi, k, partial, &mut acc, &mut pending, rank);
+                        if pending.get(&bi) == Some(&0) {
+                            self.solve_segment(bi, &mut acc, &mut out);
+                            remaining_solves -= 1;
+                        }
+                    }
+                }
+                BlockRole::Partial => {
+                    let i = msg.bi;
+                    apply_partial(acc.get_mut(&i).expect("partial for owned segment"), &msg.values);
+                    let c = pending.get_mut(&i).expect("counter for owned segment");
+                    *c -= 1;
+                    if *c == 0 {
+                        self.solve_segment(i, &mut acc, &mut out);
+                        remaining_solves -= 1;
+                    }
+                }
+                other => panic!("unexpected message role {other:?} during solve"),
+            }
+        }
+        out
+    }
+
+    /// Sends (or locally applies) a computed partial for segment `i`.
+    fn deliver_partial(
+        &mut self,
+        i: usize,
+        source_col: usize,
+        partial: Vec<f64>,
+        acc: &mut HashMap<usize, Vec<f64>>,
+        pending: &mut HashMap<usize, usize>,
+        rank: usize,
+    ) {
+        let dest = self.diag_owner(i);
+        if dest == rank {
+            apply_partial(acc.get_mut(&i).expect("owned segment"), &partial);
+            *pending.get_mut(&i).expect("owned counter") -= 1;
+        } else {
+            self.mailbox.send(
+                dest,
+                BlockMsg { bi: i, bj: source_col, role: BlockRole::Partial, values: partial },
+            );
+        }
+    }
+
+    /// Solves the owned segment `k` in-block and broadcasts it.
+    fn solve_segment(
+        &mut self,
+        k: usize,
+        acc: &mut HashMap<usize, Vec<f64>>,
+        out: &mut Vec<(usize, Vec<f64>)>,
+    ) {
+        let rank = self.mailbox.rank();
+        let mut seg = acc.remove(&k).expect("segment accumulator");
+        let diag = self.bm.block(self.bm.block_id(k, k).expect("diag"));
+        match self.sweep {
+            Sweep::Forward => solve_diag_lower(diag, &mut seg),
+            Sweep::Backward => solve_diag_upper(diag, &mut seg),
+        }
+        // Broadcast to the ranks owning the blocks this segment feeds.
+        // Self-sends go through the mailbox too: the receive loop is the
+        // single place partials are computed and accounted.
+        let _ = (rank, &*acc);
+        let mut dests: Vec<usize> =
+            self.triggers[k].iter().map(|&id| self.owners.owner_of(id)).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        for dest in dests {
+            self.mailbox.send(
+                dest,
+                BlockMsg { bi: k, bj: k, role: BlockRole::XSegment, values: seg.clone() },
+            );
+        }
+        out.push((k, seg));
+    }
+}
+
+/// `blk · seg` (dense result over the block's rows).
+fn block_times_segment(blk: &pangulu_sparse::CscMatrix, seg: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; blk.nrows()];
+    for c in 0..blk.ncols() {
+        let xc = seg[c];
+        if xc == 0.0 {
+            continue;
+        }
+        let (rows, vals) = blk.col(c);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += v * xc;
+        }
+    }
+    out
+}
+
+/// `acc -= partial`.
+fn apply_partial(acc: &mut [f64], partial: &[f64]) {
+    for (a, p) in acc.iter_mut().zip(partial) {
+        *a -= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factor_sequential;
+    use crate::task::TaskGraph;
+    use crate::trisolve::{backward_substitute, forward_substitute};
+    use pangulu_comm::ProcessGrid;
+    use pangulu_kernels::select::{KernelSelector, Thresholds};
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn factored(n: usize, nb: usize, seed: u64) -> BlockMatrix {
+        let a = ensure_diagonal(&gen::random_sparse(n, 0.1, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+        let mut bm = BlockMatrix::from_filled(&f, nb).unwrap();
+        let tg = TaskGraph::build(&bm);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        factor_sequential(&mut bm, &tg, &sel, 0.0);
+        bm
+    }
+
+    #[test]
+    fn matches_sequential_trisolve() {
+        for (p, seed) in [(1usize, 1u64), (2, 2), (4, 3), (6, 4)] {
+            let bm = factored(60, 8, seed);
+            let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(p));
+            let b = gen::test_rhs(60, seed);
+            let mut expect = b.clone();
+            forward_substitute(&bm, &mut expect);
+            backward_substitute(&bm, &mut expect);
+            let got = solve_distributed(&bm, &owners, &b);
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-12,
+                    "p={p} seed={seed} idx {i}: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_owner_map_also_works() {
+        let a = ensure_diagonal(&gen::circuit(200, 7)).unwrap();
+        let f = symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+        let mut bm = BlockMatrix::from_filled(&f, 12).unwrap();
+        let tg = TaskGraph::build(&bm);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        factor_sequential(&mut bm, &tg, &sel, 1e-12);
+        let owners = OwnerMap::balanced(&bm, ProcessGrid::new(4), &tg);
+        let b = gen::test_rhs(200, 9);
+        let mut expect = b.clone();
+        forward_substitute(&bm, &mut expect);
+        backward_substitute(&bm, &mut expect);
+        let got = solve_distributed(&bm, &owners, &b);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-10);
+        }
+    }
+}

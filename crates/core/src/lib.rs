@@ -1,0 +1,42 @@
+//! PanguLU core: the regular 2-D block-cyclic sparse direct solver.
+//!
+//! This crate assembles the substrates (`pangulu-sparse`, `-reorder`,
+//! `-symbolic`, `-kernels`, `-comm`) into the solver the paper describes:
+//!
+//! * [`block`] — the two-layer sparse structure (§4.2, Fig. 6a/b): a CSC
+//!   of blocks whose non-empty blocks are themselves CSC sub-matrices,
+//!   plus the block-size heuristic driven by matrix order and
+//!   post-symbolic density;
+//! * [`layout`] — the block-cyclic owner map and the static
+//!   load-balancing remap over elimination time slices (§4.2, Fig. 6c/d);
+//! * [`task`] — the kernel task graph: per-block SSSSM indegrees (the
+//!   synchronisation-free array of §4.4) and the critical-path priority
+//!   order;
+//! * [`seq`] — single-rank right-looking block factorisation (the
+//!   "single GPU" configuration of Table 4);
+//! * [`dist`] — the multi-rank executor: threads as MPI ranks, block
+//!   messages over mailboxes, and both scheduling policies — the
+//!   synchronisation-free strategy of §4.4 and the level-set barrier
+//!   baseline it is ablated against (Fig. 14);
+//! * [`trisolve`] — block forward/backward substitution (phase 5);
+//! * [`des`] — the discrete-event simulator that replays the real task
+//!   DAG under the platform cost model for the 1→128 rank scalability
+//!   experiments (Figs. 5, 12, 13, 14);
+//! * [`solver`] — the user-facing [`solver::Solver`] API running the full
+//!   five-phase pipeline (reorder → symbolic → preprocess → numeric →
+//!   solve).
+
+pub mod block;
+pub mod des;
+pub mod dist;
+pub mod dist_solve;
+pub mod layout;
+pub mod seq;
+pub mod shared;
+pub mod solver;
+pub mod task;
+pub mod trisolve;
+
+pub use block::BlockMatrix;
+pub use layout::OwnerMap;
+pub use solver::{Solver, SolverBuilder, SolverOptions};

@@ -1,0 +1,399 @@
+//! Shared-memory parallel numeric factorisation.
+//!
+//! PanguLU also runs on multicore CPUs without MPI; this is that mode:
+//! the same synchronisation-free counter array as the distributed
+//! executor, but with worker threads sharing one block store instead of
+//! exchanging messages. Publication order is enforced the lock-free way
+//! the Atomics-and-Locks guide teaches:
+//!
+//! * every block has an atomic counter (outstanding SSSSM updates) and a
+//!   `finished` flag; finished blocks are **immutable** and may be read
+//!   by any worker after an `Acquire` load of the flag;
+//! * in-progress target blocks are protected by a per-block spin claim
+//!   (an `AtomicBool`), because two SSSSM updates to the same target can
+//!   be runnable at once;
+//! * runnable tasks flow through a global injector of worklists; workers
+//!   pop, execute, and push whatever their completion unlocks.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pangulu_kernels::select::KernelSelector;
+use pangulu_kernels::{flops, getrf, ssssm, trsm, KernelScratch};
+use pangulu_sparse::CscMatrix;
+
+use crate::block::BlockMatrix;
+use crate::seq::NumericStats;
+use crate::task::{PrioritisedTask, Task, TaskGraph};
+
+/// The scheduler: a priority heap plus the set of tasks ever queued.
+/// Claim-before-push under one lock resolves every "who queues it" race
+/// (two SSSSM operand finishers; a panel's last update racing its
+/// diagonal factor) — the loser's insert returns `false`.
+#[derive(Default)]
+struct Sched {
+    heap: BinaryHeap<PrioritisedTask>,
+    claimed: HashSet<Task>,
+}
+
+impl Sched {
+    fn push_once(&mut self, t: Task) {
+        if self.claimed.insert(t) {
+            self.heap.push(PrioritisedTask(t));
+        }
+    }
+}
+
+/// Per-block concurrency state.
+struct BlockState {
+    /// Outstanding SSSSM updates (the synchronisation-free array).
+    pending: AtomicUsize,
+    /// Exclusive-claim latch for writers.
+    claimed: AtomicBool,
+    /// Set (Release) when the block's panel op finished; readers Acquire.
+    finished: AtomicBool,
+}
+
+/// A mutable-shared view of the block store.
+///
+/// Safety: writers hold the block's `claimed` latch; readers only touch
+/// blocks whose `finished` flag they observed with `Acquire`, which
+/// happens-after the writer's final store.
+struct SharedBlocks {
+    ptr: *mut CscMatrix,
+}
+
+unsafe impl Send for SharedBlocks {}
+unsafe impl Sync for SharedBlocks {}
+
+impl SharedBlocks {
+    #[inline]
+    unsafe fn get(&self, id: usize) -> &CscMatrix {
+        &*self.ptr.add(id)
+    }
+
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, id: usize) -> &mut CscMatrix {
+        &mut *self.ptr.add(id)
+    }
+}
+
+/// Factorises `bm` in place with `threads` shared-memory workers.
+/// Deterministic results are **not** guaranteed bit-for-bit when several
+/// SSSSM updates race for the same target (floating-point addition is
+/// not associative); tests use tolerances accordingly.
+pub fn factor_shared(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    threads: usize,
+) -> NumericStats {
+    let threads = threads.max(1);
+    let nblk = bm.nblk();
+    let num_blocks = bm.num_blocks();
+
+    let state: Vec<BlockState> = (0..num_blocks)
+        .map(|id| BlockState {
+            pending: AtomicUsize::new(tg.indegree[id]),
+            claimed: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        })
+        .collect();
+    // Diagonal factors published (GETRF done), indexed by step.
+    let diag_ready: Vec<AtomicBool> = (0..nblk).map(|_| AtomicBool::new(false)).collect();
+
+    if num_blocks == 0 {
+        return NumericStats::default();
+    }
+    let queue: Mutex<Sched> = Mutex::new(Sched::default());
+    {
+        let mut q = queue.lock().unwrap();
+        for id in 0..num_blocks {
+            let (bi, bj) = bm.block_coords(id);
+            if bi == bj && tg.indegree[id] == 0 {
+                q.push_once(Task::Getrf { k: bi });
+            }
+        }
+    }
+    let remaining = AtomicUsize::new(num_blocks + tg.ssssm.len());
+    let perturbed = AtomicUsize::new(0);
+    let nb = bm.nb();
+
+    let shared = SharedBlocks { ptr: blocks_ptr(bm) };
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut scratch = KernelScratch::with_capacity(nb);
+                loop {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let task = queue.lock().unwrap().heap.pop();
+                    let Some(PrioritisedTask(task)) = task else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    execute_shared(
+                        bm, tg, selector, pivot_floor, &shared, &state, &diag_ready, &queue,
+                        &remaining, &perturbed, task, &mut scratch,
+                    );
+                }
+            });
+        }
+    });
+
+    NumericStats {
+        perturbed_pivots: perturbed.load(Ordering::Relaxed),
+        flops: tg.total_flops(),
+        kernel_counts: [
+            nblk,
+            tg.u_panels.iter().map(|v| v.len()).sum(),
+            tg.l_panels.iter().map(|v| v.len()).sum(),
+            tg.ssssm.len(),
+        ],
+        ..Default::default()
+    }
+}
+
+fn blocks_ptr(bm: &mut BlockMatrix) -> *mut CscMatrix {
+    // The block store is a dense slice; ids index it directly.
+    bm.block_mut(0) as *mut CscMatrix
+}
+
+/// Spins until the block's exclusive latch is taken.
+fn claim(state: &BlockState) {
+    let mut spins = 0u32;
+    while state
+        .claimed
+        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn release(state: &BlockState) {
+    state.claimed.store(false, Ordering::Release);
+}
+
+/// Spins until a block's `finished` flag is published.
+fn wait_finished(state: &BlockState) {
+    let mut spins = 0u32;
+    while !state.finished.load(Ordering::Acquire) {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_shared(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    shared: &SharedBlocks,
+    state: &[BlockState],
+    diag_ready: &[AtomicBool],
+    queue: &Mutex<Sched>,
+    remaining: &AtomicUsize,
+    perturbed: &AtomicUsize,
+    task: Task,
+    scratch: &mut KernelScratch,
+) {
+    match task {
+        Task::Getrf { k } => {
+            let id = bm.block_id(k, k).expect("diag exists");
+            claim(&state[id]);
+            // Safety: exclusive via the claim latch.
+            let blk = unsafe { shared.get_mut(id) };
+            let variant = selector.getrf(blk.nnz());
+            perturbed
+                .fetch_add(getrf::getrf(blk, variant, scratch, pivot_floor), Ordering::Relaxed);
+            state[id].finished.store(true, Ordering::Release);
+            release(&state[id]);
+            diag_ready[k].store(true, Ordering::Release);
+            remaining.fetch_sub(1, Ordering::AcqRel);
+            // Release the panels of step k whose updates are already done
+            // (claim-before-push deduplicates against the racing SSSSM
+            // completion handler).
+            let mut q = queue.lock().unwrap();
+            for &j in &tg.u_panels[k] {
+                let pid = bm.block_id(k, j).expect("panel exists");
+                if state[pid].pending.load(Ordering::Acquire) == 0 {
+                    q.push_once(Task::Gessm { k, j });
+                }
+            }
+            for &i in &tg.l_panels[k] {
+                let pid = bm.block_id(i, k).expect("panel exists");
+                if state[pid].pending.load(Ordering::Acquire) == 0 {
+                    q.push_once(Task::Tstrf { i, k });
+                }
+            }
+        }
+        Task::Gessm { k, j } => {
+            let id = bm.block_id(k, j).expect("panel exists");
+            let diag_id = bm.block_id(k, k).expect("diag exists");
+            wait_finished(&state[diag_id]);
+            claim(&state[id]);
+            // Safety: diag finished (immutable); target claimed.
+            let diag = unsafe { shared.get(diag_id) };
+            let blk = unsafe { shared.get_mut(id) };
+            let variant = selector.gessm(blk.nnz());
+            trsm::gessm(diag, blk, variant, scratch);
+            state[id].finished.store(true, Ordering::Release);
+            release(&state[id]);
+            remaining.fetch_sub(1, Ordering::AcqRel);
+            schedule_ssssm_for_u(bm, tg, state, queue, k, j);
+        }
+        Task::Tstrf { i, k } => {
+            let id = bm.block_id(i, k).expect("panel exists");
+            let diag_id = bm.block_id(k, k).expect("diag exists");
+            wait_finished(&state[diag_id]);
+            claim(&state[id]);
+            let diag = unsafe { shared.get(diag_id) };
+            let blk = unsafe { shared.get_mut(id) };
+            let variant = selector.tstrf(blk.nnz());
+            trsm::tstrf(diag, blk, variant, scratch);
+            state[id].finished.store(true, Ordering::Release);
+            release(&state[id]);
+            remaining.fetch_sub(1, Ordering::AcqRel);
+            schedule_ssssm_for_l(bm, tg, state, queue, i, k);
+        }
+        Task::Ssssm { i, j, k } => {
+            let a_id = bm.block_id(i, k).expect("L operand");
+            let b_id = bm.block_id(k, j).expect("U operand");
+            let c_id = bm.block_id(i, j).expect("target");
+            // Operands are finished and immutable; target is claimed.
+            claim(&state[c_id]);
+            let a = unsafe { shared.get(a_id) };
+            let b = unsafe { shared.get(b_id) };
+            let c = unsafe { shared.get_mut(c_id) };
+            let fl = flops::ssssm_flops(a, b);
+            let variant = selector.ssssm(fl);
+            ssssm::ssssm(a, b, c, variant, scratch);
+            release(&state[c_id]);
+            remaining.fetch_sub(1, Ordering::AcqRel);
+            let left = state[c_id].pending.fetch_sub(1, Ordering::AcqRel) - 1;
+            if left == 0 {
+                let (bi, bj) = bm.block_coords(c_id);
+                let next = match bi.cmp(&bj) {
+                    std::cmp::Ordering::Equal => Some(Task::Getrf { k: bi }),
+                    std::cmp::Ordering::Less => diag_ready[bi]
+                        .load(Ordering::Acquire)
+                        .then_some(Task::Gessm { k: bi, j: bj }),
+                    std::cmp::Ordering::Greater => diag_ready[bj]
+                        .load(Ordering::Acquire)
+                        .then_some(Task::Tstrf { i: bi, k: bj }),
+                };
+                if let Some(t) = next {
+                    queue.lock().unwrap().push_once(t);
+                }
+                // If the diagonal was not ready, the GETRF completion
+                // handler will re-check this panel's counter and queue it.
+            }
+        }
+    }
+}
+
+/// Schedules SSSSM tasks unlocked by the completion of `U(k, j)`: each
+/// becomes runnable once both panel operands have published; the second
+/// finisher wins the claim under the queue lock and pushes.
+fn schedule_ssssm_for_u(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    state: &[BlockState],
+    queue: &Mutex<Sched>,
+    k: usize,
+    j: usize,
+) {
+    let mut q = queue.lock().unwrap();
+    for &i in &tg.l_panels[k] {
+        if bm.block_id(i, j).is_none() {
+            continue;
+        }
+        let a_id = bm.block_id(i, k).expect("L panel exists");
+        if state[a_id].finished.load(Ordering::Acquire) {
+            q.push_once(Task::Ssssm { i, j, k });
+        }
+    }
+}
+
+/// Schedules SSSSM tasks unlocked by the completion of `L(i, k)`.
+fn schedule_ssssm_for_l(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    state: &[BlockState],
+    queue: &Mutex<Sched>,
+    i: usize,
+    k: usize,
+) {
+    let mut q = queue.lock().unwrap();
+    for &j in &tg.u_panels[k] {
+        if bm.block_id(i, j).is_none() {
+            continue;
+        }
+        let b_id = bm.block_id(k, j).expect("U panel exists");
+        if state[b_id].finished.load(Ordering::Acquire) {
+            q.push_once(Task::Ssssm { i, j, k });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factor_sequential;
+    use pangulu_kernels::select::Thresholds;
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn build(n: usize, nb: usize, seed: u64) -> (usize, BlockMatrix, TaskGraph) {
+        let a = ensure_diagonal(&gen::random_sparse(n, 0.1, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+        let bm = BlockMatrix::from_filled(&f, nb).unwrap();
+        let tg = TaskGraph::build(&bm);
+        (a.nnz(), bm, tg)
+    }
+
+    #[test]
+    fn shared_memory_factor_matches_sequential() {
+        for (threads, seed) in [(1usize, 11u64), (3, 12), (4, 13)] {
+            let (nnz, bm0, tg) = build(60, 8, seed);
+            let sel = KernelSelector::new(nnz, Thresholds::default());
+            let mut seq_bm = bm0.clone();
+            factor_sequential(&mut seq_bm, &tg, &sel, 0.0);
+            let mut par_bm = bm0;
+            factor_shared(&mut par_bm, &tg, &sel, 0.0, threads);
+            let diff = seq_bm.to_csc().to_dense().max_abs_diff(&par_bm.to_csc().to_dense());
+            let scale = seq_bm.to_csc().norm_max().max(1.0);
+            assert!(
+                diff / scale < 1e-10,
+                "threads={threads} seed={seed}: diff {}",
+                diff / scale
+            );
+        }
+    }
+
+    #[test]
+    fn shared_memory_stats_count_tasks() {
+        let (nnz, mut bm, tg) = build(50, 10, 3);
+        let sel = KernelSelector::new(nnz, Thresholds::default());
+        let stats = factor_shared(&mut bm, &tg, &sel, 1e-12, 2);
+        assert_eq!(stats.kernel_counts[0], bm.nblk());
+        assert_eq!(stats.kernel_counts[3], tg.ssssm.len());
+    }
+}

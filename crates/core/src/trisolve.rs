@@ -1,0 +1,260 @@
+//! Block triangular solves — the paper's phase 5 (`Ly = b`, `Ux = y`).
+//!
+//! Operates on the factored [`BlockMatrix`] (packed `L\U` per block) with
+//! column-oriented right-looking substitution at block granularity: solve
+//! within the diagonal block, then push updates through the panel blocks.
+
+use crate::block::BlockMatrix;
+use pangulu_sparse::CscMatrix;
+
+/// In-block unit-lower solve on a segment (`L(k,k) y = x` in place).
+pub(crate) fn solve_diag_lower(d: &CscMatrix, x: &mut [f64]) {
+    for c in 0..d.ncols() {
+        let xc = x[c];
+        if xc == 0.0 {
+            continue;
+        }
+        let (rows, vals) = d.col(c);
+        let start = rows.partition_point(|&r| r <= c);
+        for (&r, &v) in rows[start..].iter().zip(&vals[start..]) {
+            x[r] -= v * xc;
+        }
+    }
+}
+
+/// In-block upper solve on a segment (`U(k,k) x = y` in place).
+pub(crate) fn solve_diag_upper(d: &CscMatrix, x: &mut [f64]) {
+    for c in (0..d.ncols()).rev() {
+        let (rows, vals) = d.col(c);
+        let dpos = rows.binary_search(&c).expect("diagonal entry stored");
+        x[c] /= vals[dpos];
+        let xc = x[c];
+        if xc == 0.0 {
+            continue;
+        }
+        for (&r, &v) in rows[..dpos].iter().zip(&vals[..dpos]) {
+            x[r] -= v * xc;
+        }
+    }
+}
+
+/// Solves `L y = b` in place, where `L` is the unit-lower factor stored in
+/// the blocked packed form.
+pub fn forward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
+    assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
+    let nb = bm.nb();
+    for k in 0..bm.nblk() {
+        let diag_id = bm.block_id(k, k).expect("diagonal block exists");
+        let base = k * nb;
+        let seg_len = bm.block(diag_id).ncols();
+        solve_diag_lower(bm.block(diag_id), &mut x[base..base + seg_len]);
+        // Push through the L panel blocks below: x_i -= L(i,k) * x_k.
+        for (bi, id) in bm.col_blocks(k) {
+            if bi <= k {
+                continue;
+            }
+            let blk = bm.block(id);
+            let tgt = bi * nb;
+            for c in 0..blk.ncols() {
+                let xc = x[base + c];
+                if xc == 0.0 {
+                    continue;
+                }
+                let (rows, vals) = blk.col(c);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    x[tgt + r] -= v * xc;
+                }
+            }
+        }
+    }
+}
+
+/// Solves `U x = y` in place, where `U` is the upper factor (diagonal
+/// included) stored in the blocked packed form.
+pub fn backward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
+    assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
+    let nb = bm.nb();
+    for k in (0..bm.nblk()).rev() {
+        let diag_id = bm.block_id(k, k).expect("diagonal block exists");
+        let base = k * nb;
+        let seg_len = bm.block(diag_id).ncols();
+        solve_diag_upper(bm.block(diag_id), &mut x[base..base + seg_len]);
+        // Push through the U panel blocks above: x_i -= U(i,k) * x_k.
+        for (bi, id) in bm.col_blocks(k) {
+            if bi >= k {
+                continue;
+            }
+            let blk = bm.block(id);
+            let tgt = bi * nb;
+            for c in 0..blk.ncols() {
+                let xc = x[base + c];
+                if xc == 0.0 {
+                    continue;
+                }
+                let (rows, vals) = blk.col(c);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    x[tgt + r] -= v * xc;
+                }
+            }
+        }
+    }
+}
+
+/// Solves `Uᵀ y = b` in place — the first half of a transpose solve
+/// (`Aᵀx = b`). `Uᵀ` is lower triangular with the diagonal of `U`; the
+/// CSC layout makes its rows available as `U`'s columns, so the inner
+/// loops are dot products over stored columns.
+pub fn forward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
+    assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
+    let nb = bm.nb();
+    for k in 0..bm.nblk() {
+        let base = k * nb;
+        // Pull in contributions from block row k left of the diagonal:
+        // x_k -= U(j,k)ᵀ... in CSC terms, for each stored block (j, k)
+        // with j < k, x_k[c] -= Σ_r blk(r,c)·x_j[r].
+        for (bj, id) in bm.col_blocks(k) {
+            if bj >= k {
+                continue;
+            }
+            let blk = bm.block(id);
+            let src = bj * nb;
+            for c in 0..blk.ncols() {
+                let (rows, vals) = blk.col(c);
+                let mut acc = 0.0;
+                for (&r, &v) in rows.iter().zip(vals) {
+                    acc += v * x[src + r];
+                }
+                x[base + c] -= acc;
+            }
+        }
+        // Solve Uᵀ(k,k) y_k = x_k: ascending columns, dot over the
+        // column's strict-upper entries (which are Uᵀ's row entries).
+        let d = bm.block(bm.block_id(k, k).expect("diagonal block"));
+        for c in 0..d.ncols() {
+            let (rows, vals) = d.col(c);
+            let dpos = rows.binary_search(&c).expect("diagonal entry stored");
+            let mut acc = x[base + c];
+            for (&r, &v) in rows[..dpos].iter().zip(&vals[..dpos]) {
+                acc -= v * x[base + r];
+            }
+            x[base + c] = acc / vals[dpos];
+        }
+    }
+}
+
+/// Solves `Lᵀ x = y` in place — the second half of a transpose solve.
+/// `Lᵀ` is unit upper triangular; rows of `Lᵀ` are `L`'s columns.
+pub fn backward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
+    assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
+    let nb = bm.nb();
+    for k in (0..bm.nblk()).rev() {
+        let base = k * nb;
+        // Contributions from blocks below the diagonal in block column k:
+        // x_k[c] -= Σ_r L(i,k)(r,c)·x_i[r] for i > k.
+        for (bi, id) in bm.col_blocks(k) {
+            if bi <= k {
+                continue;
+            }
+            let blk = bm.block(id);
+            let src = bi * nb;
+            for c in 0..blk.ncols() {
+                let (rows, vals) = blk.col(c);
+                let mut acc = 0.0;
+                for (&r, &v) in rows.iter().zip(vals) {
+                    acc += v * x[src + r];
+                }
+                x[base + c] -= acc;
+            }
+        }
+        // Solve Lᵀ(k,k) x_k = y_k: descending columns, dot over the
+        // column's strict-lower entries; unit diagonal.
+        let d = bm.block(bm.block_id(k, k).expect("diagonal block"));
+        for c in (0..d.ncols()).rev() {
+            let (rows, vals) = d.col(c);
+            let start = rows.partition_point(|&r| r <= c);
+            let mut acc = x[base + c];
+            for (&r, &v) in rows[start..].iter().zip(&vals[start..]) {
+                acc -= v * x[base + r];
+            }
+            x[base + c] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factor_sequential;
+    use crate::task::TaskGraph;
+    use pangulu_kernels::select::{KernelSelector, Thresholds};
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::{ensure_diagonal, relative_residual};
+    use pangulu_sparse::CscMatrix;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn factored(a: &CscMatrix, nb: usize) -> BlockMatrix {
+        let f = symbolic_fill(a).unwrap().filled_matrix(a).unwrap();
+        let mut bm = BlockMatrix::from_filled(&f, nb).unwrap();
+        let tg = TaskGraph::build(&bm);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        factor_sequential(&mut bm, &tg, &sel, 0.0);
+        bm
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for seed in 0..3 {
+            let a = ensure_diagonal(&gen::random_sparse(50, 0.12, seed)).unwrap();
+            let bm = factored(&a, 9);
+            let x_true = gen::test_rhs(50, seed + 100);
+            let b = pangulu_sparse::ops::spmv(&a, &x_true).unwrap();
+            let mut x = b.clone();
+            forward_substitute(&bm, &mut x);
+            backward_substitute(&bm, &mut x);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "seed {seed}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small_on_laplacian() {
+        let a = gen::laplacian_2d(12, 12);
+        let bm = factored(&a, 16);
+        let b = gen::test_rhs(a.nrows(), 7);
+        let mut x = b.clone();
+        forward_substitute(&bm, &mut x);
+        backward_substitute(&bm, &mut x);
+        let r = relative_residual(&a, &x, &b).unwrap();
+        assert!(r < 1e-12, "residual {r}");
+    }
+
+    #[test]
+    fn transpose_solve_recovers_known_solution() {
+        for seed in 0..3 {
+            let a = ensure_diagonal(&gen::random_sparse(45, 0.12, seed)).unwrap();
+            let bm = factored(&a, 8);
+            let x_true = gen::test_rhs(45, seed + 50);
+            // b = Aᵀ x ⇔ b = (xᵀ A)ᵀ, i.e. spmv with the transpose.
+            let b = pangulu_sparse::ops::spmv(&a.transpose(), &x_true).unwrap();
+            // Factored M = L U of A (natural order in `factored`), so
+            // Aᵀ = Uᵀ Lᵀ: forward with Uᵀ, backward with Lᵀ.
+            let mut x = b.clone();
+            forward_substitute_transpose(&bm, &mut x);
+            backward_substitute_transpose(&bm, &mut x);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "seed {seed}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = gen::laplacian_2d(6, 6);
+        let bm = factored(&a, 9);
+        let mut x = vec![0.0; a.nrows()];
+        forward_substitute(&bm, &mut x);
+        backward_substitute(&bm, &mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! FLOP accounting for kernel invocations.
+//!
+//! The paper's static load-balancing scheme (§4.2) weighs every task by
+//! the FLOPs of its kernel, and the decision trees of Figure 8 key on the
+//! SSSSM FLOP count; the discrete-event scalability simulator also charges
+//! tasks by these numbers. All counts are derived from patterns only.
+
+use pangulu_sparse::CscMatrix;
+
+/// FLOPs of a GETRF on a diagonal block: for each column `j`, two flops
+/// per (upper entry `k`, strict-lower entry of column `k`) pair, plus one
+/// division per strict-lower entry of `j`.
+pub fn getrf_flops(block: &CscMatrix) -> f64 {
+    let n = block.ncols();
+    // Strict-lower counts per column.
+    let lcount: Vec<usize> = (0..n)
+        .map(|k| {
+            let (rows, _) = block.col(k);
+            rows.len() - rows.partition_point(|&i| i <= k)
+        })
+        .collect();
+    let mut flops = 0.0f64;
+    for j in 0..n {
+        let (rows, _) = block.col(j);
+        for &k in rows {
+            if k >= j {
+                break;
+            }
+            flops += 2.0 * lcount[k] as f64;
+        }
+        flops += lcount[j] as f64;
+    }
+    flops
+}
+
+/// FLOPs of a GESSM `L X = B`: two flops per (entry `(k, c)` of `B`,
+/// strict-lower entry of `L(:, k)`) pair.
+pub fn gessm_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
+    let n = diag.ncols();
+    let lcount: Vec<usize> = (0..n)
+        .map(|k| {
+            let (rows, _) = diag.col(k);
+            rows.len() - rows.partition_point(|&i| i <= k)
+        })
+        .collect();
+    let mut flops = 0.0f64;
+    for c in 0..b.ncols() {
+        let (rows, _) = b.col(c);
+        for &k in rows {
+            flops += 2.0 * lcount[k] as f64;
+        }
+    }
+    flops
+}
+
+/// FLOPs of a TSTRF `X U = B`: two flops per (entry `(r, k)` of `B`,
+/// strict-upper entry of row `k` of `U`) pair, plus one division per entry
+/// of `B`.
+pub fn tstrf_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
+    let n = diag.ncols();
+    // Strict-upper counts per *row* of the diagonal block.
+    let mut ucount = vec![0usize; n];
+    for (i, j, _) in diag.iter() {
+        if i < j {
+            ucount[i] += 1;
+        }
+    }
+    let mut flops = b.nnz() as f64; // divisions
+    for c in 0..b.ncols() {
+        let (_, vals) = b.col(c);
+        let _ = vals;
+        flops += 2.0 * ucount[c] as f64 * b.col_nnz(c) as f64;
+    }
+    flops
+}
+
+/// FLOPs of an SSSSM `C ← C − A·B`: two flops per (entry `(k, j)` of `B`,
+/// entry of `A(:, k)`) pair.
+pub fn ssssm_flops(a: &CscMatrix, b: &CscMatrix) -> f64 {
+    let mut flops = 0.0f64;
+    for j in 0..b.ncols() {
+        let (rows, _) = b.col(j);
+        for &k in rows {
+            flops += 2.0 * a.col_nnz(k) as f64;
+        }
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangulu_sparse::DenseMatrix;
+
+    fn dense_block(n: usize) -> CscMatrix {
+        let mut d = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                d[(i, j)] = 1.0;
+            }
+        }
+        let coo = {
+            let mut c = pangulu_sparse::CooMatrix::new(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    c.push(i, j, 1.0).unwrap();
+                }
+            }
+            c
+        };
+        coo.to_csc()
+    }
+
+    #[test]
+    fn getrf_dense_matches_closed_form() {
+        // Dense n x n LU: sum_j [ (n-1-j) + sum_{k<j} 2 (n-1-k) ].
+        let n = 6;
+        let b = dense_block(n);
+        let expect: f64 = (0..n)
+            .map(|j| {
+                (n - 1 - j) as f64
+                    + (0..j).map(|k| 2.0 * (n - 1 - k) as f64).sum::<f64>()
+            })
+            .sum();
+        assert_eq!(getrf_flops(&b), expect);
+    }
+
+    #[test]
+    fn gessm_dense_matches_closed_form() {
+        // Dense: per column of B, sum_k 2 (n-1-k) = n(n-1).
+        let n = 5;
+        let diag = dense_block(n);
+        let b = dense_block(n);
+        assert_eq!(gessm_flops(&diag, &b), (n * n * (n - 1)) as f64);
+    }
+
+    #[test]
+    fn tstrf_dense_matches_closed_form() {
+        // Dense: divisions n*n plus per column c of B: 2 * c * n... using
+        // ucount[r] = n-1-r summed against column counts.
+        let n = 5;
+        let diag = dense_block(n);
+        let b = dense_block(n);
+        let expect = (n * n) as f64
+            + (0..n).map(|c| 2.0 * (n - 1 - c) as f64 * n as f64).sum::<f64>();
+        assert_eq!(tstrf_flops(&diag, &b), expect);
+    }
+
+    #[test]
+    fn ssssm_dense_is_2n3() {
+        let n = 4;
+        let a = dense_block(n);
+        let b = dense_block(n);
+        assert_eq!(ssssm_flops(&a, &b), 2.0 * (n * n * n) as f64);
+    }
+
+    #[test]
+    fn empty_blocks_cost_nothing() {
+        let e = CscMatrix::zeros(4, 4);
+        assert_eq!(getrf_flops(&e), 0.0);
+        assert_eq!(ssssm_flops(&e, &e), 0.0);
+        assert_eq!(gessm_flops(&e, &e), 0.0);
+        assert_eq!(tstrf_flops(&e, &e), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The block-wise sparse BLAS kernels of PanguLU (paper Table 1).
+//!
+//! PanguLU's numeric factorisation runs four operations on sparse
+//! sub-matrix blocks (Fig. 2):
+//!
+//! * **GETRF** — LU-factorise a diagonal block in place (packed `L\U`,
+//!   unit lower diagonal implied);
+//! * **GESSM** — lower triangular solve `L X = B` updating a block right
+//!   of the diagonal;
+//! * **TSTRF** — upper triangular solve `X U = B` updating a block below
+//!   the diagonal;
+//! * **SSSSM** — sparse-sparse Schur complement `C ← C − A·B`.
+//!
+//! Each comes in several variants differing in *addressing method*
+//! (`Direct` dense scatter/gather, `Bin-search` into the sparse pattern,
+//! `Merge` two-pointer walks) and *parallelisation* (sequential CPU,
+//! data-parallel "warp-level column" teams, lock-free "un-sync SFLU"
+//! claim-in-order columns) — 17 kernels in total, mirroring Table 1. The
+//! paper's CUDA/ROCm kernels are re-expressed as CPU implementations with
+//! the same algorithmic structure (see `DESIGN.md`, substitution table).
+//!
+//! **Pattern contract.** Every kernel writes only into the block's stored
+//! pattern. The symbolic phase guarantees the global `L+U` pattern is
+//! transitively closed under the elimination rule, so every update target
+//! structurally exists; kernels `debug_assert` this instead of allocating.
+//!
+//! [`select`] implements the decision trees of Figure 8 that pick a
+//! variant per block from `nnz` / FLOP features.
+
+pub mod flops;
+pub mod getrf;
+pub mod reference;
+pub mod scratch;
+pub mod select;
+pub mod ssssm;
+pub mod trsm;
+
+pub use scratch::KernelScratch;
+pub use select::{KernelSelector, Thresholds};
+
+/// The four kernel classes of the numeric factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Diagonal block factorisation.
+    Getrf,
+    /// Lower triangular solve (updates U panel blocks).
+    Gessm,
+    /// Upper triangular solve (updates L panel blocks).
+    Tstrf,
+    /// Schur complement update.
+    Ssssm,
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KernelClass::Getrf => "GETRF",
+            KernelClass::Gessm => "GESSM",
+            KernelClass::Tstrf => "TSTRF",
+            KernelClass::Ssssm => "SSSSM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// GETRF variants (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GetrfVariant {
+    /// `C_V1`: Direct addressing, row-ordered sequential, dense mapping.
+    #[default]
+    CV1,
+    /// `G_V1`: Bin-search addressing, un-sync SFLU claim-in-order columns.
+    GV1,
+    /// `G_V2`: Direct addressing, un-sync SFLU, per-column dense mapping.
+    GV2,
+}
+
+/// GESSM / TSTRF variants (Table 1 lists the same five for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrsmVariant {
+    /// `C_V1`: Merge addressing, sequential column order.
+    #[default]
+    CV1,
+    /// `C_V2`: Direct addressing, sequential column order, dense mapping.
+    CV2,
+    /// `G_V1`: Bin-search addressing, warp-level column teams.
+    GV1,
+    /// `G_V2`: Bin-search addressing, un-sync row-oriented (dot-product
+    /// formulation over the factor's rows).
+    GV2,
+    /// `G_V3`: Direct addressing, warp-level column teams, dense mapping.
+    GV3,
+}
+
+/// SSSSM variants (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SsssmVariant {
+    /// `C_V1`: Direct addressing, approximately equal-load column blocks,
+    /// result mapped dense.
+    #[default]
+    CV1,
+    /// `C_V2`: Bin-search addressing, adaptive split-bin per column.
+    CV2,
+    /// `G_V1`: Bin-search addressing, adaptive multi-level parallelism.
+    GV1,
+    /// `G_V2`: Direct addressing, warp-level column teams.
+    GV2,
+}
+
+/// All 17 kernels as `(class, label)` pairs, for harness enumeration.
+pub const ALL_KERNELS: [(KernelClass, &str); 17] = [
+    (KernelClass::Getrf, "C_V1"),
+    (KernelClass::Getrf, "G_V1"),
+    (KernelClass::Getrf, "G_V2"),
+    (KernelClass::Gessm, "C_V1"),
+    (KernelClass::Gessm, "C_V2"),
+    (KernelClass::Gessm, "G_V1"),
+    (KernelClass::Gessm, "G_V2"),
+    (KernelClass::Gessm, "G_V3"),
+    (KernelClass::Tstrf, "C_V1"),
+    (KernelClass::Tstrf, "C_V2"),
+    (KernelClass::Tstrf, "G_V1"),
+    (KernelClass::Tstrf, "G_V2"),
+    (KernelClass::Tstrf, "G_V3"),
+    (KernelClass::Ssssm, "C_V1"),
+    (KernelClass::Ssssm, "C_V2"),
+    (KernelClass::Ssssm, "G_V1"),
+    (KernelClass::Ssssm, "G_V2"),
+];

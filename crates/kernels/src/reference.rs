@@ -1,0 +1,133 @@
+//! Dense reference implementations of the four kernel classes.
+//!
+//! Every sparse kernel variant is tested against these; they are also the
+//! computational core of the supernodal baseline's panels.
+
+use pangulu_sparse::DenseMatrix;
+
+/// Dense unpivoted LU, packed `L\U`. Panics on a zero pivot (reference
+/// only runs on well-conditioned test blocks).
+pub fn ref_getrf(a: &DenseMatrix) -> DenseMatrix {
+    let mut f = a.clone();
+    f.lu_in_place().expect("reference GETRF hit a zero pivot");
+    f
+}
+
+/// Dense GESSM: solves `L X = B` with `L` the unit-lower part of the
+/// packed factor `lu`; returns `X`.
+pub fn ref_gessm(lu: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(lu.nrows(), b.nrows());
+    let mut x = b.clone();
+    for c in 0..x.ncols() {
+        let n = lu.nrows();
+        for k in 0..n {
+            let xk = x[(k, c)];
+            if xk == 0.0 {
+                continue;
+            }
+            for i in k + 1..n {
+                let l = lu[(i, k)];
+                if l != 0.0 {
+                    x[(i, c)] -= l * xk;
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Dense TSTRF: solves `X U = B` with `U` the upper part of the packed
+/// factor `lu`; returns `X`.
+pub fn ref_tstrf(lu: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(lu.ncols(), b.ncols());
+    let mut x = b.clone();
+    let n = lu.ncols();
+    for j in 0..n {
+        // X(:, j) = (B(:, j) - sum_{k<j} X(:, k) U(k, j)) / U(j, j)
+        for k in 0..j {
+            let ukj = lu[(k, j)];
+            if ukj == 0.0 {
+                continue;
+            }
+            for r in 0..x.nrows() {
+                let xrk = x[(r, k)];
+                if xrk != 0.0 {
+                    x[(r, j)] -= xrk * ukj;
+                }
+            }
+        }
+        let d = lu[(j, j)];
+        assert!(d != 0.0, "reference TSTRF hit a zero diagonal");
+        for r in 0..x.nrows() {
+            x[(r, j)] /= d;
+        }
+    }
+    x
+}
+
+/// Dense SSSSM: `C ← C − A · B`.
+pub fn ref_ssssm(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) {
+    assert_eq!(a.ncols(), b.nrows());
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), b.ncols());
+    for j in 0..b.ncols() {
+        for k in 0..a.ncols() {
+            let bkj = b[(k, j)];
+            if bkj == 0.0 {
+                continue;
+            }
+            for i in 0..a.nrows() {
+                let aik = a[(i, k)];
+                if aik != 0.0 {
+                    c[(i, j)] -= aik * bkj;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lu() -> DenseMatrix {
+        let mut a = DenseMatrix::from_column_major(
+            3,
+            3,
+            vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0],
+        );
+        a.lu_in_place().unwrap();
+        a
+    }
+
+    #[test]
+    fn gessm_inverts_l() {
+        let lu = sample_lu();
+        let (l, _) = lu.split_lu();
+        let b = DenseMatrix::from_column_major(3, 2, vec![1.0, 2.0, 3.0, 0.0, 1.0, -1.0]);
+        let x = ref_gessm(&lu, &b);
+        assert!(l.matmul(&x).max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn tstrf_inverts_u() {
+        let lu = sample_lu();
+        let (_, u) = lu.split_lu();
+        let b = DenseMatrix::from_column_major(2, 3, vec![1.0, 0.5, 2.0, -1.0, 3.0, 4.0]);
+        let x = ref_tstrf(&lu, &b);
+        assert!(x.matmul(&u).max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn ssssm_is_gemm_subtract() {
+        let a = DenseMatrix::from_column_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_column_major(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut c = DenseMatrix::zeros(2, 2);
+        ref_ssssm(&a, &b, &mut c);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(c[(i, j)], -a[(i, j)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared kernel machinery: reusable scratch buffers and safe parallel
+//! access to disjoint CSC columns.
+
+/// Reusable dense scratch for the `Direct` (dense-mapping) kernels.
+///
+/// Allocated once per worker and resized on demand, so the hot kernel
+/// loops never allocate (perf-book rule: no allocation in inner loops).
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Dense accumulation buffer, one slot per block row.
+    pub dense: Vec<f64>,
+    /// Generic index stack (DFS, merge cursors).
+    pub stack: Vec<usize>,
+}
+
+impl KernelScratch {
+    /// Creates scratch sized for blocks of dimension `nb`.
+    pub fn with_capacity(nb: usize) -> Self {
+        KernelScratch { dense: vec![0.0; nb], stack: Vec::with_capacity(nb) }
+    }
+
+    /// Ensures the dense buffer covers `n` rows (zero-filled).
+    #[inline]
+    pub fn ensure(&mut self, n: usize) {
+        if self.dense.len() < n {
+            self.dense.resize(n, 0.0);
+        }
+    }
+}
+
+/// Binary search for `row` within a sorted block-column row list,
+/// returning the offset within the column. The pattern-closure contract
+/// means lookups from kernel updates must succeed; callers assert.
+#[inline]
+pub(crate) fn find_in_col(rows: &[usize], row: usize) -> Option<usize> {
+    rows.binary_search(&row).ok()
+}
+
+/// If the sorted row list is one contiguous run, returns its start row.
+/// Dense-mapping kernels use this to replace per-element index loads with
+/// a straight (vectorisable) slice walk — the payoff of "Direct"
+/// addressing on dense-ish blocks.
+#[inline]
+pub(crate) fn contiguous_start(rows: &[usize]) -> Option<usize> {
+    match (rows.first(), rows.last()) {
+        (Some(&first), Some(&last)) if last - first + 1 == rows.len() => Some(first),
+        _ => None,
+    }
+}
+
+/// Dense axpy `dense[rows] -= coef * vals`, taking the contiguous fast
+/// path when the row list is a single run.
+#[inline]
+pub(crate) fn scatter_axpy(dense: &mut [f64], rows: &[usize], vals: &[f64], coef: f64) {
+    if let Some(start) = contiguous_start(rows) {
+        for (d, &v) in dense[start..start + vals.len()].iter_mut().zip(vals) {
+            *d -= v * coef;
+        }
+    } else {
+        for (&r, &v) in rows.iter().zip(vals) {
+            dense[r] -= v * coef;
+        }
+    }
+}
+
+/// Sparse-into-sparse axpy `target[src_rows] -= coef * src_vals` on the
+/// both-contiguous fast path: when source and target columns are single
+/// runs, target positions are plain offsets and the update is one
+/// vectorisable slice loop. Returns `false` (untouched) otherwise.
+#[inline]
+pub(crate) fn try_direct_axpy(
+    tgt_rows: &[usize],
+    tgt_vals: &mut [f64],
+    src_rows: &[usize],
+    src_vals: &[f64],
+    coef: f64,
+) -> bool {
+    let (Some(t0), Some(s0)) = (contiguous_start(tgt_rows), contiguous_start(src_rows)) else {
+        return false;
+    };
+    if src_rows.is_empty() {
+        return true;
+    }
+    debug_assert!(s0 >= t0 && s0 + src_rows.len() <= t0 + tgt_rows.len(), "closure violated");
+    let off = s0 - t0;
+    for (d, &v) in tgt_vals[off..off + src_vals.len()].iter_mut().zip(src_vals) {
+        *d -= v * coef;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_resizes() {
+        let mut s = KernelScratch::with_capacity(4);
+        s.ensure(10);
+        assert!(s.dense.len() >= 10);
+        assert!(s.dense.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn find_in_col_hits_and_misses() {
+        let rows = [1usize, 4, 9];
+        assert_eq!(find_in_col(&rows, 4), Some(1));
+        assert_eq!(find_in_col(&rows, 5), None);
+    }
+}

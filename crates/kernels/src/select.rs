@@ -1,0 +1,270 @@
+//! Decision-tree kernel selection (paper §4.3, Figure 8).
+//!
+//! PanguLU picks a kernel variant per block from cheap structural
+//! features: `nnz` of the operand for the panel kernels, the FLOP count
+//! for SSSSM, gated by the global matrix size (`nnz(A) < 5e6` in the
+//! paper). The trees here keep the paper's exact structure; the cut
+//! points are [`Thresholds`] fields so the calibration harness
+//! (`fig08_calibrate`) can re-fit them for this machine — the shipped
+//! defaults come from such a calibration run.
+
+use crate::{GetrfVariant, SsssmVariant, TrsmVariant};
+
+/// Tunable cut points of the four decision trees.
+///
+/// Field names follow the paper's figure: `1E3.8` becomes `10f64.powf(3.8)`
+/// scaled down to container-size blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Global gate: below this total matrix nnz the "small matrix" side of
+    /// the GESSM/TSTRF trees is used (paper: 5e6).
+    pub big_matrix_nnz: f64,
+    /// GETRF: below this block nnz use `C_V1` (paper: 1E3.8).
+    pub getrf_cpu: f64,
+    /// GETRF: below this block nnz use `G_V1`, else `G_V2` (paper: 1E4).
+    pub getrf_gv1: f64,
+    /// GESSM small-matrix side: below → `C_V1` (paper: 1E3.9).
+    pub gessm_cv1: f64,
+    /// GESSM small-matrix side: below → `C_V2`, else `G_V1` (paper: 1E4.1).
+    pub gessm_cv2: f64,
+    /// GESSM big-matrix side: below → `G_V2`, else `G_V3` (paper: 1E4.3).
+    pub gessm_gv2: f64,
+    /// TSTRF small-matrix side: below → `C_V1` (paper: 1E3.8).
+    pub tstrf_cv1: f64,
+    /// TSTRF small-matrix side: below → `C_V2`, else `G_V1` (paper: 1E4).
+    pub tstrf_cv2: f64,
+    /// TSTRF big-matrix side: below → `G_V2`, else `G_V3` (paper: 1E4.3).
+    pub tstrf_gv2: f64,
+    /// SSSSM: below this FLOP count → CPU side (paper: 1E7).
+    pub ssssm_cpu: f64,
+    /// SSSSM CPU side: below → `C_V1`, else `C_V2` (paper: 1E4.8).
+    pub ssssm_cv1: f64,
+    /// SSSSM GPU side: below → `G_V1`, else `G_V2` (paper: 1E9.6).
+    pub ssssm_gv1: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // Calibrated by `fig08_calibrate` on the reference single-core
+        // container. Two honest findings of that run: (1) the team ("G")
+        // variants never win without real cores, so their cut points sit
+        // at infinity — re-calibrate on a multi-core host; (2) the
+        // addressing-method crossovers (the paper's real decision axis)
+        // land at: GESSM merge → dense around 4e3 nnz, TSTRF and SSSSM
+        // prefer their V2 addressing from small sizes up.
+        Thresholds {
+            big_matrix_nnz: 5e6,
+            getrf_cpu: f64::INFINITY,
+            getrf_gv1: f64::INFINITY,
+            gessm_cv1: 1.3e2,
+            gessm_cv2: f64::INFINITY,
+            gessm_gv2: f64::INFINITY,
+            tstrf_cv1: 3.2e1,
+            tstrf_cv2: f64::INFINITY,
+            tstrf_gv2: f64::INFINITY,
+            ssssm_cpu: f64::INFINITY,
+            // Total-time wise, the direct kernel wins from small sizes up
+            // on this host (the scatter overhead is repaid by the
+            // contiguous-run fast path), so C_V1 handles everything.
+            ssssm_cv1: f64::INFINITY,
+            ssssm_gv1: f64::INFINITY,
+        }
+    }
+}
+
+impl Thresholds {
+    /// The paper's published cut points (Figure 8), for GPU-class hosts
+    /// and for tests exercising the full tree shape.
+    pub fn paper() -> Self {
+        Thresholds {
+            big_matrix_nnz: 5e6,
+            getrf_cpu: 10f64.powf(3.8),
+            getrf_gv1: 1e4,
+            gessm_cv1: 10f64.powf(3.9),
+            gessm_cv2: 10f64.powf(4.1),
+            gessm_gv2: 10f64.powf(4.3),
+            tstrf_cv1: 10f64.powf(3.8),
+            tstrf_cv2: 1e4,
+            tstrf_gv2: 10f64.powf(4.3),
+            ssssm_cpu: 1e7,
+            ssssm_cv1: 10f64.powf(4.8),
+            ssssm_gv1: 10f64.powf(9.6),
+        }
+    }
+}
+
+/// Selects kernel variants per block; one instance per factorisation,
+/// constructed with the global matrix nnz that gates the trees.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSelector {
+    thresholds: Thresholds,
+    global_nnz: f64,
+    /// When `false`, selection is bypassed and the baseline (first CPU)
+    /// variant is always returned — the "Baseline" bars of Figure 14.
+    adaptive: bool,
+}
+
+impl KernelSelector {
+    /// Creates a selector for a matrix with `global_nnz` stored entries.
+    pub fn new(global_nnz: usize, thresholds: Thresholds) -> Self {
+        KernelSelector { thresholds, global_nnz: global_nnz as f64, adaptive: true }
+    }
+
+    /// A selector that always answers with the fixed pre-selection
+    /// kernels — the bin-search family PanguLU inherited from the SFLU
+    /// line of work — for the Figure 14 ablation's "Baseline" bars.
+    pub fn baseline(global_nnz: usize) -> Self {
+        KernelSelector {
+            thresholds: Thresholds::default(),
+            global_nnz: global_nnz as f64,
+            adaptive: false,
+        }
+    }
+
+    /// Whether adaptive selection is on.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Figure 8(a): GETRF from the diagonal block nnz.
+    pub fn getrf(&self, nnz_block: usize) -> GetrfVariant {
+        if !self.adaptive {
+            return GetrfVariant::GV1;
+        }
+        let t = &self.thresholds;
+        let nnz = nnz_block as f64;
+        if nnz < t.getrf_cpu {
+            GetrfVariant::CV1
+        } else if nnz < t.getrf_gv1 {
+            GetrfVariant::GV1
+        } else {
+            GetrfVariant::GV2
+        }
+    }
+
+    /// Figure 8(b): GESSM from the operand block nnz.
+    pub fn gessm(&self, nnz_b: usize) -> TrsmVariant {
+        if !self.adaptive {
+            return TrsmVariant::GV1;
+        }
+        let t = &self.thresholds;
+        let nnz = nnz_b as f64;
+        if self.global_nnz < t.big_matrix_nnz {
+            if nnz < t.gessm_cv1 {
+                TrsmVariant::CV1
+            } else if nnz < t.gessm_cv2 {
+                TrsmVariant::CV2
+            } else {
+                TrsmVariant::GV1
+            }
+        } else if nnz < t.gessm_gv2 {
+            TrsmVariant::GV2
+        } else {
+            TrsmVariant::GV3
+        }
+    }
+
+    /// Figure 8(c): TSTRF from the operand block nnz.
+    pub fn tstrf(&self, nnz_b: usize) -> TrsmVariant {
+        if !self.adaptive {
+            return TrsmVariant::GV1;
+        }
+        let t = &self.thresholds;
+        let nnz = nnz_b as f64;
+        if self.global_nnz < t.big_matrix_nnz {
+            if nnz < t.tstrf_cv1 {
+                TrsmVariant::CV1
+            } else if nnz < t.tstrf_cv2 {
+                TrsmVariant::CV2
+            } else {
+                TrsmVariant::GV1
+            }
+        } else if nnz < t.tstrf_gv2 {
+            TrsmVariant::GV2
+        } else {
+            TrsmVariant::GV3
+        }
+    }
+
+    /// Figure 8(d): SSSSM from the update's FLOP count.
+    pub fn ssssm(&self, flops: f64) -> SsssmVariant {
+        if !self.adaptive {
+            return SsssmVariant::GV1;
+        }
+        let t = &self.thresholds;
+        if flops < t.ssssm_cpu {
+            if flops < t.ssssm_cv1 {
+                SsssmVariant::CV1
+            } else {
+                SsssmVariant::CV2
+            }
+        } else if flops < t.ssssm_gv1 {
+            SsssmVariant::GV1
+        } else {
+            SsssmVariant::GV2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getrf_tree_is_monotone() {
+        let s = KernelSelector::new(1_000, Thresholds::paper());
+        assert_eq!(s.getrf(10), GetrfVariant::CV1);
+        assert_eq!(s.getrf(8_000), GetrfVariant::GV1);
+        assert_eq!(s.getrf(50_000), GetrfVariant::GV2);
+    }
+
+    #[test]
+    fn gessm_tree_gates_on_matrix_size() {
+        let small = KernelSelector::new(1_000, Thresholds::paper());
+        let big = KernelSelector::new(10_000_000, Thresholds::paper());
+        assert_eq!(small.gessm(100), TrsmVariant::CV1);
+        assert_eq!(small.gessm(10_000), TrsmVariant::CV2);
+        assert_eq!(small.gessm(50_000), TrsmVariant::GV1);
+        assert_eq!(big.gessm(100), TrsmVariant::GV2);
+        assert_eq!(big.gessm(50_000), TrsmVariant::GV3);
+    }
+
+    #[test]
+    fn tstrf_tree_mirrors_gessm_shape() {
+        let s = KernelSelector::new(1_000, Thresholds::paper());
+        assert_eq!(s.tstrf(100), TrsmVariant::CV1);
+        assert_eq!(s.tstrf(8_000), TrsmVariant::CV2);
+        assert_eq!(s.tstrf(30_000), TrsmVariant::GV1);
+    }
+
+    #[test]
+    fn ssssm_tree_uses_flops() {
+        let s = KernelSelector::new(1_000, Thresholds::paper());
+        assert_eq!(s.ssssm(10.0), SsssmVariant::CV1);
+        assert_eq!(s.ssssm(1e5), SsssmVariant::CV2);
+        assert_eq!(s.ssssm(1e8), SsssmVariant::GV1);
+        assert_eq!(s.ssssm(1e10), SsssmVariant::GV2);
+    }
+
+    #[test]
+    fn calibrated_defaults_stay_on_cpu_variants() {
+        // The shipped calibration (single-core host): team kernels are
+        // never selected; the addressing method still adapts.
+        let s = KernelSelector::new(1_000, Thresholds::default());
+        assert_eq!(s.getrf(1_000_000), GetrfVariant::CV1);
+        assert_eq!(s.gessm(100), TrsmVariant::CV1);
+        assert_eq!(s.gessm(100_000), TrsmVariant::CV2);
+        assert_eq!(s.tstrf(100_000), TrsmVariant::CV2);
+        assert_eq!(s.ssssm(1e9), SsssmVariant::CV1);
+    }
+
+    #[test]
+    fn baseline_always_answers_binsearch_family() {
+        let s = KernelSelector::baseline(10_000_000);
+        assert!(!s.is_adaptive());
+        assert_eq!(s.getrf(1_000_000), GetrfVariant::GV1);
+        assert_eq!(s.gessm(1_000_000), TrsmVariant::GV1);
+        assert_eq!(s.tstrf(1_000_000), TrsmVariant::GV1);
+        assert_eq!(s.ssssm(1e12), SsssmVariant::GV1);
+    }
+}

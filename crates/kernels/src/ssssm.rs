@@ -1,0 +1,317 @@
+//! SSSSM — the Schur-complement update `C ← C − A·B` on sparse blocks.
+//!
+//! `A` is an L-panel block `(i, k)`, `B` a U-panel block `(k, j)`, and `C`
+//! the target block `(i, j)`. The symbolic closure guarantees every
+//! product entry lands in `C`'s stored pattern, which is what lets
+//! PanguLU run the Schur complement **in place on the original blocks** —
+//! no gather/scatter of a dense workspace as in SuperLU_DIST (paper §5.4).
+//!
+//! Four variants (Table 1):
+//! * `C_V1` — direct addressing, sequential, dense mapping of the result
+//!   column, with columns visited in approximately equal-FLOP chunks;
+//! * `C_V2` — bin-search addressing with an adaptive per-column switch to
+//!   merge walks when the column is update-heavy ("split-bin");
+//! * `G_V1` — bin-search addressing, column teams with the same adaptive
+//!   per-column strategy ("adaptive multi-level");
+//! * `G_V2` — direct addressing, column teams with per-worker dense
+//!   buffers ("warp-level column").
+
+use pangulu_sparse::CscMatrix;
+
+use crate::scratch::{find_in_col, scatter_axpy, try_direct_axpy, KernelScratch};
+use crate::SsssmVariant;
+
+/// Per-column updates above this count switch `C_V2`/`G_V1` from
+/// bin-search to merge walks.
+const SPLIT_BIN_THRESHOLD: usize = 32;
+
+/// Computes `C ← C − A·B` in place on `C`.
+pub fn ssssm(
+    a: &CscMatrix,
+    b: &CscMatrix,
+    c: &mut CscMatrix,
+    variant: SsssmVariant,
+    scratch: &mut KernelScratch,
+) {
+    debug_assert_eq!(a.ncols(), b.nrows(), "SSSSM inner dimension mismatch");
+    debug_assert_eq!(c.nrows(), a.nrows(), "SSSSM row mismatch");
+    debug_assert_eq!(c.ncols(), b.ncols(), "SSSSM col mismatch");
+    match variant {
+        SsssmVariant::CV1 => {
+            scratch.ensure(c.nrows());
+            for j in 0..c.ncols() {
+                let (brows, bvals) = b.col(j);
+                let (crows, cvals) = c.col_mut(j);
+                update_col_dense(a, brows, bvals, crows, cvals, &mut scratch.dense);
+            }
+        }
+        SsssmVariant::CV2 => {
+            for j in 0..c.ncols() {
+                let (brows, bvals) = b.col(j);
+                let (crows, cvals) = c.col_mut(j);
+                update_col_adaptive(a, brows, bvals, crows, cvals);
+            }
+        }
+        SsssmVariant::GV1 => {
+            parallel_cols(b, c, 0, |brows, bvals, crows, cvals, _| {
+                update_col_adaptive(a, brows, bvals, crows, cvals)
+            });
+        }
+        SsssmVariant::GV2 => {
+            let nrows = c.nrows();
+            parallel_cols(b, c, nrows, |brows, bvals, crows, cvals, dense| {
+                update_col_dense(a, brows, bvals, crows, cvals, dense)
+            });
+        }
+    }
+}
+
+/// Direct addressing: scatter the C column into a dense buffer, apply all
+/// sparse axpys, gather back.
+fn update_col_dense(
+    a: &CscMatrix,
+    brows: &[usize],
+    bvals: &[f64],
+    crows: &[usize],
+    cvals: &mut [f64],
+    dense: &mut [f64],
+) {
+    if brows.is_empty() || crows.is_empty() {
+        return;
+    }
+    for (off, &i) in crows.iter().enumerate() {
+        dense[i] = cvals[off];
+    }
+    for (&k, &bkj) in brows.iter().zip(bvals) {
+        if bkj == 0.0 {
+            continue;
+        }
+        let (arows, avals) = a.col(k);
+        scatter_axpy(dense, arows, avals, bkj);
+    }
+    for (off, &i) in crows.iter().enumerate() {
+        cvals[off] = dense[i];
+        dense[i] = 0.0;
+    }
+}
+
+/// Bin-search addressing with the adaptive split-bin switch: columns with
+/// many updates use merge walks (linear in the two patterns), light
+/// columns use per-entry binary search.
+fn update_col_adaptive(
+    a: &CscMatrix,
+    brows: &[usize],
+    bvals: &[f64],
+    crows: &[usize],
+    cvals: &mut [f64],
+) {
+    if brows.is_empty() || crows.is_empty() {
+        return;
+    }
+    let updates: usize = brows.iter().map(|&k| a.col_nnz(k)).sum();
+    if updates > SPLIT_BIN_THRESHOLD * brows.len() {
+        update_col_merge(a, brows, bvals, crows, cvals);
+    } else {
+        update_col_binsearch(a, brows, bvals, crows, cvals);
+    }
+}
+
+/// Pure bin-search addressing.
+fn update_col_binsearch(
+    a: &CscMatrix,
+    brows: &[usize],
+    bvals: &[f64],
+    crows: &[usize],
+    cvals: &mut [f64],
+) {
+    for (&k, &bkj) in brows.iter().zip(bvals) {
+        if bkj == 0.0 {
+            continue;
+        }
+        let (arows, avals) = a.col(k);
+        if try_direct_axpy(crows, cvals, arows, avals, bkj) {
+            continue;
+        }
+        for (&i, &aik) in arows.iter().zip(avals) {
+            if aik == 0.0 {
+                continue;
+            }
+            let pos = find_in_col(crows, i)
+                .expect("SSSSM update target missing: pattern not closed");
+            cvals[pos] -= aik * bkj;
+        }
+    }
+}
+
+/// Merge addressing: walk the sorted A column and C column together.
+fn update_col_merge(
+    a: &CscMatrix,
+    brows: &[usize],
+    bvals: &[f64],
+    crows: &[usize],
+    cvals: &mut [f64],
+) {
+    for (&k, &bkj) in brows.iter().zip(bvals) {
+        if bkj == 0.0 {
+            continue;
+        }
+        let (arows, avals) = a.col(k);
+        if try_direct_axpy(crows, cvals, arows, avals, bkj) {
+            continue;
+        }
+        let mut cur = 0usize;
+        for (&i, &aik) in arows.iter().zip(avals) {
+            while cur < crows.len() && crows[cur] < i {
+                cur += 1;
+            }
+            debug_assert!(
+                cur < crows.len() && crows[cur] == i,
+                "SSSSM update target missing: pattern not closed"
+            );
+            cvals[cur] -= aik * bkj;
+            cur += 1;
+        }
+    }
+}
+
+/// Column-team driver: claims columns of `c` (paired with the same column
+/// of `b`) from an atomic counter across a worker team, giving each worker
+/// a private dense buffer. Value ranges per column are disjoint, so the
+/// raw-pointer writes are race-free.
+fn parallel_cols<F>(b: &CscMatrix, c: &mut CscMatrix, dense_len: usize, f: F)
+where
+    F: Fn(&[usize], &[f64], &[usize], &mut [f64], &mut [f64]) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let ncols = c.ncols();
+    let workers = crate::getrf::team_size().min(ncols.max(1));
+    let (col_ptr, row_idx, values) = c.parts_mut();
+    if workers <= 1 {
+        let mut dense = vec![0.0f64; dense_len];
+        for j in 0..ncols {
+            let (brows, bvals) = b.col(j);
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            f(brows, bvals, &row_idx[lo..hi], &mut values[lo..hi], &mut dense);
+        }
+        return;
+    }
+    struct SharedVals(*mut f64);
+    unsafe impl Send for SharedVals {}
+    unsafe impl Sync for SharedVals {}
+    impl SharedVals {
+        fn get(&self) -> *mut f64 {
+            self.0
+        }
+    }
+    let vptr = SharedVals(values.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut dense = vec![0.0f64; dense_len];
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= ncols {
+                        break;
+                    }
+                    let (brows, bvals) = b.col(j);
+                    let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+                    // Safety: column j is claimed by exactly one worker and
+                    // columns are disjoint value ranges.
+                    let cvals =
+                        unsafe { std::slice::from_raw_parts_mut(vptr.get().add(lo), hi - lo) };
+                    f(brows, bvals, &row_idx[lo..hi], cvals, &mut dense);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::getrf::getrf;
+    use crate::reference;
+    use crate::trsm::{gessm, tstrf};
+    use crate::{GetrfVariant, TrsmVariant};
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    const VARIANTS: [SsssmVariant; 4] =
+        [SsssmVariant::CV1, SsssmVariant::CV2, SsssmVariant::GV1, SsssmVariant::GV2];
+
+    /// Builds a full 2x2-block scenario: factor (0,0), solve the panels,
+    /// then Schur-update block (1,1).
+    fn setup(seed: u64) -> (CscMatrix, CscMatrix, CscMatrix) {
+        let nb = 16;
+        let a = ensure_diagonal(&gen::random_sparse(2 * nb, 0.2, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap();
+        let filled = f.filled_matrix(&a).unwrap();
+        let mut lu = filled.sub_matrix(0..nb, 0..nb);
+        let mut upper = filled.sub_matrix(0..nb, nb..2 * nb);
+        let mut lower = filled.sub_matrix(nb..2 * nb, 0..nb);
+        let tail = filled.sub_matrix(nb..2 * nb, nb..2 * nb);
+        let mut s = KernelScratch::with_capacity(nb);
+        getrf(&mut lu, GetrfVariant::CV1, &mut s, 0.0);
+        gessm(&lu, &mut upper, TrsmVariant::CV1, &mut s);
+        tstrf(&lu, &mut lower, TrsmVariant::CV1, &mut s);
+        (lower, upper, tail)
+    }
+
+    #[test]
+    fn all_variants_match_dense_reference() {
+        for seed in 0..3 {
+            let (a, b, c0) = setup(seed);
+            let mut expect = c0.to_dense();
+            reference::ref_ssssm(&a.to_dense(), &b.to_dense(), &mut expect);
+            for v in VARIANTS {
+                let mut c = c0.clone();
+                let mut s = KernelScratch::with_capacity(c.nrows());
+                ssssm(&a, &b, &mut c, v, &mut s);
+                let diff = c.to_dense().max_abs_diff(&expect);
+                assert!(diff < 1e-10, "SSSSM {v:?} seed {seed}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_b_is_noop() {
+        let (a, b, c0) = setup(4);
+        let zb = b.with_constant_values(0.0);
+        for v in VARIANTS {
+            let mut c = c0.clone();
+            let mut s = KernelScratch::with_capacity(c.nrows());
+            ssssm(&a, &zb, &mut c, v, &mut s);
+            assert_eq!(c.values(), c0.values(), "{v:?} modified C with zero B");
+        }
+    }
+
+    #[test]
+    fn schur_update_completes_factorisation() {
+        // After C -= L10 * U01, factoring C gives the trailing factor of
+        // the full matrix: verify against a dense LU of the whole matrix.
+        let nb = 16;
+        let a = ensure_diagonal(&gen::random_sparse(2 * nb, 0.2, 3)).unwrap();
+        let f = symbolic_fill(&a).unwrap();
+        let filled = f.filled_matrix(&a).unwrap();
+        let dense_lu = reference::ref_getrf(&filled.to_dense());
+
+        let (l10, u01, mut c) = setup(3);
+        let mut s = KernelScratch::with_capacity(nb);
+        ssssm(&l10, &u01, &mut c, SsssmVariant::CV1, &mut s);
+        let mut c_lu = c;
+        getrf(&mut c_lu, GetrfVariant::CV1, &mut s, 0.0);
+        // Compare against the (1,1) window of the dense factor.
+        for i in 0..nb {
+            for j in 0..nb {
+                let want = dense_lu[(nb + i, nb + j)];
+                let got = c_lu.get(i, j);
+                assert!(
+                    (want - got).abs() < 1e-9,
+                    "trailing factor mismatch at ({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+}

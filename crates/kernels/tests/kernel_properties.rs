@@ -1,0 +1,124 @@
+//! Property tests of the kernel family: on random closed-pattern blocks,
+//! every variant of a kernel class must agree with the dense reference
+//! (and hence with every other variant).
+
+use proptest::prelude::*;
+
+use pangulu_kernels::{
+    flops, getrf, reference, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
+};
+use pangulu_sparse::ops::ensure_diagonal;
+use pangulu_sparse::{CooMatrix, CscMatrix};
+use pangulu_symbolic::symbolic_fill;
+
+/// A random diagonally dominant matrix of order `2 * nb`, filled and cut
+/// into the four blocks of a 2x2 block step.
+fn blocks(nb: usize, entries: &[(usize, usize, f64)]) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+    let n = 2 * nb;
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sum = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            coo.push(i, j, v).unwrap();
+            row_sum[i] += v.abs();
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, row_sum[i] + 1.0).unwrap();
+    }
+    let a = ensure_diagonal(&coo.to_csc()).unwrap();
+    let f = symbolic_fill(&a).unwrap();
+    let filled = f.filled_matrix(&a).unwrap();
+    (
+        filled.sub_matrix(0..nb, 0..nb),
+        filled.sub_matrix(0..nb, nb..n),
+        filled.sub_matrix(nb..n, 0..nb),
+        filled.sub_matrix(nb..n, nb..n),
+    )
+}
+
+fn inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..14).prop_flat_map(|nb| {
+        (
+            Just(nb),
+            proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 10..160),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_getrf_variants_match_reference((nb, entries) in inputs()) {
+        let (diag, ..) = blocks(nb, &entries);
+        let expect = reference::ref_getrf(&diag.to_dense());
+        let mut scratch = KernelScratch::with_capacity(nb);
+        for v in [GetrfVariant::CV1, GetrfVariant::GV1, GetrfVariant::GV2] {
+            let mut b = diag.clone();
+            getrf::getrf(&mut b, v, &mut scratch, 0.0);
+            prop_assert!(b.to_dense().max_abs_diff(&expect) < 1e-9, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn all_trsm_variants_match_reference((nb, entries) in inputs()) {
+        let (diag, upper, lower, _) = blocks(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut lu = diag;
+        getrf::getrf(&mut lu, GetrfVariant::CV1, &mut scratch, 0.0);
+        let expect_u = reference::ref_gessm(&lu.to_dense(), &upper.to_dense());
+        let expect_l = reference::ref_tstrf(&lu.to_dense(), &lower.to_dense());
+        for v in [
+            TrsmVariant::CV1,
+            TrsmVariant::CV2,
+            TrsmVariant::GV1,
+            TrsmVariant::GV2,
+            TrsmVariant::GV3,
+        ] {
+            let mut b = upper.clone();
+            trsm::gessm(&lu, &mut b, v, &mut scratch);
+            prop_assert!(b.to_dense().max_abs_diff(&expect_u) < 1e-9, "GESSM {v:?}");
+            let mut b = lower.clone();
+            trsm::tstrf(&lu, &mut b, v, &mut scratch);
+            prop_assert!(b.to_dense().max_abs_diff(&expect_l) < 1e-9, "TSTRF {v:?}");
+        }
+    }
+
+    #[test]
+    fn all_ssssm_variants_match_reference((nb, entries) in inputs()) {
+        let (diag, upper, lower, tail) = blocks(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut lu = diag;
+        getrf::getrf(&mut lu, GetrfVariant::CV1, &mut scratch, 0.0);
+        let mut u_op = upper;
+        trsm::gessm(&lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
+        let mut l_op = lower;
+        trsm::tstrf(&lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
+        let mut expect = tail.to_dense();
+        reference::ref_ssssm(&l_op.to_dense(), &u_op.to_dense(), &mut expect);
+        for v in [SsssmVariant::CV1, SsssmVariant::CV2, SsssmVariant::GV1, SsssmVariant::GV2] {
+            let mut c = tail.clone();
+            ssssm::ssssm(&l_op, &u_op, &mut c, v, &mut scratch);
+            prop_assert!(c.to_dense().max_abs_diff(&expect) < 1e-9, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn flop_counts_are_pattern_functions((nb, entries) in inputs()) {
+        // FLOP accounting depends only on patterns: the same block with
+        // different values reports identical counts.
+        let (diag, upper, lower, _) = blocks(nb, &entries);
+        let diag2 = diag.with_constant_values(7.5);
+        prop_assert_eq!(flops::getrf_flops(&diag), flops::getrf_flops(&diag2));
+        prop_assert_eq!(
+            flops::gessm_flops(&diag, &upper),
+            flops::gessm_flops(&diag2, &upper.with_constant_values(1.0))
+        );
+        prop_assert_eq!(
+            flops::tstrf_flops(&diag, &lower),
+            flops::tstrf_flops(&diag2, &lower.with_constant_values(1.0))
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Forces the team ("GPU") kernel variants to run with real worker
+//! threads — exercising the lock-free claim-in-order scheme, the ready
+//! flags and the raw-pointer column views — and checks every variant
+//! against the dense reference.
+//!
+//! `PANGULU_TEAM` is set for this whole test binary (team size is cached
+//! process-wide), so it lives in its own integration-test target.
+
+use pangulu_kernels::{
+    getrf, reference, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
+};
+use pangulu_sparse::ops::ensure_diagonal;
+use pangulu_sparse::{gen, CscMatrix};
+use pangulu_symbolic::symbolic_fill;
+
+fn force_team() {
+    // Must run before the first team_size() call; OnceLock caches it.
+    std::env::set_var("PANGULU_TEAM", "4");
+}
+
+/// A closed-pattern 2x2-block scenario (same construction as the unit
+/// tests, bigger blocks so the workers have real columns to fight over).
+fn setup(seed: u64) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+    let nb = 40;
+    let a = ensure_diagonal(&gen::random_sparse(2 * nb, 0.15, seed)).unwrap();
+    let f = symbolic_fill(&a).unwrap();
+    let filled = f.filled_matrix(&a).unwrap();
+    let diag = filled.sub_matrix(0..nb, 0..nb);
+    let upper = filled.sub_matrix(0..nb, nb..2 * nb);
+    let lower = filled.sub_matrix(nb..2 * nb, 0..nb);
+    let tail = filled.sub_matrix(nb..2 * nb, nb..2 * nb);
+    (diag, upper, lower, tail)
+}
+
+#[test]
+fn team_variants_match_reference_under_contention() {
+    force_team();
+    for seed in 0..4 {
+        let (diag_raw, upper, lower, tail) = setup(seed);
+        let mut scratch = KernelScratch::with_capacity(40);
+
+        // GETRF team variants (un-sync SFLU with 4 workers).
+        let expect_lu = reference::ref_getrf(&diag_raw.to_dense());
+        let mut lu = CscMatrix::zeros(0, 0);
+        for v in [GetrfVariant::CV1, GetrfVariant::GV1, GetrfVariant::GV2] {
+            let mut blk = diag_raw.clone();
+            getrf::getrf(&mut blk, v, &mut scratch, 0.0);
+            let diff = blk.to_dense().max_abs_diff(&expect_lu);
+            assert!(diff < 1e-9, "GETRF {v:?} seed {seed}: diff {diff}");
+            lu = blk;
+        }
+
+        // GESSM team variants (free column parallelism).
+        let expect_u = reference::ref_gessm(&lu.to_dense(), &upper.to_dense());
+        for v in [TrsmVariant::GV1, TrsmVariant::GV2, TrsmVariant::GV3] {
+            let mut b = upper.clone();
+            trsm::gessm(&lu, &mut b, v, &mut scratch);
+            let diff = b.to_dense().max_abs_diff(&expect_u);
+            assert!(diff < 1e-9, "GESSM {v:?} seed {seed}: diff {diff}");
+        }
+
+        // TSTRF team variants (un-sync dependent columns).
+        let expect_l = reference::ref_tstrf(&lu.to_dense(), &lower.to_dense());
+        for v in [TrsmVariant::GV1, TrsmVariant::GV2, TrsmVariant::GV3] {
+            let mut b = lower.clone();
+            trsm::tstrf(&lu, &mut b, v, &mut scratch);
+            let diff = b.to_dense().max_abs_diff(&expect_l);
+            assert!(diff < 1e-9, "TSTRF {v:?} seed {seed}: diff {diff}");
+        }
+
+        // SSSSM team variants.
+        let mut l_op = lower.clone();
+        trsm::tstrf(&lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
+        let mut u_op = upper.clone();
+        trsm::gessm(&lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
+        let mut expect_c = tail.to_dense();
+        reference::ref_ssssm(&l_op.to_dense(), &u_op.to_dense(), &mut expect_c);
+        for v in [SsssmVariant::GV1, SsssmVariant::GV2] {
+            let mut c = tail.clone();
+            ssssm::ssssm(&l_op, &u_op, &mut c, v, &mut scratch);
+            let diff = c.to_dense().max_abs_diff(&expect_c);
+            assert!(diff < 1e-9, "SSSSM {v:?} seed {seed}: diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn repeated_team_getrf_is_deterministic() {
+    force_team();
+    // The SFLU column order is claim-in-order, so results must be
+    // bit-identical across runs regardless of thread interleaving.
+    let (diag_raw, ..) = setup(9);
+    let mut scratch = KernelScratch::with_capacity(40);
+    let mut first: Option<Vec<f64>> = None;
+    for _ in 0..5 {
+        let mut blk = diag_raw.clone();
+        getrf::getrf(&mut blk, GetrfVariant::GV1, &mut scratch, 0.0);
+        match &first {
+            None => first = Some(blk.values().to_vec()),
+            Some(f) => assert_eq!(f, blk.values(), "SFLU result varied across runs"),
+        }
+    }
+}

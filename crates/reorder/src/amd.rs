@@ -1,0 +1,261 @@
+//! Minimum-degree ordering on the quotient elimination graph.
+//!
+//! A from-scratch implementation of the minimum-degree family that AMD /
+//! METIS' leaf orderings belong to. The quotient-graph representation keeps
+//! eliminated vertices as *elements* (cliques) instead of materialising
+//! fill edges, so memory stays O(nnz):
+//!
+//! * each live variable holds its remaining original neighbours plus the
+//!   list of elements it belongs to;
+//! * eliminating variable `v` creates element `E = adj(v) ∪ (∪ elements of
+//!   v)` minus eliminated vertices; elements of `v` are absorbed into `E`;
+//! * degrees of the variables in `E` are recomputed exactly by a stamped
+//!   set union (exact, not approximate — fine at the problem sizes this
+//!   reproduction targets, and it yields slightly better orderings).
+//!
+//! Input is the *symmetrised* pattern (as in the PanguLU pipeline); the
+//! diagonal is ignored.
+
+use pangulu_sparse::{CscMatrix, Permutation, Result, SparseError};
+
+/// Computes a minimum-degree permutation (`perm[new] = old`) of the given
+/// structurally symmetric pattern.
+pub fn amd_order(sym: &CscMatrix) -> Result<Permutation> {
+    if !sym.is_square() {
+        return Err(SparseError::NotSquare { nrows: sym.nrows(), ncols: sym.ncols() });
+    }
+    let n = sym.ncols();
+    if n == 0 {
+        return Ok(Permutation::identity(0));
+    }
+
+    // Adjacency without the diagonal.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let (rows, _) = sym.col(j);
+        for &i in rows {
+            if i != j {
+                adj[j].push(i);
+            }
+        }
+    }
+
+    // Elements created by eliminations: element id -> live member variables.
+    let mut elements: Vec<Vec<usize>> = Vec::new();
+    // For each variable: the element ids it currently belongs to.
+    let mut var_elems: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut eliminated = vec![false; n];
+    let mut degree: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+
+    // Simple bucketed min-degree queue: buckets[d] holds candidate vertices
+    // of (possibly stale) degree d; staleness is checked on pop.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n.max(1)];
+    for v in 0..n {
+        buckets[degree[v].min(n - 1)].push(v);
+    }
+    let mut cur_bucket = 0usize;
+
+    // Stamp array for set unions.
+    let mut stamp = vec![0u32; n];
+    let mut stamp_gen = 0u32;
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    while order.len() < n {
+        // Pop the minimum-degree live vertex with an up-to-date degree.
+        let v = loop {
+            while cur_bucket < buckets.len() && buckets[cur_bucket].is_empty() {
+                cur_bucket += 1;
+            }
+            assert!(cur_bucket < buckets.len(), "min-degree queue exhausted early");
+            let cand = buckets[cur_bucket].pop().unwrap();
+            if eliminated[cand] {
+                continue;
+            }
+            let d = degree[cand].min(n - 1);
+            if d != cur_bucket {
+                // Stale entry: reinsert at the true bucket.
+                buckets[d].push(cand);
+                cur_bucket = cur_bucket.min(d);
+                continue;
+            }
+            break cand;
+        };
+
+        eliminated[v] = true;
+        order.push(v);
+
+        // Build the new element: live neighbours of v, directly adjacent or
+        // through any of v's elements.
+        stamp_gen += 1;
+        let mut members: Vec<usize> = Vec::new();
+        for &w in &adj[v] {
+            if !eliminated[w] && stamp[w] != stamp_gen {
+                stamp[w] = stamp_gen;
+                members.push(w);
+            }
+        }
+        for &e in &var_elems[v] {
+            for &w in &elements[e] {
+                if !eliminated[w] && stamp[w] != stamp_gen {
+                    stamp[w] = stamp_gen;
+                    members.push(w);
+                }
+            }
+        }
+        let absorbed: Vec<usize> = var_elems[v].clone();
+        let new_elem = elements.len();
+        elements.push(members.clone());
+
+        // Update each member: drop v and absorbed elements, join new_elem,
+        // recompute exact degree.
+        for &w in &members {
+            adj[w].retain(|&x| x != v && !eliminated[x]);
+            var_elems[w].retain(|&e| !absorbed.contains(&e));
+            var_elems[w].push(new_elem);
+
+            // Exact degree: |adj(w) ∪ (∪ elements of w)| \ {w}.
+            stamp_gen += 1;
+            stamp[w] = stamp_gen;
+            let mut d = 0usize;
+            for &x in &adj[w] {
+                if !eliminated[x] && stamp[x] != stamp_gen {
+                    stamp[x] = stamp_gen;
+                    d += 1;
+                }
+            }
+            for &e in &var_elems[w] {
+                for &x in &elements[e] {
+                    if !eliminated[x] && stamp[x] != stamp_gen {
+                        stamp[x] = stamp_gen;
+                        d += 1;
+                    }
+                }
+            }
+            degree[w] = d;
+            let b = d.min(n - 1);
+            buckets[b].push(w);
+            cur_bucket = cur_bucket.min(b);
+        }
+
+        // Absorbed elements will not be referenced again; free their lists.
+        for e in absorbed {
+            elements[e] = Vec::new();
+        }
+        // Compact the new element to live members only (it already is).
+        let _ = new_elem;
+    }
+
+    Permutation::from_vec(order)
+}
+
+/// Counts the fill (number of strictly-lower entries of the Cholesky factor
+/// of the permuted pattern) via brute-force symbolic elimination. Used only
+/// in tests and quality benches — O(n * fill) time.
+pub fn count_fill(sym: &CscMatrix, perm: &Permutation) -> usize {
+    let n = sym.ncols();
+    let inv = perm.inverse();
+    // Build permuted adjacency as sorted sets of "new" indices.
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let (rr, _) = sym.col(j);
+        let nj = inv.old_of(j);
+        for &i in rr {
+            if i != j {
+                rows[nj].push(inv.old_of(i));
+            }
+        }
+    }
+    // Symbolic elimination: struct of column k of L = {i > k reachable}.
+    // Classic quotient-free O(fill) algorithm via parent pointers would be
+    // fine too; brute force keeps this test helper obviously correct.
+    let mut lower: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..n {
+        let mut s: Vec<usize> = rows[k].iter().copied().filter(|&i| i > k).collect();
+        s.sort_unstable();
+        s.dedup();
+        lower[k] = s;
+    }
+    let mut fill = 0usize;
+    for k in 0..n {
+        let col = lower[k].clone();
+        fill += col.len();
+        if let Some((&first, rest)) = col.split_first() {
+            // Merge the rest of column k into column `first`.
+            let mut merged: Vec<usize> =
+                lower[first].iter().copied().chain(rest.iter().copied()).collect();
+            merged.sort_unstable();
+            merged.dedup();
+            lower[first] = merged;
+        }
+    }
+    fill
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::symmetrize;
+
+    #[test]
+    fn produces_valid_permutation() {
+        let a = symmetrize(&gen::random_sparse(80, 0.06, 5)).unwrap();
+        let p = amd_order(&a).unwrap();
+        assert_eq!(p.len(), 80);
+        // from_vec validated bijection already; double-check determinism.
+        let p2 = amd_order(&a).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn star_graph_orders_leaves_first() {
+        // Star: vertex 0 is the hub. MD must eliminate all leaves before
+        // the hub (leaves have degree 1, hub has degree n-1) giving zero
+        // fill.
+        let n = 12;
+        let mut coo = pangulu_sparse::CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+        }
+        for i in 1..n {
+            coo.push(0, i, -1.0).unwrap();
+            coo.push(i, 0, -1.0).unwrap();
+        }
+        let a = coo.to_csc();
+        let p = amd_order(&a).unwrap();
+        // Once only the hub and one leaf remain both have degree 1, so the
+        // hub may legitimately go second-to-last — but never earlier.
+        let hub_pos = p.as_slice().iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= n - 2, "hub eliminated too early, at position {hub_pos}");
+        assert_eq!(count_fill(&a, &p), n - 1, "star with leaves first has no extra fill");
+    }
+
+    #[test]
+    fn reduces_fill_on_grid_vs_natural() {
+        let a = gen::laplacian_2d(14, 14);
+        let natural = Permutation::identity(a.ncols());
+        let p = amd_order(&a).unwrap();
+        let fill_md = count_fill(&a, &p);
+        let fill_nat = count_fill(&a, &natural);
+        assert!(
+            fill_md < fill_nat,
+            "min degree should beat natural order: {fill_md} vs {fill_nat}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(amd_order(&CscMatrix::zeros(0, 0)).unwrap().len(), 0);
+        let one = CscMatrix::identity(1);
+        assert_eq!(amd_order(&one).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn diagonal_matrix_any_order() {
+        let a = CscMatrix::identity(6);
+        let p = amd_order(&a).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(count_fill(&a, &p), 0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Compressed sparse column format — the working format of the solver.
+//!
+//! Invariants (checked by [`CscMatrix::validate`], relied on everywhere):
+//! `col_ptr` is monotone with `col_ptr[0] == 0` and
+//! `col_ptr[ncols] == row_idx.len() == values.len()`; within each column the
+//! row indices are strictly increasing (sorted, no duplicates) and in bounds.
+
+use crate::{CooMatrix, CsrMatrix, DenseMatrix, Result, SparseError};
+
+/// A sparse matrix in compressed sparse column form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts, validating all invariants.
+    ///
+    /// # Examples
+    /// ```
+    /// use pangulu_sparse::CscMatrix;
+    /// // [ 4 0 ]
+    /// // [ 2 3 ]
+    /// let a = CscMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1],
+    ///                               vec![4.0, 2.0, 3.0]).unwrap();
+    /// assert_eq!(a.get(1, 0), 2.0);
+    /// assert_eq!(a.get(0, 1), 0.0);
+    /// ```
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = CscMatrix { nrows, ncols, col_ptr, row_idx, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSC matrix from raw parts without validation.
+    ///
+    /// Callers must guarantee the invariants in the module docs; internal
+    /// construction sites that build columns in order use this to avoid an
+    /// O(nnz) re-check. Debug builds still validate.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = CscMatrix { nrows, ncols, col_ptr, row_idx, values };
+        debug_assert!(m.validate().is_ok(), "from_parts_unchecked given invalid structure");
+        m
+    }
+
+    /// An `nrows x ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Checks every structural invariant; see module docs.
+    pub fn validate(&self) -> Result<()> {
+        if self.col_ptr.len() != self.ncols + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "col_ptr has length {}, expected {}",
+                self.col_ptr.len(),
+                self.ncols + 1
+            )));
+        }
+        if self.col_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure("col_ptr[0] != 0".into()));
+        }
+        if *self.col_ptr.last().unwrap() != self.row_idx.len()
+            || self.row_idx.len() != self.values.len()
+        {
+            return Err(SparseError::InvalidStructure(format!(
+                "col_ptr end {} vs row_idx {} vs values {}",
+                self.col_ptr.last().unwrap(),
+                self.row_idx.len(),
+                self.values.len()
+            )));
+        }
+        for j in 0..self.ncols {
+            if self.col_ptr[j] > self.col_ptr[j + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "col_ptr not monotone at column {j}"
+                )));
+            }
+            let col = &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]];
+            for w in col.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "rows not strictly increasing in column {j}"
+                    )));
+                }
+            }
+            if let Some(&last) = col.last() {
+                if last >= self.nrows {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row index {last} out of bounds in column {j}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Fraction of stored entries over the dense entry count.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array (length `nnz`).
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array (length `nnz`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array; the pattern stays fixed.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The row indices (shared) and values (mutable) of column `j`.
+    /// The pattern itself cannot change — exactly what in-place kernels
+    /// need.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> (&[usize], &mut [f64]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &mut self.values[lo..hi])
+    }
+
+    /// Disjoint borrows of the three underlying arrays:
+    /// `(col_ptr, row_idx, values-mutable)`. Lets kernels hold the pattern
+    /// and mutate values simultaneously.
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.col_ptr, &self.row_idx, &mut self.values)
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Value at `(i, j)`, or 0.0 if not stored. O(log col_nnz).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Position of entry `(i, j)` in the value array, if stored.
+    pub fn find(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = self.col_ptr[j];
+        let (rows, _) = self.col(j);
+        rows.binary_search(&i).ok().map(|k| lo + k)
+    }
+
+    /// Iterates over stored entries in column-major order as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, j, v))
+        })
+    }
+
+    /// Converts to triplet form.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut m = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            m.push(r, c, v).expect("csc indices are in bounds");
+        }
+        m
+    }
+
+    /// Converts to compressed sparse row form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.row_idx {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let row_ptr = row_counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = row_ptr.clone();
+        // Walking columns in order makes each row's column list sorted.
+        for j in 0..self.ncols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let r = self.row_idx[k];
+                let dst = next[r];
+                col_idx[dst] = j;
+                values[dst] = self.values[k];
+                next[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Converts to a dense column-major matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Transpose (values included).
+    pub fn transpose(&self) -> CscMatrix {
+        let t = self.to_csr();
+        // CSR of A has the same memory layout as CSC of A^T.
+        CscMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            t.row_ptr().to_vec(),
+            t.col_idx().to_vec(),
+            t.values().to_vec(),
+        )
+    }
+
+    /// Returns a matrix with the same pattern and all values set to `v`.
+    pub fn with_constant_values(&self, v: f64) -> CscMatrix {
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: vec![v; self.nnz()],
+        }
+    }
+
+    /// Extracts the sub-matrix `rows x cols` given *sorted* index ranges
+    /// expressed as half-open intervals. Used by the blocking stage.
+    pub fn sub_matrix(
+        &self,
+        row_range: std::ops::Range<usize>,
+        col_range: std::ops::Range<usize>,
+    ) -> CscMatrix {
+        let nrows = row_range.end - row_range.start;
+        let ncols = col_range.end - col_range.start;
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        col_ptr.push(0);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in col_range {
+            let (rows, vals) = self.col(j);
+            let lo = rows.partition_point(|&r| r < row_range.start);
+            let hi = rows.partition_point(|&r| r < row_range.end);
+            for k in lo..hi {
+                row_idx.push(rows[k] - row_range.start);
+                values.push(vals[k]);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix::from_parts_unchecked(nrows, ncols, col_ptr, row_idx, values)
+    }
+
+    /// The lower triangle (diagonal included) as its own matrix.
+    pub fn lower_triangle(&self) -> CscMatrix {
+        self.filter_entries(|i, j| i >= j)
+    }
+
+    /// The upper triangle (diagonal included) as its own matrix.
+    pub fn upper_triangle(&self) -> CscMatrix {
+        self.filter_entries(|i, j| i <= j)
+    }
+
+    /// The stored diagonal values (`0.0` where not stored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols)).map(|j| self.get(j, j)).collect()
+    }
+
+    /// Keeps the entries for which `keep(row, col)` holds.
+    pub fn filter_entries(&self, keep: impl Fn(usize, usize) -> bool) -> CscMatrix {
+        let mut col_ptr = Vec::with_capacity(self.ncols + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                if keep(r, j) {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn norm_fro(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute stored value (0.0 for an empty matrix).
+    pub fn norm_max(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` if every diagonal position of a square matrix is stored.
+    pub fn has_full_diagonal(&self) -> bool {
+        self.is_square() && (0..self.ncols).all(|j| self.find(j, j).is_some())
+    }
+
+    /// Drops stored entries with `|value| <= tol`, keeping the diagonal.
+    pub fn drop_tolerance(&self, tol: f64) -> CscMatrix {
+        let mut col_ptr = Vec::with_capacity(self.ncols + 1);
+        col_ptr.push(0);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                if v.abs() > tol || r == j {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 4 0 1 ]
+        // [ 0 3 0 ]
+        // [ 2 0 5 ]
+        CscMatrix::from_parts(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![4.0, 2.0, 3.0, 1.0, 5.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_good_structure() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_ptr_len() {
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_rows() {
+        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_rows() {
+        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_oob_row() {
+        assert!(CscMatrix::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn get_and_find() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(2, 2), 5.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.find(2, 0), Some(1));
+        assert_eq!(m.find(1, 2), None);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_entries() {
+        let m = sample();
+        let back = m.to_csr().to_csc();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CscMatrix::identity(4);
+        assert!(i.has_full_diagonal());
+        assert_eq!(i.nnz(), 4);
+        for j in 0..4 {
+            assert_eq!(i.get(j, j), 1.0);
+        }
+    }
+
+    #[test]
+    fn sub_matrix_extracts_window() {
+        let m = sample();
+        let s = m.sub_matrix(0..2, 0..2);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.get(0, 0), 4.0);
+        assert_eq!(s.get(1, 1), 3.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn dense_conversion_matches_get() {
+        let m = sample();
+        let d = m.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_tolerance_keeps_diagonal() {
+        let m = CscMatrix::from_parts(
+            2,
+            2,
+            vec![0, 2, 3],
+            vec![0, 1, 1],
+            vec![1e-30, 2.0, 1e-30],
+        )
+        .unwrap();
+        let d = m.drop_tolerance(1e-12);
+        // Both tiny diagonal entries kept, the large off-diagonal kept.
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 1), 1e-30);
+    }
+
+    #[test]
+    fn triangles_partition_the_matrix() {
+        let m = sample();
+        let l = m.lower_triangle();
+        let u = m.upper_triangle();
+        // Together they cover every entry, sharing only the diagonal.
+        assert_eq!(l.nnz() + u.nnz(), m.nnz() + m.diagonal().iter().filter(|&&d| d != 0.0).count());
+        for (r, c, v) in l.iter() {
+            assert!(r >= c);
+            assert_eq!(m.get(r, c), v);
+        }
+        for (r, c, v) in u.iter() {
+            assert!(r <= c);
+            assert_eq!(m.get(r, c), v);
+        }
+        assert_eq!(m.diagonal(), vec![4.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn density_of_empty() {
+        assert_eq!(CscMatrix::zeros(0, 0).density(), 0.0);
+        assert!((sample().density() - 5.0 / 9.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,206 @@
+//! Compressed sparse row format.
+//!
+//! Used where row access is the natural traversal (TSTRF-style row
+//! operations, row-structure statistics); mirrors [`crate::CscMatrix`].
+
+use crate::{CscMatrix, Result, SparseError};
+
+/// A sparse matrix in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = CsrMatrix { nrows, ncols, row_ptr, col_idx, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from raw parts without validation (debug-checked).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = CsrMatrix { nrows, ncols, row_ptr, col_idx, values };
+        debug_assert!(m.validate().is_ok(), "from_parts_unchecked given invalid structure");
+        m
+    }
+
+    /// Checks structural invariants (monotone pointers, sorted unique
+    /// in-bounds column indices per row).
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_ptr has length {}, expected {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            )));
+        }
+        if self.row_ptr[0] != 0
+            || *self.row_ptr.last().unwrap() != self.col_idx.len()
+            || self.col_idx.len() != self.values.len()
+        {
+            return Err(SparseError::InvalidStructure("pointer/array length mismatch".into()));
+        }
+        for i in 0..self.nrows {
+            if self.row_ptr[i] > self.row_ptr[i + 1] {
+                return Err(SparseError::InvalidStructure(format!("row_ptr not monotone at row {i}")));
+            }
+            let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "columns not strictly increasing in row {i}"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= self.ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column index {last} out of bounds in row {i}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array; the pattern stays fixed.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Value at `(i, j)` or 0.0 if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to CSC.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut col_counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            col_counts[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let col_ptr = col_counts.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = col_ptr.clone();
+        for i in 0..self.nrows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[k];
+                let dst = next[c];
+                row_idx[dst] = i;
+                values[dst] = self.values[k];
+                next[c] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CsrMatrix::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.row_nnz(0), 2);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        assert_eq!(m.to_csc().to_csr(), m);
+    }
+
+    #[test]
+    fn validate_rejects_bad() {
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Matrix diagnostics: the structural and numerical properties that
+//! decide how a direct solver will behave on an input (and which suite
+//! matrix class it resembles).
+
+use crate::CscMatrix;
+
+/// Summary of a square sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// Matrix order.
+    pub n: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Mean entries per row.
+    pub avg_row_nnz: f64,
+    /// Maximum entries in any row.
+    pub max_row_nnz: usize,
+    /// Structural symmetry in [0, 1] (1 = pattern symmetric).
+    pub structural_symmetry: f64,
+    /// Numerical symmetry in [0, 1] (1 = values symmetric too).
+    pub numerical_symmetry: f64,
+    /// Bandwidth: max |i − j| over stored entries.
+    pub bandwidth: usize,
+    /// Fraction of rows that are strictly diagonally dominant.
+    pub diag_dominant_rows: f64,
+    /// `true` if every diagonal position is stored.
+    pub full_diagonal: bool,
+    /// Max |a_ij| over the matrix.
+    pub max_abs: f64,
+    /// Min |a_ii| over the stored diagonal (0 if any diagonal missing).
+    pub min_abs_diag: f64,
+}
+
+impl MatrixReport {
+    /// Computes the report (one pass over the entries plus transposed
+    /// lookups for the symmetry measures).
+    pub fn of(a: &CscMatrix) -> MatrixReport {
+        let n = a.ncols();
+        let nnz = a.nnz();
+        let mut row_nnz = vec![0usize; a.nrows()];
+        let mut row_offdiag_sum = vec![0.0f64; a.nrows()];
+        let mut row_diag = vec![0.0f64; a.nrows()];
+        let mut bandwidth = 0usize;
+        let mut max_abs = 0.0f64;
+        let mut off = 0usize;
+        let mut pat_matched = 0usize;
+        let mut num_matched = 0usize;
+        for (i, j, v) in a.iter() {
+            row_nnz[i] += 1;
+            bandwidth = bandwidth.max(i.abs_diff(j));
+            max_abs = max_abs.max(v.abs());
+            if i == j {
+                row_diag[i] = v;
+            } else {
+                row_offdiag_sum[i] += v.abs();
+                off += 1;
+                let tv = a.get(j, i);
+                if tv != 0.0 {
+                    pat_matched += 1;
+                    if (tv - v).abs() <= 1e-12 * v.abs().max(tv.abs()) {
+                        num_matched += 1;
+                    }
+                }
+            }
+        }
+        let dominant = (0..a.nrows())
+            .filter(|&i| row_diag[i].abs() > row_offdiag_sum[i])
+            .count();
+        let full_diagonal = a.is_square() && a.has_full_diagonal();
+        let min_abs_diag = if full_diagonal {
+            (0..n).map(|j| a.get(j, j).abs()).fold(f64::INFINITY, f64::min)
+        } else {
+            0.0
+        };
+        MatrixReport {
+            n,
+            nnz,
+            avg_row_nnz: nnz as f64 / a.nrows().max(1) as f64,
+            max_row_nnz: row_nnz.iter().copied().max().unwrap_or(0),
+            structural_symmetry: if off == 0 { 1.0 } else { pat_matched as f64 / off as f64 },
+            numerical_symmetry: if off == 0 { 1.0 } else { num_matched as f64 / off as f64 },
+            bandwidth,
+            diag_dominant_rows: dominant as f64 / a.nrows().max(1) as f64,
+            full_diagonal,
+            max_abs,
+            min_abs_diag,
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "n = {}, nnz = {} ({:.2}/row, max {})", self.n, self.nnz, self.avg_row_nnz, self.max_row_nnz)?;
+        writeln!(
+            f,
+            "symmetry: structural {:.1}%, numerical {:.1}%",
+            100.0 * self.structural_symmetry,
+            100.0 * self.numerical_symmetry
+        )?;
+        writeln!(f, "bandwidth {}, diagonally dominant rows {:.1}%", self.bandwidth, 100.0 * self.diag_dominant_rows)?;
+        write!(
+            f,
+            "diagonal: {}, max|a| = {:.3e}, min|diag| = {:.3e}",
+            if self.full_diagonal { "full" } else { "INCOMPLETE" },
+            self.max_abs,
+            self.min_abs_diag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn laplacian_report() {
+        let a = gen::laplacian_2d(6, 6);
+        let r = MatrixReport::of(&a);
+        assert_eq!(r.n, 36);
+        assert!((r.structural_symmetry - 1.0).abs() < 1e-15);
+        assert!((r.numerical_symmetry - 1.0).abs() < 1e-15);
+        assert_eq!(r.bandwidth, 6);
+        assert!(r.full_diagonal);
+        assert_eq!(r.min_abs_diag, 4.0);
+        // Boundary rows are strictly dominant, interior rows are not
+        // (4 = 1+1+1+1): dominance fraction strictly between 0 and 1.
+        assert!(r.diag_dominant_rows > 0.0 && r.diag_dominant_rows < 1.0);
+    }
+
+    #[test]
+    fn unsymmetric_matrix_detected() {
+        let mut coo = crate::CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        coo.push(0, 1, 5.0).unwrap(); // no mirror
+        coo.push(1, 2, 3.0).unwrap();
+        coo.push(2, 1, 7.0).unwrap(); // mirrored pattern, different value
+        let r = MatrixReport::of(&coo.to_csc());
+        assert!(r.structural_symmetry < 1.0);
+        assert!(r.numerical_symmetry < r.structural_symmetry + 1e-15);
+        assert!(r.numerical_symmetry < 1.0);
+    }
+
+    #[test]
+    fn tridiagonal_is_fully_dominant_free() {
+        let r = MatrixReport::of(&gen::tridiagonal(10));
+        assert_eq!(r.bandwidth, 1);
+        // Interior rows: |2| > |-1| + |-1| is false (equality), so only
+        // the two end rows are strictly dominant.
+        assert!((r.diag_dominant_rows - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let r = MatrixReport::of(&gen::laplacian_2d(4, 4));
+        let text = r.to_string();
+        assert!(text.contains("n = 16"));
+        assert!(text.contains("bandwidth"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The original PanguLU artifact only accepts Matrix Market files; we
+//! support the `matrix coordinate` variants used by the SuiteSparse
+//! collection: `real`/`integer`/`pattern` fields with `general`/`symmetric`/
+//! `skew-symmetric` symmetry.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{CooMatrix, CscMatrix, Result, SparseError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CscMatrix> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file))
+}
+
+/// Parses Matrix Market data from any reader.
+///
+/// # Examples
+/// ```
+/// let data = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 4.0\n2 2 5.0\n";
+/// let m = pangulu_sparse::io::read_matrix_market_from(data.as_bytes()).unwrap();
+/// assert_eq!(m.get(1, 1), 5.0);
+/// ```
+pub fn read_matrix_market_from(reader: impl BufRead) -> Result<CscMatrix> {
+    let mut lines = reader.lines();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::Parse("empty file".into())),
+        }
+    };
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header line: {header}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse(format!("unsupported format {} (only coordinate)", tokens[2])));
+    }
+    let field = match tokens[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(SparseError::Parse(format!("unsupported field {other}"))),
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry {other}"))),
+    };
+
+    // Size line (first non-comment, non-empty line).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(SparseError::Parse("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size token {t}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("size line needs 3 numbers: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::General { nnz } else { nnz * 2 },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad row index in: {t}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?
+            .parse()
+            .map_err(|_| SparseError::Parse(format!("bad col index in: {t}")))?;
+        if i == 0 || j == 0 {
+            return Err(SparseError::Parse("matrix market indices are 1-based".into()));
+        }
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| SparseError::Parse(format!("missing value in: {t}")))?
+                .parse()
+                .map_err(|_| SparseError::Parse(format!("bad value in: {t}")))?,
+        };
+        let (r, c) = (i - 1, j - 1);
+        coo.push(r, c, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c => coo.push(c, r, v)?,
+            Symmetry::SkewSymmetric if r != c => coo.push(c, r, -v)?,
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csc())
+}
+
+/// Reads a dense `matrix array real general` Matrix Market file (the
+/// format SuiteSparse uses for right-hand-side files like `*_b.mtx`)
+/// into a column-major dense matrix.
+pub fn read_matrix_market_dense(path: impl AsRef<Path>) -> Result<crate::DenseMatrix> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_dense_from(BufReader::new(file))
+}
+
+/// Parses dense `matrix array` data from any reader.
+pub fn read_matrix_market_dense_from(reader: impl BufRead) -> Result<crate::DenseMatrix> {
+    let mut lines = reader.lines();
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(SparseError::Parse("empty file".into())),
+        }
+    };
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header line: {header}")));
+    }
+    if tokens[2] != "array" {
+        return Err(SparseError::Parse(format!(
+            "expected array format, found {}",
+            tokens[2]
+        )));
+    }
+    if tokens[3] != "real" && tokens[3] != "integer" {
+        return Err(SparseError::Parse(format!("unsupported field {}", tokens[3])));
+    }
+    if tokens[4] != "general" {
+        return Err(SparseError::Parse(format!("unsupported symmetry {}", tokens[4])));
+    }
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break t;
+            }
+            None => return Err(SparseError::Parse("missing size line".into())),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size token {t}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 2 {
+        return Err(SparseError::Parse(format!("array size line needs 2 numbers: {size_line}")));
+    }
+    let (nrows, ncols) = (dims[0], dims[1]);
+    let mut data = Vec::with_capacity(nrows * ncols);
+    for line in lines {
+        let line = line?;
+        for tok in line.split_whitespace() {
+            if tok.starts_with('%') {
+                break;
+            }
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| SparseError::Parse(format!("bad value {tok}")))?;
+            data.push(v);
+        }
+    }
+    if data.len() != nrows * ncols {
+        return Err(SparseError::Parse(format!(
+            "expected {} values, found {}",
+            nrows * ncols,
+            data.len()
+        )));
+    }
+    // Matrix Market arrays are column-major, as is DenseMatrix.
+    Ok(crate::DenseMatrix::from_column_major(nrows, ncols, data))
+}
+
+/// Writes a matrix as `matrix coordinate real general` to disk.
+pub fn write_matrix_market(path: impl AsRef<Path>, a: &CscMatrix) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market_to(BufWriter::new(file), a)
+}
+
+/// Writes Matrix Market data to any writer.
+pub fn write_matrix_market_to(mut w: impl Write, a: &CscMatrix) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by pangulu-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let data = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 4.0\n3 2 -1.5\n";
+        let m = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(2, 1), -1.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors_entries() {
+        let data = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 1 5.0\n";
+        let m = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let data = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5.0\n";
+        let m = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), -5.0);
+    }
+
+    #[test]
+    fn parse_pattern_gives_unit_values() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market_from(data.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market_from("%%NotMM\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_dense_array() {
+        let data = "%%MatrixMarket matrix array real general\n% rhs\n3 2\n1.0\n2.0\n3.0\n4.0\n5.0\n6.0\n";
+        let m = read_matrix_market_dense_from(data.as_bytes()).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(2, 0)], 3.0);
+        assert_eq!(m[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn dense_array_rejects_coordinate() {
+        let data = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n";
+        assert!(read_matrix_market_dense_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dense_array_rejects_wrong_count() {
+        let data = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n";
+        assert!(read_matrix_market_dense_from(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = CscMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![4.0, 2.0, 3.0, 1.0, 5.25],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &m).unwrap();
+        let back = read_matrix_market_from(buf.as_slice()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,81 @@
+//! Sparse matrix substrate for the PanguLU reproduction.
+//!
+//! This crate provides everything the solver stack needs from a sparse
+//! matrix library, written from scratch:
+//!
+//! * [`CooMatrix`], [`CscMatrix`], [`CsrMatrix`] — the triplet, compressed
+//!   sparse column and compressed sparse row formats, with validated
+//!   constructors and conversions. CSC is the working format of the solver,
+//!   mirroring the paper's two-layer CSC-of-CSC-blocks layout (§4.2).
+//! * [`DenseMatrix`] — a small column-major dense matrix used as the
+//!   reference implementation in tests and by the supernodal baseline.
+//! * [`io`] — Matrix Market (`.mtx`) reading and writing, the only input
+//!   format the original PanguLU artifact supports.
+//! * [`gen`] — synthetic matrix generators standing in for the 16
+//!   SuiteSparse matrices of the paper's Table 3 (see `DESIGN.md` for the
+//!   substitution rationale), plus generic generators for tests.
+//! * [`permute`] — row/column permutations and row/column scaling.
+//! * [`ops`] — transpose, pattern symmetrisation, SpMV, residual norms.
+//! * [`diagnostics`] — structural/numerical matrix reports.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod diagnostics;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod permute;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use permute::Permutation;
+
+/// Errors produced by the sparse substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An index was out of bounds for the matrix dimensions.
+    IndexOutOfBounds { row: usize, col: usize, nrows: usize, ncols: usize },
+    /// A compressed structure was malformed (non-monotone pointers,
+    /// unsorted or duplicate row indices, length mismatches).
+    InvalidStructure(String),
+    /// A Matrix Market file could not be parsed.
+    Parse(String),
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+    /// The operation requires a square matrix.
+    NotSquare { nrows: usize, ncols: usize },
+    /// Dimensions of two operands do not match.
+    DimensionMismatch(String),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix")
+            }
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+/// Result alias for the sparse substrate.
+pub type Result<T> = std::result::Result<T, SparseError>;

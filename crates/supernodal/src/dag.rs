@@ -1,0 +1,216 @@
+//! The baseline's task DAG, exported for the discrete-event simulator.
+//!
+//! SuperLU_DIST schedules over the elimination tree in level sets
+//! (paper §3.3): all panel factorisations of a tree level run between two
+//! barriers. Each task here carries its level (the DES's `step`), its
+//! dense FLOP count (padding included), the gather/scatter byte traffic
+//! of the Schur updates, and the payload bytes shipped between ranks.
+//! The bench harness maps these onto `pangulu-core`'s generic `SimTask`s
+//! with a 2-D block-cyclic rank assignment over supernode coordinates.
+
+use pangulu_symbolic::FilledPattern;
+
+use crate::blocked::SnBlockMatrix;
+
+/// Kind of a baseline task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnTaskKind {
+    /// Dense LU of the diagonal block of supernode `k`.
+    Factor,
+    /// Dense triangular solve updating a panel block.
+    Trsm,
+    /// Gather + dense GEMM + scatter Schur update.
+    Gemm,
+}
+
+/// One task of the baseline DAG.
+#[derive(Debug, Clone)]
+pub struct SnTask {
+    /// Kind.
+    pub kind: SnTaskKind,
+    /// Supernode coordinates of the block the task writes.
+    pub coords: (usize, usize),
+    /// Elimination-tree level of the source supernode (the level-set
+    /// scheduling step).
+    pub level: usize,
+    /// Dense FLOPs (padding included).
+    pub flops: f64,
+    /// Bytes gathered + scattered (Schur updates only).
+    pub gather_bytes: usize,
+    /// Output payload bytes, for cross-rank edges.
+    pub payload_bytes: usize,
+    /// Indices of prerequisite tasks.
+    pub deps: Vec<usize>,
+}
+
+/// Elimination-tree levels lifted to supernodes: the level of a
+/// supernode is the maximum column level of its members.
+pub fn supernode_levels(fill: &FilledPattern, sbm: &SnBlockMatrix) -> Vec<usize> {
+    let col_levels = fill.etree.levels();
+    let part = sbm.partition();
+    (0..sbm.nsn())
+        .map(|s| part.cols(s).map(|c| col_levels[c]).max().unwrap_or(0))
+        .collect()
+}
+
+/// Builds the baseline task DAG from the blocked structure.
+pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
+    let nsn = sbm.nsn();
+    let bytes_of = |id: usize| {
+        let b = sbm.block(id);
+        b.nrows() * b.ncols() * 8 + 24
+    };
+
+    let mut tasks: Vec<SnTask> = Vec::new();
+    let mut panel_task = vec![usize::MAX; sbm.num_blocks()];
+
+    // Panel tasks (Factor on the diagonal, Trsm elsewhere).
+    for id in 0..sbm.num_blocks() {
+        let (si, sj) = sbm.block_coords(id);
+        let k = si.min(sj);
+        let blk = sbm.block(id);
+        let (kind, flops) = if si == sj {
+            let w = blk.ncols() as f64;
+            (SnTaskKind::Factor, 2.0 / 3.0 * w * w * w)
+        } else {
+            let w = sbm.partition().width(k) as f64;
+            (SnTaskKind::Trsm, w * w * blk.nrows().max(blk.ncols()) as f64)
+        };
+        panel_task[id] = tasks.len();
+        tasks.push(SnTask {
+            kind,
+            coords: (si, sj),
+            level: levels[k],
+            flops,
+            gather_bytes: 0,
+            payload_bytes: bytes_of(id),
+            deps: Vec::new(),
+        });
+    }
+    // Panel deps on their diagonal factor.
+    for id in 0..sbm.num_blocks() {
+        let (si, sj) = sbm.block_coords(id);
+        if si != sj {
+            let k = si.min(sj);
+            let diag = sbm.block_id(k, k).expect("diag block");
+            tasks[panel_task[id]].deps.push(panel_task[diag]);
+        }
+    }
+    // GEMM tasks.
+    for k in 0..nsn {
+        let l_blocks: Vec<(usize, usize)> =
+            sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
+        let u_blocks: Vec<(usize, usize)> = (k + 1..nsn)
+            .filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id)))
+            .collect();
+        for &(si, a_id) in &l_blocks {
+            for &(sj, b_id) in &u_blocks {
+                let Some(c_id) = sbm.block_id(si, sj) else { continue };
+                let a = sbm.block(a_id);
+                let b = sbm.block(b_id);
+                let c = sbm.block(c_id);
+                let tid = tasks.len();
+                tasks.push(SnTask {
+                    kind: SnTaskKind::Gemm,
+                    coords: (si, sj),
+                    level: levels[k],
+                    flops: 2.0 * (a.nrows() * a.ncols() * b.ncols()) as f64,
+                    gather_bytes: 8
+                        * (a.nrows() * a.ncols()
+                            + b.nrows() * b.ncols()
+                            + 2 * c.nrows() * c.ncols()),
+                    payload_bytes: 0,
+                    deps: vec![panel_task[a_id], panel_task[b_id]],
+                });
+                tasks[panel_task[c_id]].deps.push(tid);
+            }
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supernode::{detect, SupernodeOptions};
+    use pangulu_sparse::gen;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn setup(n: usize, seed: u64) -> (FilledPattern, SnBlockMatrix) {
+        let a = gen::circuit(n, seed);
+        let f = symbolic_fill(&a).unwrap();
+        let filled = f.filled_matrix(&a).unwrap();
+        let part = detect(&f, SupernodeOptions::default());
+        let sbm = SnBlockMatrix::from_filled(&filled, part).unwrap();
+        (f, sbm)
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_deps_precede() {
+        let (f, sbm) = setup(200, 3);
+        let levels = supernode_levels(&f, &sbm);
+        let tasks = build_dag(&sbm, &levels);
+        // Kahn's algorithm must consume every task (acyclicity).
+        let mut incoming = vec![0usize; tasks.len()];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            for &d in &t.deps {
+                assert!(d < tasks.len());
+                incoming[i] += 1;
+                out[d].push(i);
+            }
+        }
+        let mut q: Vec<usize> = (0..tasks.len()).filter(|&i| incoming[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = q.pop() {
+            seen += 1;
+            for &j in &out[i] {
+                incoming[j] -= 1;
+                if incoming[j] == 0 {
+                    q.push(j);
+                }
+            }
+        }
+        assert_eq!(seen, tasks.len(), "cycle in baseline DAG");
+    }
+
+    #[test]
+    fn levels_monotone_along_dependencies() {
+        let (f, sbm) = setup(180, 5);
+        let levels = supernode_levels(&f, &sbm);
+        let tasks = build_dag(&sbm, &levels);
+        for t in &tasks {
+            for &d in &t.deps {
+                assert!(
+                    tasks[d].level <= t.level,
+                    "dependency level {} exceeds task level {}",
+                    tasks[d].level,
+                    t.level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tasks_charge_gather_bytes() {
+        let (f, sbm) = setup(200, 7);
+        let levels = supernode_levels(&f, &sbm);
+        let tasks = build_dag(&sbm, &levels);
+        for t in &tasks {
+            match t.kind {
+                SnTaskKind::Gemm => assert!(t.gather_bytes > 0),
+                _ => assert_eq!(t.gather_bytes, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn low_level_supernode_exists() {
+        // Leaves of the elimination tree must surface as low-level
+        // supernodes (merging only lifts levels within a chain).
+        let (f, sbm) = setup(150, 9);
+        let levels = supernode_levels(&f, &sbm);
+        assert!(!levels.is_empty());
+        assert!(*levels.iter().min().unwrap() < 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Motivation-figure statistics: supernode sizes (Fig. 3) and GEMM block
+//! densities (Fig. 4).
+
+use crate::blocked::SnBlockMatrix;
+use crate::supernode::SupernodePartition;
+
+/// The Fig. 3 heatmap: counts of supernodes bucketed by panel rows
+/// (x-axis) and columns (y-axis), with the paper's bin edges.
+#[derive(Debug, Clone)]
+pub struct SupernodeSizeHistogram {
+    /// Row-bin edges (left-inclusive); the last bin is open-ended.
+    pub row_edges: Vec<usize>,
+    /// Column-bin edges.
+    pub col_edges: Vec<usize>,
+    /// `counts[col_bin][row_bin]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+/// Buckets the supernodes of a partition like the paper's Fig. 3.
+pub fn supernode_size_histogram(part: &SupernodePartition) -> SupernodeSizeHistogram {
+    let row_edges = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let col_edges = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let mut counts = vec![vec![0usize; row_edges.len()]; col_edges.len()];
+    for s in 0..part.len() {
+        let rows = part.panel_rows(s);
+        let cols = part.width(s);
+        let rb = bin_of(&row_edges, rows);
+        let cb = bin_of(&col_edges, cols);
+        counts[cb][rb] += 1;
+    }
+    SupernodeSizeHistogram { row_edges, col_edges, counts }
+}
+
+fn bin_of(edges: &[usize], v: usize) -> usize {
+    let mut b = 0;
+    for (i, &e) in edges.iter().enumerate() {
+        if v >= e {
+            b = i;
+        }
+    }
+    b
+}
+
+/// The Fig. 4 histogram: for every GEMM `C -= A·B` the baseline would
+/// run, the density of the `A`, `B` and `C` operand blocks, bucketed into
+/// ten 10 % bins. Values are percentages of the GEMM count.
+#[derive(Debug, Clone, Default)]
+pub struct GemmDensityHistogram {
+    /// Percentage of GEMMs whose `A` operand falls in each 10% bin.
+    pub a: [f64; 10],
+    /// As above for `B`.
+    pub b: [f64; 10],
+    /// As above for `C`.
+    pub c: [f64; 10],
+    /// Number of GEMMs counted.
+    pub gemms: usize,
+}
+
+/// Walks the right-looking schedule and buckets operand densities.
+pub fn gemm_density_histogram(sbm: &SnBlockMatrix) -> GemmDensityHistogram {
+    let mut h = GemmDensityHistogram::default();
+    let nsn = sbm.nsn();
+    let mut counts = [[0usize; 10]; 3];
+    for k in 0..nsn {
+        let l_blocks: Vec<(usize, usize)> =
+            sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
+        let u_blocks: Vec<(usize, usize)> = (k + 1..nsn)
+            .filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id)))
+            .collect();
+        for &(si, a_id) in &l_blocks {
+            for &(sj, b_id) in &u_blocks {
+                let Some(c_id) = sbm.block_id(si, sj) else { continue };
+                h.gemms += 1;
+                for (slot, id) in [(0, a_id), (1, b_id), (2, c_id)] {
+                    let d = sbm.block_density(id);
+                    let bin = ((d * 10.0) as usize).min(9);
+                    counts[slot][bin] += 1;
+                }
+            }
+        }
+    }
+    if h.gemms > 0 {
+        for bin in 0..10 {
+            h.a[bin] = 100.0 * counts[0][bin] as f64 / h.gemms as f64;
+            h.b[bin] = 100.0 * counts[1][bin] as f64 / h.gemms as f64;
+            h.c[bin] = 100.0 * counts[2][bin] as f64 / h.gemms as f64;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supernode::{detect, SupernodeOptions};
+    use pangulu_sparse::gen;
+    use pangulu_symbolic::symbolic_fill;
+
+    fn setup(a: &pangulu_sparse::CscMatrix) -> (SupernodePartition, SnBlockMatrix) {
+        // Modest merging: the test matrices are tiny, and the default
+        // SuperLU-scale amalgamation would collapse them into a handful
+        // of blocks, washing out the density contrast being tested.
+        let opts = SupernodeOptions { max_size: 32, relax: 4 };
+        let f = symbolic_fill(a).unwrap();
+        let filled = f.filled_matrix(a).unwrap();
+        let part = detect(&f, opts);
+        let sbm = SnBlockMatrix::from_filled(&filled, part.clone()).unwrap();
+        (part, sbm)
+    }
+
+    #[test]
+    fn histogram_counts_every_supernode() {
+        let a = gen::fem_blocked(40, 4, 2, 3);
+        let (part, _) = setup(&a);
+        let h = supernode_size_histogram(&part);
+        let total: usize = h.counts.iter().flatten().sum();
+        assert_eq!(total, part.len());
+    }
+
+    #[test]
+    fn density_percentages_sum_to_100() {
+        let a = gen::circuit(200, 9);
+        let (_, sbm) = setup(&a);
+        let h = gemm_density_histogram(&sbm);
+        if h.gemms > 0 {
+            for series in [h.a, h.b, h.c] {
+                let sum: f64 = series.iter().sum();
+                assert!((sum - 100.0).abs() < 1e-9, "sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn fem_matrix_is_denser_than_circuit() {
+        // The paper's Fig. 4 point: FEM blocks are dense, circuit blocks
+        // sparse. Compare the mean C-operand density bins.
+        let fem = gen::fem_blocked(50, 6, 2, 3);
+        let cir = gen::circuit(300, 9);
+        let (_, sf) = setup(&fem);
+        let (_, sc) = setup(&cir);
+        let hf = gemm_density_histogram(&sf);
+        let hc = gemm_density_histogram(&sc);
+        let mean = |h: &GemmDensityHistogram| -> f64 {
+            h.a.iter().enumerate().map(|(i, p)| (i as f64 + 0.5) * p).sum::<f64>() / 100.0
+        };
+        if hf.gemms > 0 && hc.gemms > 0 {
+            assert!(
+                mean(&hf) > mean(&hc),
+                "fem mean bin {} should exceed circuit {}",
+                mean(&hf),
+                mean(&hc)
+            );
+        }
+    }
+
+    #[test]
+    fn bin_of_edges() {
+        let edges = vec![1, 2, 4, 8];
+        assert_eq!(bin_of(&edges, 1), 0);
+        assert_eq!(bin_of(&edges, 3), 1);
+        assert_eq!(bin_of(&edges, 100), 3);
+    }
+}

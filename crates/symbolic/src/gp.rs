@@ -1,0 +1,229 @@
+//! Gilbert–Peierls per-column reachability symbolic factorisation.
+//!
+//! This is the SuperLU-style comparator for the Figure 11 experiment: the
+//! exact unsymmetric LU fill is computed column by column as the
+//! reachability of `A(:, j)` in the directed graph of the already-computed
+//! `L` columns (depth-first search with a topological output stack).
+//! Optionally applies **symmetric pruning** (Eisenstat–Liu) to shorten the
+//! adjacency lists the DFS traverses.
+//!
+//! It is asymptotically more expensive than the symmetric fill of
+//! [`crate::fill`] — that cost gap is precisely what the paper's Figure 11
+//! measures.
+
+use pangulu_sparse::{CscMatrix, Result, SparseError};
+
+/// The unsymmetric fill patterns of `L` (by column, strict lower) and `U`
+/// (by column, including the diagonal).
+#[derive(Debug, Clone)]
+pub struct GpSymbolic {
+    /// Matrix order.
+    pub n: usize,
+    /// Column pointers for the strict-lower pattern of `L`.
+    pub l_col_ptr: Vec<usize>,
+    /// Row indices (sorted per column) of `L`.
+    pub l_row_idx: Vec<usize>,
+    /// Column pointers for the upper pattern of `U` (diagonal included).
+    pub u_col_ptr: Vec<usize>,
+    /// Row indices (sorted per column) of `U`.
+    pub u_row_idx: Vec<usize>,
+}
+
+impl GpSymbolic {
+    /// Entries in `L + U` with a single diagonal copy.
+    pub fn nnz_lu(&self) -> usize {
+        self.l_row_idx.len() + self.u_row_idx.len()
+    }
+}
+
+/// Runs the Gilbert–Peierls symbolic factorisation.
+///
+/// `symmetric_pruning` enables the Eisenstat–Liu pruned adjacency: once a
+/// symmetric pair `L(s, k) / U(k, s)` is found, the DFS through column `k`
+/// of `L` need only scan rows up to and including `s`.
+pub fn gp_symbolic(a: &CscMatrix, symmetric_pruning: bool) -> Result<GpSymbolic> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+    }
+    let n = a.ncols();
+
+    // Adjacency of the growing L graph: for each column k, the (sorted)
+    // strict-lower rows of L(:, k). `pruned_len[k]` bounds the DFS scan.
+    let mut l_cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pruned_len: Vec<usize> = vec![0; n];
+    let mut pruned = vec![false; n];
+
+    let mut l_col_ptr = vec![0usize; n + 1];
+    let mut l_row_idx: Vec<usize> = Vec::new();
+    let mut u_col_ptr = vec![0usize; n + 1];
+    let mut u_row_idx: Vec<usize> = Vec::new();
+
+    // DFS machinery with an explicit stack; `mark[v] == j` means v visited
+    // while processing column j.
+    let mut mark = vec![usize::MAX; n];
+    let mut topo: Vec<usize> = Vec::new(); // reach set in reverse topological order
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (vertex, next adjacency index)
+
+    for j in 0..n {
+        topo.clear();
+        let (rows, _) = a.col(j);
+        for &r0 in rows {
+            if mark[r0] == j {
+                continue;
+            }
+            // Iterative DFS from r0 through columns < j of L.
+            mark[r0] = j;
+            stack.push((r0, 0));
+            while let Some(&mut (v, ref mut ai)) = stack.last_mut() {
+                if v >= j {
+                    // Lower vertex: terminal (no outgoing edges below j).
+                    topo.push(v);
+                    stack.pop();
+                    continue;
+                }
+                let adj = &l_cols[v];
+                let limit = if symmetric_pruning { pruned_len[v] } else { adj.len() };
+                if *ai < limit {
+                    let w = adj[*ai];
+                    *ai += 1;
+                    if mark[w] != j {
+                        mark[w] = j;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    topo.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // Split reach set: vertices < j give U(:, j); >= j give L(:, j).
+        let mut u_rows: Vec<usize> = topo.iter().copied().filter(|&v| v < j).collect();
+        let mut l_rows: Vec<usize> = topo.iter().copied().filter(|&v| v > j).collect();
+        u_rows.sort_unstable();
+        u_rows.push(j); // diagonal lives in U
+        l_rows.sort_unstable();
+
+        u_row_idx.extend_from_slice(&u_rows);
+        u_col_ptr[j + 1] = u_row_idx.len();
+        l_row_idx.extend_from_slice(&l_rows);
+        l_col_ptr[j + 1] = l_row_idx.len();
+        l_cols[j] = l_rows;
+
+        // Symmetric pruning (Eisenstat–Liu): column i < j can be pruned at
+        // row j once the symmetric pair U(i, j) ≠ 0 and L(j, i) ≠ 0 is
+        // seen. Since j increases monotonically, the first match for a
+        // column i uses the minimal symmetric row, which is the classic
+        // rule; the pruned adjacency (rows ≤ j) preserves reachability for
+        // all later columns.
+        pruned_len[j] = l_cols[j].len();
+        if symmetric_pruning {
+            let u_of_j = &u_row_idx[u_col_ptr[j]..u_col_ptr[j + 1] - 1]; // sans diagonal
+            for &i in u_of_j {
+                if pruned[i] {
+                    continue;
+                }
+                if let Ok(pos) = l_cols[i].binary_search(&j) {
+                    pruned_len[i] = pos + 1;
+                    pruned[i] = true;
+                }
+            }
+        }
+    }
+
+    Ok(GpSymbolic { n, l_col_ptr, l_row_idx, u_col_ptr, u_row_idx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+
+    /// Dense brute-force unsymmetric LU fill (no pivoting): runs the
+    /// elimination rule on booleans.
+    fn brute_lu_fill(a: &CscMatrix) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let n = a.ncols();
+        let mut pat = vec![vec![false; n]; n];
+        for (r, c, _) in a.iter() {
+            pat[r][c] = true;
+        }
+        for i in 0..n {
+            pat[i][i] = true;
+        }
+        for k in 0..n {
+            let below: Vec<usize> = (k + 1..n).filter(|&i| pat[i][k]).collect();
+            let right: Vec<usize> = (k + 1..n).filter(|&j| pat[k][j]).collect();
+            for &i in &below {
+                for &j in &right {
+                    pat[i][j] = true;
+                }
+            }
+        }
+        let l = (0..n)
+            .map(|j| (j + 1..n).filter(|&i| pat[i][j]).collect::<Vec<_>>())
+            .collect();
+        let u = (0..n).map(|j| (0..=j).filter(|&i| pat[i][j]).collect::<Vec<_>>()).collect();
+        (l, u)
+    }
+
+    fn check(a: &CscMatrix) {
+        let a = ensure_diagonal(a).unwrap();
+        let (bl, bu) = brute_lu_fill(&a);
+        for pruning in [false, true] {
+            let g = gp_symbolic(&a, pruning).unwrap();
+            for j in 0..a.ncols() {
+                let lc = &g.l_row_idx[g.l_col_ptr[j]..g.l_col_ptr[j + 1]];
+                let uc = &g.u_row_idx[g.u_col_ptr[j]..g.u_col_ptr[j + 1]];
+                assert_eq!(lc, bl[j].as_slice(), "L col {j} pruning={pruning}");
+                assert_eq!(uc, bu[j].as_slice(), "U col {j} pruning={pruning}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        for seed in 0..4 {
+            check(&gen::random_sparse(20, 0.12, seed));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_unsymmetric() {
+        // Strictly triangular-ish pattern plus diagonal: very unsymmetric.
+        let mut coo = pangulu_sparse::CooMatrix::new(12, 12);
+        for i in 0..12 {
+            coo.push(i, i, 1.0).unwrap();
+            if i + 2 < 12 {
+                coo.push(i, i + 2, 1.0).unwrap();
+            }
+            if i >= 5 {
+                coo.push(i, i - 5, 1.0).unwrap();
+            }
+        }
+        check(&coo.to_csc());
+    }
+
+    #[test]
+    fn unsymmetric_fill_never_exceeds_symmetric() {
+        for seed in 0..3 {
+            let a = ensure_diagonal(&gen::random_sparse(30, 0.08, seed)).unwrap();
+            let g = gp_symbolic(&a, true).unwrap();
+            let f = crate::fill::symbolic_fill(&a).unwrap();
+            assert!(
+                g.nnz_lu() <= f.nnz_lu(),
+                "GP fill {} must be <= symmetrised fill {}",
+                g.nnz_lu(),
+                f.nnz_lu()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_gives_identical_pattern() {
+        let a = ensure_diagonal(&gen::circuit(150, 5)).unwrap();
+        let g1 = gp_symbolic(&a, false).unwrap();
+        let g2 = gp_symbolic(&a, true).unwrap();
+        assert_eq!(g1.l_row_idx, g2.l_row_idx);
+        assert_eq!(g1.u_row_idx, g2.u_row_idx);
+    }
+}

@@ -1,0 +1,73 @@
+//! Failure-path tests: the solver must reject unusable inputs with
+//! errors, not wrong answers.
+
+use pangulu::prelude::*;
+use pangulu::sparse::{CooMatrix, CscMatrix};
+
+#[test]
+fn structurally_singular_matrix_is_rejected() {
+    // Empty column: no transversal exists; MC64 must fail and the error
+    // must surface through the pipeline.
+    let mut coo = CooMatrix::new(3, 3);
+    coo.push(0, 0, 1.0).unwrap();
+    coo.push(1, 1, 1.0).unwrap();
+    coo.push(2, 1, 1.0).unwrap(); // column 2 stays empty
+    let a = coo.to_csc();
+    let msg = match Solver::factor(&a) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("structurally singular matrix factored"),
+    };
+    assert!(msg.contains("singular"), "unexpected error: {msg}");
+}
+
+#[test]
+fn non_square_matrix_is_rejected() {
+    let a = CscMatrix::zeros(3, 4);
+    assert!(Solver::factor(&a).is_err());
+}
+
+#[test]
+fn empty_matrix_factors_trivially() {
+    let a = CscMatrix::zeros(0, 0);
+    let solver = Solver::factor(&a).unwrap();
+    assert_eq!(solver.solve(&[]).unwrap(), Vec::<f64>::new());
+}
+
+#[test]
+fn one_by_one_matrix() {
+    let a = CscMatrix::from_parts(1, 1, vec![0, 1], vec![0], vec![4.0]).unwrap();
+    let solver = Solver::factor(&a).unwrap();
+    let x = solver.solve(&[8.0]).unwrap();
+    assert!((x[0] - 2.0).abs() < 1e-15);
+    let (log_abs, sign) = solver.log_abs_det();
+    assert!((log_abs - 4.0f64.ln()).abs() < 1e-12);
+    assert_eq!(sign, 1);
+}
+
+#[test]
+fn wrong_rhs_length_is_rejected() {
+    let a = pangulu::sparse::gen::laplacian_2d(4, 4);
+    let solver = Solver::factor(&a).unwrap();
+    assert!(solver.solve(&[1.0; 3]).is_err());
+    assert!(solver.solve_transpose(&[1.0; 99]).is_err());
+}
+
+#[test]
+fn numerically_singular_with_floor_still_answers() {
+    // Numerically singular but structurally fine: the static pivot floor
+    // keeps the factorisation alive; refinement then reports a residual
+    // the caller can inspect instead of silently trusting x.
+    let mut coo = CooMatrix::new(2, 2);
+    coo.push(0, 0, 1.0).unwrap();
+    coo.push(0, 1, 1.0).unwrap();
+    coo.push(1, 0, 1.0).unwrap();
+    coo.push(1, 1, 1.0).unwrap(); // rank 1
+    let a = coo.to_csc();
+    let solver = Solver::builder().pivot_floor_rel(1e-8).build(&a).unwrap();
+    assert!(solver.stats().perturbed_pivots > 0);
+    let (_, sign) = solver.log_abs_det();
+    // Perturbed pivot keeps the determinant finite but tiny; sign defined.
+    assert!(sign != 0);
+    let (_x, resid, _) = solver.solve_refined(&a, &[1.0, 0.0], 1e-12, 3).unwrap();
+    assert!(resid > 1e-6, "a singular system cannot be solved accurately: {resid}");
+}

@@ -1,0 +1,42 @@
+//! Matrix Market I/O through the whole pipeline.
+
+use pangulu::prelude::*;
+use pangulu::sparse::{gen, io, ops};
+
+#[test]
+fn write_read_factor_solve() {
+    let a = gen::circuit(250, 99);
+    let path = std::env::temp_dir().join("pangulu_io_roundtrip_test.mtx");
+    io::write_matrix_market(&path, &a).unwrap();
+    let back = io::read_matrix_market(&path).unwrap();
+    assert_eq!(a, back);
+
+    let solver = Solver::factor(&back).unwrap();
+    let b = gen::test_rhs(back.nrows(), 1);
+    let x = solver.solve(&b).unwrap();
+    assert!(ops::relative_residual(&a, &x, &b).unwrap() < 1e-8);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn suitesparse_style_symmetric_file() {
+    // A symmetric .mtx (lower triangle stored) must expand and solve.
+    let data = "\
+%%MatrixMarket matrix coordinate real symmetric
+% a 4x4 SPD tridiagonal
+4 4 7
+1 1 2.0
+2 2 2.0
+3 3 2.0
+4 4 2.0
+2 1 -1.0
+3 2 -1.0
+4 3 -1.0
+";
+    let a = io::read_matrix_market_from(data.as_bytes()).unwrap();
+    assert_eq!(a.nnz(), 10);
+    let solver = Solver::factor(&a).unwrap();
+    let b = vec![1.0; 4];
+    let x = solver.solve(&b).unwrap();
+    assert!(ops::relative_residual(&a, &x, &b).unwrap() < 1e-12);
+}

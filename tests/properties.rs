@@ -1,0 +1,106 @@
+//! Property-based tests over the full pipeline (proptest).
+
+use proptest::prelude::*;
+
+use pangulu::prelude::*;
+use pangulu::sparse::ops::{ensure_diagonal, relative_residual, spmv};
+use pangulu::sparse::{CooMatrix, CscMatrix};
+
+/// A random square, diagonally dominant matrix (factorable without
+/// pivoting trouble) described by a seedable entry list.
+fn dd_matrix(n: usize, entries: &[(usize, usize, f64)]) -> CscMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sum = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            coo.push(i, j, v).unwrap();
+            row_sum[i] += v.abs();
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, row_sum[i] + 1.0).unwrap();
+    }
+    coo.to_csc()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn solver_recovers_random_solutions(
+        n in 5usize..40,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -2.0f64..2.0), 1..120),
+        x_true in proptest::collection::vec(-5.0f64..5.0, 40),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let x_true = &x_true[..n];
+        let b = spmv(&a, x_true).unwrap();
+        let solver = Solver::factor(&a).unwrap();
+        let x = solver.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn distributed_equals_sequential_solution(
+        n in 8usize..32,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -2.0f64..2.0), 1..100),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let b = pangulu::sparse::gen::test_rhs(n, 3);
+        let xs = Solver::builder().ranks(1).build(&a).unwrap().solve(&b).unwrap();
+        let xd = Solver::builder().ranks(3).build(&a).unwrap().solve(&b).unwrap();
+        for (p, q) in xs.iter().zip(&xd) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symbolic_pattern_is_closed_and_superset(
+        n in 4usize..30,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -2.0f64..2.0), 1..80),
+    ) {
+        let a = ensure_diagonal(&dd_matrix(n, &entries)).unwrap();
+        let fill = pangulu::symbolic::symbolic_fill(&a).unwrap();
+        let filled = fill.filled_matrix(&a).unwrap();
+        // Superset of A.
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(filled.get(r, c), v);
+        }
+        // Closed under the elimination rule.
+        prop_assert!(pangulu::symbolic::fill::is_elimination_closed(&filled));
+    }
+
+    #[test]
+    fn residual_small_for_any_rhs(
+        n in 5usize..30,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -3.0f64..3.0), 1..90),
+        b in proptest::collection::vec(-10.0f64..10.0, 30),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let b = &b[..n];
+        let solver = Solver::factor(&a).unwrap();
+        let x = solver.solve(b).unwrap();
+        prop_assert!(relative_residual(&a, &x, b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn mc64_diagonal_is_always_nonzero(
+        n in 3usize..25,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -4.0f64..4.0), 1..70),
+    ) {
+        let a = dd_matrix(n, &entries);
+        let m = pangulu::reorder::mc64::mc64(&a).unwrap();
+        for j in 0..n {
+            let i = m.row_perm.old_of(j);
+            prop_assert!(a.get(i, j) != 0.0, "matched entry ({i},{j}) is zero");
+        }
+    }
+}
