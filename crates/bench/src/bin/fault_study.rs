@@ -1,0 +1,82 @@
+//! Sync-wait-under-faults study: how much synchronisation time the
+//! synchronisation-free scheduler accumulates as injected communication
+//! faults get more severe, versus the level-set baseline on the same
+//! matrix and grid.
+//!
+//! For each severity level the same seeded `FaultPlan` shape is scaled
+//! up (delay probability/magnitude, reorder depth, transient-drop rate)
+//! and the **real** multi-threaded executor runs a 2×2-grid numeric
+//! factorisation; the CSV reports wall time, mean sync wait, retries and
+//! message counts. Usage: `cargo run --release --bin fault_study`.
+//! `PANGULU_MATRICES` / `PANGULU_SCALE` restrict or scale the suite.
+
+use std::time::Duration;
+
+use pangulu_comm::{FaultPlan, ProcessGrid};
+use pangulu_core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
+use pangulu_core::layout::OwnerMap;
+
+/// One severity step of the sweep: `level` in 0..=4, 0 = fault-free.
+fn plan_at(level: u32, seed: u64) -> Option<FaultPlan> {
+    if level == 0 {
+        return None;
+    }
+    let s = level as f64 / 4.0;
+    Some(
+        FaultPlan::reliable(seed)
+            .with_delays(0.2 * s + 0.1, Duration::from_micros((1500.0 * s) as u64 + 50))
+            .with_reordering(level as usize)
+            .with_drops(0.25 * s, 40, Duration::from_micros(60)),
+    )
+}
+
+fn main() {
+    let matrices = ["ecology1", "G3_circuit", "cage12"];
+    let wanted = pangulu_bench::suite();
+    let mut rows = Vec::new();
+    for name in matrices {
+        if !wanted.contains(&name) {
+            continue;
+        }
+        let a = pangulu_bench::load(name);
+        let prep = pangulu_bench::prepare(&a, 4);
+        let owners = OwnerMap::balanced(&prep.bm, ProcessGrid::with_shape(2, 2), &prep.tg);
+        let sel = pangulu_kernels::select::KernelSelector::new(
+            a.nnz(),
+            pangulu_kernels::select::Thresholds::default(),
+        );
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            for level in 0..=4u32 {
+                let mut bm = prep.bm.clone();
+                let mut cfg = FactorConfig::with_mode(mode);
+                if let Some(plan) = plan_at(level, 1000 + level as u64) {
+                    cfg = cfg.with_fault(plan);
+                }
+                let run = factor_distributed_checked(
+                    &mut bm,
+                    &prep.tg,
+                    &owners,
+                    &sel,
+                    1e-8,
+                    &cfg,
+                )
+                .unwrap_or_else(|e| panic!("{name} {mode:?} level {level}: {e}"));
+                let st = &run.stats;
+                rows.push(format!(
+                    "{name},{mode:?},{level},{:.6},{:.6},{},{},{}",
+                    st.wall_time.as_secs_f64(),
+                    st.mean_sync_wait().as_secs_f64(),
+                    st.messages,
+                    st.retried_sends,
+                    st.recv_timeouts,
+                ));
+                eprintln!("[fault_study] {name} {mode:?} severity {level} done");
+            }
+        }
+    }
+    pangulu_bench::emit_csv(
+        "fault_study",
+        "matrix,mode,severity,wall_s,mean_sync_wait_s,messages,retries,recv_timeouts",
+        &rows,
+    );
+}

@@ -12,14 +12,20 @@
 //!   receive (the "wait for a sub-matrix block" state of Fig. 10);
 //! * [`cost`] — the communication/compute cost model and the two platform
 //!   profiles (A100-class, MI50-class) used by the discrete-event
-//!   scalability simulator.
+//!   scalability simulator;
+//! * [`fault`] — deterministic fault injection (delay, bounded
+//!   reordering, transient drop with retry, bandwidth shaping) used to
+//!   stress the synchronisation-free scheduler under adversarial message
+//!   timing.
 
 pub mod cost;
+pub mod fault;
 pub mod grid;
 pub mod mailbox;
 pub mod msg;
 
 pub use cost::PlatformProfile;
+pub use fault::{EdgeRng, Fate, FaultPlan};
 pub use grid::ProcessGrid;
-pub use mailbox::{Mailbox, MailboxSet};
+pub use mailbox::{DeliveryRecord, Mailbox, MailboxSet};
 pub use msg::{BlockMsg, BlockRole};

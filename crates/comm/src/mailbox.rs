@@ -1,16 +1,81 @@
-//! Per-rank mailboxes over crossbeam channels.
+//! Per-rank mailboxes over `std::sync::mpsc` channels.
 //!
 //! Each rank owns a receiver and can send to every other rank; this is
 //! the thread-as-MPI-rank transport. The numeric factorisation uses
 //! [`Mailbox::try_recv`] to drain without blocking while kernels are
 //! runnable, and [`Mailbox::recv`] to block when the task queue is empty —
 //! the time spent blocked is the measured synchronisation time (Fig. 13).
+//!
+//! A [`MailboxSet`] built with [`MailboxSet::with_faults`] threads every
+//! message through the deterministic fault layer ([`crate::fault`]):
+//! messages acquire a delivery deadline (delay/shaping/backoff), may be
+//! held in a bounded per-edge reorder buffer, or may be permanently lost
+//! once their retry budget is exhausted. Receivers hold not-yet-due
+//! messages in a local heap, so injected delays never block the channel.
+//!
+//! Every mailbox also keeps send/receive logs — the raw material of the
+//! schedule-trace validator's exactly-once delivery check.
 
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::fault::{EdgeRng, Fate, FaultPlan};
+use crate::msg::{BlockMsg, BlockRole};
 
-use crate::msg::BlockMsg;
+/// One logged message transfer (sender or receiver side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeliveryRecord {
+    /// Sending rank.
+    pub from: usize,
+    /// Destination rank.
+    pub to: usize,
+    /// Block row of the shipped block.
+    pub bi: usize,
+    /// Block column of the shipped block.
+    pub bj: usize,
+    /// Role of the shipped block at the receiver.
+    pub role: BlockRole,
+}
+
+/// A message in flight, stamped with its injected delivery deadline.
+struct Envelope {
+    msg: BlockMsg,
+    from: usize,
+    /// `None` delivers immediately; `Some(t)` not before `t`.
+    due: Option<Instant>,
+    /// Sender-side sequence number (per mailbox), for stable ordering.
+    seq: u64,
+}
+
+/// Held-back message ordered by due time (earliest first out).
+struct HeldMsg(Envelope);
+
+impl PartialEq for HeldMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.due == other.0.due && self.0.seq == other.0.seq
+    }
+}
+impl Eq for HeldMsg {}
+impl PartialOrd for HeldMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due
+        // (None = immediately) on top. `None < Some(_)` for Option.
+        (other.0.due, other.0.seq).cmp(&(self.0.due, self.0.seq))
+    }
+}
+
+/// Per-destination fault state of one sending mailbox.
+struct Edge {
+    rng: EdgeRng,
+    /// Bounded reorder buffer (only used when `reorder_depth > 0`).
+    buffer: Vec<Envelope>,
+}
 
 /// Builder for the full set of rank mailboxes.
 pub struct MailboxSet {
@@ -18,12 +83,24 @@ pub struct MailboxSet {
 }
 
 impl MailboxSet {
-    /// Creates mailboxes for `p` ranks, all-to-all connected.
+    /// Creates mailboxes for `p` ranks, all-to-all connected, with a
+    /// reliable (fault-free) transport.
     pub fn new(p: usize) -> Self {
-        let mut senders: Vec<Sender<BlockMsg>> = Vec::with_capacity(p);
-        let mut receivers: Vec<Receiver<BlockMsg>> = Vec::with_capacity(p);
+        Self::build(p, None)
+    }
+
+    /// As [`MailboxSet::new`], but every send runs through the seeded
+    /// fault plan.
+    pub fn with_faults(p: usize, plan: FaultPlan) -> Self {
+        Self::build(p, Some(plan))
+    }
+
+    fn build(p: usize, plan: Option<FaultPlan>) -> Self {
+        assert!(p > 0, "mailbox world needs at least one rank");
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(p);
         for _ in 0..p {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             senders.push(s);
             receivers.push(r);
         }
@@ -34,9 +111,22 @@ impl MailboxSet {
                 rank,
                 receiver,
                 senders: senders.clone(),
+                plan: plan.clone(),
+                edges: plan.as_ref().map(|pl| {
+                    (0..p).map(|to| Edge { rng: EdgeRng::new(pl.seed, rank, to), buffer: Vec::new() }).collect()
+                }),
+                holdback: BinaryHeap::new(),
+                send_seq: 0,
                 sync_wait: Duration::ZERO,
                 sent_msgs: 0,
                 sent_bytes: 0,
+                retried_sends: 0,
+                dropped_msgs: 0,
+                undeliverable: 0,
+                recv_timeouts: 0,
+                sent_log: Vec::new(),
+                recv_log: Vec::new(),
+                lost_log: Vec::new(),
             })
             .collect();
         MailboxSet { mailboxes }
@@ -51,11 +141,23 @@ impl MailboxSet {
 /// One rank's endpoint: its receiver plus senders to every rank.
 pub struct Mailbox {
     rank: usize,
-    receiver: Receiver<BlockMsg>,
-    senders: Vec<Sender<BlockMsg>>,
+    receiver: Receiver<Envelope>,
+    senders: Vec<Sender<Envelope>>,
+    plan: Option<FaultPlan>,
+    edges: Option<Vec<Edge>>,
+    /// Received-but-not-yet-due messages (fault mode only).
+    holdback: BinaryHeap<HeldMsg>,
+    send_seq: u64,
     sync_wait: Duration,
     sent_msgs: u64,
     sent_bytes: u64,
+    retried_sends: u64,
+    dropped_msgs: u64,
+    undeliverable: u64,
+    recv_timeouts: u64,
+    sent_log: Vec<DeliveryRecord>,
+    recv_log: Vec<DeliveryRecord>,
+    lost_log: Vec<DeliveryRecord>,
 }
 
 impl Mailbox {
@@ -71,29 +173,182 @@ impl Mailbox {
 
     /// Sends a block to `to`. Sending to self is allowed (the scheduler
     /// short-circuits it in practice, but correctness does not depend on
-    /// that).
+    /// that). Under a fault plan the message may be delayed, reordered
+    /// behind later sends, or — once its retry budget is exhausted —
+    /// permanently lost; the runtime's recv-timeout path is responsible
+    /// for surfacing a loss as a structured error.
     pub fn send(&mut self, to: usize, msg: BlockMsg) {
+        assert!(to < self.senders.len(), "destination rank {to} out of range");
         self.sent_msgs += 1;
         self.sent_bytes += msg.payload_bytes() as u64;
-        // A send can only fail when the receiver thread is gone, which
-        // only happens after a panic elsewhere; propagating keeps the
-        // failure visible instead of hanging the run.
-        self.senders[to].send(msg).expect("receiving rank has shut down");
+        let record = DeliveryRecord { from: self.rank, to, bi: msg.bi, bj: msg.bj, role: msg.role };
+        self.send_seq += 1;
+        let mut env = Envelope { msg, from: self.rank, due: None, seq: self.send_seq };
+
+        if let (Some(plan), Some(edges)) = (self.plan.as_ref(), self.edges.as_mut()) {
+            let edge = &mut edges[to];
+            match plan.fate(&mut edge.rng, env.msg.payload_bytes()) {
+                Fate::Lost => {
+                    self.dropped_msgs += 1;
+                    self.lost_log.push(record);
+                    return;
+                }
+                Fate::Deliver { delay, retries } => {
+                    self.retried_sends += retries as u64;
+                    if delay > Duration::ZERO {
+                        env.due = Some(Instant::now() + delay);
+                    }
+                }
+            }
+            if plan.reorder_depth > 0 {
+                edge.buffer.push(env);
+                if edge.buffer.len() > plan.reorder_depth {
+                    let idx = edge.rng.below(edge.buffer.len() as u64) as usize;
+                    let out = edge.buffer.swap_remove(idx);
+                    // The released envelope is generally NOT the one just
+                    // pushed — log what actually goes on the wire.
+                    let out_record = DeliveryRecord {
+                        from: self.rank,
+                        to,
+                        bi: out.msg.bi,
+                        bj: out.msg.bj,
+                        role: out.msg.role,
+                    };
+                    Self::transmit(
+                        &self.senders,
+                        to,
+                        out,
+                        out_record,
+                        &mut self.sent_log,
+                        &mut self.undeliverable,
+                    );
+                }
+                return;
+            }
+        }
+        Self::transmit(&self.senders, to, env, record, &mut self.sent_log, &mut self.undeliverable);
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<BlockMsg> {
-        self.receiver.try_recv().ok()
+    fn transmit(
+        senders: &[Sender<Envelope>],
+        to: usize,
+        env: Envelope,
+        record: DeliveryRecord,
+        sent_log: &mut Vec<DeliveryRecord>,
+        undeliverable: &mut u64,
+    ) {
+        // A send can only fail when the receiving thread has already shut
+        // down — legitimate while a run is aborting after a DistError, so
+        // it is counted, not propagated.
+        match senders[to].send(env) {
+            Ok(()) => sent_log.push(record),
+            Err(_) => *undeliverable += 1,
+        }
+    }
+
+    /// Releases every message still sitting in this rank's reorder
+    /// buffers (in send order). Executors call this before blocking and
+    /// before exiting so a buffered message can never be stranded by an
+    /// idle or finished sender.
+    pub fn flush_pending(&mut self) {
+        let Some(edges) = self.edges.as_mut() else { return };
+        for (to, edge) in edges.iter_mut().enumerate() {
+            if edge.buffer.is_empty() {
+                continue;
+            }
+            edge.buffer.sort_by_key(|e| e.seq);
+            for env in edge.buffer.drain(..) {
+                let record = DeliveryRecord {
+                    from: self.rank,
+                    to,
+                    bi: env.msg.bi,
+                    bj: env.msg.bj,
+                    role: env.msg.role,
+                };
+                Self::transmit(
+                    &self.senders,
+                    to,
+                    env,
+                    record,
+                    &mut self.sent_log,
+                    &mut self.undeliverable,
+                );
+            }
+        }
+    }
+
+    /// Moves everything queued on the channel into the holdback heap.
+    fn pump(&mut self) {
+        while let Ok(env) = self.receiver.try_recv() {
+            self.holdback.push(HeldMsg(env));
+        }
+    }
+
+    /// Pops the earliest held message whose due time has passed.
+    fn pop_ripe(&mut self) -> Option<BlockMsg> {
+        let ripe = match self.holdback.peek() {
+            Some(held) => held.0.due.map_or(true, |t| t <= Instant::now()),
+            None => false,
+        };
+        if !ripe {
+            return None;
+        }
+        let env = self.holdback.pop().expect("peeked holdback entry").0;
+        self.recv_log.push(DeliveryRecord {
+            from: env.from,
+            to: self.rank,
+            bi: env.msg.bi,
+            bj: env.msg.bj,
+            role: env.msg.role,
+        });
+        Some(env.msg)
+    }
+
+    /// Non-blocking receive. Messages still under an injected delay stay
+    /// invisible until their due time.
+    pub fn try_recv(&mut self) -> Option<BlockMsg> {
+        self.pump();
+        self.pop_ripe()
     }
 
     /// Blocking receive with timeout; the time actually spent blocked is
-    /// added to this rank's synchronisation-wait accounting.
+    /// added to this rank's synchronisation-wait accounting. Returns
+    /// `None` on timeout (and counts it — the caller's stall detector
+    /// builds on these).
     pub fn recv(&mut self, timeout: Duration) -> Option<BlockMsg> {
         let start = Instant::now();
-        let out = match self.receiver.recv_timeout(timeout) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => None,
+        let deadline = start + timeout;
+        let out = loop {
+            self.pump();
+            if let Some(m) = self.pop_ripe() {
+                break Some(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.recv_timeouts += 1;
+                break None;
+            }
+            let mut wait = deadline - now;
+            // Wake up early if a held message ripens before the deadline.
+            if let Some(held) = self.holdback.peek() {
+                if let Some(due) = held.0.due {
+                    let until = due.saturating_duration_since(now);
+                    wait = wait.min(until.max(Duration::from_micros(100)));
+                }
+            }
+            match self.receiver.recv_timeout(wait) {
+                Ok(env) => self.holdback.push(HeldMsg(env)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable in practice (each mailbox holds its own
+                    // sender), kept total for robustness.
+                    if self.holdback.is_empty() {
+                        self.recv_timeouts += 1;
+                        break None;
+                    }
+                    std::thread::sleep(wait.min(Duration::from_millis(1)));
+                }
+            }
         };
         self.sync_wait += start.elapsed();
         out
@@ -104,7 +359,8 @@ impl Mailbox {
         self.sync_wait
     }
 
-    /// Number of messages sent by this rank.
+    /// Number of messages sent by this rank (including retried and
+    /// permanently dropped ones).
     pub fn sent_msgs(&self) -> u64 {
         self.sent_msgs
     }
@@ -112,6 +368,54 @@ impl Mailbox {
     /// Total bytes sent by this rank.
     pub fn sent_bytes(&self) -> u64 {
         self.sent_bytes
+    }
+
+    /// Transmission retries the fault layer consumed on this rank's sends.
+    pub fn retried_sends(&self) -> u64 {
+        self.retried_sends
+    }
+
+    /// Messages permanently lost after exhausting their retry budget.
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
+    }
+
+    /// Sends that failed because the receiver had already shut down.
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable
+    }
+
+    /// Number of [`Mailbox::recv`] calls that returned `None` on timeout.
+    pub fn recv_timeouts(&self) -> u64 {
+        self.recv_timeouts
+    }
+
+    /// Messages actually handed to the channel, by destination and block.
+    pub fn sent_log(&self) -> &[DeliveryRecord] {
+        &self.sent_log
+    }
+
+    /// Messages this rank received, in delivery order.
+    pub fn recv_log(&self) -> &[DeliveryRecord] {
+        &self.recv_log
+    }
+
+    /// Messages permanently lost by the fault layer on this rank's sends.
+    pub fn lost_log(&self) -> &[DeliveryRecord] {
+        &self.lost_log
+    }
+
+    /// Consumes the mailbox, returning `(sent, received, lost)` logs.
+    pub fn into_logs(self) -> (Vec<DeliveryRecord>, Vec<DeliveryRecord>, Vec<DeliveryRecord>) {
+        (self.sent_log, self.recv_log, self.lost_log)
+    }
+}
+
+/// Convenience constructor for log-shaped test data.
+impl DeliveryRecord {
+    /// Builds a record.
+    pub fn new(from: usize, to: usize, bi: usize, bj: usize, role: BlockRole) -> Self {
+        DeliveryRecord { from, to, bi, bj, role }
     }
 }
 
@@ -127,7 +431,7 @@ mod tests {
     #[test]
     fn send_and_receive_between_ranks() {
         let mut boxes = MailboxSet::new(2).into_mailboxes();
-        let (mut a, b) = {
+        let (mut a, mut b) = {
             let b = boxes.pop().unwrap();
             let a = boxes.pop().unwrap();
             (a, b)
@@ -139,11 +443,14 @@ mod tests {
         assert_eq!(got.bi, 7);
         assert_eq!(a.sent_msgs(), 1);
         assert!(a.sent_bytes() > 0);
+        assert_eq!(a.sent_log().len(), 1);
+        assert_eq!(b.recv_log().len(), 1);
+        assert_eq!(b.recv_log()[0], DeliveryRecord::new(0, 1, 7, 0, BlockRole::DiagFactor));
     }
 
     #[test]
     fn try_recv_empty_returns_none() {
-        let boxes = MailboxSet::new(1).into_mailboxes();
+        let mut boxes = MailboxSet::new(1).into_mailboxes();
         assert!(boxes[0].try_recv().is_none());
     }
 
@@ -154,6 +461,7 @@ mod tests {
         let got = mb.recv(Duration::from_millis(20));
         assert!(got.is_none());
         assert!(mb.sync_wait() >= Duration::from_millis(15));
+        assert_eq!(mb.recv_timeouts(), 1);
     }
 
     #[test]
@@ -168,5 +476,65 @@ mod tests {
             let got = b0.recv(Duration::from_secs(5)).expect("delivery");
             assert_eq!(got.bi, 3);
         });
+    }
+
+    #[test]
+    fn delayed_message_is_invisible_until_due() {
+        let plan = FaultPlan::reliable(1).with_delays(1.0, Duration::from_millis(40));
+        let mut boxes = MailboxSet::with_faults(2, plan).into_mailboxes();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        b1.send(0, msg(5));
+        // The message has a nonzero injected delay with probability 1; an
+        // immediate try_recv can't see it (unless the draw was ~0, so
+        // allow the race by only asserting eventual delivery hard).
+        let eventually = b0.recv(Duration::from_millis(500));
+        assert_eq!(eventually.expect("delayed delivery").bi, 5);
+    }
+
+    #[test]
+    fn reorder_buffer_never_strands_messages() {
+        let plan = FaultPlan::reliable(2).with_reordering(4);
+        let mut boxes = MailboxSet::with_faults(2, plan).into_mailboxes();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        for i in 0..3 {
+            b1.send(0, msg(i)); // fewer than the buffer depth
+        }
+        assert!(b0.try_recv().is_none(), "all three should sit in the reorder buffer");
+        b1.flush_pending();
+        let mut got = Vec::new();
+        while let Some(m) = b0.recv(Duration::from_millis(200)) {
+            got.push(m.bi);
+            if got.len() == 3 {
+                break;
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_drops_permanently() {
+        let plan = FaultPlan::reliable(3).with_drops(1.0, 2, Duration::ZERO);
+        let mut boxes = MailboxSet::with_faults(2, plan).into_mailboxes();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        b1.send(0, msg(9));
+        assert_eq!(b1.dropped_msgs(), 1);
+        assert_eq!(b1.lost_log().len(), 1);
+        assert!(b0.recv(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn fifo_preserved_without_faults() {
+        let mut boxes = MailboxSet::new(2).into_mailboxes();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        for i in 0..16 {
+            b1.send(0, msg(i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| b0.try_recv()).map(|m| m.bi).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
     }
 }

@@ -17,12 +17,28 @@
 //! Ranks share **no** mutable state: each worker clones its owned blocks
 //! out of the input structure, and remote operands exist only as received
 //! copies — the same discipline an MPI implementation is forced into.
+//!
+//! Two properties make the executor testable under adversarial message
+//! timing (see `pangulu_comm::fault` and `crate::trace_check`):
+//!
+//! * **Deterministic update order** — the SSSSM updates targeting one
+//!   block are applied in ascending elimination-step order, regardless of
+//!   the order their operands arrive. Floating-point addition is not
+//!   associative, so this is what makes the computed factors *bitwise*
+//!   identical across runs, grids, and fault schedules.
+//! * **Bounded stalls** — a rank that makes no progress for
+//!   [`FactorConfig::stall_timeout`] aborts the whole run with a
+//!   structured [`DistError`] naming the blocked rank and the exact
+//!   missing operand blocks, instead of hanging. A permanently dropped
+//!   message therefore surfaces as a diagnosable error.
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::Barrier;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pangulu_comm::{BlockMsg, BlockRole, Mailbox, MailboxSet};
+use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
 use pangulu_kernels::select::KernelSelector;
 use pangulu_kernels::{flops, getrf, ssssm, trsm, KernelScratch};
 use pangulu_sparse::CscMatrix;
@@ -40,6 +56,146 @@ pub enum ScheduleMode {
     LevelSet,
 }
 
+/// Full configuration of one distributed factorisation run.
+#[derive(Debug, Clone)]
+pub struct FactorConfig {
+    /// Scheduling policy.
+    pub mode: ScheduleMode,
+    /// Optional seeded fault plan applied to every message.
+    pub fault: Option<FaultPlan>,
+    /// How long a rank may sit with nothing runnable and no incoming
+    /// messages before the run aborts with a [`DistError`].
+    pub stall_timeout: Duration,
+    /// Record per-kernel [`TraceEvent`]s.
+    pub traced: bool,
+}
+
+impl Default for FactorConfig {
+    fn default() -> Self {
+        FactorConfig {
+            mode: ScheduleMode::SyncFree,
+            fault: None,
+            stall_timeout: Duration::from_secs(60),
+            traced: false,
+        }
+    }
+}
+
+impl FactorConfig {
+    /// Config for a plain run under the given mode.
+    pub fn with_mode(mode: ScheduleMode) -> Self {
+        FactorConfig { mode, ..Default::default() }
+    }
+
+    /// Adds a fault plan.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the stall timeout.
+    pub fn with_stall_timeout(mut self, t: Duration) -> Self {
+        self.stall_timeout = t;
+        self
+    }
+
+    /// Enables kernel tracing.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+/// An operand a stalled rank was still waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingDep {
+    /// The factored diagonal block `k` gating the panel op of `block`.
+    Diag {
+        /// Elimination step of the missing diagonal factor.
+        k: usize,
+        /// The blocked panel block.
+        block: (usize, usize),
+    },
+    /// The L-panel operand `(i, k)` of an SSSSM update on `target`.
+    LOperand {
+        /// Block row of the missing operand.
+        i: usize,
+        /// Elimination step of the missing operand.
+        k: usize,
+        /// The blocked SSSSM target block.
+        target: (usize, usize),
+    },
+    /// The U-panel operand `(k, j)` of an SSSSM update on `target`.
+    UOperand {
+        /// Elimination step of the missing operand.
+        k: usize,
+        /// Block column of the missing operand.
+        j: usize,
+        /// The blocked SSSSM target block.
+        target: (usize, usize),
+    },
+}
+
+impl fmt::Display for MissingDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MissingDep::Diag { k, block } => {
+                write!(f, "diagonal factor ({k},{k}) for panel block {block:?}")
+            }
+            MissingDep::LOperand { i, k, target } => {
+                write!(f, "L-panel block ({i},{k}) for SSSSM target {target:?}")
+            }
+            MissingDep::UOperand { k, j, target } => {
+                write!(f, "U-panel block ({k},{j}) for SSSSM target {target:?}")
+            }
+        }
+    }
+}
+
+/// Structured diagnosis of a stalled distributed run.
+#[derive(Debug, Clone)]
+pub struct DistError {
+    /// The rank that first exceeded the stall timeout.
+    pub rank: usize,
+    /// Its current elimination step (level-set mode) or the lowest step
+    /// with unfinished work.
+    pub step: usize,
+    /// Tasks the rank still owed when it gave up.
+    pub remaining: usize,
+    /// How long the rank waited without progress.
+    pub waited: Duration,
+    /// The operand blocks it was waiting for (capped).
+    pub missing: Vec<MissingDep>,
+    /// Messages the fault layer permanently dropped on this rank's sends
+    /// (sender-side view, available when the stalled rank also sent).
+    pub lost_sends: usize,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} stalled for {:.1?} at step {} with {} tasks remaining",
+            self.rank, self.waited, self.step, self.remaining
+        )?;
+        if !self.missing.is_empty() {
+            write!(f, "; missing: ")?;
+            for (n, m) in self.missing.iter().enumerate() {
+                if n > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{m}")?;
+            }
+        }
+        if self.lost_sends > 0 {
+            write!(f, " ({} messages permanently dropped by the fault plan)", self.lost_sends)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DistError {}
+
 /// Aggregated statistics of one distributed factorisation.
 #[derive(Debug, Clone, Default)]
 pub struct DistStats {
@@ -55,6 +211,12 @@ pub struct DistStats {
     pub bytes: u64,
     /// Statically perturbed pivots across ranks.
     pub perturbed_pivots: usize,
+    /// Transmission retries consumed by the fault layer.
+    pub retried_sends: u64,
+    /// Messages permanently dropped by the fault layer.
+    pub dropped_msgs: u64,
+    /// Blocking receives that timed out across ranks.
+    pub recv_timeouts: u64,
 }
 
 impl DistStats {
@@ -76,11 +238,29 @@ pub struct TraceEvent {
     pub task: Task,
     /// Start offset from the beginning of the numeric phase.
     pub start: Duration,
-    /// End offset.
+    /// End offset. Recorded *before* the produced block is shipped, so a
+    /// consumer's `start` on any rank is always `>=` its producer's `end`.
     pub end: Duration,
 }
 
+/// Everything a checked factorisation run hands back.
+#[derive(Debug, Clone, Default)]
+pub struct FactorRun {
+    /// Aggregated statistics.
+    pub stats: DistStats,
+    /// Kernel timeline (empty unless [`FactorConfig::traced`]).
+    pub trace: Vec<TraceEvent>,
+    /// Every message handed to the transport, sender-side view.
+    pub sent: Vec<DeliveryRecord>,
+    /// Every message delivered, receiver-side view.
+    pub received: Vec<DeliveryRecord>,
+    /// Messages permanently dropped by the fault layer.
+    pub lost: Vec<DeliveryRecord>,
+}
+
 /// Factorises `bm` in place across `owners.num_ranks()` rank threads.
+/// Panics if the run stalls (see [`factor_distributed_checked`] for the
+/// error-returning form).
 pub fn factor_distributed(
     bm: &mut BlockMatrix,
     tg: &TaskGraph,
@@ -89,7 +269,10 @@ pub fn factor_distributed(
     pivot_floor: f64,
     mode: ScheduleMode,
 ) -> DistStats {
-    factor_distributed_impl(bm, tg, owners, selector, pivot_floor, mode, false).0
+    match factor_distributed_checked(bm, tg, owners, selector, pivot_floor, &FactorConfig::with_mode(mode)) {
+        Ok(run) => run.stats,
+        Err(e) => panic!("distributed factorisation failed: {e}"),
+    }
 }
 
 /// As [`factor_distributed`], additionally recording every executed
@@ -104,23 +287,43 @@ pub fn factor_distributed_traced(
     pivot_floor: f64,
     mode: ScheduleMode,
 ) -> (DistStats, Vec<TraceEvent>) {
-    factor_distributed_impl(bm, tg, owners, selector, pivot_floor, mode, true)
+    match factor_distributed_checked(
+        bm,
+        tg,
+        owners,
+        selector,
+        pivot_floor,
+        &FactorConfig::with_mode(mode).traced(),
+    ) {
+        Ok(run) => (run.stats, run.trace),
+        Err(e) => panic!("distributed factorisation failed: {e}"),
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn factor_distributed_impl(
+/// The fully configurable entry point: runs the distributed numeric
+/// factorisation under `cfg` (scheduling mode, fault plan, stall
+/// timeout, tracing) and returns the stats, kernel timeline, and message
+/// logs. On a stall — e.g. a message permanently lost by the fault
+/// plan — every rank shuts down cooperatively and the first structured
+/// [`DistError`] is returned; `bm` is left untouched in that case.
+pub fn factor_distributed_checked(
     bm: &mut BlockMatrix,
     tg: &TaskGraph,
     owners: &OwnerMap,
     selector: &KernelSelector,
     pivot_floor: f64,
-    mode: ScheduleMode,
-    traced: bool,
-) -> (DistStats, Vec<TraceEvent>) {
+    cfg: &FactorConfig,
+) -> Result<FactorRun, DistError> {
     let p = owners.num_ranks();
     let start = Instant::now();
-    let mailboxes = MailboxSet::new(p).into_mailboxes();
-    let barrier = Barrier::new(p);
+    let mailboxes = match &cfg.fault {
+        Some(plan) => MailboxSet::with_faults(p, plan.clone()),
+        None => MailboxSet::new(p),
+    }
+    .into_mailboxes();
+    let barrier = StepBarrier::new(p);
+    let abort = AtomicBool::new(false);
+    let first_err: Mutex<Option<DistError>> = Mutex::new(None);
 
     let mut worker_outputs: Vec<WorkerOutput> = Vec::with_capacity(p);
     {
@@ -130,11 +333,14 @@ fn factor_distributed_impl(
                 .into_iter()
                 .map(|mb| {
                     let barrier = &barrier;
+                    let abort = &abort;
+                    let first_err = &first_err;
                     s.spawn(move || {
                         let mut w = Worker::new(
-                            bm_ref, tg, owners, selector, pivot_floor, mode, mb, barrier,
+                            bm_ref, tg, owners, selector, pivot_floor, cfg, mb, barrier, abort,
+                            first_err,
                         );
-                        w.trace_origin = Some(start).filter(|_| traced);
+                        w.trace_origin = Some(start).filter(|_| cfg.traced);
                         w.run()
                     })
                 })
@@ -145,26 +351,82 @@ fn factor_distributed_impl(
         });
     }
 
-    let mut stats = DistStats {
-        wall_time: start.elapsed(),
-        busy: vec![Duration::ZERO; p],
-        sync_wait: vec![Duration::ZERO; p],
+    if let Some(err) = first_err.into_inner().expect("error slot poisoned") {
+        return Err(err);
+    }
+
+    let mut run = FactorRun {
+        stats: DistStats {
+            wall_time: start.elapsed(),
+            busy: vec![Duration::ZERO; p],
+            sync_wait: vec![Duration::ZERO; p],
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut trace = Vec::new();
     for out in worker_outputs {
-        stats.busy[out.rank] = out.busy;
-        stats.sync_wait[out.rank] = out.sync_wait;
-        stats.messages += out.messages;
-        stats.bytes += out.bytes;
-        stats.perturbed_pivots += out.perturbed;
+        run.stats.busy[out.rank] = out.busy;
+        run.stats.sync_wait[out.rank] = out.sync_wait;
+        run.stats.messages += out.messages;
+        run.stats.bytes += out.bytes;
+        run.stats.perturbed_pivots += out.perturbed;
+        run.stats.retried_sends += out.retried;
+        run.stats.dropped_msgs += out.dropped;
+        run.stats.recv_timeouts += out.recv_timeouts;
         for (id, blk) in out.blocks {
             *bm.block_mut(id) = blk;
         }
         trace.extend(out.trace);
+        run.sent.extend(out.sent);
+        run.received.extend(out.received);
+        run.lost.extend(out.lost);
     }
     trace.sort_by_key(|e| e.start);
-    (stats, trace)
+    run.trace = trace;
+    Ok(run)
+}
+
+/// A reusable, abort-aware step barrier: like [`std::sync::Barrier`] but
+/// a waiter returns `false` (instead of blocking forever) once the abort
+/// flag is raised — which is what keeps a [`DistError`] on one rank from
+/// deadlocking the level-set mode's lockstep ranks.
+struct StepBarrier {
+    parties: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl StepBarrier {
+    fn new(parties: usize) -> Self {
+        StepBarrier { parties, state: Mutex::new((0, 0)), cv: Condvar::new() }
+    }
+
+    /// Waits for all parties; returns `false` if the run aborted.
+    fn wait(&self, abort: &AtomicBool) -> bool {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        let gen = st.1;
+        st.0 += 1;
+        if st.0 == self.parties {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        loop {
+            if abort.load(AtomicOrdering::Relaxed) {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(10))
+                .expect("barrier poisoned");
+            st = guard;
+            if st.1 != gen {
+                return true;
+            }
+        }
+    }
 }
 
 /// What one rank hands back.
@@ -176,7 +438,22 @@ struct WorkerOutput {
     messages: u64,
     bytes: u64,
     perturbed: usize,
+    retried: u64,
+    dropped: u64,
+    recv_timeouts: u64,
     trace: Vec<TraceEvent>,
+    sent: Vec<DeliveryRecord>,
+    received: Vec<DeliveryRecord>,
+    lost: Vec<DeliveryRecord>,
+}
+
+/// Bookkeeping emitted by the kernel part of [`Worker::execute`]; the
+/// trace event is recorded between the kernel and this follow-up so the
+/// producer's `end` timestamp is on the clock before any consumer can
+/// observe the result.
+enum Post {
+    Panel { id: usize, step: usize, role: BlockRole },
+    Update { cid: usize, k: usize },
 }
 
 /// Per-rank executor state.
@@ -188,8 +465,11 @@ struct Worker<'a> {
     selector: &'a KernelSelector,
     pivot_floor: f64,
     mode: ScheduleMode,
+    stall_timeout: Duration,
     mailbox: Mailbox,
-    barrier: &'a Barrier,
+    barrier: &'a StepBarrier,
+    abort: &'a AtomicBool,
+    first_err: &'a Mutex<Option<DistError>>,
 
     /// This rank's working copies of its owned blocks.
     my_blocks: HashMap<usize, CscMatrix>,
@@ -207,6 +487,13 @@ struct Worker<'a> {
     have_l: HashSet<(usize, usize)>,
     /// U-panel operands available, keyed `(k, j)`.
     have_u: HashSet<(usize, usize)>,
+    /// Deterministic update order: per owned target block, the ascending
+    /// elimination steps of its SSSSM updates...
+    upd_order: HashMap<usize, Vec<usize>>,
+    /// ...the index of the next update to apply...
+    upd_pos: HashMap<usize, usize>,
+    /// ...and the steps whose operands have both arrived.
+    upd_ready: HashMap<usize, HashSet<usize>>,
 
     queue: BinaryHeap<PrioritisedTask>,
     remaining: usize,
@@ -232,9 +519,11 @@ impl<'a> Worker<'a> {
         owners: &'a OwnerMap,
         selector: &'a KernelSelector,
         pivot_floor: f64,
-        mode: ScheduleMode,
+        cfg: &FactorConfig,
         mailbox: Mailbox,
-        barrier: &'a Barrier,
+        barrier: &'a StepBarrier,
+        abort: &'a AtomicBool,
+        first_err: &'a Mutex<Option<DistError>>,
     ) -> Self {
         let rank = mailbox.rank();
         // Clone owned blocks (the "distribute the matrix" preprocessing
@@ -251,13 +540,19 @@ impl<'a> Worker<'a> {
                 step_total[bm.step_of(id)] += 1;
             }
         }
+        let mut upd_order: HashMap<usize, Vec<usize>> = HashMap::new();
         for &(i, j, k) in &tg.ssssm {
             let cid = bm.block_id(i, j).expect("ssssm target exists");
             if owners.owner_of(cid) == rank {
                 remaining += 1;
                 step_total[k] += 1;
+                upd_order.entry(cid).or_default().push(k);
             }
         }
+        for order in upd_order.values_mut() {
+            order.sort_unstable();
+        }
+        let upd_pos = upd_order.keys().map(|&cid| (cid, 0usize)).collect();
         Worker {
             rank,
             bm,
@@ -265,9 +560,12 @@ impl<'a> Worker<'a> {
             owners,
             selector,
             pivot_floor,
-            mode,
+            mode: cfg.mode,
+            stall_timeout: cfg.stall_timeout,
             mailbox,
             barrier,
+            abort,
+            first_err,
             my_blocks,
             remote: HashMap::new(),
             finished: HashSet::new(),
@@ -276,6 +574,9 @@ impl<'a> Worker<'a> {
             have_diag: HashSet::new(),
             have_l: HashSet::new(),
             have_u: HashSet::new(),
+            upd_order,
+            upd_pos,
+            upd_ready: HashMap::new(),
             queue: BinaryHeap::new(),
             remaining,
             step_done: vec![0usize; bm.nblk() + 1],
@@ -324,19 +625,29 @@ impl<'a> Worker<'a> {
 
     fn run(mut self) -> WorkerOutput {
         self.seed_initial_tasks();
-        let timeout = Duration::from_millis(50);
-        let mut idle_rounds = 0u32;
+        let slice = Duration::from_millis(50).min(self.stall_timeout);
+        let mut idle = Duration::ZERO;
         loop {
+            if self.abort.load(AtomicOrdering::Relaxed) {
+                break;
+            }
             // Drain the mailbox without blocking (Fig. 10, step 1).
+            let mut got_msg = false;
             while let Some(msg) = self.mailbox.try_recv() {
                 self.handle_msg(msg);
+                got_msg = true;
+            }
+            if got_msg {
+                idle = Duration::ZERO;
             }
             if let Some(task) = self.pop_runnable() {
-                idle_rounds = 0;
+                idle = Duration::ZERO;
                 self.execute(task);
                 continue;
             }
             if self.remaining == 0 && self.mode == ScheduleMode::SyncFree {
+                // Hand any still-buffered sends over before leaving.
+                self.mailbox.flush_pending();
                 break;
             }
             if self.mode == ScheduleMode::LevelSet {
@@ -344,11 +655,15 @@ impl<'a> Worker<'a> {
                 if self.current_step <= self.bm.nblk()
                     && self.step_done[self.current_step.min(self.bm.nblk())]
                         == self.step_total[self.current_step.min(self.bm.nblk())]
-                    && self.no_pending_messages_needed_for_step()
                 {
+                    self.mailbox.flush_pending();
                     let t = Instant::now();
-                    self.barrier.wait();
+                    let ok = self.barrier.wait(self.abort);
                     self.barrier_wait += t.elapsed();
+                    if !ok {
+                        break;
+                    }
+                    idle = Duration::ZERO;
                     self.current_step += 1;
                     if self.current_step >= self.bm.nblk() {
                         debug_assert_eq!(self.remaining, 0, "tasks left after final step");
@@ -357,39 +672,117 @@ impl<'a> Worker<'a> {
                     continue;
                 }
             }
-            // Nothing runnable: block on the mailbox (the measured
-            // synchronisation wait, Fig. 10 step 3a).
-            if self.mailbox.recv(timeout).map(|m| self.handle_msg(m)).is_none() {
-                idle_rounds += 1;
-                assert!(
-                    idle_rounds < 1200,
-                    "rank {} stalled for 60s with {} tasks remaining (step {})",
-                    self.rank,
-                    self.remaining,
-                    self.current_step
-                );
-            } else {
-                idle_rounds = 0;
+            // Nothing runnable: release buffered sends, then block on the
+            // mailbox (the measured synchronisation wait, Fig. 10 step 3a).
+            self.mailbox.flush_pending();
+            match self.mailbox.recv(slice) {
+                Some(m) => {
+                    self.handle_msg(m);
+                    idle = Duration::ZERO;
+                }
+                None => {
+                    idle += slice;
+                    if idle >= self.stall_timeout {
+                        self.report_stall(idle);
+                        break;
+                    }
+                }
             }
         }
 
+        let retried = self.mailbox.retried_sends();
+        let dropped = self.mailbox.dropped_msgs();
+        let recv_timeouts = self.mailbox.recv_timeouts();
+        let messages = self.mailbox.sent_msgs();
+        let bytes = self.mailbox.sent_bytes();
+        let sync_wait = self.mailbox.sync_wait() + self.barrier_wait;
+        let (sent, received, lost) = self.mailbox.into_logs();
         WorkerOutput {
             rank: self.rank,
             blocks: self.my_blocks.into_iter().collect(),
             busy: self.busy,
-            sync_wait: self.mailbox.sync_wait() + self.barrier_wait,
-            messages: self.mailbox.sent_msgs(),
-            bytes: self.mailbox.sent_bytes(),
+            sync_wait,
+            messages,
+            bytes,
             perturbed: self.perturbed,
+            retried,
+            dropped,
+            recv_timeouts,
             trace: self.trace,
+            sent,
+            received,
+            lost,
         }
     }
 
-    /// Level-set gate helper: all owned tasks of the current step done
-    /// means the rank may enter the barrier — any still-missing operands
-    /// for *later* steps arrive in later steps.
-    fn no_pending_messages_needed_for_step(&self) -> bool {
-        true
+    /// Builds the stall diagnosis, publishes it (first error wins), and
+    /// raises the abort flag so every rank shuts down.
+    fn report_stall(&mut self, waited: Duration) {
+        let missing = self.diagnose_missing(8);
+        let err = DistError {
+            rank: self.rank,
+            step: self.lowest_unfinished_step(),
+            remaining: self.remaining,
+            waited,
+            missing,
+            lost_sends: self.mailbox.lost_log().len(),
+        };
+        let mut slot = self.first_err.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.abort.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// The lowest elimination step with unfinished owned work.
+    fn lowest_unfinished_step(&self) -> usize {
+        match self.mode {
+            ScheduleMode::LevelSet => self.current_step,
+            ScheduleMode::SyncFree => (0..self.step_done.len())
+                .find(|&s| self.step_done[s] < self.step_total[s])
+                .unwrap_or(self.current_step),
+        }
+    }
+
+    /// Lists the operand blocks this rank is still waiting for, capped.
+    fn diagnose_missing(&self, cap: usize) -> Vec<MissingDep> {
+        let mut missing = Vec::new();
+        let mut ids: Vec<usize> = self.my_blocks.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if missing.len() >= cap {
+                break;
+            }
+            if self.finished.contains(&id) {
+                continue;
+            }
+            let (bi, bj) = self.bm.block_coords(id);
+            if self.counter[&id] > 0 {
+                // Outstanding SSSSM updates: report the head of the
+                // deterministic order (its operands are what block us).
+                if let (Some(order), Some(&pos)) =
+                    (self.upd_order.get(&id), self.upd_pos.get(&id))
+                {
+                    if pos < order.len() {
+                        let k = order[pos];
+                        if !self.have_l.contains(&(bi, k)) {
+                            missing.push(MissingDep::LOperand { i: bi, k, target: (bi, bj) });
+                        }
+                        if missing.len() < cap && !self.have_u.contains(&(k, bj)) {
+                            missing.push(MissingDep::UOperand { k, j: bj, target: (bi, bj) });
+                        }
+                    }
+                }
+            } else if !self.queued.contains(&id) {
+                // Updates done, panel not queued: the diagonal is missing.
+                let k = bi.min(bj);
+                if bi != bj && !self.have_diag.contains(&k) {
+                    missing.push(MissingDep::Diag { k, block: (bi, bj) });
+                }
+            }
+        }
+        missing
     }
 
     /// Tasks runnable now (level-set mode restricts to the current step).
@@ -446,14 +839,13 @@ impl<'a> Worker<'a> {
     fn execute(&mut self, task: Task) {
         let trace_start = self.trace_origin.map(|origin| origin.elapsed());
         let t0 = Instant::now();
-        match task {
+        let post = match task {
             Task::Getrf { k } => {
                 let id = self.bm.block_id(k, k).expect("diag exists");
                 let blk = self.my_blocks.get_mut(&id).expect("getrf on owned block");
                 let variant = self.selector.getrf(blk.nnz());
                 self.perturbed += getrf::getrf(blk, variant, &mut self.scratch, self.pivot_floor);
-                self.busy += t0.elapsed();
-                self.finish_block(id, k, BlockRole::DiagFactor);
+                Post::Panel { id, step: k, role: BlockRole::DiagFactor }
             }
             Task::Gessm { k, j } => {
                 let id = self.bm.block_id(k, j).expect("panel exists");
@@ -461,8 +853,7 @@ impl<'a> Worker<'a> {
                 let blk = self.my_blocks.get_mut(&id).expect("gessm on owned block");
                 let variant = self.selector.gessm(blk.nnz());
                 trsm::gessm(&diag, blk, variant, &mut self.scratch);
-                self.busy += t0.elapsed();
-                self.finish_block(id, k, BlockRole::UPanel);
+                Post::Panel { id, step: k, role: BlockRole::UPanel }
             }
             Task::Tstrf { i, k } => {
                 let id = self.bm.block_id(i, k).expect("panel exists");
@@ -470,8 +861,7 @@ impl<'a> Worker<'a> {
                 let blk = self.my_blocks.get_mut(&id).expect("tstrf on owned block");
                 let variant = self.selector.tstrf(blk.nnz());
                 trsm::tstrf(&diag, blk, variant, &mut self.scratch);
-                self.busy += t0.elapsed();
-                self.finish_block(id, k, BlockRole::LPanel);
+                Post::Panel { id, step: k, role: BlockRole::LPanel }
             }
             Task::Ssssm { i, j, k } => {
                 let cid = self.bm.block_id(i, j).expect("target exists");
@@ -490,22 +880,37 @@ impl<'a> Worker<'a> {
                 }
                 self.scratch = scratch;
                 self.my_blocks.insert(cid, target);
-                self.busy += t0.elapsed();
+                Post::Update { cid, k }
+            }
+        };
+        self.busy += t0.elapsed();
+        // The trace event must be on the record *before* the result is
+        // shipped: otherwise a remote consumer can receive the block,
+        // start, and log a start time earlier than this producer's end.
+        if let (Some(origin), Some(start)) = (self.trace_origin, trace_start) {
+            self.trace.push(TraceEvent { rank: self.rank, task, start, end: origin.elapsed() });
+        }
+        match post {
+            Post::Panel { id, step, role } => self.finish_block(id, step, role),
+            Post::Update { cid, k } => {
                 self.task_done(k);
                 let c = self.counter.get_mut(&cid).expect("counter for owned block");
                 *c -= 1;
-                if *c == 0 {
+                // Advance the deterministic per-target order and queue the
+                // next update if its operands already arrived.
+                let pos = self.upd_pos.get_mut(&cid).expect("update cursor");
+                *pos += 1;
+                let next = self.upd_order[&cid].get(*pos).copied();
+                if let Some(nk) = next {
+                    if self.upd_ready.get(&cid).is_some_and(|r| r.contains(&nk)) {
+                        let (bi, bj) = self.bm.block_coords(cid);
+                        self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k: nk }));
+                    }
+                }
+                if self.counter[&cid] == 0 {
                     self.maybe_queue_panel(cid);
                 }
             }
-        }
-        if let (Some(origin), Some(start)) = (self.trace_origin, trace_start) {
-            self.trace.push(TraceEvent {
-                rank: self.rank,
-                task,
-                start,
-                end: origin.elapsed(),
-            });
         }
     }
 
@@ -553,6 +958,19 @@ impl<'a> Worker<'a> {
         self.on_block_available(msg.bi, msg.bj, msg.role);
     }
 
+    /// Marks the SSSSM update `(coords of cid, k)` as operand-complete
+    /// and queues it iff it is the next update in the target's
+    /// deterministic (ascending-`k`) application order.
+    fn update_ready(&mut self, cid: usize, k: usize) {
+        self.upd_ready.entry(cid).or_default().insert(k);
+        let pos = self.upd_pos[&cid];
+        let order = &self.upd_order[&cid];
+        if order.get(pos) == Some(&k) {
+            let (bi, bj) = self.bm.block_coords(cid);
+            self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k }));
+        }
+    }
+
     /// A block (local or remote) became available in the given role:
     /// release whatever it gates (Fig. 9's dependency-breaking rules).
     fn on_block_available(&mut self, bi: usize, bj: usize, role: BlockRole) {
@@ -579,10 +997,11 @@ impl<'a> Worker<'a> {
             BlockRole::LPanel => {
                 let (i, k) = (bi, bj);
                 self.have_l.insert((i, k));
-                for &j in &self.tg.u_panels[k] {
+                let js: Vec<usize> = self.tg.u_panels[k].to_vec();
+                for j in js {
                     if let Some(cid) = self.bm.block_id(i, j) {
                         if self.owned(cid) && self.have_u.contains(&(k, j)) {
-                            self.queue.push(PrioritisedTask(Task::Ssssm { i, j, k }));
+                            self.update_ready(cid, k);
                         }
                     }
                 }
@@ -590,10 +1009,11 @@ impl<'a> Worker<'a> {
             BlockRole::UPanel => {
                 let (k, j) = (bi, bj);
                 self.have_u.insert((k, j));
-                for &i in &self.tg.l_panels[k] {
+                let is: Vec<usize> = self.tg.l_panels[k].to_vec();
+                for i in is {
                     if let Some(cid) = self.bm.block_id(i, j) {
                         if self.owned(cid) && self.have_l.contains(&(i, k)) {
-                            self.queue.push(PrioritisedTask(Task::Ssssm { i, j, k }));
+                            self.update_ready(cid, k);
                         }
                     }
                 }
@@ -683,5 +1103,43 @@ mod tests {
     fn oversubscribed_ranks_still_correct() {
         // More ranks than block rows: some ranks own nothing.
         check_against_sequential(8, ScheduleMode::SyncFree, 7);
+    }
+
+    #[test]
+    fn checked_run_returns_message_logs() {
+        let (a, mut bm, tg) = build(60, 8, 11);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
+        let run = factor_distributed_checked(
+            &mut bm,
+            &tg,
+            &owners,
+            &sel,
+            0.0,
+            &FactorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.sent.len(), run.received.len(), "all sends delivered");
+        assert!(run.lost.is_empty());
+        assert!(run.stats.dropped_msgs == 0);
+    }
+
+    #[test]
+    fn lost_message_surfaces_as_dist_error_not_hang() {
+        let (a, mut bm, tg) = build(60, 8, 2);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
+        // Drop every message permanently: zero retry budget, certain drop.
+        let cfg = FactorConfig::default()
+            .with_fault(FaultPlan::reliable(1).with_drops(1.0, 0, Duration::ZERO))
+            .with_stall_timeout(Duration::from_millis(400));
+        let t0 = Instant::now();
+        let err = factor_distributed_checked(&mut bm, &tg, &owners, &sel, 0.0, &cfg)
+            .expect_err("run must fail when all messages are lost");
+        assert!(t0.elapsed() < Duration::from_secs(30), "error must beat the old 60s hang");
+        assert!(!err.missing.is_empty(), "error must name missing blocks: {err}");
+        let text = err.to_string();
+        assert!(text.contains("rank"), "error names the blocked rank: {text}");
+        assert!(text.contains("missing"), "error names missing operands: {text}");
     }
 }

@@ -18,6 +18,10 @@
 //!   messages over mailboxes, and both scheduling policies — the
 //!   synchronisation-free strategy of §4.4 and the level-set barrier
 //!   baseline it is ablated against (Fig. 14);
+//! * [`trace_check`] — the schedule-trace validator: proves a traced run
+//!   respected every dependency, ran each task exactly once on its
+//!   owner, and delivered each block message exactly once per
+//!   destination — the oracle behind the fault-injection test matrix;
 //! * [`trisolve`] — block forward/backward substitution (phase 5);
 //! * [`des`] — the discrete-event simulator that replays the real task
 //!   DAG under the platform cost model for the 1→128 rank scalability
@@ -35,6 +39,7 @@ pub mod seq;
 pub mod shared;
 pub mod solver;
 pub mod task;
+pub mod trace_check;
 pub mod trisolve;
 
 pub use block::BlockMatrix;

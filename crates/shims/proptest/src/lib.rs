@@ -1,0 +1,380 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the subset of proptest the repository's property tests
+//! rely on: the [`proptest!`] macro, [`Strategy`] for primitive ranges,
+//! tuples, [`Just`], `prop_flat_map`/`prop_map`, `collection::vec`, and
+//! the `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce
+//! exactly; there is no shrinking.
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic case generator (xorshift64*, seeded per test).
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test identifier and case index so every case is
+        /// reproducible run-to-run.
+        pub fn deterministic(test_hash: u64, case: u64) -> Self {
+            let mut z = test_hash
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(case.wrapping_mul(0xBF58476D1CE4E5B9))
+                .wrapping_add(0x94D049BB133111EB);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            TestRng { state: (z ^ (z >> 31)) | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// FNV-1a over a test name — the per-test seed used by [`proptest!`].
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a dependent strategy from each drawn value.
+    fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps drawn values through a function.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// Boxes the strategy (API-compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, dynamically dispatched strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, S> Strategy for FlatMap<B, F>
+where
+    B: Strategy,
+    S: Strategy,
+    F: Fn(B::Value) -> S,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let v = self.base.generate(rng);
+        (self.f)(v).generate(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, T> Strategy for Map<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy for `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors with lengths drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The proptest entry-point macro: runs each embedded test over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut prop_rng = $crate::test_runner::TestRng::deterministic(
+                        $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+                        case as u64,
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), collection::vec(-1.0f64..1.0, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds((n, xs) in pair()) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert_eq!(xs.len(), n);
+            for x in xs {
+                prop_assert!((-1.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(a in 0usize..5, (b, c) in (0u32..3, -1.0f64..0.0)) {
+            prop_assert!(a < 5);
+            prop_assert!(b < 3);
+            prop_assert!((-1.0..0.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::deterministic(crate::fnv1a("x"), 3);
+        let mut r2 = crate::test_runner::TestRng::deterministic(crate::fnv1a("x"), 3);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, the full test suite, and the
+# schedule-trace validator on a traced 2x2-grid factorisation under a
+# seeded adversarial fault plan (see docs/FAULT_INJECTION.md).
+#
+# Usage: scripts/ci.sh [fault-seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${1:-1}"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== trace validator (fault seed ${seed}) =="
+cargo run --release -q --bin trace_validate -- "${seed}"
+
+echo "CI OK"

@@ -1,0 +1,122 @@
+//! Determinism regression guard: the distributed factorisation applies
+//! every block's SSSSM updates in ascending elimination-step order no
+//! matter when their operands arrive, so the computed L/U factors are
+//! *bitwise* identical across repeated runs — per grid shape and
+//! scheduling mode — and the residual stays small everywhere in the
+//! {1×1, 1×2, 2×2, 3×2} × {SyncFree, LevelSet} matrix.
+
+use pangulu::comm::ProcessGrid;
+use pangulu::core::dist::{
+    factor_distributed_checked, FactorConfig, ScheduleMode,
+};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::trisolve::{backward_substitute, forward_substitute};
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::sparse::gen;
+use pangulu::sparse::ops::{ensure_diagonal, relative_residual};
+use pangulu::sparse::CscMatrix;
+
+fn grids() -> Vec<(usize, usize)> {
+    vec![(1, 1), (1, 2), (2, 2), (3, 2)]
+}
+
+struct Problem {
+    a: CscMatrix,
+    bm: BlockMatrix,
+    tg: TaskGraph,
+    sel: KernelSelector,
+}
+
+fn problem(seed: u64) -> Problem {
+    let a = ensure_diagonal(&gen::random_sparse(72, 0.11, seed)).unwrap();
+    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm = BlockMatrix::from_filled(&f, 9).unwrap();
+    let tg = TaskGraph::build(&bm);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+    Problem { a, bm, tg, sel }
+}
+
+fn factor_once(prob: &Problem, pr: usize, pc: usize, mode: ScheduleMode) -> CscMatrix {
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+    factor_distributed_checked(
+        &mut bm,
+        &prob.tg,
+        &owners,
+        &prob.sel,
+        1e-12,
+        &FactorConfig::with_mode(mode),
+    )
+    .unwrap_or_else(|e| panic!("{pr}x{pc} {mode:?}: {e}"));
+    bm.to_csc()
+}
+
+/// Same seed, same grid, same mode → the factors are bitwise identical
+/// run to run, despite nondeterministic thread interleaving.
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let prob = problem(1);
+    for (pr, pc) in grids() {
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            let f1 = factor_once(&prob, pr, pc, mode);
+            let f2 = factor_once(&prob, pr, pc, mode);
+            assert_eq!(
+                f1.values(),
+                f2.values(),
+                "{pr}x{pc} {mode:?}: factors changed between identical runs"
+            );
+        }
+    }
+}
+
+/// The deterministic (ascending-k) update order is also grid- and
+/// mode-independent, so every cell of the matrix computes the *same*
+/// factors — compared bitwise against the 1×1 SyncFree reference.
+#[test]
+fn factors_agree_across_grids_and_modes() {
+    let prob = problem(2);
+    let reference = factor_once(&prob, 1, 1, ScheduleMode::SyncFree);
+    for (pr, pc) in grids() {
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            let f = factor_once(&prob, pr, pc, mode);
+            assert_eq!(
+                reference.values(),
+                f.values(),
+                "{pr}x{pc} {mode:?}: factors differ from the 1x1 reference"
+            );
+        }
+    }
+}
+
+/// Every cell of the grid × mode matrix produces usable factors: solve
+/// and check the residual against the original matrix.
+#[test]
+fn residuals_hold_across_the_full_matrix() {
+    for seed in [3u64, 4] {
+        let prob = problem(seed);
+        let b = gen::test_rhs(prob.a.nrows(), seed);
+        for (pr, pc) in grids() {
+            for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+                let mut bm = prob.bm.clone();
+                let owners =
+                    OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+                factor_distributed_checked(
+                    &mut bm,
+                    &prob.tg,
+                    &owners,
+                    &prob.sel,
+                    1e-12,
+                    &FactorConfig::with_mode(mode),
+                )
+                .unwrap_or_else(|e| panic!("seed {seed} {pr}x{pc} {mode:?}: {e}"));
+                let mut x = b.clone();
+                forward_substitute(&bm, &mut x);
+                backward_substitute(&bm, &mut x);
+                let r = relative_residual(&prob.a, &x, &b).unwrap();
+                assert!(r < 1e-8, "seed {seed} {pr}x{pc} {mode:?}: residual {r}");
+            }
+        }
+    }
+}
