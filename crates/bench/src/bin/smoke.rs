@@ -1,0 +1,172 @@
+//! `smoke` — fixed-corpus smoke benchmark backing the regression gate.
+//!
+//! Factors the six-matrix golden corpus (the same generators as
+//! `tests/solver_equivalence.rs`) on a 2x2 rank grid, repeats each run
+//! `PANGULU_SMOKE_REPS` times (default 3) keeping the minimum wall time,
+//! and emits `BENCH_smoke.json` into the data directory
+//! (`PANGULU_DATA_DIR` override honoured). The JSON carries, per matrix:
+//!
+//! * wall/numeric seconds (min over reps) plus the per-rank busy and
+//!   sync-wait breakdown from the [`pangulu_metrics::RunReport`];
+//! * the relative residual of a solve against a fixed right-hand side;
+//! * deterministic work counters (messages, bytes, tasks, kernel calls,
+//!   observed and model FLOPs) that the gate compares exactly.
+//!
+//! `scripts/bench_compare.sh` diffs a fresh emission against the
+//! checked-in baseline `data/BENCH_smoke.json`; see docs/OBSERVABILITY.md.
+
+use std::time::Instant;
+
+use pangulu_bench::{data_dir, secs};
+use pangulu_core::solver::Solver;
+use pangulu_metrics::json::Json;
+use pangulu_metrics::RunReport;
+use pangulu_sparse::{gen, ops, CscMatrix};
+
+/// Rank grid used for every smoke run: 2x2, the smallest grid that
+/// exercises row *and* column communication.
+const RANKS: usize = 4;
+
+/// JSON schema tag checked by `bench_compare`.
+pub const SCHEMA: &str = "pangulu-bench-smoke-v1";
+
+/// The golden-corpus generators at larger sizes: the tiny instances used
+/// by `tests/solver_equivalence.rs` finish in single-digit milliseconds,
+/// where thread-spawn jitter swamps a 15% wall gate. These sizes put each
+/// run in the tens-of-milliseconds range while staying fast enough to run
+/// on every CI invocation.
+fn corpus() -> Vec<(&'static str, CscMatrix)> {
+    vec![
+        ("laplacian_2d", gen::laplacian_2d(64, 64)),
+        ("circuit", gen::circuit(3000, 21)),
+        ("fem_blocked", gen::fem_blocked(240, 5, 2, 13)),
+        ("kkt", gen::kkt(1200, 560, 7)),
+        ("cage_like", gen::cage_like(1600, 17)),
+        ("dense_banded", gen::dense_banded(1000, 12, 0.5, 9)),
+    ]
+}
+
+fn reps() -> usize {
+    std::env::var("PANGULU_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3)
+}
+
+struct SmokeResult {
+    name: &'static str,
+    n: usize,
+    nnz: usize,
+    wall_seconds: f64,
+    numeric_seconds: f64,
+    residual: f64,
+    report: RunReport,
+}
+
+fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> SmokeResult {
+    let mut best_wall = f64::INFINITY;
+    let mut best_numeric = f64::INFINITY;
+    let mut best: Option<(RunReport, f64)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let solver = Solver::builder()
+            .ranks(RANKS)
+            .build(a)
+            .unwrap_or_else(|e| panic!("{name}: factorisation failed: {e}"));
+        let wall = secs(start.elapsed());
+        let stats = solver.stats();
+        let numeric = secs(stats.numeric_time);
+        best_numeric = best_numeric.min(numeric);
+        if wall < best_wall {
+            best_wall = wall;
+            let b = gen::test_rhs(a.nrows(), 11);
+            let x = solver.solve(&b).unwrap_or_else(|e| panic!("{name}: solve failed: {e}"));
+            let resid = ops::relative_residual(a, &x, &b).expect("residual");
+            let report = stats
+                .report
+                .clone()
+                .unwrap_or_else(|| panic!("{name}: multi-rank run produced no RunReport"));
+            best = Some((report, resid));
+        }
+    }
+    let (report, residual) = best.expect("at least one rep");
+    SmokeResult {
+        name,
+        n: a.nrows(),
+        nnz: a.nnz(),
+        wall_seconds: best_wall,
+        numeric_seconds: best_numeric,
+        residual,
+        report,
+    }
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn matrix_json(r: &SmokeResult) -> Json {
+    let tally = r.report.total_kernels();
+    let by_class = tally.calls_by_class();
+    let tasks = r.report.total_tasks();
+    let classes = pangulu_metrics::CLASS_LABELS
+        .iter()
+        .zip(by_class)
+        .map(|(label, calls)| (label.to_string(), num(calls as f64)))
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(r.name.into())),
+        ("n".into(), num(r.n as f64)),
+        ("nnz".into(), num(r.nnz as f64)),
+        ("wall_seconds".into(), num(r.wall_seconds)),
+        ("numeric_seconds".into(), num(r.numeric_seconds)),
+        ("busy_seconds".into(), num(r.report.busy_seconds())),
+        ("sync_wait_seconds".into(), num(r.report.sync_wait_seconds())),
+        ("mean_sync_fraction".into(), num(r.report.mean_sync_fraction())),
+        ("residual".into(), num(r.residual)),
+        ("msgs".into(), num(r.report.total_messages() as f64)),
+        ("bytes".into(), num(r.report.total_bytes() as f64)),
+        ("tasks".into(), num(tasks.total() as f64)),
+        ("kernel_calls".into(), num(tally.total_calls() as f64)),
+        ("kernel_calls_by_class".into(), Json::Obj(classes)),
+        ("observed_flops".into(), num(r.report.observed_flops())),
+        ("predicted_flops".into(), num(r.report.predicted_flops)),
+    ])
+}
+
+fn main() {
+    let reps = reps();
+    let mut results = Vec::new();
+    for (name, a) in corpus() {
+        let r = run_one(name, &a, reps);
+        println!(
+            "{:<14} n {:>5}  nnz {:>6}  wall {:>8.4}s  sync {:>5.1}%  resid {:.3e}",
+            r.name,
+            r.n,
+            r.nnz,
+            r.wall_seconds,
+            100.0 * r.report.mean_sync_fraction(),
+            r.residual
+        );
+        results.push(r);
+    }
+    let total_wall: f64 = results.iter().map(|r| r.wall_seconds).sum();
+    println!("total wall {total_wall:.4}s over {} matrices ({reps} reps, min)", results.len());
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ranks".into(), num(RANKS as f64)),
+        ("reps".into(), num(reps as f64)),
+        ("total_wall_seconds".into(), num(total_wall)),
+        (
+            "matrices".into(),
+            Json::Arr(results.iter().map(matrix_json).collect()),
+        ),
+    ]);
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    let path = dir.join("BENCH_smoke.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_smoke.json");
+    println!("wrote {}", path.display());
+}

@@ -20,6 +20,8 @@ use std::collections::BinaryHeap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
+use pangulu_metrics::{CommMetrics, EdgeStat};
+
 use crate::fault::{EdgeRng, Fate, FaultPlan};
 use crate::msg::{BlockMsg, BlockRole};
 
@@ -120,6 +122,9 @@ impl MailboxSet {
                 sync_wait: Duration::ZERO,
                 sent_msgs: 0,
                 sent_bytes: 0,
+                edge_msgs: vec![0; p],
+                edge_bytes: vec![0; p],
+                max_queue_depth: 0,
                 retried_sends: 0,
                 dropped_msgs: 0,
                 undeliverable: 0,
@@ -151,6 +156,12 @@ pub struct Mailbox {
     sync_wait: Duration,
     sent_msgs: u64,
     sent_bytes: u64,
+    /// Messages sent per destination rank (drops included).
+    edge_msgs: Vec<u64>,
+    /// Payload bytes sent per destination rank.
+    edge_bytes: Vec<u64>,
+    /// Deepest observed receive queue (pending + held-back messages).
+    max_queue_depth: u64,
     retried_sends: u64,
     dropped_msgs: u64,
     undeliverable: u64,
@@ -179,8 +190,11 @@ impl Mailbox {
     /// for surfacing a loss as a structured error.
     pub fn send(&mut self, to: usize, msg: BlockMsg) {
         assert!(to < self.senders.len(), "destination rank {to} out of range");
+        let bytes = msg.payload_bytes() as u64;
         self.sent_msgs += 1;
-        self.sent_bytes += msg.payload_bytes() as u64;
+        self.sent_bytes += bytes;
+        self.edge_msgs[to] += 1;
+        self.edge_bytes[to] += bytes;
         let record = DeliveryRecord { from: self.rank, to, bi: msg.bi, bj: msg.bj, role: msg.role };
         self.send_seq += 1;
         let mut env = Envelope { msg, from: self.rank, due: None, seq: self.send_seq };
@@ -282,6 +296,7 @@ impl Mailbox {
         while let Ok(env) = self.receiver.try_recv() {
             self.holdback.push(HeldMsg(env));
         }
+        self.max_queue_depth = self.max_queue_depth.max(self.holdback.len() as u64);
     }
 
     /// Pops the earliest held message whose due time has passed.
@@ -337,7 +352,10 @@ impl Mailbox {
                 }
             }
             match self.receiver.recv_timeout(wait) {
-                Ok(env) => self.holdback.push(HeldMsg(env)),
+                Ok(env) => {
+                    self.holdback.push(HeldMsg(env));
+                    self.max_queue_depth = self.max_queue_depth.max(self.holdback.len() as u64);
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     // Unreachable in practice (each mailbox holds its own
@@ -388,6 +406,28 @@ impl Mailbox {
     /// Number of [`Mailbox::recv`] calls that returned `None` on timeout.
     pub fn recv_timeouts(&self) -> u64 {
         self.recv_timeouts
+    }
+
+    /// Snapshot of this rank's communication accounting as a structured
+    /// [`CommMetrics`] record (zero-traffic edges omitted).
+    pub fn metrics(&self) -> CommMetrics {
+        CommMetrics {
+            msgs_sent: self.sent_msgs,
+            bytes_sent: self.sent_bytes,
+            retried_sends: self.retried_sends,
+            dropped_msgs: self.dropped_msgs,
+            recv_timeouts: self.recv_timeouts,
+            undeliverable: self.undeliverable,
+            max_queue_depth: self.max_queue_depth,
+            edges: self
+                .edge_msgs
+                .iter()
+                .zip(&self.edge_bytes)
+                .enumerate()
+                .filter(|(_, (&m, _))| m > 0)
+                .map(|(to, (&msgs, &bytes))| EdgeStat { to, msgs, bytes })
+                .collect(),
+        }
     }
 
     /// Messages actually handed to the channel, by destination and block.
@@ -524,6 +564,32 @@ mod tests {
         assert_eq!(b1.dropped_msgs(), 1);
         assert_eq!(b1.lost_log().len(), 1);
         assert!(b0.recv(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_edges_and_depth() {
+        let mut boxes = MailboxSet::new(3).into_mailboxes();
+        let mut b2 = boxes.pop().unwrap();
+        let mut b1 = boxes.pop().unwrap();
+        let mut b0 = boxes.pop().unwrap();
+        b0.send(1, msg(0));
+        b0.send(1, msg(1));
+        b0.send(2, msg(2));
+        let m = b0.metrics();
+        assert_eq!(m.msgs_sent, 3);
+        assert_eq!(m.edges.len(), 2);
+        assert_eq!(m.edges[0].to, 1);
+        assert_eq!(m.edges[0].msgs, 2);
+        assert_eq!(m.edges[1].to, 2);
+        assert_eq!(m.edges[1].msgs, 1);
+        assert_eq!(m.edges[0].bytes + m.edges[1].bytes, m.bytes_sent);
+        // Receiver-side queue depth: both messages are on the channel
+        // before the first drain, so the peak depth is 2.
+        assert!(b1.try_recv().is_some());
+        assert!(b1.try_recv().is_some());
+        assert_eq!(b1.metrics().max_queue_depth, 2);
+        assert!(b2.try_recv().is_some());
+        assert_eq!(b2.metrics().max_queue_depth, 1);
     }
 
     #[test]

@@ -40,7 +40,8 @@ use std::time::{Duration, Instant};
 
 use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
 use pangulu_kernels::select::KernelSelector;
-use pangulu_kernels::{flops, getrf, ssssm, trsm, KernelScratch};
+use pangulu_kernels::{flops, KernelScratch, TimedKernels};
+use pangulu_metrics::{RankMetrics, RunReport, TaskCounts};
 use pangulu_sparse::CscMatrix;
 
 use crate::block::BlockMatrix;
@@ -68,6 +69,12 @@ pub struct FactorConfig {
     pub stall_timeout: Duration,
     /// Record per-kernel [`TraceEvent`]s.
     pub traced: bool,
+    /// Record per-variant kernel tallies and model FLOPs into the
+    /// [`RunReport`]. Off, every kernel call delegates straight to the
+    /// implementation — no clock reads, no FLOP walks (the
+    /// zero-cost-when-disabled contract); the always-on busy/sync
+    /// accounting and communication counters are kept either way.
+    pub metrics: bool,
 }
 
 impl Default for FactorConfig {
@@ -77,6 +84,7 @@ impl Default for FactorConfig {
             fault: None,
             stall_timeout: Duration::from_secs(60),
             traced: false,
+            metrics: true,
         }
     }
 }
@@ -102,6 +110,12 @@ impl FactorConfig {
     /// Enables kernel tracing.
     pub fn traced(mut self) -> Self {
         self.traced = true;
+        self
+    }
+
+    /// Toggles per-variant kernel metering (on by default).
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 }
@@ -246,8 +260,14 @@ pub struct TraceEvent {
 /// Everything a checked factorisation run hands back.
 #[derive(Debug, Clone, Default)]
 pub struct FactorRun {
-    /// Aggregated statistics.
+    /// Aggregated statistics (a legacy view derived from
+    /// [`FactorRun::report`]).
     pub stats: DistStats,
+    /// The per-rank structured metrics of the run: sync-wait vs compute
+    /// breakdown, tasks by kind, per-variant kernel tallies (when
+    /// [`FactorConfig::metrics`] is on), per-edge communication, and the
+    /// symbolic FLOP prediction to compare observed FLOPs against.
+    pub report: RunReport,
     /// Kernel timeline (empty unless [`FactorConfig::traced`]).
     pub trace: Vec<TraceEvent>,
     /// Every message handed to the transport, sender-side view.
@@ -356,24 +376,17 @@ pub fn factor_distributed_checked(
     }
 
     let mut run = FactorRun {
-        stats: DistStats {
-            wall_time: start.elapsed(),
-            busy: vec![Duration::ZERO; p],
-            sync_wait: vec![Duration::ZERO; p],
-            ..Default::default()
+        report: RunReport {
+            ranks: p,
+            wall_nanos: duration_nanos(start.elapsed()),
+            predicted_flops: if cfg.metrics { predicted_total_flops(bm, tg) } else { 0.0 },
+            per_rank: Vec::with_capacity(p),
         },
         ..Default::default()
     };
     let mut trace = Vec::new();
     for out in worker_outputs {
-        run.stats.busy[out.rank] = out.busy;
-        run.stats.sync_wait[out.rank] = out.sync_wait;
-        run.stats.messages += out.messages;
-        run.stats.bytes += out.bytes;
-        run.stats.perturbed_pivots += out.perturbed;
-        run.stats.retried_sends += out.retried;
-        run.stats.dropped_msgs += out.dropped;
-        run.stats.recv_timeouts += out.recv_timeouts;
+        run.report.per_rank.push(out.metrics);
         for (id, blk) in out.blocks {
             *bm.block_mut(id) = blk;
         }
@@ -382,9 +395,66 @@ pub fn factor_distributed_checked(
         run.received.extend(out.received);
         run.lost.extend(out.lost);
     }
+    run.report.per_rank.sort_by_key(|r| r.rank);
     trace.sort_by_key(|e| e.start);
     run.trace = trace;
+    run.stats = stats_from_report(&run.report);
     Ok(run)
+}
+
+/// The symbolic-phase FLOP prediction: every task's model FLOP count
+/// evaluated on the (static) block patterns before any value changes.
+/// Kernels only ever write inside the stored pattern, so the metered
+/// "observed" FLOPs of a complete run must sum to exactly this — a
+/// consistency check the metrics tests lean on.
+pub fn predicted_total_flops(bm: &BlockMatrix, tg: &TaskGraph) -> f64 {
+    let mut total = 0.0f64;
+    for id in 0..bm.num_blocks() {
+        let (bi, bj) = bm.block_coords(id);
+        let blk = bm.block(id);
+        match bi.cmp(&bj) {
+            std::cmp::Ordering::Equal => total += flops::getrf_flops(blk),
+            std::cmp::Ordering::Less => {
+                let diag = bm.block(bm.block_id(bi, bi).expect("diag block exists"));
+                total += flops::gessm_flops(diag, blk);
+            }
+            std::cmp::Ordering::Greater => {
+                let diag = bm.block(bm.block_id(bj, bj).expect("diag block exists"));
+                total += flops::tstrf_flops(diag, blk);
+            }
+        }
+    }
+    for &(i, j, k) in &tg.ssssm {
+        let a = bm.block(bm.block_id(i, k).expect("L operand exists"));
+        let b = bm.block(bm.block_id(k, j).expect("U operand exists"));
+        total += flops::ssssm_flops(a, b);
+    }
+    total
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Derives the legacy aggregated view from the per-rank report.
+fn stats_from_report(report: &RunReport) -> DistStats {
+    let mut stats = DistStats {
+        wall_time: Duration::from_nanos(report.wall_nanos),
+        busy: vec![Duration::ZERO; report.ranks],
+        sync_wait: vec![Duration::ZERO; report.ranks],
+        ..Default::default()
+    };
+    for r in &report.per_rank {
+        stats.busy[r.rank] = Duration::from_nanos(r.busy_nanos);
+        stats.sync_wait[r.rank] = Duration::from_nanos(r.sync_wait_nanos);
+        stats.messages += r.comm.msgs_sent;
+        stats.bytes += r.comm.bytes_sent;
+        stats.perturbed_pivots += r.perturbed_pivots as usize;
+        stats.retried_sends += r.comm.retried_sends;
+        stats.dropped_msgs += r.comm.dropped_msgs;
+        stats.recv_timeouts += r.comm.recv_timeouts;
+    }
+    stats
 }
 
 /// A reusable, abort-aware step barrier: like [`std::sync::Barrier`] but
@@ -431,16 +501,8 @@ impl StepBarrier {
 
 /// What one rank hands back.
 struct WorkerOutput {
-    rank: usize,
+    metrics: RankMetrics,
     blocks: Vec<(usize, CscMatrix)>,
-    busy: Duration,
-    sync_wait: Duration,
-    messages: u64,
-    bytes: u64,
-    perturbed: usize,
-    retried: u64,
-    dropped: u64,
-    recv_timeouts: u64,
     trace: Vec<TraceEvent>,
     sent: Vec<DeliveryRecord>,
     received: Vec<DeliveryRecord>,
@@ -503,9 +565,18 @@ struct Worker<'a> {
     current_step: usize,
 
     scratch: KernelScratch,
+    /// Metered kernel front door (a plain pass-through when
+    /// [`FactorConfig::metrics`] is off).
+    timed: TimedKernels,
     busy: Duration,
     barrier_wait: Duration,
     perturbed: usize,
+    /// Tasks executed on this rank, by kernel kind.
+    tasks: TaskCounts,
+    /// Times this rank entered the blocking-receive path.
+    blocked_recvs: u64,
+    /// Longest observed no-progress streak.
+    max_idle: Duration,
     /// When set, kernels are recorded relative to this origin.
     trace_origin: Option<Instant>,
     trace: Vec<TraceEvent>,
@@ -583,9 +654,13 @@ impl<'a> Worker<'a> {
             step_total,
             current_step: 0,
             scratch: KernelScratch::with_capacity(bm.nb()),
+            timed: TimedKernels::new(cfg.metrics),
             busy: Duration::ZERO,
             barrier_wait: Duration::ZERO,
             perturbed: 0,
+            tasks: TaskCounts::default(),
+            blocked_recvs: 0,
+            max_idle: Duration::ZERO,
             trace_origin: None,
             trace: Vec::new(),
         }
@@ -675,6 +750,7 @@ impl<'a> Worker<'a> {
             // Nothing runnable: release buffered sends, then block on the
             // mailbox (the measured synchronisation wait, Fig. 10 step 3a).
             self.mailbox.flush_pending();
+            self.blocked_recvs += 1;
             match self.mailbox.recv(slice) {
                 Some(m) => {
                     self.handle_msg(m);
@@ -682,6 +758,7 @@ impl<'a> Worker<'a> {
                 }
                 None => {
                     idle += slice;
+                    self.max_idle = self.max_idle.max(idle);
                     if idle >= self.stall_timeout {
                         self.report_stall(idle);
                         break;
@@ -690,24 +767,22 @@ impl<'a> Worker<'a> {
             }
         }
 
-        let retried = self.mailbox.retried_sends();
-        let dropped = self.mailbox.dropped_msgs();
-        let recv_timeouts = self.mailbox.recv_timeouts();
-        let messages = self.mailbox.sent_msgs();
-        let bytes = self.mailbox.sent_bytes();
         let sync_wait = self.mailbox.sync_wait() + self.barrier_wait;
+        let metrics = RankMetrics {
+            rank: self.rank,
+            busy_nanos: duration_nanos(self.busy),
+            sync_wait_nanos: duration_nanos(sync_wait),
+            blocked_recvs: self.blocked_recvs,
+            max_idle_nanos: duration_nanos(self.max_idle),
+            perturbed_pivots: self.perturbed as u64,
+            tasks: self.tasks,
+            comm: self.mailbox.metrics(),
+            kernels: std::mem::take(&mut self.timed).into_tally(),
+        };
         let (sent, received, lost) = self.mailbox.into_logs();
         WorkerOutput {
-            rank: self.rank,
+            metrics,
             blocks: self.my_blocks.into_iter().collect(),
-            busy: self.busy,
-            sync_wait,
-            messages,
-            bytes,
-            perturbed: self.perturbed,
-            retried,
-            dropped,
-            recv_timeouts,
             trace: self.trace,
             sent,
             received,
@@ -844,7 +919,8 @@ impl<'a> Worker<'a> {
                 let id = self.bm.block_id(k, k).expect("diag exists");
                 let blk = self.my_blocks.get_mut(&id).expect("getrf on owned block");
                 let variant = self.selector.getrf(blk.nnz());
-                self.perturbed += getrf::getrf(blk, variant, &mut self.scratch, self.pivot_floor);
+                self.perturbed += self.timed.getrf(blk, variant, &mut self.scratch, self.pivot_floor);
+                self.tasks.getrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::DiagFactor }
             }
             Task::Gessm { k, j } => {
@@ -852,7 +928,8 @@ impl<'a> Worker<'a> {
                 let diag = self.diag_factor(k);
                 let blk = self.my_blocks.get_mut(&id).expect("gessm on owned block");
                 let variant = self.selector.gessm(blk.nnz());
-                trsm::gessm(&diag, blk, variant, &mut self.scratch);
+                self.timed.gessm(&diag, blk, variant, &mut self.scratch);
+                self.tasks.gessm += 1;
                 Post::Panel { id, step: k, role: BlockRole::UPanel }
             }
             Task::Tstrf { i, k } => {
@@ -860,7 +937,8 @@ impl<'a> Worker<'a> {
                 let diag = self.diag_factor(k);
                 let blk = self.my_blocks.get_mut(&id).expect("tstrf on owned block");
                 let variant = self.selector.tstrf(blk.nnz());
-                trsm::tstrf(&diag, blk, variant, &mut self.scratch);
+                self.timed.tstrf(&diag, blk, variant, &mut self.scratch);
+                self.tasks.tstrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::LPanel }
             }
             Task::Ssssm { i, j, k } => {
@@ -868,18 +946,23 @@ impl<'a> Worker<'a> {
                 // Clone-free would need simultaneous shared + mutable
                 // borrows into the same map; operands are either remote
                 // copies or finished owned blocks, both immutable here, so
-                // temporary removal of the target keeps this safe.
+                // temporary removal of the target (and of the meter, which
+                // `operand`'s whole-self borrow would otherwise freeze)
+                // keeps this safe.
                 let mut target = self.my_blocks.remove(&cid).expect("ssssm on owned block");
                 let mut scratch = std::mem::take(&mut self.scratch);
+                let mut timed = std::mem::take(&mut self.timed);
                 {
                     let a = self.operand(i, k);
                     let b = self.operand(k, j);
                     let fl = flops::ssssm_flops(a, b);
                     let variant = self.selector.ssssm(fl);
-                    ssssm::ssssm(a, b, &mut target, variant, &mut scratch);
+                    timed.ssssm(a, b, &mut target, variant, &mut scratch, fl);
                 }
+                self.timed = timed;
                 self.scratch = scratch;
                 self.my_blocks.insert(cid, target);
+                self.tasks.ssssm += 1;
                 Post::Update { cid, k }
             }
         };

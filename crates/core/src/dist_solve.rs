@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use pangulu_comm::{BlockMsg, BlockRole, Mailbox, MailboxSet};
+use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, Mailbox, MailboxSet};
 
 use crate::block::BlockMatrix;
 use crate::layout::OwnerMap;
@@ -32,13 +32,34 @@ enum Sweep {
 /// Solves `L U x = b` across `owners.num_ranks()` rank threads; `bm`
 /// holds the factored tiles. Returns `x`.
 pub fn solve_distributed(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64]) -> Vec<f64> {
+    solve_distributed_with_faults(bm, owners, b, None)
+}
+
+/// As [`solve_distributed`], but every message runs through the seeded
+/// fault plan — delays, reordering and retry draws included. The sweeps
+/// tolerate any plan whose retry budget eventually delivers every
+/// message (e.g. [`FaultPlan::adversarial`]); a plan with permanent
+/// drops makes the blocked rank panic via its stall guard instead of
+/// hanging.
+pub fn solve_distributed_with_faults(
+    bm: &BlockMatrix,
+    owners: &OwnerMap,
+    b: &[f64],
+    fault: Option<&FaultPlan>,
+) -> Vec<f64> {
     assert_eq!(b.len(), bm.n(), "rhs length must match matrix order");
-    let y = run_sweep(bm, owners, b, Sweep::Forward);
-    run_sweep(bm, owners, &y, Sweep::Backward)
+    let y = run_sweep(bm, owners, b, Sweep::Forward, fault);
+    run_sweep(bm, owners, &y, Sweep::Backward, fault)
 }
 
 /// One dependency-counted sweep. Returns the solved vector.
-fn run_sweep(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64], sweep: Sweep) -> Vec<f64> {
+fn run_sweep(
+    bm: &BlockMatrix,
+    owners: &OwnerMap,
+    b: &[f64],
+    sweep: Sweep,
+    fault: Option<&FaultPlan>,
+) -> Vec<f64> {
     let nblk = bm.nblk();
     let p = owners.num_ranks();
 
@@ -60,7 +81,11 @@ fn run_sweep(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64], sweep: Sweep) -> Ve
         }
     }
 
-    let mailboxes = MailboxSet::new(p).into_mailboxes();
+    let mailboxes = match fault {
+        Some(plan) => MailboxSet::with_faults(p, plan.clone()),
+        None => MailboxSet::new(p),
+    }
+    .into_mailboxes();
     let mut solved: Vec<(usize, Vec<f64>)> = Vec::with_capacity(nblk);
     std::thread::scope(|s| {
         let handles: Vec<_> = mailboxes
@@ -150,6 +175,10 @@ impl SweepWorker<'_> {
         let timeout = Duration::from_millis(50);
         let mut idle = 0u32;
         while remaining_solves > 0 || remaining_partials > 0 {
+            // Under a reordering fault plan, sends may sit in this rank's
+            // own buffers — release them before blocking so an idle
+            // sender can never strand a message.
+            self.mailbox.flush_pending();
             let Some(msg) = self.mailbox.recv(timeout) else {
                 idle += 1;
                 assert!(
@@ -194,6 +223,8 @@ impl SweepWorker<'_> {
                 other => panic!("unexpected message role {other:?} during solve"),
             }
         }
+        // Ship anything still buffered before this rank's receiver drops.
+        self.mailbox.flush_pending();
         out
     }
 

@@ -15,12 +15,13 @@ use std::time::{Duration, Instant};
 
 use pangulu_comm::ProcessGrid;
 use pangulu_kernels::select::{KernelSelector, Thresholds};
+use pangulu_metrics::RunReport;
 use pangulu_reorder::{reorder_for_lu, FillReducing, Reordering};
 use pangulu_sparse::{CscMatrix, Result, SparseError};
 use pangulu_symbolic::{symbolic_fill, stats::SymbolicStats};
 
 use crate::block::BlockMatrix;
-use crate::dist::{factor_distributed, DistStats, ScheduleMode};
+use crate::dist::{factor_distributed_checked, DistStats, FactorConfig, ScheduleMode};
 use crate::layout::OwnerMap;
 use crate::seq::{factor_sequential, NumericStats};
 use crate::task::TaskGraph;
@@ -164,6 +165,8 @@ pub struct FactorStats {
     pub symbolic: Option<SymbolicStats>,
     /// Distributed-executor statistics (multi-rank runs).
     pub dist: Option<DistStats>,
+    /// The structured per-rank metrics report (multi-rank runs).
+    pub report: Option<RunReport>,
     /// Sequential kernel statistics (single-rank runs, Table 4).
     pub numeric: Option<NumericStats>,
     /// Chosen tile size.
@@ -265,9 +268,20 @@ impl Solver {
             stats.perturbed_pivots = ns.perturbed_pivots;
             stats.numeric = Some(ns);
         } else {
-            let ds = factor_distributed(&mut bm, &tg, &owners, &selector, pivot_floor, opts.schedule);
-            stats.perturbed_pivots = ds.perturbed_pivots;
-            stats.dist = Some(ds);
+            // A fault-free run only stalls on an executor bug; keep the
+            // pre-report panic semantics of `factor_distributed` here.
+            let run = factor_distributed_checked(
+                &mut bm,
+                &tg,
+                &owners,
+                &selector,
+                pivot_floor,
+                &FactorConfig::with_mode(opts.schedule),
+            )
+            .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
+            stats.perturbed_pivots = run.stats.perturbed_pivots;
+            stats.dist = Some(run.stats);
+            stats.report = Some(run.report);
         }
         stats.numeric_time = t.elapsed();
 

@@ -33,10 +33,12 @@ pub mod reference;
 pub mod scratch;
 pub mod select;
 pub mod ssssm;
+pub mod timed;
 pub mod trsm;
 
 pub use scratch::KernelScratch;
 pub use select::{KernelSelector, Thresholds};
+pub use timed::TimedKernels;
 
 /// The four kernel classes of the numeric factorisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,253 @@
+//! Metered kernel entry points.
+//!
+//! [`TimedKernels`] wraps the four kernel classes behind a per-rank
+//! [`KernelTally`]: every invocation records its variant, elapsed time and
+//! model FLOPs (the [`crate::flops`] count evaluated on the actual
+//! operands — the "observed" side of the report's observed-vs-predicted
+//! FLOP comparison). Each rank of the distributed runtime owns one
+//! wrapper, so recording is two counter additions on a thread-local
+//! struct — no atomics, no locks.
+//!
+//! Built disabled, every method delegates straight to the raw kernel:
+//! no clock reads, no FLOP walks, no tally writes. That is the
+//! "zero-cost-when-disabled" half of the metrics contract (the CI smoke
+//! gate checks the wall-time delta stays under 2%).
+
+use std::time::Instant;
+
+use pangulu_metrics::{KernelTally, CLASS_GESSM, CLASS_GETRF, CLASS_SSSSM, CLASS_TSTRF};
+use pangulu_sparse::CscMatrix;
+
+use crate::scratch::KernelScratch;
+use crate::{flops, getrf, ssssm, trsm, GetrfVariant, SsssmVariant, TrsmVariant};
+
+/// Tally slot of a GETRF variant (`VARIANT_LABELS` index).
+fn getrf_slot(v: GetrfVariant) -> usize {
+    match v {
+        GetrfVariant::CV1 => 0,
+        GetrfVariant::GV1 => 2,
+        GetrfVariant::GV2 => 3,
+    }
+}
+
+/// Tally slot of a GESSM/TSTRF variant.
+fn trsm_slot(v: TrsmVariant) -> usize {
+    match v {
+        TrsmVariant::CV1 => 0,
+        TrsmVariant::CV2 => 1,
+        TrsmVariant::GV1 => 2,
+        TrsmVariant::GV2 => 3,
+        TrsmVariant::GV3 => 4,
+    }
+}
+
+/// Tally slot of an SSSSM variant.
+fn ssssm_slot(v: SsssmVariant) -> usize {
+    match v {
+        SsssmVariant::CV1 => 0,
+        SsssmVariant::CV2 => 1,
+        SsssmVariant::GV1 => 2,
+        SsssmVariant::GV2 => 3,
+    }
+}
+
+/// Per-rank metered front door to the kernel implementations.
+#[derive(Debug, Default)]
+pub struct TimedKernels {
+    enabled: bool,
+    tally: KernelTally,
+}
+
+impl TimedKernels {
+    /// Creates a wrapper; `enabled = false` makes every call a plain
+    /// delegation with no measurement at all.
+    pub fn new(enabled: bool) -> Self {
+        TimedKernels { enabled, tally: KernelTally::default() }
+    }
+
+    /// Whether invocations are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The tally accumulated so far (empty when disabled).
+    pub fn tally(&self) -> &KernelTally {
+        &self.tally
+    }
+
+    /// Consumes the wrapper, returning its tally.
+    pub fn into_tally(self) -> KernelTally {
+        self.tally
+    }
+
+    /// Metered [`getrf::getrf`]; returns the perturbed-pivot count.
+    pub fn getrf(
+        &mut self,
+        a: &mut CscMatrix,
+        variant: GetrfVariant,
+        scratch: &mut KernelScratch,
+        pivot_floor: f64,
+    ) -> usize {
+        if !self.enabled {
+            return getrf::getrf(a, variant, scratch, pivot_floor);
+        }
+        let fl = flops::getrf_flops(a);
+        let start = Instant::now();
+        let perturbed = getrf::getrf(a, variant, scratch, pivot_floor);
+        self.tally.record(CLASS_GETRF, getrf_slot(variant), elapsed_nanos(start), fl);
+        perturbed
+    }
+
+    /// Metered [`trsm::gessm`].
+    pub fn gessm(
+        &mut self,
+        diag_lu: &CscMatrix,
+        b: &mut CscMatrix,
+        variant: TrsmVariant,
+        scratch: &mut KernelScratch,
+    ) {
+        if !self.enabled {
+            return trsm::gessm(diag_lu, b, variant, scratch);
+        }
+        let fl = flops::gessm_flops(diag_lu, b);
+        let start = Instant::now();
+        trsm::gessm(diag_lu, b, variant, scratch);
+        self.tally.record(CLASS_GESSM, trsm_slot(variant), elapsed_nanos(start), fl);
+    }
+
+    /// Metered [`trsm::tstrf`].
+    pub fn tstrf(
+        &mut self,
+        diag_lu: &CscMatrix,
+        b: &mut CscMatrix,
+        variant: TrsmVariant,
+        scratch: &mut KernelScratch,
+    ) {
+        if !self.enabled {
+            return trsm::tstrf(diag_lu, b, variant, scratch);
+        }
+        let fl = flops::tstrf_flops(diag_lu, b);
+        let start = Instant::now();
+        trsm::tstrf(diag_lu, b, variant, scratch);
+        self.tally.record(CLASS_TSTRF, trsm_slot(variant), elapsed_nanos(start), fl);
+    }
+
+    /// Metered [`ssssm::ssssm`]. The scheduler already computed
+    /// [`flops::ssssm_flops`] for variant selection, so it is passed in
+    /// rather than re-derived.
+    pub fn ssssm(
+        &mut self,
+        a: &CscMatrix,
+        b: &CscMatrix,
+        c: &mut CscMatrix,
+        variant: SsssmVariant,
+        scratch: &mut KernelScratch,
+        model_flops: f64,
+    ) {
+        if !self.enabled {
+            return ssssm::ssssm(a, b, c, variant, scratch);
+        }
+        let start = Instant::now();
+        ssssm::ssssm(a, b, c, variant, scratch);
+        self.tally.record(CLASS_SSSSM, ssssm_slot(variant), elapsed_nanos(start), model_flops);
+    }
+}
+
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pangulu_sparse::CooMatrix;
+
+    fn lower_block(n: usize) -> CscMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            for i in j..n {
+                coo.push(i, j, if i == j { 2.0 } else { 1.0 }).unwrap();
+            }
+        }
+        coo.to_csc()
+    }
+
+    fn dense_block(n: usize) -> CscMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                coo.push(i, j, 1.0 + (i * n + j) as f64 / 16.0).unwrap();
+            }
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn enabled_wrapper_matches_raw_kernels_and_records() {
+        let mut timed = TimedKernels::new(true);
+        let mut scratch = KernelScratch::default();
+
+        let mut via_timed = dense_block(6);
+        let mut via_raw = via_timed.clone();
+        let p1 = timed.getrf(&mut via_timed, GetrfVariant::CV1, &mut scratch, 1e-12);
+        let p2 = getrf::getrf(&mut via_raw, GetrfVariant::CV1, &mut scratch, 1e-12);
+        assert_eq!(p1, p2);
+        assert_eq!(via_timed.values(), via_raw.values());
+
+        let diag = lower_block(6);
+        let mut rhs_timed = dense_block(6);
+        let mut rhs_raw = rhs_timed.clone();
+        timed.gessm(&diag, &mut rhs_timed, TrsmVariant::CV1, &mut scratch);
+        trsm::gessm(&diag, &mut rhs_raw, TrsmVariant::CV1, &mut scratch);
+        assert_eq!(rhs_timed.values(), rhs_raw.values());
+
+        let fac = {
+            let mut blk = dense_block(6);
+            getrf::getrf(&mut blk, GetrfVariant::CV1, &mut scratch, 1e-12);
+            blk
+        };
+        let mut low_timed = dense_block(6);
+        let mut low_raw = low_timed.clone();
+        timed.tstrf(&fac, &mut low_timed, TrsmVariant::CV2, &mut scratch);
+        trsm::tstrf(&fac, &mut low_raw, TrsmVariant::CV2, &mut scratch);
+        assert_eq!(low_timed.values(), low_raw.values());
+
+        let a = dense_block(6);
+        let b = dense_block(6);
+        let mut c_timed = dense_block(6);
+        let mut c_raw = c_timed.clone();
+        let fl = flops::ssssm_flops(&a, &b);
+        timed.ssssm(&a, &b, &mut c_timed, SsssmVariant::CV1, &mut scratch, fl);
+        ssssm::ssssm(&a, &b, &mut c_raw, SsssmVariant::CV1, &mut scratch);
+        assert_eq!(c_timed.values(), c_raw.values());
+
+        let tally = timed.tally();
+        assert_eq!(tally.total_calls(), 4);
+        assert_eq!(tally.calls_by_class(), [1, 1, 1, 1]);
+        assert!(tally.total_flops() > 0.0);
+        let labels: Vec<_> = tally.entries().map(|(c, v, _)| (c, v)).collect();
+        assert!(labels.contains(&("GETRF", "C_V1")));
+        assert!(labels.contains(&("GESSM", "C_V1")));
+        assert!(labels.contains(&("TSTRF", "C_V2")));
+        assert!(labels.contains(&("SSSSM", "C_V1")));
+    }
+
+    #[test]
+    fn disabled_wrapper_records_nothing() {
+        let mut timed = TimedKernels::new(false);
+        let mut scratch = KernelScratch::default();
+        let mut blk = dense_block(5);
+        timed.getrf(&mut blk, GetrfVariant::CV1, &mut scratch, 1e-12);
+        assert_eq!(timed.tally().total_calls(), 0);
+        assert_eq!(timed.into_tally(), KernelTally::default());
+    }
+
+    #[test]
+    fn variant_slots_map_to_table_one_labels() {
+        use pangulu_metrics::VARIANT_LABELS;
+        assert_eq!(VARIANT_LABELS[getrf_slot(GetrfVariant::GV1)], "G_V1");
+        assert_eq!(VARIANT_LABELS[getrf_slot(GetrfVariant::GV2)], "G_V2");
+        assert_eq!(VARIANT_LABELS[trsm_slot(TrsmVariant::GV3)], "G_V3");
+        assert_eq!(VARIANT_LABELS[ssssm_slot(SsssmVariant::CV2)], "C_V2");
+    }
+}

@@ -1,0 +1,621 @@
+//! `pangulu-metrics` — the per-rank structured metrics layer of the
+//! PanguLU reproduction.
+//!
+//! The paper's evaluation hinges on per-rank accounting: synchronisation
+//! wait versus compute time (Fig. 13), kernel time by variant
+//! (Figs. 7/8), and communication volume. This crate is the substrate
+//! every layer records into:
+//!
+//! * `pangulu-comm` fills a [`CommMetrics`] per mailbox — message counts
+//!   and bytes per edge, the deepest observed mailbox queue, fault-plan
+//!   retries and permanent drops;
+//! * `pangulu-kernels` fills a [`KernelTally`] — invocation counts,
+//!   elapsed time and model FLOPs per kernel variant
+//!   (GETRF/GESSM/TSTRF/SSSSM × C/G versions);
+//! * `pangulu-core` assembles one [`RankMetrics`] per rank (sync-wait vs
+//!   compute breakdown, tasks executed by kind, stall diagnostics) and
+//!   aggregates them into the serialisable [`RunReport`] that
+//!   `factor_distributed_checked` returns alongside the factors.
+//!
+//! **Determinism contract.** For a fixed matrix, grid, owner map and
+//! fault plan, the *work* counters — messages/bytes per edge, tasks by
+//! kind, kernel invocations and variants, model FLOPs, perturbed pivots,
+//! fault-layer retries/drops — are run-to-run identical.
+//! Wall-clock durations are not, and neither are the scheduling-dependent
+//! observables (how often a rank blocked, receive timeouts, the deepest
+//! queue moment, shutdown-race undeliverables): they depend on thread
+//! interleaving. [`RunReport::without_timings`] zeroes exactly those
+//! non-deterministic fields, and the metrics-determinism test in
+//! `tests/metrics.rs` holds the runtime to equality under it.
+//!
+//! **Cost contract.** Recording is plain counter arithmetic on rank-local
+//! structs (no atomics, no locks, no allocation per event); when a layer
+//! is constructed with metrics disabled it skips even that, so a disabled
+//! build adds no measurable overhead (the CI smoke gate checks < 2%).
+//!
+//! The JSON schema produced by [`RunReport::to_json`] is documented in
+//! `docs/OBSERVABILITY.md`.
+
+pub mod json;
+
+use json::{Json, JsonError};
+
+/// Kernel class labels, indexed by [`KernelTally`] class slot.
+pub const CLASS_LABELS: [&str; 4] = ["GETRF", "GESSM", "TSTRF", "SSSSM"];
+
+/// Kernel variant labels, indexed by [`KernelTally`] variant slot
+/// (Table 1's naming: CPU versions then team/"GPU-structured" versions).
+pub const VARIANT_LABELS: [&str; 5] = ["C_V1", "C_V2", "G_V1", "G_V2", "G_V3"];
+
+/// Class slot of GETRF entries.
+pub const CLASS_GETRF: usize = 0;
+/// Class slot of GESSM entries.
+pub const CLASS_GESSM: usize = 1;
+/// Class slot of TSTRF entries.
+pub const CLASS_TSTRF: usize = 2;
+/// Class slot of SSSSM entries.
+pub const CLASS_SSSSM: usize = 3;
+
+/// One kernel variant's accumulated invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelSlot {
+    /// Invocations.
+    pub calls: u64,
+    /// Elapsed time across invocations, nanoseconds.
+    pub nanos: u64,
+    /// Model FLOPs of the executed invocations (the structural count of
+    /// `pangulu_kernels::flops` evaluated on the actual operands).
+    pub flops: f64,
+}
+
+/// Per-variant invocation tally: 4 kernel classes × up to 5 variants.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelTally {
+    slots: [[KernelSlot; 5]; 4],
+}
+
+impl KernelTally {
+    /// Records one invocation. `class`/`variant` index
+    /// [`CLASS_LABELS`] / [`VARIANT_LABELS`].
+    #[inline]
+    pub fn record(&mut self, class: usize, variant: usize, nanos: u64, flops: f64) {
+        let slot = &mut self.slots[class][variant];
+        slot.calls += 1;
+        slot.nanos += nanos;
+        slot.flops += flops;
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &KernelTally) {
+        for (c, row) in other.slots.iter().enumerate() {
+            for (v, s) in row.iter().enumerate() {
+                let slot = &mut self.slots[c][v];
+                slot.calls += s.calls;
+                slot.nanos += s.nanos;
+                slot.flops += s.flops;
+            }
+        }
+    }
+
+    /// Non-empty entries as `(class_label, variant_label, slot)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, &'static str, KernelSlot)> + '_ {
+        self.slots.iter().enumerate().flat_map(|(c, row)| {
+            row.iter().enumerate().filter(|(_, s)| s.calls > 0).map(move |(v, s)| {
+                (CLASS_LABELS[c], VARIANT_LABELS[v], *s)
+            })
+        })
+    }
+
+    /// Total invocations across every variant.
+    pub fn total_calls(&self) -> u64 {
+        self.slots.iter().flatten().map(|s| s.calls).sum()
+    }
+
+    /// Total elapsed nanoseconds across every variant.
+    pub fn total_nanos(&self) -> u64 {
+        self.slots.iter().flatten().map(|s| s.nanos).sum()
+    }
+
+    /// Total model FLOPs across every variant.
+    pub fn total_flops(&self) -> f64 {
+        self.slots.iter().flatten().map(|s| s.flops).sum()
+    }
+
+    /// Calls per class, indexed like [`CLASS_LABELS`].
+    pub fn calls_by_class(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (c, row) in self.slots.iter().enumerate() {
+            out[c] = row.iter().map(|s| s.calls).sum();
+        }
+        out
+    }
+
+    fn zero_timings(&mut self) {
+        for s in self.slots.iter_mut().flatten() {
+            s.nanos = 0;
+        }
+    }
+
+    fn set(&mut self, class: usize, variant: usize, slot: KernelSlot) {
+        self.slots[class][variant] = slot;
+    }
+}
+
+/// Traffic on one send edge (this rank → `to`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStat {
+    /// Destination rank.
+    pub to: usize,
+    /// Messages sent on the edge (permanent drops included).
+    pub msgs: u64,
+    /// Payload bytes sent on the edge.
+    pub bytes: u64,
+}
+
+/// One rank's communication accounting, filled by its mailbox.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommMetrics {
+    /// Messages handed to the transport (drops included).
+    pub msgs_sent: u64,
+    /// Payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Transmission retries consumed by the fault layer.
+    pub retried_sends: u64,
+    /// Messages permanently dropped by the fault layer.
+    pub dropped_msgs: u64,
+    /// Blocking receives that timed out.
+    pub recv_timeouts: u64,
+    /// Sends that failed because the receiver already shut down.
+    pub undeliverable: u64,
+    /// Deepest observed receive-queue depth (pending + held-back).
+    pub max_queue_depth: u64,
+    /// Per-destination traffic, ascending by rank; zero edges omitted.
+    pub edges: Vec<EdgeStat>,
+}
+
+/// Tasks executed, by kernel kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskCounts {
+    /// Diagonal factorisations.
+    pub getrf: u64,
+    /// Upper-panel solves.
+    pub gessm: u64,
+    /// Lower-panel solves.
+    pub tstrf: u64,
+    /// Schur-complement updates.
+    pub ssssm: u64,
+}
+
+impl TaskCounts {
+    /// All tasks.
+    pub fn total(&self) -> u64 {
+        self.getrf + self.gessm + self.tstrf + self.ssssm
+    }
+}
+
+/// Everything one rank recorded during a distributed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankMetrics {
+    /// The rank.
+    pub rank: usize,
+    /// Time spent executing kernels, nanoseconds.
+    pub busy_nanos: u64,
+    /// Time spent blocked on the mailbox or a barrier, nanoseconds.
+    pub sync_wait_nanos: u64,
+    /// Times the rank entered the blocking-receive path (nothing
+    /// runnable) — the stall diagnostic's event count.
+    pub blocked_recvs: u64,
+    /// Longest no-progress streak observed, nanoseconds.
+    pub max_idle_nanos: u64,
+    /// Statically perturbed pivots on this rank.
+    pub perturbed_pivots: u64,
+    /// Tasks executed, by kind.
+    pub tasks: TaskCounts,
+    /// Mailbox accounting.
+    pub comm: CommMetrics,
+    /// Per-variant kernel tally (empty when metrics were disabled).
+    pub kernels: KernelTally,
+}
+
+impl RankMetrics {
+    /// Fraction of accounted time spent computing (`busy / (busy+sync)`);
+    /// 0 when the rank never did either.
+    pub fn compute_fraction(&self) -> f64 {
+        let total = self.busy_nanos + self.sync_wait_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / total as f64
+        }
+    }
+
+    /// Fraction of accounted time spent waiting — the per-rank Fig. 13
+    /// quantity.
+    pub fn sync_fraction(&self) -> f64 {
+        let total = self.busy_nanos + self.sync_wait_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.sync_wait_nanos as f64 / total as f64
+        }
+    }
+}
+
+/// The aggregated, serialisable report of one distributed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// World size.
+    pub ranks: usize,
+    /// Wall-clock time of the numeric phase, nanoseconds.
+    pub wall_nanos: u64,
+    /// The symbolic phase's FLOP prediction for the whole factorisation
+    /// (0 when the caller did not provide one).
+    pub predicted_flops: f64,
+    /// Per-rank metrics, ascending by rank.
+    pub per_rank: Vec<RankMetrics>,
+}
+
+impl RunReport {
+    /// Model FLOPs actually executed, summed across ranks — compare
+    /// against [`RunReport::predicted_flops`].
+    pub fn observed_flops(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.kernels.total_flops()).sum()
+    }
+
+    /// Total messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.comm.msgs_sent).sum()
+    }
+
+    /// Total payload bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.comm.bytes_sent).sum()
+    }
+
+    /// Tasks executed across ranks, by kind.
+    pub fn total_tasks(&self) -> TaskCounts {
+        let mut t = TaskCounts::default();
+        for r in &self.per_rank {
+            t.getrf += r.tasks.getrf;
+            t.gessm += r.tasks.gessm;
+            t.tstrf += r.tasks.tstrf;
+            t.ssssm += r.tasks.ssssm;
+        }
+        t
+    }
+
+    /// Kernel tally merged across ranks.
+    pub fn total_kernels(&self) -> KernelTally {
+        let mut t = KernelTally::default();
+        for r in &self.per_rank {
+            t.merge(&r.kernels);
+        }
+        t
+    }
+
+    /// Sum of per-rank busy time, seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.busy_nanos).sum::<u64>() as f64 * 1e-9
+    }
+
+    /// Sum of per-rank synchronisation wait, seconds.
+    pub fn sync_wait_seconds(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.sync_wait_nanos).sum::<u64>() as f64 * 1e-9
+    }
+
+    /// Mean of the per-rank sync fractions (Fig. 13's headline number).
+    pub fn mean_sync_fraction(&self) -> f64 {
+        let active: Vec<f64> = self
+            .per_rank
+            .iter()
+            .filter(|r| r.busy_nanos + r.sync_wait_nanos > 0)
+            .map(|r| r.sync_fraction())
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// The deterministic projection: this report with every wall-clock
+    /// field (run wall time, per-rank busy/sync/idle, per-variant kernel
+    /// nanoseconds) *and* every scheduling-dependent observable
+    /// (blocked-receive count, receive timeouts, peak queue depth,
+    /// shutdown-race undeliverables) zeroed. Two runs with the same
+    /// matrix, grid, owner map and fault plan must compare equal under it.
+    pub fn without_timings(&self) -> RunReport {
+        let mut out = self.clone();
+        out.wall_nanos = 0;
+        for r in &mut out.per_rank {
+            r.busy_nanos = 0;
+            r.sync_wait_nanos = 0;
+            r.max_idle_nanos = 0;
+            r.blocked_recvs = 0;
+            r.comm.recv_timeouts = 0;
+            r.comm.max_queue_depth = 0;
+            r.comm.undeliverable = 0;
+            r.kernels.zero_timings();
+        }
+        out
+    }
+
+    /// Serialises to the documented JSON schema
+    /// (`pangulu-run-report-v1`, see `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> String {
+        let per_rank: Vec<Json> = self.per_rank.iter().map(rank_to_json).collect();
+        Json::obj(vec![
+            ("schema", Json::Str("pangulu-run-report-v1".into())),
+            ("ranks", Json::Num(self.ranks as f64)),
+            ("wall_nanos", Json::Num(self.wall_nanos as f64)),
+            ("predicted_flops", Json::Num(self.predicted_flops)),
+            ("observed_flops", Json::Num(self.observed_flops())),
+            ("mean_sync_fraction", Json::Num(self.mean_sync_fraction())),
+            ("per_rank", Json::Arr(per_rank)),
+        ])
+        .pretty()
+    }
+
+    /// Parses a report serialised by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        let doc = Json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) != Some("pangulu-run-report-v1") {
+            return Err(JsonError { msg: "not a pangulu-run-report-v1 document".into(), at: 0 });
+        }
+        let mut report = RunReport {
+            ranks: doc.req_u64("ranks")? as usize,
+            wall_nanos: doc.req_u64("wall_nanos")?,
+            predicted_flops: doc.req_f64("predicted_flops")?,
+            per_rank: Vec::new(),
+        };
+        for r in doc
+            .req("per_rank")?
+            .as_arr()
+            .ok_or_else(|| JsonError { msg: "per_rank is not an array".into(), at: 0 })?
+        {
+            report.per_rank.push(rank_from_json(r)?);
+        }
+        Ok(report)
+    }
+}
+
+fn rank_to_json(r: &RankMetrics) -> Json {
+    let edges: Vec<Json> = r
+        .comm
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("to", Json::Num(e.to as f64)),
+                ("msgs", Json::Num(e.msgs as f64)),
+                ("bytes", Json::Num(e.bytes as f64)),
+            ])
+        })
+        .collect();
+    let kernels: Vec<Json> = r
+        .kernels
+        .entries()
+        .map(|(class, variant, s)| {
+            Json::obj(vec![
+                ("class", Json::Str(class.into())),
+                ("variant", Json::Str(variant.into())),
+                ("calls", Json::Num(s.calls as f64)),
+                ("nanos", Json::Num(s.nanos as f64)),
+                ("flops", Json::Num(s.flops)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("rank", Json::Num(r.rank as f64)),
+        ("busy_nanos", Json::Num(r.busy_nanos as f64)),
+        ("sync_wait_nanos", Json::Num(r.sync_wait_nanos as f64)),
+        ("blocked_recvs", Json::Num(r.blocked_recvs as f64)),
+        ("max_idle_nanos", Json::Num(r.max_idle_nanos as f64)),
+        ("perturbed_pivots", Json::Num(r.perturbed_pivots as f64)),
+        (
+            "tasks",
+            Json::obj(vec![
+                ("getrf", Json::Num(r.tasks.getrf as f64)),
+                ("gessm", Json::Num(r.tasks.gessm as f64)),
+                ("tstrf", Json::Num(r.tasks.tstrf as f64)),
+                ("ssssm", Json::Num(r.tasks.ssssm as f64)),
+            ]),
+        ),
+        (
+            "comm",
+            Json::obj(vec![
+                ("msgs_sent", Json::Num(r.comm.msgs_sent as f64)),
+                ("bytes_sent", Json::Num(r.comm.bytes_sent as f64)),
+                ("retried_sends", Json::Num(r.comm.retried_sends as f64)),
+                ("dropped_msgs", Json::Num(r.comm.dropped_msgs as f64)),
+                ("recv_timeouts", Json::Num(r.comm.recv_timeouts as f64)),
+                ("undeliverable", Json::Num(r.comm.undeliverable as f64)),
+                ("max_queue_depth", Json::Num(r.comm.max_queue_depth as f64)),
+                ("edges", Json::Arr(edges)),
+            ]),
+        ),
+        ("kernels", Json::Arr(kernels)),
+    ])
+}
+
+fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
+    let tasks = j.req("tasks")?;
+    let comm = j.req("comm")?;
+    let mut r = RankMetrics {
+        rank: j.req_u64("rank")? as usize,
+        busy_nanos: j.req_u64("busy_nanos")?,
+        sync_wait_nanos: j.req_u64("sync_wait_nanos")?,
+        blocked_recvs: j.req_u64("blocked_recvs")?,
+        max_idle_nanos: j.req_u64("max_idle_nanos")?,
+        perturbed_pivots: j.req_u64("perturbed_pivots")?,
+        tasks: TaskCounts {
+            getrf: tasks.req_u64("getrf")?,
+            gessm: tasks.req_u64("gessm")?,
+            tstrf: tasks.req_u64("tstrf")?,
+            ssssm: tasks.req_u64("ssssm")?,
+        },
+        comm: CommMetrics {
+            msgs_sent: comm.req_u64("msgs_sent")?,
+            bytes_sent: comm.req_u64("bytes_sent")?,
+            retried_sends: comm.req_u64("retried_sends")?,
+            dropped_msgs: comm.req_u64("dropped_msgs")?,
+            recv_timeouts: comm.req_u64("recv_timeouts")?,
+            undeliverable: comm.req_u64("undeliverable")?,
+            max_queue_depth: comm.req_u64("max_queue_depth")?,
+            edges: Vec::new(),
+        },
+        kernels: KernelTally::default(),
+    };
+    for e in comm
+        .req("edges")?
+        .as_arr()
+        .ok_or_else(|| JsonError { msg: "edges is not an array".into(), at: 0 })?
+    {
+        r.comm.edges.push(EdgeStat {
+            to: e.req_u64("to")? as usize,
+            msgs: e.req_u64("msgs")?,
+            bytes: e.req_u64("bytes")?,
+        });
+    }
+    for k in j
+        .req("kernels")?
+        .as_arr()
+        .ok_or_else(|| JsonError { msg: "kernels is not an array".into(), at: 0 })?
+    {
+        let class_label = k.req("class")?.as_str().unwrap_or("");
+        let variant_label = k.req("variant")?.as_str().unwrap_or("");
+        let class = CLASS_LABELS
+            .iter()
+            .position(|&c| c == class_label)
+            .ok_or_else(|| JsonError { msg: format!("unknown class {class_label:?}"), at: 0 })?;
+        let variant = VARIANT_LABELS
+            .iter()
+            .position(|&v| v == variant_label)
+            .ok_or_else(|| JsonError { msg: format!("unknown variant {variant_label:?}"), at: 0 })?;
+        r.kernels.set(
+            class,
+            variant,
+            KernelSlot {
+                calls: k.req_u64("calls")?,
+                nanos: k.req_u64("nanos")?,
+                flops: k.req_f64("flops")?,
+            },
+        );
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut kernels = KernelTally::default();
+        kernels.record(CLASS_GETRF, 0, 1_000, 64.0);
+        kernels.record(CLASS_SSSSM, 1, 2_500, 1024.0);
+        kernels.record(CLASS_SSSSM, 1, 500, 256.0);
+        RunReport {
+            ranks: 2,
+            wall_nanos: 5_000_000,
+            predicted_flops: 2048.0,
+            per_rank: vec![
+                RankMetrics {
+                    rank: 0,
+                    busy_nanos: 4_000,
+                    sync_wait_nanos: 1_000,
+                    blocked_recvs: 3,
+                    max_idle_nanos: 700,
+                    perturbed_pivots: 1,
+                    tasks: TaskCounts { getrf: 1, gessm: 0, tstrf: 0, ssssm: 2 },
+                    comm: CommMetrics {
+                        msgs_sent: 4,
+                        bytes_sent: 512,
+                        retried_sends: 1,
+                        dropped_msgs: 0,
+                        recv_timeouts: 2,
+                        undeliverable: 0,
+                        max_queue_depth: 3,
+                        edges: vec![EdgeStat { to: 1, msgs: 4, bytes: 512 }],
+                    },
+                    kernels,
+                },
+                RankMetrics { rank: 1, ..Default::default() },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn totals_aggregate_across_ranks() {
+        let report = sample_report();
+        assert_eq!(report.total_messages(), 4);
+        assert_eq!(report.total_bytes(), 512);
+        assert_eq!(report.total_tasks().total(), 3);
+        assert_eq!(report.total_kernels().total_calls(), 3);
+        assert!((report.observed_flops() - 1344.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_timings_zeroes_clock_and_scheduling_fields() {
+        let report = sample_report();
+        let det = report.without_timings();
+        assert_eq!(det.wall_nanos, 0);
+        assert_eq!(det.per_rank[0].busy_nanos, 0);
+        assert_eq!(det.per_rank[0].sync_wait_nanos, 0);
+        assert_eq!(det.per_rank[0].max_idle_nanos, 0);
+        assert_eq!(det.per_rank[0].blocked_recvs, 0);
+        assert_eq!(det.per_rank[0].comm.recv_timeouts, 0);
+        assert_eq!(det.per_rank[0].comm.max_queue_depth, 0);
+        assert_eq!(det.per_rank[0].kernels.total_nanos(), 0);
+        // Work counters untouched.
+        assert_eq!(det.per_rank[0].tasks, report.per_rank[0].tasks);
+        assert_eq!(det.per_rank[0].comm.msgs_sent, 4);
+        assert_eq!(det.per_rank[0].comm.bytes_sent, 512);
+        assert_eq!(det.per_rank[0].comm.retried_sends, 1);
+        assert_eq!(det.per_rank[0].comm.edges, report.per_rank[0].comm.edges);
+        assert_eq!(det.per_rank[0].kernels.total_calls(), 3);
+        // Idempotent and equal across "runs" differing only in timing.
+        let mut other = report.clone();
+        other.wall_nanos = 99;
+        other.per_rank[0].busy_nanos = 77;
+        other.per_rank[0].blocked_recvs = 12;
+        other.per_rank[0].comm.recv_timeouts = 8;
+        assert_eq!(other.without_timings(), det);
+    }
+
+    #[test]
+    fn fractions_are_normalised() {
+        let r = &sample_report().per_rank[0];
+        assert!((r.compute_fraction() - 0.8).abs() < 1e-12);
+        assert!((r.sync_fraction() - 0.2).abs() < 1e-12);
+        assert!((r.compute_fraction() + r.sync_fraction() - 1.0).abs() < 1e-12);
+        let idle = RankMetrics::default();
+        assert_eq!(idle.compute_fraction(), 0.0);
+        assert_eq!(idle.sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tally_entries_skip_empty_slots() {
+        let mut t = KernelTally::default();
+        assert_eq!(t.entries().count(), 0);
+        t.record(CLASS_GESSM, 2, 10, 1.0);
+        let entries: Vec<_> = t.entries().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "GESSM");
+        assert_eq!(entries[0].1, "G_V1");
+        assert_eq!(t.calls_by_class(), [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        assert!(RunReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests of the reordering substrate.
+//!
+//! Three families of invariants the rest of the pipeline leans on:
+//!
+//! * every ordering (AMD, RCM, nested dissection, natural, auto) returns
+//!   a **bijective** permutation — a repeated or skipped index would
+//!   silently drop rows during the symbolic phase;
+//! * symmetric *patterns* stay symmetric under the symmetric orderings,
+//!   which `BlockMatrix` assumes when it mirrors block structure;
+//! * MC64 matching/scaling leaves the diagonal structurally present and
+//!   numerically nonzero (matched entries scale to 1, everything else to
+//!   at most 1) — the property static pivoting relies on.
+
+use proptest::prelude::*;
+
+use pangulu_reorder::{fill_reducing_ordering, mc64, reorder_for_lu, FillReducing};
+use pangulu_sparse::ops::symmetrize;
+use pangulu_sparse::permute::{permute, permute_symmetric, scale};
+use pangulu_sparse::{CooMatrix, CscMatrix, Permutation};
+
+const ORDERINGS: [FillReducing; 5] = [
+    FillReducing::Natural,
+    FillReducing::Amd,
+    FillReducing::Rcm,
+    FillReducing::NestedDissection,
+    FillReducing::Auto,
+];
+
+/// Strategy: a random square matrix as (n, entry list); indices are
+/// reduced modulo n on construction.
+fn matrix_inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0usize..64, 0usize..64, -5.0f64..5.0), 0..120),
+        )
+    })
+}
+
+/// Random off-diagonal pattern plus an explicit nonzero diagonal, so a
+/// numerically nonsingular transversal always exists for MC64.
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CscMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(i, j, v) in entries {
+        coo.push(i % n, j % n, v).unwrap();
+    }
+    for i in 0..n {
+        coo.push(i, i, 1.0 + 0.25 * (i % 7) as f64).unwrap();
+    }
+    coo.to_csc()
+}
+
+/// A permutation is bijective iff every index in 0..n appears exactly once.
+fn assert_bijection(p: &Permutation, n: usize, ctx: &str) {
+    prop_assert_eq!(p.len(), n, "{}: permutation length {} != n {}", ctx, p.len(), n);
+    let mut seen = vec![false; n];
+    for &old in p.as_slice() {
+        prop_assert!(old < n, "{}: out-of-range image {}", ctx, old);
+        prop_assert!(!seen[old], "{}: index {} mapped twice", ctx, old);
+        seen[old] = true;
+    }
+    // Composing with the inverse must give the identity.
+    let id = p.inverse().compose(p);
+    prop_assert_eq!(id.as_slice(), Permutation::identity(n).as_slice(), "{}: inverse", ctx);
+}
+
+fn assert_pattern_symmetric(m: &CscMatrix, ctx: &str) {
+    for j in 0..m.ncols() {
+        let (rows, _) = m.col(j);
+        for &i in rows {
+            let (back, _) = m.col(i);
+            prop_assert!(
+                back.binary_search(&j).is_ok(),
+                "{}: ({},{}) present but ({},{}) missing",
+                ctx,
+                i,
+                j,
+                j,
+                i
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every fill-reducing ordering of a symmetrised pattern is a
+    /// bijection on 0..n.
+    #[test]
+    fn fill_orderings_are_bijections((n, entries) in matrix_inputs()) {
+        let a = build(n, &entries);
+        let sym = symmetrize(&a).unwrap();
+        for method in ORDERINGS {
+            let p = fill_reducing_ordering(&sym, method)
+                .unwrap_or_else(|e| panic!("{method:?}: {e}"));
+            assert_bijection(&p, n, &format!("{method:?}"));
+        }
+    }
+
+    /// Symmetric patterns stay symmetric under the symmetric orderings.
+    #[test]
+    fn symmetric_patterns_stay_symmetric((n, entries) in matrix_inputs()) {
+        let a = build(n, &entries);
+        let sym = symmetrize(&a).unwrap();
+        assert_pattern_symmetric(&sym, "symmetrize");
+        for method in ORDERINGS {
+            let p = fill_reducing_ordering(&sym, method).unwrap();
+            let permuted = permute_symmetric(&sym, &p).unwrap();
+            prop_assert_eq!(permuted.nnz(), sym.nnz(), "{:?}: nnz changed", method);
+            assert_pattern_symmetric(&permuted, &format!("{method:?}"));
+        }
+    }
+
+    /// MC64 produces a bijective row permutation, and under its scaling
+    /// the matched (diagonal) entries are 1 with everything else at most
+    /// 1 in magnitude — so the diagonal is structurally present and
+    /// numerically nonzero, the static-pivoting precondition.
+    #[test]
+    fn mc64_scaling_leaves_nonzero_unit_diagonal((n, entries) in matrix_inputs()) {
+        let a = build(n, &entries);
+        let m = mc64::mc64(&a).unwrap();
+        assert_bijection(&m.row_perm, n, "mc64 row_perm");
+        let scaled = scale(&a, &m.row_scale, &m.col_scale).unwrap();
+        let matched = permute(&scaled, &m.row_perm, &Permutation::identity(n)).unwrap();
+        for j in 0..n {
+            let d = matched.get(j, j);
+            prop_assert!(d.abs() > 0.0, "column {} has a zero diagonal after matching", j);
+            prop_assert!(
+                (d.abs() - 1.0).abs() < 1e-6,
+                "column {}: matched entry {} not scaled to 1",
+                j,
+                d
+            );
+        }
+        for &v in matched.values() {
+            prop_assert!(v.abs() <= 1.0 + 1e-6, "scaled entry {} exceeds 1", v);
+        }
+    }
+
+    /// The full pipeline composes those pieces: both output permutations
+    /// are bijections and the reordered matrix keeps a nonzero diagonal.
+    #[test]
+    fn reorder_for_lu_is_bijective_with_nonzero_diagonal((n, entries) in matrix_inputs()) {
+        let a = build(n, &entries);
+        for method in [FillReducing::Amd, FillReducing::NestedDissection] {
+            let r = reorder_for_lu(&a, method).unwrap();
+            assert_bijection(&r.row_perm, n, "row_perm");
+            assert_bijection(&r.col_perm, n, "col_perm");
+            for j in 0..n {
+                prop_assert!(
+                    r.matrix.get(j, j).abs() > 0.0,
+                    "{:?}: reordered matrix lost diagonal {}",
+                    method,
+                    j
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: regenerate the smoke corpus benchmark into a
+# scratch directory and diff it against the checked-in baseline
+# (data/BENCH_smoke.json), then prove the gate still has teeth with the
+# built-in 1.2x-slowdown self-test. See docs/OBSERVABILITY.md.
+#
+# Usage: scripts/bench_compare.sh [extra bench_compare args, e.g. --tol 0.3]
+# Env:   PANGULU_SMOKE_REPS (default 3), PANGULU_BENCH_TOL (default 0.15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== smoke bench (fresh run -> $tmp) =="
+cargo build --release -q -p pangulu-bench --bin smoke --bin bench_compare
+PANGULU_DATA_DIR="$tmp" ./target/release/smoke
+
+echo "== bench_compare (fresh vs data/BENCH_smoke.json) =="
+./target/release/bench_compare data/BENCH_smoke.json "$tmp/BENCH_smoke.json" "$@"
+
+echo "== bench_compare --self-test =="
+./target/release/bench_compare --self-test data/BENCH_smoke.json "$@"

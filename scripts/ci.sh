@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, the full test suite, and the
+# Tier-1 CI gate: release build, the full test suite, the
 # schedule-trace validator on a traced 2x2-grid factorisation under a
-# seeded adversarial fault plan (see docs/FAULT_INJECTION.md).
+# seeded adversarial fault plan (see docs/FAULT_INJECTION.md), and the
+# smoke-benchmark regression gate (see docs/OBSERVABILITY.md).
 #
 # Usage: scripts/ci.sh [fault-seed]
 set -euo pipefail
@@ -20,5 +21,8 @@ cargo test -q --workspace
 
 echo "== trace validator (fault seed ${seed}) =="
 cargo run --release -q --bin trace_validate -- "${seed}"
+
+echo "== benchmark-regression gate =="
+scripts/bench_compare.sh
 
 echo "CI OK"

@@ -41,6 +41,7 @@
 pub use pangulu_comm as comm;
 pub use pangulu_core as core;
 pub use pangulu_kernels as kernels;
+pub use pangulu_metrics as metrics;
 pub use pangulu_reorder as reorder;
 pub use pangulu_sparse as sparse;
 pub use pangulu_supernodal as supernodal;

@@ -16,6 +16,7 @@
 //!       --refine <tol>     iterative refinement to the given tolerance
 //!       --rhs <path>       right-hand side file (one value per line)
 //!       --out <path>       write the solution vector
+//!       --report-json <p>  write the per-rank metrics RunReport (multi-rank)
 //!       --list             list the generator names and exit
 //! ```
 
@@ -41,6 +42,7 @@ struct Cli {
     refine: Option<f64>,
     rhs: Option<String>,
     out: Option<String>,
+    report_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -62,6 +64,7 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
       --refine <tol>     iterative refinement to the given tolerance
       --rhs <path>       right-hand side file (one value per line)
       --out <path>       write the solution vector
+      --report-json <p>  write the per-rank metrics RunReport (multi-rank)
       --list             list generator names and exit
 ";
 
@@ -79,6 +82,7 @@ fn parse_args() -> Cli {
         refine: None,
         rhs: None,
         out: None,
+        report_json: None,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -127,6 +131,7 @@ fn parse_args() -> Cli {
             }
             "--rhs" => cli.rhs = Some(next(&mut args, "--rhs")),
             "--out" => cli.out = Some(next(&mut args, "--out")),
+            "--report-json" => cli.report_json = Some(next(&mut args, "--report-json")),
             "--list" => {
                 for pm in PAPER_MATRICES {
                     println!("{:<18} {}", pm.name, pm.domain);
@@ -228,6 +233,20 @@ fn main() -> ExitCode {
     }
     if s.perturbed_pivots > 0 {
         println!("static pivoting perturbed {} pivots", s.perturbed_pivots);
+    }
+    if let Some(path) = &cli.report_json {
+        match &s.report {
+            Some(report) => {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics report written to {path}");
+            }
+            None => eprintln!(
+                "note: --report-json needs a multi-rank run (-np 2 or more); no report written"
+            ),
+        }
     }
 
     let b = match load_rhs(&cli, a.nrows()) {

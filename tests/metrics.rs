@@ -1,0 +1,210 @@
+//! Tests of the per-rank metrics layer (`pangulu-metrics`) as threaded
+//! through the distributed factorisation.
+//!
+//! The determinism contract: for a fixed matrix, grid, owner map and
+//! fault plan, every **work** counter in the [`RunReport`] — messages and
+//! bytes per edge, tasks by kind, kernel invocations per variant, model
+//! FLOPs, perturbed pivots, fault-layer retries/drops — is identical run
+//! to run. Wall-clock readings and scheduling-dependent observables
+//! (blocked receives, receive timeouts, queue high-water marks) are not,
+//! and `RunReport::without_timings` projects exactly those away.
+
+use std::time::Duration;
+
+use pangulu::comm::{FaultPlan, ProcessGrid};
+use pangulu::core::dist::{
+    factor_distributed_checked, predicted_total_flops, FactorConfig, ScheduleMode,
+};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::trisolve::{backward_substitute, forward_substitute};
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::metrics::RunReport;
+use pangulu::sparse::gen;
+use pangulu::sparse::ops::{ensure_diagonal, relative_residual};
+use pangulu::sparse::CscMatrix;
+
+struct Problem {
+    a: CscMatrix,
+    bm: BlockMatrix,
+    tg: TaskGraph,
+    sel: KernelSelector,
+}
+
+fn problem(seed: u64) -> Problem {
+    let a = ensure_diagonal(&gen::random_sparse(80, 0.10, seed)).unwrap();
+    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm = BlockMatrix::from_filled(&f, 9).unwrap();
+    let tg = TaskGraph::build(&bm);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+    Problem { a, bm, tg, sel }
+}
+
+/// Factor on a 2x2 grid and return (report, factors-as-csc).
+fn factor(prob: &Problem, cfg: &FactorConfig) -> (RunReport, CscMatrix) {
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(2, 2), &prob.tg);
+    let run = factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+        .unwrap_or_else(|e| panic!("factorisation failed: {e}"));
+    (run.report, bm.to_csc())
+}
+
+/// A delay+reorder plan (no drops): perturbs timing and arrival order
+/// without changing which messages exist, so work counters must hold.
+fn jitter_plan(seed: u64) -> FaultPlan {
+    FaultPlan::reliable(seed)
+        .with_delays(0.4, Duration::from_micros(300))
+        .with_reordering(3)
+}
+
+/// Same seed, grid and fault plan: the timing-free projections of two
+/// runs are identical, even though thread interleaving differs.
+#[test]
+fn work_counters_are_deterministic_under_fault_jitter() {
+    let prob = problem(21);
+    for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+        let cfg = FactorConfig::with_mode(mode).with_fault(jitter_plan(7));
+        let (r1, f1) = factor(&prob, &cfg);
+        let (r2, f2) = factor(&prob, &cfg);
+        assert_eq!(f1.values(), f2.values(), "{mode:?}: factors drifted");
+        assert_eq!(
+            r1.without_timings(),
+            r2.without_timings(),
+            "{mode:?}: work counters drifted between identical runs"
+        );
+    }
+}
+
+/// The timings stripped by the projection are present and sane in the
+/// raw report: wall time positive, per-rank busy/sync non-negative and
+/// bounded by wall, fractions in [0, 1].
+#[test]
+fn timings_are_present_and_sane() {
+    let prob = problem(22);
+    let (r, _) = factor(&prob, &FactorConfig::default());
+    assert_eq!(r.ranks, 4);
+    assert_eq!(r.per_rank.len(), 4);
+    assert!(r.wall_nanos > 0, "wall time missing");
+    for rank in &r.per_rank {
+        assert!(rank.busy_nanos > 0, "rank {} recorded no busy time", rank.rank);
+        assert!(
+            rank.busy_nanos + rank.sync_wait_nanos <= 4 * r.wall_nanos,
+            "rank {} busy+sync exceeds wall by more than scheduling slack",
+            rank.rank
+        );
+        let cf = rank.compute_fraction();
+        let sf = rank.sync_fraction();
+        assert!((0.0..=1.0).contains(&cf), "compute fraction {cf}");
+        assert!((0.0..=1.0).contains(&sf), "sync fraction {sf}");
+        assert!((cf + sf - 1.0).abs() < 1e-9, "fractions must partition busy+sync");
+        assert!(rank.kernels.total_nanos() > 0, "rank {} kernels untimed", rank.rank);
+    }
+    // The projection really does zero every timing field.
+    let p = r.without_timings();
+    assert_eq!(p.wall_nanos, 0);
+    for rank in &p.per_rank {
+        assert_eq!(rank.busy_nanos + rank.sync_wait_nanos + rank.max_idle_nanos, 0);
+        assert_eq!(rank.kernels.total_nanos(), 0);
+    }
+}
+
+/// Kernels only ever write inside static block patterns, and the model
+/// FLOP counts derive from those same patterns — so the FLOPs observed
+/// by the meter must sum to the prediction *exactly*.
+#[test]
+fn observed_flops_match_prediction_exactly() {
+    let prob = problem(23);
+    let expected = predicted_total_flops(&prob.bm, &prob.tg);
+    assert!(expected > 0.0);
+    for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+        let (r, _) = factor(&prob, &FactorConfig::with_mode(mode));
+        assert_eq!(r.predicted_flops, expected, "{mode:?}: prediction changed");
+        assert_eq!(
+            r.observed_flops(),
+            expected,
+            "{mode:?}: observed FLOPs diverge from the static model"
+        );
+    }
+}
+
+/// Task and message accounting is self-consistent: every rank's kernel
+/// calls equal its task count, and the global task total matches the
+/// task graph.
+#[test]
+fn task_and_kernel_accounting_agree() {
+    let prob = problem(24);
+    let (r, _) = factor(&prob, &FactorConfig::default());
+    for rank in &r.per_rank {
+        assert_eq!(
+            rank.kernels.total_calls(),
+            rank.tasks.total(),
+            "rank {}: kernel calls != tasks executed",
+            rank.rank
+        );
+        let by_class = rank.kernels.calls_by_class();
+        assert_eq!(by_class[pangulu::metrics::CLASS_GETRF], rank.tasks.getrf);
+        assert_eq!(by_class[pangulu::metrics::CLASS_GESSM], rank.tasks.gessm);
+        assert_eq!(by_class[pangulu::metrics::CLASS_TSTRF], rank.tasks.tstrf);
+        assert_eq!(by_class[pangulu::metrics::CLASS_SSSSM], rank.tasks.ssssm);
+        // Edge stats decompose the rank totals.
+        let edge_msgs: u64 = rank.comm.edges.iter().map(|e| e.msgs).sum();
+        let edge_bytes: u64 = rank.comm.edges.iter().map(|e| e.bytes).sum();
+        assert_eq!(edge_msgs, rank.comm.msgs_sent);
+        assert_eq!(edge_bytes, rank.comm.bytes_sent);
+    }
+    let graph_tasks = prob.tg.num_tasks(prob.bm.num_blocks()) as u64;
+    assert_eq!(r.total_tasks().total(), graph_tasks, "ranks executed a different task set");
+}
+
+/// The JSON round-trip is lossless for a real report.
+#[test]
+fn run_report_json_round_trips() {
+    let prob = problem(25);
+    let (r, _) = factor(&prob, &FactorConfig::default());
+    let back = RunReport::from_json(&r.to_json()).expect("parse back");
+    assert_eq!(r, back);
+}
+
+/// Fig. 13 shape on a 2x2 grid: these matrices are far too small to
+/// saturate four ranks, so synchronisation dominates — the mean sync
+/// fraction is substantial (well above 20%) yet strictly below 1, and
+/// compute still happens on every rank.
+#[test]
+fn sync_fraction_reproduces_small_matrix_shape() {
+    let prob = problem(26);
+    let (r, _) = factor(&prob, &FactorConfig::default());
+    let sf = r.mean_sync_fraction();
+    assert!(sf > 0.2, "2x2 grid on a tiny matrix should be sync-dominated, got {sf}");
+    assert!(sf < 1.0, "sync fraction must leave room for compute, got {sf}");
+    assert!(r.busy_seconds() > 0.0);
+}
+
+/// Metrics off: factors bitwise identical to the metered run, kernel
+/// tallies empty, while the always-on busy/sync and comm counters
+/// remain (they predate the metrics layer and feed `DistStats`).
+#[test]
+fn disabled_metrics_change_nothing_but_the_tallies() {
+    let prob = problem(27);
+    let on = FactorConfig::default();
+    let off = FactorConfig::default().with_metrics(false);
+    let (r_on, f_on) = factor(&prob, &on);
+    let (r_off, f_off) = factor(&prob, &off);
+    assert_eq!(f_on.values(), f_off.values(), "metering changed the numerics");
+    assert_eq!(r_off.predicted_flops, 0.0);
+    assert_eq!(r_off.observed_flops(), 0.0);
+    assert_eq!(r_off.total_kernels().total_calls(), 0);
+    // Work accounting outside the kernel meter is unaffected.
+    assert_eq!(r_on.total_messages(), r_off.total_messages());
+    assert_eq!(r_on.total_bytes(), r_off.total_bytes());
+    assert_eq!(r_on.total_tasks(), r_off.total_tasks());
+    // And the factors still solve the system.
+    let b = gen::test_rhs(prob.a.nrows(), 3);
+    let mut x = b.clone();
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(2, 2), &prob.tg);
+    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, &off).unwrap();
+    forward_substitute(&bm, &mut x);
+    backward_substitute(&bm, &mut x);
+    assert!(relative_residual(&prob.a, &x, &b).unwrap() < 1e-8);
+}

@@ -33,6 +33,71 @@ fn pangulu_agrees_with_supernodal_baseline() {
     agree("kkt", &gen::kkt(200, 90, 7), 1e-8);
 }
 
+/// The golden corpus: one matrix per structure class, each with a
+/// *recorded* residual bound — the worst residual either solver produced
+/// at recording time, times a 100x safety margin. A failure here means a
+/// genuine accuracy regression, not test noise: the observed residuals
+/// sit near 1e-16, ten orders under the loosest bound.
+/// `data/BENCH_smoke.json` tracks the same corpus (at larger sizes) for
+/// the wall-clock gate; see docs/OBSERVABILITY.md.
+const GOLDEN_BOUNDS: [(&str, f64); 6] = [
+    ("laplacian_2d", 1e-13),
+    ("circuit", 1e-12),
+    ("fem_blocked", 1e-13),
+    ("kkt", 1e-12),
+    ("cage_like", 1e-13),
+    ("dense_banded", 1e-13),
+];
+
+fn golden_matrix(name: &str) -> pangulu::sparse::CscMatrix {
+    match name {
+        "laplacian_2d" => gen::laplacian_2d(15, 14),
+        "circuit" => gen::circuit(300, 21),
+        "fem_blocked" => gen::fem_blocked(50, 5, 2, 13),
+        "kkt" => gen::kkt(200, 90, 7),
+        "cage_like" => gen::cage_like(250, 17),
+        "dense_banded" => gen::dense_banded(200, 12, 0.5, 9),
+        other => panic!("unknown golden matrix {other}"),
+    }
+}
+
+/// Both solvers beat every recorded bound on the full six-matrix corpus,
+/// their solutions agree, and the multi-rank PanguLU path (2x2 grid)
+/// matches the single-rank one.
+#[test]
+fn golden_corpus_residuals_stay_within_recorded_bounds() {
+    for (name, bound) in GOLDEN_BOUNDS {
+        let a = golden_matrix(name);
+        let b = gen::test_rhs(a.nrows(), 11);
+
+        let p1 = Solver::factor(&a).unwrap();
+        let p4 = Solver::builder().ranks(4).build(&a).unwrap();
+        let s = SupernodalLu::factor(&a, SupernodalOptions::default()).unwrap();
+        let x1 = p1.solve(&b).unwrap();
+        let x4 = p4.solve(&b).unwrap();
+        let xs = s.solve(&b).unwrap();
+
+        let r1 = relative_residual(&a, &x1, &b).unwrap();
+        let r4 = relative_residual(&a, &x4, &b).unwrap();
+        let rs = relative_residual(&a, &xs, &b).unwrap();
+        assert!(r1 < bound, "{name}: pangulu 1-rank residual {r1:.3e} over bound {bound:.0e}");
+        assert!(r4 < bound, "{name}: pangulu 4-rank residual {r4:.3e} over bound {bound:.0e}");
+        assert!(rs < bound, "{name}: supernodal residual {rs:.3e} over bound {bound:.0e}");
+
+        let scale = x1.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        for (i, ((u, v), w)) in x1.iter().zip(&x4).zip(&xs).enumerate() {
+            assert!(
+                (u - v).abs() / scale < 1e-9,
+                "{name}: 1-rank vs 4-rank disagree at {i}: {u} vs {v}"
+            );
+            assert!(
+                (u - w).abs() / scale < 1e-8,
+                "{name}: pangulu vs supernodal disagree at {i}: {u} vs {w}"
+            );
+        }
+    }
+}
+
 #[test]
 fn block_size_does_not_change_solution() {
     let a = gen::cage_like(250, 17);
