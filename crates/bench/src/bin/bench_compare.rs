@@ -9,10 +9,10 @@
 //! checked-in baseline and exits non-zero on a regression:
 //!
 //! * **work counters** (messages, bytes, tasks, kernel calls, per-class
-//!   calls, observed/model FLOPs) are deterministic for a fixed corpus
-//!   and grid, so they must match **exactly** — a drift means the
-//!   accounting or the schedule changed and the baseline must be
-//!   regenerated deliberately;
+//!   calls, copy/alloc counters, observed/model FLOPs) are deterministic
+//!   for a fixed corpus and grid, so they must match **exactly** — a
+//!   drift means the accounting or the schedule changed and the baseline
+//!   must be regenerated deliberately;
 //! * **residuals** may wobble with summation order; fresh must stay
 //!   under `max(10 x baseline, 1e-11)`;
 //! * **wall time** is gated on the corpus total: fresh must be within
@@ -34,7 +34,15 @@ const DEFAULT_TOL: f64 = 0.15;
 const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// Counters compared exactly; FLOPs get a tiny relative slack for the
 /// f64 round-trip through JSON text.
-const EXACT_KEYS: [&str; 4] = ["msgs", "bytes", "tasks", "kernel_calls"];
+const EXACT_KEYS: [&str; 7] = [
+    "msgs",
+    "bytes",
+    "tasks",
+    "kernel_calls",
+    "bytes_copied",
+    "payload_allocs",
+    "pattern_cache_hits",
+];
 const FLOP_KEYS: [&str; 2] = ["observed_flops", "predicted_flops"];
 const FLOP_RTOL: f64 = 1e-9;
 const RESIDUAL_FLOOR: f64 = 1e-11;
@@ -146,7 +154,8 @@ fn compare(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
         let br = req_f64(b, "residual", name);
         let fr = req_f64(f, "residual", name);
         let bound = (10.0 * br).max(RESIDUAL_FLOOR);
-        if !(fr <= bound) {
+        // NaN must fail the gate, hence the explicit is_nan arm.
+        if fr > bound || fr.is_nan() {
             fails.push(format!(
                 "{name}: residual regressed: fresh {fr:.3e} exceeds bound {bound:.3e} \
                  (baseline {br:.3e})"

@@ -52,8 +52,8 @@ fn main() {
 
     // Group the per-variant timings of each harvested instance. Instances
     // are identified by (matrix, class, feature) plus arrival order.
-    let mut instances: HashMap<(String, &'static str, u64, usize), Vec<(String, f64)>> =
-        HashMap::new();
+    type InstanceKey = (String, &'static str, u64, usize);
+    let mut instances: HashMap<InstanceKey, Vec<(String, f64)>> = HashMap::new();
     let mut ordinal: HashMap<(String, &'static str, u64), usize> = HashMap::new();
     let variants_per_class =
         |class: &str| -> usize { if class == "GETRF" { 3 } else if class == "SSSSM" { 4 } else { 5 } };

@@ -10,7 +10,8 @@
 //!   sync-wait breakdown from the [`pangulu_metrics::RunReport`];
 //! * the relative residual of a solve against a fixed right-hand side;
 //! * deterministic work counters (messages, bytes, tasks, kernel calls,
-//!   observed and model FLOPs) that the gate compares exactly.
+//!   copy/alloc counters, observed and model FLOPs) that the gate
+//!   compares exactly.
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_smoke.json`; see docs/OBSERVABILITY.md.
@@ -110,6 +111,7 @@ fn matrix_json(r: &SmokeResult) -> Json {
     let tally = r.report.total_kernels();
     let by_class = tally.calls_by_class();
     let tasks = r.report.total_tasks();
+    let mem = r.report.total_mem();
     let classes = pangulu_metrics::CLASS_LABELS
         .iter()
         .zip(by_class)
@@ -130,6 +132,9 @@ fn matrix_json(r: &SmokeResult) -> Json {
         ("tasks".into(), num(tasks.total() as f64)),
         ("kernel_calls".into(), num(tally.total_calls() as f64)),
         ("kernel_calls_by_class".into(), Json::Obj(classes)),
+        ("bytes_copied".into(), num(mem.bytes_copied as f64)),
+        ("payload_allocs".into(), num(mem.payload_allocs as f64)),
+        ("pattern_cache_hits".into(), num(mem.pattern_cache_hits as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])

@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn block_msg_cost_matches_bytes() {
         let p = PlatformProfile::a100_like();
-        let m = BlockMsg { bi: 0, bj: 0, role: BlockRole::LPanel, values: vec![0.0; 1000] };
+        let m = BlockMsg { bi: 0, bj: 0, role: BlockRole::LPanel, values: vec![0.0; 1000].into() };
         let c = p.block_msg_cost(0, 5, &m);
         assert!((c - (p.net_latency + m.payload_bytes() as f64 / p.net_bandwidth)).abs() < 1e-18);
     }

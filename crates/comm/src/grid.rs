@@ -19,7 +19,7 @@ impl ProcessGrid {
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "process grid needs at least one rank");
         let mut pr = (p as f64).sqrt() as usize;
-        while pr > 1 && p % pr != 0 {
+        while pr > 1 && !p.is_multiple_of(pr) {
             pr -= 1;
         }
         ProcessGrid { pr: pr.max(1), pc: p / pr.max(1) }

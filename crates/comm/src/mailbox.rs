@@ -302,7 +302,7 @@ impl Mailbox {
     /// Pops the earliest held message whose due time has passed.
     fn pop_ripe(&mut self) -> Option<BlockMsg> {
         let ripe = match self.holdback.peek() {
-            Some(held) => held.0.due.map_or(true, |t| t <= Instant::now()),
+            Some(held) => held.0.due.is_none_or(|t| t <= Instant::now()),
             None => false,
         };
         if !ripe {
@@ -465,7 +465,7 @@ mod tests {
     use crate::msg::BlockRole;
 
     fn msg(bi: usize) -> BlockMsg {
-        BlockMsg { bi, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0] }
+        BlockMsg { bi, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0].into() }
     }
 
     #[test]

@@ -5,6 +5,15 @@
 //! Patterns are replicated during preprocessing, so messages carry only
 //! the **values** of the block — as the real implementation would ship
 //! over MPI.
+//!
+//! The payload is an [`Arc<[f64]>`]: a block fanned out to several
+//! dependent ranks is serialised **once** and the clones handed to each
+//! mailbox share the buffer. The wire cost model is unaffected — the
+//! mailbox charges [`BlockMsg::payload_bytes`] per send edge, exactly as
+//! if every destination received its own copy, because that is what the
+//! MPI transport being modelled would put on the wire.
+
+use std::sync::Arc;
 
 /// Which role the shipped block plays at the receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,8 +46,9 @@ pub struct BlockMsg {
     pub bj: usize,
     /// Role at the receiver.
     pub role: BlockRole,
-    /// The block's values in its (replicated) pattern order.
-    pub values: Vec<f64>,
+    /// The block's values in its (replicated) pattern order, shared
+    /// across fan-out destinations.
+    pub values: Arc<[f64]>,
 }
 
 impl BlockMsg {
@@ -54,7 +64,18 @@ mod tests {
 
     #[test]
     fn payload_accounts_header_and_values() {
-        let m = BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0; 10] };
+        let m = BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0; 10].into() };
         assert_eq!(m.payload_bytes(), 10 * 8 + 24);
+    }
+
+    #[test]
+    fn fanout_clones_share_one_payload_buffer() {
+        let m = BlockMsg { bi: 0, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0; 4].into() };
+        let fanned: Vec<BlockMsg> = (0..3).map(|_| m.clone()).collect();
+        for copy in &fanned {
+            assert!(Arc::ptr_eq(&m.values, &copy.values), "clone must not reallocate the payload");
+            // Each clone is still charged full freight by the cost model.
+            assert_eq!(copy.payload_bytes(), 4 * 8 + 24);
+        }
     }
 }

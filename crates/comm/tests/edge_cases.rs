@@ -7,7 +7,7 @@ use std::time::Duration;
 use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, MailboxSet};
 
 fn msg(bi: usize, bj: usize) -> BlockMsg {
-    BlockMsg { bi, bj, role: BlockRole::LPanel, values: vec![1.0, 2.0, 3.0] }
+    BlockMsg { bi, bj, role: BlockRole::LPanel, values: vec![1.0, 2.0, 3.0].into() }
 }
 
 #[test]

@@ -312,7 +312,7 @@ impl BlockMatrix {
             .iter()
             .map(|b| {
                 (b.col_ptr().len() + b.row_idx().len()) * std::mem::size_of::<usize>()
-                    + b.values().len() * std::mem::size_of::<f64>()
+                    + std::mem::size_of_val(b.values())
             })
             .sum();
         first_layer + blocks

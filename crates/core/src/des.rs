@@ -314,10 +314,10 @@ pub fn pangulu_sim_tasks(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap) ->
     let block_bytes = |id: usize| bm.block(id).nnz() * 8 + 24;
 
     // One panel task per block (GETRF on the diagonal, solves elsewhere).
-    for id in 0..bm.num_blocks() {
+    for (id, pt) in panel_task.iter_mut().enumerate() {
         let (bi, bj) = bm.block_coords(id);
         let class = if bi == bj { KernelCostClass::Getrf } else { KernelCostClass::Trsm };
-        panel_task[id] = tasks.len();
+        *pt = tasks.len();
         tasks.push(SimTask {
             rank: owners.owner_of(id),
             class,

@@ -32,16 +32,16 @@
 //!   missing operand blocks, instead of hanging. A permanently dropped
 //!   message therefore surfaces as a diagnosable error.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
 use pangulu_kernels::select::KernelSelector;
-use pangulu_kernels::{flops, KernelScratch, TimedKernels};
-use pangulu_metrics::{RankMetrics, RunReport, TaskCounts};
+use pangulu_kernels::{flops, KernelScratch, SsssmUpdate, TimedKernels};
+use pangulu_metrics::{MemStats, RankMetrics, RunReport, TaskCounts};
 use pangulu_sparse::CscMatrix;
 
 use crate::block::BlockMatrix;
@@ -75,6 +75,16 @@ pub struct FactorConfig {
     /// zero-cost-when-disabled contract); the always-on busy/sync
     /// accounting and communication counters are kept either way.
     pub metrics: bool,
+    /// Fuse consecutive ready SSSSM updates on one target into a single
+    /// scatter → multi-axpy → gather pass (on by default). The fused pass
+    /// applies the updates in the same deterministic ascending-step
+    /// order, so factors are bitwise identical either way — the toggle
+    /// exists so tests can force one-at-a-time application and assert
+    /// exactly that. Batching is only engaged in
+    /// [`ScheduleMode::SyncFree`] runs without tracing: level-set
+    /// barriers and per-kernel trace events are both defined on single
+    /// updates.
+    pub ssssm_batching: bool,
 }
 
 impl Default for FactorConfig {
@@ -85,6 +95,7 @@ impl Default for FactorConfig {
             stall_timeout: Duration::from_secs(60),
             traced: false,
             metrics: true,
+            ssssm_batching: true,
         }
     }
 }
@@ -116,6 +127,13 @@ impl FactorConfig {
     /// Toggles per-variant kernel metering (on by default).
     pub fn with_metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Toggles fused application of consecutive ready SSSSM updates
+    /// (on by default; bitwise-neutral either way).
+    pub fn with_ssssm_batching(mut self, on: bool) -> Self {
+        self.ssssm_batching = on;
         self
     }
 }
@@ -515,7 +533,8 @@ struct WorkerOutput {
 /// observe the result.
 enum Post {
     Panel { id: usize, step: usize, role: BlockRole },
-    Update { cid: usize, k: usize },
+    /// `applied` consecutive updates (from the target's cursor) done.
+    Update { cid: usize, applied: usize },
 }
 
 /// Per-rank executor state.
@@ -533,29 +552,39 @@ struct Worker<'a> {
     abort: &'a AtomicBool,
     first_err: &'a Mutex<Option<DistError>>,
 
-    /// This rank's working copies of its owned blocks.
-    my_blocks: HashMap<usize, CscMatrix>,
-    /// Received remote blocks, reconstructed over the replicated pattern.
-    remote: HashMap<(usize, usize), CscMatrix>,
-    /// Finished owned blocks (panel op done).
-    finished: HashSet<usize>,
-    /// Synchronisation-free counters for owned blocks.
-    counter: HashMap<usize, usize>,
-    /// Owned blocks already queued for their panel op.
-    queued: HashSet<usize>,
-    /// Diagonal factors available (owned-finished or received).
-    have_diag: HashSet<usize>,
-    /// L-panel operands available, keyed `(i, k)`.
-    have_l: HashSet<(usize, usize)>,
-    /// U-panel operands available, keyed `(k, j)`.
-    have_u: HashSet<(usize, usize)>,
-    /// Deterministic update order: per owned target block, the ascending
-    /// elimination steps of its SSSSM updates...
-    upd_order: HashMap<usize, Vec<usize>>,
+    /// This rank's working copies of its owned blocks, indexed by block
+    /// id. A slot is `None` only for unowned blocks (and transiently for
+    /// the kernel target while a panel/SSSSM task runs on it, which is
+    /// what lets operands be borrowed from the table without cloning).
+    my_blocks: Vec<Option<CscMatrix>>,
+    /// The pattern cache: received remote blocks, indexed by block id.
+    /// The first receive for a block builds its CSC structure from the
+    /// replicated pattern; subsequent receives memcpy values into the
+    /// cached block's buffer (counted as [`MemStats::pattern_cache_hits`]).
+    remote: Vec<Option<CscMatrix>>,
+    /// Finished owned blocks (panel op done), by block id.
+    finished: Vec<bool>,
+    /// Synchronisation-free counters for owned blocks, by block id.
+    counter: Vec<usize>,
+    /// Owned blocks already queued for their panel op, by block id.
+    queued: Vec<bool>,
+    /// Operand availability (owned-finished or received), by block id —
+    /// a block's role (diagonal factor, L-panel, U-panel) is determined
+    /// by its coordinates, so one flag per block covers all three of the
+    /// paper's dependency kinds.
+    avail: Vec<bool>,
+    /// Deterministic update order: per target block id, the ascending
+    /// elimination steps of its SSSSM updates (empty when the block is
+    /// not an owned SSSSM target)...
+    upd_order: Vec<Vec<usize>>,
     /// ...the index of the next update to apply...
-    upd_pos: HashMap<usize, usize>,
-    /// ...and the steps whose operands have both arrived.
-    upd_ready: HashMap<usize, HashSet<usize>>,
+    upd_pos: Vec<usize>,
+    /// ...and, aligned with `upd_order[cid]`, whether each update's
+    /// operands have both arrived.
+    upd_ready: Vec<Vec<bool>>,
+    /// Widest SSSSM fusion allowed (1 = one-at-a-time; see
+    /// [`FactorConfig::ssssm_batching`]).
+    max_batch: usize,
 
     queue: BinaryHeap<PrioritisedTask>,
     remaining: usize,
@@ -573,6 +602,8 @@ struct Worker<'a> {
     perturbed: usize,
     /// Tasks executed on this rank, by kernel kind.
     tasks: TaskCounts,
+    /// Hot-path copy/allocation accounting.
+    mem: MemStats,
     /// Times this rank entered the blocking-receive path.
     blocked_recvs: u64,
     /// Longest observed no-progress streak.
@@ -597,33 +628,40 @@ impl<'a> Worker<'a> {
         first_err: &'a Mutex<Option<DistError>>,
     ) -> Self {
         let rank = mailbox.rank();
+        let nblocks = bm.num_blocks();
         // Clone owned blocks (the "distribute the matrix" preprocessing
         // step — each rank stores only what it computes on, §4.2).
-        let mut my_blocks = HashMap::new();
-        let mut counter = HashMap::new();
+        let mut my_blocks: Vec<Option<CscMatrix>> = vec![None; nblocks];
+        let mut counter = vec![0usize; nblocks];
         let mut remaining = 0usize;
         let mut step_total = vec![0usize; bm.nblk() + 1];
-        for id in 0..bm.num_blocks() {
+        for id in 0..nblocks {
             if owners.owner_of(id) == rank {
-                my_blocks.insert(id, bm.block(id).clone());
-                counter.insert(id, tg.indegree[id]);
+                my_blocks[id] = Some(bm.block(id).clone());
+                counter[id] = tg.indegree[id];
                 remaining += 1; // the block's panel op
                 step_total[bm.step_of(id)] += 1;
             }
         }
-        let mut upd_order: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut upd_order: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
         for &(i, j, k) in &tg.ssssm {
             let cid = bm.block_id(i, j).expect("ssssm target exists");
             if owners.owner_of(cid) == rank {
                 remaining += 1;
                 step_total[k] += 1;
-                upd_order.entry(cid).or_default().push(k);
+                upd_order[cid].push(k);
             }
         }
-        for order in upd_order.values_mut() {
+        for order in &mut upd_order {
             order.sort_unstable();
         }
-        let upd_pos = upd_order.keys().map(|&cid| (cid, 0usize)).collect();
+        let upd_ready: Vec<Vec<bool>> = upd_order.iter().map(|o| vec![false; o.len()]).collect();
+        let max_batch = if cfg.mode == ScheduleMode::SyncFree && cfg.ssssm_batching && !cfg.traced
+        {
+            usize::MAX
+        } else {
+            1
+        };
         Worker {
             rank,
             bm,
@@ -638,16 +676,15 @@ impl<'a> Worker<'a> {
             abort,
             first_err,
             my_blocks,
-            remote: HashMap::new(),
-            finished: HashSet::new(),
+            remote: vec![None; nblocks],
+            finished: vec![false; nblocks],
             counter,
-            queued: HashSet::new(),
-            have_diag: HashSet::new(),
-            have_l: HashSet::new(),
-            have_u: HashSet::new(),
+            queued: vec![false; nblocks],
+            avail: vec![false; nblocks],
             upd_order,
-            upd_pos,
-            upd_ready: HashMap::new(),
+            upd_pos: vec![0usize; nblocks],
+            upd_ready,
+            max_batch,
             queue: BinaryHeap::new(),
             remaining,
             step_done: vec![0usize; bm.nblk() + 1],
@@ -659,6 +696,7 @@ impl<'a> Worker<'a> {
             barrier_wait: Duration::ZERO,
             perturbed: 0,
             tasks: TaskCounts::default(),
+            mem: MemStats::default(),
             blocked_recvs: 0,
             max_idle: Duration::ZERO,
             trace_origin: None,
@@ -670,32 +708,32 @@ impl<'a> Worker<'a> {
         self.owners.owner_of(id) == self.rank
     }
 
-    /// Fetches an operand block: an owned finished block or a received
-    /// remote copy.
-    fn operand(&self, bi: usize, bj: usize) -> &CscMatrix {
-        let id = self.bm.block_id(bi, bj).expect("operand block exists");
-        if let Some(b) = self.my_blocks.get(&id) {
-            debug_assert!(self.finished.contains(&id), "operand used before finished");
-            b
-        } else {
-            self.remote
-                .get(&(bi, bj))
-                .expect("operand block neither owned nor received")
-        }
+    /// Whether block `(bi, bj)` is available as an operand (owned and
+    /// finished, or received).
+    fn avail_at(&self, bi: usize, bj: usize) -> bool {
+        self.bm.block_id(bi, bj).is_some_and(|id| self.avail[id])
     }
 
-    /// Reconstructs a received block over the replicated pattern.
-    fn reconstruct(&self, bi: usize, bj: usize, values: Vec<f64>) -> CscMatrix {
-        let id = self.bm.block_id(bi, bj).expect("pattern of shipped block is replicated");
-        let tpl = self.bm.block(id);
-        assert_eq!(values.len(), tpl.nnz(), "shipped values do not match pattern");
-        CscMatrix::from_parts_unchecked(
-            tpl.nrows(),
-            tpl.ncols(),
-            tpl.col_ptr().to_vec(),
-            tpl.row_idx().to_vec(),
-            values,
-        )
+    /// Fetches an operand block — an owned finished block or a received
+    /// remote copy — borrowing straight from the operand tables. An
+    /// associated fn (not a method) so callers holding `&mut` borrows of
+    /// *other* `Worker` fields (the kernel meter, the scratch arena, a
+    /// taken-out target) can still resolve operands without cloning.
+    fn lookup_operand<'b>(
+        bm: &BlockMatrix,
+        my_blocks: &'b [Option<CscMatrix>],
+        remote: &'b [Option<CscMatrix>],
+        finished: &[bool],
+        bi: usize,
+        bj: usize,
+    ) -> &'b CscMatrix {
+        let id = bm.block_id(bi, bj).expect("operand block exists");
+        if let Some(b) = my_blocks[id].as_ref() {
+            debug_assert!(finished[id], "operand used before finished");
+            b
+        } else {
+            remote[id].as_ref().expect("operand block neither owned nor received")
+        }
     }
 
     fn run(mut self) -> WorkerOutput {
@@ -776,13 +814,19 @@ impl<'a> Worker<'a> {
             max_idle_nanos: duration_nanos(self.max_idle),
             perturbed_pivots: self.perturbed as u64,
             tasks: self.tasks,
+            mem: self.mem,
             comm: self.mailbox.metrics(),
             kernels: std::mem::take(&mut self.timed).into_tally(),
         };
         let (sent, received, lost) = self.mailbox.into_logs();
         WorkerOutput {
             metrics,
-            blocks: self.my_blocks.into_iter().collect(),
+            blocks: self
+                .my_blocks
+                .into_iter()
+                .enumerate()
+                .filter_map(|(id, b)| b.map(|blk| (id, blk)))
+                .collect(),
             trace: self.trace,
             sent,
             received,
@@ -823,36 +867,32 @@ impl<'a> Worker<'a> {
     /// Lists the operand blocks this rank is still waiting for, capped.
     fn diagnose_missing(&self, cap: usize) -> Vec<MissingDep> {
         let mut missing = Vec::new();
-        let mut ids: Vec<usize> = self.my_blocks.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
+        for id in 0..self.bm.num_blocks() {
             if missing.len() >= cap {
                 break;
             }
-            if self.finished.contains(&id) {
+            if self.my_blocks[id].is_none() || self.finished[id] {
                 continue;
             }
             let (bi, bj) = self.bm.block_coords(id);
-            if self.counter[&id] > 0 {
+            if self.counter[id] > 0 {
                 // Outstanding SSSSM updates: report the head of the
                 // deterministic order (its operands are what block us).
-                if let (Some(order), Some(&pos)) =
-                    (self.upd_order.get(&id), self.upd_pos.get(&id))
-                {
-                    if pos < order.len() {
-                        let k = order[pos];
-                        if !self.have_l.contains(&(bi, k)) {
-                            missing.push(MissingDep::LOperand { i: bi, k, target: (bi, bj) });
-                        }
-                        if missing.len() < cap && !self.have_u.contains(&(k, bj)) {
-                            missing.push(MissingDep::UOperand { k, j: bj, target: (bi, bj) });
-                        }
+                let order = &self.upd_order[id];
+                let pos = self.upd_pos[id];
+                if pos < order.len() {
+                    let k = order[pos];
+                    if !self.avail_at(bi, k) {
+                        missing.push(MissingDep::LOperand { i: bi, k, target: (bi, bj) });
+                    }
+                    if missing.len() < cap && !self.avail_at(k, bj) {
+                        missing.push(MissingDep::UOperand { k, j: bj, target: (bi, bj) });
                     }
                 }
-            } else if !self.queued.contains(&id) {
+            } else if !self.queued[id] {
                 // Updates done, panel not queued: the diagonal is missing.
                 let k = bi.min(bj);
-                if bi != bj && !self.have_diag.contains(&k) {
+                if bi != bj && !self.avail_at(k, k) {
                     missing.push(MissingDep::Diag { k, block: (bi, bj) });
                 }
             }
@@ -878,36 +918,36 @@ impl<'a> Worker<'a> {
     /// Queues blocks with zero indegree: diagonal blocks can GETRF right
     /// away; panels additionally wait for their diagonal factor.
     fn seed_initial_tasks(&mut self) {
-        let ids: Vec<usize> =
-            self.counter.iter().filter(|&(_, &c)| c == 0).map(|(&id, _)| id).collect();
-        for id in ids {
-            self.maybe_queue_panel(id);
+        for id in 0..self.bm.num_blocks() {
+            if self.my_blocks[id].is_some() && self.counter[id] == 0 {
+                self.maybe_queue_panel(id);
+            }
         }
     }
 
     /// Queues the panel operation of block `id` if its updates are done
     /// and its diagonal dependency is satisfied.
     fn maybe_queue_panel(&mut self, id: usize) {
-        if self.queued.contains(&id) || self.counter[&id] > 0 {
+        if self.queued[id] || self.counter[id] > 0 {
             return;
         }
         let (bi, bj) = self.bm.block_coords(id);
         let task = match bi.cmp(&bj) {
             std::cmp::Ordering::Equal => Task::Getrf { k: bi },
             std::cmp::Ordering::Less => {
-                if !self.have_diag.contains(&bi) {
+                if !self.avail_at(bi, bi) {
                     return; // GESSM waits for the diagonal factor of row bi
                 }
                 Task::Gessm { k: bi, j: bj }
             }
             std::cmp::Ordering::Greater => {
-                if !self.have_diag.contains(&bj) {
+                if !self.avail_at(bj, bj) {
                     return;
                 }
                 Task::Tstrf { i: bi, k: bj }
             }
         };
-        self.queued.insert(id);
+        self.queued[id] = true;
         self.queue.push(PrioritisedTask(task));
     }
 
@@ -917,7 +957,7 @@ impl<'a> Worker<'a> {
         let post = match task {
             Task::Getrf { k } => {
                 let id = self.bm.block_id(k, k).expect("diag exists");
-                let blk = self.my_blocks.get_mut(&id).expect("getrf on owned block");
+                let blk = self.my_blocks[id].as_mut().expect("getrf on owned block");
                 let variant = self.selector.getrf(blk.nnz());
                 self.perturbed += self.timed.getrf(blk, variant, &mut self.scratch, self.pivot_floor);
                 self.tasks.getrf += 1;
@@ -925,45 +965,75 @@ impl<'a> Worker<'a> {
             }
             Task::Gessm { k, j } => {
                 let id = self.bm.block_id(k, j).expect("panel exists");
-                let diag = self.diag_factor(k);
-                let blk = self.my_blocks.get_mut(&id).expect("gessm on owned block");
+                // Take the target out of its slot so the diagonal factor
+                // can be borrowed from the same table — no per-task clone
+                // of the diagonal CSC.
+                let mut blk = self.my_blocks[id].take().expect("gessm on owned block");
                 let variant = self.selector.gessm(blk.nnz());
-                self.timed.gessm(&diag, blk, variant, &mut self.scratch);
+                let diag = Self::lookup_operand(
+                    self.bm, &self.my_blocks, &self.remote, &self.finished, k, k,
+                );
+                self.timed.gessm(diag, &mut blk, variant, &mut self.scratch);
+                self.my_blocks[id] = Some(blk);
                 self.tasks.gessm += 1;
                 Post::Panel { id, step: k, role: BlockRole::UPanel }
             }
             Task::Tstrf { i, k } => {
                 let id = self.bm.block_id(i, k).expect("panel exists");
-                let diag = self.diag_factor(k);
-                let blk = self.my_blocks.get_mut(&id).expect("tstrf on owned block");
+                let mut blk = self.my_blocks[id].take().expect("tstrf on owned block");
                 let variant = self.selector.tstrf(blk.nnz());
-                self.timed.tstrf(&diag, blk, variant, &mut self.scratch);
+                let diag = Self::lookup_operand(
+                    self.bm, &self.my_blocks, &self.remote, &self.finished, k, k,
+                );
+                self.timed.tstrf(diag, &mut blk, variant, &mut self.scratch);
+                self.my_blocks[id] = Some(blk);
                 self.tasks.tstrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::LPanel }
             }
             Task::Ssssm { i, j, k } => {
                 let cid = self.bm.block_id(i, j).expect("target exists");
-                // Clone-free would need simultaneous shared + mutable
-                // borrows into the same map; operands are either remote
-                // copies or finished owned blocks, both immutable here, so
-                // temporary removal of the target (and of the meter, which
-                // `operand`'s whole-self borrow would otherwise freeze)
-                // keeps this safe.
-                let mut target = self.my_blocks.remove(&cid).expect("ssssm on owned block");
-                let mut scratch = std::mem::take(&mut self.scratch);
-                let mut timed = std::mem::take(&mut self.timed);
+                let pos = self.upd_pos[cid];
+                debug_assert_eq!(
+                    self.upd_order[cid].get(pos),
+                    Some(&k),
+                    "popped SSSSM update is not at the target's cursor"
+                );
+                // Fuse the maximal run of consecutive ready updates from
+                // the cursor — identical application order to
+                // one-at-a-time, but the target column is scattered and
+                // gathered once per run instead of once per update.
+                let mut width = 1usize;
+                while width < self.max_batch
+                    && pos + width < self.upd_order[cid].len()
+                    && self.upd_ready[cid][pos + width]
                 {
-                    let a = self.operand(i, k);
-                    let b = self.operand(k, j);
-                    let fl = flops::ssssm_flops(a, b);
-                    let variant = self.selector.ssssm(fl);
-                    timed.ssssm(a, b, &mut target, variant, &mut scratch, fl);
+                    width += 1;
                 }
-                self.timed = timed;
-                self.scratch = scratch;
-                self.my_blocks.insert(cid, target);
-                self.tasks.ssssm += 1;
-                Post::Update { cid, k }
+                let mut target = self.my_blocks[cid].take().expect("ssssm on owned block");
+                {
+                    let bm = self.bm;
+                    let ks = &self.upd_order[cid][pos..pos + width];
+                    let updates: Vec<SsssmUpdate<'_>> = ks
+                        .iter()
+                        .map(|&uk| {
+                            let a = Self::lookup_operand(
+                                bm, &self.my_blocks, &self.remote, &self.finished, i, uk,
+                            );
+                            let b = Self::lookup_operand(
+                                bm, &self.my_blocks, &self.remote, &self.finished, uk, j,
+                            );
+                            let fl = flops::ssssm_flops(a, b);
+                            SsssmUpdate { a, b, variant: self.selector.ssssm(fl), model_flops: fl }
+                        })
+                        .collect();
+                    self.timed.ssssm_batch(&updates, &mut target, &mut self.scratch);
+                }
+                self.my_blocks[cid] = Some(target);
+                self.tasks.ssssm += width as u64;
+                if width > 1 {
+                    self.mem.ssssm_batches += 1;
+                }
+                Post::Update { cid, applied: width }
             }
         };
         self.busy += t0.elapsed();
@@ -975,22 +1045,24 @@ impl<'a> Worker<'a> {
         }
         match post {
             Post::Panel { id, step, role } => self.finish_block(id, step, role),
-            Post::Update { cid, k } => {
-                self.task_done(k);
-                let c = self.counter.get_mut(&cid).expect("counter for owned block");
-                *c -= 1;
-                // Advance the deterministic per-target order and queue the
-                // next update if its operands already arrived.
-                let pos = self.upd_pos.get_mut(&cid).expect("update cursor");
-                *pos += 1;
-                let next = self.upd_order[&cid].get(*pos).copied();
-                if let Some(nk) = next {
-                    if self.upd_ready.get(&cid).is_some_and(|r| r.contains(&nk)) {
-                        let (bi, bj) = self.bm.block_coords(cid);
-                        self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k: nk }));
-                    }
+            Post::Update { cid, applied } => {
+                self.remaining -= applied;
+                for n in 0..applied {
+                    let step = self.upd_order[cid][self.upd_pos[cid] + n];
+                    self.step_done[step] += 1;
                 }
-                if self.counter[&cid] == 0 {
+                self.counter[cid] -= applied;
+                // Advance the deterministic per-target cursor past the
+                // whole batch and queue the next update if its operands
+                // already arrived.
+                self.upd_pos[cid] += applied;
+                let pos = self.upd_pos[cid];
+                if pos < self.upd_order[cid].len() && self.upd_ready[cid][pos] {
+                    let (bi, bj) = self.bm.block_coords(cid);
+                    let nk = self.upd_order[cid][pos];
+                    self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k: nk }));
+                }
+                if self.counter[cid] == 0 {
                     self.maybe_queue_panel(cid);
                 }
             }
@@ -1003,17 +1075,9 @@ impl<'a> Worker<'a> {
         self.step_done[step] += 1;
     }
 
-    /// The diagonal factor of step `k` (owned or received).
-    fn diag_factor(&self, k: usize) -> CscMatrix {
-        // Cloned so the &mut borrow of the target panel can coexist; the
-        // clone is the moral equivalent of the receive buffer an MPI rank
-        // would read from anyway.
-        self.operand(k, k).clone()
-    }
-
     /// Marks an owned block finished, ships it, and triggers dependents.
     fn finish_block(&mut self, id: usize, step: usize, role: BlockRole) {
-        self.finished.insert(id);
+        self.finished[id] = true;
         self.task_done(step);
         let (bi, bj) = self.bm.block_coords(id);
         let dests = match role {
@@ -1022,22 +1086,57 @@ impl<'a> Worker<'a> {
             BlockRole::UPanel => self.tg.u_panel_destinations(self.bm, self.owners, bi, bj),
             other => unreachable!("factorisation never produces {other:?}"),
         };
-        let values = self.my_blocks[&id].values().to_vec();
+        // Serialise the block once for the whole fan-out; the Arc clones
+        // handed to each mailbox share the buffer. When every dependent is
+        // local no payload is materialised at all. The mailbox still
+        // charges full per-edge bytes — the wire cost model is unchanged.
+        let mut payload: Option<Arc<[f64]>> = None;
         for dest in dests {
-            if dest != self.rank {
-                self.mailbox.send(
-                    dest,
-                    BlockMsg { bi, bj, role, values: values.clone() },
-                );
+            if dest == self.rank {
+                continue;
             }
+            let values = match &payload {
+                Some(p) => p.clone(),
+                None => {
+                    let vals =
+                        self.my_blocks[id].as_ref().expect("finished block present").values();
+                    self.mem.payload_allocs += 1;
+                    self.mem.bytes_copied += std::mem::size_of_val(vals) as u64;
+                    payload.insert(Arc::from(vals)).clone()
+                }
+            };
+            self.mailbox.send(dest, BlockMsg { bi, bj, role, values });
         }
         // Local trigger (a rank is trivially a "destination" of itself).
         self.on_block_available(bi, bj, role);
     }
 
     fn handle_msg(&mut self, msg: BlockMsg) {
-        let blk = self.reconstruct(msg.bi, msg.bj, msg.values);
-        self.remote.insert((msg.bi, msg.bj), blk);
+        let id = self.bm.block_id(msg.bi, msg.bj).expect("pattern of shipped block is replicated");
+        match &mut self.remote[id] {
+            Some(cached) => {
+                // Pattern cache hit: the CSC structure is already built;
+                // memcpy the values into the cached block's buffer.
+                let dst = cached.values_mut();
+                assert_eq!(msg.values.len(), dst.len(), "shipped values do not match pattern");
+                dst.copy_from_slice(&msg.values);
+                self.mem.pattern_cache_hits += 1;
+            }
+            slot => {
+                // First receive: build the structure from the replicated
+                // pattern once; later receives for this block reuse it.
+                let tpl = self.bm.block(id);
+                assert_eq!(msg.values.len(), tpl.nnz(), "shipped values do not match pattern");
+                *slot = Some(CscMatrix::from_parts_unchecked(
+                    tpl.nrows(),
+                    tpl.ncols(),
+                    tpl.col_ptr().to_vec(),
+                    tpl.row_idx().to_vec(),
+                    msg.values.to_vec(),
+                ));
+            }
+        }
+        self.mem.bytes_copied += (msg.values.len() * std::mem::size_of::<f64>()) as u64;
         self.on_block_available(msg.bi, msg.bj, msg.role);
     }
 
@@ -1045,10 +1144,9 @@ impl<'a> Worker<'a> {
     /// and queues it iff it is the next update in the target's
     /// deterministic (ascending-`k`) application order.
     fn update_ready(&mut self, cid: usize, k: usize) {
-        self.upd_ready.entry(cid).or_default().insert(k);
-        let pos = self.upd_pos[&cid];
-        let order = &self.upd_order[&cid];
-        if order.get(pos) == Some(&k) {
+        let idx = self.upd_order[cid].binary_search(&k).expect("update in target's order");
+        self.upd_ready[cid][idx] = true;
+        if idx == self.upd_pos[cid] {
             let (bi, bj) = self.bm.block_coords(cid);
             self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k }));
         }
@@ -1057,33 +1155,34 @@ impl<'a> Worker<'a> {
     /// A block (local or remote) became available in the given role:
     /// release whatever it gates (Fig. 9's dependency-breaking rules).
     fn on_block_available(&mut self, bi: usize, bj: usize, role: BlockRole) {
+        // Copy the shared references out so iterating the task graph does
+        // not freeze `self` (the old code materialised Vecs per event to
+        // work around exactly that borrow).
+        let bm = self.bm;
+        let tg = self.tg;
+        let id = bm.block_id(bi, bj).expect("available block exists in the pattern");
+        self.avail[id] = true;
         match role {
             BlockRole::DiagFactor => {
                 let k = bi;
-                self.have_diag.insert(k);
                 // Release owned panels of block row / column k whose
                 // updates are already done.
-                let row_ids: Vec<usize> = self.tg.u_panels[k]
-                    .iter()
-                    .filter_map(|&j| self.bm.block_id(k, j))
-                    .filter(|&id| self.owned(id))
-                    .collect();
-                let col_ids: Vec<usize> = self.tg.l_panels[k]
-                    .iter()
-                    .filter_map(|&i| self.bm.block_id(i, k))
-                    .filter(|&id| self.owned(id))
-                    .collect();
-                for id in row_ids.into_iter().chain(col_ids) {
-                    self.maybe_queue_panel(id);
+                for id in tg.u_panels[k].iter().filter_map(|&j| bm.block_id(k, j)) {
+                    if self.owned(id) {
+                        self.maybe_queue_panel(id);
+                    }
+                }
+                for id in tg.l_panels[k].iter().filter_map(|&i| bm.block_id(i, k)) {
+                    if self.owned(id) {
+                        self.maybe_queue_panel(id);
+                    }
                 }
             }
             BlockRole::LPanel => {
                 let (i, k) = (bi, bj);
-                self.have_l.insert((i, k));
-                let js: Vec<usize> = self.tg.u_panels[k].to_vec();
-                for j in js {
-                    if let Some(cid) = self.bm.block_id(i, j) {
-                        if self.owned(cid) && self.have_u.contains(&(k, j)) {
+                for &j in &tg.u_panels[k] {
+                    if let Some(cid) = bm.block_id(i, j) {
+                        if self.owned(cid) && self.avail_at(k, j) {
                             self.update_ready(cid, k);
                         }
                     }
@@ -1091,11 +1190,9 @@ impl<'a> Worker<'a> {
             }
             BlockRole::UPanel => {
                 let (k, j) = (bi, bj);
-                self.have_u.insert((k, j));
-                let is: Vec<usize> = self.tg.l_panels[k].to_vec();
-                for i in is {
-                    if let Some(cid) = self.bm.block_id(i, j) {
-                        if self.owned(cid) && self.have_l.contains(&(i, k)) {
+                for &i in &tg.l_panels[k] {
+                    if let Some(cid) = bm.block_id(i, j) {
+                        if self.owned(cid) && self.avail_at(i, k) {
                             self.update_ready(cid, k);
                         }
                     }

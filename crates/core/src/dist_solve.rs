@@ -12,6 +12,7 @@
 //! the same counter-array idea as the numeric factorisation's §4.4.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, Mailbox, MailboxSet};
@@ -68,7 +69,7 @@ fn run_sweep(
     // the broadcast of x_k triggers.
     let mut contributors: Vec<Vec<usize>> = vec![Vec::new(); nblk]; // by target segment i
     let mut triggers: Vec<Vec<usize>> = vec![Vec::new(); nblk]; // by source column k
-    for bj in 0..nblk {
+    for (bj, trig) in triggers.iter_mut().enumerate() {
         for (bi, id) in bm.col_blocks(bj) {
             let wanted = match sweep {
                 Sweep::Forward => bi > bj,
@@ -76,7 +77,7 @@ fn run_sweep(
             };
             if wanted {
                 contributors[bi].push(id);
-                triggers[bj].push(id);
+                trig.push(id);
             }
         }
     }
@@ -245,7 +246,12 @@ impl SweepWorker<'_> {
         } else {
             self.mailbox.send(
                 dest,
-                BlockMsg { bi: i, bj: source_col, role: BlockRole::Partial, values: partial },
+                BlockMsg {
+                    bi: i,
+                    bj: source_col,
+                    role: BlockRole::Partial,
+                    values: partial.into(),
+                },
             );
         }
     }
@@ -272,11 +278,16 @@ impl SweepWorker<'_> {
             self.triggers[k].iter().map(|&id| self.owners.owner_of(id)).collect();
         dests.sort_unstable();
         dests.dedup();
-        for dest in dests {
-            self.mailbox.send(
-                dest,
-                BlockMsg { bi: k, bj: k, role: BlockRole::XSegment, values: seg.clone() },
-            );
+        if !dests.is_empty() {
+            // One shared payload for the whole broadcast (self-sends
+            // included); each edge still pays full wire-model freight.
+            let payload: Arc<[f64]> = seg.as_slice().into();
+            for dest in dests {
+                self.mailbox.send(
+                    dest,
+                    BlockMsg { bi: k, bj: k, role: BlockRole::XSegment, values: payload.clone() },
+                );
+            }
         }
         out.push((k, seg));
     }
@@ -285,8 +296,7 @@ impl SweepWorker<'_> {
 /// `blk · seg` (dense result over the block's rows).
 fn block_times_segment(blk: &pangulu_sparse::CscMatrix, seg: &[f64]) -> Vec<f64> {
     let mut out = vec![0.0f64; blk.nrows()];
-    for c in 0..blk.ncols() {
-        let xc = seg[c];
+    for (c, &xc) in seg.iter().enumerate().take(blk.ncols()) {
         if xc == 0.0 {
             continue;
         }

@@ -391,7 +391,7 @@ impl Solver {
     pub fn log_abs_det(&self) -> (f64, i8) {
         let r = &self.reordering;
         let mut log_abs = 0.0f64;
-        let mut sign: i8 = (r.row_perm.parity() * r.col_perm.parity()) as i8;
+        let mut sign: i8 = r.row_perm.parity() * r.col_perm.parity();
         for k in 0..self.factored.nblk() {
             let d = self
                 .factored

@@ -110,10 +110,10 @@ impl TaskGraph {
         let nblk = bm.nblk();
         let mut l_panels: Vec<Vec<usize>> = vec![Vec::new(); nblk];
         let mut u_panels: Vec<Vec<usize>> = vec![Vec::new(); nblk];
-        for bj in 0..nblk {
+        for (bj, lp) in l_panels.iter_mut().enumerate() {
             for (bi, _) in bm.col_blocks(bj) {
                 match bi.cmp(&bj) {
-                    Ordering::Greater => l_panels[bj].push(bi),
+                    Ordering::Greater => lp.push(bi),
                     Ordering::Less => u_panels[bi].push(bj),
                     Ordering::Equal => {}
                 }
@@ -171,9 +171,9 @@ impl TaskGraph {
         }
 
         let mut panel_flops = vec![0.0f64; bm.num_blocks()];
-        for id in 0..bm.num_blocks() {
+        for (id, pf) in panel_flops.iter_mut().enumerate() {
             let (bi, bj) = bm.block_coords(id);
-            panel_flops[id] = match bi.cmp(&bj) {
+            *pf = match bi.cmp(&bj) {
                 Ordering::Equal => flops::getrf_flops(bm.block(id)),
                 Ordering::Less => {
                     let diag = bm.block_id(bi, bi).expect("diagonal exists");

@@ -339,18 +339,15 @@ pub fn validate_events(
 }
 
 fn check_dep(report: &mut TraceReport, e: &TraceEvent, dep: Task, dep_end: Option<Duration>) {
-    match dep_end {
-        // A missing producer is already reported as MissingTask.
-        None => {}
-        Some(end) => {
-            if e.start < end {
-                report.violations.push(Violation::ClockOrder {
-                    task: e.task,
-                    dep,
-                    start: e.start,
-                    dep_end: end,
-                });
-            }
+    // A missing producer is already reported as MissingTask.
+    if let Some(end) = dep_end {
+        if e.start < end {
+            report.violations.push(Violation::ClockOrder {
+                task: e.task,
+                dep,
+                start: e.start,
+                dep_end: end,
+            });
         }
     }
 }

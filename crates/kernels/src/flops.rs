@@ -66,10 +66,8 @@ pub fn tstrf_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
         }
     }
     let mut flops = b.nnz() as f64; // divisions
-    for c in 0..b.ncols() {
-        let (_, vals) = b.col(c);
-        let _ = vals;
-        flops += 2.0 * ucount[c] as f64 * b.col_nnz(c) as f64;
+    for (c, &uc) in ucount.iter().enumerate() {
+        flops += 2.0 * uc as f64 * b.col_nnz(c) as f64;
     }
     flops
 }

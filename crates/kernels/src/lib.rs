@@ -38,6 +38,7 @@ pub mod trsm;
 
 pub use scratch::KernelScratch;
 pub use select::{KernelSelector, Thresholds};
+pub use ssssm::SsssmUpdate;
 pub use timed::TimedKernels;
 
 /// The four kernel classes of the numeric factorisation.

@@ -151,6 +151,35 @@ impl TimedKernels {
         ssssm::ssssm(a, b, c, variant, scratch);
         self.tally.record(CLASS_SSSSM, ssssm_slot(variant), elapsed_nanos(start), model_flops);
     }
+
+    /// Metered [`ssssm::ssssm_batch`]: one fused pass over the target,
+    /// but **per-update** tally records (under each update's selected
+    /// variant and model FLOPs), so the task/kernel accounting stays 1:1
+    /// whatever the batch width. The fused elapsed time is apportioned
+    /// evenly across the batch — only the nanoseconds, which the
+    /// determinism projection zeroes anyway.
+    pub fn ssssm_batch(
+        &mut self,
+        updates: &[ssssm::SsssmUpdate<'_>],
+        c: &mut CscMatrix,
+        scratch: &mut KernelScratch,
+    ) {
+        if !self.enabled {
+            return ssssm::ssssm_batch(updates, c, scratch);
+        }
+        if updates.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        ssssm::ssssm_batch(updates, c, scratch);
+        let total = elapsed_nanos(start);
+        let share = total / updates.len() as u64;
+        let remainder = total - share * updates.len() as u64;
+        for (idx, u) in updates.iter().enumerate() {
+            let nanos = if idx == 0 { share + remainder } else { share };
+            self.tally.record(CLASS_SSSSM, ssssm_slot(u.variant), nanos, u.model_flops);
+        }
+    }
 }
 
 fn elapsed_nanos(start: Instant) -> u64 {

@@ -24,8 +24,8 @@ fn blocks(nb: usize, entries: &[(usize, usize, f64)]) -> (CscMatrix, CscMatrix, 
             row_sum[i] += v.abs();
         }
     }
-    for i in 0..n {
-        coo.push(i, i, row_sum[i] + 1.0).unwrap();
+    for (i, &rs) in row_sum.iter().enumerate() {
+        coo.push(i, i, rs + 1.0).unwrap();
     }
     let a = ensure_diagonal(&coo.to_csc()).unwrap();
     let f = symbolic_fill(&a).unwrap();
@@ -97,10 +97,10 @@ fn blocks_with_zero_pivots(
             row_sum[i] += v.abs();
         }
     }
-    for i in 0..n {
+    for (i, &rs) in row_sum.iter().enumerate() {
         // `apply_floor` treats exactly-zero pivots as singular; updates
         // from prior columns cannot touch row 0, so pivot 0 stays 0.
-        let d = if i < zeros { 0.0 } else { row_sum[i] + 1.0 };
+        let d = if i < zeros { 0.0 } else { rs + 1.0 };
         coo.push(i, i, d).unwrap();
     }
     let a = ensure_diagonal(&coo.to_csc()).unwrap();

@@ -173,6 +173,39 @@ pub struct CommMetrics {
     pub edges: Vec<EdgeStat>,
 }
 
+/// Hot-path memory accounting, filled by the distributed executor.
+///
+/// The copy/allocation-elimination work (Arc fan-out payloads, the
+/// per-rank pattern cache, pooled receive buffers, batched SSSSM) is
+/// only trustworthy if its effect is *visible*: these counters record
+/// what the runtime actually materialised and memcpy'd on the hot path,
+/// so `bench_compare` can gate copy regressions exactly, like the other
+/// work counters.
+///
+/// All fields except [`MemStats::ssssm_batches`] are deterministic for a
+/// fixed matrix, grid, owner map and fault plan (they derive from *which*
+/// blocks are shipped, not *when*). `ssssm_batches` counts fused kernel
+/// invocations, which depend on message arrival timing — it is zeroed by
+/// [`RunReport::without_timings`] along with the other
+/// scheduling-dependent observables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Distinct payload buffers materialised for sending (one per
+    /// finished block with at least one remote destination, regardless of
+    /// fan-out width — the Arc payload is shared across edges).
+    pub payload_allocs: u64,
+    /// Bytes actually memcpy'd on the communication hot path: payload
+    /// serialisations plus received values copied into remote blocks.
+    /// The wire cost model (`CommMetrics` bytes) still charges per edge.
+    pub bytes_copied: u64,
+    /// Receives whose block already had its CSC structure cached on this
+    /// rank, so only the values were swapped into the pooled buffer.
+    pub pattern_cache_hits: u64,
+    /// Fused SSSSM kernel invocations that applied more than one update
+    /// in a single scatter → multi-axpy → gather pass. Timing-dependent.
+    pub ssssm_batches: u64,
+}
+
 /// Tasks executed, by kernel kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskCounts {
@@ -211,6 +244,8 @@ pub struct RankMetrics {
     pub perturbed_pivots: u64,
     /// Tasks executed, by kind.
     pub tasks: TaskCounts,
+    /// Hot-path copy/allocation accounting.
+    pub mem: MemStats,
     /// Mailbox accounting.
     pub comm: CommMetrics,
     /// Per-variant kernel tally (empty when metrics were disabled).
@@ -284,6 +319,18 @@ impl RunReport {
         t
     }
 
+    /// Hot-path memory accounting summed across ranks.
+    pub fn total_mem(&self) -> MemStats {
+        let mut m = MemStats::default();
+        for r in &self.per_rank {
+            m.payload_allocs += r.mem.payload_allocs;
+            m.bytes_copied += r.mem.bytes_copied;
+            m.pattern_cache_hits += r.mem.pattern_cache_hits;
+            m.ssssm_batches += r.mem.ssssm_batches;
+        }
+        m
+    }
+
     /// Kernel tally merged across ranks.
     pub fn total_kernels(&self) -> KernelTally {
         let mut t = KernelTally::default();
@@ -335,6 +382,7 @@ impl RunReport {
             r.comm.recv_timeouts = 0;
             r.comm.max_queue_depth = 0;
             r.comm.undeliverable = 0;
+            r.mem.ssssm_batches = 0;
             r.kernels.zero_timings();
         }
         out
@@ -422,6 +470,15 @@ fn rank_to_json(r: &RankMetrics) -> Json {
             ]),
         ),
         (
+            "mem",
+            Json::obj(vec![
+                ("payload_allocs", Json::Num(r.mem.payload_allocs as f64)),
+                ("bytes_copied", Json::Num(r.mem.bytes_copied as f64)),
+                ("pattern_cache_hits", Json::Num(r.mem.pattern_cache_hits as f64)),
+                ("ssssm_batches", Json::Num(r.mem.ssssm_batches as f64)),
+            ]),
+        ),
+        (
             "comm",
             Json::obj(vec![
                 ("msgs_sent", Json::Num(r.comm.msgs_sent as f64)),
@@ -441,6 +498,7 @@ fn rank_to_json(r: &RankMetrics) -> Json {
 fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
     let tasks = j.req("tasks")?;
     let comm = j.req("comm")?;
+    let mem = j.req("mem")?;
     let mut r = RankMetrics {
         rank: j.req_u64("rank")? as usize,
         busy_nanos: j.req_u64("busy_nanos")?,
@@ -453,6 +511,12 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             gessm: tasks.req_u64("gessm")?,
             tstrf: tasks.req_u64("tstrf")?,
             ssssm: tasks.req_u64("ssssm")?,
+        },
+        mem: MemStats {
+            payload_allocs: mem.req_u64("payload_allocs")?,
+            bytes_copied: mem.req_u64("bytes_copied")?,
+            pattern_cache_hits: mem.req_u64("pattern_cache_hits")?,
+            ssssm_batches: mem.req_u64("ssssm_batches")?,
         },
         comm: CommMetrics {
             msgs_sent: comm.req_u64("msgs_sent")?,
@@ -527,6 +591,12 @@ mod tests {
                     max_idle_nanos: 700,
                     perturbed_pivots: 1,
                     tasks: TaskCounts { getrf: 1, gessm: 0, tstrf: 0, ssssm: 2 },
+                    mem: MemStats {
+                        payload_allocs: 2,
+                        bytes_copied: 640,
+                        pattern_cache_hits: 1,
+                        ssssm_batches: 1,
+                    },
                     comm: CommMetrics {
                         msgs_sent: 4,
                         bytes_sent: 512,
@@ -559,6 +629,11 @@ mod tests {
         assert_eq!(report.total_bytes(), 512);
         assert_eq!(report.total_tasks().total(), 3);
         assert_eq!(report.total_kernels().total_calls(), 3);
+        let mem = report.total_mem();
+        assert_eq!(mem.payload_allocs, 2);
+        assert_eq!(mem.bytes_copied, 640);
+        assert_eq!(mem.pattern_cache_hits, 1);
+        assert_eq!(mem.ssssm_batches, 1);
         assert!((report.observed_flops() - 1344.0).abs() < 1e-12);
     }
 
@@ -573,9 +648,13 @@ mod tests {
         assert_eq!(det.per_rank[0].blocked_recvs, 0);
         assert_eq!(det.per_rank[0].comm.recv_timeouts, 0);
         assert_eq!(det.per_rank[0].comm.max_queue_depth, 0);
+        assert_eq!(det.per_rank[0].mem.ssssm_batches, 0, "batch width is timing-dependent");
         assert_eq!(det.per_rank[0].kernels.total_nanos(), 0);
         // Work counters untouched.
         assert_eq!(det.per_rank[0].tasks, report.per_rank[0].tasks);
+        assert_eq!(det.per_rank[0].mem.payload_allocs, 2);
+        assert_eq!(det.per_rank[0].mem.bytes_copied, 640);
+        assert_eq!(det.per_rank[0].mem.pattern_cache_hits, 1);
         assert_eq!(det.per_rank[0].comm.msgs_sent, 4);
         assert_eq!(det.per_rank[0].comm.bytes_sent, 512);
         assert_eq!(det.per_rank[0].comm.retried_sends, 1);
@@ -587,6 +666,7 @@ mod tests {
         other.per_rank[0].busy_nanos = 77;
         other.per_rank[0].blocked_recvs = 12;
         other.per_rank[0].comm.recv_timeouts = 8;
+        other.per_rank[0].mem.ssssm_batches = 5;
         assert_eq!(other.without_timings(), det);
     }
 

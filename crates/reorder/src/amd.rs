@@ -31,11 +31,11 @@ pub fn amd_order(sym: &CscMatrix) -> Result<Permutation> {
 
     // Adjacency without the diagonal.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
+    for (j, nbrs) in adj.iter_mut().enumerate() {
         let (rows, _) = sym.col(j);
         for &i in rows {
             if i != j {
-                adj[j].push(i);
+                nbrs.push(i);
             }
         }
     }

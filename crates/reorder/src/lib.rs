@@ -101,7 +101,7 @@ pub fn fill_reducing_ordering(sym: &CscMatrix, method: FillReducing) -> Result<P
             let mut best: Option<(usize, Permutation)> = None;
             for cand in candidates {
                 let fill = fill_of(sym, &cand)?;
-                if best.as_ref().map_or(true, |(bf, _)| fill < *bf) {
+                if best.as_ref().is_none_or(|(bf, _)| fill < *bf) {
                     best = Some((fill, cand));
                 }
             }

@@ -89,10 +89,10 @@ pub fn mc64(a: &CscMatrix) -> Result<Mc64Result> {
 
     // Edge costs: c(i,j) = log(cmax_j) - log|a(i,j)| >= 0.
     let mut log_cmax = vec![0.0f64; n];
-    for j in 0..n {
+    for (j, lc) in log_cmax.iter_mut().enumerate() {
         let (_, vals) = a.col(j);
         let cmax = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        log_cmax[j] = if cmax > 0.0 { cmax.ln() } else { 0.0 };
+        *lc = if cmax > 0.0 { cmax.ln() } else { 0.0 };
     }
     // cost of the k-th stored entry, which lives in column j
     let cost = |j: usize, k: usize| -> f64 {
@@ -119,7 +119,7 @@ pub fn mc64(a: &CscMatrix) -> Result<Mc64Result> {
         let mut best: Option<(f64, usize)> = None;
         for (off, &i) in rows.iter().enumerate() {
             let c = cost(j, lo + off);
-            if best.map_or(true, |(bc, _)| c < bc) {
+            if best.is_none_or(|(bc, _)| c < bc) {
                 best = Some((c, i));
             }
         }

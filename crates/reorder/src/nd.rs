@@ -33,11 +33,11 @@ pub fn nested_dissection(sym: &CscMatrix, opts: NdOptions) -> Result<Permutation
     let n = sym.ncols();
     // Global adjacency without diagonal.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
+    for (j, nbrs) in adj.iter_mut().enumerate() {
         let (rows, _) = sym.col(j);
         for &i in rows {
             if i != j {
-                adj[j].push(i);
+                nbrs.push(i);
             }
         }
     }

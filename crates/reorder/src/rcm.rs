@@ -13,11 +13,11 @@ pub fn rcm_order(sym: &CscMatrix) -> Result<Permutation> {
     }
     let n = sym.ncols();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
+    for (j, nbrs) in adj.iter_mut().enumerate() {
         let (rows, _) = sym.col(j);
         for &i in rows {
             if i != j {
-                adj[j].push(i);
+                nbrs.push(i);
             }
         }
     }
@@ -30,11 +30,7 @@ pub fn rcm_order(sym: &CscMatrix) -> Result<Permutation> {
     let mut visited = vec![false; n];
     let mut order: Vec<usize> = Vec::with_capacity(n);
     // Process components in order of their minimum-degree unvisited vertex.
-    loop {
-        let start = match (0..n).filter(|&v| !visited[v]).min_by_key(|&v| (degree[v], v)) {
-            Some(s) => s,
-            None => break,
-        };
+    while let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| (degree[v], v)) {
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(start);
         visited[start] = true;

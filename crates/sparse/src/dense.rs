@@ -96,8 +96,7 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }

@@ -12,8 +12,7 @@ pub fn spmv(a: &CscMatrix, x: &[f64]) -> Result<Vec<f64>> {
         )));
     }
     let mut y = vec![0.0; a.nrows()];
-    for j in 0..a.ncols() {
-        let xj = x[j];
+    for (j, &xj) in x.iter().enumerate() {
         if xj == 0.0 {
             continue;
         }
@@ -35,13 +34,13 @@ pub fn spmv_t(a: &CscMatrix, x: &[f64]) -> Result<Vec<f64>> {
         )));
     }
     let mut y = vec![0.0; a.ncols()];
-    for j in 0..a.ncols() {
+    for (j, yj) in y.iter_mut().enumerate() {
         let (rows, vals) = a.col(j);
         let mut acc = 0.0;
         for (&r, &v) in rows.iter().zip(vals) {
             acc += v * x[r];
         }
-        y[j] = acc;
+        *yj = acc;
     }
     Ok(y)
 }

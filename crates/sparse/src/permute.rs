@@ -89,7 +89,7 @@ impl Permutation {
             }
             transpositions += len - 1;
         }
-        if transpositions % 2 == 0 {
+        if transpositions.is_multiple_of(2) {
             1
         } else {
             -1
@@ -175,10 +175,9 @@ pub fn scale(a: &CscMatrix, dr: &[f64], dc: &[f64]) -> Result<CscMatrix> {
         return Err(SparseError::DimensionMismatch("scale: diagonal lengths".into()));
     }
     let mut b = a.clone();
-    for j in 0..a.ncols() {
+    for (j, &cj) in dc.iter().enumerate() {
         let lo = a.col_ptr()[j];
         let hi = a.col_ptr()[j + 1];
-        let cj = dc[j];
         for k in lo..hi {
             let r = a.row_idx()[k];
             b.values_mut()[k] = a.values()[k] * dr[r] * cj;

@@ -65,7 +65,7 @@ pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
     let mut panel_task = vec![usize::MAX; sbm.num_blocks()];
 
     // Panel tasks (Factor on the diagonal, Trsm elsewhere).
-    for id in 0..sbm.num_blocks() {
+    for (id, pt) in panel_task.iter_mut().enumerate() {
         let (si, sj) = sbm.block_coords(id);
         let k = si.min(sj);
         let blk = sbm.block(id);
@@ -76,7 +76,7 @@ pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
             let w = sbm.partition().width(k) as f64;
             (SnTaskKind::Trsm, w * w * blk.nrows().max(blk.ncols()) as f64)
         };
-        panel_task[id] = tasks.len();
+        *pt = tasks.len();
         tasks.push(SnTask {
             kind,
             coords: (si, sj),
@@ -97,7 +97,7 @@ pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
         }
     }
     // GEMM tasks.
-    for k in 0..nsn {
+    for (k, &level) in levels.iter().enumerate().take(nsn) {
         let l_blocks: Vec<(usize, usize)> =
             sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
         let u_blocks: Vec<(usize, usize)> = (k + 1..nsn)
@@ -113,7 +113,7 @@ pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
                 tasks.push(SnTask {
                     kind: SnTaskKind::Gemm,
                     coords: (si, sj),
-                    level: levels[k],
+                    level,
                     flops: 2.0 * (a.nrows() * a.ncols() * b.ncols()) as f64,
                     gather_bytes: 8
                         * (a.nrows() * a.ncols()

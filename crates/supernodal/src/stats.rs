@@ -80,10 +80,15 @@ pub fn gemm_density_histogram(sbm: &SnBlockMatrix) -> GemmDensityHistogram {
         }
     }
     if h.gemms > 0 {
-        for bin in 0..10 {
-            h.a[bin] = 100.0 * counts[0][bin] as f64 / h.gemms as f64;
-            h.b[bin] = 100.0 * counts[1][bin] as f64 / h.gemms as f64;
-            h.c[bin] = 100.0 * counts[2][bin] as f64 / h.gemms as f64;
+        let gemms = h.gemms as f64;
+        for (dst, &c) in h.a.iter_mut().zip(&counts[0]) {
+            *dst = 100.0 * c as f64 / gemms;
+        }
+        for (dst, &c) in h.b.iter_mut().zip(&counts[1]) {
+            *dst = 100.0 * c as f64 / gemms;
+        }
+        for (dst, &c) in h.c.iter_mut().zip(&counts[2]) {
+            *dst = 100.0 * c as f64 / gemms;
         }
     }
     h

@@ -118,9 +118,7 @@ pub fn detect(fill: &FilledPattern, opts: SupernodeOptions) -> SupernodePartitio
          sn_of: &mut Vec<usize>,
          padding: &mut usize| {
             let s = below.len();
-            for c in start..end {
-                sn_of[c] = s;
-            }
+            sn_of[start..end].fill(s);
             // Rows inside [start, end) belong to the (dense) diagonal
             // part, not the below-panel.
             rows.retain(|&r| r >= end);

@@ -148,14 +148,11 @@ mod tests {
             pat[c][r] = true;
         }
         for k in 0..n {
-            for i in k + 1..n {
-                if pat[i][k] {
-                    for j in k + 1..n {
-                        if pat[j][k] {
-                            pat[i][j] = true;
-                            pat[j][i] = true;
-                        }
-                    }
+            let connected: Vec<usize> = (k + 1..n).filter(|&i| pat[i][k]).collect();
+            for &i in &connected {
+                for &j in &connected {
+                    pat[i][j] = true;
+                    pat[j][i] = true;
                 }
             }
         }

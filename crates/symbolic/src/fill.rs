@@ -197,8 +197,8 @@ mod tests {
             pat[r][c] = true;
             pat[c][r] = true;
         }
-        for i in 0..n {
-            pat[i][i] = true;
+        for (i, row) in pat.iter_mut().enumerate() {
+            row[i] = true;
         }
         for k in 0..n {
             let below: Vec<usize> = (k + 1..n).filter(|&i| pat[i][k]).collect();
@@ -217,6 +217,7 @@ mod tests {
             let a = gen::random_sparse(22, 0.1, seed);
             let f = symbolic_fill(&a).unwrap();
             let brute = brute_fill(&a);
+            #[allow(clippy::needless_range_loop)] // index loops read clearest here
             for j in 0..22 {
                 let col: Vec<usize> = (j + 1..22).filter(|&i| brute[i][j]).collect();
                 assert_eq!(f.l_col(j), col.as_slice(), "column {j}, seed {seed}");

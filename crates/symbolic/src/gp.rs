@@ -147,8 +147,8 @@ mod tests {
         for (r, c, _) in a.iter() {
             pat[r][c] = true;
         }
-        for i in 0..n {
-            pat[i][i] = true;
+        for (i, row) in pat.iter_mut().enumerate() {
+            row[i] = true;
         }
         for k in 0..n {
             let below: Vec<usize> = (k + 1..n).filter(|&i| pat[i][k]).collect();

@@ -55,9 +55,9 @@ pub fn stats_from_gp(a: &CscMatrix, g: &crate::gp::GpSymbolic) -> SymbolicStats 
         }
     }
     let mut flops = 0.0f64;
-    for k in 0..n {
+    for (k, &uk) in u_row_counts.iter().enumerate() {
         let lk = (g.l_col_ptr[k + 1] - g.l_col_ptr[k]) as f64;
-        flops += lk + 2.0 * lk * u_row_counts[k] as f64;
+        flops += lk + 2.0 * lk * uk as f64;
     }
     SymbolicStats {
         n,

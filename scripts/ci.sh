@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, the full test suite, the
-# schedule-trace validator on a traced 2x2-grid factorisation under a
-# seeded adversarial fault plan (see docs/FAULT_INJECTION.md), and the
-# smoke-benchmark regression gate (see docs/OBSERVABILITY.md).
+# Tier-1 CI gate: clippy perf lints, release build, the full test
+# suite, the schedule-trace validator on a traced 2x2-grid
+# factorisation under a seeded adversarial fault plan (see
+# docs/FAULT_INJECTION.md), and the smoke-benchmark regression gate
+# (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md).
 #
 # Usage: scripts/ci.sh [fault-seed]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 seed="${1:-1}"
+
+echo "== clippy (perf lints, warnings fatal) =="
+cargo clippy --workspace --all-targets -- -D clippy::perf -D warnings
 
 echo "== cargo build --release =="
 cargo build --release

@@ -1,0 +1,122 @@
+//! Bitwise guard for the batched SSSSM path.
+//!
+//! In SyncFree mode the runtime fuses consecutive *ready* Schur updates
+//! for a target block into one scatter → multi-axpy → gather pass
+//! (`pangulu::kernels::ssssm::ssssm_batch`). The batch width depends on
+//! message arrival timing, so the only acceptable behaviour is that the
+//! fused pass performs exactly the floating-point operations of applying
+//! each update one at a time in ascending elimination-step order — i.e.
+//! the factors must be **bitwise identical** to a run with batching
+//! forced off (`FactorConfig::with_ssssm_batching(false)`), whatever the
+//! grid shape and however a fault plan perturbs arrival timing/order.
+
+use std::time::Duration;
+
+use pangulu::comm::{FaultPlan, ProcessGrid};
+use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::sparse::gen;
+use pangulu::sparse::ops::ensure_diagonal;
+use pangulu::sparse::CscMatrix;
+
+const GRIDS: [(usize, usize); 3] = [(1, 4), (2, 2), (4, 1)];
+
+struct Problem {
+    bm: BlockMatrix,
+    tg: TaskGraph,
+    sel: KernelSelector,
+}
+
+fn problem(seed: u64) -> Problem {
+    let a = ensure_diagonal(&gen::random_sparse(84, 0.11, seed)).unwrap();
+    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm = BlockMatrix::from_filled(&f, 9).unwrap();
+    let tg = TaskGraph::build(&bm);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+    Problem { bm, tg, sel }
+}
+
+/// Returns the factors and the number of fused (width > 1) SSSSM calls.
+fn factor(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> (CscMatrix, u64) {
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+    let run = factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+        .unwrap_or_else(|e| panic!("{pr}x{pc}: {e}"));
+    (bm.to_csc(), run.report.total_mem().ssssm_batches)
+}
+
+/// A delay+reorder plan: jitters arrival enough to produce a spread of
+/// batch widths without changing which messages exist.
+fn jitter(seed: u64) -> FaultPlan {
+    FaultPlan::reliable(seed)
+        .with_delays(0.5, Duration::from_micros(250))
+        .with_reordering(3)
+}
+
+/// Batched factors are bitwise equal to forced one-at-a-time factors on
+/// every grid shape, with and without fault jitter, across five seeds.
+/// Also asserts the comparison has teeth: across the jittered runs at
+/// least one fused batch must actually have formed, and the forced-off
+/// runs must never batch.
+#[test]
+fn batched_matches_one_at_a_time_bitwise() {
+    let mut fused_total = 0u64;
+    for seed in [31u64, 32, 33, 34, 35] {
+        let prob = problem(seed);
+        for (pr, pc) in GRIDS {
+            let base = FactorConfig::with_mode(ScheduleMode::SyncFree);
+            let (batched, nb) = factor(&prob, pr, pc, &base.clone());
+            let (serial, ns) =
+                factor(&prob, pr, pc, &base.clone().with_ssssm_batching(false));
+            assert_eq!(ns, 0, "seed {seed} {pr}x{pc}: batching-off run still fused");
+            assert_eq!(
+                batched.values(),
+                serial.values(),
+                "seed {seed} {pr}x{pc}: batched SSSSM diverged from one-at-a-time"
+            );
+
+            let jittered = FactorConfig::with_mode(ScheduleMode::SyncFree)
+                .with_fault(jitter(seed * 7 + 1));
+            let (batched_j, nj) = factor(&prob, pr, pc, &jittered.clone());
+            let (serial_j, _) =
+                factor(&prob, pr, pc, &jittered.with_ssssm_batching(false));
+            assert_eq!(
+                batched_j.values(),
+                serial_j.values(),
+                "seed {seed} {pr}x{pc}: batched SSSSM diverged under fault jitter"
+            );
+            assert_eq!(
+                batched.values(),
+                batched_j.values(),
+                "seed {seed} {pr}x{pc}: fault jitter changed the batched factors"
+            );
+            fused_total += nb + nj;
+        }
+    }
+    assert!(
+        fused_total > 0,
+        "no run ever fused a batch — the bitwise comparison is vacuous"
+    );
+}
+
+/// LevelSet mode never batches (its barriers are defined per update), so
+/// the toggle is a no-op there and both settings agree with SyncFree.
+#[test]
+fn levelset_is_unaffected_by_the_toggle() {
+    let prob = problem(36);
+    let (sync, _) = factor(&prob, 2, 2, &FactorConfig::with_mode(ScheduleMode::SyncFree));
+    for on in [true, false] {
+        let cfg =
+            FactorConfig::with_mode(ScheduleMode::LevelSet).with_ssssm_batching(on);
+        let (f, fused) = factor(&prob, 2, 2, &cfg);
+        assert_eq!(fused, 0, "LevelSet fused a batch despite per-step barriers");
+        assert_eq!(
+            f.values(),
+            sync.values(),
+            "LevelSet batching={on}: factors diverged from SyncFree reference"
+        );
+    }
+}

@@ -149,8 +149,7 @@ fn permanent_message_loss_yields_structured_error() {
         .with_stall_timeout(Duration::from_millis(400));
     let t0 = Instant::now();
     let err = factor(&prob, ProcessGrid::with_shape(2, 2), &cfg)
-        .err()
-        .expect("total message loss must fail the run");
+        .expect_err("total message loss must fail the run");
     let elapsed = t0.elapsed();
     assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}; must not hang");
     assert!(err.rank < 4, "error names a real rank");
@@ -170,7 +169,7 @@ fn permanent_loss_does_not_deadlock_level_set() {
         .with_fault(plan)
         .with_stall_timeout(Duration::from_millis(400));
     let t0 = Instant::now();
-    let err = factor(&prob, ProcessGrid::with_shape(2, 2), &cfg).err().expect("must fail");
+    let err = factor(&prob, ProcessGrid::with_shape(2, 2), &cfg).expect_err("must fail");
     assert!(t0.elapsed() < Duration::from_secs(30), "level-set ranks must not deadlock");
     assert!(err.remaining > 0);
 }

@@ -18,8 +18,8 @@ fn dd_matrix(n: usize, entries: &[(usize, usize, f64)]) -> CscMatrix {
             row_sum[i] += v.abs();
         }
     }
-    for i in 0..n {
-        coo.push(i, i, row_sum[i] + 1.0).unwrap();
+    for (i, &rs) in row_sum.iter().enumerate() {
+        coo.push(i, i, rs + 1.0).unwrap();
     }
     coo.to_csc()
 }

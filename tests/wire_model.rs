@@ -1,0 +1,211 @@
+//! Wire-model invariance guard for the copy/allocation work.
+//!
+//! The Arc fan-out in `finish_block` serialises a finished block **once**
+//! however many ranks need it, and the receive path caches block
+//! structure — but the *wire cost model* is an accounting invariant:
+//! [`pangulu::comm::Mailbox`] charges every edge the full
+//! `payload_bytes()` of every send, exactly as if each destination got
+//! its own buffer. This file pins that invariant two ways:
+//!
+//! 1. per-edge `CommMetrics` msgs/bytes are asserted against expected
+//!    values captured from the pre-Arc implementation (the fixture table
+//!    below) — any drift means the sharing leaked into the accounting;
+//! 2. the timing-free projection `RunReport::without_timings()` is
+//!    identical across fault plans that only perturb delivery timing and
+//!    order (delays + reordering, no drops), including the new
+//!    [`pangulu::metrics::MemStats`] counters.
+
+use std::time::Duration;
+
+use pangulu::comm::{FaultPlan, ProcessGrid};
+use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::metrics::RunReport;
+use pangulu::sparse::gen;
+use pangulu::sparse::ops::ensure_diagonal;
+
+/// `(seed, grid, from, to, msgs, bytes)` for every non-empty edge of the
+/// two fixture problems on each grid shape, captured from the
+/// implementation that built one payload `Vec` per destination. The Arc
+/// fan-out must reproduce these numbers exactly.
+const EXPECTED_EDGES: &[(u64, &str, usize, usize, u64, u64)] = &[
+    (41, "2x2", 0, 1, 15, 9480),
+    (41, "2x2", 0, 2, 15, 9480),
+    (41, "2x2", 1, 0, 10, 7776),
+    (41, "2x2", 1, 3, 15, 8056),
+    (41, "2x2", 2, 0, 10, 7776),
+    (41, "2x2", 2, 3, 15, 8056),
+    (41, "2x2", 3, 1, 14, 9536),
+    (41, "2x2", 3, 2, 14, 9536),
+    (41, "1x4", 0, 1, 16, 6960),
+    (41, "1x4", 0, 2, 16, 6960),
+    (41, "1x4", 0, 3, 24, 12848),
+    (41, "1x4", 1, 0, 16, 10584),
+    (41, "1x4", 1, 2, 20, 13736),
+    (41, "1x4", 1, 3, 22, 14752),
+    (41, "1x4", 2, 0, 11, 7784),
+    (41, "1x4", 2, 1, 19, 13392),
+    (41, "1x4", 2, 3, 14, 9976),
+    (41, "1x4", 3, 0, 16, 10320),
+    (41, "1x4", 3, 1, 23, 15096),
+    (41, "1x4", 3, 2, 24, 15920),
+    (41, "4x1", 0, 1, 16, 6960),
+    (41, "4x1", 0, 2, 16, 6960),
+    (41, "4x1", 0, 3, 24, 12848),
+    (41, "4x1", 1, 0, 16, 10584),
+    (41, "4x1", 1, 2, 20, 13736),
+    (41, "4x1", 1, 3, 22, 14752),
+    (41, "4x1", 2, 0, 11, 7784),
+    (41, "4x1", 2, 1, 19, 13392),
+    (41, "4x1", 2, 3, 14, 9976),
+    (41, "4x1", 3, 0, 16, 10320),
+    (41, "4x1", 3, 1, 23, 15096),
+    (41, "4x1", 3, 2, 24, 15920),
+    (42, "2x2", 0, 1, 14, 7040),
+    (42, "2x2", 0, 2, 14, 7040),
+    (42, "2x2", 0, 3, 8, 4048),
+    (42, "2x2", 1, 0, 9, 5304),
+    (42, "2x2", 1, 3, 14, 7448),
+    (42, "2x2", 2, 0, 9, 5304),
+    (42, "2x2", 2, 3, 14, 7448),
+    (42, "2x2", 3, 1, 10, 6088),
+    (42, "2x2", 3, 2, 10, 6088),
+    (42, "1x4", 0, 1, 14, 5600),
+    (42, "1x4", 0, 2, 13, 4928),
+    (42, "1x4", 0, 3, 22, 9936),
+    (42, "1x4", 1, 0, 9, 5976),
+    (42, "1x4", 1, 2, 14, 8616),
+    (42, "1x4", 1, 3, 17, 10240),
+    (42, "1x4", 2, 0, 7, 4632),
+    (42, "1x4", 2, 1, 14, 8272),
+    (42, "1x4", 2, 3, 11, 6808),
+    (42, "1x4", 3, 0, 11, 6160),
+    (42, "1x4", 3, 1, 18, 9840),
+    (42, "1x4", 3, 2, 19, 10512),
+    (42, "4x1", 0, 1, 14, 5600),
+    (42, "4x1", 0, 2, 13, 4928),
+    (42, "4x1", 0, 3, 22, 9936),
+    (42, "4x1", 1, 0, 9, 5976),
+    (42, "4x1", 1, 2, 14, 8616),
+    (42, "4x1", 1, 3, 17, 10240),
+    (42, "4x1", 2, 0, 7, 4632),
+    (42, "4x1", 2, 1, 14, 8272),
+    (42, "4x1", 2, 3, 11, 6808),
+    (42, "4x1", 3, 0, 11, 6160),
+    (42, "4x1", 3, 1, 18, 9840),
+    (42, "4x1", 3, 2, 19, 10512),
+];
+
+/// The fixture problems: `(seed, n, nb)`.
+const PROBLEMS: [(u64, usize, usize); 2] = [(41, 96, 10), (42, 80, 9)];
+
+const GRIDS: [(usize, usize); 3] = [(2, 2), (1, 4), (4, 1)];
+
+struct Problem {
+    bm: BlockMatrix,
+    tg: TaskGraph,
+    sel: KernelSelector,
+}
+
+fn problem(seed: u64, n: usize, nb: usize) -> Problem {
+    let a = ensure_diagonal(&gen::random_sparse(n, 0.10, seed)).unwrap();
+    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm = BlockMatrix::from_filled(&f, nb).unwrap();
+    let tg = TaskGraph::build(&bm);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+    Problem { bm, tg, sel }
+}
+
+fn factor(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> RunReport {
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+        .unwrap_or_else(|e| panic!("{pr}x{pc}: {e}"))
+        .report
+}
+
+/// Per-edge message and byte counts match the pre-Arc accounting
+/// exactly: one shared payload buffer still charges every edge its full
+/// wire freight.
+#[test]
+fn per_edge_accounting_matches_prechange_fixture() {
+    for (seed, n, nb) in PROBLEMS {
+        let prob = problem(seed, n, nb);
+        for (pr, pc) in GRIDS {
+            let grid = format!("{pr}x{pc}");
+            let report =
+                factor(&prob, pr, pc, &FactorConfig::with_mode(ScheduleMode::SyncFree));
+            let mut observed: Vec<(usize, usize, u64, u64)> = report
+                .per_rank
+                .iter()
+                .flat_map(|r| {
+                    r.comm.edges.iter().map(move |e| (r.rank, e.to, e.msgs, e.bytes))
+                })
+                .filter(|&(_, _, msgs, _)| msgs > 0)
+                .collect();
+            observed.sort_unstable();
+            let expected: Vec<(usize, usize, u64, u64)> = EXPECTED_EDGES
+                .iter()
+                .filter(|&&(s, g, ..)| s == seed && g == grid)
+                .map(|&(_, _, from, to, msgs, bytes)| (from, to, msgs, bytes))
+                .collect();
+            assert_eq!(
+                observed, expected,
+                "seed {seed} grid {grid}: per-edge msgs/bytes drifted from the \
+                 pre-change wire model"
+            );
+        }
+    }
+}
+
+/// Edge sums reconcile with the rank totals the smoke bench reports, so
+/// the fixture pins the aggregate counters too.
+#[test]
+fn edge_sums_match_rank_totals() {
+    let prob = problem(41, 96, 10);
+    let report = factor(&prob, 2, 2, &FactorConfig::default());
+    for r in &report.per_rank {
+        let msgs: u64 = r.comm.edges.iter().map(|e| e.msgs).sum();
+        let bytes: u64 = r.comm.edges.iter().map(|e| e.bytes).sum();
+        assert_eq!(msgs, r.comm.msgs_sent, "rank {}: edge msgs != msgs_sent", r.rank);
+        assert_eq!(bytes, r.comm.bytes_sent, "rank {}: edge bytes != bytes_sent", r.rank);
+    }
+}
+
+/// Timing-only fault plans (delays + reordering, no drops) leave the
+/// whole timing-free projection — per-edge comm, tasks, kernel tallies,
+/// and the copy/alloc `MemStats` counters — identical to a fault-free
+/// run, across both scheduling modes.
+#[test]
+fn without_timings_equal_across_fault_plans() {
+    let plans: Vec<Option<FaultPlan>> = vec![
+        None,
+        Some(FaultPlan::reliable(7).with_delays(0.4, Duration::from_micros(300))),
+        Some(
+            FaultPlan::reliable(13)
+                .with_delays(0.7, Duration::from_micros(150))
+                .with_reordering(4),
+        ),
+        Some(FaultPlan::reliable(99).with_reordering(2)),
+    ];
+    let prob = problem(42, 80, 9);
+    for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+        let mut projections: Vec<RunReport> = Vec::new();
+        for plan in &plans {
+            let mut cfg = FactorConfig::with_mode(mode);
+            if let Some(p) = plan {
+                cfg = cfg.with_fault(p.clone());
+            }
+            projections.push(factor(&prob, 2, 2, &cfg).without_timings());
+        }
+        for (i, p) in projections.iter().enumerate().skip(1) {
+            assert_eq!(
+                &projections[0], p,
+                "{mode:?}: plan {i} changed the timing-free report"
+            );
+        }
+    }
+}
