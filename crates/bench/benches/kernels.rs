@@ -20,8 +20,9 @@ struct Scenario {
 
 fn scenario() -> Scenario {
     let a = pangulu_sparse::gen::paper_matrix("ASIC_680k", 1);
-    let prep_a = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
-        .unwrap();
+    let prep_a =
+        pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+            .unwrap();
     let fill = pangulu_symbolic::symbolic_fill(&prep_a.matrix).unwrap();
     let filled = fill.filled_matrix(&prep_a.matrix).unwrap();
     let nb = BlockMatrix::choose_block_size(a.ncols(), fill.nnz_lu(), 1);
@@ -44,10 +45,8 @@ fn scenario() -> Scenario {
     trsm::tstrf(&diag_lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
     let mut u_op = upper.clone();
     trsm::gessm(&diag_lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
-    let target = bm
-        .block_id(i, j)
-        .map(|id| bm.block(id).clone())
-        .unwrap_or_else(|| diag_raw.clone());
+    let target =
+        bm.block_id(i, j).map(|id| bm.block(id).clone()).unwrap_or_else(|| diag_raw.clone());
     Scenario { diag_raw, diag_lu, upper, lower, l_op, u_op, target }
 }
 

@@ -17,21 +17,18 @@ fn bench_preprocess(c: &mut Criterion) {
         let a = pangulu_sparse::gen::paper_matrix(name, 1);
         g.bench_function(BenchmarkId::new("reorder_mc64_nd", name), |b| {
             b.iter(|| {
-                pangulu_reorder::reorder_for_lu(
-                    &a,
-                    pangulu_reorder::FillReducing::NestedDissection,
-                )
-                .unwrap()
+                pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+                    .unwrap()
             })
         });
 
-        let r = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
-            .unwrap();
+        let r =
+            pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+                .unwrap();
         let fill = pangulu_symbolic::symbolic_fill(&r.matrix).unwrap();
         let filled = fill.filled_matrix(&r.matrix).unwrap();
         let grid = ProcessGrid::new(16);
-        let nb =
-            BlockMatrix::choose_block_size(a.ncols(), fill.nnz_lu(), grid.pr().max(grid.pc()));
+        let nb = BlockMatrix::choose_block_size(a.ncols(), fill.nnz_lu(), grid.pr().max(grid.pc()));
 
         g.bench_function(BenchmarkId::new("pangulu_block_and_balance", name), |b| {
             b.iter(|| {

@@ -52,15 +52,8 @@ fn main() {
                 if let Some(plan) = plan_at(level, 1000 + level as u64) {
                     cfg = cfg.with_fault(plan);
                 }
-                let run = factor_distributed_checked(
-                    &mut bm,
-                    &prep.tg,
-                    &owners,
-                    &sel,
-                    1e-8,
-                    &cfg,
-                )
-                .unwrap_or_else(|e| panic!("{name} {mode:?} level {level}: {e}"));
+                let run = factor_distributed_checked(&mut bm, &prep.tg, &owners, &sel, 1e-8, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} {mode:?} level {level}: {e}"));
                 let st = &run.stats;
                 rows.push(format!(
                     "{name},{mode:?},{level},{:.6},{:.6},{},{},{}",

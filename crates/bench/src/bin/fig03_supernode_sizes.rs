@@ -11,18 +11,16 @@ fn main() {
     let mut rows = Vec::new();
     for name in ["G3_circuit", "audikw_1"] {
         let a = pangulu_bench::load(name);
-        let r = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
-            .expect("reorder");
+        let r =
+            pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+                .expect("reorder");
         let fill = pangulu_symbolic::symbolic_fill(&r.matrix).expect("symbolic");
         let part = detect(&fill, SupernodeOptions::default());
         let h = supernode_size_histogram(&part);
         for (cb, row) in h.counts.iter().enumerate() {
             for (rb, &count) in row.iter().enumerate() {
                 if count > 0 {
-                    rows.push(format!(
-                        "{name},{},{},{}",
-                        h.row_edges[rb], h.col_edges[cb], count
-                    ));
+                    rows.push(format!("{name},{},{},{}", h.row_edges[rb], h.col_edges[cb], count));
                 }
             }
         }

@@ -24,9 +24,5 @@ fn main() {
         }
         eprintln!("[fig04] {name}: {} gemms", h.gemms);
     }
-    pangulu_bench::emit_csv(
-        "fig04_gemm_density",
-        "matrix,density_bin,pct_A,pct_B,pct_C",
-        &rows,
-    );
+    pangulu_bench::emit_csv("fig04_gemm_density", "matrix,density_bin,pct_A,pct_B,pct_C", &rows);
 }

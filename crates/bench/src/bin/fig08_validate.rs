@@ -55,8 +55,15 @@ fn main() {
     type InstanceKey = (String, &'static str, u64, usize);
     let mut instances: HashMap<InstanceKey, Vec<(String, f64)>> = HashMap::new();
     let mut ordinal: HashMap<(String, &'static str, u64), usize> = HashMap::new();
-    let variants_per_class =
-        |class: &str| -> usize { if class == "GETRF" { 3 } else if class == "SSSSM" { 4 } else { 5 } };
+    let variants_per_class = |class: &str| -> usize {
+        if class == "GETRF" {
+            3
+        } else if class == "SSSSM" {
+            4
+        } else {
+            5
+        }
+    };
     for (matrix, s) in &samples {
         let fkey = s.feature.to_bits();
         let ord_key = (matrix.clone(), s.class, fkey);
@@ -91,11 +98,8 @@ fn main() {
                 .iter()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .expect("variants timed");
-            let chosen_time = variants
-                .iter()
-                .find(|(v, _)| v == chosen)
-                .map(|(_, t)| *t)
-                .unwrap_or(best.1);
+            let chosen_time =
+                variants.iter().find(|(v, _)| v == chosen).map(|(_, t)| *t).unwrap_or(best.1);
             total += 1;
             if best.0 == chosen {
                 hits += 1;

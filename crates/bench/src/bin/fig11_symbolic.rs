@@ -11,8 +11,9 @@ fn main() {
     let mut count = 0usize;
     for name in pangulu_bench::suite() {
         let a = pangulu_bench::load(name);
-        let r = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
-            .expect("reorder");
+        let r =
+            pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+                .expect("reorder");
 
         let t = Instant::now();
         let gp = pangulu_symbolic::gp_symbolic(&r.matrix, true).expect("gp symbolic");
@@ -32,10 +33,7 @@ fn main() {
         ));
         eprintln!("[fig11] {name}: {speedup:.2}x");
     }
-    rows.push(format!(
-        "geomean,,,{:.2},,",
-        (geo / count.max(1) as f64).exp()
-    ));
+    rows.push(format!("geomean,,,{:.2},,", (geo / count.max(1) as f64).exp()));
     pangulu_bench::emit_csv(
         "fig11_symbolic",
         "matrix,superlu_style_s,pangulu_s,speedup,gp_nnz_lu,sym_nnz_lu",

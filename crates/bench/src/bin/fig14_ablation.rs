@@ -21,8 +21,7 @@ fn main() {
     // message latency and the kernel-selection effect would vanish from
     // the model; 16 ranks keeps the same compute-visible regime.
     // Override with PANGULU_RANKS.
-    let p: usize =
-        std::env::var("PANGULU_RANKS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let p: usize = std::env::var("PANGULU_RANKS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
     let prof = PlatformProfile::a100_like();
     let mut rows = Vec::new();
     for name in pangulu_bench::suite() {

@@ -164,10 +164,7 @@ fn main() {
         ("ranks".into(), num(RANKS as f64)),
         ("reps".into(), num(reps as f64)),
         ("total_wall_seconds".into(), num(total_wall)),
-        (
-            "matrices".into(),
-            Json::Arr(results.iter().map(matrix_json).collect()),
-        ),
+        ("matrices".into(), Json::Arr(results.iter().map(matrix_json).collect())),
     ]);
     let dir = data_dir();
     std::fs::create_dir_all(&dir).expect("create data dir");

@@ -25,8 +25,7 @@ fn main() {
         let lu = SupernodalLu::factor(&a, SupernodalOptions::default()).expect("baseline");
         let ss = lu.stats();
 
-        let speedup =
-            ss.numeric_time().as_secs_f64() / ps.total_time().as_secs_f64().max(1e-12);
+        let speedup = ss.numeric_time().as_secs_f64() / ps.total_time().as_secs_f64().max(1e-12);
         geo += speedup.ln();
         count += 1;
         rows.push(format!(

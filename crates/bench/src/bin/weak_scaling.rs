@@ -16,8 +16,8 @@ fn main() {
     let prof = PlatformProfile::a100_like();
     let mut rows = Vec::new();
     let mut base: Option<(f64, f64)> = None; // per-rank work rate at p = 1
-    // 2-D Laplacian LU costs Θ(n^{3/2}) flops, so constant work per rank
-    // needs n ∝ p^{2/3} (nx ∝ p^{1/3}).
+                                             // 2-D Laplacian LU costs Θ(n^{3/2}) flops, so constant work per rank
+                                             // needs n ∝ p^{2/3} (nx ∝ p^{1/3}).
     for &(p, nx) in &[(1usize, 24usize), (4, 38), (16, 60), (64, 96)] {
         let a = pangulu_sparse::gen::laplacian_2d(nx, nx);
         let prep = pangulu_bench::prepare(&a, p);

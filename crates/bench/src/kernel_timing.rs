@@ -93,7 +93,12 @@ pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<S
                     let mut b = blk.clone();
                     getrf::getrf(&mut b, v, &mut scratch, 1e-12);
                 });
-                samples.push(Sample { class: "GETRF", variant: label, feature: nnz, seconds: secs });
+                samples.push(Sample {
+                    class: "GETRF",
+                    variant: label,
+                    feature: nnz,
+                    seconds: secs,
+                });
             }
         }
         getrf::getrf(bm.block_mut(diag_id), GetrfVariant::CV1, &mut scratch, 1e-12);
@@ -218,10 +223,7 @@ mod tests {
         let mut bm = prep.bm.clone();
         let samples = harvest(&mut bm, &prep.tg, HarvestCaps { getrf: 4, trsm: 6, ssssm: 8 });
         for class in ["GETRF", "GESSM", "TSTRF", "SSSSM"] {
-            assert!(
-                samples.iter().any(|s| s.class == class),
-                "no samples for {class}"
-            );
+            assert!(samples.iter().any(|s| s.class == class), "no samples for {class}");
         }
         assert!(samples.iter().all(|s| s.seconds >= 0.0 && s.feature >= 0.0));
     }

@@ -10,8 +10,7 @@ fn scratch_dir() -> std::path::PathBuf {
 }
 
 fn run(bin: &str, envs: &[(&str, &str)]) {
-    let path = env!("CARGO_BIN_EXE_table3")
-        .replace("table3", bin);
+    let path = env!("CARGO_BIN_EXE_table3").replace("table3", bin);
     let mut cmd = Command::new(&path);
     cmd.env("PANGULU_MATRICES", "ecology1,ASIC_680k");
     // Keep restricted smoke runs away from the committed data/ CSVs.
@@ -20,11 +19,7 @@ fn run(bin: &str, envs: &[(&str, &str)]) {
         cmd.env(k, v);
     }
     let out = cmd.output().unwrap_or_else(|e| panic!("launch {bin}: {e}"));
-    assert!(
-        out.status.success(),
-        "{bin} failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]

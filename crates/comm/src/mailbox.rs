@@ -115,7 +115,9 @@ impl MailboxSet {
                 senders: senders.clone(),
                 plan: plan.clone(),
                 edges: plan.as_ref().map(|pl| {
-                    (0..p).map(|to| Edge { rng: EdgeRng::new(pl.seed, rank, to), buffer: Vec::new() }).collect()
+                    (0..p)
+                        .map(|to| Edge { rng: EdgeRng::new(pl.seed, rank, to), buffer: Vec::new() })
+                        .collect()
                 }),
                 holdback: BinaryHeap::new(),
                 send_seq: 0,

@@ -62,10 +62,7 @@ impl BlockMatrix {
     /// ```
     pub fn from_filled(filled: &CscMatrix, nb: usize) -> Result<Self> {
         if !filled.is_square() {
-            return Err(SparseError::NotSquare {
-                nrows: filled.nrows(),
-                ncols: filled.ncols(),
-            });
+            return Err(SparseError::NotSquare { nrows: filled.nrows(), ncols: filled.ncols() });
         }
         if nb == 0 {
             return Err(SparseError::InvalidStructure("block size must be positive".into()));
@@ -305,8 +302,8 @@ impl BlockMatrix {
     /// paper's preprocessing minimises by allocating per-process blocks
     /// up front, §4.2).
     pub fn memory_bytes(&self) -> usize {
-        let first_layer = (self.blk_col_ptr.len() + self.blk_row_idx.len())
-            * std::mem::size_of::<usize>();
+        let first_layer =
+            (self.blk_col_ptr.len() + self.blk_row_idx.len()) * std::mem::size_of::<usize>();
         let blocks: usize = self
             .blocks
             .iter()

@@ -98,7 +98,12 @@ impl SimResult {
 }
 
 /// Simulates the task list on `p` ranks under the given profile/policy.
-pub fn simulate(tasks: &[SimTask], p: usize, profile: &PlatformProfile, mode: SimMode) -> SimResult {
+pub fn simulate(
+    tasks: &[SimTask],
+    p: usize,
+    profile: &PlatformProfile,
+    mode: SimMode,
+) -> SimResult {
     // Cross-rank message accounting, deduplicated per (producer,
     // consumer-rank) exactly like the executor's destination lists.
     let mut messages = 0u64;
@@ -148,8 +153,8 @@ pub fn simulate(tasks: &[SimTask], p: usize, profile: &PlatformProfile, mode: Si
                 if step_tasks.is_empty() {
                     continue;
                 }
-                clock = run_window(tasks, step_tasks, clock, profile, &mut finish, &mut busy)
-                    + barrier;
+                clock =
+                    run_window(tasks, step_tasks, clock, profile, &mut finish, &mut busy) + barrier;
             }
             clock
         }
@@ -189,7 +194,8 @@ fn run_window(
                 // flight since then.
                 let f = finish[d.task];
                 assert!(f.is_finite(), "dependency finished out of order");
-                let arrival = f + profile.message_cost(tasks[d.task].rank, tasks[tid].rank, d.bytes);
+                let arrival =
+                    f + profile.message_cost(tasks[d.task].rank, tasks[tid].rank, d.bytes);
                 ready_at[pos] = ready_at[pos].max(arrival);
             }
         }
@@ -215,13 +221,18 @@ fn run_window(
                 // Task `pos` became ready.
                 let tid = window[pos];
                 let r = tasks[tid].rank;
-                rank_ready
-                    .entry(r)
-                    .or_default()
-                    .push(Reverse((tasks[tid].step, pos)));
+                rank_ready.entry(r).or_default().push(Reverse((tasks[tid].step, pos)));
                 try_start(
-                    r, now, tasks, window, profile, &mut rank_ready, &mut rank_busy_until,
-                    &mut events, busy, finish,
+                    r,
+                    now,
+                    tasks,
+                    window,
+                    profile,
+                    &mut rank_ready,
+                    &mut rank_busy_until,
+                    &mut events,
+                    busy,
+                    finish,
                 );
             }
             1 => {
@@ -240,8 +251,16 @@ fn run_window(
                     }
                 }
                 try_start(
-                    r, now, tasks, window, profile, &mut rank_ready, &mut rank_busy_until,
-                    &mut events, busy, finish,
+                    r,
+                    now,
+                    tasks,
+                    window,
+                    profile,
+                    &mut rank_ready,
+                    &mut rank_busy_until,
+                    &mut events,
+                    busy,
+                    finish,
                 );
             }
             _ => unreachable!(),
@@ -252,12 +271,7 @@ fn run_window(
 
 /// Payload bytes of the dep edge `producer -> consumer`.
 fn byte_of(tasks: &[SimTask], consumer: usize, producer: usize) -> usize {
-    tasks[consumer]
-        .deps
-        .iter()
-        .find(|d| d.task == producer)
-        .map(|d| d.bytes)
-        .unwrap_or(0)
+    tasks[consumer].deps.iter().find(|d| d.task == producer).map(|d| d.bytes).unwrap_or(0)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -280,8 +294,7 @@ fn try_start(
     let Some(heap) = rank_ready.get_mut(&r) else { return };
     let Some(Reverse((_, pos))) = heap.pop() else { return };
     let tid = window[pos];
-    let cost =
-        profile.kernel_cost(tasks[tid].class, tasks[tid].flops) + tasks[tid].extra_cost;
+    let cost = profile.kernel_cost(tasks[tid].class, tasks[tid].flops) + tasks[tid].extra_cost;
     let start = now.max(free_at);
     let done = start + cost;
     busy[r] += cost;
@@ -385,10 +398,8 @@ mod tests {
         let tasks = pangulu_sim_tasks(&bm, &tg, &owners);
         let prof = PlatformProfile::a100_like();
         let r = simulate(&tasks, 1, &prof, SimMode::SyncFree);
-        let serial: f64 = tasks
-            .iter()
-            .map(|t| prof.kernel_cost(t.class, t.flops) + t.extra_cost)
-            .sum();
+        let serial: f64 =
+            tasks.iter().map(|t| prof.kernel_cost(t.class, t.flops) + t.extra_cost).sum();
         assert!((r.makespan - serial).abs() < 1e-12 * serial.max(1.0));
         assert_eq!(r.messages, 0);
     }
@@ -432,8 +443,7 @@ mod tests {
         }
         let prof = PlatformProfile::a100_like();
         let r = simulate(&tasks, 4, &prof, SimMode::SyncFree);
-        let serial: f64 =
-            tasks.iter().map(|t| prof.kernel_cost(t.class, t.flops)).sum();
+        let serial: f64 = tasks.iter().map(|t| prof.kernel_cost(t.class, t.flops)).sum();
         assert!(r.makespan >= serial, "chain cannot beat its serial time");
     }
 

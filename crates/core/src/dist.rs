@@ -307,7 +307,14 @@ pub fn factor_distributed(
     pivot_floor: f64,
     mode: ScheduleMode,
 ) -> DistStats {
-    match factor_distributed_checked(bm, tg, owners, selector, pivot_floor, &FactorConfig::with_mode(mode)) {
+    match factor_distributed_checked(
+        bm,
+        tg,
+        owners,
+        selector,
+        pivot_floor,
+        &FactorConfig::with_mode(mode),
+    ) {
         Ok(run) => run.stats,
         Err(e) => panic!("distributed factorisation failed: {e}"),
     }
@@ -375,7 +382,15 @@ pub fn factor_distributed_checked(
                     let first_err = &first_err;
                     s.spawn(move || {
                         let mut w = Worker::new(
-                            bm_ref, tg, owners, selector, pivot_floor, cfg, mb, barrier, abort,
+                            bm_ref,
+                            tg,
+                            owners,
+                            selector,
+                            pivot_floor,
+                            cfg,
+                            mb,
+                            barrier,
+                            abort,
                             first_err,
                         );
                         w.trace_origin = Some(start).filter(|_| cfg.traced);
@@ -505,10 +520,8 @@ impl StepBarrier {
             if abort.load(AtomicOrdering::Relaxed) {
                 return false;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(st, Duration::from_millis(10))
-                .expect("barrier poisoned");
+            let (guard, _) =
+                self.cv.wait_timeout(st, Duration::from_millis(10)).expect("barrier poisoned");
             st = guard;
             if st.1 != gen {
                 return true;
@@ -532,9 +545,16 @@ struct WorkerOutput {
 /// producer's `end` timestamp is on the clock before any consumer can
 /// observe the result.
 enum Post {
-    Panel { id: usize, step: usize, role: BlockRole },
+    Panel {
+        id: usize,
+        step: usize,
+        role: BlockRole,
+    },
     /// `applied` consecutive updates (from the target's cursor) done.
-    Update { cid: usize, applied: usize },
+    Update {
+        cid: usize,
+        applied: usize,
+    },
 }
 
 /// Per-rank executor state.
@@ -656,8 +676,7 @@ impl<'a> Worker<'a> {
             order.sort_unstable();
         }
         let upd_ready: Vec<Vec<bool>> = upd_order.iter().map(|o| vec![false; o.len()]).collect();
-        let max_batch = if cfg.mode == ScheduleMode::SyncFree && cfg.ssssm_batching && !cfg.traced
-        {
+        let max_batch = if cfg.mode == ScheduleMode::SyncFree && cfg.ssssm_batching && !cfg.traced {
             usize::MAX
         } else {
             1
@@ -959,7 +978,8 @@ impl<'a> Worker<'a> {
                 let id = self.bm.block_id(k, k).expect("diag exists");
                 let blk = self.my_blocks[id].as_mut().expect("getrf on owned block");
                 let variant = self.selector.getrf(blk.nnz());
-                self.perturbed += self.timed.getrf(blk, variant, &mut self.scratch, self.pivot_floor);
+                self.perturbed +=
+                    self.timed.getrf(blk, variant, &mut self.scratch, self.pivot_floor);
                 self.tasks.getrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::DiagFactor }
             }
@@ -971,7 +991,12 @@ impl<'a> Worker<'a> {
                 let mut blk = self.my_blocks[id].take().expect("gessm on owned block");
                 let variant = self.selector.gessm(blk.nnz());
                 let diag = Self::lookup_operand(
-                    self.bm, &self.my_blocks, &self.remote, &self.finished, k, k,
+                    self.bm,
+                    &self.my_blocks,
+                    &self.remote,
+                    &self.finished,
+                    k,
+                    k,
                 );
                 self.timed.gessm(diag, &mut blk, variant, &mut self.scratch);
                 self.my_blocks[id] = Some(blk);
@@ -983,7 +1008,12 @@ impl<'a> Worker<'a> {
                 let mut blk = self.my_blocks[id].take().expect("tstrf on owned block");
                 let variant = self.selector.tstrf(blk.nnz());
                 let diag = Self::lookup_operand(
-                    self.bm, &self.my_blocks, &self.remote, &self.finished, k, k,
+                    self.bm,
+                    &self.my_blocks,
+                    &self.remote,
+                    &self.finished,
+                    k,
+                    k,
                 );
                 self.timed.tstrf(diag, &mut blk, variant, &mut self.scratch);
                 self.my_blocks[id] = Some(blk);
@@ -1017,10 +1047,20 @@ impl<'a> Worker<'a> {
                         .iter()
                         .map(|&uk| {
                             let a = Self::lookup_operand(
-                                bm, &self.my_blocks, &self.remote, &self.finished, i, uk,
+                                bm,
+                                &self.my_blocks,
+                                &self.remote,
+                                &self.finished,
+                                i,
+                                uk,
                             );
                             let b = Self::lookup_operand(
-                                bm, &self.my_blocks, &self.remote, &self.finished, uk, j,
+                                bm,
+                                &self.my_blocks,
+                                &self.remote,
+                                &self.finished,
+                                uk,
+                                j,
                             );
                             let fl = flops::ssssm_flops(a, b);
                             SsssmUpdate { a, b, variant: self.selector.ssssm(fl), model_flops: fl }
@@ -1273,8 +1313,7 @@ mod tests {
         let (a, mut bm, tg) = build(80, 8, 9);
         let sel = KernelSelector::new(a.nnz(), Thresholds::default());
         let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
-        let stats =
-            factor_distributed(&mut bm, &tg, &owners, &sel, 0.0, ScheduleMode::SyncFree);
+        let stats = factor_distributed(&mut bm, &tg, &owners, &sel, 0.0, ScheduleMode::SyncFree);
         assert!(stats.messages > 0, "4-rank run must communicate");
         assert!(stats.bytes > 0);
     }
@@ -1290,15 +1329,9 @@ mod tests {
         let (a, mut bm, tg) = build(60, 8, 11);
         let sel = KernelSelector::new(a.nnz(), Thresholds::default());
         let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
-        let run = factor_distributed_checked(
-            &mut bm,
-            &tg,
-            &owners,
-            &sel,
-            0.0,
-            &FactorConfig::default(),
-        )
-        .unwrap();
+        let run =
+            factor_distributed_checked(&mut bm, &tg, &owners, &sel, 0.0, &FactorConfig::default())
+                .unwrap();
         assert_eq!(run.sent.len(), run.received.len(), "all sends delivered");
         assert!(run.lost.is_empty());
         assert!(run.stats.dropped_msgs == 0);

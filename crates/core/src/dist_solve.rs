@@ -95,16 +95,7 @@ fn run_sweep(
                 let contributors = &contributors;
                 let triggers = &triggers;
                 s.spawn(move || {
-                    SweepWorker {
-                        bm,
-                        owners,
-                        b,
-                        sweep,
-                        contributors,
-                        triggers,
-                        mailbox: mb,
-                    }
-                    .run()
+                    SweepWorker { bm, owners, b, sweep, contributors, triggers, mailbox: mb }.run()
                 })
             })
             .collect();
@@ -133,8 +124,7 @@ struct SweepWorker<'a> {
 
 impl SweepWorker<'_> {
     fn diag_owner(&self, k: usize) -> usize {
-        self.owners
-            .owner_of(self.bm.block_id(k, k).expect("diagonal block exists"))
+        self.owners.owner_of(self.bm.block_id(k, k).expect("diagonal block exists"))
     }
 
     fn run(mut self) -> Vec<(usize, Vec<f64>)> {
@@ -166,8 +156,7 @@ impl SweepWorker<'_> {
 
         let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
         // Segments whose counters hit zero solve immediately (leaves).
-        let ready: Vec<usize> =
-            pending.iter().filter(|&(_, &c)| c == 0).map(|(&k, _)| k).collect();
+        let ready: Vec<usize> = pending.iter().filter(|&(_, &c)| c == 0).map(|(&k, _)| k).collect();
         for k in ready {
             self.solve_segment(k, &mut acc, &mut out);
             remaining_solves -= 1;
@@ -348,10 +337,7 @@ mod tests {
             backward_substitute(&bm, &mut expect);
             let got = solve_distributed(&bm, &owners, &b);
             for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
-                assert!(
-                    (g - e).abs() < 1e-12,
-                    "p={p} seed={seed} idx {i}: {g} vs {e}"
-                );
+                assert!((g - e).abs() < 1e-12, "p={p} seed={seed} idx {i}: {g} vs {e}");
             }
         }
     }

@@ -371,9 +371,8 @@ mod tests {
         let sel = KernelSelector::new(a.nnz(), Thresholds::default());
         let stats = factor_sequential(&mut bm, &tg, &sel, 0.0);
         assert_eq!(stats.kernel_counts[0], bm.nblk());
-        let panels: usize =
-            tg.l_panels.iter().map(|v| v.len()).sum::<usize>()
-                + tg.u_panels.iter().map(|v| v.len()).sum::<usize>();
+        let panels: usize = tg.l_panels.iter().map(|v| v.len()).sum::<usize>()
+            + tg.u_panels.iter().map(|v| v.len()).sum::<usize>();
         assert_eq!(stats.kernel_counts[1] + stats.kernel_counts[2], panels);
         assert_eq!(stats.kernel_counts[3], tg.ssssm.len());
         assert!(stats.flops > 0.0);

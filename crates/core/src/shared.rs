@@ -138,8 +138,18 @@ pub fn factor_shared(
                         continue;
                     };
                     execute_shared(
-                        bm, tg, selector, pivot_floor, &shared, &state, &diag_ready, &queue,
-                        &remaining, &perturbed, task, &mut scratch,
+                        bm,
+                        tg,
+                        selector,
+                        pivot_floor,
+                        &shared,
+                        &state,
+                        &diag_ready,
+                        &queue,
+                        &remaining,
+                        &perturbed,
+                        task,
+                        &mut scratch,
                     );
                 }
             });
@@ -167,10 +177,7 @@ fn blocks_ptr(bm: &mut BlockMatrix) -> *mut CscMatrix {
 /// Spins until the block's exclusive latch is taken.
 fn claim(state: &BlockState) {
     let mut spins = 0u32;
-    while state
-        .claimed
-        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-        .is_err()
+    while state.claimed.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_err()
     {
         spins += 1;
         if spins < 64 {
@@ -380,11 +387,7 @@ mod tests {
             factor_shared(&mut par_bm, &tg, &sel, 0.0, threads);
             let diff = seq_bm.to_csc().to_dense().max_abs_diff(&par_bm.to_csc().to_dense());
             let scale = seq_bm.to_csc().norm_max().max(1.0);
-            assert!(
-                diff / scale < 1e-10,
-                "threads={threads} seed={seed}: diff {}",
-                diff / scale
-            );
+            assert!(diff / scale < 1e-10, "threads={threads} seed={seed}: diff {}", diff / scale);
         }
     }
 

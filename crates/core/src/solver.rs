@@ -18,7 +18,7 @@ use pangulu_kernels::select::{KernelSelector, Thresholds};
 use pangulu_metrics::RunReport;
 use pangulu_reorder::{reorder_for_lu, FillReducing, Reordering};
 use pangulu_sparse::{CscMatrix, Result, SparseError};
-use pangulu_symbolic::{symbolic_fill, stats::SymbolicStats};
+use pangulu_symbolic::{stats::SymbolicStats, symbolic_fill};
 
 use crate::block::BlockMatrix;
 use crate::dist::{factor_distributed_checked, DistStats, FactorConfig, ScheduleMode};
@@ -393,9 +393,7 @@ impl Solver {
         let mut log_abs = 0.0f64;
         let mut sign: i8 = r.row_perm.parity() * r.col_perm.parity();
         for k in 0..self.factored.nblk() {
-            let d = self
-                .factored
-                .block(self.factored.block_id(k, k).expect("diag block"));
+            let d = self.factored.block(self.factored.block_id(k, k).expect("diag block"));
             for c in 0..d.ncols() {
                 let u = d.get(c, c);
                 if u == 0.0 {
@@ -442,16 +440,13 @@ impl Solver {
             // ξ = sign(y); z = A⁻ᵀ ξ.
             let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
             let z = self.solve_transpose(&xi)?;
-            let (jmax, zmax) = z
-                .iter()
-                .enumerate()
-                .fold((0usize, 0.0f64), |(bj, bv), (j, v)| {
-                    if v.abs() > bv {
-                        (j, v.abs())
-                    } else {
-                        (bj, bv)
-                    }
-                });
+            let (jmax, zmax) = z.iter().enumerate().fold((0usize, 0.0f64), |(bj, bv), (j, v)| {
+                if v.abs() > bv {
+                    (j, v.abs())
+                } else {
+                    (bj, bv)
+                }
+            });
             if y_norm <= est || zmax <= z.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>() {
                 est = est.max(y_norm);
                 break;
@@ -565,12 +560,7 @@ mod tests {
     #[test]
     fn all_fill_reducing_orderings_work() {
         let a = gen::cage_like(150, 3);
-        for f in [
-            FillReducing::Natural,
-            FillReducing::Amd,
-            FillReducing::Auto,
-            FillReducing::Rcm,
-        ] {
+        for f in [FillReducing::Natural, FillReducing::Amd, FillReducing::Auto, FillReducing::Rcm] {
             let opts = SolverOptions { fill_reducing: f, ..Default::default() };
             check_solve(&a, opts, 1e-8);
         }
@@ -603,10 +593,9 @@ mod tests {
 
     #[test]
     fn transpose_solve_solves_transposed_system() {
-        for (tag, a) in [
-            ("unsym", gen::random_sparse(60, 0.1, 3)),
-            ("circuit", gen::circuit(200, 5)),
-        ] {
+        for (tag, a) in
+            [("unsym", gen::random_sparse(60, 0.1, 3)), ("circuit", gen::circuit(200, 5))]
+        {
             let solver = Solver::factor(&a).unwrap();
             let x_true = gen::test_rhs(a.nrows(), 9);
             let b = pangulu_sparse::ops::spmv(&a.transpose(), &x_true).unwrap();
@@ -683,14 +672,9 @@ mod tests {
     #[test]
     fn condest_brackets_the_true_condition_number() {
         // diag(1, 10, 100): κ₁ = 100 exactly.
-        let d = CscMatrix::from_parts(
-            3,
-            3,
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2],
-            vec![1.0, 10.0, 100.0],
-        )
-        .unwrap();
+        let d =
+            CscMatrix::from_parts(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![1.0, 10.0, 100.0])
+                .unwrap();
         let solver = Solver::factor(&d).unwrap();
         let est = solver.condest(&d).unwrap();
         assert!((est - 100.0).abs() / 100.0 < 1e-10, "diag condest {est}");

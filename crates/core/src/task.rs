@@ -156,12 +156,9 @@ impl TaskGraph {
                     if let Some(c_id) = bm.block_id(i, j) {
                         ssssm.push((i, j, k));
                         indegree[c_id] += 1;
-                        let fl: f64 = a_colnnz[ai]
-                            .iter()
-                            .zip(&b_rowcnt[bj])
-                            .map(|(a, b)| a * b)
-                            .sum::<f64>()
-                            * 2.0;
+                        let fl: f64 =
+                            a_colnnz[ai].iter().zip(&b_rowcnt[bj]).map(|(a, b)| a * b).sum::<f64>()
+                                * 2.0;
                         update_flops[c_id] += fl;
                     }
                     // A missing (i, j) means the product is structurally

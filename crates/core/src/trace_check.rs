@@ -509,9 +509,7 @@ mod tests {
         let (bm, tg, owners, mut run) = checked_run(4, 3);
         let removed = run.trace.pop().expect("non-empty trace");
         let report = validate_run(&bm, &tg, &owners, &run);
-        assert!(report
-            .violations
-            .contains(&Violation::MissingTask { task: removed.task }));
+        assert!(report.violations.contains(&Violation::MissingTask { task: removed.task }));
     }
 
     #[test]
@@ -520,10 +518,9 @@ mod tests {
         let dup = run.trace[0];
         run.trace.push(dup);
         let report = validate_run(&bm, &tg, &owners, &run);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::DuplicateTask { task, count: 2 } if *task == dup.task)));
+        assert!(report.violations.iter().any(
+            |v| matches!(v, Violation::DuplicateTask { task, count: 2 } if *task == dup.task)
+        ));
     }
 
     #[test]

@@ -115,10 +115,7 @@ mod tests {
         let n = 6;
         let b = dense_block(n);
         let expect: f64 = (0..n)
-            .map(|j| {
-                (n - 1 - j) as f64
-                    + (0..j).map(|k| 2.0 * (n - 1 - k) as f64).sum::<f64>()
-            })
+            .map(|j| (n - 1 - j) as f64 + (0..j).map(|k| 2.0 * (n - 1 - k) as f64).sum::<f64>())
             .sum();
         assert_eq!(getrf_flops(&b), expect);
     }
@@ -139,8 +136,8 @@ mod tests {
         let n = 5;
         let diag = dense_block(n);
         let b = dense_block(n);
-        let expect = (n * n) as f64
-            + (0..n).map(|c| 2.0 * (n - 1 - c) as f64 * n as f64).sum::<f64>();
+        let expect =
+            (n * n) as f64 + (0..n).map(|c| 2.0 * (n - 1 - c) as f64 * n as f64).sum::<f64>();
         assert_eq!(tstrf_flops(&diag, &b), expect);
     }
 

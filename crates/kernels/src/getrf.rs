@@ -37,9 +37,7 @@ pub(crate) fn team_size() -> usize {
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
     })
 }
 
@@ -179,11 +177,8 @@ fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize
 
     let col_ptr: Vec<usize> = a.col_ptr().to_vec();
     let row_idx: Vec<usize> = a.row_idx().to_vec();
-    let shared = SfluShared {
-        col_ptr: &col_ptr,
-        row_idx: &row_idx,
-        values: a.values_mut().as_mut_ptr(),
-    };
+    let shared =
+        SfluShared { col_ptr: &col_ptr, row_idx: &row_idx, values: a.values_mut().as_mut_ptr() };
     let ready: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let next = AtomicUsize::new(0);
     let perturbed = AtomicUsize::new(0);
@@ -369,14 +364,9 @@ mod tests {
     fn pivot_floor_counts_perturbations() {
         // Diagonal block with an exactly zero pivot in a 1x1 trailing
         // position after elimination: A = [[1, 1], [1, 1]] has U(1,1) = 0.
-        let a = CscMatrix::from_parts(
-            2,
-            2,
-            vec![0, 2, 4],
-            vec![0, 1, 0, 1],
-            vec![1.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![1.0, 1.0, 1.0, 1.0])
+                .unwrap();
         let mut b = a.clone();
         let mut s = KernelScratch::with_capacity(2);
         let perturbed = getrf(&mut b, GetrfVariant::CV1, &mut s, 1e-8);
@@ -387,14 +377,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero pivot")]
     fn zero_pivot_without_floor_panics() {
-        let a = CscMatrix::from_parts(
-            2,
-            2,
-            vec![0, 2, 4],
-            vec![0, 1, 0, 1],
-            vec![1.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let a =
+            CscMatrix::from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![1.0, 1.0, 1.0, 1.0])
+                .unwrap();
         let mut b = a;
         let mut s = KernelScratch::with_capacity(2);
         getrf(&mut b, GetrfVariant::CV1, &mut s, 0.0);

@@ -91,11 +91,8 @@ mod tests {
     use super::*;
 
     fn sample_lu() -> DenseMatrix {
-        let mut a = DenseMatrix::from_column_major(
-            3,
-            3,
-            vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0],
-        );
+        let mut a =
+            DenseMatrix::from_column_major(3, 3, vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]);
         a.lu_in_place().unwrap();
         a
     }

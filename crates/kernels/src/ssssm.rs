@@ -205,8 +205,8 @@ fn update_col_binsearch(
             if aik == 0.0 {
                 continue;
             }
-            let pos = find_in_col(crows, i)
-                .expect("SSSSM update target missing: pattern not closed");
+            let pos =
+                find_in_col(crows, i).expect("SSSSM update target missing: pattern not closed");
             cvals[pos] -= aik * bkj;
         }
     }

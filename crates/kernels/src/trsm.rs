@@ -249,9 +249,8 @@ fn tstrf_unsync(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr) {
                         unsafe { std::slice::from_raw_parts_mut(vptr.get().add(lo), hi - lo) };
                     let get_col = |k: usize| -> (&[usize], &[f64]) {
                         let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
-                        let kv = unsafe {
-                            std::slice::from_raw_parts(vptr.get().add(klo), khi - klo)
-                        };
+                        let kv =
+                            unsafe { std::slice::from_raw_parts(vptr.get().add(klo), khi - klo) };
                         (&row_idx[klo..khi], kv)
                     };
                     tstrf_col(
@@ -405,12 +404,7 @@ fn solve_col_binsearch(l: &CscMatrix, diag: Option<&[f64]>, rows_c: &[usize], va
 /// factor's row `i` and binary-searching `x_k` in the column pattern;
 /// entries absent from the pattern are structural zeros and contribute
 /// nothing.
-fn solve_col_dot(
-    l_csr: &CsrMatrix,
-    diag: Option<&[f64]>,
-    rows_c: &[usize],
-    vals_c: &mut [f64],
-) {
+fn solve_col_dot(l_csr: &CsrMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals_c: &mut [f64]) {
     for p in 0..rows_c.len() {
         let i = rows_c[p];
         let mut acc = vals_c[p];
@@ -489,13 +483,8 @@ mod tests {
     use pangulu_sparse::ops::ensure_diagonal;
     use pangulu_symbolic::symbolic_fill;
 
-    const VARIANTS: [TrsmVariant; 5] = [
-        TrsmVariant::CV1,
-        TrsmVariant::CV2,
-        TrsmVariant::GV1,
-        TrsmVariant::GV2,
-        TrsmVariant::GV3,
-    ];
+    const VARIANTS: [TrsmVariant; 5] =
+        [TrsmVariant::CV1, TrsmVariant::CV2, TrsmVariant::GV1, TrsmVariant::GV2, TrsmVariant::GV3];
 
     /// Builds a factored diagonal block and compatible closed off-diagonal
     /// blocks from the fill pattern of a 2x2-block test matrix.

@@ -13,7 +13,10 @@ use pangulu_symbolic::symbolic_fill;
 
 /// A random diagonally dominant matrix of order `2 * nb`, filled and cut
 /// into the four blocks of a 2x2 block step.
-fn blocks(nb: usize, entries: &[(usize, usize, f64)]) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+fn blocks(
+    nb: usize,
+    entries: &[(usize, usize, f64)],
+) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
     let n = 2 * nb;
     let mut coo = CooMatrix::new(n, n);
     let mut row_sum = vec![0.0f64; n];
@@ -40,10 +43,7 @@ fn blocks(nb: usize, entries: &[(usize, usize, f64)]) -> (CscMatrix, CscMatrix, 
 
 fn inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (4usize..14).prop_flat_map(|nb| {
-        (
-            Just(nb),
-            proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 10..160),
-        )
+        (Just(nb), proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 10..160))
     })
 }
 
@@ -61,10 +61,7 @@ fn sparse_inputs(lo: usize, hi: usize) -> impl Strategy<Value = (usize, Vec<(usi
 /// Small orders with saturating fill: close-to-dense blocks.
 fn dense_inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (4usize..8).prop_flat_map(|nb| {
-        (
-            Just(nb),
-            proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 300..500),
-        )
+        (Just(nb), proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 300..500))
     })
 }
 
@@ -135,13 +132,9 @@ fn check_kernel_chain(
 
     let expect_u = reference::ref_gessm(&lu.to_dense(), &upper.to_dense());
     let expect_l = reference::ref_tstrf(&lu.to_dense(), &lower.to_dense());
-    for v in [
-        TrsmVariant::CV1,
-        TrsmVariant::CV2,
-        TrsmVariant::GV1,
-        TrsmVariant::GV2,
-        TrsmVariant::GV3,
-    ] {
+    for v in
+        [TrsmVariant::CV1, TrsmVariant::CV2, TrsmVariant::GV1, TrsmVariant::GV2, TrsmVariant::GV3]
+    {
         let mut b = upper.clone();
         trsm::gessm(&lu, &mut b, v, &mut scratch);
         assert!(b.to_dense().max_abs_diff(&expect_u) < 1e-9, "GESSM {v:?}");

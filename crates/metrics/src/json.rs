@@ -389,10 +389,7 @@ mod tests {
             ("ratio", Json::Num(0.1 + 0.2)),
             ("flag", Json::Bool(true)),
             ("nothing", Json::Null),
-            (
-                "items",
-                Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5e-3), Json::Str("x".into())]),
-            ),
+            ("items", Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5e-3), Json::Str("x".into())])),
             ("empty_arr", Json::Arr(vec![])),
             ("empty_obj", Json::Obj(vec![])),
         ]);

@@ -100,9 +100,10 @@ impl KernelTally {
     /// Non-empty entries as `(class_label, variant_label, slot)`.
     pub fn entries(&self) -> impl Iterator<Item = (&'static str, &'static str, KernelSlot)> + '_ {
         self.slots.iter().enumerate().flat_map(|(c, row)| {
-            row.iter().enumerate().filter(|(_, s)| s.calls > 0).map(move |(v, s)| {
-                (CLASS_LABELS[c], VARIANT_LABELS[v], *s)
-            })
+            row.iter()
+                .enumerate()
+                .filter(|(_, s)| s.calls > 0)
+                .map(move |(v, s)| (CLASS_LABELS[c], VARIANT_LABELS[v], *s))
         })
     }
 
@@ -552,10 +553,9 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             .iter()
             .position(|&c| c == class_label)
             .ok_or_else(|| JsonError { msg: format!("unknown class {class_label:?}"), at: 0 })?;
-        let variant = VARIANT_LABELS
-            .iter()
-            .position(|&v| v == variant_label)
-            .ok_or_else(|| JsonError { msg: format!("unknown variant {variant_label:?}"), at: 0 })?;
+        let variant = VARIANT_LABELS.iter().position(|&v| v == variant_label).ok_or_else(|| {
+            JsonError { msg: format!("unknown variant {variant_label:?}"), at: 0 }
+        })?;
         r.kernels.set(
             class,
             variant,

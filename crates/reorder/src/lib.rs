@@ -140,10 +140,7 @@ mod tests {
             // The matched+scaled diagonal must be structurally full and
             // nonzero everywhere for static pivoting.
             for j in 0..200 {
-                assert!(
-                    r.matrix.get(j, j).abs() > 1e-14,
-                    "zero diagonal at {j} with {method:?}"
-                );
+                assert!(r.matrix.get(j, j).abs() > 1e-14, "zero diagonal at {j} with {method:?}");
             }
         }
     }

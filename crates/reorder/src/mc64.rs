@@ -281,9 +281,7 @@ pub fn mc64_bottleneck(a: &CscMatrix) -> Result<(Permutation, f64)> {
     magnitudes.dedup();
 
     // Largest threshold admitting a perfect matching, by binary search.
-    let feasible = |thresh: f64| -> Option<Vec<usize>> {
-        max_matching_at(a, thresh)
-    };
+    let feasible = |thresh: f64| -> Option<Vec<usize>> { max_matching_at(a, thresh) };
     if feasible(magnitudes[0]).is_none() {
         return Err(SparseError::InvalidStructure(
             "matrix is structurally singular: no perfect matching".into(),
@@ -463,14 +461,8 @@ mod tests {
 
     #[test]
     fn bottleneck_on_diagonal_matrix_is_min_entry() {
-        let a = CscMatrix::from_parts(
-            3,
-            3,
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2],
-            vec![4.0, 0.25, 9.0],
-        )
-        .unwrap();
+        let a = CscMatrix::from_parts(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2], vec![4.0, 0.25, 9.0])
+            .unwrap();
         let (perm, value) = mc64_bottleneck(&a).unwrap();
         assert_eq!(perm, Permutation::identity(3));
         assert_eq!(value, 0.25);
@@ -483,9 +475,7 @@ mod tests {
             let (bperm, bval) = mc64_bottleneck(&a).unwrap();
             let m = mc64(&a).unwrap();
             let min_of = |p: &Permutation| -> f64 {
-                (0..30)
-                    .map(|j| a.get(p.old_of(j), j).abs())
-                    .fold(f64::INFINITY, f64::min)
+                (0..30).map(|j| a.get(p.old_of(j), j).abs()).fold(f64::INFINITY, f64::min)
             };
             assert!((min_of(&bperm) - bval).abs() < 1e-15);
             assert!(

@@ -153,10 +153,7 @@ fn pseudo_peripheral(
         last_height = levels.len();
         // Farthest vertex with minimal degree (classic GPS heuristic).
         let far = levels.last().expect("root level exists");
-        root = *far
-            .iter()
-            .min_by_key(|&&g| adj[g].len())
-            .expect("last level non-empty");
+        root = *far.iter().min_by_key(|&&g| adj[g].len()).expect("last level non-empty");
     }
     root
 }

@@ -30,10 +30,7 @@ const ORDERINGS: [FillReducing; 5] = [
 /// reduced modulo n on construction.
 fn matrix_inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (2usize..24).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0usize..64, 0usize..64, -5.0f64..5.0), 0..120),
-        )
+        (Just(n), proptest::collection::vec((0usize..64, 0usize..64, -5.0f64..5.0), 0..120))
     })
 }
 

@@ -69,11 +69,7 @@ impl CooMatrix {
 
     /// Iterates over the stored triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.rows
-            .iter()
-            .zip(self.cols.iter())
-            .zip(self.vals.iter())
-            .map(|((&r, &c), &v)| (r, c, v))
+        self.rows.iter().zip(self.cols.iter()).zip(self.vals.iter()).map(|((&r, &c), &v)| (r, c, v))
     }
 
     /// Builds a triplet matrix from parallel index/value slices.

@@ -410,8 +410,14 @@ mod tests {
         // [ 4 0 1 ]
         // [ 0 3 0 ]
         // [ 2 0 5 ]
-        CscMatrix::from_parts(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![4.0, 2.0, 3.0, 1.0, 5.0])
-            .unwrap()
+        CscMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![4.0, 2.0, 3.0, 1.0, 5.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -496,14 +502,8 @@ mod tests {
 
     #[test]
     fn drop_tolerance_keeps_diagonal() {
-        let m = CscMatrix::from_parts(
-            2,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 1],
-            vec![1e-30, 2.0, 1e-30],
-        )
-        .unwrap();
+        let m = CscMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1e-30, 2.0, 1e-30])
+            .unwrap();
         let d = m.drop_tolerance(1e-12);
         // Both tiny diagonal entries kept, the large off-diagonal kept.
         assert_eq!(d.nnz(), 3);

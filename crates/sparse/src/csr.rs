@@ -60,7 +60,9 @@ impl CsrMatrix {
         }
         for i in 0..self.nrows {
             if self.row_ptr[i] > self.row_ptr[i + 1] {
-                return Err(SparseError::InvalidStructure(format!("row_ptr not monotone at row {i}")));
+                return Err(SparseError::InvalidStructure(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
             }
             let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
             for w in row.windows(2) {

@@ -202,10 +202,7 @@ impl DenseMatrix {
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 
@@ -249,11 +246,8 @@ mod tests {
 
     #[test]
     fn lu_reconstructs_matrix() {
-        let mut a = DenseMatrix::from_column_major(
-            3,
-            3,
-            vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0],
-        );
+        let mut a =
+            DenseMatrix::from_column_major(3, 3, vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]);
         let orig = a.clone();
         a.lu_in_place().unwrap();
         let (l, u) = a.split_lu();
@@ -271,11 +265,8 @@ mod tests {
 
     #[test]
     fn triangular_solves_invert_lu() {
-        let mut a = DenseMatrix::from_column_major(
-            3,
-            3,
-            vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0],
-        );
+        let mut a =
+            DenseMatrix::from_column_major(3, 3, vec![4.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 6.0]);
         let orig = a.clone();
         a.lu_in_place().unwrap();
         let x_true = vec![1.0, -2.0, 3.0];

@@ -63,9 +63,7 @@ impl MatrixReport {
                 }
             }
         }
-        let dominant = (0..a.nrows())
-            .filter(|&i| row_diag[i].abs() > row_offdiag_sum[i])
-            .count();
+        let dominant = (0..a.nrows()).filter(|&i| row_diag[i].abs() > row_offdiag_sum[i]).count();
         let full_diagonal = a.is_square() && a.has_full_diagonal();
         let min_abs_diag = if full_diagonal {
             (0..n).map(|j| a.get(j, j).abs()).fold(f64::INFINITY, f64::min)
@@ -90,14 +88,23 @@ impl MatrixReport {
 
 impl std::fmt::Display for MatrixReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "n = {}, nnz = {} ({:.2}/row, max {})", self.n, self.nnz, self.avg_row_nnz, self.max_row_nnz)?;
+        writeln!(
+            f,
+            "n = {}, nnz = {} ({:.2}/row, max {})",
+            self.n, self.nnz, self.avg_row_nnz, self.max_row_nnz
+        )?;
         writeln!(
             f,
             "symmetry: structural {:.1}%, numerical {:.1}%",
             100.0 * self.structural_symmetry,
             100.0 * self.numerical_symmetry
         )?;
-        writeln!(f, "bandwidth {}, diagonally dominant rows {:.1}%", self.bandwidth, 100.0 * self.diag_dominant_rows)?;
+        writeln!(
+            f,
+            "bandwidth {}, diagonally dominant rows {:.1}%",
+            self.bandwidth,
+            100.0 * self.diag_dominant_rows
+        )?;
         write!(
             f,
             "diagonal: {}, max|a| = {:.3e}, min|diag| = {:.3e}",

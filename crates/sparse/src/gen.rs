@@ -409,10 +409,18 @@ pub const PAPER_MATRICES: [PaperMatrix; 16] = [
     PaperMatrix { name: "audikw_1", domain: "Structural", class: MatrixClass::FemBlocked },
     PaperMatrix { name: "cage12", domain: "DNA Electrophoresis", class: MatrixClass::Cage },
     PaperMatrix { name: "CoupCons3D", domain: "Structural", class: MatrixClass::FemBlocked },
-    PaperMatrix { name: "dielFilterV3real", domain: "Electromagnetics", class: MatrixClass::FemBlocked },
+    PaperMatrix {
+        name: "dielFilterV3real",
+        domain: "Electromagnetics",
+        class: MatrixClass::FemBlocked,
+    },
     PaperMatrix { name: "ecology1", domain: "2D/3D", class: MatrixClass::Grid2d },
     PaperMatrix { name: "G3_circuit", domain: "Circuit Simulation", class: MatrixClass::Grid2d },
-    PaperMatrix { name: "Ga41As41H72", domain: "Quantum Chemistry", class: MatrixClass::DenseBanded },
+    PaperMatrix {
+        name: "Ga41As41H72",
+        domain: "Quantum Chemistry",
+        class: MatrixClass::DenseBanded,
+    },
     PaperMatrix { name: "Hook_1498", domain: "Structural", class: MatrixClass::FemBlocked },
     PaperMatrix { name: "inline_1", domain: "Structural", class: MatrixClass::FemBlocked },
     PaperMatrix { name: "ldoor", domain: "Structural", class: MatrixClass::FemBlocked },

@@ -58,7 +58,10 @@ pub fn read_matrix_market_from(reader: impl BufRead) -> Result<CscMatrix> {
         return Err(SparseError::Parse(format!("bad header line: {header}")));
     }
     if tokens[2] != "coordinate" {
-        return Err(SparseError::Parse(format!("unsupported format {} (only coordinate)", tokens[2])));
+        return Err(SparseError::Parse(format!(
+            "unsupported format {} (only coordinate)",
+            tokens[2]
+        )));
     }
     let field = match tokens[3].as_str() {
         "real" => Field::Real,
@@ -173,10 +176,7 @@ pub fn read_matrix_market_dense_from(reader: impl BufRead) -> Result<crate::Dens
         return Err(SparseError::Parse(format!("bad header line: {header}")));
     }
     if tokens[2] != "array" {
-        return Err(SparseError::Parse(format!(
-            "expected array format, found {}",
-            tokens[2]
-        )));
+        return Err(SparseError::Parse(format!("expected array format, found {}", tokens[2])));
     }
     if tokens[3] != "real" && tokens[3] != "integer" {
         return Err(SparseError::Parse(format!("unsupported field {}", tokens[3])));
@@ -212,9 +212,7 @@ pub fn read_matrix_market_dense_from(reader: impl BufRead) -> Result<crate::Dens
             if tok.starts_with('%') {
                 break;
             }
-            let v: f64 = tok
-                .parse()
-                .map_err(|_| SparseError::Parse(format!("bad value {tok}")))?;
+            let v: f64 = tok.parse().map_err(|_| SparseError::Parse(format!("bad value {tok}")))?;
             data.push(v);
         }
     }
@@ -252,7 +250,8 @@ mod tests {
 
     #[test]
     fn parse_general_real() {
-        let data = "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 4.0\n3 2 -1.5\n";
+        let data =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 4.0\n3 2 -1.5\n";
         let m = read_matrix_market_from(data.as_bytes()).unwrap();
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.get(0, 0), 4.0);
@@ -302,7 +301,8 @@ mod tests {
 
     #[test]
     fn parse_dense_array() {
-        let data = "%%MatrixMarket matrix array real general\n% rhs\n3 2\n1.0\n2.0\n3.0\n4.0\n5.0\n6.0\n";
+        let data =
+            "%%MatrixMarket matrix array real general\n% rhs\n3 2\n1.0\n2.0\n3.0\n4.0\n5.0\n6.0\n";
         let m = read_matrix_market_dense_from(data.as_bytes()).unwrap();
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.ncols(), 2);

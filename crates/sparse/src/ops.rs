@@ -202,8 +202,14 @@ mod tests {
     use super::*;
 
     fn sample() -> CscMatrix {
-        CscMatrix::from_parts(3, 3, vec![0, 2, 3, 5], vec![0, 2, 1, 0, 2], vec![4.0, 2.0, 3.0, 1.0, 5.0])
-            .unwrap()
+        CscMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![4.0, 2.0, 3.0, 1.0, 5.0],
+        )
+        .unwrap()
     }
 
     #[test]

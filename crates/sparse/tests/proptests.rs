@@ -10,10 +10,7 @@ use pangulu_sparse::{CooMatrix, CscMatrix, Permutation};
 /// modulo n on construction.
 fn matrix_inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
     (2usize..28).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0usize..64, 0usize..64, -5.0f64..5.0), 0..150),
-        )
+        (Just(n), proptest::collection::vec((0usize..64, 0usize..64, -5.0f64..5.0), 0..150))
     })
 }
 

@@ -34,10 +34,7 @@ impl SnBlockMatrix {
     /// Builds the blocked form of a filled (closed-pattern) matrix.
     pub fn from_filled(filled: &CscMatrix, part: SupernodePartition) -> Result<Self> {
         if !filled.is_square() {
-            return Err(SparseError::NotSquare {
-                nrows: filled.nrows(),
-                ncols: filled.ncols(),
-            });
+            return Err(SparseError::NotSquare { nrows: filled.nrows(), ncols: filled.ncols() });
         }
         let n = filled.ncols();
         let nsn = part.len();
@@ -65,10 +62,8 @@ impl SnBlockMatrix {
             for (k, &si) in present.iter().enumerate() {
                 slot[si] = k;
             }
-            let mut col_blocks: Vec<DenseMatrix> = present
-                .iter()
-                .map(|&si| DenseMatrix::zeros(part.width(si), cols.len()))
-                .collect();
+            let mut col_blocks: Vec<DenseMatrix> =
+                present.iter().map(|&si| DenseMatrix::zeros(part.width(si), cols.len())).collect();
             let mut col_true = vec![0usize; present.len()];
             for j in cols.clone() {
                 let (rows, vals) = filled.col(j);

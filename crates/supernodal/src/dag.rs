@@ -48,9 +48,7 @@ pub struct SnTask {
 pub fn supernode_levels(fill: &FilledPattern, sbm: &SnBlockMatrix) -> Vec<usize> {
     let col_levels = fill.etree.levels();
     let part = sbm.partition();
-    (0..sbm.nsn())
-        .map(|s| part.cols(s).map(|c| col_levels[c]).max().unwrap_or(0))
-        .collect()
+    (0..sbm.nsn()).map(|s| part.cols(s).map(|c| col_levels[c]).max().unwrap_or(0)).collect()
 }
 
 /// Builds the baseline task DAG from the blocked structure.
@@ -98,11 +96,9 @@ pub fn build_dag(sbm: &SnBlockMatrix, levels: &[usize]) -> Vec<SnTask> {
     }
     // GEMM tasks.
     for (k, &level) in levels.iter().enumerate().take(nsn) {
-        let l_blocks: Vec<(usize, usize)> =
-            sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
-        let u_blocks: Vec<(usize, usize)> = (k + 1..nsn)
-            .filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id)))
-            .collect();
+        let l_blocks: Vec<(usize, usize)> = sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
+        let u_blocks: Vec<(usize, usize)> =
+            (k + 1..nsn).filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id))).collect();
         for &(si, a_id) in &l_blocks {
             for &(sj, b_id) in &u_blocks {
                 let Some(c_id) = sbm.block_id(si, sj) else { continue };

@@ -383,8 +383,7 @@ mod tests {
         let a = gen::circuit(300, 2);
         let lu = SupernodalLu::factor(&a, SupernodalOptions::default()).unwrap();
         let fill = pangulu_symbolic::symbolic_fill(&lu.reordering().matrix).unwrap();
-        let sparse =
-            pangulu_symbolic::stats::stats_from_fill(&lu.reordering().matrix, &fill);
+        let sparse = pangulu_symbolic::stats::stats_from_fill(&lu.reordering().matrix, &fill);
         assert!(
             lu.stats().dense_flops > sparse.flops,
             "dense {} vs sparse {}",

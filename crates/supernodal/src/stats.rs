@@ -62,11 +62,9 @@ pub fn gemm_density_histogram(sbm: &SnBlockMatrix) -> GemmDensityHistogram {
     let nsn = sbm.nsn();
     let mut counts = [[0usize; 10]; 3];
     for k in 0..nsn {
-        let l_blocks: Vec<(usize, usize)> =
-            sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
-        let u_blocks: Vec<(usize, usize)> = (k + 1..nsn)
-            .filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id)))
-            .collect();
+        let l_blocks: Vec<(usize, usize)> = sbm.col_blocks(k).filter(|&(si, _)| si > k).collect();
+        let u_blocks: Vec<(usize, usize)> =
+            (k + 1..nsn).filter_map(|sj| sbm.block_id(k, sj).map(|id| (sj, id))).collect();
         for &(si, a_id) in &l_blocks {
             for &(sj, b_id) in &u_blocks {
                 let Some(c_id) = sbm.block_id(si, sj) else { continue };

@@ -108,24 +108,23 @@ pub fn detect(fill: &FilledPattern, opts: SupernodeOptions) -> SupernodePartitio
     // Padding accumulated inside the open supernode; committed on close.
     let mut cur_padding = 0usize;
 
-    let close =
-        |start: usize,
-         end: usize,
-         rows: &mut Vec<usize>,
-         pad: usize,
-         starts: &mut Vec<usize>,
-         below: &mut Vec<Vec<usize>>,
-         sn_of: &mut Vec<usize>,
-         padding: &mut usize| {
-            let s = below.len();
-            sn_of[start..end].fill(s);
-            // Rows inside [start, end) belong to the (dense) diagonal
-            // part, not the below-panel.
-            rows.retain(|&r| r >= end);
-            below.push(std::mem::take(rows));
-            starts.push(end);
-            *padding += pad;
-        };
+    let close = |start: usize,
+                 end: usize,
+                 rows: &mut Vec<usize>,
+                 pad: usize,
+                 starts: &mut Vec<usize>,
+                 below: &mut Vec<Vec<usize>>,
+                 sn_of: &mut Vec<usize>,
+                 padding: &mut usize| {
+        let s = below.len();
+        sn_of[start..end].fill(s);
+        // Rows inside [start, end) belong to the (dense) diagonal
+        // part, not the below-panel.
+        rows.retain(|&r| r >= end);
+        below.push(std::mem::take(rows));
+        starts.push(end);
+        *padding += pad;
+    };
 
     for j in 1..n {
         let prev = j - 1;
@@ -163,9 +162,9 @@ pub fn detect(fill: &FilledPattern, opts: SupernodeOptions) -> SupernodePartitio
             // union below row j; count slots not in the true structures.
             // Approximate per-merge: (union - true_j) for the new column
             // plus (union - previous union) for each existing column.
-            let grow = union_rows.len().saturating_sub(cur_rows.len().saturating_sub(
-                usize::from(cur_rows.binary_search(&j).is_ok()),
-            ));
+            let grow = union_rows.len().saturating_sub(
+                cur_rows.len().saturating_sub(usize::from(cur_rows.binary_search(&j).is_ok())),
+            );
             let new_col_pad = union_rows.len() - col_j.len();
             let pad_added = new_col_pad + grow * width;
             if pad_added <= opts.relax * (width + 1) {

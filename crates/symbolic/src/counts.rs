@@ -82,11 +82,7 @@ mod tests {
             let counts = fill_counts_symmetric(&a).unwrap();
             let full = symbolic_fill_symmetric(&a).unwrap();
             for j in 0..40 {
-                assert_eq!(
-                    counts.l_col_counts[j],
-                    full.l_col(j).len(),
-                    "column {j}, seed {seed}"
-                );
+                assert_eq!(counts.l_col_counts[j], full.l_col(j).len(), "column {j}, seed {seed}");
             }
             assert_eq!(counts.nnz_lu(), full.nnz_lu());
         }

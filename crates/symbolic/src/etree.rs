@@ -156,9 +156,7 @@ mod tests {
                 }
             }
         }
-        (0..n)
-            .map(|j| (j + 1..n).find(|&i| pat[i][j]).unwrap_or(NO_PARENT))
-            .collect()
+        (0..n).map(|j| (j + 1..n).find(|&i| pat[i][j]).unwrap_or(NO_PARENT)).collect()
     }
 
     #[test]

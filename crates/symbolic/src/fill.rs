@@ -88,9 +88,7 @@ impl FilledPattern {
         for j in 0..n {
             let (rows, vals) = a.col(j);
             for (&i, &v) in rows.iter().zip(vals) {
-                let pos = filled
-                    .find(i, j)
-                    .expect("fill pattern must contain every entry of A");
+                let pos = filled.find(i, j).expect("fill pattern must contain every entry of A");
                 filled.values_mut()[pos] = v;
             }
         }

@@ -159,9 +159,7 @@ mod tests {
                 }
             }
         }
-        let l = (0..n)
-            .map(|j| (j + 1..n).filter(|&i| pat[i][j]).collect::<Vec<_>>())
-            .collect();
+        let l = (0..n).map(|j| (j + 1..n).filter(|&i| pat[i][j]).collect::<Vec<_>>()).collect();
         let u = (0..n).map(|j| (0..=j).filter(|&i| pat[i][j]).collect::<Vec<_>>()).collect();
         (l, u)
     }

@@ -83,10 +83,12 @@ mod tests {
         let a = gen::random_sparse(n, 1.0, 1);
         let f = symbolic_fill(&a).unwrap();
         let s = stats_from_fill(&a, &f);
-        let expect = (0..n).map(|k| {
-            let lk = (n - 1 - k) as f64;
-            lk + 2.0 * lk * lk
-        }).sum::<f64>();
+        let expect = (0..n)
+            .map(|k| {
+                let lk = (n - 1 - k) as f64;
+                lk + 2.0 * lk * lk
+            })
+            .sum::<f64>();
         assert_eq!(s.flops, expect);
         assert_eq!(s.nnz_lu, n * n);
     }

@@ -63,11 +63,7 @@ fn main() {
         let resid = ops::relative_residual(&g, &x, &b).expect("residual");
         worst = worst.max(resid);
         let x_ref = baseline.solve(&b).expect("baseline solve");
-        let diff = x
-            .iter()
-            .zip(&x_ref)
-            .map(|(p, q)| (p - q).abs())
-            .fold(0.0f64, f64::max);
+        let diff = x.iter().zip(&x_ref).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
         assert!(diff < 1e-6, "solvers disagree at step {step}: {diff}");
         state = x;
     }

@@ -28,11 +28,8 @@ fn main() {
         for (label, mode) in
             [("sync-free", ScheduleMode::SyncFree), ("level-set", ScheduleMode::LevelSet)]
         {
-            let solver = Solver::builder()
-                .ranks(ranks)
-                .schedule(mode)
-                .build(&a)
-                .expect("factorisation");
+            let solver =
+                Solver::builder().ranks(ranks).schedule(mode).build(&a).expect("factorisation");
             let b = gen::test_rhs(a.nrows(), 5);
             let x = solver.solve(&b).expect("solve");
             let resid = ops::relative_residual(&a, &x, &b).unwrap();
@@ -53,11 +50,9 @@ fn main() {
     println!("\nDES projection (A100-class profile), sync-free schedule:");
     println!("ranks   simulated-time   speedup   messages");
     let prep = {
-        let r = pangulu::reorder::reorder_for_lu(
-            &a,
-            pangulu::reorder::FillReducing::NestedDissection,
-        )
-        .unwrap();
+        let r =
+            pangulu::reorder::reorder_for_lu(&a, pangulu::reorder::FillReducing::NestedDissection)
+                .unwrap();
         let fill = pangulu::symbolic::symbolic_fill(&r.matrix).unwrap();
         let filled = fill.filled_matrix(&r.matrix).unwrap();
         let nb = pangulu::core::BlockMatrix::choose_block_size(a.ncols(), fill.nnz_lu(), 16);
@@ -73,11 +68,6 @@ fn main() {
         if p == 1 {
             t1 = r.makespan;
         }
-        println!(
-            "{p:>5}   {:>12.3e}s   {:>6.2}x   {:>8}",
-            r.makespan,
-            t1 / r.makespan,
-            r.messages
-        );
+        println!("{p:>5}   {:>12.3e}s   {:>6.2}x   {:>8}", r.makespan, t1 / r.makespan, r.messages);
     }
 }

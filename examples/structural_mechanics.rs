@@ -29,10 +29,7 @@ fn main() {
         ("amd", FillReducing::Amd),
         ("nested-diss", FillReducing::NestedDissection),
     ] {
-        let solver = Solver::builder()
-            .fill_reducing(method)
-            .build(&k)
-            .expect("factorisation");
+        let solver = Solver::builder().fill_reducing(method).build(&k).expect("factorisation");
         let sym = solver.stats().symbolic.unwrap();
         println!("{name:<14} {:>10}  {:>9.3e}", sym.nnz_lu, sym.flops);
         solvers.push((name, solver));
@@ -56,11 +53,7 @@ fn main() {
     let reference = solver.solve(&f).unwrap();
     for (name, s) in &solvers {
         let u = s.solve(&f).unwrap();
-        let diff = u
-            .iter()
-            .zip(&reference)
-            .map(|(p, q)| (p - q).abs())
-            .fold(0.0f64, f64::max);
+        let diff = u.iter().zip(&reference).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
         assert!(diff < 1e-7, "{name} disagrees: {diff}");
     }
     println!("all orderings agree on the solution");

@@ -126,8 +126,7 @@ fn parse_args() -> Cli {
             "--no-balance" => cli.balance = false,
             "--no-adaptive" => cli.adaptive = false,
             "--refine" => {
-                cli.refine =
-                    Some(next(&mut args, "--refine").parse().unwrap_or_else(|_| usage()))
+                cli.refine = Some(next(&mut args, "--refine").parse().unwrap_or_else(|_| usage()))
             }
             "--rhs" => cli.rhs = Some(next(&mut args, "--rhs")),
             "--out" => cli.out = Some(next(&mut args, "--out")),

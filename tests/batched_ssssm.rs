@@ -51,9 +51,7 @@ fn factor(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> (CscMatri
 /// A delay+reorder plan: jitters arrival enough to produce a spread of
 /// batch widths without changing which messages exist.
 fn jitter(seed: u64) -> FaultPlan {
-    FaultPlan::reliable(seed)
-        .with_delays(0.5, Duration::from_micros(250))
-        .with_reordering(3)
+    FaultPlan::reliable(seed).with_delays(0.5, Duration::from_micros(250)).with_reordering(3)
 }
 
 /// Batched factors are bitwise equal to forced one-at-a-time factors on
@@ -69,8 +67,7 @@ fn batched_matches_one_at_a_time_bitwise() {
         for (pr, pc) in GRIDS {
             let base = FactorConfig::with_mode(ScheduleMode::SyncFree);
             let (batched, nb) = factor(&prob, pr, pc, &base.clone());
-            let (serial, ns) =
-                factor(&prob, pr, pc, &base.clone().with_ssssm_batching(false));
+            let (serial, ns) = factor(&prob, pr, pc, &base.clone().with_ssssm_batching(false));
             assert_eq!(ns, 0, "seed {seed} {pr}x{pc}: batching-off run still fused");
             assert_eq!(
                 batched.values(),
@@ -78,11 +75,10 @@ fn batched_matches_one_at_a_time_bitwise() {
                 "seed {seed} {pr}x{pc}: batched SSSSM diverged from one-at-a-time"
             );
 
-            let jittered = FactorConfig::with_mode(ScheduleMode::SyncFree)
-                .with_fault(jitter(seed * 7 + 1));
+            let jittered =
+                FactorConfig::with_mode(ScheduleMode::SyncFree).with_fault(jitter(seed * 7 + 1));
             let (batched_j, nj) = factor(&prob, pr, pc, &jittered.clone());
-            let (serial_j, _) =
-                factor(&prob, pr, pc, &jittered.with_ssssm_batching(false));
+            let (serial_j, _) = factor(&prob, pr, pc, &jittered.with_ssssm_batching(false));
             assert_eq!(
                 batched_j.values(),
                 serial_j.values(),
@@ -96,10 +92,7 @@ fn batched_matches_one_at_a_time_bitwise() {
             fused_total += nb + nj;
         }
     }
-    assert!(
-        fused_total > 0,
-        "no run ever fused a batch — the bitwise comparison is vacuous"
-    );
+    assert!(fused_total > 0, "no run ever fused a batch — the bitwise comparison is vacuous");
 }
 
 /// LevelSet mode never batches (its barriers are defined per update), so
@@ -109,8 +102,7 @@ fn levelset_is_unaffected_by_the_toggle() {
     let prob = problem(36);
     let (sync, _) = factor(&prob, 2, 2, &FactorConfig::with_mode(ScheduleMode::SyncFree));
     for on in [true, false] {
-        let cfg =
-            FactorConfig::with_mode(ScheduleMode::LevelSet).with_ssssm_batching(on);
+        let cfg = FactorConfig::with_mode(ScheduleMode::LevelSet).with_ssssm_batching(on);
         let (f, fused) = factor(&prob, 2, 2, &cfg);
         assert_eq!(fused, 0, "LevelSet fused a batch despite per-step barriers");
         assert_eq!(

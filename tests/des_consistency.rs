@@ -32,8 +32,7 @@ fn des_message_traffic_matches_executor_exactly() {
         let sim = simulate(&sim_tasks, p, &prof, SimMode::SyncFree);
 
         let sel = KernelSelector::new(nnz, Thresholds::default());
-        let real =
-            factor_distributed(&mut bm, &tg, &owners, &sel, 1e-12, ScheduleMode::SyncFree);
+        let real = factor_distributed(&mut bm, &tg, &owners, &sel, 1e-12, ScheduleMode::SyncFree);
 
         assert_eq!(
             sim.messages, real.messages,

@@ -6,9 +6,7 @@
 //! {1×1, 1×2, 2×2, 3×2} × {SyncFree, LevelSet} matrix.
 
 use pangulu::comm::ProcessGrid;
-use pangulu::core::dist::{
-    factor_distributed_checked, FactorConfig, ScheduleMode,
-};
+use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
 use pangulu::core::layout::OwnerMap;
 use pangulu::core::task::TaskGraph;
 use pangulu::core::trisolve::{backward_substitute, forward_substitute};
@@ -100,8 +98,7 @@ fn residuals_hold_across_the_full_matrix() {
         for (pr, pc) in grids() {
             for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
                 let mut bm = prob.bm.clone();
-                let owners =
-                    OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+                let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
                 factor_distributed_checked(
                     &mut bm,
                     &prob.tg,

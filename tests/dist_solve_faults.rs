@@ -107,9 +107,5 @@ fn fault_free_path_is_unchanged() {
     let b = gen::test_rhs(f.bm.n(), 5);
     let reference = sequential_solve(&f.bm, &b);
     assert_close(&solve_distributed(&f.bm, &owners, &b), &reference, "no-fault entry");
-    assert_close(
-        &solve_distributed_with_faults(&f.bm, &owners, &b, None),
-        &reference,
-        "None plan",
-    );
+    assert_close(&solve_distributed_with_faults(&f.bm, &owners, &b, None), &reference, "None plan");
 }

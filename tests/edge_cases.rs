@@ -48,8 +48,12 @@ fn more_ranks_than_blocks() {
     // 2x2 block grid, 8 ranks: most ranks own nothing and must exit
     // cleanly in both the factorisation and the distributed solve.
     let a = gen::cage_like(60, 5);
-    let solver =
-        Solver::builder().block_size(30).ranks(8).schedule(ScheduleMode::SyncFree).build(&a).unwrap();
+    let solver = Solver::builder()
+        .block_size(30)
+        .ranks(8)
+        .schedule(ScheduleMode::SyncFree)
+        .build(&a)
+        .unwrap();
     let b = gen::test_rhs(60, 2);
     let x = solver.solve(&b).unwrap();
     assert!(relative_residual(&a, &x, &b).unwrap() < 1e-10);

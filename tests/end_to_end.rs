@@ -40,8 +40,7 @@ fn distributed_factor_matches_sequential() {
         let dist = Solver::builder().ranks(4).build(&a).unwrap();
         let xs = seq.solve(&b).unwrap();
         let xd = dist.solve(&b).unwrap();
-        let diff =
-            xs.iter().zip(&xd).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        let diff = xs.iter().zip(&xd).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
         let scale = xs.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
         assert!(diff / scale < 1e-10, "{name}: solutions differ by {diff}");
     }

@@ -7,14 +7,12 @@
 use std::time::{Duration, Instant};
 
 use pangulu::comm::{FaultPlan, ProcessGrid};
-use pangulu::core::dist::{
-    factor_distributed_checked, FactorConfig, FactorRun, ScheduleMode,
-};
+use pangulu::core::dist::{factor_distributed_checked, FactorConfig, FactorRun, ScheduleMode};
 use pangulu::core::layout::OwnerMap;
 use pangulu::core::task::TaskGraph;
 use pangulu::core::trace_check::validate_run;
-use pangulu::core::BlockMatrix;
 use pangulu::core::trisolve::{backward_substitute, forward_substitute};
+use pangulu::core::BlockMatrix;
 use pangulu::kernels::select::{KernelSelector, Thresholds};
 use pangulu::sparse::gen;
 use pangulu::sparse::ops::relative_residual;

@@ -53,9 +53,7 @@ fn factor(prob: &Problem, cfg: &FactorConfig) -> (RunReport, CscMatrix) {
 /// A delay+reorder plan (no drops): perturbs timing and arrival order
 /// without changing which messages exist, so work counters must hold.
 fn jitter_plan(seed: u64) -> FaultPlan {
-    FaultPlan::reliable(seed)
-        .with_delays(0.4, Duration::from_micros(300))
-        .with_reordering(3)
+    FaultPlan::reliable(seed).with_delays(0.4, Duration::from_micros(300)).with_reordering(3)
 }
 
 /// Same seed, grid and fault plan: the timing-free projections of two

@@ -21,14 +21,8 @@ fn traced_run(p: usize, seed: u64) -> (TaskGraph, Vec<TraceEvent>) {
     let tg = TaskGraph::build(&bm);
     let owners = OwnerMap::balanced(&bm, ProcessGrid::new(p), &tg);
     let sel = KernelSelector::new(a.nnz(), Thresholds::default());
-    let (_, trace) = factor_distributed_traced(
-        &mut bm,
-        &tg,
-        &owners,
-        &sel,
-        1e-12,
-        ScheduleMode::SyncFree,
-    );
+    let (_, trace) =
+        factor_distributed_traced(&mut bm, &tg, &owners, &sel, 1e-12, ScheduleMode::SyncFree);
     (tg, trace)
 }
 
@@ -109,14 +103,8 @@ fn level_set_trace_respects_step_barriers() {
     let tg = TaskGraph::build(&bm);
     let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(3));
     let sel = KernelSelector::new(a.nnz(), Thresholds::default());
-    let (_, trace) = factor_distributed_traced(
-        &mut bm,
-        &tg,
-        &owners,
-        &sel,
-        1e-12,
-        ScheduleMode::LevelSet,
-    );
+    let (_, trace) =
+        factor_distributed_traced(&mut bm, &tg, &owners, &sel, 1e-12, ScheduleMode::LevelSet);
     // Under level-set scheduling, a step-k task can never start before
     // every step-(k-1) task has ended (the barrier).
     let mut step_end = vec![std::time::Duration::ZERO; bm.nblk() + 1];

@@ -15,10 +15,7 @@ fn agree(name: &str, a: &pangulu::sparse::CscMatrix, tol: f64) {
     let xs = s.solve(&b).unwrap();
     let scale = xp.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
     for (i, (u, v)) in xp.iter().zip(&xs).enumerate() {
-        assert!(
-            (u - v).abs() / scale < tol,
-            "{name}: solvers disagree at {i}: {u} vs {v}"
-        );
+        assert!((u - v).abs() / scale < tol, "{name}: solvers disagree at {i}: {u} vs {v}");
     }
     // Both must actually solve the system.
     assert!(relative_residual(a, &xp, &b).unwrap() < tol);

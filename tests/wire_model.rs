@@ -136,14 +136,11 @@ fn per_edge_accounting_matches_prechange_fixture() {
         let prob = problem(seed, n, nb);
         for (pr, pc) in GRIDS {
             let grid = format!("{pr}x{pc}");
-            let report =
-                factor(&prob, pr, pc, &FactorConfig::with_mode(ScheduleMode::SyncFree));
+            let report = factor(&prob, pr, pc, &FactorConfig::with_mode(ScheduleMode::SyncFree));
             let mut observed: Vec<(usize, usize, u64, u64)> = report
                 .per_rank
                 .iter()
-                .flat_map(|r| {
-                    r.comm.edges.iter().map(move |e| (r.rank, e.to, e.msgs, e.bytes))
-                })
+                .flat_map(|r| r.comm.edges.iter().map(move |e| (r.rank, e.to, e.msgs, e.bytes)))
                 .filter(|&(_, _, msgs, _)| msgs > 0)
                 .collect();
             observed.sort_unstable();
@@ -185,9 +182,7 @@ fn without_timings_equal_across_fault_plans() {
         None,
         Some(FaultPlan::reliable(7).with_delays(0.4, Duration::from_micros(300))),
         Some(
-            FaultPlan::reliable(13)
-                .with_delays(0.7, Duration::from_micros(150))
-                .with_reordering(4),
+            FaultPlan::reliable(13).with_delays(0.7, Duration::from_micros(150)).with_reordering(4),
         ),
         Some(FaultPlan::reliable(99).with_reordering(2)),
     ];
@@ -202,10 +197,7 @@ fn without_timings_equal_across_fault_plans() {
             projections.push(factor(&prob, 2, 2, &cfg).without_timings());
         }
         for (i, p) in projections.iter().enumerate().skip(1) {
-            assert_eq!(
-                &projections[0], p,
-                "{mode:?}: plan {i} changed the timing-free report"
-            );
+            assert_eq!(&projections[0], p, "{mode:?}: plan {i} changed the timing-free report");
         }
     }
 }
