@@ -5,8 +5,10 @@
 //! bench_compare --self-test <baseline.json> [--tol <frac>]
 //! ```
 //!
-//! Diffs a fresh `BENCH_smoke.json` (see the `smoke` bin) against the
-//! checked-in baseline and exits non-zero on a regression:
+//! Diffs a fresh benchmark emission (`BENCH_smoke.json` from the `smoke`
+//! bin, or `BENCH_refactor.json` from `bench_refactor`) against the
+//! checked-in baseline of the same schema and exits non-zero on a
+//! regression:
 //!
 //! * **work counters** (messages, bytes, tasks, kernel calls, per-class
 //!   calls, copy/alloc counters, observed/model FLOPs) are deterministic
@@ -29,12 +31,18 @@ use std::process::ExitCode;
 
 use pangulu_metrics::json::Json;
 
-const SCHEMA: &str = "pangulu-bench-smoke-v1";
+/// Accepted document schemas: the single-shot smoke corpus and the
+/// refactorisation (steady-state) corpus. Baseline and fresh must carry
+/// the *same* schema — the gate never compares across benchmark kinds.
+const SCHEMAS: [&str; 2] = ["pangulu-bench-smoke-v1", "pangulu-bench-refactor-v1"];
 const DEFAULT_TOL: f64 = 0.15;
 const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// Counters compared exactly; FLOPs get a tiny relative slack for the
-/// f64 round-trip through JSON text.
-const EXACT_KEYS: [&str; 7] = [
+/// f64 round-trip through JSON text. The phase counters pin the
+/// analyze/factor split: any recomputed analysis work in a steady-state
+/// refactorisation run shows up here as a hard failure, not a wall-time
+/// wobble.
+const EXACT_KEYS: [&str; 12] = [
     "msgs",
     "bytes",
     "tasks",
@@ -42,6 +50,11 @@ const EXACT_KEYS: [&str; 7] = [
     "bytes_copied",
     "payload_allocs",
     "pattern_cache_hits",
+    "reorder_runs",
+    "symbolic_runs",
+    "preprocess_runs",
+    "numeric_runs",
+    "analysis_reuses",
 ];
 const FLOP_KEYS: [&str; 2] = ["observed_flops", "predicted_flops"];
 const FLOP_RTOL: f64 = 1e-9;
@@ -57,7 +70,7 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Json {
+fn load(path: &str) -> (Json, String) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("bench_compare: reading {path}: {e}");
         std::process::exit(2);
@@ -67,9 +80,12 @@ fn load(path: &str) -> Json {
         std::process::exit(2);
     });
     match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == SCHEMA => doc,
+        Some(s) if SCHEMAS.contains(&s) => {
+            let schema = s.to_string();
+            (doc, schema)
+        }
         other => {
-            eprintln!("bench_compare: {path}: expected schema {SCHEMA:?}, found {other:?}");
+            eprintln!("bench_compare: {path}: expected one of {SCHEMAS:?}, found {other:?}");
             std::process::exit(2);
         }
     }
@@ -231,7 +247,7 @@ fn main() -> ExitCode {
 
     if self_test {
         let [baseline] = paths.as_slice() else { usage() };
-        let base = load(baseline);
+        let (base, _) = load(baseline);
         let slowed = inflate_walls(&base, SELF_TEST_SLOWDOWN);
         let fails = compare(&base, &slowed, tol);
         if fails.is_empty() {
@@ -250,8 +266,15 @@ fn main() -> ExitCode {
     }
 
     let [baseline, fresh] = paths.as_slice() else { usage() };
-    let base = load(baseline);
-    let new = load(fresh);
+    let (base, base_schema) = load(baseline);
+    let (new, fresh_schema) = load(fresh);
+    if base_schema != fresh_schema {
+        eprintln!(
+            "bench_compare: schema mismatch: {baseline} is {base_schema:?} but \
+             {fresh} is {fresh_schema:?}"
+        );
+        return ExitCode::from(2);
+    }
     let fails = compare(&base, &new, tol);
     if fails.is_empty() {
         println!("bench_compare: ok ({baseline} vs {fresh}, wall tol {tol})");

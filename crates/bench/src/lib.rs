@@ -82,6 +82,23 @@ pub fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// The golden smoke corpus shared by the `smoke` and `bench_refactor`
+/// regression bins: the same generators as `tests/solver_equivalence.rs`
+/// at larger sizes, so each factorisation lands in the
+/// tens-of-milliseconds range (sub-10ms runs are all spawn jitter) while
+/// staying fast enough for every CI invocation.
+pub fn smoke_corpus() -> Vec<(&'static str, CscMatrix)> {
+    use pangulu_sparse::gen;
+    vec![
+        ("laplacian_2d", gen::laplacian_2d(64, 64)),
+        ("circuit", gen::circuit(3000, 21)),
+        ("fem_blocked", gen::fem_blocked(240, 5, 2, 13)),
+        ("kkt", gen::kkt(1200, 560, 7)),
+        ("cage_like", gen::cage_like(1600, 17)),
+        ("dense_banded", gen::dense_banded(1000, 12, 0.5, 9)),
+    ]
+}
+
 /// A prepared PanguLU factorisation input: reordered matrix, filled
 /// pattern cut into blocks, task graph and owner map.
 pub struct Prepared {

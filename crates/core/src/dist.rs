@@ -351,6 +351,10 @@ pub fn factor_distributed_traced(
 /// logs. On a stall — e.g. a message permanently lost by the fault
 /// plan — every rank shuts down cooperatively and the first structured
 /// [`DistError`] is returned; `bm` is left untouched in that case.
+///
+/// Builds a transient [`NumericWorkspace`] for the run; callers that
+/// factor the same pattern repeatedly should build the workspace once
+/// and call [`factor_distributed_cached`] instead.
 pub fn factor_distributed_checked(
     bm: &mut BlockMatrix,
     tg: &TaskGraph,
@@ -359,8 +363,45 @@ pub fn factor_distributed_checked(
     pivot_floor: f64,
     cfg: &FactorConfig,
 ) -> Result<FactorRun, DistError> {
+    let mut ws = NumericWorkspace::new(bm, tg, owners);
+    factor_distributed_cached(bm, tg, owners, selector, pivot_floor, cfg, &mut ws)
+}
+
+/// As [`factor_distributed_checked`], but with the pattern-dependent
+/// per-rank executor state supplied by the caller. The workspace caches
+/// everything a numeric-only refactorisation can reuse:
+///
+/// * each rank's owned-block value storage (reset in place from `bm`
+///   at the start of every run — no per-run clone of the block tables);
+/// * the synchronisation-free dependency counters, per-target SSSSM
+///   update orders, and per-step task totals (copied from immutable
+///   analysis arrays instead of being rebuilt from the task graph);
+/// * the receive-side pattern shells: remote blocks delivered in an
+///   earlier run keep their CSC structure, so every steady-state receive
+///   is a values-only memcpy ([`MemStats::pattern_cache_hits`]);
+/// * each rank's pooled kernel scratch arena.
+///
+/// The run is bitwise identical to a fresh [`factor_distributed_checked`]
+/// on the same `bm` values — reuse only skips pattern-dependent setup,
+/// never changes the deterministic ascending-step application order.
+/// On [`DistError`] the workspace is left dirty but safe: the next run's
+/// reset restores every flag and value from `bm`.
+pub fn factor_distributed_cached(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    cfg: &FactorConfig,
+    ws: &mut NumericWorkspace,
+) -> Result<FactorRun, DistError> {
     let p = owners.num_ranks();
+    assert_eq!(ws.ranks.len(), p, "workspace was built for a different rank count");
+    assert_eq!(ws.num_blocks, bm.num_blocks(), "workspace was built for a different pattern");
     let start = Instant::now();
+    for st in &mut ws.ranks {
+        st.reset(bm);
+    }
     let mailboxes = match &cfg.fault {
         Some(plan) => MailboxSet::with_faults(p, plan.clone()),
         None => MailboxSet::new(p),
@@ -376,7 +417,8 @@ pub fn factor_distributed_checked(
         std::thread::scope(|s| {
             let handles: Vec<_> = mailboxes
                 .into_iter()
-                .map(|mb| {
+                .zip(ws.ranks.iter_mut())
+                .map(|(mb, st)| {
                     let barrier = &barrier;
                     let abort = &abort;
                     let first_err = &first_err;
@@ -389,6 +431,7 @@ pub fn factor_distributed_checked(
                             pivot_floor,
                             cfg,
                             mb,
+                            st,
                             barrier,
                             abort,
                             first_err,
@@ -408,6 +451,17 @@ pub fn factor_distributed_checked(
         return Err(err);
     }
 
+    // Copy the factored values back into the shared structure; the
+    // workspace keeps its block tables (and the remote pattern shells)
+    // for the next same-pattern run.
+    for st in &ws.ranks {
+        for (id, blk) in st.my_blocks.iter().enumerate() {
+            if let Some(b) = blk {
+                bm.block_mut(id).values_mut().copy_from_slice(b.values());
+            }
+        }
+    }
+
     let mut run = FactorRun {
         report: RunReport {
             ranks: p,
@@ -420,9 +474,6 @@ pub fn factor_distributed_checked(
     let mut trace = Vec::new();
     for out in worker_outputs {
         run.report.per_rank.push(out.metrics);
-        for (id, blk) in out.blocks {
-            *bm.block_mut(id) = blk;
-        }
         trace.extend(out.trace);
         run.sent.extend(out.sent);
         run.received.extend(out.received);
@@ -530,57 +581,31 @@ impl StepBarrier {
     }
 }
 
-/// What one rank hands back.
+/// What one rank hands back. The factored block values stay in the
+/// rank's [`RankState`] (written back by the caller on success).
 struct WorkerOutput {
     metrics: RankMetrics,
-    blocks: Vec<(usize, CscMatrix)>,
     trace: Vec<TraceEvent>,
     sent: Vec<DeliveryRecord>,
     received: Vec<DeliveryRecord>,
     lost: Vec<DeliveryRecord>,
 }
 
-/// Bookkeeping emitted by the kernel part of [`Worker::execute`]; the
-/// trace event is recorded between the kernel and this follow-up so the
-/// producer's `end` timestamp is on the clock before any consumer can
-/// observe the result.
-enum Post {
-    Panel {
-        id: usize,
-        step: usize,
-        role: BlockRole,
-    },
-    /// `applied` consecutive updates (from the target's cursor) done.
-    Update {
-        cid: usize,
-        applied: usize,
-    },
-}
-
-/// Per-rank executor state.
-struct Worker<'a> {
+/// One rank's pattern-dependent executor state, built once per
+/// (pattern, grid, owner map) and reusable across numeric-only
+/// refactorisations. See [`NumericWorkspace`].
+struct RankState {
     rank: usize,
-    bm: &'a BlockMatrix,
-    tg: &'a TaskGraph,
-    owners: &'a OwnerMap,
-    selector: &'a KernelSelector,
-    pivot_floor: f64,
-    mode: ScheduleMode,
-    stall_timeout: Duration,
-    mailbox: Mailbox,
-    barrier: &'a StepBarrier,
-    abort: &'a AtomicBool,
-    first_err: &'a Mutex<Option<DistError>>,
-
     /// This rank's working copies of its owned blocks, indexed by block
     /// id. A slot is `None` only for unowned blocks (and transiently for
     /// the kernel target while a panel/SSSSM task runs on it, which is
     /// what lets operands be borrowed from the table without cloning).
     my_blocks: Vec<Option<CscMatrix>>,
-    /// The pattern cache: received remote blocks, indexed by block id.
-    /// The first receive for a block builds its CSC structure from the
-    /// replicated pattern; subsequent receives memcpy values into the
-    /// cached block's buffer (counted as [`MemStats::pattern_cache_hits`]).
+    /// The receive-side pattern cache: remote blocks, indexed by block
+    /// id. The first receive for a block builds its CSC structure from
+    /// the replicated pattern; every later receive — in the same run or
+    /// any subsequent refactorisation — memcpys values into the cached
+    /// shell (counted as [`MemStats::pattern_cache_hits`]).
     remote: Vec<Option<CscMatrix>>,
     /// Finished owned blocks (panel op done), by block id.
     finished: Vec<bool>,
@@ -602,18 +627,160 @@ struct Worker<'a> {
     /// ...and, aligned with `upd_order[cid]`, whether each update's
     /// operands have both arrived.
     upd_ready: Vec<Vec<bool>>,
+    /// The immutable analysis copy of the dependency counters, used by
+    /// [`RankState::reset`] instead of re-walking the task graph.
+    counter_init: Vec<usize>,
+    /// Tasks this rank owes per run (panel ops + SSSSM updates).
+    remaining_init: usize,
+    /// Level-set mode: tasks owed per elimination step.
+    step_total: Vec<usize>,
+    /// Pooled dense kernel scratch, persistent across runs.
+    scratch: KernelScratch,
+}
+
+impl RankState {
+    fn new(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap, rank: usize) -> Self {
+        let nblocks = bm.num_blocks();
+        // Clone owned blocks (the "distribute the matrix" preprocessing
+        // step — each rank stores only what it computes on, §4.2).
+        let mut my_blocks: Vec<Option<CscMatrix>> = vec![None; nblocks];
+        let mut counter_init = vec![0usize; nblocks];
+        let mut remaining = 0usize;
+        let mut step_total = vec![0usize; bm.nblk() + 1];
+        for id in 0..nblocks {
+            if owners.owner_of(id) == rank {
+                my_blocks[id] = Some(bm.block(id).clone());
+                counter_init[id] = tg.indegree[id];
+                remaining += 1; // the block's panel op
+                step_total[bm.step_of(id)] += 1;
+            }
+        }
+        let mut upd_order: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        for &(i, j, k) in &tg.ssssm {
+            let cid = bm.block_id(i, j).expect("ssssm target exists");
+            if owners.owner_of(cid) == rank {
+                remaining += 1;
+                step_total[k] += 1;
+                upd_order[cid].push(k);
+            }
+        }
+        for order in &mut upd_order {
+            order.sort_unstable();
+        }
+        let upd_ready: Vec<Vec<bool>> = upd_order.iter().map(|o| vec![false; o.len()]).collect();
+        RankState {
+            rank,
+            my_blocks,
+            remote: vec![None; nblocks],
+            finished: vec![false; nblocks],
+            counter: counter_init.clone(),
+            queued: vec![false; nblocks],
+            avail: vec![false; nblocks],
+            upd_order,
+            upd_pos: vec![0usize; nblocks],
+            upd_ready,
+            counter_init,
+            remaining_init: remaining,
+            step_total,
+            scratch: KernelScratch::with_capacity(bm.nb()),
+        }
+    }
+
+    /// Re-arms the state for another run on the same pattern: owned block
+    /// values are copied from `bm` in place, the dependency counters are
+    /// restored from the immutable analysis copy, and every progress flag
+    /// is cleared. The remote pattern shells keep their structure (their
+    /// stale values are only ever read after a fresh receive overwrites
+    /// them — `avail` gates every operand lookup).
+    fn reset(&mut self, bm: &BlockMatrix) {
+        for (id, slot) in self.my_blocks.iter_mut().enumerate() {
+            if let Some(b) = slot {
+                b.values_mut().copy_from_slice(bm.block(id).values());
+            }
+        }
+        self.finished.fill(false);
+        self.counter.copy_from_slice(&self.counter_init);
+        self.queued.fill(false);
+        self.avail.fill(false);
+        self.upd_pos.fill(0);
+        for ready in &mut self.upd_ready {
+            ready.fill(false);
+        }
+    }
+}
+
+/// The cached per-rank executor state of a distributed factorisation:
+/// one `RankState` per rank (owned-block tables, dependency counters,
+/// deterministic SSSSM orders, receive-side pattern shells, kernel
+/// scratch). Build it once per (pattern, grid, owner map) and pass it to
+/// [`factor_distributed_cached`] for every same-pattern factorisation;
+/// steady-state runs then do no pattern-dependent setup at all.
+pub struct NumericWorkspace {
+    ranks: Vec<RankState>,
+    num_blocks: usize,
+}
+
+impl NumericWorkspace {
+    /// Builds the per-rank state for `owners.num_ranks()` ranks over the
+    /// pattern of `bm` (values are re-read from `bm` at every run).
+    pub fn new(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap) -> Self {
+        let ranks = (0..owners.num_ranks()).map(|r| RankState::new(bm, tg, owners, r)).collect();
+        NumericWorkspace { ranks, num_blocks: bm.num_blocks() }
+    }
+
+    /// Number of ranks the workspace was built for.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+/// Bookkeeping emitted by the kernel part of [`Worker::execute`]; the
+/// trace event is recorded between the kernel and this follow-up so the
+/// producer's `end` timestamp is on the clock before any consumer can
+/// observe the result.
+enum Post {
+    Panel {
+        id: usize,
+        step: usize,
+        role: BlockRole,
+    },
+    /// `applied` consecutive updates (from the target's cursor) done.
+    Update {
+        cid: usize,
+        applied: usize,
+    },
+}
+
+/// Per-rank executor: the run-scoped view over a rank's cached
+/// [`RankState`] (block tables, counters, schedules) plus everything that
+/// is fresh per run (mailbox, task queue, metrics, trace).
+struct Worker<'a> {
+    rank: usize,
+    bm: &'a BlockMatrix,
+    tg: &'a TaskGraph,
+    owners: &'a OwnerMap,
+    selector: &'a KernelSelector,
+    pivot_floor: f64,
+    mode: ScheduleMode,
+    stall_timeout: Duration,
+    mailbox: Mailbox,
+    barrier: &'a StepBarrier,
+    abort: &'a AtomicBool,
+    first_err: &'a Mutex<Option<DistError>>,
+
+    /// The rank's cached executor state (already reset for this run).
+    st: &'a mut RankState,
     /// Widest SSSSM fusion allowed (1 = one-at-a-time; see
     /// [`FactorConfig::ssssm_batching`]).
     max_batch: usize,
 
     queue: BinaryHeap<PrioritisedTask>,
     remaining: usize,
-    /// Level-set mode: tasks done / owed per elimination step.
+    /// Level-set mode: tasks done per elimination step (owed totals live
+    /// in [`RankState::step_total`]).
     step_done: Vec<usize>,
-    step_total: Vec<usize>,
     current_step: usize,
 
-    scratch: KernelScratch,
     /// Metered kernel front door (a plain pass-through when
     /// [`FactorConfig::metrics`] is off).
     timed: TimedKernels,
@@ -643,44 +810,19 @@ impl<'a> Worker<'a> {
         pivot_floor: f64,
         cfg: &FactorConfig,
         mailbox: Mailbox,
+        st: &'a mut RankState,
         barrier: &'a StepBarrier,
         abort: &'a AtomicBool,
         first_err: &'a Mutex<Option<DistError>>,
     ) -> Self {
         let rank = mailbox.rank();
-        let nblocks = bm.num_blocks();
-        // Clone owned blocks (the "distribute the matrix" preprocessing
-        // step — each rank stores only what it computes on, §4.2).
-        let mut my_blocks: Vec<Option<CscMatrix>> = vec![None; nblocks];
-        let mut counter = vec![0usize; nblocks];
-        let mut remaining = 0usize;
-        let mut step_total = vec![0usize; bm.nblk() + 1];
-        for id in 0..nblocks {
-            if owners.owner_of(id) == rank {
-                my_blocks[id] = Some(bm.block(id).clone());
-                counter[id] = tg.indegree[id];
-                remaining += 1; // the block's panel op
-                step_total[bm.step_of(id)] += 1;
-            }
-        }
-        let mut upd_order: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
-        for &(i, j, k) in &tg.ssssm {
-            let cid = bm.block_id(i, j).expect("ssssm target exists");
-            if owners.owner_of(cid) == rank {
-                remaining += 1;
-                step_total[k] += 1;
-                upd_order[cid].push(k);
-            }
-        }
-        for order in &mut upd_order {
-            order.sort_unstable();
-        }
-        let upd_ready: Vec<Vec<bool>> = upd_order.iter().map(|o| vec![false; o.len()]).collect();
+        debug_assert_eq!(st.rank, rank, "rank state handed to the wrong mailbox");
         let max_batch = if cfg.mode == ScheduleMode::SyncFree && cfg.ssssm_batching && !cfg.traced {
             usize::MAX
         } else {
             1
         };
+        let remaining = st.remaining_init;
         Worker {
             rank,
             bm,
@@ -694,22 +836,12 @@ impl<'a> Worker<'a> {
             barrier,
             abort,
             first_err,
-            my_blocks,
-            remote: vec![None; nblocks],
-            finished: vec![false; nblocks],
-            counter,
-            queued: vec![false; nblocks],
-            avail: vec![false; nblocks],
-            upd_order,
-            upd_pos: vec![0usize; nblocks],
-            upd_ready,
+            st,
             max_batch,
             queue: BinaryHeap::new(),
             remaining,
             step_done: vec![0usize; bm.nblk() + 1],
-            step_total,
             current_step: 0,
-            scratch: KernelScratch::with_capacity(bm.nb()),
             timed: TimedKernels::new(cfg.metrics),
             busy: Duration::ZERO,
             barrier_wait: Duration::ZERO,
@@ -730,7 +862,7 @@ impl<'a> Worker<'a> {
     /// Whether block `(bi, bj)` is available as an operand (owned and
     /// finished, or received).
     fn avail_at(&self, bi: usize, bj: usize) -> bool {
-        self.bm.block_id(bi, bj).is_some_and(|id| self.avail[id])
+        self.bm.block_id(bi, bj).is_some_and(|id| self.st.avail[id])
     }
 
     /// Fetches an operand block — an owned finished block or a received
@@ -786,7 +918,7 @@ impl<'a> Worker<'a> {
                 // Step finished locally? Barrier, then advance.
                 if self.current_step <= self.bm.nblk()
                     && self.step_done[self.current_step.min(self.bm.nblk())]
-                        == self.step_total[self.current_step.min(self.bm.nblk())]
+                        == self.st.step_total[self.current_step.min(self.bm.nblk())]
                 {
                     self.mailbox.flush_pending();
                     let t = Instant::now();
@@ -838,19 +970,7 @@ impl<'a> Worker<'a> {
             kernels: std::mem::take(&mut self.timed).into_tally(),
         };
         let (sent, received, lost) = self.mailbox.into_logs();
-        WorkerOutput {
-            metrics,
-            blocks: self
-                .my_blocks
-                .into_iter()
-                .enumerate()
-                .filter_map(|(id, b)| b.map(|blk| (id, blk)))
-                .collect(),
-            trace: self.trace,
-            sent,
-            received,
-            lost,
-        }
+        WorkerOutput { metrics, trace: self.trace, sent, received, lost }
     }
 
     /// Builds the stall diagnosis, publishes it (first error wins), and
@@ -878,7 +998,7 @@ impl<'a> Worker<'a> {
         match self.mode {
             ScheduleMode::LevelSet => self.current_step,
             ScheduleMode::SyncFree => (0..self.step_done.len())
-                .find(|&s| self.step_done[s] < self.step_total[s])
+                .find(|&s| self.step_done[s] < self.st.step_total[s])
                 .unwrap_or(self.current_step),
         }
     }
@@ -890,15 +1010,15 @@ impl<'a> Worker<'a> {
             if missing.len() >= cap {
                 break;
             }
-            if self.my_blocks[id].is_none() || self.finished[id] {
+            if self.st.my_blocks[id].is_none() || self.st.finished[id] {
                 continue;
             }
             let (bi, bj) = self.bm.block_coords(id);
-            if self.counter[id] > 0 {
+            if self.st.counter[id] > 0 {
                 // Outstanding SSSSM updates: report the head of the
                 // deterministic order (its operands are what block us).
-                let order = &self.upd_order[id];
-                let pos = self.upd_pos[id];
+                let order = &self.st.upd_order[id];
+                let pos = self.st.upd_pos[id];
                 if pos < order.len() {
                     let k = order[pos];
                     if !self.avail_at(bi, k) {
@@ -908,7 +1028,7 @@ impl<'a> Worker<'a> {
                         missing.push(MissingDep::UOperand { k, j: bj, target: (bi, bj) });
                     }
                 }
-            } else if !self.queued[id] {
+            } else if !self.st.queued[id] {
                 // Updates done, panel not queued: the diagonal is missing.
                 let k = bi.min(bj);
                 if bi != bj && !self.avail_at(k, k) {
@@ -938,7 +1058,7 @@ impl<'a> Worker<'a> {
     /// away; panels additionally wait for their diagonal factor.
     fn seed_initial_tasks(&mut self) {
         for id in 0..self.bm.num_blocks() {
-            if self.my_blocks[id].is_some() && self.counter[id] == 0 {
+            if self.st.my_blocks[id].is_some() && self.st.counter[id] == 0 {
                 self.maybe_queue_panel(id);
             }
         }
@@ -947,7 +1067,7 @@ impl<'a> Worker<'a> {
     /// Queues the panel operation of block `id` if its updates are done
     /// and its diagonal dependency is satisfied.
     fn maybe_queue_panel(&mut self, id: usize) {
-        if self.queued[id] || self.counter[id] > 0 {
+        if self.st.queued[id] || self.st.counter[id] > 0 {
             return;
         }
         let (bi, bj) = self.bm.block_coords(id);
@@ -966,7 +1086,7 @@ impl<'a> Worker<'a> {
                 Task::Tstrf { i: bi, k: bj }
             }
         };
-        self.queued[id] = true;
+        self.st.queued[id] = true;
         self.queue.push(PrioritisedTask(task));
     }
 
@@ -976,10 +1096,10 @@ impl<'a> Worker<'a> {
         let post = match task {
             Task::Getrf { k } => {
                 let id = self.bm.block_id(k, k).expect("diag exists");
-                let blk = self.my_blocks[id].as_mut().expect("getrf on owned block");
+                let blk = self.st.my_blocks[id].as_mut().expect("getrf on owned block");
                 let variant = self.selector.getrf(blk.nnz());
                 self.perturbed +=
-                    self.timed.getrf(blk, variant, &mut self.scratch, self.pivot_floor);
+                    self.timed.getrf(blk, variant, &mut self.st.scratch, self.pivot_floor);
                 self.tasks.getrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::DiagFactor }
             }
@@ -988,43 +1108,43 @@ impl<'a> Worker<'a> {
                 // Take the target out of its slot so the diagonal factor
                 // can be borrowed from the same table — no per-task clone
                 // of the diagonal CSC.
-                let mut blk = self.my_blocks[id].take().expect("gessm on owned block");
+                let mut blk = self.st.my_blocks[id].take().expect("gessm on owned block");
                 let variant = self.selector.gessm(blk.nnz());
                 let diag = Self::lookup_operand(
                     self.bm,
-                    &self.my_blocks,
-                    &self.remote,
-                    &self.finished,
+                    &self.st.my_blocks,
+                    &self.st.remote,
+                    &self.st.finished,
                     k,
                     k,
                 );
-                self.timed.gessm(diag, &mut blk, variant, &mut self.scratch);
-                self.my_blocks[id] = Some(blk);
+                self.timed.gessm(diag, &mut blk, variant, &mut self.st.scratch);
+                self.st.my_blocks[id] = Some(blk);
                 self.tasks.gessm += 1;
                 Post::Panel { id, step: k, role: BlockRole::UPanel }
             }
             Task::Tstrf { i, k } => {
                 let id = self.bm.block_id(i, k).expect("panel exists");
-                let mut blk = self.my_blocks[id].take().expect("tstrf on owned block");
+                let mut blk = self.st.my_blocks[id].take().expect("tstrf on owned block");
                 let variant = self.selector.tstrf(blk.nnz());
                 let diag = Self::lookup_operand(
                     self.bm,
-                    &self.my_blocks,
-                    &self.remote,
-                    &self.finished,
+                    &self.st.my_blocks,
+                    &self.st.remote,
+                    &self.st.finished,
                     k,
                     k,
                 );
-                self.timed.tstrf(diag, &mut blk, variant, &mut self.scratch);
-                self.my_blocks[id] = Some(blk);
+                self.timed.tstrf(diag, &mut blk, variant, &mut self.st.scratch);
+                self.st.my_blocks[id] = Some(blk);
                 self.tasks.tstrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::LPanel }
             }
             Task::Ssssm { i, j, k } => {
                 let cid = self.bm.block_id(i, j).expect("target exists");
-                let pos = self.upd_pos[cid];
+                let pos = self.st.upd_pos[cid];
                 debug_assert_eq!(
-                    self.upd_order[cid].get(pos),
+                    self.st.upd_order[cid].get(pos),
                     Some(&k),
                     "popped SSSSM update is not at the target's cursor"
                 );
@@ -1034,31 +1154,31 @@ impl<'a> Worker<'a> {
                 // gathered once per run instead of once per update.
                 let mut width = 1usize;
                 while width < self.max_batch
-                    && pos + width < self.upd_order[cid].len()
-                    && self.upd_ready[cid][pos + width]
+                    && pos + width < self.st.upd_order[cid].len()
+                    && self.st.upd_ready[cid][pos + width]
                 {
                     width += 1;
                 }
-                let mut target = self.my_blocks[cid].take().expect("ssssm on owned block");
+                let mut target = self.st.my_blocks[cid].take().expect("ssssm on owned block");
                 {
                     let bm = self.bm;
-                    let ks = &self.upd_order[cid][pos..pos + width];
+                    let ks = &self.st.upd_order[cid][pos..pos + width];
                     let updates: Vec<SsssmUpdate<'_>> = ks
                         .iter()
                         .map(|&uk| {
                             let a = Self::lookup_operand(
                                 bm,
-                                &self.my_blocks,
-                                &self.remote,
-                                &self.finished,
+                                &self.st.my_blocks,
+                                &self.st.remote,
+                                &self.st.finished,
                                 i,
                                 uk,
                             );
                             let b = Self::lookup_operand(
                                 bm,
-                                &self.my_blocks,
-                                &self.remote,
-                                &self.finished,
+                                &self.st.my_blocks,
+                                &self.st.remote,
+                                &self.st.finished,
                                 uk,
                                 j,
                             );
@@ -1066,9 +1186,9 @@ impl<'a> Worker<'a> {
                             SsssmUpdate { a, b, variant: self.selector.ssssm(fl), model_flops: fl }
                         })
                         .collect();
-                    self.timed.ssssm_batch(&updates, &mut target, &mut self.scratch);
+                    self.timed.ssssm_batch(&updates, &mut target, &mut self.st.scratch);
                 }
-                self.my_blocks[cid] = Some(target);
+                self.st.my_blocks[cid] = Some(target);
                 self.tasks.ssssm += width as u64;
                 if width > 1 {
                     self.mem.ssssm_batches += 1;
@@ -1088,21 +1208,21 @@ impl<'a> Worker<'a> {
             Post::Update { cid, applied } => {
                 self.remaining -= applied;
                 for n in 0..applied {
-                    let step = self.upd_order[cid][self.upd_pos[cid] + n];
+                    let step = self.st.upd_order[cid][self.st.upd_pos[cid] + n];
                     self.step_done[step] += 1;
                 }
-                self.counter[cid] -= applied;
+                self.st.counter[cid] -= applied;
                 // Advance the deterministic per-target cursor past the
                 // whole batch and queue the next update if its operands
                 // already arrived.
-                self.upd_pos[cid] += applied;
-                let pos = self.upd_pos[cid];
-                if pos < self.upd_order[cid].len() && self.upd_ready[cid][pos] {
+                self.st.upd_pos[cid] += applied;
+                let pos = self.st.upd_pos[cid];
+                if pos < self.st.upd_order[cid].len() && self.st.upd_ready[cid][pos] {
                     let (bi, bj) = self.bm.block_coords(cid);
-                    let nk = self.upd_order[cid][pos];
+                    let nk = self.st.upd_order[cid][pos];
                     self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k: nk }));
                 }
-                if self.counter[cid] == 0 {
+                if self.st.counter[cid] == 0 {
                     self.maybe_queue_panel(cid);
                 }
             }
@@ -1117,7 +1237,7 @@ impl<'a> Worker<'a> {
 
     /// Marks an owned block finished, ships it, and triggers dependents.
     fn finish_block(&mut self, id: usize, step: usize, role: BlockRole) {
-        self.finished[id] = true;
+        self.st.finished[id] = true;
         self.task_done(step);
         let (bi, bj) = self.bm.block_coords(id);
         let dests = match role {
@@ -1139,7 +1259,7 @@ impl<'a> Worker<'a> {
                 Some(p) => p.clone(),
                 None => {
                     let vals =
-                        self.my_blocks[id].as_ref().expect("finished block present").values();
+                        self.st.my_blocks[id].as_ref().expect("finished block present").values();
                     self.mem.payload_allocs += 1;
                     self.mem.bytes_copied += std::mem::size_of_val(vals) as u64;
                     payload.insert(Arc::from(vals)).clone()
@@ -1153,7 +1273,7 @@ impl<'a> Worker<'a> {
 
     fn handle_msg(&mut self, msg: BlockMsg) {
         let id = self.bm.block_id(msg.bi, msg.bj).expect("pattern of shipped block is replicated");
-        match &mut self.remote[id] {
+        match &mut self.st.remote[id] {
             Some(cached) => {
                 // Pattern cache hit: the CSC structure is already built;
                 // memcpy the values into the cached block's buffer.
@@ -1184,9 +1304,9 @@ impl<'a> Worker<'a> {
     /// and queues it iff it is the next update in the target's
     /// deterministic (ascending-`k`) application order.
     fn update_ready(&mut self, cid: usize, k: usize) {
-        let idx = self.upd_order[cid].binary_search(&k).expect("update in target's order");
-        self.upd_ready[cid][idx] = true;
-        if idx == self.upd_pos[cid] {
+        let idx = self.st.upd_order[cid].binary_search(&k).expect("update in target's order");
+        self.st.upd_ready[cid][idx] = true;
+        if idx == self.st.upd_pos[cid] {
             let (bi, bj) = self.bm.block_coords(cid);
             self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k }));
         }
@@ -1201,7 +1321,7 @@ impl<'a> Worker<'a> {
         let bm = self.bm;
         let tg = self.tg;
         let id = bm.block_id(bi, bj).expect("available block exists in the pattern");
-        self.avail[id] = true;
+        self.st.avail[id] = true;
         match role {
             BlockRole::DiagFactor => {
                 let k = bi;

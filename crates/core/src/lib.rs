@@ -44,4 +44,4 @@ pub mod trisolve;
 
 pub use block::BlockMatrix;
 pub use layout::OwnerMap;
-pub use solver::{Solver, SolverBuilder, SolverOptions};
+pub use solver::{Solver, SolverBuilder, SolverOptions, SolverPlan};

@@ -15,13 +15,15 @@ use std::time::{Duration, Instant};
 
 use pangulu_comm::ProcessGrid;
 use pangulu_kernels::select::{KernelSelector, Thresholds};
-use pangulu_metrics::RunReport;
+use pangulu_metrics::{PhaseCounters, RunReport};
 use pangulu_reorder::{reorder_for_lu, FillReducing, Reordering};
 use pangulu_sparse::{CscMatrix, Result, SparseError};
 use pangulu_symbolic::{stats::SymbolicStats, symbolic_fill};
 
 use crate::block::BlockMatrix;
-use crate::dist::{factor_distributed_checked, DistStats, FactorConfig, ScheduleMode};
+use crate::dist::{
+    factor_distributed_cached, DistStats, FactorConfig, NumericWorkspace, ScheduleMode,
+};
 use crate::layout::OwnerMap;
 use crate::seq::{factor_sequential, NumericStats};
 use crate::task::TaskGraph;
@@ -177,6 +179,10 @@ pub struct FactorStats {
     pub num_blocks: usize,
     /// Statically perturbed pivots.
     pub perturbed_pivots: usize,
+    /// Cumulative phase-execution counters over the solver's lifetime:
+    /// how often each pipeline phase actually ran versus was served from
+    /// the cached analysis (see [`Solver::refactor`]).
+    pub phases: PhaseCounters,
 }
 
 impl FactorStats {
@@ -192,11 +198,44 @@ impl FactorStats {
     }
 }
 
+/// The pattern-dependent analysis a [`Solver`] caches across
+/// factorisations: the input sparsity structure it was built for (which
+/// [`Solver::refactor`] validates new values against) and the scatter
+/// map from input nonzeros to factor-block value slots, built lazily on
+/// the first refactorisation.
+pub struct SolverPlan {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    /// For input nonzero `k` (CSC order): `(block id, value index)` where
+    /// the scaled, permuted entry lands in the factor's block storage.
+    scatter: Option<Vec<(usize, usize)>>,
+}
+
+impl SolverPlan {
+    /// Matrix order the plan was analysed for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzero count of the analysed pattern.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+}
+
 /// A factored system ready to solve right-hand sides.
 pub struct Solver {
+    opts: SolverOptions,
     reordering: Reordering,
     factored: BlockMatrix,
+    tg: TaskGraph,
     owners: OwnerMap,
+    plan: SolverPlan,
+    /// Multi-rank solvers retain the executor's per-rank state (block
+    /// tables, dependency counters, schedules) so refactorisation reuses
+    /// it instead of rebuilding; `None` for sequential/shared solvers.
+    workspace: Option<NumericWorkspace>,
     distributed_solve: bool,
     stats: FactorStats,
     n: usize,
@@ -219,7 +258,14 @@ impl Solver {
             return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
         let n = a.ncols();
-        let mut stats = FactorStats::default();
+        let mut stats =
+            FactorStats { phases: PhaseCounters::first_factor(), ..FactorStats::default() };
+        let plan = SolverPlan {
+            n,
+            col_ptr: a.col_ptr().to_vec(),
+            row_idx: a.row_idx().to_vec(),
+            scatter: None,
+        };
 
         // Phase 1: reorder.
         let t = Instant::now();
@@ -259,6 +305,7 @@ impl Solver {
         };
         let pivot_floor = opts.pivot_floor_rel * reordering.matrix.norm_max().max(1.0);
         let t = Instant::now();
+        let mut workspace = None;
         if let Some(threads) = opts.shared_threads {
             let ns = crate::shared::factor_shared(&mut bm, &tg, &selector, pivot_floor, threads);
             stats.perturbed_pivots = ns.perturbed_pivots;
@@ -270,26 +317,34 @@ impl Solver {
         } else {
             // A fault-free run only stalls on an executor bug; keep the
             // pre-report panic semantics of `factor_distributed` here.
-            let run = factor_distributed_checked(
+            // The per-rank workspace is kept for [`Solver::refactor`].
+            let mut ws = NumericWorkspace::new(&bm, &tg, &owners);
+            let run = factor_distributed_cached(
                 &mut bm,
                 &tg,
                 &owners,
                 &selector,
                 pivot_floor,
                 &FactorConfig::with_mode(opts.schedule),
+                &mut ws,
             )
             .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
             stats.perturbed_pivots = run.stats.perturbed_pivots;
             stats.dist = Some(run.stats);
             stats.report = Some(run.report);
+            workspace = Some(ws);
         }
         stats.numeric_time = t.elapsed();
 
         Ok(Solver {
+            distributed_solve: opts.distributed_solve && opts.ranks > 1,
+            opts,
             reordering,
             factored: bm,
-            distributed_solve: opts.distributed_solve && opts.ranks > 1,
+            tg,
             owners,
+            plan,
+            workspace,
             stats,
             n,
         })
@@ -313,6 +368,145 @@ impl Solver {
     /// The reordering that was applied.
     pub fn reordering(&self) -> &Reordering {
         &self.reordering
+    }
+
+    /// The cached pattern analysis (see [`Solver::refactor`]).
+    pub fn plan(&self) -> &SolverPlan {
+        &self.plan
+    }
+
+    /// Refactors the system with new numerical values on the **same
+    /// sparsity pattern**, reusing every pattern-dependent product of the
+    /// first factorisation — the reordering and scaling, the symbolic
+    /// fill, the block layout and owner map, and (multi-rank) the
+    /// executor's per-rank schedules and dependency counters. Only the
+    /// numeric phase runs; the resulting factors are bitwise identical
+    /// to a fresh [`Solver::factor_with`] of the same values under the
+    /// same reordering.
+    ///
+    /// `a` must have exactly the structure the solver was built from
+    /// (same order, same nonzero positions); anything else is rejected
+    /// with [`SparseError::PatternMismatch`] and the solver keeps its
+    /// current factors.
+    ///
+    /// Note the cached MC64 row matching and scalings were computed for
+    /// the *original* values. They stay valid for the modest value
+    /// changes this API targets (transient simulation, Newton steps);
+    /// wildly different values may cost accuracy — iterative refinement
+    /// recovers it, or factor from scratch.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<()> {
+        if a.nrows() != self.plan.n || a.ncols() != self.plan.n {
+            return Err(SparseError::PatternMismatch(format!(
+                "matrix is {}x{}, the cached analysis is for order {}",
+                a.nrows(),
+                a.ncols(),
+                self.plan.n
+            )));
+        }
+        if a.col_ptr() != self.plan.col_ptr.as_slice()
+            || a.row_idx() != self.plan.row_idx.as_slice()
+        {
+            return Err(SparseError::PatternMismatch(format!(
+                "nonzero structure differs from the analysed pattern ({} vs {} nonzeros)",
+                a.nnz(),
+                self.plan.row_idx.len()
+            )));
+        }
+
+        // First refactorisation: build the scatter map from input
+        // nonzeros to factor-block slots through the cached permutations.
+        if self.plan.scatter.is_none() {
+            let r = &self.reordering;
+            let row_inv = r.row_perm.inverse();
+            let col_inv = r.col_perm.inverse();
+            let nb = self.factored.nb();
+            let mut map = Vec::with_capacity(self.plan.row_idx.len());
+            for j in 0..self.plan.n {
+                let new_c = col_inv.old_of(j);
+                let (bj, lj) = (new_c / nb, new_c % nb);
+                for k in self.plan.col_ptr[j]..self.plan.col_ptr[j + 1] {
+                    let new_r = row_inv.old_of(self.plan.row_idx[k]);
+                    let (bi, li) = (new_r / nb, new_r % nb);
+                    let id =
+                        self.factored.block_id(bi, bj).expect("input entry inside fill pattern");
+                    let idx = self
+                        .factored
+                        .block(id)
+                        .find(li, lj)
+                        .expect("input entry inside fill pattern");
+                    map.push((id, idx));
+                }
+            }
+            self.plan.scatter = Some(map);
+        }
+
+        // Reset the factor storage to the scaled, permuted input: zero
+        // every slot (fill-in positions hold explicit zeros before the
+        // numeric phase), then scatter `v · d_r[i] · d_c[j]` — the exact
+        // arithmetic `scale` applies, so the rebuilt blocks are bitwise
+        // what the full pipeline would produce. The max-abs norm for the
+        // pivot floor is folded in during the same sweep (max is
+        // order-independent, so it matches `norm_max()` bit-for-bit).
+        for id in 0..self.factored.num_blocks() {
+            self.factored.block_mut(id).values_mut().fill(0.0);
+        }
+        let scatter = self.plan.scatter.as_ref().expect("scatter map built above");
+        let r = &self.reordering;
+        let vals = a.values();
+        let mut norm = 0.0f64;
+        for j in 0..self.plan.n {
+            let cj = r.col_scale[j];
+            for k in self.plan.col_ptr[j]..self.plan.col_ptr[j + 1] {
+                let scaled = vals[k] * r.row_scale[self.plan.row_idx[k]] * cj;
+                norm = norm.max(scaled.abs());
+                let (id, idx) = scatter[k];
+                self.factored.block_mut(id).values_mut()[idx] = scaled;
+            }
+        }
+
+        // Numeric phase only — reorder, symbolic and preprocess are all
+        // served from the cache.
+        let selector = if self.opts.adaptive_kernels {
+            KernelSelector::new(a.nnz(), self.opts.thresholds)
+        } else {
+            KernelSelector::baseline(a.nnz())
+        };
+        let pivot_floor = self.opts.pivot_floor_rel * norm.max(1.0);
+        let t = Instant::now();
+        if let Some(threads) = self.opts.shared_threads {
+            let ns = crate::shared::factor_shared(
+                &mut self.factored,
+                &self.tg,
+                &selector,
+                pivot_floor,
+                threads,
+            );
+            self.stats.perturbed_pivots = ns.perturbed_pivots;
+            self.stats.numeric = Some(ns);
+        } else if self.opts.ranks == 1 {
+            let ns = factor_sequential(&mut self.factored, &self.tg, &selector, pivot_floor);
+            self.stats.perturbed_pivots = ns.perturbed_pivots;
+            self.stats.numeric = Some(ns);
+        } else {
+            let ws = self.workspace.as_mut().expect("multi-rank solver retains its workspace");
+            let run = factor_distributed_cached(
+                &mut self.factored,
+                &self.tg,
+                &self.owners,
+                &selector,
+                pivot_floor,
+                &FactorConfig::with_mode(self.opts.schedule),
+                ws,
+            )
+            .unwrap_or_else(|e| panic!("distributed refactorisation failed: {e}"));
+            self.stats.perturbed_pivots = run.stats.perturbed_pivots;
+            self.stats.dist = Some(run.stats);
+            self.stats.report = Some(run.report);
+        }
+        self.stats.numeric_time = t.elapsed();
+        self.stats.phases.numeric_runs += 1;
+        self.stats.phases.analysis_reuses += 1;
+        Ok(())
     }
 
     /// Solves `A x = b` (phase 5: `Ly = b'`, `Ux = y` plus the inverse

@@ -207,6 +207,59 @@ pub struct MemStats {
     pub ssssm_batches: u64,
 }
 
+/// Pipeline-phase accounting: how many times each phase of the
+/// five-phase pipeline actually ran over a solver's lifetime.
+///
+/// The analyze/factor split (see `docs/REFACTORISATION.md`) promises that
+/// a numeric-only refactorisation re-runs *only* the numeric kernels and
+/// reuses every pattern-dependent analysis product — the reordering, the
+/// symbolic fill, the block layout and owner map, the per-rank schedule.
+/// These counters make that promise checkable exactly, not by wall
+/// clock: a first factorisation records one run of each phase; each
+/// `refactor` adds one numeric run and one analysis reuse and nothing
+/// else. `bench_compare` gates them with the other exact work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Reordering-phase executions (MC64 + fill-reducing permutation).
+    pub reorder_runs: u64,
+    /// Symbolic-factorisation executions.
+    pub symbolic_runs: u64,
+    /// Preprocess executions (blocking + owner map + balancing).
+    pub preprocess_runs: u64,
+    /// Numeric-factorisation executions (first factor and refactors).
+    pub numeric_runs: u64,
+    /// Numeric runs that reused a cached analysis instead of recomputing
+    /// the reorder/symbolic/preprocess phases.
+    pub analysis_reuses: u64,
+}
+
+impl PhaseCounters {
+    /// The counters after one full first factorisation: every phase ran
+    /// once, nothing was reused.
+    pub fn first_factor() -> Self {
+        PhaseCounters {
+            reorder_runs: 1,
+            symbolic_runs: 1,
+            preprocess_runs: 1,
+            numeric_runs: 1,
+            analysis_reuses: 0,
+        }
+    }
+
+    /// The work done since an earlier snapshot (elementwise difference) —
+    /// how `bench_refactor` isolates the steady-state refactor reps from
+    /// the first factorisation.
+    pub fn since(&self, earlier: &PhaseCounters) -> PhaseCounters {
+        PhaseCounters {
+            reorder_runs: self.reorder_runs - earlier.reorder_runs,
+            symbolic_runs: self.symbolic_runs - earlier.symbolic_runs,
+            preprocess_runs: self.preprocess_runs - earlier.preprocess_runs,
+            numeric_runs: self.numeric_runs - earlier.numeric_runs,
+            analysis_reuses: self.analysis_reuses - earlier.analysis_reuses,
+        }
+    }
+}
+
 /// Tasks executed, by kernel kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskCounts {
@@ -691,6 +744,27 @@ mod tests {
         assert_eq!(entries[0].0, "GESSM");
         assert_eq!(entries[0].1, "G_V1");
         assert_eq!(t.calls_by_class(), [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn phase_counters_diff_isolates_steady_state() {
+        let first = PhaseCounters::first_factor();
+        assert_eq!(first.numeric_runs, 1);
+        assert_eq!(first.analysis_reuses, 0);
+        let mut after = first;
+        after.numeric_runs += 3;
+        after.analysis_reuses += 3;
+        let steady = after.since(&first);
+        assert_eq!(
+            steady,
+            PhaseCounters {
+                reorder_runs: 0,
+                symbolic_runs: 0,
+                preprocess_runs: 0,
+                numeric_runs: 3,
+                analysis_reuses: 3
+            }
+        );
     }
 
     #[test]

@@ -338,8 +338,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
     };
 }
 

@@ -50,6 +50,10 @@ pub enum SparseError {
     NotSquare { nrows: usize, ncols: usize },
     /// Dimensions of two operands do not match.
     DimensionMismatch(String),
+    /// A matrix handed to a numeric-only refactorisation does not have
+    /// the sparsity pattern the cached analysis was built for (different
+    /// dimension, nonzero count, or nonzero positions).
+    PatternMismatch(String),
 }
 
 impl std::fmt::Display for SparseError {
@@ -65,6 +69,7 @@ impl std::fmt::Display for SparseError {
                 write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
             }
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::PatternMismatch(msg) => write!(f, "sparsity pattern mismatch: {msg}"),
         }
     }
 }

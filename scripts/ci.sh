@@ -1,32 +1,105 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: clippy perf lints, release build, the full test
-# suite, the schedule-trace validator on a traced 2x2-grid
-# factorisation under a seeded adversarial fault plan (see
-# docs/FAULT_INJECTION.md), and the smoke-benchmark regression gate
-# (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md).
+# Tier-1 CI gate. Runs the full stage list by default, or a single stage
+# with `--stage <name>` (the GitHub workflow runs one named step per
+# stage so failures are attributable at a glance).
 #
-# Usage: scripts/ci.sh [fault-seed]
+#   fmt     cargo fmt --check (no reformat)
+#   clippy  perf lints, all warnings fatal, all targets
+#   build   release build of the whole workspace
+#   test    cargo test -q --workspace (includes the root package)
+#   doc     rustdoc with warnings fatal (broken intra-doc links etc.)
+#   trace   schedule-trace validator over a 5-seed fault sweep
+#           (see docs/FAULT_INJECTION.md)
+#   bench   benchmark-regression gates: smoke + refactor baselines
+#           (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
+#
+# Usage:
+#   scripts/ci.sh [seed-base]
+#   scripts/ci.sh --stage <name> [seed-base]
+#
+# The trace stage validates fault seeds seed-base..seed-base+4; the base
+# comes from the positional argument, else PANGULU_TRACE_SEED_BASE, else
+# 1. CI derives the base from the pipeline run number, so every pipeline
+# run sweeps a different seed window while staying fully deterministic
+# within a run. Each stage's output is teed to target/ci-logs/<stage>.log
+# and a per-stage timing table is printed on exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-seed="${1:-1}"
+log_dir="target/ci-logs"
+mkdir -p "$log_dir"
 
-echo "== clippy (perf lints, warnings fatal) =="
-cargo clippy --workspace --all-targets -- -D clippy::perf -D warnings
+stage_fmt() {
+    cargo fmt --all -- --check
+}
 
-echo "== cargo build --release =="
-cargo build --release
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D clippy::perf -D warnings
+}
 
-echo "== cargo test -q =="
-cargo test -q
+stage_build() {
+    cargo build --release
+}
 
-echo "== workspace tests =="
-cargo test -q --workspace
+stage_test() {
+    cargo test -q --workspace
+}
 
-echo "== trace validator (fault seed ${seed}) =="
-cargo run --release -q --bin trace_validate -- "${seed}"
+stage_doc() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+}
 
-echo "== benchmark-regression gate =="
-scripts/bench_compare.sh
+stage_trace() {
+    cargo build --release -q --bin trace_validate
+    local seed
+    for seed in $(seq "$seed_base" $((seed_base + 4))); do
+        echo "--- trace_validate, fault seed $seed"
+        ./target/release/trace_validate "$seed"
+    done
+}
 
-echo "CI OK"
+stage_bench() {
+    scripts/bench_compare.sh
+}
+
+all_stages=(fmt clippy build test doc trace bench)
+
+only=""
+if [[ "${1:-}" == "--stage" ]]; then
+    only="${2:?usage: scripts/ci.sh --stage <name> [seed-base]}"
+    shift 2
+    found=0
+    for s in "${all_stages[@]}"; do [[ "$s" == "$only" ]] && found=1; done
+    if [[ "$found" -ne 1 ]]; then
+        echo "ci.sh: unknown stage '$only' (stages: ${all_stages[*]})" >&2
+        exit 2
+    fi
+fi
+seed_base="${1:-${PANGULU_TRACE_SEED_BASE:-1}}"
+
+timing_rows=()
+print_timings() {
+    if [[ "${#timing_rows[@]}" -gt 0 ]]; then
+        echo "== stage timings =="
+        printf '  %s\n' "${timing_rows[@]}"
+    fi
+}
+trap print_timings EXIT
+
+run_stage() {
+    local name="$1" t0 dt
+    echo "== stage: $name =="
+    t0=$SECONDS
+    "stage_$name" 2>&1 | tee "$log_dir/$name.log"
+    dt=$((SECONDS - t0))
+    timing_rows+=("$(printf '%-7s %4ds' "$name" "$dt")")
+}
+
+if [[ -n "$only" ]]; then
+    run_stage "$only"
+else
+    for s in "${all_stages[@]}"; do
+        run_stage "$s"
+    done
+    echo "CI OK"
+fi

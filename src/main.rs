@@ -14,6 +14,7 @@
 //!       --no-balance       disable the static load balancer
 //!       --no-adaptive      disable decision-tree kernel selection
 //!       --refine <tol>     iterative refinement to the given tolerance
+//!       --refactor-reps <n> re-run the numeric-only refactorisation n times
 //!       --rhs <path>       right-hand side file (one value per line)
 //!       --out <path>       write the solution vector
 //!       --report-json <p>  write the per-rank metrics RunReport (multi-rank)
@@ -40,6 +41,7 @@ struct Cli {
     balance: bool,
     adaptive: bool,
     refine: Option<f64>,
+    refactor_reps: usize,
     rhs: Option<String>,
     out: Option<String>,
     report_json: Option<String>,
@@ -62,6 +64,7 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
       --no-balance       disable the static load balancer
       --no-adaptive      disable decision-tree kernel selection
       --refine <tol>     iterative refinement to the given tolerance
+      --refactor-reps <n> re-run the numeric-only refactorisation n times
       --rhs <path>       right-hand side file (one value per line)
       --out <path>       write the solution vector
       --report-json <p>  write the per-rank metrics RunReport (multi-rank)
@@ -80,6 +83,7 @@ fn parse_args() -> Cli {
         balance: true,
         adaptive: true,
         refine: None,
+        refactor_reps: 0,
         rhs: None,
         out: None,
         report_json: None,
@@ -127,6 +131,10 @@ fn parse_args() -> Cli {
             "--no-adaptive" => cli.adaptive = false,
             "--refine" => {
                 cli.refine = Some(next(&mut args, "--refine").parse().unwrap_or_else(|_| usage()))
+            }
+            "--refactor-reps" => {
+                cli.refactor_reps =
+                    next(&mut args, "--refactor-reps").parse().unwrap_or_else(|_| usage())
             }
             "--rhs" => cli.rhs = Some(next(&mut args, "--rhs")),
             "--out" => cli.out = Some(next(&mut args, "--out")),
@@ -198,7 +206,7 @@ fn main() -> ExitCode {
     if let Some(nb) = cli.nb {
         builder = builder.block_size(nb);
     }
-    let solver = match builder.build(&a) {
+    let mut solver = match builder.build(&a) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("factorisation failed: {e}");
@@ -246,6 +254,30 @@ fn main() -> ExitCode {
                 "note: --report-json needs a multi-rank run (-np 2 or more); no report written"
             ),
         }
+    }
+
+    if cli.refactor_reps > 0 {
+        let first_numeric = s.numeric_time;
+        let first_pipeline = s.reorder_time + s.symbolic_time + s.preprocess_time + s.numeric_time;
+        let mut steady = std::time::Duration::MAX;
+        for _ in 0..cli.refactor_reps {
+            let t = std::time::Instant::now();
+            if let Err(e) = solver.refactor(&a) {
+                eprintln!("refactorisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            steady = steady.min(t.elapsed());
+        }
+        let ph = solver.stats().phases;
+        println!(
+            "refactor: {} reps | first factor {:.1?} (full pipeline {:.1?}) | steady min {:.1?}",
+            cli.refactor_reps, first_numeric, first_pipeline, steady
+        );
+        println!(
+            "phases: reorder x{} | symbolic x{} | preprocess x{} | numeric x{} | analysis reuses {}",
+            ph.reorder_runs, ph.symbolic_runs, ph.preprocess_runs, ph.numeric_runs,
+            ph.analysis_reuses
+        );
     }
 
     let b = match load_rhs(&cli, a.nrows()) {

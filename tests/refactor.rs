@@ -1,0 +1,322 @@
+//! Numeric-only refactorisation: `Solver::refactor` must reuse the whole
+//! cached analysis (reordering, symbolic fill, block layout, owner map,
+//! executor schedules) and still produce factors **bitwise identical** to
+//! a full pipeline run on the same values — across rank counts and
+//! schedule modes, and at the executor level also under adversarial
+//! (lossless) fault plans. Structurally different inputs must be
+//! rejected with `SparseError::PatternMismatch`, leaving the solver
+//! untouched.
+
+use pangulu::comm::{FaultPlan, ProcessGrid};
+use pangulu::core::dist::{
+    factor_distributed_cached, factor_distributed_checked, FactorConfig, NumericWorkspace,
+    ScheduleMode,
+};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::prelude::*;
+use pangulu::sparse::ops::relative_residual;
+use pangulu::sparse::permute::{permute, scale};
+use pangulu::sparse::{gen, CscMatrix, SparseError};
+
+/// Every stored factor value as raw bits, per block — the comparison that
+/// distinguishes "bitwise identical" from "numerically close".
+fn factor_bits(bm: &BlockMatrix) -> Vec<Vec<u64>> {
+    (0..bm.num_blocks())
+        .map(|id| bm.block(id).values().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Same pattern, deterministically perturbed values: entry `k` is scaled
+/// by `1 + 0.05 * h(k)` with `h(k)` a fixed hash in `[0, 1)` — modest
+/// enough that the cached MC64 matching stays numerically sensible, and
+/// never zero so the pattern is untouched.
+fn perturb(a: &CscMatrix) -> CscMatrix {
+    let values: Vec<f64> = a
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(k, v)| v * (1.0 + 0.05 * ((k.wrapping_mul(2654435761) % 97) as f64 / 97.0)))
+        .collect();
+    CscMatrix::from_parts(a.nrows(), a.ncols(), a.col_ptr().to_vec(), a.row_idx().to_vec(), values)
+        .unwrap()
+}
+
+fn opts_for(ranks: usize, schedule: ScheduleMode) -> SolverOptions {
+    SolverOptions { ranks, schedule, ..SolverOptions::default() }
+}
+
+fn opts_ranks(tag: &str) -> usize {
+    if tag == "seq" {
+        1
+    } else {
+        2
+    }
+}
+
+/// refactor(same values) must equal a fresh factorisation of the same
+/// matrix bit-for-bit, in every deterministic execution mode, and the
+/// solve vectors must match exactly too.
+#[test]
+fn refactor_same_values_is_bitwise_identical_to_fresh_factor() {
+    let a = gen::circuit(300, 21);
+    for (tag, opts) in [
+        ("seq", opts_for(1, ScheduleMode::SyncFree)),
+        ("sync-free 2x2", opts_for(4, ScheduleMode::SyncFree)),
+        ("level-set 1x2", opts_for(2, ScheduleMode::LevelSet)),
+    ] {
+        let fresh = Solver::factor_with(&a, opts.clone()).unwrap();
+        let mut solver = Solver::factor_with(&a, opts).unwrap();
+        solver.refactor(&a).unwrap_or_else(|e| panic!("{tag}: refactor failed: {e}"));
+        assert_eq!(
+            factor_bits(solver.factored()),
+            factor_bits(fresh.factored()),
+            "{tag}: refactored factors differ from a fresh factorisation"
+        );
+        let b = gen::test_rhs(a.nrows(), 7);
+        let xr = solver.solve(&b).unwrap();
+        if opts_ranks(tag) == 1 {
+            // The sequential substitution is a deterministic function of
+            // the (identical) factors; the distributed solve reduces
+            // across ranks in racy order, so it gets a residual check.
+            assert_eq!(xr, fresh.solve(&b).unwrap(), "{tag}: solve vectors differ");
+        }
+        assert!(relative_residual(&a, &xr, &b).unwrap() < 1e-8, "{tag}: refactored solve residual");
+    }
+}
+
+/// refactor(new values) must equal a manual pipeline rebuild that holds
+/// the reordering fixed: scale + permute with the *cached* permutations
+/// and scalings, then the numeric phase from scratch. (A fresh
+/// `Solver::factor` is not the reference here — MC64 is value-dependent
+/// and would pick a different matching for the new values.)
+#[test]
+fn refactor_new_values_matches_manual_rebuild_with_cached_reordering() {
+    let a = gen::circuit(300, 21);
+    let a2 = perturb(&a);
+    let opts = opts_for(4, ScheduleMode::SyncFree);
+    let mut solver = Solver::factor_with(&a, opts).unwrap();
+    let nb = solver.stats().block_size;
+    solver.refactor(&a2).unwrap();
+
+    // Manual reference: the five-phase pipeline with phases 1-3 pinned to
+    // the solver's cached analysis.
+    let r = solver.reordering();
+    let scaled = scale(&a2, &r.row_scale, &r.col_scale).unwrap();
+    let permuted = permute(&scaled, &r.row_perm, &r.col_perm).unwrap();
+    let fill = pangulu::symbolic::symbolic_fill(&permuted).unwrap();
+    let filled = fill.filled_matrix(&permuted).unwrap();
+    let mut bm = BlockMatrix::from_filled(&filled, nb).unwrap();
+    let tg = TaskGraph::build(&bm);
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::new(4), &tg);
+    let sel = KernelSelector::new(a2.nnz(), Thresholds::default());
+    let pivot_floor = 1e-12 * permuted.norm_max().max(1.0);
+    factor_distributed_checked(
+        &mut bm,
+        &tg,
+        &owners,
+        &sel,
+        pivot_floor,
+        &FactorConfig::with_mode(ScheduleMode::SyncFree),
+    )
+    .unwrap();
+
+    assert_eq!(
+        factor_bits(solver.factored()),
+        factor_bits(&bm),
+        "refactored factors differ from the manual rebuild"
+    );
+    // And the refactored solver actually solves the new system.
+    let b = gen::test_rhs(a2.nrows(), 3);
+    let x = solver.solve(&b).unwrap();
+    assert!(relative_residual(&a2, &x, &b).unwrap() < 1e-8);
+}
+
+/// Refactoring twice with the same values changes nothing, and
+/// refactoring back to the original values restores the original factors
+/// bit-for-bit.
+#[test]
+fn refactor_is_idempotent_and_reversible() {
+    let a = gen::laplacian_2d(14, 13);
+    let a2 = perturb(&a);
+    let mut solver = Solver::factor_with(&a, opts_for(4, ScheduleMode::SyncFree)).unwrap();
+    let original = factor_bits(solver.factored());
+
+    solver.refactor(&a2).unwrap();
+    let once = factor_bits(solver.factored());
+    solver.refactor(&a2).unwrap();
+    assert_eq!(once, factor_bits(solver.factored()), "second refactor changed the factors");
+
+    solver.refactor(&a).unwrap();
+    assert_eq!(
+        original,
+        factor_bits(solver.factored()),
+        "refactoring back to the original values did not restore the original factors"
+    );
+}
+
+/// Shared-memory mode reuses the analysis too. Its executor applies
+/// same-target updates in arrival order, so bitwise reproducibility is
+/// not guaranteed — the contract here is the counters and the solution.
+#[test]
+fn refactor_shared_memory_mode_solves_and_skips_analysis() {
+    let a = gen::circuit(250, 13);
+    let opts = SolverOptions { shared_threads: Some(3), ..SolverOptions::default() };
+    let mut solver = Solver::factor_with(&a, opts).unwrap();
+    let a2 = perturb(&a);
+    solver.refactor(&a2).unwrap();
+    let ph = solver.stats().phases;
+    assert_eq!((ph.reorder_runs, ph.symbolic_runs, ph.preprocess_runs), (1, 1, 1));
+    assert_eq!((ph.numeric_runs, ph.analysis_reuses), (2, 1));
+    let b = gen::test_rhs(a2.nrows(), 5);
+    let x = solver.solve(&b).unwrap();
+    assert!(relative_residual(&a2, &x, &b).unwrap() < 1e-8);
+}
+
+/// Structurally different inputs are rejected with `PatternMismatch` and
+/// the solver keeps serving its current factorisation.
+#[test]
+fn refactor_rejects_pattern_mismatch() {
+    let a = gen::laplacian_2d(8, 8);
+    let n = a.nrows();
+    let mut solver = Solver::factor_with(&a, opts_for(4, ScheduleMode::SyncFree)).unwrap();
+    let before = factor_bits(solver.factored());
+
+    let expect_mismatch = |res: pangulu::sparse::Result<()>, tag: &str| match res {
+        Err(SparseError::PatternMismatch(msg)) => {
+            assert!(!msg.is_empty(), "{tag}: empty mismatch message")
+        }
+        other => panic!("{tag}: expected PatternMismatch, got {other:?}"),
+    };
+
+    // Different dimension.
+    expect_mismatch(solver.refactor(&gen::laplacian_2d(8, 9)), "dimension");
+
+    // One extra nonzero (nnz differs).
+    let mut coo = pangulu::sparse::CooMatrix::new(n, n);
+    for j in 0..n {
+        let (rows, vals) = a.col(j);
+        for (i, v) in rows.iter().zip(vals) {
+            coo.push(*i, j, *v).unwrap();
+        }
+    }
+    coo.push(0, n - 1, 0.5).unwrap();
+    let extra = coo.to_csc();
+    assert_eq!(extra.nnz(), a.nnz() + 1);
+    expect_mismatch(solver.refactor(&extra), "extra nonzero");
+
+    // Same nnz, different structure: move one off-diagonal entry.
+    let mut row_idx = a.row_idx().to_vec();
+    let j0 = (0..n)
+        .find(|&j| {
+            let (rows, _) = a.col(j);
+            rows.len() > 1 && !rows.contains(&(n - 1))
+        })
+        .expect("a column with room to move an entry");
+    let lo = a.col_ptr()[j0];
+    let hi = a.col_ptr()[j0 + 1];
+    row_idx[hi - 1] = n - 1; // still sorted: previous last row < n-1
+    let moved =
+        CscMatrix::from_parts(n, n, a.col_ptr().to_vec(), row_idx, a.values().to_vec()).unwrap();
+    assert_eq!(moved.nnz(), a.nnz());
+    assert!(hi > lo);
+    expect_mismatch(solver.refactor(&moved), "moved entry");
+
+    // The factorisation is untouched and still solves the original system.
+    assert_eq!(before, factor_bits(solver.factored()), "rejected refactor mutated the factors");
+    let b = gen::test_rhs(n, 9);
+    let x = solver.solve(&b).unwrap();
+    assert!(relative_residual(&a, &x, &b).unwrap() < 1e-10);
+}
+
+/// Executor-level workspace reuse: running the cached path twice on the
+/// same workspace — under an adversarial (lossless delay/reorder) fault
+/// plan — yields factors bitwise equal to the one-shot checked run, and
+/// the second run serves every receive from the warm pattern cache.
+#[test]
+fn workspace_reuse_is_bitwise_stable_under_adversarial_faults() {
+    let a = gen::laplacian_2d(9, 8);
+    let filled = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm0 = BlockMatrix::from_filled(&filled, 9).unwrap();
+    let tg = TaskGraph::build(&bm0);
+    let owners = OwnerMap::balanced(&bm0, ProcessGrid::with_shape(2, 2), &tg);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+
+    // Reference: a plain fault-free checked run.
+    let mut reference = bm0.clone();
+    factor_distributed_checked(
+        &mut reference,
+        &tg,
+        &owners,
+        &sel,
+        1e-12,
+        &FactorConfig::with_mode(ScheduleMode::SyncFree),
+    )
+    .unwrap();
+    let reference_bits = factor_bits(&reference);
+
+    for seed in [1u64, 2] {
+        let mut ws = NumericWorkspace::new(&bm0, &tg, &owners);
+        let mut hits_first = 0;
+        for round in 0..2 {
+            let cfg = FactorConfig::with_mode(ScheduleMode::SyncFree)
+                .with_fault(FaultPlan::adversarial(seed));
+            let mut bm = bm0.clone();
+            let run = factor_distributed_cached(&mut bm, &tg, &owners, &sel, 1e-12, &cfg, &mut ws)
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: {e}"));
+            assert_eq!(
+                factor_bits(&bm),
+                reference_bits,
+                "seed {seed} round {round}: factors drifted from the fault-free reference"
+            );
+            let hits = run.report.total_mem().pattern_cache_hits;
+            if round == 0 {
+                hits_first = hits;
+            } else {
+                assert!(
+                    hits >= hits_first,
+                    "seed {seed}: warm workspace lost cache hits ({hits} < {hits_first})"
+                );
+            }
+        }
+    }
+}
+
+/// The phase counters record exactly which phases ran: the first
+/// factorisation runs all four, every refactorisation adds one numeric
+/// run and one analysis reuse.
+#[test]
+fn phase_counters_track_cached_vs_recomputed_phases() {
+    let a = gen::laplacian_2d(10, 10);
+    let mut solver = Solver::factor_with(&a, opts_for(4, ScheduleMode::SyncFree)).unwrap();
+    let first = solver.stats().phases;
+    assert_eq!(
+        (
+            first.reorder_runs,
+            first.symbolic_runs,
+            first.preprocess_runs,
+            first.numeric_runs,
+            first.analysis_reuses
+        ),
+        (1, 1, 1, 1, 0)
+    );
+
+    solver.refactor(&a).unwrap();
+    solver.refactor(&perturb(&a)).unwrap();
+    let ph = solver.stats().phases;
+    assert_eq!(
+        (
+            ph.reorder_runs,
+            ph.symbolic_runs,
+            ph.preprocess_runs,
+            ph.numeric_runs,
+            ph.analysis_reuses
+        ),
+        (1, 1, 1, 3, 2)
+    );
+    let steady = ph.since(&first);
+    assert_eq!((steady.reorder_runs, steady.symbolic_runs, steady.preprocess_runs), (0, 0, 0));
+    assert_eq!((steady.numeric_runs, steady.analysis_reuses), (2, 2));
+}
