@@ -31,10 +31,12 @@ use std::process::ExitCode;
 
 use pangulu_metrics::json::Json;
 
-/// Accepted document schemas: the single-shot smoke corpus and the
-/// refactorisation (steady-state) corpus. Baseline and fresh must carry
-/// the *same* schema — the gate never compares across benchmark kinds.
-const SCHEMAS: [&str; 2] = ["pangulu-bench-smoke-v1", "pangulu-bench-refactor-v1"];
+/// Accepted document schemas: the single-shot smoke corpus, the
+/// refactorisation (steady-state) corpus, and the kernel-plan
+/// micro-benchmark sweep. Baseline and fresh must carry the *same*
+/// schema — the gate never compares across benchmark kinds.
+const SCHEMAS: [&str; 3] =
+    ["pangulu-bench-smoke-v1", "pangulu-bench-refactor-v1", "pangulu-bench-kernels-v1"];
 const DEFAULT_TOL: f64 = 0.15;
 const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// Counters compared exactly; FLOPs get a tiny relative slack for the
@@ -42,7 +44,7 @@ const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// analyze/factor split: any recomputed analysis work in a steady-state
 /// refactorisation run shows up here as a hard failure, not a wall-time
 /// wobble.
-const EXACT_KEYS: [&str; 12] = [
+const EXACT_KEYS: [&str; 15] = [
     "msgs",
     "bytes",
     "tasks",
@@ -50,6 +52,9 @@ const EXACT_KEYS: [&str; 12] = [
     "bytes_copied",
     "payload_allocs",
     "pattern_cache_hits",
+    "planned_calls",
+    "index_searches_avoided",
+    "plan_bytes",
     "reorder_runs",
     "symbolic_runs",
     "preprocess_runs",

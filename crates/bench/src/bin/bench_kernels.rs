@@ -1,0 +1,273 @@
+//! `bench_kernels` — planned-vs-unplanned kernel micro-benchmark backing
+//! the kernel-plan regression gate.
+//!
+//! Sweeps the Figure 8 block sizes: the fixed FEM matrix is reordered and
+//! symbolically filled once, then cut into blocks at each `nb` of
+//! [`NB_SWEEP`]. At each sweep point a mid-factorisation scenario is
+//! extracted (factored diagonal, solved panels, Schur target — the same
+//! construction as `benches/kernels.rs`) and GESSM, TSTRF and SSSSM are
+//! timed through the criterion shim in both forms:
+//!
+//! * **unplanned** `C_V1`, which re-discovers index positions per call;
+//! * **planned**, executing a prebuilt index plan (the plan is built once
+//!   outside the timed closure — refactorisation steady state).
+//!
+//! Each timed routine also verifies bitwise identity of the planned
+//! result against `C_V1` before emitting anything. `BENCH_kernels.json`
+//! carries, per sweep point, the min-of-samples kernel seconds plus the
+//! deterministic plan counters (`planned_calls`,
+//! `index_searches_avoided`, `plan_bytes`) that `bench_compare` gates
+//! exactly; wall time is gated on the corpus total like the other
+//! benchmark schemas.
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use pangulu_bench::data_dir;
+use pangulu_core::block::BlockMatrix;
+use pangulu_core::task::TaskGraph;
+use pangulu_kernels::{
+    flops, getrf, plan, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
+};
+use pangulu_metrics::json::Json;
+use pangulu_sparse::CscMatrix;
+
+/// JSON schema tag checked by `bench_compare`.
+pub const SCHEMA: &str = "pangulu-bench-kernels-v1";
+
+/// Block sizes swept (the x-axis of the Figure 8 study).
+const NB_SWEEP: [usize; 4] = [16, 32, 64, 128];
+
+/// Timed iterations per kernel; fixed (not env-tunable) so the exact
+/// counters below are reproducible.
+const SAMPLES: usize = 10;
+
+/// A mid-factorisation scenario at one block size.
+struct Scenario {
+    diag_lu: CscMatrix,
+    upper: CscMatrix,
+    lower: CscMatrix,
+    l_op: CscMatrix,
+    u_op: CscMatrix,
+    target: CscMatrix,
+}
+
+fn scenario(bm: &BlockMatrix, tg: &TaskGraph) -> Scenario {
+    let mut scratch = KernelScratch::with_capacity(bm.nb());
+    let k = (0..bm.nblk())
+        .find(|&k| !tg.l_panels[k].is_empty() && !tg.u_panels[k].is_empty())
+        .expect("a step with both panel kinds");
+    let mut diag_lu = bm.block(bm.block_id(k, k).unwrap()).clone();
+    getrf::getrf(&mut diag_lu, GetrfVariant::CV1, &mut scratch, 1e-12);
+    let j = tg.u_panels[k][0];
+    let i = tg.l_panels[k][0];
+    let upper = bm.block(bm.block_id(k, j).unwrap()).clone();
+    let lower = bm.block(bm.block_id(i, k).unwrap()).clone();
+    let mut l_op = lower.clone();
+    trsm::tstrf(&diag_lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
+    let mut u_op = upper.clone();
+    trsm::gessm(&diag_lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
+    let target =
+        bm.block_id(i, j).map(|id| bm.block(id).clone()).unwrap_or_else(|| diag_lu.clone());
+    Scenario { diag_lu, upper, lower, l_op, u_op, target }
+}
+
+/// Times `f` through the criterion shim, returning the minimum single-call
+/// seconds over [`SAMPLES`] iterations (clones excluded from the timing).
+fn timed(c: &mut Criterion, group: &str, label: &str, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut g = c.benchmark_group(group);
+    g.sample_size(SAMPLES);
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter(|| best = best.min(f()));
+    });
+    g.finish();
+    best
+}
+
+struct SweepPoint {
+    nb: usize,
+    /// (label, unplanned seconds, planned seconds) per kernel class.
+    kernels: Vec<(&'static str, f64, f64)>,
+    planned_calls: u64,
+    index_searches_avoided: u64,
+    plan_bytes: u64,
+    ssssm_flops: f64,
+}
+
+fn run_point(c: &mut Criterion, bm: &BlockMatrix, tg: &TaskGraph, nb: usize) -> SweepPoint {
+    let s = scenario(bm, tg);
+    let mut scratch = KernelScratch::with_capacity(bm.nb());
+    let group = format!("nb{nb:03}");
+
+    // One pooled arena shared by the three plans; offsets are absolute,
+    // so every executor receives the full slice.
+    let mut arena = Vec::new();
+    let p_gessm = plan::build_gessm_plan(&s.diag_lu, &s.upper, &mut arena);
+    let p_tstrf = plan::build_tstrf_plan(&s.diag_lu, &s.lower, &mut arena);
+    let p_ssssm = plan::build_ssssm_plan(&s.l_op, &s.u_op, &s.target, &mut arena);
+
+    // Bitwise-identity check before timing anything.
+    let mut want = s.upper.clone();
+    trsm::gessm(&s.diag_lu, &mut want, TrsmVariant::CV1, &mut scratch);
+    let mut got = s.upper.clone();
+    plan::gessm_planned(&s.diag_lu, &mut got, &p_gessm, &arena);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned GESSM diverged");
+    let mut want = s.lower.clone();
+    trsm::tstrf(&s.diag_lu, &mut want, TrsmVariant::CV1, &mut scratch);
+    let mut got = s.lower.clone();
+    plan::tstrf_planned(&s.diag_lu, &mut got, &p_tstrf, &arena);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned TSTRF diverged");
+    let mut want = s.target.clone();
+    ssssm::ssssm(&s.l_op, &s.u_op, &mut want, SsssmVariant::CV1, &mut scratch);
+    let mut got = s.target.clone();
+    plan::ssssm_planned(&s.l_op, &s.u_op, &mut got, &p_ssssm, &arena);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned SSSSM diverged");
+
+    let mut kernels = Vec::new();
+    let un = timed(c, &group, "gessm/C_V1", || {
+        let mut b = s.upper.clone();
+        let t = Instant::now();
+        trsm::gessm(&s.diag_lu, &mut b, TrsmVariant::CV1, &mut scratch);
+        t.elapsed().as_secs_f64()
+    });
+    let pl = timed(c, &group, "gessm/P_V1", || {
+        let mut b = s.upper.clone();
+        let t = Instant::now();
+        plan::gessm_planned(&s.diag_lu, &mut b, &p_gessm, &arena);
+        t.elapsed().as_secs_f64()
+    });
+    kernels.push(("gessm", un, pl));
+    let un = timed(c, &group, "tstrf/C_V1", || {
+        let mut b = s.lower.clone();
+        let t = Instant::now();
+        trsm::tstrf(&s.diag_lu, &mut b, TrsmVariant::CV1, &mut scratch);
+        t.elapsed().as_secs_f64()
+    });
+    let pl = timed(c, &group, "tstrf/P_V1", || {
+        let mut b = s.lower.clone();
+        let t = Instant::now();
+        plan::tstrf_planned(&s.diag_lu, &mut b, &p_tstrf, &arena);
+        t.elapsed().as_secs_f64()
+    });
+    kernels.push(("tstrf", un, pl));
+    let un = timed(c, &group, "ssssm/C_V1", || {
+        let mut t_blk = s.target.clone();
+        let t = Instant::now();
+        ssssm::ssssm(&s.l_op, &s.u_op, &mut t_blk, SsssmVariant::CV1, &mut scratch);
+        t.elapsed().as_secs_f64()
+    });
+    let pl = timed(c, &group, "ssssm/P_V1", || {
+        let mut t_blk = s.target.clone();
+        let t = Instant::now();
+        plan::ssssm_planned(&s.l_op, &s.u_op, &mut t_blk, &p_ssssm, &arena);
+        t.elapsed().as_secs_f64()
+    });
+    kernels.push(("ssssm", un, pl));
+
+    let searches = p_gessm.searches_avoided + p_tstrf.searches_avoided + p_ssssm.searches_avoided;
+    let plan_bytes = (std::mem::size_of_val(arena.as_slice())
+        + std::mem::size_of_val(p_gessm.srcs.as_slice())
+        + std::mem::size_of_val(p_tstrf.cols.as_slice())
+        + std::mem::size_of_val(p_tstrf.uents.as_slice())
+        + std::mem::size_of_val(p_ssssm.entries.as_slice())) as u64;
+    SweepPoint {
+        nb,
+        kernels,
+        planned_calls: 3 * SAMPLES as u64,
+        index_searches_avoided: searches * SAMPLES as u64,
+        plan_bytes,
+        ssssm_flops: flops::ssssm_flops(&s.l_op, &s.u_op) * SAMPLES as f64,
+    }
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn point_json(p: &SweepPoint) -> Json {
+    let wall: f64 = p.kernels.iter().map(|(_, un, pl)| un + pl).sum();
+    let mut obj = vec![
+        ("name".into(), Json::Str(format!("nb{:03}", p.nb))),
+        ("nb".into(), num(p.nb as f64)),
+        ("wall_seconds".into(), num(wall)),
+    ];
+    for (label, un, pl) in &p.kernels {
+        obj.push((format!("{label}_seconds"), num(*un)));
+        obj.push((format!("{label}_planned_seconds"), num(*pl)));
+        obj.push((format!("{label}_planned_speedup"), num(un / pl)));
+    }
+    // The full exact-key set of the shared gate schema; keys that have no
+    // meaning for a single-process micro-benchmark are constant zeros.
+    let classes = pangulu_metrics::CLASS_LABELS
+        .iter()
+        .map(|label| {
+            let calls = if *label == "GETRF" { 0.0 } else { 2.0 * SAMPLES as f64 };
+            (label.to_string(), num(calls))
+        })
+        .collect();
+    obj.extend([
+        ("msgs".into(), num(0.0)),
+        ("bytes".into(), num(0.0)),
+        ("tasks".into(), num(0.0)),
+        ("kernel_calls".into(), num(6.0 * SAMPLES as f64)),
+        ("kernel_calls_by_class".into(), Json::Obj(classes)),
+        ("bytes_copied".into(), num(0.0)),
+        ("payload_allocs".into(), num(0.0)),
+        ("pattern_cache_hits".into(), num(0.0)),
+        ("planned_calls".into(), num(p.planned_calls as f64)),
+        ("index_searches_avoided".into(), num(p.index_searches_avoided as f64)),
+        ("plan_bytes".into(), num(p.plan_bytes as f64)),
+        ("reorder_runs".into(), num(0.0)),
+        ("symbolic_runs".into(), num(0.0)),
+        ("preprocess_runs".into(), num(0.0)),
+        ("numeric_runs".into(), num(0.0)),
+        ("analysis_reuses".into(), num(0.0)),
+        ("observed_flops".into(), num(p.ssssm_flops)),
+        ("predicted_flops".into(), num(p.ssssm_flops)),
+        ("residual".into(), num(0.0)),
+    ]);
+    Json::Obj(obj)
+}
+
+fn main() {
+    // One fixed matrix; the pattern work (reorder + symbolic fill) is
+    // shared by every sweep point — only the blocking changes.
+    let a = pangulu_sparse::gen::fem_blocked(240, 5, 2, 13);
+    let r = pangulu_reorder::reorder_for_lu(&a, pangulu_reorder::FillReducing::NestedDissection)
+        .expect("reorder");
+    let fill = pangulu_symbolic::symbolic_fill(&r.matrix).expect("symbolic");
+    let filled = fill.filled_matrix(&r.matrix).expect("filled matrix");
+
+    let mut c = Criterion::default();
+    let mut points = Vec::new();
+    for nb in NB_SWEEP {
+        let bm = BlockMatrix::from_filled(&filled, nb).expect("blocking");
+        let tg = TaskGraph::build(&bm);
+        let p = run_point(&mut c, &bm, &tg, nb);
+        for (label, un, pl) in &p.kernels {
+            println!(
+                "nb{nb:03} {label}: unplanned {:>9.3e}s  planned {:>9.3e}s  ({:>5.2}x)",
+                un,
+                pl,
+                un / pl
+            );
+        }
+        points.push(p);
+    }
+
+    let total_wall: f64 =
+        points.iter().map(|p| p.kernels.iter().map(|(_, un, pl)| un + pl).sum::<f64>()).sum();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ranks".into(), num(1.0)),
+        ("reps".into(), num(SAMPLES as f64)),
+        ("total_wall_seconds".into(), num(total_wall)),
+        ("matrices".into(), Json::Arr(points.iter().map(point_json).collect())),
+    ]);
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    let path = dir.join("BENCH_kernels.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_kernels.json");
+    println!("wrote {}", path.display());
+}

@@ -15,9 +15,14 @@
 //!   `numeric_runs = analysis_reuses = reps`, and `bench_compare` gates
 //!   those exactly — any recomputed analysis work is a hard failure;
 //! * the deterministic work counters of one steady-state run (messages,
-//!   bytes, tasks, kernel calls, copy/alloc counters), also gated
-//!   exactly. With the executor workspace reused, every receive in
-//!   steady state is a pattern-cache hit.
+//!   bytes, tasks, kernel calls, copy/alloc counters, kernel-plan
+//!   counters), also gated exactly. With the executor workspace reused,
+//!   every receive in steady state is a pattern-cache hit;
+//! * a planned-vs-unplanned A/B: a second solver with kernel plans off
+//!   refactors the same values, **interleaved** rep-for-rep with the
+//!   planned solver so both see the same machine state, and the minimum
+//!   unplanned wall time is reported as `wall_unplanned_seconds` next to
+//!   the planned `wall_seconds` (ratio in `planned_speedup`).
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_refactor.json`.
@@ -50,8 +55,11 @@ struct RefactorResult {
     nnz: usize,
     /// Full-pipeline wall time of the first factorisation.
     wall_first_seconds: f64,
-    /// Minimum steady-state refactorisation wall time.
+    /// Minimum steady-state refactorisation wall time (plans on).
     wall_seconds: f64,
+    /// Minimum steady-state wall time with kernel plans off, measured
+    /// interleaved with the planned reps.
+    wall_unplanned_seconds: f64,
     /// Minimum numeric-phase time across the refactorisation reps.
     numeric_seconds: f64,
     residual: f64,
@@ -69,14 +77,27 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         .unwrap_or_else(|e| panic!("{name}: factorisation failed: {e}"));
     let wall_first = secs(start.elapsed());
     let first = solver.stats().phases;
+    let mut unplanned = Solver::builder()
+        .ranks(RANKS)
+        .use_plans(false)
+        .build(a)
+        .unwrap_or_else(|e| panic!("{name}: unplanned factorisation failed: {e}"));
 
     let mut best_wall = f64::INFINITY;
+    let mut best_unplanned = f64::INFINITY;
     let mut best_numeric = f64::INFINITY;
     for _ in 0..reps {
+        // Interleave the A/B pair so cache and frequency state are
+        // shared; min-of-reps on each side.
         let t = Instant::now();
         solver.refactor(a).unwrap_or_else(|e| panic!("{name}: refactorisation failed: {e}"));
         best_wall = best_wall.min(secs(t.elapsed()));
         best_numeric = best_numeric.min(secs(solver.stats().numeric_time));
+        let t = Instant::now();
+        unplanned
+            .refactor(a)
+            .unwrap_or_else(|e| panic!("{name}: unplanned refactorisation failed: {e}"));
+        best_unplanned = best_unplanned.min(secs(t.elapsed()));
     }
 
     let stats = solver.stats();
@@ -94,6 +115,7 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         nnz: a.nnz(),
         wall_first_seconds: wall_first,
         wall_seconds: best_wall,
+        wall_unplanned_seconds: best_unplanned,
         numeric_seconds: best_numeric,
         residual,
         report,
@@ -121,7 +143,9 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("nnz".into(), num(r.nnz as f64)),
         ("wall_first_seconds".into(), num(r.wall_first_seconds)),
         ("wall_seconds".into(), num(r.wall_seconds)),
+        ("wall_unplanned_seconds".into(), num(r.wall_unplanned_seconds)),
         ("speedup".into(), num(r.wall_first_seconds / r.wall_seconds)),
+        ("planned_speedup".into(), num(r.wall_unplanned_seconds / r.wall_seconds)),
         ("numeric_seconds".into(), num(r.numeric_seconds)),
         ("busy_seconds".into(), num(r.report.busy_seconds())),
         ("sync_wait_seconds".into(), num(r.report.sync_wait_seconds())),
@@ -135,6 +159,9 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("bytes_copied".into(), num(mem.bytes_copied as f64)),
         ("payload_allocs".into(), num(mem.payload_allocs as f64)),
         ("pattern_cache_hits".into(), num(mem.pattern_cache_hits as f64)),
+        ("planned_calls".into(), num(mem.planned_calls as f64)),
+        ("index_searches_avoided".into(), num(mem.index_searches_avoided as f64)),
+        ("plan_bytes".into(), num(mem.plan_bytes as f64)),
         ("reorder_runs".into(), num(r.phases.reorder_runs as f64)),
         ("symbolic_runs".into(), num(r.phases.symbolic_runs as f64)),
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),
@@ -151,13 +178,15 @@ fn main() {
     for (name, a) in smoke_corpus() {
         let r = run_one(name, &a, reps);
         println!(
-            "{:<14} n {:>5}  nnz {:>6}  first {:>8.4}s  steady {:>8.4}s  ({:>4.1}x)  resid {:.3e}",
+            "{:<14} n {:>5}  nnz {:>6}  first {:>8.4}s  steady {:>8.4}s  ({:>4.1}x)  \
+             unplanned {:>8.4}s  resid {:.3e}",
             r.name,
             r.n,
             r.nnz,
             r.wall_first_seconds,
             r.wall_seconds,
             r.wall_first_seconds / r.wall_seconds,
+            r.wall_unplanned_seconds,
             r.residual
         );
         assert_eq!(
@@ -165,6 +194,9 @@ fn main() {
             (0, 0, 0),
             "{name}: steady-state refactorisation recomputed analysis work"
         );
+        let mem = r.report.total_mem();
+        assert!(mem.planned_calls > 0, "{name}: planned run made no planned kernel calls");
+        assert!(mem.index_searches_avoided > 0, "{name}: plans avoided no index searches");
         results.push(r);
     }
     let total_wall: f64 = results.iter().map(|r| r.wall_seconds).sum();

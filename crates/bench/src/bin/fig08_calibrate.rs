@@ -5,7 +5,7 @@
 //! The output doubles as a `Thresholds { .. }` literal that can be pasted
 //! into `pangulu_kernels::select`.
 
-use pangulu_bench::kernel_timing::{crossover, harvest, HarvestCaps};
+use pangulu_bench::kernel_timing::{crossover, crossover_vs_best, harvest, HarvestCaps};
 
 fn main() {
     let mut samples = Vec::new();
@@ -27,6 +27,18 @@ fn main() {
         ("SSSSM", "C_V1", "C_V2", "ssssm_cv1"),
         ("SSSSM", "C_V2", "G_V1", "ssssm_cpu"),
     ];
+    // Planned-vs-unplanned edges: the crossover (if any) is where *some*
+    // unplanned variant starts beating planned execution — i.e. the cut
+    // above which the selector should stop using the plan and fall back
+    // to the classic tree. Planned is compared against the best measured
+    // unplanned variant per bucket, not just `C_V1`, because above the
+    // `*_cv1` cuts the fallback is the dense-addressed `C_V2`.
+    let planned_edges: [(&str, &str); 4] = [
+        ("GETRF", "getrf_planned"),
+        ("GESSM", "gessm_planned"),
+        ("TSTRF", "tstrf_planned"),
+        ("SSSSM", "ssssm_planned"),
+    ];
     let mut rows = Vec::new();
     println!("// Suggested Thresholds for this machine:");
     for (class, small, big, field) in edges {
@@ -36,6 +48,15 @@ fn main() {
         match x {
             Some(v) => println!("//   {field}: {v:.3e},"),
             None => println!("//   {field}: (no crossover observed; keep default)"),
+        }
+    }
+    for (class, field) in planned_edges {
+        let x = crossover_vs_best(&samples, class, "P_V1");
+        let cell = x.map(|v| format!("{v:.3e}")).unwrap_or_else(|| "none".into());
+        rows.push(format!("{class},P_V1,best,{field},{cell}"));
+        match x {
+            Some(v) => println!("//   {field}: {v:.3e},"),
+            None => println!("//   {field}: (planned never beaten; keep the gate open)"),
         }
     }
     pangulu_bench::emit_csv(

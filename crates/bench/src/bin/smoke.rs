@@ -123,6 +123,9 @@ fn matrix_json(r: &SmokeResult) -> Json {
         ("bytes_copied".into(), num(mem.bytes_copied as f64)),
         ("payload_allocs".into(), num(mem.payload_allocs as f64)),
         ("pattern_cache_hits".into(), num(mem.pattern_cache_hits as f64)),
+        ("planned_calls".into(), num(mem.planned_calls as f64)),
+        ("index_searches_avoided".into(), num(mem.index_searches_avoided as f64)),
+        ("plan_bytes".into(), num(mem.plan_bytes as f64)),
         ("reorder_runs".into(), num(r.phases.reorder_runs as f64)),
         ("symbolic_runs".into(), num(r.phases.symbolic_runs as f64)),
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),

@@ -10,7 +10,7 @@ use std::time::Instant;
 use pangulu_core::block::BlockMatrix;
 use pangulu_core::task::TaskGraph;
 use pangulu_kernels::{
-    flops, getrf, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
+    flops, getrf, plan, ssssm, trsm, GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant,
 };
 
 /// One timed kernel invocation.
@@ -100,6 +100,16 @@ pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<S
                     seconds: secs,
                 });
             }
+            // Planned execution: the plan is built once outside the timed
+            // closure — steady state amortises the build to zero.
+            let blk = bm.block(diag_id).clone();
+            let mut arena = Vec::new();
+            let p = plan::build_getrf_plan(&blk, &mut arena);
+            let secs = best_of_3(|| {
+                let mut b = blk.clone();
+                plan::getrf_planned(&mut b, &p, &arena, 1e-12);
+            });
+            samples.push(Sample { class: "GETRF", variant: "P_V1", feature: nnz, seconds: secs });
         }
         getrf::getrf(bm.block_mut(diag_id), GetrfVariant::CV1, &mut scratch, 1e-12);
 
@@ -122,6 +132,18 @@ pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<S
                         seconds: secs,
                     });
                 }
+                let mut arena = Vec::new();
+                let p = plan::build_gessm_plan(&diag, &orig, &mut arena);
+                let secs = best_of_3(|| {
+                    let mut b = orig.clone();
+                    plan::gessm_planned(&diag, &mut b, &p, &arena);
+                });
+                samples.push(Sample {
+                    class: "GESSM",
+                    variant: "P_V1",
+                    feature: nnz,
+                    seconds: secs,
+                });
             }
             let (diag, b) = bm.block_pair_mut(diag_id, b_id);
             trsm::gessm(diag, b, TrsmVariant::CV1, &mut scratch);
@@ -145,6 +167,18 @@ pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<S
                         seconds: secs,
                     });
                 }
+                let mut arena = Vec::new();
+                let p = plan::build_tstrf_plan(&diag, &orig, &mut arena);
+                let secs = best_of_3(|| {
+                    let mut b = orig.clone();
+                    plan::tstrf_planned(&diag, &mut b, &p, &arena);
+                });
+                samples.push(Sample {
+                    class: "TSTRF",
+                    variant: "P_V1",
+                    feature: nnz,
+                    seconds: secs,
+                });
             }
             let (diag, b) = bm.block_pair_mut(diag_id, b_id);
             trsm::tstrf(diag, b, TrsmVariant::CV1, &mut scratch);
@@ -173,6 +207,18 @@ pub fn harvest(bm: &mut BlockMatrix, tg: &TaskGraph, caps: HarvestCaps) -> Vec<S
                             seconds: secs,
                         });
                     }
+                    let mut arena = Vec::new();
+                    let p = plan::build_ssssm_plan(&a, &b, &orig, &mut arena);
+                    let secs = best_of_3(|| {
+                        let mut c = orig.clone();
+                        plan::ssssm_planned(&a, &b, &mut c, &p, &arena);
+                    });
+                    samples.push(Sample {
+                        class: "SSSSM",
+                        variant: "P_V1",
+                        feature: fl,
+                        seconds: secs,
+                    });
                 }
                 let (a, b, c) = bm.ssssm_operands(a_id, b_id, c_id);
                 ssssm::ssssm(a, b, c, SsssmVariant::CV1, &mut scratch);
@@ -206,6 +252,47 @@ pub fn crossover(samples: &[Sample], class: &str, small: &str, big: &str) -> Opt
             continue;
         }
         if median(&mut bv) < median(&mut sv) {
+            return Some(2f64.powi(b));
+        }
+    }
+    None
+}
+
+/// Crossover for the planned gates: the smallest feature value at which
+/// *any* unplanned variant beats `planned` in bucket-median time.
+///
+/// The classic [`crossover`] pits two named variants; the planned gate
+/// needs a harder comparison, because above its cut the tree falls back
+/// to whichever unplanned variant *it* would pick (e.g. the
+/// dense-addressed `C_V2` once `gessm_cv1`/`ssssm_cv1` are exceeded).
+/// Comparing planned execution against `C_V1` alone would keep the gate
+/// open in exactly the region where the dense variants win.
+pub fn crossover_vs_best(samples: &[Sample], class: &str, planned: &str) -> Option<f64> {
+    // Per feature bucket: planned samples, and per-variant unplanned samples.
+    type Bucket<'a> = (Vec<f64>, std::collections::HashMap<&'a str, Vec<f64>>);
+    let mut buckets: std::collections::BTreeMap<i32, Bucket<'_>> =
+        std::collections::BTreeMap::new();
+    for s in samples.iter().filter(|s| s.class == class) {
+        let b = s.feature.max(1.0).log2() as i32;
+        let e = buckets.entry(b).or_default();
+        if s.variant == planned {
+            e.0.push(s.seconds);
+        } else {
+            e.1.entry(s.variant).or_default().push(s.seconds);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    for (b, (mut pv, others)) in buckets {
+        if pv.is_empty() || others.is_empty() {
+            continue;
+        }
+        let planned_t = median(&mut pv);
+        let best_other =
+            others.into_values().map(|mut v| median(&mut v)).fold(f64::INFINITY, f64::min);
+        if best_other < planned_t {
             return Some(2f64.powi(b));
         }
     }

@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
 use pangulu_kernels::select::KernelSelector;
-use pangulu_kernels::{flops, KernelScratch, SsssmUpdate, TimedKernels};
+use pangulu_kernels::{flops, KernelPlans, KernelScratch, SsssmUpdate, TimedKernels};
 use pangulu_metrics::{MemStats, RankMetrics, RunReport, TaskCounts};
 use pangulu_sparse::CscMatrix;
 
@@ -85,6 +85,14 @@ pub struct FactorConfig {
     /// barriers and per-kernel trace events are both defined on single
     /// updates.
     pub ssssm_batching: bool,
+    /// Run kernels through precomputed index plans (on by default).
+    /// Plans are built lazily per task on a rank's first touch, cached
+    /// in the rank's workspace, and reused verbatim across
+    /// refactorisations; planned kernels are bitwise identical to the
+    /// unplanned variants. When on, ready SSSSM updates are applied
+    /// one-at-a-time through their plans instead of batch-fused (the
+    /// two orders are bitwise identical by the batching contract).
+    pub use_plans: bool,
 }
 
 impl Default for FactorConfig {
@@ -96,6 +104,7 @@ impl Default for FactorConfig {
             traced: false,
             metrics: true,
             ssssm_batching: true,
+            use_plans: true,
         }
     }
 }
@@ -134,6 +143,13 @@ impl FactorConfig {
     /// (on by default; bitwise-neutral either way).
     pub fn with_ssssm_batching(mut self, on: bool) -> Self {
         self.ssssm_batching = on;
+        self
+    }
+
+    /// Toggles planned kernel execution (on by default; bitwise-neutral
+    /// either way).
+    pub fn with_plans(mut self, on: bool) -> Self {
+        self.use_plans = on;
         self
     }
 }
@@ -627,6 +643,13 @@ struct RankState {
     /// ...and, aligned with `upd_order[cid]`, whether each update's
     /// operands have both arrived.
     upd_ready: Vec<Vec<bool>>,
+    /// Aligned with `upd_order[cid]`: each update's global index into
+    /// [`TaskGraph::ssssm`] — the slot key of its kernel plan.
+    upd_gid: Vec<Vec<u32>>,
+    /// Precomputed kernel index plans, built lazily per task on this
+    /// rank's first touch and — like the rest of this state — reused
+    /// verbatim across numeric-only refactorisations.
+    plans: KernelPlans,
     /// The immutable analysis copy of the dependency counters, used by
     /// [`RankState::reset`] instead of re-walking the task graph.
     counter_init: Vec<usize>,
@@ -655,18 +678,24 @@ impl RankState {
                 step_total[bm.step_of(id)] += 1;
             }
         }
-        let mut upd_order: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
-        for &(i, j, k) in &tg.ssssm {
+        let mut upd_pairs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); nblocks];
+        for (gid, &(i, j, k)) in tg.ssssm.iter().enumerate() {
             let cid = bm.block_id(i, j).expect("ssssm target exists");
             if owners.owner_of(cid) == rank {
                 remaining += 1;
                 step_total[k] += 1;
-                upd_order[cid].push(k);
+                upd_pairs[cid].push((k, gid as u32));
             }
         }
-        for order in &mut upd_order {
-            order.sort_unstable();
+        for pairs in &mut upd_pairs {
+            // Each step appears at most once per target, so sorting the
+            // pairs orders by step exactly as before.
+            pairs.sort_unstable();
         }
+        let upd_order: Vec<Vec<usize>> =
+            upd_pairs.iter().map(|p| p.iter().map(|&(k, _)| k).collect()).collect();
+        let upd_gid: Vec<Vec<u32>> =
+            upd_pairs.iter().map(|p| p.iter().map(|&(_, g)| g).collect()).collect();
         let upd_ready: Vec<Vec<bool>> = upd_order.iter().map(|o| vec![false; o.len()]).collect();
         RankState {
             rank,
@@ -679,6 +708,8 @@ impl RankState {
             upd_order,
             upd_pos: vec![0usize; nblocks],
             upd_ready,
+            upd_gid,
+            plans: KernelPlans::with_slots(bm.nblk(), nblocks, nblocks, tg.ssssm.len()),
             counter_init,
             remaining_init: remaining,
             step_total,
@@ -773,6 +804,9 @@ struct Worker<'a> {
     /// Widest SSSSM fusion allowed (1 = one-at-a-time; see
     /// [`FactorConfig::ssssm_batching`]).
     max_batch: usize,
+    /// Run kernels through the rank's cached index plans (see
+    /// [`FactorConfig::use_plans`]).
+    use_plans: bool,
 
     queue: BinaryHeap<PrioritisedTask>,
     remaining: usize,
@@ -838,6 +872,7 @@ impl<'a> Worker<'a> {
             first_err,
             st,
             max_batch,
+            use_plans: cfg.use_plans,
             queue: BinaryHeap::new(),
             remaining,
             step_done: vec![0usize; bm.nblk() + 1],
@@ -956,6 +991,13 @@ impl<'a> Worker<'a> {
             }
         }
 
+        if self.use_plans {
+            // End-of-run gauges: cumulative across every run that shared
+            // this rank state (plans persist across refactorisations).
+            let ps = self.st.plans.stats();
+            self.mem.plan_bytes = ps.bytes;
+            self.mem.plan_build_ns = ps.build_ns;
+        }
         let sync_wait = self.mailbox.sync_wait() + self.barrier_wait;
         let metrics = RankMetrics {
             rank: self.rank,
@@ -1096,10 +1138,18 @@ impl<'a> Worker<'a> {
         let post = match task {
             Task::Getrf { k } => {
                 let id = self.bm.block_id(k, k).expect("diag exists");
-                let blk = self.st.my_blocks[id].as_mut().expect("getrf on owned block");
-                let variant = self.selector.getrf(blk.nnz());
-                self.perturbed +=
-                    self.timed.getrf(blk, variant, &mut self.st.scratch, self.pivot_floor);
+                let st = &mut *self.st;
+                let blk = st.my_blocks[id].as_mut().expect("getrf on owned block");
+                if self.use_plans && self.selector.planned_getrf(blk.nnz()) {
+                    let (p, arena) = st.plans.getrf_for(k, blk);
+                    self.perturbed += self.timed.getrf_planned(blk, p, arena, self.pivot_floor);
+                    self.mem.planned_calls += 1;
+                    self.mem.index_searches_avoided += p.searches_avoided;
+                } else {
+                    let variant = self.selector.getrf(blk.nnz());
+                    self.perturbed +=
+                        self.timed.getrf(blk, variant, &mut st.scratch, self.pivot_floor);
+                }
                 self.tasks.getrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::DiagFactor }
             }
@@ -1108,35 +1158,39 @@ impl<'a> Worker<'a> {
                 // Take the target out of its slot so the diagonal factor
                 // can be borrowed from the same table — no per-task clone
                 // of the diagonal CSC.
-                let mut blk = self.st.my_blocks[id].take().expect("gessm on owned block");
-                let variant = self.selector.gessm(blk.nnz());
-                let diag = Self::lookup_operand(
-                    self.bm,
-                    &self.st.my_blocks,
-                    &self.st.remote,
-                    &self.st.finished,
-                    k,
-                    k,
-                );
-                self.timed.gessm(diag, &mut blk, variant, &mut self.st.scratch);
-                self.st.my_blocks[id] = Some(blk);
+                let st = &mut *self.st;
+                let mut blk = st.my_blocks[id].take().expect("gessm on owned block");
+                let diag =
+                    Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, k, k);
+                if self.use_plans && self.selector.planned_gessm(blk.nnz()) {
+                    let (p, arena) = st.plans.gessm_for(id, diag, &blk);
+                    self.timed.gessm_planned(diag, &mut blk, p, arena);
+                    self.mem.planned_calls += 1;
+                    self.mem.index_searches_avoided += p.searches_avoided;
+                } else {
+                    let variant = self.selector.gessm(blk.nnz());
+                    self.timed.gessm(diag, &mut blk, variant, &mut st.scratch);
+                }
+                st.my_blocks[id] = Some(blk);
                 self.tasks.gessm += 1;
                 Post::Panel { id, step: k, role: BlockRole::UPanel }
             }
             Task::Tstrf { i, k } => {
                 let id = self.bm.block_id(i, k).expect("panel exists");
-                let mut blk = self.st.my_blocks[id].take().expect("tstrf on owned block");
-                let variant = self.selector.tstrf(blk.nnz());
-                let diag = Self::lookup_operand(
-                    self.bm,
-                    &self.st.my_blocks,
-                    &self.st.remote,
-                    &self.st.finished,
-                    k,
-                    k,
-                );
-                self.timed.tstrf(diag, &mut blk, variant, &mut self.st.scratch);
-                self.st.my_blocks[id] = Some(blk);
+                let st = &mut *self.st;
+                let mut blk = st.my_blocks[id].take().expect("tstrf on owned block");
+                let diag =
+                    Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, k, k);
+                if self.use_plans && self.selector.planned_tstrf(blk.nnz()) {
+                    let (p, arena) = st.plans.tstrf_for(id, diag, &blk);
+                    self.timed.tstrf_planned(diag, &mut blk, p, arena);
+                    self.mem.planned_calls += 1;
+                    self.mem.index_searches_avoided += p.searches_avoided;
+                } else {
+                    let variant = self.selector.tstrf(blk.nnz());
+                    self.timed.tstrf(diag, &mut blk, variant, &mut st.scratch);
+                }
+                st.my_blocks[id] = Some(blk);
                 self.tasks.tstrf += 1;
                 Post::Panel { id, step: k, role: BlockRole::LPanel }
             }
@@ -1160,7 +1214,68 @@ impl<'a> Worker<'a> {
                     width += 1;
                 }
                 let mut target = self.st.my_blocks[cid].take().expect("ssssm on owned block");
-                {
+                if self.use_plans {
+                    // Planned path: walk the ready run in the same
+                    // ascending-step order the fused pass uses. Updates
+                    // the selector sends to a plan execute one at a time
+                    // through their index maps; runs of unplanned updates
+                    // between them fuse into `ssssm_batch` segments so
+                    // the dense-addressed variants keep their
+                    // scatter-once amortisation. Either way the
+                    // subtraction sequence is unchanged, so the result is
+                    // bitwise identical (see the batching contract on
+                    // `ssssm_batch`).
+                    let bm = self.bm;
+                    let st = &mut *self.st;
+                    let mut pending: Vec<SsssmUpdate<'_>> = Vec::with_capacity(width);
+                    for n in 0..width {
+                        let uk = st.upd_order[cid][pos + n];
+                        let a = Self::lookup_operand(
+                            bm,
+                            &st.my_blocks,
+                            &st.remote,
+                            &st.finished,
+                            i,
+                            uk,
+                        );
+                        let b = Self::lookup_operand(
+                            bm,
+                            &st.my_blocks,
+                            &st.remote,
+                            &st.finished,
+                            uk,
+                            j,
+                        );
+                        let fl = flops::ssssm_flops(a, b);
+                        if self.selector.planned_ssssm(fl) {
+                            if !pending.is_empty() {
+                                if pending.len() > 1 {
+                                    self.mem.ssssm_batches += 1;
+                                }
+                                self.timed.ssssm_batch(&pending, &mut target, &mut st.scratch);
+                                pending.clear();
+                            }
+                            let gid = st.upd_gid[cid][pos + n] as usize;
+                            let (p, arena) = st.plans.ssssm_for(gid, a, b, &target);
+                            self.timed.ssssm_planned(a, b, &mut target, p, arena, fl);
+                            self.mem.planned_calls += 1;
+                            self.mem.index_searches_avoided += p.searches_avoided;
+                        } else {
+                            pending.push(SsssmUpdate {
+                                a,
+                                b,
+                                variant: self.selector.ssssm(fl),
+                                model_flops: fl,
+                            });
+                        }
+                    }
+                    if !pending.is_empty() {
+                        if pending.len() > 1 {
+                            self.mem.ssssm_batches += 1;
+                        }
+                        self.timed.ssssm_batch(&pending, &mut target, &mut st.scratch);
+                    }
+                } else {
                     let bm = self.bm;
                     let ks = &self.st.upd_order[cid][pos..pos + width];
                     let updates: Vec<SsssmUpdate<'_>> = ks
@@ -1190,7 +1305,9 @@ impl<'a> Worker<'a> {
                 }
                 self.st.my_blocks[cid] = Some(target);
                 self.tasks.ssssm += width as u64;
-                if width > 1 {
+                if width > 1 && !self.use_plans {
+                    // Fused segments on the planned path count at the
+                    // flush sites above.
                     self.mem.ssssm_batches += 1;
                 }
                 Post::Update { cid, applied: width }
@@ -1455,6 +1572,90 @@ mod tests {
         assert_eq!(run.sent.len(), run.received.len(), "all sends delivered");
         assert!(run.lost.is_empty());
         assert!(run.stats.dropped_msgs == 0);
+    }
+
+    #[test]
+    fn planned_run_is_bitwise_identical_to_unplanned() {
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            for p in [1usize, 4] {
+                let (a, bm0, tg) = build(60, 8, 15);
+                let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+                let owners = OwnerMap::block_cyclic(&bm0, ProcessGrid::new(p));
+                let cfg = FactorConfig::with_mode(mode);
+
+                let mut planned_bm = bm0.clone();
+                let run = factor_distributed_checked(
+                    &mut planned_bm,
+                    &tg,
+                    &owners,
+                    &sel,
+                    0.0,
+                    &cfg.clone().with_plans(true),
+                )
+                .unwrap();
+                let mut plain_bm = bm0;
+                factor_distributed_checked(
+                    &mut plain_bm,
+                    &tg,
+                    &owners,
+                    &sel,
+                    0.0,
+                    &cfg.with_plans(false),
+                )
+                .unwrap();
+                assert_eq!(
+                    planned_bm.to_csc().values(),
+                    plain_bm.to_csc().values(),
+                    "mode={mode:?} p={p}: planned factor diverged"
+                );
+
+                let mem = run.report.total_mem();
+                assert!(mem.planned_calls > 0, "mode={mode:?} p={p}: no planned calls");
+                assert!(mem.index_searches_avoided > 0);
+                assert!(mem.plan_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unplanned_run_reports_no_plan_counters() {
+        let (a, mut bm, tg) = build(60, 8, 16);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(2));
+        let cfg = FactorConfig::default().with_plans(false);
+        let run = factor_distributed_checked(&mut bm, &tg, &owners, &sel, 0.0, &cfg).unwrap();
+        let mem = run.report.total_mem();
+        assert_eq!(mem.planned_calls, 0);
+        assert_eq!(mem.index_searches_avoided, 0);
+        assert_eq!(mem.plan_bytes, 0);
+        assert_eq!(mem.plan_build_ns, 0);
+    }
+
+    #[test]
+    fn planned_calls_cover_every_task_when_gates_are_open() {
+        // With every planned gate pinned open, every kernel call on
+        // every rank goes through a plan. (The calibrated defaults
+        // close the panel/SSSSM gates above their crossovers, so open
+        // them explicitly — coverage here guards the executor wiring,
+        // not the selector policy.)
+        let (a, mut bm, tg) = build(60, 8, 17);
+        let open = Thresholds {
+            getrf_planned: f64::INFINITY,
+            gessm_planned: f64::INFINITY,
+            tstrf_planned: f64::INFINITY,
+            ssssm_planned: f64::INFINITY,
+            ..Thresholds::default()
+        };
+        let sel = KernelSelector::new(a.nnz(), open);
+        let owners = OwnerMap::block_cyclic(&bm, ProcessGrid::new(4));
+        let run =
+            factor_distributed_checked(&mut bm, &tg, &owners, &sel, 0.0, &FactorConfig::default())
+                .unwrap();
+        let total_tasks = bm.nblk()
+            + tg.u_panels.iter().map(|v| v.len()).sum::<usize>()
+            + tg.l_panels.iter().map(|v| v.len()).sum::<usize>()
+            + tg.ssssm.len();
+        assert_eq!(run.report.total_mem().planned_calls, total_tasks as u64);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use std::time::{Duration, Instant};
 
-use pangulu_kernels::{flops, getrf, select::KernelSelector, ssssm, trsm, KernelScratch};
+use pangulu_kernels::{
+    flops, getrf, plan, select::KernelSelector, ssssm, trsm, KernelPlans, KernelScratch,
+};
 
 use crate::block::BlockMatrix;
 use crate::task::TaskGraph;
@@ -123,6 +125,101 @@ pub fn factor_sequential_partial(
                 let variant = selector.ssssm(fl);
                 let (a, b, c) = bm.ssssm_operands(a_id, b_id, c_id);
                 ssssm::ssssm(a, b, c, variant, &mut scratch);
+                stats.kernel_counts[3] += 1;
+            }
+        }
+        stats.ssssm_time += t2.elapsed();
+    }
+    stats
+}
+
+/// Creates an empty kernel-plan pool sized for this block structure:
+/// GETRF slots by elimination step, the panel solves by target block
+/// id, SSSSM by task-graph update index — the slot keying every
+/// executor in this crate uses.
+pub fn empty_plans(bm: &BlockMatrix, tg: &TaskGraph) -> KernelPlans {
+    KernelPlans::with_slots(bm.nblk(), bm.num_blocks(), bm.num_blocks(), tg.ssssm.len())
+}
+
+/// Planned right-looking factorisation: the same task order as
+/// [`factor_sequential`], but every kernel whose planned gate the
+/// selector opens runs through its precomputed index plan. Plans are
+/// built lazily in `plans` on first touch and reused verbatim on later
+/// calls (the steady state of `Solver::refactor`). Results are bitwise
+/// identical to the unplanned sweep.
+pub fn factor_sequential_planned(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    plans: &mut KernelPlans,
+) -> NumericStats {
+    let mut stats = NumericStats { flops: tg.total_flops(), ..Default::default() };
+    let mut scratch = KernelScratch::with_capacity(bm.nb());
+    // Cursor over `tg.ssssm`, whose build order matches this sweep's
+    // (step, L-row, U-column) traversal exactly.
+    let mut upd_idx = 0usize;
+
+    for k in 0..bm.nblk() {
+        let diag_id = bm.block_id(k, k).expect("diagonal block exists");
+
+        let t0 = Instant::now();
+        let nnz = bm.block(diag_id).nnz();
+        let blk = bm.block_mut(diag_id);
+        stats.perturbed_pivots += if selector.planned_getrf(nnz) {
+            let (p, arena) = plans.getrf_for(k, blk);
+            plan::getrf_planned(blk, p, arena, pivot_floor)
+        } else {
+            getrf::getrf(blk, selector.getrf(nnz), &mut scratch, pivot_floor)
+        };
+        stats.getrf_time += t0.elapsed();
+        stats.kernel_counts[0] += 1;
+
+        let t1 = Instant::now();
+        for &j in &tg.u_panels[k] {
+            let b_id = bm.block_id(k, j).expect("U panel exists");
+            let nnz = bm.block(b_id).nnz();
+            let (diag, b) = bm.block_pair_mut(diag_id, b_id);
+            if selector.planned_gessm(nnz) {
+                let (p, arena) = plans.gessm_for(b_id, diag, b);
+                plan::gessm_planned(diag, b, p, arena);
+            } else {
+                trsm::gessm(diag, b, selector.gessm(nnz), &mut scratch);
+            }
+            stats.kernel_counts[1] += 1;
+        }
+        for &i in &tg.l_panels[k] {
+            let b_id = bm.block_id(i, k).expect("L panel exists");
+            let nnz = bm.block(b_id).nnz();
+            let (diag, b) = bm.block_pair_mut(diag_id, b_id);
+            if selector.planned_tstrf(nnz) {
+                let (p, arena) = plans.tstrf_for(b_id, diag, b);
+                plan::tstrf_planned(diag, b, p, arena);
+            } else {
+                trsm::tstrf(diag, b, selector.tstrf(nnz), &mut scratch);
+            }
+            stats.kernel_counts[2] += 1;
+        }
+        stats.trsm_time += t1.elapsed();
+
+        let t2 = Instant::now();
+        for &i in &tg.l_panels[k] {
+            let a_id = bm.block_id(i, k).expect("L panel exists");
+            for &j in &tg.u_panels[k] {
+                let Some(c_id) = bm.block_id(i, j) else {
+                    continue; // structurally empty product
+                };
+                let b_id = bm.block_id(k, j).expect("U panel exists");
+                let fl = flops::ssssm_flops(bm.block(a_id), bm.block(b_id));
+                debug_assert_eq!(tg.ssssm[upd_idx], (i, j, k), "update cursor out of sync");
+                let (a, b, c) = bm.ssssm_operands(a_id, b_id, c_id);
+                if selector.planned_ssssm(fl) {
+                    let (p, arena) = plans.ssssm_for(upd_idx, a, b, c);
+                    plan::ssssm_planned(a, b, c, p, arena);
+                } else {
+                    ssssm::ssssm(a, b, c, selector.ssssm(fl), &mut scratch);
+                }
+                upd_idx += 1;
                 stats.kernel_counts[3] += 1;
             }
         }
@@ -276,6 +373,53 @@ mod tests {
         };
         let diff = adaptive.to_dense().max_abs_diff(&baseline.to_dense());
         assert!(diff < 1e-10, "kernel choice changed the factor: {diff}");
+    }
+
+    #[test]
+    fn planned_sweep_is_bitwise_identical() {
+        for seed in 0..3 {
+            let a = ensure_diagonal(&gen::random_sparse(44, 0.15, seed)).unwrap();
+            let f = filled(&a);
+            for nb in [6, 11, 44] {
+                let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+                let tg;
+                let reference = {
+                    let mut bm = BlockMatrix::from_filled(&f, nb).unwrap();
+                    tg = TaskGraph::build(&bm);
+                    factor_sequential(&mut bm, &tg, &sel, 0.0);
+                    bm.to_csc()
+                };
+                let mut bm = BlockMatrix::from_filled(&f, nb).unwrap();
+                let mut plans = empty_plans(&bm, &tg);
+                factor_sequential_planned(&mut bm, &tg, &sel, 0.0, &mut plans);
+                assert_eq!(bm.to_csc().values(), reference.values(), "seed {seed} nb {nb}");
+                let builds = plans.stats().builds;
+                assert!(builds > 0, "no plans were built");
+
+                // Second sweep reuses every plan verbatim: bitwise same
+                // result, build counter flat.
+                let mut bm2 = BlockMatrix::from_filled(&f, nb).unwrap();
+                factor_sequential_planned(&mut bm2, &tg, &sel, 0.0, &mut plans);
+                assert_eq!(bm2.to_csc().values(), reference.values());
+                assert_eq!(plans.stats().builds, builds, "plans were rebuilt on reuse");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_with_baseline_selector_never_plans() {
+        // The baseline (non-adaptive) selector keeps every planned gate
+        // closed, so the planned entry point degrades to the unplanned
+        // sweep and builds nothing.
+        let a = ensure_diagonal(&gen::random_sparse(30, 0.2, 9)).unwrap();
+        let f = filled(&a);
+        let mut bm = BlockMatrix::from_filled(&f, 8).unwrap();
+        let tg = TaskGraph::build(&bm);
+        let sel = KernelSelector::baseline(a.nnz());
+        let mut plans = empty_plans(&bm, &tg);
+        factor_sequential_planned(&mut bm, &tg, &sel, 0.0, &mut plans);
+        assert_eq!(plans.stats().builds, 0);
+        assert_eq!(plans.stats().bytes, 0);
     }
 
     #[test]

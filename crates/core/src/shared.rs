@@ -15,12 +15,12 @@
 //! * runnable tasks flow through a global injector of worklists; workers
 //!   pop, execute, and push whatever their completion unlocks.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pangulu_kernels::select::KernelSelector;
-use pangulu_kernels::{flops, getrf, ssssm, trsm, KernelScratch};
+use pangulu_kernels::{flops, getrf, plan, ssssm, trsm, KernelPlans, KernelScratch};
 use pangulu_sparse::CscMatrix;
 
 use crate::block::BlockMatrix;
@@ -91,6 +91,89 @@ pub fn factor_shared(
     pivot_floor: f64,
     threads: usize,
 ) -> NumericStats {
+    factor_shared_inner(bm, tg, selector, pivot_floor, threads, None)
+}
+
+/// Immutable planned-execution context shared by all workers: the plan
+/// pool (fully built before the threads start, so no locking is needed)
+/// plus the `(i, j, k) → task-graph update index` map that keys SSSSM
+/// plan slots.
+struct PlannedCtx<'a> {
+    plans: &'a KernelPlans,
+    ssssm_index: HashMap<(usize, usize, usize), usize>,
+}
+
+/// Planned shared-memory factorisation: same scheduler as
+/// [`factor_shared`], but kernels whose planned gate the selector opens
+/// run through precomputed index plans. Missing plans are built eagerly
+/// (single-threaded, from patterns only) before the workers start, so
+/// the pool is immutable during execution and reused verbatim on later
+/// calls.
+pub fn factor_shared_planned(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    threads: usize,
+    plans: &mut KernelPlans,
+) -> NumericStats {
+    build_all_plans(bm, tg, selector, plans);
+    let ctx = PlannedCtx {
+        plans,
+        ssssm_index: tg.ssssm.iter().enumerate().map(|(n, &t)| (t, n)).collect(),
+    };
+    factor_shared_inner(bm, tg, selector, pivot_floor, threads, Some(&ctx))
+}
+
+/// Builds every plan the selector's gates will let the workers consult.
+/// Patterns are fixed by the symbolic phase, so building from the
+/// unfactored blocks is identical to building lazily mid-factorisation;
+/// tasks whose planned gate is closed (the calibrated cuts send them to
+/// the dense-addressed variants) get no plan, keeping the pool's memory
+/// proportional to the planned working set — the same plans the
+/// distributed executor would build lazily.
+fn build_all_plans(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    plans: &mut KernelPlans,
+) {
+    for k in 0..bm.nblk() {
+        let diag_id = bm.block_id(k, k).expect("diag exists");
+        if selector.planned_getrf(bm.block(diag_id).nnz()) {
+            plans.getrf_for(k, bm.block(diag_id));
+        }
+        for &j in &tg.u_panels[k] {
+            let id = bm.block_id(k, j).expect("panel exists");
+            if selector.planned_gessm(bm.block(id).nnz()) {
+                plans.gessm_for(id, bm.block(diag_id), bm.block(id));
+            }
+        }
+        for &i in &tg.l_panels[k] {
+            let id = bm.block_id(i, k).expect("panel exists");
+            if selector.planned_tstrf(bm.block(id).nnz()) {
+                plans.tstrf_for(id, bm.block(diag_id), bm.block(id));
+            }
+        }
+    }
+    for (n, &(i, j, k)) in tg.ssssm.iter().enumerate() {
+        let a_id = bm.block_id(i, k).expect("L operand");
+        let b_id = bm.block_id(k, j).expect("U operand");
+        if selector.planned_ssssm(flops::ssssm_flops(bm.block(a_id), bm.block(b_id))) {
+            let c_id = bm.block_id(i, j).expect("target");
+            plans.ssssm_for(n, bm.block(a_id), bm.block(b_id), bm.block(c_id));
+        }
+    }
+}
+
+fn factor_shared_inner(
+    bm: &mut BlockMatrix,
+    tg: &TaskGraph,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    threads: usize,
+    planned: Option<&PlannedCtx<'_>>,
+) -> NumericStats {
     let threads = threads.max(1);
     let nblk = bm.nblk();
     let num_blocks = bm.num_blocks();
@@ -150,6 +233,7 @@ pub fn factor_shared(
                         &perturbed,
                         task,
                         &mut scratch,
+                        planned,
                     );
                 }
             });
@@ -219,6 +303,7 @@ fn execute_shared(
     perturbed: &AtomicUsize,
     task: Task,
     scratch: &mut KernelScratch,
+    planned: Option<&PlannedCtx<'_>>,
 ) {
     match task {
         Task::Getrf { k } => {
@@ -226,9 +311,15 @@ fn execute_shared(
             claim(&state[id]);
             // Safety: exclusive via the claim latch.
             let blk = unsafe { shared.get_mut(id) };
-            let variant = selector.getrf(blk.nnz());
-            perturbed
-                .fetch_add(getrf::getrf(blk, variant, scratch, pivot_floor), Ordering::Relaxed);
+            let hit = planned.and_then(|ctx| {
+                selector.planned_getrf(blk.nnz()).then(|| ctx.plans.get_getrf(k)).flatten()
+            });
+            let n = if let Some((p, arena)) = hit {
+                plan::getrf_planned(blk, p, arena, pivot_floor)
+            } else {
+                getrf::getrf(blk, selector.getrf(blk.nnz()), scratch, pivot_floor)
+            };
+            perturbed.fetch_add(n, Ordering::Relaxed);
             state[id].finished.store(true, Ordering::Release);
             release(&state[id]);
             diag_ready[k].store(true, Ordering::Release);
@@ -258,8 +349,14 @@ fn execute_shared(
             // Safety: diag finished (immutable); target claimed.
             let diag = unsafe { shared.get(diag_id) };
             let blk = unsafe { shared.get_mut(id) };
-            let variant = selector.gessm(blk.nnz());
-            trsm::gessm(diag, blk, variant, scratch);
+            let hit = planned.and_then(|ctx| {
+                selector.planned_gessm(blk.nnz()).then(|| ctx.plans.get_gessm(id)).flatten()
+            });
+            if let Some((p, arena)) = hit {
+                plan::gessm_planned(diag, blk, p, arena);
+            } else {
+                trsm::gessm(diag, blk, selector.gessm(blk.nnz()), scratch);
+            }
             state[id].finished.store(true, Ordering::Release);
             release(&state[id]);
             remaining.fetch_sub(1, Ordering::AcqRel);
@@ -272,8 +369,14 @@ fn execute_shared(
             claim(&state[id]);
             let diag = unsafe { shared.get(diag_id) };
             let blk = unsafe { shared.get_mut(id) };
-            let variant = selector.tstrf(blk.nnz());
-            trsm::tstrf(diag, blk, variant, scratch);
+            let hit = planned.and_then(|ctx| {
+                selector.planned_tstrf(blk.nnz()).then(|| ctx.plans.get_tstrf(id)).flatten()
+            });
+            if let Some((p, arena)) = hit {
+                plan::tstrf_planned(diag, blk, p, arena);
+            } else {
+                trsm::tstrf(diag, blk, selector.tstrf(blk.nnz()), scratch);
+            }
             state[id].finished.store(true, Ordering::Release);
             release(&state[id]);
             remaining.fetch_sub(1, Ordering::AcqRel);
@@ -289,8 +392,18 @@ fn execute_shared(
             let b = unsafe { shared.get(b_id) };
             let c = unsafe { shared.get_mut(c_id) };
             let fl = flops::ssssm_flops(a, b);
-            let variant = selector.ssssm(fl);
-            ssssm::ssssm(a, b, c, variant, scratch);
+            let hit = planned.and_then(|ctx| {
+                if !selector.planned_ssssm(fl) {
+                    return None;
+                }
+                let &slot = ctx.ssssm_index.get(&(i, j, k))?;
+                ctx.plans.get_ssssm(slot)
+            });
+            if let Some((p, arena)) = hit {
+                plan::ssssm_planned(a, b, c, p, arena);
+            } else {
+                ssssm::ssssm(a, b, c, selector.ssssm(fl), scratch);
+            }
             release(&state[c_id]);
             remaining.fetch_sub(1, Ordering::AcqRel);
             let left = state[c_id].pending.fetch_sub(1, Ordering::AcqRel) - 1;
@@ -388,6 +501,29 @@ mod tests {
             let diff = seq_bm.to_csc().to_dense().max_abs_diff(&par_bm.to_csc().to_dense());
             let scale = seq_bm.to_csc().norm_max().max(1.0);
             assert!(diff / scale < 1e-10, "threads={threads} seed={seed}: diff {}", diff / scale);
+        }
+    }
+
+    #[test]
+    fn shared_planned_matches_sequential_and_prebuilds() {
+        for (threads, seed) in [(1usize, 21u64), (4, 22)] {
+            let (nnz, bm0, tg) = build(60, 8, seed);
+            let sel = KernelSelector::new(nnz, Thresholds::default());
+            let mut seq_bm = bm0.clone();
+            factor_sequential(&mut seq_bm, &tg, &sel, 0.0);
+            let mut par_bm = bm0;
+            let mut plans = crate::seq::empty_plans(&par_bm, &tg);
+            factor_shared_planned(&mut par_bm, &tg, &sel, 0.0, threads, &mut plans);
+            let diff = seq_bm.to_csc().to_dense().max_abs_diff(&par_bm.to_csc().to_dense());
+            let scale = seq_bm.to_csc().norm_max().max(1.0);
+            assert!(diff / scale < 1e-10, "threads={threads} seed={seed}: diff {}", diff / scale);
+            // Every task class got a plan, eagerly, before the workers ran.
+            let builds = plans.stats().builds;
+            assert!(builds > 0);
+            // A second factorisation reuses the pool without rebuilding.
+            let (_, mut bm2, _) = build(60, 8, seed);
+            factor_shared_planned(&mut bm2, &tg, &sel, 0.0, threads, &mut plans);
+            assert_eq!(plans.stats().builds, builds);
         }
     }
 

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use pangulu_comm::ProcessGrid;
 use pangulu_kernels::select::{KernelSelector, Thresholds};
+use pangulu_kernels::{KernelPlans, PlanStats};
 use pangulu_metrics::{PhaseCounters, RunReport};
 use pangulu_reorder::{reorder_for_lu, FillReducing, Reordering};
 use pangulu_sparse::{CscMatrix, Result, SparseError};
@@ -25,7 +26,7 @@ use crate::dist::{
     factor_distributed_cached, DistStats, FactorConfig, NumericWorkspace, ScheduleMode,
 };
 use crate::layout::OwnerMap;
-use crate::seq::{factor_sequential, NumericStats};
+use crate::seq::{empty_plans, factor_sequential, factor_sequential_planned, NumericStats};
 use crate::task::TaskGraph;
 use crate::trisolve::{
     backward_substitute, backward_substitute_transpose, forward_substitute,
@@ -59,6 +60,11 @@ pub struct SolverOptions {
     /// with this many worker threads (PanguLU's multicore CPU mode)
     /// instead of the message-passing ranks; `ranks` is ignored.
     pub shared_threads: Option<usize>,
+    /// Run kernels through precomputed index plans (on by default).
+    /// Plans are part of the cached analysis: built on the first
+    /// factorisation, reused verbatim by every [`Solver::refactor`].
+    /// Bitwise identical to unplanned execution either way.
+    pub use_plans: bool,
 }
 
 impl Default for SolverOptions {
@@ -74,6 +80,7 @@ impl Default for SolverOptions {
             load_balance: true,
             distributed_solve: true,
             shared_threads: None,
+            use_plans: true,
         }
     }
 }
@@ -143,6 +150,13 @@ impl SolverBuilder {
     /// worker threads instead of message-passing ranks.
     pub fn shared_threads(mut self, t: usize) -> Self {
         self.opts.shared_threads = Some(t.max(1));
+        self
+    }
+
+    /// Toggles planned kernel execution (on by default;
+    /// bitwise-neutral either way).
+    pub fn use_plans(mut self, on: bool) -> Self {
+        self.opts.use_plans = on;
         self
     }
 
@@ -236,6 +250,11 @@ pub struct Solver {
     /// tables, dependency counters, schedules) so refactorisation reuses
     /// it instead of rebuilding; `None` for sequential/shared solvers.
     workspace: Option<NumericWorkspace>,
+    /// Kernel index plans of sequential/shared solvers, part of the
+    /// cached analysis (multi-rank plans live inside the workspace's
+    /// rank states). `None` when [`SolverOptions::use_plans`] is off or
+    /// the solver is multi-rank.
+    kernel_plans: Option<KernelPlans>,
     distributed_solve: bool,
     stats: FactorStats,
     n: usize,
@@ -306,12 +325,30 @@ impl Solver {
         let pivot_floor = opts.pivot_floor_rel * reordering.matrix.norm_max().max(1.0);
         let t = Instant::now();
         let mut workspace = None;
+        let mut kernel_plans = (opts.use_plans
+            && (opts.ranks == 1 || opts.shared_threads.is_some()))
+        .then(|| empty_plans(&bm, &tg));
         if let Some(threads) = opts.shared_threads {
-            let ns = crate::shared::factor_shared(&mut bm, &tg, &selector, pivot_floor, threads);
+            let ns = if let Some(plans) = kernel_plans.as_mut() {
+                crate::shared::factor_shared_planned(
+                    &mut bm,
+                    &tg,
+                    &selector,
+                    pivot_floor,
+                    threads,
+                    plans,
+                )
+            } else {
+                crate::shared::factor_shared(&mut bm, &tg, &selector, pivot_floor, threads)
+            };
             stats.perturbed_pivots = ns.perturbed_pivots;
             stats.numeric = Some(ns);
         } else if opts.ranks == 1 {
-            let ns = factor_sequential(&mut bm, &tg, &selector, pivot_floor);
+            let ns = if let Some(plans) = kernel_plans.as_mut() {
+                factor_sequential_planned(&mut bm, &tg, &selector, pivot_floor, plans)
+            } else {
+                factor_sequential(&mut bm, &tg, &selector, pivot_floor)
+            };
             stats.perturbed_pivots = ns.perturbed_pivots;
             stats.numeric = Some(ns);
         } else {
@@ -325,7 +362,7 @@ impl Solver {
                 &owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(opts.schedule),
+                &FactorConfig::with_mode(opts.schedule).with_plans(opts.use_plans),
                 &mut ws,
             )
             .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
@@ -345,6 +382,7 @@ impl Solver {
             owners,
             plan,
             workspace,
+            kernel_plans,
             stats,
             n,
         })
@@ -373,6 +411,29 @@ impl Solver {
     /// The cached pattern analysis (see [`Solver::refactor`]).
     pub fn plan(&self) -> &SolverPlan {
         &self.plan
+    }
+
+    /// Memory and build accounting of the kernel index plans:
+    /// sequential/shared solvers report their cached pool directly;
+    /// multi-rank solvers aggregate the per-rank pools via the run
+    /// report (`plan_bytes` / `plan_build_ns` in [`RunReport`]'s memory
+    /// stats; the build *count* is not in the wire format, so `builds`
+    /// reads 0 there). `None` when planned execution is off.
+    pub fn kernel_plan_stats(&self) -> Option<PlanStats> {
+        if let Some(plans) = self.kernel_plans.as_ref() {
+            return Some(plans.stats());
+        }
+        if self.opts.use_plans {
+            if let Some(report) = self.stats.report.as_ref() {
+                let mem = report.total_mem();
+                return Some(PlanStats {
+                    bytes: mem.plan_bytes,
+                    build_ns: mem.plan_build_ns,
+                    builds: 0,
+                });
+            }
+        }
+        None
     }
 
     /// Refactors the system with new numerical values on the **same
@@ -474,17 +535,38 @@ impl Solver {
         let pivot_floor = self.opts.pivot_floor_rel * norm.max(1.0);
         let t = Instant::now();
         if let Some(threads) = self.opts.shared_threads {
-            let ns = crate::shared::factor_shared(
-                &mut self.factored,
-                &self.tg,
-                &selector,
-                pivot_floor,
-                threads,
-            );
+            let ns = if let Some(plans) = self.kernel_plans.as_mut() {
+                crate::shared::factor_shared_planned(
+                    &mut self.factored,
+                    &self.tg,
+                    &selector,
+                    pivot_floor,
+                    threads,
+                    plans,
+                )
+            } else {
+                crate::shared::factor_shared(
+                    &mut self.factored,
+                    &self.tg,
+                    &selector,
+                    pivot_floor,
+                    threads,
+                )
+            };
             self.stats.perturbed_pivots = ns.perturbed_pivots;
             self.stats.numeric = Some(ns);
         } else if self.opts.ranks == 1 {
-            let ns = factor_sequential(&mut self.factored, &self.tg, &selector, pivot_floor);
+            let ns = if let Some(plans) = self.kernel_plans.as_mut() {
+                factor_sequential_planned(
+                    &mut self.factored,
+                    &self.tg,
+                    &selector,
+                    pivot_floor,
+                    plans,
+                )
+            } else {
+                factor_sequential(&mut self.factored, &self.tg, &selector, pivot_floor)
+            };
             self.stats.perturbed_pivots = ns.perturbed_pivots;
             self.stats.numeric = Some(ns);
         } else {
@@ -495,7 +577,7 @@ impl Solver {
                 &self.owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(self.opts.schedule),
+                &FactorConfig::with_mode(self.opts.schedule).with_plans(self.opts.use_plans),
                 ws,
             )
             .unwrap_or_else(|e| panic!("distributed refactorisation failed: {e}"));
@@ -766,6 +848,32 @@ mod tests {
         let solver = Solver::builder().block_size(13).build(&a).unwrap();
         assert_eq!(solver.stats().block_size, 13);
         assert_eq!(solver.stats().nblk, 100usize.div_ceil(13));
+    }
+
+    #[test]
+    fn plans_off_gives_bitwise_same_factor() {
+        let a = gen::laplacian_2d(12, 12);
+        for ranks in [1usize, 4] {
+            let planned = Solver::builder().ranks(ranks).build(&a).unwrap();
+            let plain = Solver::builder().ranks(ranks).use_plans(false).build(&a).unwrap();
+            assert_eq!(
+                planned.factored().to_csc().values(),
+                plain.factored().to_csc().values(),
+                "ranks={ranks}: planned factor diverged"
+            );
+            let ps = planned.kernel_plan_stats().expect("plans on by default");
+            assert!(ps.bytes > 0, "ranks={ranks}: no plan memory accounted");
+            assert!(plain.kernel_plan_stats().is_none());
+        }
+    }
+
+    #[test]
+    fn shared_solver_plans_report_stats() {
+        let a = gen::laplacian_2d(12, 12);
+        let solver = Solver::builder().shared_threads(3).build(&a).unwrap();
+        let ps = solver.kernel_plan_stats().expect("plans on by default");
+        assert!(ps.bytes > 0);
+        assert!(ps.builds > 0);
     }
 
     #[test]

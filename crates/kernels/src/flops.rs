@@ -74,15 +74,17 @@ pub fn tstrf_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
 
 /// FLOPs of an SSSSM `C ← C − A·B`: two flops per (entry `(k, j)` of `B`,
 /// entry of `A(:, k)`) pair.
+///
+/// Walks `B`'s row indices against `A`'s column pointer directly — one
+/// subtraction per touched `B` entry — instead of a per-entry
+/// `col_nnz` accessor call, so the cost is O(entries touched).
 pub fn ssssm_flops(a: &CscMatrix, b: &CscMatrix) -> f64 {
-    let mut flops = 0.0f64;
-    for j in 0..b.ncols() {
-        let (rows, _) = b.col(j);
-        for &k in rows {
-            flops += 2.0 * a.col_nnz(k) as f64;
-        }
+    let a_ptr = a.col_ptr();
+    let mut pairs = 0usize;
+    for &k in b.row_idx() {
+        pairs += a_ptr[k + 1] - a_ptr[k];
     }
-    flops
+    2.0 * pairs as f64
 }
 
 #[cfg(test)]
@@ -147,6 +149,25 @@ mod tests {
         let a = dense_block(n);
         let b = dense_block(n);
         assert_eq!(ssssm_flops(&a, &b), 2.0 * (n * n * n) as f64);
+    }
+
+    #[test]
+    fn ssssm_hoisted_matches_per_column_walk() {
+        // The hoisted count must equal the definitional per-(B-entry,
+        // A-column) walk on irregular sparse operands, not just the
+        // dense pin above.
+        for seed in 0..5 {
+            let a = pangulu_sparse::gen::random_sparse(23, 0.2, seed);
+            let b = pangulu_sparse::gen::random_sparse(23, 0.15, seed + 50);
+            let mut naive = 0.0f64;
+            for j in 0..b.ncols() {
+                let (rows, _) = b.col(j);
+                for &k in rows {
+                    naive += 2.0 * a.col_nnz(k) as f64;
+                }
+            }
+            assert_eq!(ssssm_flops(&a, &b), naive, "seed {seed}");
+        }
     }
 
     #[test]

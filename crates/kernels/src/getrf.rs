@@ -63,7 +63,7 @@ pub fn getrf(
 
 /// Applies the static-pivot floor; returns 1 if the pivot was perturbed.
 #[inline]
-fn apply_floor(pivot: &mut f64, pivot_floor: f64) -> usize {
+pub(crate) fn apply_floor(pivot: &mut f64, pivot_floor: f64) -> usize {
     if pivot.abs() >= pivot_floor && *pivot != 0.0 {
         return 0;
     }

@@ -29,6 +29,7 @@
 
 pub mod flops;
 pub mod getrf;
+pub mod plan;
 pub mod reference;
 pub mod scratch;
 pub mod select;
@@ -36,6 +37,7 @@ pub mod ssssm;
 pub mod timed;
 pub mod trsm;
 
+pub use plan::{GessmPlan, GetrfPlan, KernelPlans, PlanStats, SsssmPlan, TstrfPlan};
 pub use scratch::KernelScratch;
 pub use select::{KernelSelector, Thresholds};
 pub use ssssm::SsssmUpdate;

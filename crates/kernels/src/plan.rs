@@ -1,0 +1,751 @@
+//! Analysis-time kernel index plans (the "planned" variant class).
+//!
+//! After symbolic factorisation every block's pattern is fixed, yet the
+//! unplanned kernels re-discover it on every call: SSSSM scatters and
+//! gathers a dense working column, GESSM/TSTRF run merge walks between
+//! the factor and the unknown, GETRF binary-searches its update targets.
+//! A *plan* performs that discovery once per task and stores the result
+//! as flat index arrays, so a repeated factorisation (and the steady
+//! state of [`Solver::refactor`]) runs pure indexed arithmetic — the
+//! same trick circuit-simulation solvers use for repeated factorisation
+//! speed.
+//!
+//! **Bitwise contract.** Each planned entry point performs *exactly* the
+//! `C_V1` subtraction sequence: same per-column order, same ascending
+//! source-entry order, same value-dependent zero skips (re-checked at
+//! run time, never baked into the plan). The dense scatter/gather and
+//! merge cursors it elides are pure index machinery — they move values
+//! without arithmetic — so planned results are bitwise identical to the
+//! unplanned kernels (`tests/planned_equivalence.rs` holds the crate to
+//! this on random closed patterns).
+//!
+//! **Memory model.** Index lists live in one pooled `u32` arena per
+//! [`KernelPlans`]; each per-task plan holds small structs-of-offsets
+//! into it. Plans are built lazily on first touch (one-shot factors do
+//! not pay for tasks a fault plan skipped) and reused verbatim across
+//! refactorisations — no per-call allocation. [`KernelPlans::stats`]
+//! reports bytes from slice *lengths*, which are independent of build
+//! order, so `plan_bytes` is deterministic even though lazy build order
+//! under the distributed runtime is not.
+//!
+//! [`Solver::refactor`]: ../../pangulu_core/solver/struct.Solver.html
+
+use std::time::Instant;
+
+use pangulu_sparse::CscMatrix;
+
+use crate::getrf::apply_floor;
+
+/// One SSSSM product term: all of `A(:, k)` scaled by one `B(k, j)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SsssmEntry {
+    /// Absolute index of `B(k, j)` in `b.values()`.
+    pub bp: u32,
+    /// Absolute start of `A(:, k)` in `a.values()`.
+    pub a_lo: u32,
+    /// Number of entries in `A(:, k)`.
+    pub len: u32,
+    /// Arena offset of the `len` target slots in `c.values()`.
+    pub tgt_off: u32,
+}
+
+/// Scatter plan for one SSSSM task `C ← C − A·B`.
+#[derive(Debug, Clone, Default)]
+pub struct SsssmPlan {
+    /// Product terms in kernel order (column-ascending, then B-entry,
+    /// then A-entry ascending).
+    pub entries: Vec<SsssmEntry>,
+    /// Index lookups the unplanned addressing would perform per call.
+    pub searches_avoided: u64,
+}
+
+/// One solved unknown `x_k` of a GESSM column and its propagation pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct GessmSrc {
+    /// Absolute index of `x_k` in `b.values()`.
+    pub x_idx: u32,
+    /// Arena offset of the interleaved `(l_idx, tgt_idx)` pairs.
+    pub pair_off: u32,
+    /// Number of pairs.
+    pub pair_len: u32,
+}
+
+/// Row-match plan for one GESSM task `L X = B`.
+#[derive(Debug, Clone, Default)]
+pub struct GessmPlan {
+    /// Propagation steps in kernel order (column-ascending, then entry
+    /// order within the column).
+    pub srcs: Vec<GessmSrc>,
+    /// Merge/binary-search positions resolved at plan time.
+    pub searches_avoided: u64,
+}
+
+/// One column of a TSTRF plan.
+#[derive(Debug, Clone, Copy)]
+pub struct TstrfCol {
+    /// First entry of this column's updates in [`TstrfPlan::uents`].
+    pub u_off: u32,
+    /// Number of updates.
+    pub u_len: u32,
+    /// Absolute index of `U(j, j)` in `diag_lu.values()`.
+    pub ujj_idx: u32,
+    /// Absolute start of column `j` in `b.values()`.
+    pub j_lo: u32,
+    /// Number of entries in column `j` of `b` (all divided by `ujj`).
+    pub j_len: u32,
+}
+
+/// One upper-factor entry `U(k, j)` driving a TSTRF column update.
+#[derive(Debug, Clone, Copy)]
+pub struct TstrfUent {
+    /// Absolute index of `U(k, j)` in `diag_lu.values()`.
+    pub u_idx: u32,
+    /// Arena offset of the interleaved `(src_idx, tgt_idx)` pairs (both
+    /// absolute into `b.values()`).
+    pub pair_off: u32,
+    /// Number of pairs.
+    pub pair_len: u32,
+}
+
+/// Row-match plan for one TSTRF task `X U = B`.
+#[derive(Debug, Clone, Default)]
+pub struct TstrfPlan {
+    /// Columns in ascending order (their dependencies point left).
+    pub cols: Vec<TstrfCol>,
+    /// Update terms, grouped per column via [`TstrfCol::u_off`].
+    pub uents: Vec<TstrfUent>,
+    /// Merge positions resolved at plan time.
+    pub searches_avoided: u64,
+}
+
+/// One column of a GETRF plan.
+#[derive(Debug, Clone, Copy)]
+pub struct GetrfCol {
+    /// Absolute start of column `j` in `a.values()`.
+    pub lo: u32,
+    /// Number of entries in column `j`.
+    pub len: u32,
+    /// First entry of this column's updates in [`GetrfPlan::uents`].
+    pub u_off: u32,
+    /// Number of updates.
+    pub u_len: u32,
+    /// Offset of the diagonal entry within column `j`.
+    pub diag_rel: u32,
+}
+
+/// One upper entry `U(k, j)` driving a GETRF column update.
+#[derive(Debug, Clone, Copy)]
+pub struct GetrfUent {
+    /// Offset of `U(k, j)` within column `j` (it is read from the
+    /// in-progress column, so it cannot be an absolute source index).
+    pub u_rel: u32,
+    /// Absolute start of the strict-lower part of `A(:, k)`.
+    pub src_lo: u32,
+    /// Number of source entries.
+    pub len: u32,
+    /// Arena offset of the `len` target offsets *within column `j`*.
+    pub tgt_off: u32,
+}
+
+/// Pivot/update plan for one GETRF task.
+#[derive(Debug, Clone, Default)]
+pub struct GetrfPlan {
+    /// Columns in ascending order.
+    pub cols: Vec<GetrfCol>,
+    /// Update terms, grouped per column via [`GetrfCol::u_off`].
+    pub uents: Vec<GetrfUent>,
+    /// Binary-search lookups the un-planned addressing would perform.
+    pub searches_avoided: u64,
+}
+
+/// Builds the scatter plan for `C ← C − A·B` (patterns only).
+///
+/// # Panics
+/// Panics if a product entry has no slot in `C`'s pattern (violation of
+/// the symbolic closure contract, which the unplanned dense path would
+/// silently corrupt on).
+pub fn build_ssssm_plan(
+    a: &CscMatrix,
+    b: &CscMatrix,
+    c: &CscMatrix,
+    arena: &mut Vec<u32>,
+) -> SsssmPlan {
+    let mut plan = SsssmPlan::default();
+    let a_ptr = a.col_ptr();
+    let a_rows = a.row_idx();
+    for j in 0..c.ncols() {
+        let (brows, _) = b.col(j);
+        let (crows, _) = c.col(j);
+        if brows.is_empty() || crows.is_empty() {
+            continue;
+        }
+        let blo = b.col_ptr()[j];
+        let clo = c.col_ptr()[j];
+        for (off, &k) in brows.iter().enumerate() {
+            let (alo, ahi) = (a_ptr[k], a_ptr[k + 1]);
+            if alo == ahi {
+                continue;
+            }
+            let tgt_off = arena.len() as u32;
+            for &i in &a_rows[alo..ahi] {
+                let pos =
+                    crows.binary_search(&i).expect("SSSSM plan target missing: pattern not closed");
+                arena.push((clo + pos) as u32);
+            }
+            plan.entries.push(SsssmEntry {
+                bp: (blo + off) as u32,
+                a_lo: alo as u32,
+                len: (ahi - alo) as u32,
+                tgt_off,
+            });
+            plan.searches_avoided += (ahi - alo) as u64;
+        }
+    }
+    plan
+}
+
+/// Builds the row-match plan for `L X = B`, simulating the `C_V1` merge
+/// walk (unmatched source rows are skipped exactly as the kernel's
+/// cursor skips them).
+pub fn build_gessm_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>) -> GessmPlan {
+    let mut plan = GessmPlan::default();
+    let l_ptr = diag_lu.col_ptr();
+    let l_rows = diag_lu.row_idx();
+    for c in 0..b.ncols() {
+        let (rows_c, _) = b.col(c);
+        let blo = b.col_ptr()[c];
+        for (p, &k) in rows_c.iter().enumerate() {
+            let (klo, khi) = (l_ptr[k], l_ptr[k + 1]);
+            let start = klo + l_rows[klo..khi].partition_point(|&i| i <= k);
+            let tail = &rows_c[p + 1..];
+            let pair_off = arena.len() as u32;
+            let mut pairs = 0u32;
+            let mut cur = 0usize;
+            for (q, &i) in l_rows[start..khi].iter().enumerate() {
+                while cur < tail.len() && tail[cur] < i {
+                    cur += 1;
+                }
+                if cur < tail.len() && tail[cur] == i {
+                    arena.push((start + q) as u32);
+                    arena.push((blo + p + 1 + cur) as u32);
+                    pairs += 1;
+                    cur += 1;
+                } else {
+                    debug_assert!(false, "GESSM plan target missing: pattern not closed");
+                }
+            }
+            if pairs > 0 {
+                plan.srcs.push(GessmSrc { x_idx: (blo + p) as u32, pair_off, pair_len: pairs });
+                plan.searches_avoided += u64::from(pairs);
+            }
+        }
+    }
+    plan
+}
+
+/// Builds the row-match plan for `X U = B`, simulating the `C_V1`
+/// (merge-addressing) sequential TSTRF.
+///
+/// # Panics
+/// Panics if the factor's diagonal entry is structurally missing.
+pub fn build_tstrf_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>) -> TstrfPlan {
+    let mut plan = TstrfPlan::default();
+    let d_ptr = diag_lu.col_ptr();
+    let d_rows = diag_lu.row_idx();
+    let b_ptr = b.col_ptr();
+    let b_rows = b.row_idx();
+    for j in 0..b.ncols() {
+        let (jlo, jhi) = (b_ptr[j], b_ptr[j + 1]);
+        if jlo == jhi {
+            continue;
+        }
+        let rows_j = &b_rows[jlo..jhi];
+        let (dlo, dhi) = (d_ptr[j], d_ptr[j + 1]);
+        let dpos = d_rows[dlo..dhi].partition_point(|&r| r < j);
+        assert!(dpos < dhi - dlo && d_rows[dlo + dpos] == j, "TSTRF plan: diagonal entry missing");
+        let u_off = plan.uents.len() as u32;
+        for q in 0..dpos {
+            let k = d_rows[dlo + q];
+            let (klo, khi) = (b_ptr[k], b_ptr[k + 1]);
+            let pair_off = arena.len() as u32;
+            let mut pairs = 0u32;
+            let mut cur = 0usize;
+            for (t, &r) in b_rows[klo..khi].iter().enumerate() {
+                while cur < rows_j.len() && rows_j[cur] < r {
+                    cur += 1;
+                }
+                if cur < rows_j.len() && rows_j[cur] == r {
+                    arena.push((klo + t) as u32);
+                    arena.push((jlo + cur) as u32);
+                    pairs += 1;
+                    cur += 1;
+                } else {
+                    debug_assert!(false, "TSTRF plan target missing: pattern not closed");
+                }
+            }
+            if pairs > 0 {
+                plan.uents.push(TstrfUent { u_idx: (dlo + q) as u32, pair_off, pair_len: pairs });
+                plan.searches_avoided += u64::from(pairs);
+            }
+        }
+        plan.cols.push(TstrfCol {
+            u_off,
+            u_len: plan.uents.len() as u32 - u_off,
+            ujj_idx: (dlo + dpos) as u32,
+            j_lo: jlo as u32,
+            j_len: (jhi - jlo) as u32,
+        });
+    }
+    plan
+}
+
+/// Builds the pivot/update plan for a GETRF diagonal block.
+///
+/// # Panics
+/// Panics if an update target or a diagonal entry is missing from the
+/// pattern (closure violation).
+pub fn build_getrf_plan(a: &CscMatrix, arena: &mut Vec<u32>) -> GetrfPlan {
+    let mut plan = GetrfPlan::default();
+    let col_ptr = a.col_ptr();
+    let row_idx = a.row_idx();
+    for j in 0..a.ncols() {
+        let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+        let rows_j = &row_idx[lo..hi];
+        let u_off = plan.uents.len() as u32;
+        for (off_k, &k) in rows_j.iter().enumerate() {
+            if k >= j {
+                break;
+            }
+            let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
+            let start = klo + row_idx[klo..khi].partition_point(|&i| i <= k);
+            if start == khi {
+                continue;
+            }
+            let tgt_off = arena.len() as u32;
+            for &i in &row_idx[start..khi] {
+                let pos = rows_j
+                    .binary_search(&i)
+                    .expect("GETRF plan target missing: pattern not closed");
+                arena.push(pos as u32);
+            }
+            plan.uents.push(GetrfUent {
+                u_rel: off_k as u32,
+                src_lo: start as u32,
+                len: (khi - start) as u32,
+                tgt_off,
+            });
+            plan.searches_avoided += (khi - start) as u64;
+        }
+        let diag_rel = rows_j.binary_search(&j).expect("GETRF plan: diagonal entry missing");
+        plan.cols.push(GetrfCol {
+            lo: lo as u32,
+            len: (hi - lo) as u32,
+            u_off,
+            u_len: plan.uents.len() as u32 - u_off,
+            diag_rel: diag_rel as u32,
+        });
+    }
+    plan
+}
+
+/// Planned `C ← C − A·B`: pure indexed arithmetic, bitwise identical to
+/// [`crate::ssssm::ssssm`] with `C_V1`.
+pub fn ssssm_planned(
+    a: &CscMatrix,
+    b: &CscMatrix,
+    c: &mut CscMatrix,
+    plan: &SsssmPlan,
+    arena: &[u32],
+) {
+    let avals = a.values();
+    let bvals = b.values();
+    let cvals = c.values_mut();
+    for e in &plan.entries {
+        let bkj = bvals[e.bp as usize];
+        if bkj == 0.0 {
+            continue;
+        }
+        let srcs = &avals[e.a_lo as usize..e.a_lo as usize + e.len as usize];
+        let tgts = &arena[e.tgt_off as usize..e.tgt_off as usize + e.len as usize];
+        for (&t, &aik) in tgts.iter().zip(srcs) {
+            cvals[t as usize] -= aik * bkj;
+        }
+    }
+}
+
+/// Planned `L X = B`: bitwise identical to [`crate::trsm::gessm`] with
+/// `C_V1`.
+pub fn gessm_planned(diag_lu: &CscMatrix, b: &mut CscMatrix, plan: &GessmPlan, arena: &[u32]) {
+    let lvals = diag_lu.values();
+    let bvals = b.values_mut();
+    for s in &plan.srcs {
+        let xk = bvals[s.x_idx as usize];
+        if xk == 0.0 {
+            continue;
+        }
+        let pairs = &arena[s.pair_off as usize..s.pair_off as usize + 2 * s.pair_len as usize];
+        for pr in pairs.chunks_exact(2) {
+            bvals[pr[1] as usize] -= lvals[pr[0] as usize] * xk;
+        }
+    }
+}
+
+/// Planned `X U = B`: bitwise identical to [`crate::trsm::tstrf`] with
+/// `C_V1`.
+pub fn tstrf_planned(diag_lu: &CscMatrix, b: &mut CscMatrix, plan: &TstrfPlan, arena: &[u32]) {
+    let dvals = diag_lu.values();
+    let bvals = b.values_mut();
+    for col in &plan.cols {
+        for ue in &plan.uents[col.u_off as usize..col.u_off as usize + col.u_len as usize] {
+            let ukj = dvals[ue.u_idx as usize];
+            if ukj == 0.0 {
+                continue;
+            }
+            let pairs =
+                &arena[ue.pair_off as usize..ue.pair_off as usize + 2 * ue.pair_len as usize];
+            for pr in pairs.chunks_exact(2) {
+                bvals[pr[1] as usize] -= bvals[pr[0] as usize] * ukj;
+            }
+        }
+        let ujj = dvals[col.ujj_idx as usize];
+        for v in &mut bvals[col.j_lo as usize..col.j_lo as usize + col.j_len as usize] {
+            *v /= ujj;
+        }
+    }
+}
+
+/// Planned GETRF: bitwise identical to [`crate::getrf::getrf`] with
+/// `C_V1`. Returns the perturbed-pivot count.
+pub fn getrf_planned(
+    a: &mut CscMatrix,
+    plan: &GetrfPlan,
+    arena: &[u32],
+    pivot_floor: f64,
+) -> usize {
+    let mut perturbed = 0usize;
+    let (_, _, values) = a.parts_mut();
+    for col in &plan.cols {
+        let lo = col.lo as usize;
+        let (left, right) = values.split_at_mut(lo);
+        let vals_j = &mut right[..col.len as usize];
+        for ue in &plan.uents[col.u_off as usize..col.u_off as usize + col.u_len as usize] {
+            let ukj = vals_j[ue.u_rel as usize];
+            if ukj == 0.0 {
+                continue;
+            }
+            let srcs = &left[ue.src_lo as usize..ue.src_lo as usize + ue.len as usize];
+            let tgts = &arena[ue.tgt_off as usize..ue.tgt_off as usize + ue.len as usize];
+            for (&t, &lik) in tgts.iter().zip(srcs) {
+                vals_j[t as usize] -= lik * ukj;
+            }
+        }
+        let diag = col.diag_rel as usize;
+        let mut pivot = vals_j[diag];
+        perturbed += apply_floor(&mut pivot, pivot_floor);
+        vals_j[diag] = pivot;
+        for v in &mut vals_j[diag + 1..] {
+            *v /= pivot;
+        }
+    }
+    perturbed
+}
+
+/// Plan-layer accounting, all derived from deterministic quantities
+/// except `build_ns` (a wall clock, zeroed by the metrics projection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Bytes held by the arena and the per-task plan tables (from slice
+    /// lengths, so independent of lazy build order).
+    pub bytes: u64,
+    /// Cumulative wall time spent building plans, in nanoseconds.
+    pub build_ns: u64,
+    /// Number of per-task plans built so far.
+    pub builds: u64,
+}
+
+/// Per-rank (or per-solver) pool of kernel plans: one pooled index
+/// arena plus lazily built per-task plan slots.
+///
+/// Slot keys are the caller's: GETRF by diagonal index, GESSM/TSTRF by
+/// target block id, SSSSM by task-graph update index. The `*_for`
+/// methods build on first touch and return the plan together with the
+/// arena it indexes; the `get_*` methods are the immutable counterparts
+/// for pre-built plans (shared-memory workers build eagerly, then read
+/// without locks).
+#[derive(Debug, Default)]
+pub struct KernelPlans {
+    arena: Vec<u32>,
+    getrf: Vec<Option<GetrfPlan>>,
+    gessm: Vec<Option<GessmPlan>>,
+    tstrf: Vec<Option<TstrfPlan>>,
+    ssssm: Vec<Option<SsssmPlan>>,
+    builds: u64,
+    build_ns: u64,
+}
+
+impl KernelPlans {
+    /// Creates an empty pool with the given slot counts per class.
+    pub fn with_slots(getrf: usize, gessm: usize, tstrf: usize, ssssm: usize) -> Self {
+        KernelPlans {
+            arena: Vec::new(),
+            getrf: (0..getrf).map(|_| None).collect(),
+            gessm: (0..gessm).map(|_| None).collect(),
+            tstrf: (0..tstrf).map(|_| None).collect(),
+            ssssm: (0..ssssm).map(|_| None).collect(),
+            builds: 0,
+            build_ns: 0,
+        }
+    }
+
+    /// The GETRF plan for `slot`, built from `a`'s pattern on first use.
+    pub fn getrf_for(&mut self, slot: usize, a: &CscMatrix) -> (&GetrfPlan, &[u32]) {
+        if self.getrf[slot].is_none() {
+            let start = Instant::now();
+            let plan = build_getrf_plan(a, &mut self.arena);
+            self.note_build(start);
+            self.getrf[slot] = Some(plan);
+        }
+        (self.getrf[slot].as_ref().expect("just built"), &self.arena)
+    }
+
+    /// The GESSM plan for `slot`, built on first use.
+    pub fn gessm_for(
+        &mut self,
+        slot: usize,
+        diag_lu: &CscMatrix,
+        b: &CscMatrix,
+    ) -> (&GessmPlan, &[u32]) {
+        if self.gessm[slot].is_none() {
+            let start = Instant::now();
+            let plan = build_gessm_plan(diag_lu, b, &mut self.arena);
+            self.note_build(start);
+            self.gessm[slot] = Some(plan);
+        }
+        (self.gessm[slot].as_ref().expect("just built"), &self.arena)
+    }
+
+    /// The TSTRF plan for `slot`, built on first use.
+    pub fn tstrf_for(
+        &mut self,
+        slot: usize,
+        diag_lu: &CscMatrix,
+        b: &CscMatrix,
+    ) -> (&TstrfPlan, &[u32]) {
+        if self.tstrf[slot].is_none() {
+            let start = Instant::now();
+            let plan = build_tstrf_plan(diag_lu, b, &mut self.arena);
+            self.note_build(start);
+            self.tstrf[slot] = Some(plan);
+        }
+        (self.tstrf[slot].as_ref().expect("just built"), &self.arena)
+    }
+
+    /// The SSSSM plan for `slot`, built on first use.
+    pub fn ssssm_for(
+        &mut self,
+        slot: usize,
+        a: &CscMatrix,
+        b: &CscMatrix,
+        c: &CscMatrix,
+    ) -> (&SsssmPlan, &[u32]) {
+        if self.ssssm[slot].is_none() {
+            let start = Instant::now();
+            let plan = build_ssssm_plan(a, b, c, &mut self.arena);
+            self.note_build(start);
+            self.ssssm[slot] = Some(plan);
+        }
+        (self.ssssm[slot].as_ref().expect("just built"), &self.arena)
+    }
+
+    /// Pre-built GETRF plan, if any (immutable, for shared workers).
+    pub fn get_getrf(&self, slot: usize) -> Option<(&GetrfPlan, &[u32])> {
+        self.getrf.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
+    }
+
+    /// Pre-built GESSM plan, if any.
+    pub fn get_gessm(&self, slot: usize) -> Option<(&GessmPlan, &[u32])> {
+        self.gessm.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
+    }
+
+    /// Pre-built TSTRF plan, if any.
+    pub fn get_tstrf(&self, slot: usize) -> Option<(&TstrfPlan, &[u32])> {
+        self.tstrf.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
+    }
+
+    /// Pre-built SSSSM plan, if any.
+    pub fn get_ssssm(&self, slot: usize) -> Option<(&SsssmPlan, &[u32])> {
+        self.ssssm.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
+    }
+
+    fn note_build(&mut self, start: Instant) {
+        self.builds += 1;
+        self.build_ns = self
+            .build_ns
+            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Current plan-layer accounting.
+    pub fn stats(&self) -> PlanStats {
+        let mut bytes = std::mem::size_of_val(self.arena.as_slice());
+        for p in self.getrf.iter().flatten() {
+            bytes += std::mem::size_of_val(p.cols.as_slice())
+                + std::mem::size_of_val(p.uents.as_slice());
+        }
+        for p in self.gessm.iter().flatten() {
+            bytes += std::mem::size_of_val(p.srcs.as_slice());
+        }
+        for p in self.tstrf.iter().flatten() {
+            bytes += std::mem::size_of_val(p.cols.as_slice())
+                + std::mem::size_of_val(p.uents.as_slice());
+        }
+        for p in self.ssssm.iter().flatten() {
+            bytes += std::mem::size_of_val(p.entries.as_slice());
+        }
+        PlanStats { bytes: bytes as u64, build_ns: self.build_ns, builds: self.builds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::getrf::getrf;
+    use crate::ssssm::ssssm;
+    use crate::trsm::{gessm, tstrf};
+    use crate::{GetrfVariant, KernelScratch, SsssmVariant, TrsmVariant};
+    use pangulu_sparse::gen;
+    use pangulu_sparse::ops::ensure_diagonal;
+    use pangulu_symbolic::symbolic_fill;
+
+    /// Factored diagonal + solved panels + raw trailing block from a
+    /// closed 2x2-block fill pattern (the same fixture the kernel tests
+    /// use).
+    fn setup(seed: u64) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+        let nb = 16;
+        let a = ensure_diagonal(&gen::random_sparse(2 * nb, 0.2, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap();
+        let filled = f.filled_matrix(&a).unwrap();
+        let diag = filled.sub_matrix(0..nb, 0..nb);
+        let upper = filled.sub_matrix(0..nb, nb..2 * nb);
+        let lower = filled.sub_matrix(nb..2 * nb, 0..nb);
+        let tail = filled.sub_matrix(nb..2 * nb, nb..2 * nb);
+        (diag, upper, lower, tail)
+    }
+
+    #[test]
+    fn planned_getrf_is_bitwise_cv1() {
+        for seed in 0..4 {
+            let (diag, ..) = setup(seed);
+            let mut arena = Vec::new();
+            let plan = build_getrf_plan(&diag, &mut arena);
+            assert!(plan.searches_avoided > 0);
+
+            let mut unplanned = diag.clone();
+            let mut s = KernelScratch::with_capacity(unplanned.nrows());
+            let p0 = getrf(&mut unplanned, GetrfVariant::CV1, &mut s, 0.0);
+            let mut planned = diag.clone();
+            let p1 = getrf_planned(&mut planned, &plan, &arena, 0.0);
+            assert_eq!(p0, p1);
+            assert_eq!(unplanned.values(), planned.values(), "seed {seed}: GETRF drifted");
+        }
+    }
+
+    #[test]
+    fn planned_trsm_is_bitwise_cv1() {
+        for seed in 0..4 {
+            let (diag, upper, lower, _) = setup(seed);
+            let mut lu = diag.clone();
+            let mut s = KernelScratch::with_capacity(lu.nrows());
+            getrf(&mut lu, GetrfVariant::CV1, &mut s, 0.0);
+
+            let mut arena = Vec::new();
+            let gplan = build_gessm_plan(&lu, &upper, &mut arena);
+            let tplan = build_tstrf_plan(&lu, &lower, &mut arena);
+            assert!(gplan.searches_avoided > 0);
+            assert!(tplan.searches_avoided > 0);
+
+            let mut u0 = upper.clone();
+            gessm(&lu, &mut u0, TrsmVariant::CV1, &mut s);
+            let mut u1 = upper.clone();
+            gessm_planned(&lu, &mut u1, &gplan, &arena);
+            assert_eq!(u0.values(), u1.values(), "seed {seed}: GESSM drifted");
+
+            let mut l0 = lower.clone();
+            tstrf(&lu, &mut l0, TrsmVariant::CV1, &mut s);
+            let mut l1 = lower.clone();
+            tstrf_planned(&lu, &mut l1, &tplan, &arena);
+            assert_eq!(l0.values(), l1.values(), "seed {seed}: TSTRF drifted");
+        }
+    }
+
+    #[test]
+    fn planned_ssssm_is_bitwise_cv1() {
+        for seed in 0..4 {
+            let (diag, upper, lower, tail) = setup(seed);
+            let mut lu = diag.clone();
+            let mut s = KernelScratch::with_capacity(lu.nrows());
+            getrf(&mut lu, GetrfVariant::CV1, &mut s, 0.0);
+            let mut u = upper.clone();
+            gessm(&lu, &mut u, TrsmVariant::CV1, &mut s);
+            let mut l = lower.clone();
+            tstrf(&lu, &mut l, TrsmVariant::CV1, &mut s);
+
+            let mut arena = Vec::new();
+            let plan = build_ssssm_plan(&l, &u, &tail, &mut arena);
+            assert!(plan.searches_avoided > 0);
+
+            let mut c0 = tail.clone();
+            ssssm(&l, &u, &mut c0, SsssmVariant::CV1, &mut s);
+            let mut c1 = tail.clone();
+            ssssm_planned(&l, &u, &mut c1, &plan, &arena);
+            assert_eq!(c0.values(), c1.values(), "seed {seed}: SSSSM drifted");
+        }
+    }
+
+    #[test]
+    fn pool_builds_lazily_and_reuses() {
+        let (diag, upper, ..) = setup(3);
+        let mut lu = diag.clone();
+        let mut s = KernelScratch::with_capacity(lu.nrows());
+        getrf(&mut lu, GetrfVariant::CV1, &mut s, 0.0);
+
+        let mut pool = KernelPlans::with_slots(1, 1, 0, 0);
+        assert_eq!(pool.stats().builds, 0);
+        assert!(pool.get_getrf(0).is_none());
+
+        pool.getrf_for(0, &diag);
+        pool.gessm_for(0, &lu, &upper);
+        let stats = pool.stats();
+        assert_eq!(stats.builds, 2);
+        assert!(stats.bytes > 0);
+
+        // Re-touching is a lookup, not a rebuild.
+        pool.getrf_for(0, &diag);
+        pool.gessm_for(0, &lu, &upper);
+        let again = pool.stats();
+        assert_eq!(again.builds, 2);
+        assert_eq!(again.bytes, stats.bytes);
+        assert_eq!(again.build_ns, stats.build_ns);
+        assert!(pool.get_getrf(0).is_some());
+        assert!(pool.get_gessm(0).is_some());
+    }
+
+    #[test]
+    fn empty_blocks_yield_empty_plans() {
+        let e = CscMatrix::zeros(8, 8);
+        let mut arena = Vec::new();
+        let sp = build_ssssm_plan(&e, &e, &e, &mut arena);
+        let gp = build_gessm_plan(&e, &e, &mut arena);
+        let tp = build_tstrf_plan(&e, &e, &mut arena);
+        assert!(sp.entries.is_empty());
+        assert!(gp.srcs.is_empty());
+        assert!(tp.cols.is_empty());
+        assert!(arena.is_empty());
+
+        let mut c = CscMatrix::zeros(8, 8);
+        ssssm_planned(&e, &e, &mut c, &sp, &arena);
+        let mut b = CscMatrix::zeros(8, 8);
+        gessm_planned(&e, &mut b, &gp, &arena);
+        tstrf_planned(&e, &mut b, &tp, &arena);
+        assert_eq!(c.nnz(), 0);
+    }
+}

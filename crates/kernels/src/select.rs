@@ -41,6 +41,17 @@ pub struct Thresholds {
     pub ssssm_cv1: f64,
     /// SSSSM GPU side: below → `G_V1`, else `G_V2` (paper: 1E9.6).
     pub ssssm_gv1: f64,
+    /// GETRF planned gate: below this block nnz the precomputed index
+    /// plan (`P_V1`) replaces the tree's pick. Not in the paper — plans
+    /// are this repo's analysis-reuse layer; `fig08_calibrate` fits the
+    /// cut from planned-vs-unplanned crossovers.
+    pub getrf_planned: f64,
+    /// GESSM planned gate (block nnz).
+    pub gessm_planned: f64,
+    /// TSTRF planned gate (block nnz).
+    pub tstrf_planned: f64,
+    /// SSSSM planned gate (update FLOPs).
+    pub ssssm_planned: f64,
 }
 
 impl Default for Thresholds {
@@ -68,6 +79,21 @@ impl Default for Thresholds {
             // contiguous-run fast path), so C_V1 handles everything.
             ssssm_cv1: f64::INFINITY,
             ssssm_gv1: f64::INFINITY,
+            // Planned gates: plans replay the *scalar* index walk, so
+            // they win where per-call index discovery dominates the
+            // arithmetic and lose to the dense-addressed variants once
+            // blocks fill in (a dense scatter is itself search-free and
+            // amortises over batched updates). The TSTRF/SSSSM cuts are
+            // the `fig08_calibrate` planned-vs-best-unplanned
+            // crossovers; GETRF planning never lost a bucket. The GESSM
+            // cut mirrors TSTRF's — the single-call harvest keeps its
+            // gate open, but end-to-end A/B on the smoke corpus shows
+            // the merge replay losing to `C_V2` above ~1e3 nnz once
+            // operand blocks stop being cache-resident.
+            getrf_planned: f64::INFINITY,
+            gessm_planned: 1.0e3,
+            tstrf_planned: 1.0e3,
+            ssssm_planned: 3.3e4,
         }
     }
 }
@@ -89,6 +115,10 @@ impl Thresholds {
             ssssm_cpu: 1e7,
             ssssm_cv1: 10f64.powf(4.8),
             ssssm_gv1: 10f64.powf(9.6),
+            getrf_planned: f64::INFINITY,
+            gessm_planned: f64::INFINITY,
+            tstrf_planned: f64::INFINITY,
+            ssssm_planned: f64::INFINITY,
         }
     }
 }
@@ -186,6 +216,29 @@ impl KernelSelector {
         }
     }
 
+    /// Whether the precomputed index plan should replace the GETRF tree
+    /// pick for a block with `nnz_block` entries. Always `false` for the
+    /// baseline (pre-selection) selector — plans are part of the
+    /// adaptive layer.
+    pub fn planned_getrf(&self, nnz_block: usize) -> bool {
+        self.adaptive && (nnz_block as f64) < self.thresholds.getrf_planned
+    }
+
+    /// Planned gate for GESSM (operand block nnz).
+    pub fn planned_gessm(&self, nnz_b: usize) -> bool {
+        self.adaptive && (nnz_b as f64) < self.thresholds.gessm_planned
+    }
+
+    /// Planned gate for TSTRF (operand block nnz).
+    pub fn planned_tstrf(&self, nnz_b: usize) -> bool {
+        self.adaptive && (nnz_b as f64) < self.thresholds.tstrf_planned
+    }
+
+    /// Planned gate for SSSSM (update FLOPs).
+    pub fn planned_ssssm(&self, flops: f64) -> bool {
+        self.adaptive && flops < self.thresholds.ssssm_planned
+    }
+
     /// Figure 8(d): SSSSM from the update's FLOP count.
     pub fn ssssm(&self, flops: f64) -> SsssmVariant {
         if !self.adaptive {
@@ -266,5 +319,30 @@ mod tests {
         assert_eq!(s.gessm(1_000_000), TrsmVariant::GV1);
         assert_eq!(s.tstrf(1_000_000), TrsmVariant::GV1);
         assert_eq!(s.ssssm(1e12), SsssmVariant::GV1);
+    }
+
+    #[test]
+    fn planned_gates_follow_calibrated_cuts_and_baseline_is_closed() {
+        // GETRF's gate is open at any size; the panel/SSSSM gates close
+        // once the dense-addressed fallbacks start winning.
+        let adaptive = KernelSelector::new(1_000, Thresholds::default());
+        assert!(adaptive.planned_getrf(1_000_000));
+        assert!(adaptive.planned_gessm(500));
+        assert!(!adaptive.planned_gessm(1_000_000));
+        assert!(adaptive.planned_tstrf(500));
+        assert!(!adaptive.planned_tstrf(1_000_000));
+        assert!(adaptive.planned_ssssm(1e4));
+        assert!(!adaptive.planned_ssssm(1e12));
+
+        let baseline = KernelSelector::baseline(1_000);
+        assert!(!baseline.planned_getrf(1));
+        assert!(!baseline.planned_gessm(1));
+        assert!(!baseline.planned_tstrf(1));
+        assert!(!baseline.planned_ssssm(1.0));
+
+        let closed = Thresholds { ssssm_planned: 100.0, ..Thresholds::default() };
+        let s = KernelSelector::new(1_000, closed);
+        assert!(s.planned_ssssm(99.0));
+        assert!(!s.planned_ssssm(100.0));
     }
 }

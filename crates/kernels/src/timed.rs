@@ -15,11 +15,14 @@
 
 use std::time::Instant;
 
-use pangulu_metrics::{KernelTally, CLASS_GESSM, CLASS_GETRF, CLASS_SSSSM, CLASS_TSTRF};
+use pangulu_metrics::{
+    KernelTally, CLASS_GESSM, CLASS_GETRF, CLASS_SSSSM, CLASS_TSTRF, VARIANT_PLANNED,
+};
 use pangulu_sparse::CscMatrix;
 
+use crate::plan::{GessmPlan, GetrfPlan, SsssmPlan, TstrfPlan};
 use crate::scratch::KernelScratch;
-use crate::{flops, getrf, ssssm, trsm, GetrfVariant, SsssmVariant, TrsmVariant};
+use crate::{flops, getrf, plan, ssssm, trsm, GetrfVariant, SsssmVariant, TrsmVariant};
 
 /// Tally slot of a GETRF variant (`VARIANT_LABELS` index).
 fn getrf_slot(v: GetrfVariant) -> usize {
@@ -152,6 +155,80 @@ impl TimedKernels {
         self.tally.record(CLASS_SSSSM, ssssm_slot(variant), elapsed_nanos(start), model_flops);
     }
 
+    /// Metered [`plan::getrf_planned`]; tallies under the `P_V1` slot
+    /// with the same model FLOPs as the unplanned kernel (planned
+    /// execution performs identical arithmetic, so the observed ==
+    /// predicted FLOPs invariant is preserved).
+    pub fn getrf_planned(
+        &mut self,
+        a: &mut CscMatrix,
+        p: &GetrfPlan,
+        arena: &[u32],
+        pivot_floor: f64,
+    ) -> usize {
+        if !self.enabled {
+            return plan::getrf_planned(a, p, arena, pivot_floor);
+        }
+        let fl = flops::getrf_flops(a);
+        let start = Instant::now();
+        let perturbed = plan::getrf_planned(a, p, arena, pivot_floor);
+        self.tally.record(CLASS_GETRF, VARIANT_PLANNED, elapsed_nanos(start), fl);
+        perturbed
+    }
+
+    /// Metered [`plan::gessm_planned`].
+    pub fn gessm_planned(
+        &mut self,
+        diag_lu: &CscMatrix,
+        b: &mut CscMatrix,
+        p: &GessmPlan,
+        arena: &[u32],
+    ) {
+        if !self.enabled {
+            return plan::gessm_planned(diag_lu, b, p, arena);
+        }
+        let fl = flops::gessm_flops(diag_lu, b);
+        let start = Instant::now();
+        plan::gessm_planned(diag_lu, b, p, arena);
+        self.tally.record(CLASS_GESSM, VARIANT_PLANNED, elapsed_nanos(start), fl);
+    }
+
+    /// Metered [`plan::tstrf_planned`].
+    pub fn tstrf_planned(
+        &mut self,
+        diag_lu: &CscMatrix,
+        b: &mut CscMatrix,
+        p: &TstrfPlan,
+        arena: &[u32],
+    ) {
+        if !self.enabled {
+            return plan::tstrf_planned(diag_lu, b, p, arena);
+        }
+        let fl = flops::tstrf_flops(diag_lu, b);
+        let start = Instant::now();
+        plan::tstrf_planned(diag_lu, b, p, arena);
+        self.tally.record(CLASS_TSTRF, VARIANT_PLANNED, elapsed_nanos(start), fl);
+    }
+
+    /// Metered [`plan::ssssm_planned`]; the scheduler's model FLOPs are
+    /// passed through as for [`TimedKernels::ssssm`].
+    pub fn ssssm_planned(
+        &mut self,
+        a: &CscMatrix,
+        b: &CscMatrix,
+        c: &mut CscMatrix,
+        p: &SsssmPlan,
+        arena: &[u32],
+        model_flops: f64,
+    ) {
+        if !self.enabled {
+            return plan::ssssm_planned(a, b, c, p, arena);
+        }
+        let start = Instant::now();
+        plan::ssssm_planned(a, b, c, p, arena);
+        self.tally.record(CLASS_SSSSM, VARIANT_PLANNED, elapsed_nanos(start), model_flops);
+    }
+
     /// Metered [`ssssm::ssssm_batch`]: one fused pass over the target,
     /// but **per-update** tally records (under each update's selected
     /// variant and model FLOPs), so the task/kernel accounting stays 1:1
@@ -278,5 +355,40 @@ mod tests {
         assert_eq!(VARIANT_LABELS[getrf_slot(GetrfVariant::GV2)], "G_V2");
         assert_eq!(VARIANT_LABELS[trsm_slot(TrsmVariant::GV3)], "G_V3");
         assert_eq!(VARIANT_LABELS[ssssm_slot(SsssmVariant::CV2)], "C_V2");
+        assert_eq!(VARIANT_LABELS[VARIANT_PLANNED], "P_V1");
+    }
+
+    #[test]
+    fn planned_wrappers_match_raw_and_record_pv1() {
+        use crate::plan::{build_getrf_plan, build_ssssm_plan};
+
+        let mut timed = TimedKernels::new(true);
+        let mut scratch = KernelScratch::default();
+        let mut arena = Vec::new();
+
+        let block = dense_block(6);
+        let gplan = build_getrf_plan(&block, &mut arena);
+        let mut via_timed = block.clone();
+        let mut via_raw = block.clone();
+        let p1 = timed.getrf_planned(&mut via_timed, &gplan, &arena, 1e-12);
+        let p2 = getrf::getrf(&mut via_raw, GetrfVariant::CV1, &mut scratch, 1e-12);
+        assert_eq!(p1, p2);
+        assert_eq!(via_timed.values(), via_raw.values());
+
+        let a = dense_block(6);
+        let b = dense_block(6);
+        let c0 = dense_block(6);
+        let splan = build_ssssm_plan(&a, &b, &c0, &mut arena);
+        let mut c_timed = c0.clone();
+        let mut c_raw = c0.clone();
+        let fl = flops::ssssm_flops(&a, &b);
+        timed.ssssm_planned(&a, &b, &mut c_timed, &splan, &arena, fl);
+        ssssm::ssssm(&a, &b, &mut c_raw, SsssmVariant::CV1, &mut scratch);
+        assert_eq!(c_timed.values(), c_raw.values());
+
+        let labels: Vec<_> = timed.tally().entries().map(|(c, v, _)| (c, v)).collect();
+        assert!(labels.contains(&("GETRF", "P_V1")));
+        assert!(labels.contains(&("SSSSM", "P_V1")));
+        assert_eq!(timed.tally().calls_by_class(), [1, 0, 0, 1]);
     }
 }

@@ -1,0 +1,225 @@
+//! Property tests of the kernel plan layer: on random closed-pattern
+//! blocks, every planned entry point must be **bitwise identical** to its
+//! unplanned `C_V1` counterpart — not merely close. The plan records the
+//! exact index walk of the scalar kernel, so the floating-point operation
+//! sequence (and hence every rounding) is the same.
+
+use proptest::prelude::*;
+
+use pangulu_kernels::{getrf, plan, ssssm, trsm, GetrfVariant, KernelScratch, TrsmVariant};
+use pangulu_sparse::ops::ensure_diagonal;
+use pangulu_sparse::{CooMatrix, CscMatrix};
+use pangulu_symbolic::symbolic_fill;
+
+/// A random diagonally dominant matrix of order `2 * nb`, filled and cut
+/// into the four blocks of a 2x2 block step (pattern transitively closed
+/// by the symbolic fill — the contract every plan builder assumes).
+fn blocks(
+    nb: usize,
+    entries: &[(usize, usize, f64)],
+) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+    let n = 2 * nb;
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_sum = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i != j {
+            coo.push(i, j, v).unwrap();
+            row_sum[i] += v.abs();
+        }
+    }
+    for (i, &rs) in row_sum.iter().enumerate() {
+        coo.push(i, i, rs + 1.0).unwrap();
+    }
+    let a = ensure_diagonal(&coo.to_csc()).unwrap();
+    let f = symbolic_fill(&a).unwrap();
+    let filled = f.filled_matrix(&a).unwrap();
+    (
+        filled.sub_matrix(0..nb, 0..nb),
+        filled.sub_matrix(0..nb, nb..n),
+        filled.sub_matrix(nb..n, 0..nb),
+        filled.sub_matrix(nb..n, nb..n),
+    )
+}
+
+fn inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..14).prop_flat_map(|nb| {
+        (Just(nb), proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 10..160))
+    })
+}
+
+/// Near-empty fill: exercises empty columns, no-op plans and panels that
+/// vanish entirely.
+fn sparse_inputs() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..12).prop_flat_map(|nb| {
+        (Just(nb), proptest::collection::vec((0usize..64, 0usize..64, -2.0f64..2.0), 0..8))
+    })
+}
+
+/// The factored diagonal and the solved operand panels of the 2x2 step.
+fn chain(
+    nb: usize,
+    entries: &[(usize, usize, f64)],
+) -> (CscMatrix, CscMatrix, CscMatrix, CscMatrix, CscMatrix, CscMatrix) {
+    let (diag, upper, lower, tail) = blocks(nb, entries);
+    let mut scratch = KernelScratch::with_capacity(nb);
+    let mut lu = diag;
+    getrf::getrf(&mut lu, GetrfVariant::CV1, &mut scratch, 1e-12);
+    let mut u_op = upper.clone();
+    trsm::gessm(&lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
+    let mut l_op = lower.clone();
+    trsm::tstrf(&lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
+    (lu, upper, lower, u_op, l_op, tail)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn planned_getrf_is_bitwise_identical((nb, entries) in inputs()) {
+        let (diag, ..) = blocks(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut want = diag.clone();
+        let perturbed = getrf::getrf(&mut want, GetrfVariant::CV1, &mut scratch, 1e-12);
+        let mut arena = Vec::new();
+        let p = plan::build_getrf_plan(&diag, &mut arena);
+        let mut got = diag.clone();
+        let planned_perturbed = plan::getrf_planned(&mut got, &p, &arena, 1e-12);
+        prop_assert_eq!(want.values(), got.values());
+        prop_assert_eq!(perturbed, planned_perturbed);
+    }
+
+    #[test]
+    fn planned_gessm_is_bitwise_identical((nb, entries) in inputs()) {
+        let (lu, upper, _, _, _, _) = chain(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut want = upper.clone();
+        trsm::gessm(&lu, &mut want, TrsmVariant::CV1, &mut scratch);
+        let mut arena = Vec::new();
+        let p = plan::build_gessm_plan(&lu, &upper, &mut arena);
+        let mut got = upper.clone();
+        plan::gessm_planned(&lu, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+    }
+
+    #[test]
+    fn planned_tstrf_is_bitwise_identical((nb, entries) in inputs()) {
+        let (lu, _, lower, _, _, _) = chain(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut want = lower.clone();
+        trsm::tstrf(&lu, &mut want, TrsmVariant::CV1, &mut scratch);
+        let mut arena = Vec::new();
+        let p = plan::build_tstrf_plan(&lu, &lower, &mut arena);
+        let mut got = lower.clone();
+        plan::tstrf_planned(&lu, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+    }
+
+    #[test]
+    fn planned_ssssm_is_bitwise_identical((nb, entries) in inputs()) {
+        let (_, _, _, u_op, l_op, tail) = chain(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut want = tail.clone();
+        ssssm::ssssm(&l_op, &u_op, &mut want, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+        let mut arena = Vec::new();
+        let p = plan::build_ssssm_plan(&l_op, &u_op, &tail, &mut arena);
+        let mut got = tail.clone();
+        plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+    }
+
+    /// A mixed batch: several updates land on the same target block, some
+    /// applied planned, some unplanned, in every interleaving of two. The
+    /// result must equal the all-unplanned sequence bitwise — this is
+    /// exactly what a distributed rank does when the selector plans some
+    /// SSSSM tasks of a fused batch and falls back on others.
+    #[test]
+    fn mixed_planned_unplanned_batches_match((nb, entries) in inputs()) {
+        let (_, _, _, u_op, l_op, tail) = chain(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut arena = Vec::new();
+        let p = plan::build_ssssm_plan(&l_op, &u_op, &tail, &mut arena);
+
+        let mut want = tail.clone();
+        ssssm::ssssm(&l_op, &u_op, &mut want, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+        ssssm::ssssm(&l_op, &u_op, &mut want, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+
+        // planned → unplanned
+        let mut got = tail.clone();
+        plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
+        ssssm::ssssm(&l_op, &u_op, &mut got, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+        prop_assert_eq!(want.values(), got.values());
+
+        // unplanned → planned (the plan is pattern-only, so it applies to
+        // the already-updated values unchanged)
+        let mut got = tail.clone();
+        ssssm::ssssm(&l_op, &u_op, &mut got, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+        plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+    }
+
+    /// Near-empty and fully empty panels: plans degrade to no-ops without
+    /// panicking, and stay bitwise identical.
+    #[test]
+    fn degenerate_blocks_are_bitwise_identical((nb, entries) in sparse_inputs()) {
+        let (lu, upper, lower, u_op, l_op, tail) = chain(nb, &entries);
+        let mut scratch = KernelScratch::with_capacity(nb);
+        let mut arena = Vec::new();
+
+        let p = plan::build_gessm_plan(&lu, &upper, &mut arena);
+        let mut want = upper.clone();
+        trsm::gessm(&lu, &mut want, TrsmVariant::CV1, &mut scratch);
+        let mut got = upper.clone();
+        plan::gessm_planned(&lu, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+
+        let p = plan::build_tstrf_plan(&lu, &lower, &mut arena);
+        let mut want = lower.clone();
+        trsm::tstrf(&lu, &mut want, TrsmVariant::CV1, &mut scratch);
+        let mut got = lower.clone();
+        plan::tstrf_planned(&lu, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+
+        let p = plan::build_ssssm_plan(&l_op, &u_op, &tail, &mut arena);
+        let mut want = tail.clone();
+        ssssm::ssssm(&l_op, &u_op, &mut want, pangulu_kernels::SsssmVariant::CV1, &mut scratch);
+        let mut got = tail.clone();
+        plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
+        prop_assert_eq!(want.values(), got.values());
+    }
+}
+
+/// A structurally empty panel (zero stored entries): every builder must
+/// produce an empty plan and every executor must be a no-op.
+#[test]
+fn structurally_empty_panels_are_noops() {
+    let nb = 6;
+    let mut coo = CooMatrix::new(nb, nb);
+    for i in 0..nb {
+        coo.push(i, i, 2.0 + i as f64).unwrap();
+    }
+    let diag = coo.to_csc();
+    let mut scratch = KernelScratch::with_capacity(nb);
+    let mut lu = diag.clone();
+    getrf::getrf(&mut lu, GetrfVariant::CV1, &mut scratch, 1e-12);
+    let empty = CooMatrix::new(nb, nb).to_csc();
+
+    let mut arena = Vec::new();
+    let p = plan::build_gessm_plan(&lu, &empty, &mut arena);
+    assert_eq!(p.searches_avoided, 0);
+    let mut b = empty.clone();
+    plan::gessm_planned(&lu, &mut b, &p, &arena);
+    assert_eq!(b.values(), empty.values());
+
+    let p = plan::build_tstrf_plan(&lu, &empty, &mut arena);
+    let mut b = empty.clone();
+    plan::tstrf_planned(&lu, &mut b, &p, &arena);
+    assert_eq!(b.values(), empty.values());
+
+    let p = plan::build_ssssm_plan(&empty, &empty, &empty, &mut arena);
+    assert_eq!(p.searches_avoided, 0);
+    let mut c = empty.clone();
+    plan::ssssm_planned(&empty, &empty, &mut c, &p, &arena);
+    assert_eq!(c.values(), empty.values());
+    assert!(arena.is_empty(), "degenerate plans must not grow the arena");
+}

@@ -44,8 +44,13 @@ use json::{Json, JsonError};
 pub const CLASS_LABELS: [&str; 4] = ["GETRF", "GESSM", "TSTRF", "SSSSM"];
 
 /// Kernel variant labels, indexed by [`KernelTally`] variant slot
-/// (Table 1's naming: CPU versions then team/"GPU-structured" versions).
-pub const VARIANT_LABELS: [&str; 5] = ["C_V1", "C_V2", "G_V1", "G_V2", "G_V3"];
+/// (Table 1's naming: CPU versions then team/"GPU-structured" versions,
+/// plus the analysis-time planned variant `P_V1` — see
+/// `docs/KERNEL_PLANS.md`).
+pub const VARIANT_LABELS: [&str; 6] = ["C_V1", "C_V2", "G_V1", "G_V2", "G_V3", "P_V1"];
+
+/// Variant slot of the planned (precomputed index map) kernels.
+pub const VARIANT_PLANNED: usize = 5;
 
 /// Class slot of GETRF entries.
 pub const CLASS_GETRF: usize = 0;
@@ -68,10 +73,10 @@ pub struct KernelSlot {
     pub flops: f64,
 }
 
-/// Per-variant invocation tally: 4 kernel classes × up to 5 variants.
+/// Per-variant invocation tally: 4 kernel classes × up to 6 variants.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelTally {
-    slots: [[KernelSlot; 5]; 4],
+    slots: [[KernelSlot; 6]; 4],
 }
 
 impl KernelTally {
@@ -183,10 +188,12 @@ pub struct CommMetrics {
 /// so `bench_compare` can gate copy regressions exactly, like the other
 /// work counters.
 ///
-/// All fields except [`MemStats::ssssm_batches`] are deterministic for a
-/// fixed matrix, grid, owner map and fault plan (they derive from *which*
-/// blocks are shipped, not *when*). `ssssm_batches` counts fused kernel
-/// invocations, which depend on message arrival timing — it is zeroed by
+/// All fields except [`MemStats::ssssm_batches`] and
+/// [`MemStats::plan_build_ns`] are deterministic for a fixed matrix,
+/// grid, owner map and fault plan (they derive from *which* blocks are
+/// shipped and *which* tasks execute, not *when*). `ssssm_batches` counts
+/// fused kernel invocations, which depend on message arrival timing, and
+/// `plan_build_ns` is a wall clock — both are zeroed by
 /// [`RunReport::without_timings`] along with the other
 /// scheduling-dependent observables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -205,6 +212,21 @@ pub struct MemStats {
     /// Fused SSSSM kernel invocations that applied more than one update
     /// in a single scatter → multi-axpy → gather pass. Timing-dependent.
     pub ssssm_batches: u64,
+    /// Kernel invocations that ran a planned (precomputed index map)
+    /// variant instead of searching/scattering the pattern per call.
+    pub planned_calls: u64,
+    /// Index lookups (binary searches, merge-walk steps, dense
+    /// scatter/gather slots) answered by a precomputed plan instead of
+    /// being re-derived inside the kernel. Static per plan, so
+    /// deterministic.
+    pub index_searches_avoided: u64,
+    /// Resident footprint of the kernel plan arenas on this rank, bytes.
+    /// A gauge, not a rate: it stays flat across refactorisation reps
+    /// once every executed task's plan has been built.
+    pub plan_bytes: u64,
+    /// Cumulative wall-clock time spent building kernel plans,
+    /// nanoseconds. Timing — zeroed by [`RunReport::without_timings`].
+    pub plan_build_ns: u64,
 }
 
 /// Pipeline-phase accounting: how many times each phase of the
@@ -381,6 +403,10 @@ impl RunReport {
             m.bytes_copied += r.mem.bytes_copied;
             m.pattern_cache_hits += r.mem.pattern_cache_hits;
             m.ssssm_batches += r.mem.ssssm_batches;
+            m.planned_calls += r.mem.planned_calls;
+            m.index_searches_avoided += r.mem.index_searches_avoided;
+            m.plan_bytes += r.mem.plan_bytes;
+            m.plan_build_ns += r.mem.plan_build_ns;
         }
         m
     }
@@ -437,6 +463,7 @@ impl RunReport {
             r.comm.max_queue_depth = 0;
             r.comm.undeliverable = 0;
             r.mem.ssssm_batches = 0;
+            r.mem.plan_build_ns = 0;
             r.kernels.zero_timings();
         }
         out
@@ -530,6 +557,10 @@ fn rank_to_json(r: &RankMetrics) -> Json {
                 ("bytes_copied", Json::Num(r.mem.bytes_copied as f64)),
                 ("pattern_cache_hits", Json::Num(r.mem.pattern_cache_hits as f64)),
                 ("ssssm_batches", Json::Num(r.mem.ssssm_batches as f64)),
+                ("planned_calls", Json::Num(r.mem.planned_calls as f64)),
+                ("index_searches_avoided", Json::Num(r.mem.index_searches_avoided as f64)),
+                ("plan_bytes", Json::Num(r.mem.plan_bytes as f64)),
+                ("plan_build_ns", Json::Num(r.mem.plan_build_ns as f64)),
             ]),
         ),
         (
@@ -571,6 +602,10 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             bytes_copied: mem.req_u64("bytes_copied")?,
             pattern_cache_hits: mem.req_u64("pattern_cache_hits")?,
             ssssm_batches: mem.req_u64("ssssm_batches")?,
+            planned_calls: mem.req_u64("planned_calls")?,
+            index_searches_avoided: mem.req_u64("index_searches_avoided")?,
+            plan_bytes: mem.req_u64("plan_bytes")?,
+            plan_build_ns: mem.req_u64("plan_build_ns")?,
         },
         comm: CommMetrics {
             msgs_sent: comm.req_u64("msgs_sent")?,
@@ -649,6 +684,10 @@ mod tests {
                         bytes_copied: 640,
                         pattern_cache_hits: 1,
                         ssssm_batches: 1,
+                        planned_calls: 3,
+                        index_searches_avoided: 42,
+                        plan_bytes: 1024,
+                        plan_build_ns: 900,
                     },
                     comm: CommMetrics {
                         msgs_sent: 4,
@@ -687,6 +726,10 @@ mod tests {
         assert_eq!(mem.bytes_copied, 640);
         assert_eq!(mem.pattern_cache_hits, 1);
         assert_eq!(mem.ssssm_batches, 1);
+        assert_eq!(mem.planned_calls, 3);
+        assert_eq!(mem.index_searches_avoided, 42);
+        assert_eq!(mem.plan_bytes, 1024);
+        assert_eq!(mem.plan_build_ns, 900);
         assert!((report.observed_flops() - 1344.0).abs() < 1e-12);
     }
 
@@ -702,12 +745,16 @@ mod tests {
         assert_eq!(det.per_rank[0].comm.recv_timeouts, 0);
         assert_eq!(det.per_rank[0].comm.max_queue_depth, 0);
         assert_eq!(det.per_rank[0].mem.ssssm_batches, 0, "batch width is timing-dependent");
+        assert_eq!(det.per_rank[0].mem.plan_build_ns, 0, "plan build time is a wall clock");
         assert_eq!(det.per_rank[0].kernels.total_nanos(), 0);
         // Work counters untouched.
         assert_eq!(det.per_rank[0].tasks, report.per_rank[0].tasks);
         assert_eq!(det.per_rank[0].mem.payload_allocs, 2);
         assert_eq!(det.per_rank[0].mem.bytes_copied, 640);
         assert_eq!(det.per_rank[0].mem.pattern_cache_hits, 1);
+        assert_eq!(det.per_rank[0].mem.planned_calls, 3);
+        assert_eq!(det.per_rank[0].mem.index_searches_avoided, 42);
+        assert_eq!(det.per_rank[0].mem.plan_bytes, 1024);
         assert_eq!(det.per_rank[0].comm.msgs_sent, 4);
         assert_eq!(det.per_rank[0].comm.bytes_sent, 512);
         assert_eq!(det.per_rank[0].comm.retried_sends, 1);
@@ -720,6 +767,7 @@ mod tests {
         other.per_rank[0].blocked_recvs = 12;
         other.per_rank[0].comm.recv_timeouts = 8;
         other.per_rank[0].mem.ssssm_batches = 5;
+        other.per_rank[0].mem.plan_build_ns = 123;
         assert_eq!(other.without_timings(), det);
     }
 

@@ -4,6 +4,7 @@
 #
 #   smoke           single-shot factorisation corpus -> BENCH_smoke.json
 #   bench_refactor  steady-state refactorisation     -> BENCH_refactor.json
+#   bench_kernels   planned-vs-unplanned kernel sweep -> BENCH_kernels.json
 #
 # Fresh JSONs land in PANGULU_BENCH_FRESH_DIR if set (CI points this at
 # target/bench-fresh so a failing run can upload them as artifacts);
@@ -26,7 +27,8 @@ else
     mkdir -p "$fresh"
 fi
 
-cargo build --release -q -p pangulu-bench --bin smoke --bin bench_refactor --bin bench_compare
+cargo build --release -q -p pangulu-bench \
+    --bin smoke --bin bench_refactor --bin bench_kernels --bin bench_compare
 
 echo "== smoke bench (fresh run -> $fresh) =="
 PANGULU_DATA_DIR="$fresh" ./target/release/smoke
@@ -34,11 +36,17 @@ PANGULU_DATA_DIR="$fresh" ./target/release/smoke
 echo "== refactor bench (fresh run -> $fresh) =="
 PANGULU_DATA_DIR="$fresh" ./target/release/bench_refactor
 
+echo "== kernel-plan bench (fresh run -> $fresh) =="
+PANGULU_DATA_DIR="$fresh" ./target/release/bench_kernels
+
 echo "== bench_compare (fresh vs data/BENCH_smoke.json) =="
 ./target/release/bench_compare data/BENCH_smoke.json "$fresh/BENCH_smoke.json" "$@"
 
 echo "== bench_compare (fresh vs data/BENCH_refactor.json) =="
 ./target/release/bench_compare data/BENCH_refactor.json "$fresh/BENCH_refactor.json" "$@"
+
+echo "== bench_compare (fresh vs data/BENCH_kernels.json) =="
+./target/release/bench_compare data/BENCH_kernels.json "$fresh/BENCH_kernels.json" "$@"
 
 echo "== bench_compare --self-test (smoke baseline) =="
 ./target/release/bench_compare --self-test data/BENCH_smoke.json "$@"

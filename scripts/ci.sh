@@ -10,8 +10,10 @@
 #   doc     rustdoc with warnings fatal (broken intra-doc links etc.)
 #   trace   schedule-trace validator over a 5-seed fault sweep
 #           (see docs/FAULT_INJECTION.md)
-#   bench   benchmark-regression gates: smoke + refactor baselines
-#           (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
+#   bench   benchmark-regression gates: smoke + refactor + kernel
+#           baselines (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
+#   bench-kernels  the kernel-plan gate alone: re-runs bench_kernels and
+#           diffs it against data/BENCH_kernels.json (docs/KERNEL_PLANS.md)
 #
 # Usage:
 #   scripts/ci.sh [seed-base]
@@ -62,7 +64,15 @@ stage_bench() {
     scripts/bench_compare.sh
 }
 
-all_stages=(fmt clippy build test doc trace bench)
+stage_bench_kernels() {
+    local fresh="${PANGULU_BENCH_FRESH_DIR:-target/bench-fresh}"
+    mkdir -p "$fresh"
+    cargo build --release -q -p pangulu-bench --bin bench_kernels --bin bench_compare
+    PANGULU_DATA_DIR="$fresh" ./target/release/bench_kernels
+    ./target/release/bench_compare data/BENCH_kernels.json "$fresh/BENCH_kernels.json"
+}
+
+all_stages=(fmt clippy build test doc trace bench bench-kernels)
 
 only=""
 if [[ "${1:-}" == "--stage" ]]; then
@@ -90,7 +100,7 @@ run_stage() {
     local name="$1" t0 dt
     echo "== stage: $name =="
     t0=$SECONDS
-    "stage_$name" 2>&1 | tee "$log_dir/$name.log"
+    "stage_${name//-/_}" 2>&1 | tee "$log_dir/$name.log"
     dt=$((SECONDS - t0))
     timing_rows+=("$(printf '%-7s %4ds' "$name" "$dt")")
 }

@@ -5,7 +5,7 @@
 //! scheduling mode — and the residual stays small everywhere in the
 //! {1×1, 1×2, 2×2, 3×2} × {SyncFree, LevelSet} matrix.
 
-use pangulu::comm::ProcessGrid;
+use pangulu::comm::{FaultPlan, ProcessGrid};
 use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
 use pangulu::core::layout::OwnerMap;
 use pangulu::core::task::TaskGraph;
@@ -37,17 +37,14 @@ fn problem(seed: u64) -> Problem {
 }
 
 fn factor_once(prob: &Problem, pr: usize, pc: usize, mode: ScheduleMode) -> CscMatrix {
+    factor_with_config(prob, pr, pc, &FactorConfig::with_mode(mode))
+}
+
+fn factor_with_config(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> CscMatrix {
     let mut bm = prob.bm.clone();
     let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
-    factor_distributed_checked(
-        &mut bm,
-        &prob.tg,
-        &owners,
-        &prob.sel,
-        1e-12,
-        &FactorConfig::with_mode(mode),
-    )
-    .unwrap_or_else(|e| panic!("{pr}x{pc} {mode:?}: {e}"));
+    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+        .unwrap_or_else(|e| panic!("{pr}x{pc} {:?}: {e}", cfg.mode));
     bm.to_csc()
 }
 
@@ -85,6 +82,78 @@ fn factors_agree_across_grids_and_modes() {
                 "{pr}x{pc} {mode:?}: factors differ from the 1x1 reference"
             );
         }
+    }
+}
+
+/// Kernel plans are bitwise-neutral: with plans disabled, every grid ×
+/// mode cell still computes the exact factors of the planned default —
+/// including the sequential reference (the planned sequential sweep, the
+/// 1×1 distributed run, and the unplanned runs all agree bitwise).
+#[test]
+fn planned_and_unplanned_factors_are_bitwise_identical() {
+    let prob = problem(5);
+
+    // Sequential planned sweep as the schedule-free reference.
+    let mut seq_bm = prob.bm.clone();
+    let mut plans = pangulu::core::seq::empty_plans(&seq_bm, &prob.tg);
+    pangulu::core::seq::factor_sequential_planned(
+        &mut seq_bm,
+        &prob.tg,
+        &prob.sel,
+        1e-12,
+        &mut plans,
+    );
+    let reference = seq_bm.to_csc();
+
+    for (pr, pc) in grids() {
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            let planned = factor_with_config(&prob, pr, pc, &FactorConfig::with_mode(mode));
+            let unplanned =
+                factor_with_config(&prob, pr, pc, &FactorConfig::with_mode(mode).with_plans(false));
+            assert_eq!(
+                planned.values(),
+                unplanned.values(),
+                "{pr}x{pc} {mode:?}: plans changed the factors"
+            );
+            assert_eq!(
+                reference.values(),
+                planned.values(),
+                "{pr}x{pc} {mode:?}: planned factors differ from the sequential reference"
+            );
+        }
+    }
+}
+
+/// Plans stay bitwise-neutral when an adversarial fault plan perturbs
+/// message timing, ordering, and delivery.
+#[test]
+fn planned_factors_survive_adversarial_fault_plans() {
+    let prob = problem(6);
+    let reference = factor_once(&prob, 2, 2, ScheduleMode::SyncFree);
+    for seed in [7u64, 8, 9] {
+        let fault = FaultPlan::adversarial(seed);
+        let planned = factor_with_config(
+            &prob,
+            2,
+            2,
+            &FactorConfig::with_mode(ScheduleMode::SyncFree).with_fault(fault.clone()),
+        );
+        let unplanned = factor_with_config(
+            &prob,
+            2,
+            2,
+            &FactorConfig::with_mode(ScheduleMode::SyncFree).with_fault(fault).with_plans(false),
+        );
+        assert_eq!(
+            planned.values(),
+            unplanned.values(),
+            "fault seed {seed}: plans changed the factors under faults"
+        );
+        assert_eq!(
+            reference.values(),
+            planned.values(),
+            "fault seed {seed}: faulted planned factors differ from the fault-free run"
+        );
     }
 }
 

@@ -284,6 +284,60 @@ fn workspace_reuse_is_bitwise_stable_under_adversarial_faults() {
     }
 }
 
+/// Kernel plans live in the cached analysis: the first factorisation
+/// builds them (lazily, per executed task), and every refactorisation
+/// reuses them — the cumulative plan-build counters (`plan_bytes`,
+/// `plan_build_ns`) stay exactly flat after rep 1, while the
+/// analyze/factor phase split is unchanged from the unplanned baseline.
+#[test]
+fn kernel_plan_reuse_keeps_build_counters_flat() {
+    let a = gen::circuit(300, 21);
+    let mut solver = Solver::factor_with(&a, opts_for(4, ScheduleMode::SyncFree)).unwrap();
+    let first = solver.kernel_plan_stats().expect("plans are on by default");
+    assert!(first.bytes > 0, "first factorisation built no plans");
+    let first_phases = solver.stats().phases;
+
+    for rep in 1..=3 {
+        solver.refactor(&perturb(&a)).unwrap();
+        let s = solver.kernel_plan_stats().unwrap();
+        assert_eq!(s.bytes, first.bytes, "rep {rep}: plan arena grew on reuse");
+        assert_eq!(s.build_ns, first.build_ns, "rep {rep}: plans were rebuilt on reuse");
+        let mem = solver.stats().report.as_ref().unwrap().total_mem();
+        assert!(mem.planned_calls > 0, "rep {rep}: steady state made no planned calls");
+        assert!(mem.index_searches_avoided > 0, "rep {rep}: plans avoided no searches");
+    }
+    let steady = solver.stats().phases.since(&first_phases);
+    assert_eq!((steady.reorder_runs, steady.symbolic_runs, steady.preprocess_runs), (0, 0, 0));
+    assert_eq!((steady.numeric_runs, steady.analysis_reuses), (3, 3));
+}
+
+/// A rejected refactor (pattern mismatch) must leave the cached plans as
+/// untouched as the factors: same bytes, no rebuilds — and the intact
+/// plans still serve the next valid refactorisation without rebuilding.
+#[test]
+fn rejected_refactor_leaves_plans_intact() {
+    let a = gen::laplacian_2d(8, 8);
+    let mut solver = Solver::factor_with(&a, opts_for(4, ScheduleMode::SyncFree)).unwrap();
+    let before = solver.kernel_plan_stats().expect("plans are on by default");
+    let bits = factor_bits(solver.factored());
+
+    match solver.refactor(&gen::laplacian_2d(8, 9)) {
+        Err(SparseError::PatternMismatch(_)) => {}
+        other => panic!("expected PatternMismatch, got {other:?}"),
+    }
+    let after = solver.kernel_plan_stats().unwrap();
+    assert_eq!((after.bytes, after.build_ns), (before.bytes, before.build_ns));
+    assert_eq!(bits, factor_bits(solver.factored()), "rejected refactor mutated the factors");
+
+    solver.refactor(&perturb(&a)).unwrap();
+    let s = solver.kernel_plan_stats().unwrap();
+    assert_eq!(
+        (s.bytes, s.build_ns),
+        (before.bytes, before.build_ns),
+        "valid refactor after a rejection rebuilt plans"
+    );
+}
+
 /// The phase counters record exactly which phases ran: the first
 /// factorisation runs all four, every refactorisation adds one numeric
 /// run and one analysis reuse.
