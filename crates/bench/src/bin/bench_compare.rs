@@ -43,8 +43,13 @@ const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// f64 round-trip through JSON text. The phase counters pin the
 /// analyze/factor split: any recomputed analysis work in a steady-state
 /// refactorisation run shows up here as a hard failure, not a wall-time
-/// wobble.
-const EXACT_KEYS: [&str; 15] = [
+/// wobble. The steal counters are gated exactly too: the gated bench
+/// arms run the (non-stealing) Priority policy, so both must stay
+/// deterministically zero — a nonzero value means a stealing policy
+/// leaked into a gated configuration. `lookahead_hits` and
+/// `priority_inversions` are timing-dependent and deliberately NOT
+/// gated.
+const EXACT_KEYS: [&str; 17] = [
     "msgs",
     "bytes",
     "tasks",
@@ -60,6 +65,8 @@ const EXACT_KEYS: [&str; 15] = [
     "preprocess_runs",
     "numeric_runs",
     "analysis_reuses",
+    "steals",
+    "steal_bytes",
 ];
 const FLOP_KEYS: [&str; 2] = ["observed_flops", "predicted_flops"];
 const FLOP_RTOL: f64 = 1e-9;

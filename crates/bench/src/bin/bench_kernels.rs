@@ -223,6 +223,8 @@ fn point_json(p: &SweepPoint) -> Json {
         ("preprocess_runs".into(), num(0.0)),
         ("numeric_runs".into(), num(0.0)),
         ("analysis_reuses".into(), num(0.0)),
+        ("steals".into(), num(0.0)),
+        ("steal_bytes".into(), num(0.0)),
         ("observed_flops".into(), num(p.ssssm_flops)),
         ("predicted_flops".into(), num(p.ssssm_flops)),
         ("residual".into(), num(0.0)),

@@ -22,7 +22,17 @@
 //!   refactors the same values, **interleaved** rep-for-rep with the
 //!   planned solver so both see the same machine state, and the minimum
 //!   unplanned wall time is reported as `wall_unplanned_seconds` next to
-//!   the planned `wall_seconds` (ratio in `planned_speedup`).
+//!   the planned `wall_seconds` (ratio in `planned_speedup`);
+//! * a scheduling-policy A/B: a third solver runs `PriorityStealing`
+//!   (work stealing plus lookahead), again interleaved rep-for-rep, and
+//!   reports `ab_wall_seconds` plus the scheduler counters summed over
+//!   its reps (`ab_steals`, `ab_steal_bytes`, `ab_lookahead_hits`).
+//!   These `ab_*` keys are **not** exact-gated — steal placement and
+//!   lookahead hits are timing-dependent — but the harness asserts that
+//!   stealing and lookahead actually engaged (`ab_steals > 0`,
+//!   `ab_lookahead_hits > 0`) on the kkt and circuit matrices. The
+//!   gated arms run the default non-stealing `Priority` policy, so
+//!   their `steals`/`steal_bytes` stay deterministically zero.
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_refactor.json`.
@@ -31,6 +41,7 @@ use std::time::Instant;
 
 use pangulu_bench::{data_dir, secs, smoke_corpus};
 use pangulu_core::solver::Solver;
+use pangulu_core::SchedulePolicy;
 use pangulu_metrics::json::Json;
 use pangulu_metrics::{PhaseCounters, RunReport};
 use pangulu_sparse::{gen, ops, CscMatrix};
@@ -60,6 +71,13 @@ struct RefactorResult {
     /// Minimum steady-state wall time with kernel plans off, measured
     /// interleaved with the planned reps.
     wall_unplanned_seconds: f64,
+    /// Minimum steady-state wall time under `PriorityStealing`,
+    /// measured interleaved with the other two arms.
+    ab_wall_seconds: f64,
+    /// Scheduler counters summed over the stealing arm's reps.
+    ab_steals: u64,
+    ab_steal_bytes: u64,
+    ab_lookahead_hits: u64,
     /// Minimum numeric-phase time across the refactorisation reps.
     numeric_seconds: f64,
     residual: f64,
@@ -82,12 +100,21 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         .use_plans(false)
         .build(a)
         .unwrap_or_else(|e| panic!("{name}: unplanned factorisation failed: {e}"));
+    let mut stealing = Solver::builder()
+        .ranks(RANKS)
+        .schedule_policy(SchedulePolicy::PriorityStealing)
+        .build(a)
+        .unwrap_or_else(|e| panic!("{name}: stealing factorisation failed: {e}"));
 
     let mut best_wall = f64::INFINITY;
     let mut best_unplanned = f64::INFINITY;
+    let mut best_stealing = f64::INFINITY;
     let mut best_numeric = f64::INFINITY;
+    let mut ab_steals = 0u64;
+    let mut ab_steal_bytes = 0u64;
+    let mut ab_lookahead_hits = 0u64;
     for _ in 0..reps {
-        // Interleave the A/B pair so cache and frequency state are
+        // Interleave the A/B arms so cache and frequency state are
         // shared; min-of-reps on each side.
         let t = Instant::now();
         solver.refactor(a).unwrap_or_else(|e| panic!("{name}: refactorisation failed: {e}"));
@@ -98,6 +125,20 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
             .refactor(a)
             .unwrap_or_else(|e| panic!("{name}: unplanned refactorisation failed: {e}"));
         best_unplanned = best_unplanned.min(secs(t.elapsed()));
+        let t = Instant::now();
+        stealing
+            .refactor(a)
+            .unwrap_or_else(|e| panic!("{name}: stealing refactorisation failed: {e}"));
+        best_stealing = best_stealing.min(secs(t.elapsed()));
+        let sched = stealing
+            .stats()
+            .report
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: stealing run produced no RunReport"))
+            .total_sched();
+        ab_steals += sched.steals;
+        ab_steal_bytes += sched.steal_bytes;
+        ab_lookahead_hits += sched.lookahead_hits;
     }
 
     let stats = solver.stats();
@@ -116,6 +157,10 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         wall_first_seconds: wall_first,
         wall_seconds: best_wall,
         wall_unplanned_seconds: best_unplanned,
+        ab_wall_seconds: best_stealing,
+        ab_steals,
+        ab_steal_bytes,
+        ab_lookahead_hits,
         numeric_seconds: best_numeric,
         residual,
         report,
@@ -167,6 +212,16 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),
         ("numeric_runs".into(), num(r.phases.numeric_runs as f64)),
         ("analysis_reuses".into(), num(r.phases.analysis_reuses as f64)),
+        // Gated exactly: the gated arms run the non-stealing Priority
+        // policy, so both stay deterministically zero.
+        ("steals".into(), num(r.report.total_sched().steals as f64)),
+        ("steal_bytes".into(), num(r.report.total_sched().steal_bytes as f64)),
+        // Scheduling-policy A/B (PriorityStealing arm) — informational,
+        // never exact-gated: steal placement is timing-dependent.
+        ("ab_wall_seconds".into(), num(r.ab_wall_seconds)),
+        ("ab_steals".into(), num(r.ab_steals as f64)),
+        ("ab_steal_bytes".into(), num(r.ab_steal_bytes as f64)),
+        ("ab_lookahead_hits".into(), num(r.ab_lookahead_hits as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])
@@ -197,6 +252,16 @@ fn main() {
         let mem = r.report.total_mem();
         assert!(mem.planned_calls > 0, "{name}: planned run made no planned kernel calls");
         assert!(mem.index_searches_avoided > 0, "{name}: plans avoided no index searches");
+        let sched = r.report.total_sched();
+        assert_eq!(
+            (sched.steals, sched.steal_bytes),
+            (0, 0),
+            "{name}: a stealing policy leaked into the gated (Priority) arm"
+        );
+        if matches!(name, "kkt" | "circuit") {
+            assert!(r.ab_steals > 0, "{name}: stealing arm never stole a task");
+            assert!(r.ab_lookahead_hits > 0, "{name}: stealing arm never used lookahead");
+        }
         results.push(r);
     }
     let total_wall: f64 = results.iter().map(|r| r.wall_seconds).sum();

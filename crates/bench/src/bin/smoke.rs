@@ -131,6 +131,10 @@ fn matrix_json(r: &SmokeResult) -> Json {
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),
         ("numeric_runs".into(), num(r.phases.numeric_runs as f64)),
         ("analysis_reuses".into(), num(r.phases.analysis_reuses as f64)),
+        // Gated exactly: the smoke arm runs the non-stealing Priority
+        // policy, so both stay deterministically zero.
+        ("steals".into(), num(r.report.total_sched().steals as f64)),
+        ("steal_bytes".into(), num(r.report.total_sched().steal_bytes as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])

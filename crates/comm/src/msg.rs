@@ -35,6 +35,22 @@ pub enum BlockRole {
     /// distributed triangular solve, sent to the owner of diagonal `i`
     /// (`bj` records the source block column).
     Partial,
+    /// A work-stealing grant: the owner of target block `(bi, bj)` hands
+    /// an idle rank a run of `width` ready SSSSM updates starting at
+    /// cursor position `pos` of the target's ascending-k reduction chain.
+    /// The payload is the target's current values; the thief already
+    /// holds the panel operands.
+    StealGrant {
+        /// Cursor position of the first granted update in the target's
+        /// ascending-k chain.
+        pos: u32,
+        /// Number of consecutive ready updates granted.
+        width: u32,
+    },
+    /// The reply to a [`BlockRole::StealGrant`]: the target block's
+    /// values with the granted update run applied, returned to the owner
+    /// of `(bi, bj)`.
+    StealResult,
 }
 
 /// A block shipped between ranks.

@@ -32,21 +32,21 @@
 //!   missing operand blocks, instead of hanging. A permanently dropped
 //!   message therefore surfaces as a diagnosable error.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
 use pangulu_kernels::select::KernelSelector;
 use pangulu_kernels::{flops, KernelPlans, KernelScratch, SsssmUpdate, TimedKernels};
-use pangulu_metrics::{MemStats, RankMetrics, RunReport, TaskCounts};
+use pangulu_metrics::{MemStats, RankMetrics, RunReport, SchedStats, TaskCounts};
 use pangulu_sparse::CscMatrix;
 
 use crate::block::BlockMatrix;
 use crate::layout::OwnerMap;
-use crate::task::{PrioritisedTask, Task, TaskGraph};
+use crate::task::{PrioritisedTask, Task, TaskGraph, TaskPriorities};
 
 /// Scheduling policy of the executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,11 +57,50 @@ pub enum ScheduleMode {
     LevelSet,
 }
 
+/// How a rank orders (and shares) its ready work within a
+/// [`ScheduleMode`]. Every policy preserves the per-target ascending-k
+/// SSSSM discipline, so the computed factors are bitwise identical
+/// across all three (see `docs/SCHEDULING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// The legacy ready-queue order: elimination step, then kernel
+    /// class, then target coordinates. No lookahead window, no stealing.
+    Fifo,
+    /// Order the ready queue by the analysis-time critical-path
+    /// priorities cached in the [`NumericWorkspace`], with the Fifo
+    /// order as deterministic tie-break; out-of-order work is bounded
+    /// by [`FactorConfig::lookahead`].
+    Priority,
+    /// [`SchedulePolicy::Priority`] plus cross-rank SSSSM work stealing:
+    /// an idle rank advertises itself on the steal board and owners hand
+    /// it ready ascending-k update runs whose operands it already holds.
+    PriorityStealing,
+}
+
+impl Default for SchedulePolicy {
+    /// [`SchedulePolicy::Priority`]: bitwise identical to Fifo, faster
+    /// on wide DAGs, no steal traffic.
+    fn default() -> Self {
+        SchedulePolicy::Priority
+    }
+}
+
 /// Full configuration of one distributed factorisation run.
 #[derive(Debug, Clone)]
 pub struct FactorConfig {
     /// Scheduling policy.
     pub mode: ScheduleMode,
+    /// Ready-queue ordering / work-sharing policy. [`ScheduleMode::LevelSet`]
+    /// always runs the queue in Fifo order (the barrier defines the
+    /// schedule), so the policy only takes effect under
+    /// [`ScheduleMode::SyncFree`].
+    pub policy: SchedulePolicy,
+    /// Out-of-order lookahead window of the priority policies: a rank may
+    /// execute ready work up to this many elimination steps past its
+    /// lowest locally-unfinished step; work further ahead is parked until
+    /// the front advances. Ignored under [`SchedulePolicy::Fifo`], which
+    /// keeps the historical unbounded out-of-order drain.
+    pub lookahead: usize,
     /// Optional seeded fault plan applied to every message.
     pub fault: Option<FaultPlan>,
     /// How long a rank may sit with nothing runnable and no incoming
@@ -99,6 +138,8 @@ impl Default for FactorConfig {
     fn default() -> Self {
         FactorConfig {
             mode: ScheduleMode::SyncFree,
+            policy: SchedulePolicy::Priority,
+            lookahead: 8,
             fault: None,
             stall_timeout: Duration::from_secs(60),
             traced: false,
@@ -113,6 +154,18 @@ impl FactorConfig {
     /// Config for a plain run under the given mode.
     pub fn with_mode(mode: ScheduleMode) -> Self {
         FactorConfig { mode, ..Default::default() }
+    }
+
+    /// Sets the ready-queue policy (Priority by default).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the out-of-order lookahead window of the priority policies.
+    pub fn with_lookahead(mut self, window: usize) -> Self {
+        self.lookahead = window;
+        self
     }
 
     /// Adds a fault plan.
@@ -291,6 +344,28 @@ pub struct TraceEvent {
     pub end: Duration,
 }
 
+/// One cross-rank work-stealing handoff: the owner (`victim`) of target
+/// block `(bi, bj)` granted `thief` the `width` consecutive ready SSSSM
+/// updates starting at cursor position `pos` of the target's ascending-k
+/// reduction chain. The trace validator uses these records to check
+/// stealing legality (see `crate::trace_check`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealRecord {
+    /// The rank that owned the target and granted the run.
+    pub victim: usize,
+    /// The rank that executed the granted updates.
+    pub thief: usize,
+    /// Target block row.
+    pub bi: usize,
+    /// Target block column.
+    pub bj: usize,
+    /// Cursor position of the first granted update in the target's
+    /// ascending-k chain.
+    pub pos: usize,
+    /// Number of consecutive updates granted.
+    pub width: usize,
+}
+
 /// Everything a checked factorisation run hands back.
 #[derive(Debug, Clone, Default)]
 pub struct FactorRun {
@@ -310,6 +385,10 @@ pub struct FactorRun {
     pub received: Vec<DeliveryRecord>,
     /// Messages permanently dropped by the fault layer.
     pub lost: Vec<DeliveryRecord>,
+    /// Every work-stealing handoff, victim-side view (empty unless
+    /// [`SchedulePolicy::PriorityStealing`] was active and a steal
+    /// actually happened).
+    pub steals: Vec<StealRecord>,
 }
 
 /// Factorises `bm` in place across `owners.num_ranks()` rank threads.
@@ -424,6 +503,8 @@ pub fn factor_distributed_cached(
     }
     .into_mailboxes();
     let barrier = StepBarrier::new(p);
+    let board = StealBoard::new(p);
+    let prios = ws.priorities.clone();
     let abort = AtomicBool::new(false);
     let first_err: Mutex<Option<DistError>> = Mutex::new(None);
 
@@ -436,6 +517,8 @@ pub fn factor_distributed_cached(
                 .zip(ws.ranks.iter_mut())
                 .map(|(mb, st)| {
                     let barrier = &barrier;
+                    let board = &board;
+                    let prios = &prios;
                     let abort = &abort;
                     let first_err = &first_err;
                     s.spawn(move || {
@@ -448,7 +531,9 @@ pub fn factor_distributed_cached(
                             cfg,
                             mb,
                             st,
+                            prios,
                             barrier,
+                            board,
                             abort,
                             first_err,
                         );
@@ -494,6 +579,7 @@ pub fn factor_distributed_cached(
         run.sent.extend(out.sent);
         run.received.extend(out.received);
         run.lost.extend(out.lost);
+        run.steals.extend(out.steals);
     }
     run.report.per_rank.sort_by_key(|r| r.rank);
     trace.sort_by_key(|e| e.start);
@@ -597,6 +683,33 @@ impl StepBarrier {
     }
 }
 
+/// The cross-rank work-stealing coordination board: one atomic slot per
+/// rank, written with compare-and-swap so every transition is owned by
+/// exactly one side. States:
+///
+/// * `0` — idle: the rank is busy (or simply not asking for work);
+/// * `1` — hungry: the rank has nothing runnable and volunteers to
+///   execute a stolen update run (set by the thief, `0 → 1`);
+/// * `2` — granted: a victim claimed the hungry rank and a
+///   [`BlockRole::StealGrant`] is in flight (victim CAS `1 → 2`; the
+///   thief moves `2 → 0` after shipping its [`BlockRole::StealResult`]);
+/// * `3` — retired: the rank finished all its work and will not service
+///   grants any more (thief CAS `0|1 → 3`; a slot seen at `2` forces the
+///   thief to keep receiving until the in-flight grant is settled).
+///
+/// The CAS handshake makes the handoff exactly-once: a victim that loses
+/// the `1 → 2` race sends nothing, and a thief can only retire from a
+/// state in which no grant can still be in flight.
+struct StealBoard {
+    slots: Vec<AtomicUsize>,
+}
+
+impl StealBoard {
+    fn new(p: usize) -> Self {
+        StealBoard { slots: (0..p).map(|_| AtomicUsize::new(0)).collect() }
+    }
+}
+
 /// What one rank hands back. The factored block values stay in the
 /// rank's [`RankState`] (written back by the caller on success).
 struct WorkerOutput {
@@ -605,6 +718,7 @@ struct WorkerOutput {
     sent: Vec<DeliveryRecord>,
     received: Vec<DeliveryRecord>,
     lost: Vec<DeliveryRecord>,
+    steals: Vec<StealRecord>,
 }
 
 /// One rank's pattern-dependent executor state, built once per
@@ -749,6 +863,11 @@ impl RankState {
 pub struct NumericWorkspace {
     ranks: Vec<RankState>,
     num_blocks: usize,
+    /// The analysis-time critical-path priority vector (see
+    /// [`TaskPriorities`]): computed once per pattern alongside the rest
+    /// of the workspace and shared by reference with every run, so a
+    /// numeric-only refactorisation never recomputes it.
+    priorities: Arc<TaskPriorities>,
 }
 
 impl NumericWorkspace {
@@ -756,12 +875,22 @@ impl NumericWorkspace {
     /// pattern of `bm` (values are re-read from `bm` at every run).
     pub fn new(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap) -> Self {
         let ranks = (0..owners.num_ranks()).map(|r| RankState::new(bm, tg, owners, r)).collect();
-        NumericWorkspace { ranks, num_blocks: bm.num_blocks() }
+        NumericWorkspace {
+            ranks,
+            num_blocks: bm.num_blocks(),
+            priorities: Arc::new(TaskPriorities::compute(bm, tg)),
+        }
     }
 
     /// Number of ranks the workspace was built for.
     pub fn num_ranks(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// The cached critical-path priority vector, shared (not cloned) with
+    /// every run on this workspace.
+    pub fn priorities(&self) -> Arc<TaskPriorities> {
+        self.priorities.clone()
     }
 }
 
@@ -780,6 +909,54 @@ enum Post {
         cid: usize,
         applied: usize,
     },
+}
+
+/// A ready-queue entry: the task plus its cached critical-path priority.
+/// The heap is a max-heap over `(prio, legacy order)`, so higher
+/// priorities pop first and ties fall back to the historical
+/// step/class/target order — under [`SchedulePolicy::Fifo`] every entry
+/// carries `prio == 0.0` and the pop order is byte-for-byte the legacy
+/// one.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    prio: f64,
+    task: Task,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .total_cmp(&other.prio)
+            .then_with(|| PrioritisedTask(self.task).cmp(&PrioritisedTask(other.task)))
+    }
+}
+
+/// A granted update run parked (or about to run) on the thief: the
+/// target's values arrived with the grant, the panel operands either are
+/// already here or are still in flight from their producers (the victim
+/// only grants runs whose operands were shipped to this rank).
+struct StolenJob {
+    victim: usize,
+    bi: usize,
+    bj: usize,
+    /// The granted `(k, gid)` slice of the target's ascending-k chain.
+    span: Vec<(usize, usize)>,
+    /// The thief's private working copy of the target block.
+    target: CscMatrix,
 }
 
 /// Per-rank executor: the run-scoped view over a rank's cached
@@ -808,7 +985,45 @@ struct Worker<'a> {
     /// [`FactorConfig::use_plans`]).
     use_plans: bool,
 
-    queue: BinaryHeap<PrioritisedTask>,
+    /// Effective queue policy: the configured [`FactorConfig::policy`],
+    /// forced to Fifo under [`ScheduleMode::LevelSet`] (the barrier
+    /// defines the schedule there).
+    policy: SchedulePolicy,
+    /// Whether cross-rank stealing is active (`PriorityStealing` under
+    /// `SyncFree`).
+    stealing: bool,
+    /// Out-of-order lookahead window (priority policies only).
+    lookahead: usize,
+    /// The cached analysis-time critical-path priorities.
+    prio: &'a TaskPriorities,
+    board: &'a StealBoard,
+
+    queue: BinaryHeap<QueueEntry>,
+    /// Entries popped past the lookahead horizon, parked until the local
+    /// step front advances.
+    deferred: Vec<QueueEntry>,
+    /// Lowest elimination step with unfinished owned work — the local
+    /// front the lookahead window is measured from.
+    front: usize,
+    /// Level-set short-circuit: set when the heap top is known to belong
+    /// to a later step, cleared on any push or step advance, so a blocked
+    /// rank stops re-peeking the heap every scheduler iteration.
+    levelset_blocked: bool,
+    /// Ready-queue census per elimination step (deferred entries
+    /// included) — the bookkeeping behind
+    /// [`SchedStats::priority_inversions`]...
+    queued_by_step: Vec<u32>,
+    /// ...and the lazily advanced lowest queued step.
+    min_queued_step: usize,
+    /// Live loans on owned targets: `cid → (pos, width, thief)`.
+    loans: HashMap<usize, (usize, usize, usize)>,
+    /// Granted runs this rank accepted and has not finished yet.
+    stolen_jobs: Vec<StolenJob>,
+    /// Victim-side log of every grant this rank handed out.
+    steal_records: Vec<StealRecord>,
+    /// Scheduling observables (steals, steal bytes, lookahead hits,
+    /// priority inversions).
+    sched: SchedStats,
     remaining: usize,
     /// Level-set mode: tasks done per elimination step (owed totals live
     /// in [`RankState::step_total`]).
@@ -845,7 +1060,9 @@ impl<'a> Worker<'a> {
         cfg: &FactorConfig,
         mailbox: Mailbox,
         st: &'a mut RankState,
+        prio: &'a TaskPriorities,
         barrier: &'a StepBarrier,
+        board: &'a StealBoard,
         abort: &'a AtomicBool,
         first_err: &'a Mutex<Option<DistError>>,
     ) -> Self {
@@ -856,6 +1073,10 @@ impl<'a> Worker<'a> {
         } else {
             1
         };
+        let policy =
+            if cfg.mode == ScheduleMode::LevelSet { SchedulePolicy::Fifo } else { cfg.policy };
+        let stealing =
+            policy == SchedulePolicy::PriorityStealing && cfg.mode == ScheduleMode::SyncFree;
         let remaining = st.remaining_init;
         Worker {
             rank,
@@ -873,7 +1094,21 @@ impl<'a> Worker<'a> {
             st,
             max_batch,
             use_plans: cfg.use_plans,
+            policy,
+            stealing,
+            lookahead: cfg.lookahead,
+            prio,
+            board,
             queue: BinaryHeap::new(),
+            deferred: Vec::new(),
+            front: 0,
+            levelset_blocked: false,
+            queued_by_step: vec![0u32; bm.nblk() + 1],
+            min_queued_step: bm.nblk() + 1,
+            loans: HashMap::new(),
+            stolen_jobs: Vec::new(),
+            steal_records: Vec::new(),
+            sched: SchedStats::default(),
             remaining,
             step_done: vec![0usize; bm.nblk() + 1],
             current_step: 0,
@@ -924,6 +1159,7 @@ impl<'a> Worker<'a> {
 
     fn run(mut self) -> WorkerOutput {
         self.seed_initial_tasks();
+        self.advance_front();
         let slice = Duration::from_millis(50).min(self.stall_timeout);
         let mut idle = Duration::ZERO;
         loop {
@@ -939,12 +1175,25 @@ impl<'a> Worker<'a> {
             if got_msg {
                 idle = Duration::ZERO;
             }
+            if self.stealing {
+                if !self.stolen_jobs.is_empty() {
+                    self.try_run_stolen();
+                }
+                self.service_steals();
+            }
             if let Some(task) = self.pop_runnable() {
                 idle = Duration::ZERO;
                 self.execute(task);
                 continue;
             }
-            if self.remaining == 0 && self.mode == ScheduleMode::SyncFree {
+            // When stealing, a rank may only leave once no grant can
+            // still be in flight and no accepted run still waits for an
+            // operand — the exactly-once handoff must not strand the
+            // victim; otherwise it keeps receiving until that settles.
+            if self.remaining == 0
+                && self.mode == ScheduleMode::SyncFree
+                && (!self.stealing || (self.stolen_jobs.is_empty() && self.try_retire()))
+            {
                 // Hand any still-buffered sends over before leaving.
                 self.mailbox.flush_pending();
                 break;
@@ -964,6 +1213,7 @@ impl<'a> Worker<'a> {
                     }
                     idle = Duration::ZERO;
                     self.current_step += 1;
+                    self.levelset_blocked = false;
                     if self.current_step >= self.bm.nblk() {
                         debug_assert_eq!(self.remaining, 0, "tasks left after final step");
                         break;
@@ -974,6 +1224,9 @@ impl<'a> Worker<'a> {
             // Nothing runnable: release buffered sends, then block on the
             // mailbox (the measured synchronisation wait, Fig. 10 step 3a).
             self.mailbox.flush_pending();
+            if self.stealing && self.remaining > 0 {
+                self.mark_hungry();
+            }
             self.blocked_recvs += 1;
             match self.mailbox.recv(slice) {
                 Some(m) => {
@@ -1008,11 +1261,19 @@ impl<'a> Worker<'a> {
             perturbed_pivots: self.perturbed as u64,
             tasks: self.tasks,
             mem: self.mem,
+            sched: self.sched,
             comm: self.mailbox.metrics(),
             kernels: std::mem::take(&mut self.timed).into_tally(),
         };
         let (sent, received, lost) = self.mailbox.into_logs();
-        WorkerOutput { metrics, trace: self.trace, sent, received, lost }
+        WorkerOutput {
+            metrics,
+            trace: self.trace,
+            sent,
+            received,
+            lost,
+            steals: self.steal_records,
+        }
     }
 
     /// Builds the stall diagnosis, publishes it (first error wins), and
@@ -1081,17 +1342,145 @@ impl<'a> Worker<'a> {
         missing
     }
 
-    /// Tasks runnable now (level-set mode restricts to the current step).
+    /// Tasks runnable now (level-set mode restricts to the current step;
+    /// the priority policies additionally bound out-of-order work by the
+    /// lookahead window).
     fn pop_runnable(&mut self) -> Option<Task> {
         match self.mode {
-            ScheduleMode::SyncFree => self.queue.pop().map(|p| p.0),
-            ScheduleMode::LevelSet => {
-                if let Some(top) = self.queue.peek() {
-                    if top.0.step() == self.current_step {
-                        return self.queue.pop().map(|p| p.0);
+            ScheduleMode::SyncFree => loop {
+                let e = self.queue.pop()?;
+                if self.stealing {
+                    if let Task::Ssssm { i, j, k } = e.task {
+                        // Stale entries survive a loan: the granted run's
+                        // head was queued before the grant, and the
+                        // cursor jumps past the whole run when the result
+                        // lands. Either way the entry no longer matches
+                        // the target's cursor — drop it silently.
+                        let cid = self.bm.block_id(i, j).expect("target exists");
+                        if self.loans.contains_key(&cid)
+                            || self.st.upd_order[cid].get(self.st.upd_pos[cid]) != Some(&k)
+                        {
+                            self.note_drop(e.task);
+                            continue;
+                        }
                     }
                 }
-                None
+                if self.policy != SchedulePolicy::Fifo
+                    && e.task.step() > self.front.saturating_add(self.lookahead)
+                {
+                    self.deferred.push(e);
+                    continue;
+                }
+                return Some(self.note_pop(e.task));
+            },
+            ScheduleMode::LevelSet => {
+                // The step gate is hoisted into a flag: once the top is
+                // known to belong to a later step, stop re-peeking (and
+                // re-comparing) until a push or a step advance can change
+                // the answer.
+                if self.levelset_blocked {
+                    return None;
+                }
+                match self.queue.peek() {
+                    Some(top) if top.task.step() == self.current_step => {
+                        let e = self.queue.pop().expect("peeked entry");
+                        Some(self.note_pop(e.task))
+                    }
+                    Some(_) => {
+                        self.levelset_blocked = true;
+                        None
+                    }
+                    None => None,
+                }
+            }
+        }
+    }
+
+    /// The cached critical-path priority of a task (panel priorities by
+    /// block id, update priorities by global update index).
+    fn task_priority(&self, task: Task) -> f64 {
+        match task {
+            Task::Getrf { k } => self.prio.panel[self.bm.block_id(k, k).expect("diag exists")],
+            Task::Gessm { k, j } => self.prio.panel[self.bm.block_id(k, j).expect("panel exists")],
+            Task::Tstrf { i, k } => self.prio.panel[self.bm.block_id(i, k).expect("panel exists")],
+            Task::Ssssm { i, j, k } => {
+                let cid = self.bm.block_id(i, j).expect("target exists");
+                let idx =
+                    self.st.upd_order[cid].binary_search(&k).expect("update in target's order");
+                self.prio.ssssm[self.st.upd_gid[cid][idx] as usize]
+            }
+        }
+    }
+
+    /// Queues a ready task under the active policy.
+    fn push_task(&mut self, task: Task) {
+        let prio = if self.policy == SchedulePolicy::Fifo { 0.0 } else { self.task_priority(task) };
+        let step = task.step();
+        self.queued_by_step[step] += 1;
+        if step < self.min_queued_step {
+            self.min_queued_step = step;
+        }
+        self.levelset_blocked = false;
+        if self.stealing {
+            // Local work arrived — stop advertising as hungry (best
+            // effort: a victim that already claimed the slot wins, and
+            // this rank simply executes the grant alongside its work).
+            let _ = self.board.slots[self.rank].compare_exchange(
+                1,
+                0,
+                AtomicOrdering::AcqRel,
+                AtomicOrdering::Acquire,
+            );
+        }
+        self.queue.push(QueueEntry { prio, task });
+    }
+
+    /// Pop-side bookkeeping: census decrement, priority-inversion and
+    /// lookahead-hit observables.
+    fn note_pop(&mut self, task: Task) -> Task {
+        let step = task.step();
+        self.queued_by_step[step] -= 1;
+        while self.min_queued_step < self.queued_by_step.len()
+            && self.queued_by_step[self.min_queued_step] == 0
+        {
+            self.min_queued_step += 1;
+        }
+        if self.min_queued_step < step {
+            self.sched.priority_inversions += 1;
+        }
+        if self.mode == ScheduleMode::SyncFree
+            && self.policy != SchedulePolicy::Fifo
+            && step > self.front
+        {
+            self.sched.lookahead_hits += 1;
+        }
+        task
+    }
+
+    /// Census decrement for a stale entry dropped without executing.
+    fn note_drop(&mut self, task: Task) {
+        self.queued_by_step[task.step()] -= 1;
+    }
+
+    /// Advances the local step front past completed steps and re-releases
+    /// parked work that the wider window now admits.
+    fn advance_front(&mut self) {
+        let start = self.front;
+        while self.front < self.st.step_total.len()
+            && self.step_done[self.front] >= self.st.step_total[self.front]
+        {
+            self.front += 1;
+        }
+        if self.front != start && !self.deferred.is_empty() {
+            let horizon = self.front.saturating_add(self.lookahead);
+            let mut i = 0;
+            while i < self.deferred.len() {
+                if self.deferred[i].task.step() <= horizon {
+                    let e = self.deferred.swap_remove(i);
+                    self.queue.push(e);
+                } else {
+                    i += 1;
+                }
             }
         }
     }
@@ -1129,7 +1518,7 @@ impl<'a> Worker<'a> {
             }
         };
         self.st.queued[id] = true;
-        self.queue.push(PrioritisedTask(task));
+        self.push_task(task);
     }
 
     fn execute(&mut self, task: Task) {
@@ -1337,19 +1726,22 @@ impl<'a> Worker<'a> {
                 if pos < self.st.upd_order[cid].len() && self.st.upd_ready[cid][pos] {
                     let (bi, bj) = self.bm.block_coords(cid);
                     let nk = self.st.upd_order[cid][pos];
-                    self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k: nk }));
+                    self.push_task(Task::Ssssm { i: bi, j: bj, k: nk });
                 }
                 if self.st.counter[cid] == 0 {
                     self.maybe_queue_panel(cid);
                 }
+                self.advance_front();
             }
         }
     }
 
-    /// Book-keeping common to completed tasks (level-set accounting).
+    /// Book-keeping common to completed tasks (level-set accounting and
+    /// the lookahead front).
     fn task_done(&mut self, step: usize) {
         self.remaining -= 1;
         self.step_done[step] += 1;
+        self.advance_front();
     }
 
     /// Marks an owned block finished, ships it, and triggers dependents.
@@ -1389,6 +1781,20 @@ impl<'a> Worker<'a> {
     }
 
     fn handle_msg(&mut self, msg: BlockMsg) {
+        // Steal traffic is not operand fan-out: intercept it before the
+        // remote-caching path (a grant's target copy must never enter the
+        // shared operand tables).
+        match msg.role {
+            BlockRole::StealGrant { pos, width } => {
+                self.on_steal_grant(msg, pos as usize, width as usize);
+                return;
+            }
+            BlockRole::StealResult => {
+                self.on_steal_result(msg);
+                return;
+            }
+            _ => {}
+        }
         let id = self.bm.block_id(msg.bi, msg.bj).expect("pattern of shipped block is replicated");
         match &mut self.st.remote[id] {
             Some(cached) => {
@@ -1423,9 +1829,9 @@ impl<'a> Worker<'a> {
     fn update_ready(&mut self, cid: usize, k: usize) {
         let idx = self.st.upd_order[cid].binary_search(&k).expect("update in target's order");
         self.st.upd_ready[cid][idx] = true;
-        if idx == self.st.upd_pos[cid] {
+        if idx == self.st.upd_pos[cid] && !self.loans.contains_key(&cid) {
             let (bi, bj) = self.bm.block_coords(cid);
-            self.queue.push(PrioritisedTask(Task::Ssssm { i: bi, j: bj, k }));
+            self.push_task(Task::Ssssm { i: bi, j: bj, k });
         }
     }
 
@@ -1477,6 +1883,252 @@ impl<'a> Worker<'a> {
             }
             other => panic!("unexpected message role {other:?} during factorisation"),
         }
+    }
+
+    // ---- cross-rank SSSSM work stealing -----------------------------
+
+    /// Advertises this rank as hungry (idle with work still owed).
+    fn mark_hungry(&self) {
+        let _ = self.board.slots[self.rank].compare_exchange(
+            0,
+            1,
+            AtomicOrdering::AcqRel,
+            AtomicOrdering::Acquire,
+        );
+    }
+
+    /// Tries to retire this rank's steal slot. Fails (and the caller must
+    /// keep receiving) while a grant is in flight.
+    fn try_retire(&self) -> bool {
+        let slot = &self.board.slots[self.rank];
+        loop {
+            let cur = slot.load(AtomicOrdering::Acquire);
+            if cur == 2 {
+                return false;
+            }
+            if slot
+                .compare_exchange(cur, 3, AtomicOrdering::AcqRel, AtomicOrdering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Victim side: scan the board for hungry ranks and hand each one a
+    /// ready update run whose operands it already holds (at most one
+    /// grant per thief at a time — the slot handshake enforces it).
+    fn service_steals(&mut self) {
+        if self.remaining == 0 {
+            return;
+        }
+        for thief in 0..self.board.slots.len() {
+            if thief == self.rank || self.board.slots[thief].load(AtomicOrdering::Acquire) != 1 {
+                continue;
+            }
+            if let Some((cid, pos, width)) = self.grant_for(thief) {
+                if self.board.slots[thief]
+                    .compare_exchange(1, 2, AtomicOrdering::AcqRel, AtomicOrdering::Acquire)
+                    .is_ok()
+                {
+                    self.send_grant(thief, cid, pos, width);
+                }
+            }
+        }
+    }
+
+    /// Finds a grantable run for `thief`: the longest prefix of ready
+    /// updates at some owned target's cursor whose panel operands the
+    /// thief owns or was shipped as a fan-out destination.
+    fn grant_for(&self, thief: usize) -> Option<(usize, usize, usize)> {
+        for cid in 0..self.bm.num_blocks() {
+            if self.st.my_blocks[cid].is_none() || self.loans.contains_key(&cid) {
+                continue;
+            }
+            let order = &self.st.upd_order[cid];
+            let pos = self.st.upd_pos[cid];
+            if pos >= order.len() || !self.st.upd_ready[cid][pos] {
+                continue;
+            }
+            let (bi, bj) = self.bm.block_coords(cid);
+            let mut width = 0usize;
+            while pos + width < order.len() && self.st.upd_ready[cid][pos + width] {
+                let k = order[pos + width];
+                if !self.thief_holds(thief, bi, k) || !self.thief_holds(thief, k, bj) {
+                    break;
+                }
+                width += 1;
+            }
+            if width > 0 {
+                return Some((cid, pos, width));
+            }
+        }
+        None
+    }
+
+    /// Whether `thief` holds block `(bi, bj)` as an operand: it owns the
+    /// block, or it is among the block's fan-out destinations (the
+    /// producer shipped it there when the block finished, so it has
+    /// arrived or is in flight).
+    fn thief_holds(&self, thief: usize, bi: usize, bj: usize) -> bool {
+        let id = self.bm.block_id(bi, bj).expect("operand exists in the pattern");
+        if self.owners.owner_of(id) == thief {
+            return true;
+        }
+        match bi.cmp(&bj) {
+            std::cmp::Ordering::Greater => {
+                self.tg.l_panel_destinations(self.bm, self.owners, bi, bj).contains(&thief)
+            }
+            std::cmp::Ordering::Less => {
+                self.tg.u_panel_destinations(self.bm, self.owners, bi, bj).contains(&thief)
+            }
+            std::cmp::Ordering::Equal => {
+                self.tg.diag_destinations(self.bm, self.owners, bi).contains(&thief)
+            }
+        }
+    }
+
+    /// Ships a grant: the target's current values plus the `(pos, width)`
+    /// span, and freezes the target's cursor until the result returns.
+    fn send_grant(&mut self, thief: usize, cid: usize, pos: usize, width: usize) {
+        let (bi, bj) = self.bm.block_coords(cid);
+        let vals = self.st.my_blocks[cid].as_ref().expect("granted target is owned").values();
+        let msg = BlockMsg {
+            bi,
+            bj,
+            role: BlockRole::StealGrant { pos: pos as u32, width: width as u32 },
+            values: Arc::from(vals),
+        };
+        self.sched.steals += 1;
+        self.sched.steal_bytes += msg.payload_bytes() as u64;
+        self.loans.insert(cid, (pos, width, thief));
+        self.steal_records.push(StealRecord { victim: self.rank, thief, bi, bj, pos, width });
+        self.mailbox.send(thief, msg);
+    }
+
+    /// Thief side: accept a grant. The span's `(k, gid)` pairs come from
+    /// the task graph (the per-target chain is global analysis data, not
+    /// owner state), and the target is rebuilt from the replicated
+    /// pattern plus the shipped values.
+    fn on_steal_grant(&mut self, msg: BlockMsg, pos: usize, width: usize) {
+        let cid = self.bm.block_id(msg.bi, msg.bj).expect("granted target is replicated");
+        let tpl = self.bm.block(cid);
+        assert_eq!(msg.values.len(), tpl.nnz(), "granted values do not match pattern");
+        let target = CscMatrix::from_parts_unchecked(
+            tpl.nrows(),
+            tpl.ncols(),
+            tpl.col_ptr().to_vec(),
+            tpl.row_idx().to_vec(),
+            msg.values.to_vec(),
+        );
+        let chain = self.tg.update_chain(self.bm, cid);
+        let span = chain[pos..pos + width].to_vec();
+        self.stolen_jobs.push(StolenJob {
+            victim: self.owners.owner_of(cid),
+            bi: msg.bi,
+            bj: msg.bj,
+            span,
+            target,
+        });
+        self.try_run_stolen();
+    }
+
+    /// Runs every accepted grant whose operands have all arrived; the
+    /// rest stay parked until their in-flight operands land.
+    fn try_run_stolen(&mut self) {
+        let mut i = 0;
+        while i < self.stolen_jobs.len() {
+            let (bi, bj) = (self.stolen_jobs[i].bi, self.stolen_jobs[i].bj);
+            let ready = self.stolen_jobs[i]
+                .span
+                .iter()
+                .all(|&(k, _)| self.avail_at(bi, k) && self.avail_at(k, bj));
+            if ready {
+                let job = self.stolen_jobs.swap_remove(i);
+                self.run_stolen_job(job);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Executes a granted run one update at a time in ascending-k order —
+    /// the same kernel decisions (selector variant, planned gate) the
+    /// victim would have made on the same operands, so the returned
+    /// values are bitwise identical to the victim executing locally (the
+    /// batching contract makes one-at-a-time equal to any fused split).
+    fn run_stolen_job(&mut self, mut job: StolenJob) {
+        let (bi, bj) = (job.bi, job.bj);
+        for &(uk, gid) in &job.span {
+            let trace_start = self.trace_origin.map(|origin| origin.elapsed());
+            let t0 = Instant::now();
+            let st = &mut *self.st;
+            let a = Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, bi, uk);
+            let b = Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, uk, bj);
+            let fl = flops::ssssm_flops(a, b);
+            if self.use_plans && self.selector.planned_ssssm(fl) {
+                let (p, arena) = st.plans.ssssm_for(gid, a, b, &job.target);
+                self.timed.ssssm_planned(a, b, &mut job.target, p, arena, fl);
+                self.mem.planned_calls += 1;
+                self.mem.index_searches_avoided += p.searches_avoided;
+            } else {
+                let upd = SsssmUpdate { a, b, variant: self.selector.ssssm(fl), model_flops: fl };
+                self.timed.ssssm_batch(&[upd], &mut job.target, &mut st.scratch);
+            }
+            self.tasks.ssssm += 1;
+            self.busy += t0.elapsed();
+            if let (Some(origin), Some(start)) = (self.trace_origin, trace_start) {
+                self.trace.push(TraceEvent {
+                    rank: self.rank,
+                    task: Task::Ssssm { i: bi, j: bj, k: uk },
+                    start,
+                    end: origin.elapsed(),
+                });
+            }
+        }
+        let msg = BlockMsg {
+            bi,
+            bj,
+            role: BlockRole::StealResult,
+            values: Arc::from(job.target.values()),
+        };
+        self.sched.steal_bytes += msg.payload_bytes() as u64;
+        self.mailbox.send(job.victim, msg);
+        let _ = self.board.slots[self.rank].compare_exchange(
+            2,
+            0,
+            AtomicOrdering::AcqRel,
+            AtomicOrdering::Acquire,
+        );
+    }
+
+    /// Victim side: fold a returned run back in — exactly the
+    /// book-keeping [`Post::Update`] does for a locally executed run,
+    /// with the values memcpy'd from the result payload.
+    fn on_steal_result(&mut self, msg: BlockMsg) {
+        let cid = self.bm.block_id(msg.bi, msg.bj).expect("result target is owned here");
+        let (pos, width, _thief) =
+            self.loans.remove(&cid).expect("steal result without a live loan");
+        debug_assert_eq!(self.st.upd_pos[cid], pos, "loan cursor moved while on loan");
+        let blk = self.st.my_blocks[cid].as_mut().expect("loaned target is owned");
+        assert_eq!(msg.values.len(), blk.nnz(), "returned values do not match pattern");
+        blk.values_mut().copy_from_slice(&msg.values);
+        for n in 0..width {
+            let step = self.st.upd_order[cid][pos + n];
+            self.step_done[step] += 1;
+        }
+        self.remaining -= width;
+        self.st.counter[cid] -= width;
+        self.st.upd_pos[cid] += width;
+        let next = self.st.upd_pos[cid];
+        if next < self.st.upd_order[cid].len() && self.st.upd_ready[cid][next] {
+            let nk = self.st.upd_order[cid][next];
+            self.push_task(Task::Ssssm { i: msg.bi, j: msg.bj, k: nk });
+        }
+        if self.st.counter[cid] == 0 {
+            self.maybe_queue_panel(cid);
+        }
+        self.advance_front();
     }
 }
 

@@ -43,5 +43,6 @@ pub mod trace_check;
 pub mod trisolve;
 
 pub use block::BlockMatrix;
+pub use dist::SchedulePolicy;
 pub use layout::OwnerMap;
 pub use solver::{Solver, SolverBuilder, SolverOptions, SolverPlan};

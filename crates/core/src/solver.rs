@@ -11,6 +11,7 @@
 //! kernel selection and pivoting; [`Solver::solve`] then answers any
 //! number of right-hand sides against the factorisation.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pangulu_comm::ProcessGrid;
@@ -24,10 +25,11 @@ use pangulu_symbolic::{stats::SymbolicStats, symbolic_fill};
 use crate::block::BlockMatrix;
 use crate::dist::{
     factor_distributed_cached, DistStats, FactorConfig, NumericWorkspace, ScheduleMode,
+    SchedulePolicy,
 };
 use crate::layout::OwnerMap;
 use crate::seq::{empty_plans, factor_sequential, factor_sequential_planned, NumericStats};
-use crate::task::TaskGraph;
+use crate::task::{TaskGraph, TaskPriorities};
 use crate::trisolve::{
     backward_substitute, backward_substitute_transpose, forward_substitute,
     forward_substitute_transpose,
@@ -44,6 +46,14 @@ pub struct SolverOptions {
     pub fill_reducing: FillReducing,
     /// Scheduling policy of the distributed executor.
     pub schedule: ScheduleMode,
+    /// Ready-queue ordering policy of the distributed executor: FIFO,
+    /// critical-path priority, or priority plus cross-rank SSSSM work
+    /// stealing. All three produce bitwise-identical factors.
+    pub policy: SchedulePolicy,
+    /// Out-of-order lookahead window of the distributed executor, in
+    /// block steps ahead of the factorisation front (ignored under
+    /// [`SchedulePolicy::Fifo`]).
+    pub lookahead: usize,
     /// Adaptive kernel selection on/off (Fig. 14 ablation).
     pub adaptive_kernels: bool,
     /// Decision-tree thresholds.
@@ -74,6 +84,8 @@ impl Default for SolverOptions {
             block_size: None,
             fill_reducing: FillReducing::Auto,
             schedule: ScheduleMode::SyncFree,
+            policy: SchedulePolicy::default(),
+            lookahead: FactorConfig::default().lookahead,
             adaptive_kernels: true,
             thresholds: Thresholds::default(),
             pivot_floor_rel: 1e-12,
@@ -113,6 +125,21 @@ impl SolverBuilder {
     /// Chooses the scheduling policy.
     pub fn schedule(mut self, s: ScheduleMode) -> Self {
         self.opts.schedule = s;
+        self
+    }
+
+    /// Chooses the ready-queue ordering policy (FIFO, critical-path
+    /// priority, or priority with cross-rank work stealing). Factors are
+    /// bitwise identical under every policy.
+    pub fn schedule_policy(mut self, p: SchedulePolicy) -> Self {
+        self.opts.policy = p;
+        self
+    }
+
+    /// Bounds out-of-order execution to `window` elimination steps past
+    /// the factorisation front (priority policies only).
+    pub fn lookahead(mut self, window: usize) -> Self {
+        self.opts.lookahead = window;
         self
     }
 
@@ -224,6 +251,11 @@ pub struct SolverPlan {
     /// For input nonzero `k` (CSC order): `(block id, value index)` where
     /// the scaled, permuted entry lands in the factor's block storage.
     scatter: Option<Vec<(usize, usize)>>,
+    /// Critical-path task priorities over the elimination DAG, computed
+    /// once at analysis time and shared (same allocation) with the
+    /// executor's workspace on multi-rank solvers; [`Solver::refactor`]
+    /// never recomputes them.
+    priorities: Arc<TaskPriorities>,
 }
 
 impl SolverPlan {
@@ -235,6 +267,11 @@ impl SolverPlan {
     /// Nonzero count of the analysed pattern.
     pub fn nnz(&self) -> usize {
         self.row_idx.len()
+    }
+
+    /// The cached critical-path priorities of the elimination DAG.
+    pub fn priorities(&self) -> &Arc<TaskPriorities> {
+        &self.priorities
     }
 }
 
@@ -279,12 +316,6 @@ impl Solver {
         let n = a.ncols();
         let mut stats =
             FactorStats { phases: PhaseCounters::first_factor(), ..FactorStats::default() };
-        let plan = SolverPlan {
-            n,
-            col_ptr: a.col_ptr().to_vec(),
-            row_idx: a.row_idx().to_vec(),
-            scatter: None,
-        };
 
         // Phase 1: reorder.
         let t = Instant::now();
@@ -362,7 +393,10 @@ impl Solver {
                 &owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(opts.schedule).with_plans(opts.use_plans),
+                &FactorConfig::with_mode(opts.schedule)
+                    .with_plans(opts.use_plans)
+                    .with_policy(opts.policy)
+                    .with_lookahead(opts.lookahead),
                 &mut ws,
             )
             .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
@@ -372,6 +406,21 @@ impl Solver {
             workspace = Some(ws);
         }
         stats.numeric_time = t.elapsed();
+
+        // The analysis cache: pattern fingerprint plus the critical-path
+        // priorities (shared with the workspace's copy on multi-rank
+        // solvers — one allocation, never recomputed by `refactor`).
+        let priorities = match &workspace {
+            Some(ws) => ws.priorities(),
+            None => Arc::new(TaskPriorities::compute(&bm, &tg)),
+        };
+        let plan = SolverPlan {
+            n,
+            col_ptr: a.col_ptr().to_vec(),
+            row_idx: a.row_idx().to_vec(),
+            scatter: None,
+            priorities,
+        };
 
         Ok(Solver {
             distributed_solve: opts.distributed_solve && opts.ranks > 1,
@@ -577,7 +626,10 @@ impl Solver {
                 &self.owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(self.opts.schedule).with_plans(self.opts.use_plans),
+                &FactorConfig::with_mode(self.opts.schedule)
+                    .with_plans(self.opts.use_plans)
+                    .with_policy(self.opts.policy)
+                    .with_lookahead(self.opts.lookahead),
                 ws,
             )
             .unwrap_or_else(|e| panic!("distributed refactorisation failed: {e}"));

@@ -95,6 +95,8 @@ pub struct TaskGraph {
     pub u_panels: Vec<Vec<usize>>,
     /// All SSSSM triples `(i, j, k)` with all three blocks present.
     pub ssssm: Vec<(usize, usize, usize)>,
+    /// FLOP weight of each SSSSM update, parallel to [`TaskGraph::ssssm`].
+    pub ssssm_flops: Vec<f64>,
     /// The synchronisation-free array: per block id, the number of SSSSM
     /// updates it must receive before its panel operation.
     pub indegree: Vec<usize>,
@@ -127,6 +129,7 @@ impl TaskGraph {
         }
 
         let mut ssssm = Vec::new();
+        let mut ssssm_flops = Vec::new();
         let mut indegree = vec![0usize; bm.num_blocks()];
         let mut update_flops = vec![0.0f64; bm.num_blocks()];
         // Per step k: SSSSM flops for the (i, j) pair reduce to a dot
@@ -159,6 +162,7 @@ impl TaskGraph {
                         let fl: f64 =
                             a_colnnz[ai].iter().zip(&b_rowcnt[bj]).map(|(a, b)| a * b).sum::<f64>()
                                 * 2.0;
+                        ssssm_flops.push(fl);
                         update_flops[c_id] += fl;
                     }
                     // A missing (i, j) means the product is structurally
@@ -183,7 +187,16 @@ impl TaskGraph {
             };
         }
 
-        TaskGraph { nblk, l_panels, u_panels, ssssm, indegree, panel_flops, update_flops }
+        TaskGraph {
+            nblk,
+            l_panels,
+            u_panels,
+            ssssm,
+            ssssm_flops,
+            indegree,
+            panel_flops,
+            update_flops,
+        }
     }
 
     /// Total task count (one panel op per block plus the SSSSMs).
@@ -238,6 +251,22 @@ impl TaskGraph {
         dests
     }
 
+    /// Sorted elimination steps of the SSSSM updates targeting block
+    /// `cid`, with their indices into [`TaskGraph::ssssm`] — the
+    /// ascending-k reduction chain the executor walks with its cursor.
+    pub fn update_chain(&self, bm: &BlockMatrix, cid: usize) -> Vec<(usize, usize)> {
+        let (bi, bj) = bm.block_coords(cid);
+        let mut chain: Vec<(usize, usize)> = self
+            .ssssm
+            .iter()
+            .enumerate()
+            .filter(|(_, &(i, j, _))| i == bi && j == bj)
+            .map(|(gid, &(_, _, k))| (k, gid))
+            .collect();
+        chain.sort_unstable();
+        chain
+    }
+
     /// Destination ranks of a finished U-panel block `(k, j)`.
     pub fn u_panel_destinations(
         &self,
@@ -254,6 +283,104 @@ impl TaskGraph {
         dests.sort_unstable();
         dests.dedup();
         dests
+    }
+}
+
+/// Analysis-time critical-path priorities: every task's longest
+/// FLOP-weighted path to a sink of the task DAG, with
+/// [`flops::TASK_LAUNCH_COST`] added to each task so the length strictly
+/// decreases along every dependency edge. Computed once during analysis
+/// (it is a pure function of the sparsity pattern), cached next to the
+/// kernel plans in the solver's analysis, and read — never recomputed —
+/// by every factorisation and refactorisation.
+///
+/// The DAG edges are the executor's real dependencies:
+/// `GETRF(k) → {GESSM(k,j), TSTRF(i,k)}`, each panel → the SSSSM updates
+/// consuming it, each update → the next update of its target's
+/// ascending-k reduction chain, and the last chain update → the target's
+/// panel operation. Every edge strictly increases `(step, phase)` with
+/// phase GETRF < solves < SSSSM (using `k < min(i, j)` for updates), so
+/// one reverse sweep over steps computes the exact longest path.
+#[derive(Debug, Clone, Default)]
+pub struct TaskPriorities {
+    /// Priority of each block's panel operation, by block id (diagonal
+    /// ids carry the GETRF priority).
+    pub panel: Vec<f64>,
+    /// Priority of each SSSSM update, parallel to [`TaskGraph::ssssm`].
+    pub ssssm: Vec<f64>,
+}
+
+impl TaskPriorities {
+    /// Computes the critical-path lengths for `tg` over `bm`'s structure.
+    pub fn compute(bm: &BlockMatrix, tg: &TaskGraph) -> Self {
+        let nblk = tg.nblk;
+        let nblocks = bm.num_blocks();
+        let mut panel = vec![0.0f64; nblocks];
+        let mut ssssm = vec![0.0f64; tg.ssssm.len()];
+
+        // Successor structures: per-panel fan-out into updates, per-step
+        // update lists, and per-target ascending-k chains. Built from the
+        // triples alone, so the result is independent of their order.
+        let mut l_succ: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        let mut u_succ: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        let mut by_step: Vec<Vec<usize>> = vec![Vec::new(); nblk];
+        let mut chains: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nblocks];
+        for (gid, &(i, j, k)) in tg.ssssm.iter().enumerate() {
+            l_succ[bm.block_id(i, k).expect("L operand exists")].push(gid);
+            u_succ[bm.block_id(k, j).expect("U operand exists")].push(gid);
+            by_step[k].push(gid);
+            chains[bm.block_id(i, j).expect("target exists")].push((k, gid));
+        }
+        // Next update in each target's chain, else the target's panel op.
+        let mut next_in_chain: Vec<Option<usize>> = vec![None; tg.ssssm.len()];
+        let mut chain_target: Vec<usize> = vec![usize::MAX; tg.ssssm.len()];
+        for (cid, ch) in chains.iter_mut().enumerate() {
+            ch.sort_unstable(); // unique k per target: total order
+            for w in 0..ch.len() {
+                chain_target[ch[w].1] = cid;
+                if w + 1 < ch.len() {
+                    next_in_chain[ch[w].1] = Some(ch[w + 1].1);
+                }
+            }
+        }
+
+        for s in (0..nblk).rev() {
+            // Updates of step s: successors (next chain update at a later
+            // step, or the target panel at step min(i,j) > s) are done.
+            for &gid in &by_step[s] {
+                let succ = match next_in_chain[gid] {
+                    Some(g) => ssssm[g],
+                    None => panel[chain_target[gid]],
+                };
+                ssssm[gid] = tg.ssssm_flops[gid] + flops::TASK_LAUNCH_COST + succ;
+            }
+            // Off-diagonal panels of step s feed exactly the step-s
+            // updates computed above.
+            for &j in &tg.u_panels[s] {
+                let id = bm.block_id(s, j).expect("U panel exists");
+                let best = u_succ[id].iter().map(|&g| ssssm[g]).fold(0.0f64, f64::max);
+                panel[id] = tg.panel_flops[id] + flops::TASK_LAUNCH_COST + best;
+            }
+            for &i in &tg.l_panels[s] {
+                let id = bm.block_id(i, s).expect("L panel exists");
+                let best = l_succ[id].iter().map(|&g| ssssm[g]).fold(0.0f64, f64::max);
+                panel[id] = tg.panel_flops[id] + flops::TASK_LAUNCH_COST + best;
+            }
+            // The diagonal factor gates both panels of its step.
+            let diag = bm.block_id(s, s).expect("diag exists");
+            let best = tg.u_panels[s]
+                .iter()
+                .map(|&j| panel[bm.block_id(s, j).expect("U panel exists")])
+                .chain(
+                    tg.l_panels[s]
+                        .iter()
+                        .map(|&i| panel[bm.block_id(i, s).expect("L panel exists")]),
+                )
+                .fold(0.0f64, f64::max);
+            panel[diag] = tg.panel_flops[diag] + flops::TASK_LAUNCH_COST + best;
+        }
+
+        TaskPriorities { panel, ssssm }
     }
 }
 
@@ -311,6 +438,50 @@ mod tests {
         for k in 0..bm.nblk() {
             let id = bm.block_id(k, k).unwrap();
             assert!(tg.panel_flops[id] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn priorities_strictly_decrease_along_every_edge() {
+        let (bm, tg) = build(48, 8, 5);
+        let pr = TaskPriorities::compute(&bm, &tg);
+        for k in 0..tg.nblk {
+            let d = bm.block_id(k, k).unwrap();
+            for &j in &tg.u_panels[k] {
+                assert!(
+                    pr.panel[d] > pr.panel[bm.block_id(k, j).unwrap()],
+                    "GETRF({k})→U({k},{j})"
+                );
+            }
+            for &i in &tg.l_panels[k] {
+                assert!(
+                    pr.panel[d] > pr.panel[bm.block_id(i, k).unwrap()],
+                    "GETRF({k})→L({i},{k})"
+                );
+            }
+        }
+        for (gid, &(i, j, k)) in tg.ssssm.iter().enumerate() {
+            let upd = pr.ssssm[gid];
+            assert!(pr.panel[bm.block_id(i, k).unwrap()] > upd, "L({i},{k})→SSSSM({i},{j},{k})");
+            assert!(pr.panel[bm.block_id(k, j).unwrap()] > upd, "U({k},{j})→SSSSM({i},{j},{k})");
+            // Transitively through the ascending-k chain, every update
+            // outranks its target's panel operation.
+            assert!(
+                upd > pr.panel[bm.block_id(i, j).unwrap()],
+                "SSSSM({i},{j},{k})→panel({i},{j})"
+            );
+        }
+    }
+
+    #[test]
+    fn update_chain_is_sorted_and_covers_indegree() {
+        let (bm, tg) = build(48, 8, 6);
+        for cid in 0..bm.num_blocks() {
+            let chain = tg.update_chain(&bm, cid);
+            assert_eq!(chain.len(), tg.indegree[cid]);
+            for w in chain.windows(2) {
+                assert!(w[0].0 < w[1].0, "chain steps must strictly ascend");
+            }
         }
     }
 

@@ -37,7 +37,7 @@ use std::time::Duration;
 use pangulu_comm::{BlockRole, DeliveryRecord};
 
 use crate::block::BlockMatrix;
-use crate::dist::{FactorRun, TraceEvent};
+use crate::dist::{FactorRun, StealRecord, TraceEvent};
 use crate::layout::OwnerMap;
 use crate::task::{Task, TaskGraph};
 
@@ -109,6 +109,22 @@ pub enum Violation {
         /// The over-delivered transfer.
         rec: DeliveryRecord,
     },
+    /// A work-stealing record that is illegal on its face: self-steal,
+    /// victim not the target's owner, a granted span outside the
+    /// target's ascending-k update chain, or a thief that never held the
+    /// stolen updates' panel operands.
+    IllegalSteal {
+        /// Rank recorded as granting the work.
+        victim: usize,
+        /// Rank recorded as executing it.
+        thief: usize,
+        /// Target block row.
+        bi: usize,
+        /// Target block column.
+        bj: usize,
+        /// Which legality rule the record breaks.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -152,6 +168,10 @@ impl fmt::Display for Violation {
                 f,
                 "block ({},{}) as {:?} over-delivered {} -> {}",
                 rec.bi, rec.bj, rec.role, rec.from, rec.to
+            ),
+            Violation::IllegalSteal { victim, thief, bi, bj, reason } => write!(
+                f,
+                "illegal steal of block ({bi},{bj}) by rank {thief} from rank {victim}: {reason}"
             ),
         }
     }
@@ -209,14 +229,42 @@ fn expected_tasks(tg: &TaskGraph) -> Vec<Task> {
 
 /// Validates the kernel timeline alone (coverage, ownership, wall-clock
 /// dependency order). Usable directly on the trace returned by
-/// `factor_distributed_traced`.
+/// `factor_distributed_traced`. Assumes no work stealing happened: an
+/// SSSSM on a non-owner rank is a [`Violation::WrongRank`] here. Traces
+/// of stealing runs go through [`validate_run`], which knows which
+/// updates were legitimately handed off.
 pub fn validate_events(
     bm: &BlockMatrix,
     tg: &TaskGraph,
     owners: &OwnerMap,
     events: &[TraceEvent],
 ) -> TraceReport {
+    validate_events_with_steals(bm, tg, owners, events, &[])
+}
+
+fn validate_events_with_steals(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    events: &[TraceEvent],
+    steals: &[StealRecord],
+) -> TraceReport {
     let mut report = TraceReport::default();
+
+    // Which (target, k) updates were legitimately handed to which thief.
+    // An SSSSM event off its owner rank is legal iff this map sends it
+    // to exactly the rank that ran it.
+    let mut stolen_to: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for s in steals {
+        if let Some(cid) = bm.block_id(s.bi, s.bj) {
+            let chain = tg.update_chain(bm, cid);
+            if s.pos.saturating_add(s.width) <= chain.len() {
+                for &(k, _gid) in &chain[s.pos..s.pos + s.width] {
+                    stolen_to.insert((s.bi, s.bj, k), s.thief);
+                }
+            }
+        }
+    }
     let expected = expected_tasks(tg);
     report.tasks_checked = expected.len();
 
@@ -246,7 +294,11 @@ pub fn validate_events(
         let (bi, bj) = e.task.target();
         if let Some(id) = bm.block_id(bi, bj) {
             let owner = owners.owner_of(id);
-            if e.rank != owner {
+            let stolen_ok = match e.task {
+                Task::Ssssm { i, j, k } => stolen_to.get(&(i, j, k)) == Some(&e.rank),
+                _ => false,
+            };
+            if e.rank != owner && !stolen_ok {
                 report.violations.push(Violation::WrongRank {
                     task: e.task,
                     ran_on: e.rank,
@@ -332,6 +384,34 @@ pub fn validate_events(
             Task::Ssssm { i, j, k } => {
                 check_dep(&mut report, e, Task::Tstrf { i, k }, l_end.get(&(i, k)).copied());
                 check_dep(&mut report, e, Task::Gessm { k, j }, u_end.get(&(k, j)).copied());
+            }
+        }
+    }
+
+    // --- Per-target ascending-k serialisation. ---
+    // Every policy (including stealing) reduces a target's updates in
+    // ascending k, one at a time: on the shared wall clock, update k may
+    // not start before every lower-k update of the same target ended.
+    // This is what makes the factors bitwise identical across policies.
+    type UpdateSpan = (usize, Duration, Duration, Task);
+    let mut per_target: HashMap<(usize, usize), Vec<UpdateSpan>> = HashMap::new();
+    for e in events {
+        if let Task::Ssssm { i, j, k } = e.task {
+            per_target.entry((i, j)).or_default().push((k, e.start, e.end, e.task));
+        }
+    }
+    for list in per_target.values_mut() {
+        list.sort_by_key(|&(k, ..)| k);
+        for w in list.windows(2) {
+            let (_, _, prev_end, prev_task) = w[0];
+            let (_, start, _, task) = w[1];
+            if start < prev_end {
+                report.violations.push(Violation::ClockOrder {
+                    task,
+                    dep: prev_task,
+                    start,
+                    dep_end: prev_end,
+                });
             }
         }
     }
@@ -427,39 +507,151 @@ fn check_multiset(
     }
 }
 
+/// The grant/result wire traffic the run's own steal log prescribes:
+/// per [`StealRecord`], exactly one grant victim → thief and exactly one
+/// result thief → victim, each sent and delivered once.
+fn expected_steal_transfers(steals: &[StealRecord]) -> HashMap<DeliveryRecord, usize> {
+    let mut expected: HashMap<DeliveryRecord, usize> = HashMap::new();
+    for s in steals {
+        let grant = BlockRole::StealGrant { pos: s.pos as u32, width: s.width as u32 };
+        *expected.entry(DeliveryRecord::new(s.victim, s.thief, s.bi, s.bj, grant)).or_insert(0) +=
+            1;
+        *expected
+            .entry(DeliveryRecord::new(s.thief, s.victim, s.bi, s.bj, BlockRole::StealResult))
+            .or_insert(0) += 1;
+    }
+    expected
+}
+
+/// Does `rank` hold the finished panel block `(bi, bj)` — as its owner,
+/// or as one of the ranks the executor ships it to?
+fn rank_holds_panel(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    rank: usize,
+    bi: usize,
+    bj: usize,
+) -> bool {
+    let Some(id) = bm.block_id(bi, bj) else { return false };
+    if owners.owner_of(id) == rank {
+        return true;
+    }
+    let dests = if bi > bj {
+        tg.l_panel_destinations(bm, owners, bi, bj)
+    } else {
+        tg.u_panel_destinations(bm, owners, bi, bj)
+    };
+    dests.into_iter().any(|r| r == rank)
+}
+
+/// Face-validity of the steal log: no self-steals, the victim owns the
+/// target, the granted span lies inside the target's ascending-k update
+/// chain, and the thief holds every stolen update's panel operands.
+fn check_steal_records(
+    report: &mut TraceReport,
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    steals: &[StealRecord],
+) {
+    for s in steals {
+        let illegal = |reason: &'static str| Violation::IllegalSteal {
+            victim: s.victim,
+            thief: s.thief,
+            bi: s.bi,
+            bj: s.bj,
+            reason,
+        };
+        if s.thief == s.victim {
+            report.violations.push(illegal("thief and victim are the same rank"));
+            continue;
+        }
+        let Some(cid) = bm.block_id(s.bi, s.bj) else {
+            report.violations.push(illegal("target block does not exist"));
+            continue;
+        };
+        if owners.owner_of(cid) != s.victim {
+            report.violations.push(illegal("victim does not own the target block"));
+            continue;
+        }
+        let chain = tg.update_chain(bm, cid);
+        if s.width == 0 || s.pos.saturating_add(s.width) > chain.len() {
+            report.violations.push(illegal("granted span outside the target's update chain"));
+            continue;
+        }
+        for &(k, _gid) in &chain[s.pos..s.pos + s.width] {
+            if !rank_holds_panel(bm, tg, owners, s.thief, s.bi, k)
+                || !rank_holds_panel(bm, tg, owners, s.thief, k, s.bj)
+            {
+                report.violations.push(illegal("thief does not hold the stolen operands"));
+                break;
+            }
+        }
+    }
+}
+
 /// Validates a full [`FactorRun`]: the kernel timeline checks of
 /// [`validate_events`] plus exactly-once message delivery against the
-/// task graph's destination sets.
+/// task graph's destination sets, plus — when the run stole work — the
+/// legality of every steal: each stolen update ran exactly once (the
+/// coverage check), on a rank the steal log hands it to (ownership
+/// check), with its operands held by the thief and its grant/result
+/// round-trip on the wire exactly once ([`Violation::IllegalSteal`] and
+/// the message multisets).
 pub fn validate_run(
     bm: &BlockMatrix,
     tg: &TaskGraph,
     owners: &OwnerMap,
     run: &FactorRun,
 ) -> TraceReport {
-    let mut report = validate_events(bm, tg, owners, &run.trace);
+    let mut report = validate_events_with_steals(bm, tg, owners, &run.trace, &run.steals);
+    check_steal_records(&mut report, bm, tg, owners, &run.steals);
+
+    // Steal traffic is prescribed by the run's own steal log; everything
+    // else must match the task graph's destination sets. Partition the
+    // wire logs by role so each multiset is checked against its oracle.
+    let is_steal = |r: &&DeliveryRecord| {
+        matches!(r.role, BlockRole::StealGrant { .. } | BlockRole::StealResult)
+    };
+    let (sent_steal, sent_norm): (Vec<DeliveryRecord>, Vec<DeliveryRecord>) = {
+        let (a, b): (Vec<_>, Vec<_>) = run.sent.iter().partition(is_steal);
+        (a.into_iter().copied().collect(), b.into_iter().copied().collect())
+    };
+    let (recv_steal, recv_norm): (Vec<DeliveryRecord>, Vec<DeliveryRecord>) = {
+        let (a, b): (Vec<_>, Vec<_>) = run.received.iter().partition(is_steal);
+        (a.into_iter().copied().collect(), b.into_iter().copied().collect())
+    };
+
     let expected = expected_transfers(bm, tg, owners);
-    report.transfers_checked = expected.values().sum();
-    check_multiset(
-        &mut report,
-        &expected,
-        &run.sent,
-        |rec| Violation::MissingSend { rec },
-        |rec| Violation::ExtraSend { rec },
-    );
-    check_multiset(
-        &mut report,
-        &expected,
-        &run.received,
-        |rec| Violation::MissingDelivery { rec },
-        |rec| Violation::ExtraDelivery { rec },
-    );
+    let expected_steal = expected_steal_transfers(&run.steals);
+    report.transfers_checked =
+        expected.values().sum::<usize>() + expected_steal.values().sum::<usize>();
+    for (exp, sent, recv) in
+        [(&expected, &sent_norm, &recv_norm), (&expected_steal, &sent_steal, &recv_steal)]
+    {
+        check_multiset(
+            &mut report,
+            exp,
+            sent,
+            |rec| Violation::MissingSend { rec },
+            |rec| Violation::ExtraSend { rec },
+        );
+        check_multiset(
+            &mut report,
+            exp,
+            recv,
+            |rec| Violation::MissingDelivery { rec },
+            |rec| Violation::ExtraDelivery { rec },
+        );
+    }
     report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
+    use crate::dist::{factor_distributed_checked, FactorConfig, ScheduleMode, SchedulePolicy};
     use crate::task::TaskGraph;
     use pangulu_comm::ProcessGrid;
     use pangulu_kernels::select::{KernelSelector, Thresholds};
@@ -566,6 +758,81 @@ mod tests {
                 .iter()
                 .any(|v| matches!(v, Violation::MissingSend { rec } if *rec == removed)));
         }
+    }
+
+    fn stealing_run(p: usize, seed: u64) -> (BlockMatrix, TaskGraph, OwnerMap, FactorRun) {
+        let a = ensure_diagonal(&gen::random_sparse(96, 0.12, seed)).unwrap();
+        let f = symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+        let mut bm = BlockMatrix::from_filled(&f, 9).unwrap();
+        let tg = TaskGraph::build(&bm);
+        let owners = OwnerMap::balanced(&bm, ProcessGrid::new(p), &tg);
+        let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+        let run = factor_distributed_checked(
+            &mut bm,
+            &tg,
+            &owners,
+            &sel,
+            1e-12,
+            &FactorConfig::with_mode(ScheduleMode::SyncFree)
+                .with_policy(SchedulePolicy::PriorityStealing)
+                .traced(),
+        )
+        .unwrap();
+        (bm, tg, owners, run)
+    }
+
+    #[test]
+    fn stealing_run_validates() {
+        for seed in [1, 2, 3] {
+            let (bm, tg, owners, run) = stealing_run(4, seed);
+            let report = validate_run(&bm, &tg, &owners, &run);
+            report.assert_valid();
+            // The steal log and the counter agree regardless of whether
+            // this interleaving actually stole anything.
+            let counted = run.report.total_sched().steals;
+            assert_eq!(run.steals.len() as u64, counted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forged_self_steal_is_rejected() {
+        let (bm, tg, owners, mut run) = checked_run(4, 9);
+        let (bi, bj) = bm.block_coords(0);
+        run.steals.push(crate::dist::StealRecord { victim: 0, thief: 0, bi, bj, pos: 0, width: 1 });
+        let report = validate_run(&bm, &tg, &owners, &run);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::IllegalSteal { victim: 0, thief: 0, .. })),
+            "self-steal must be rejected: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn steal_record_without_wire_traffic_is_rejected() {
+        let (bm, tg, owners, mut run) = checked_run(4, 10);
+        // A record whose victim is not the owner: illegal on its face,
+        // and its prescribed grant/result round-trip never happened.
+        let cid = 0;
+        let (bi, bj) = bm.block_coords(cid);
+        let owner = owners.owner_of(cid);
+        run.steals.push(crate::dist::StealRecord {
+            victim: (owner + 1) % 4,
+            thief: owner,
+            bi,
+            bj,
+            pos: 0,
+            width: 1,
+        });
+        let report = validate_run(&bm, &tg, &owners, &run);
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::IllegalSteal { .. })));
+        assert!(
+            report.violations.iter().any(|v| matches!(v, Violation::MissingSend { .. })),
+            "forged steal's wire traffic must be missing: {:?}",
+            report.violations
+        );
     }
 
     #[test]

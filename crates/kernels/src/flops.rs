@@ -7,6 +7,14 @@
 
 use pangulu_sparse::CscMatrix;
 
+/// Fixed per-task launch overhead added to every task weight by the
+/// critical-path priority computation. Keeping it strictly positive
+/// guarantees every task's longest-path-to-sink length strictly exceeds
+/// each of its successors' even when a kernel's FLOP model rounds to
+/// zero (empty blocks), which the scheduler's strict-decrease invariant
+/// relies on.
+pub const TASK_LAUNCH_COST: f64 = 1.0;
+
 /// FLOPs of a GETRF on a diagonal block: for each column `j`, two flops
 /// per (upper entry `k`, strict-lower entry of column `k`) pair, plus one
 /// division per strict-lower entry of `j`.

@@ -229,6 +229,33 @@ pub struct MemStats {
     pub plan_build_ns: u64,
 }
 
+/// Scheduling observables of the priority-driven task runtime (see
+/// `docs/SCHEDULING.md`): cross-rank work stealing and the out-of-order
+/// lookahead window.
+///
+/// All four counters depend on thread interleaving — whether a rank ever
+/// goes hungry, how far it runs ahead of its step front, and which queued
+/// task a pop bypasses are all timing questions — so
+/// [`RunReport::without_timings`] zeroes the whole struct. Under the
+/// non-stealing policies `steals`/`steal_bytes` are deterministically 0,
+/// which is what lets `bench_compare` gate them exactly on the default
+/// configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Update runs this rank granted to hungry ranks (victim side).
+    pub steals: u64,
+    /// Payload bytes of steal traffic charged to this rank: grants it
+    /// sent as a victim plus results it sent as a thief.
+    pub steal_bytes: u64,
+    /// Tasks executed past the rank's lowest unfinished elimination step
+    /// — work the lookahead window admitted out of order.
+    pub lookahead_hits: u64,
+    /// Pops that bypassed a queued task of a strictly lower elimination
+    /// step (the priority order preferring critical-path work over older
+    /// steps).
+    pub priority_inversions: u64,
+}
+
 /// Pipeline-phase accounting: how many times each phase of the
 /// five-phase pipeline actually ran over a solver's lifetime.
 ///
@@ -322,6 +349,8 @@ pub struct RankMetrics {
     pub tasks: TaskCounts,
     /// Hot-path copy/allocation accounting.
     pub mem: MemStats,
+    /// Scheduling observables (stealing and lookahead).
+    pub sched: SchedStats,
     /// Mailbox accounting.
     pub comm: CommMetrics,
     /// Per-variant kernel tally (empty when metrics were disabled).
@@ -411,6 +440,18 @@ impl RunReport {
         m
     }
 
+    /// Scheduling observables summed across ranks.
+    pub fn total_sched(&self) -> SchedStats {
+        let mut s = SchedStats::default();
+        for r in &self.per_rank {
+            s.steals += r.sched.steals;
+            s.steal_bytes += r.sched.steal_bytes;
+            s.lookahead_hits += r.sched.lookahead_hits;
+            s.priority_inversions += r.sched.priority_inversions;
+        }
+        s
+    }
+
     /// Kernel tally merged across ranks.
     pub fn total_kernels(&self) -> KernelTally {
         let mut t = KernelTally::default();
@@ -464,6 +505,7 @@ impl RunReport {
             r.comm.undeliverable = 0;
             r.mem.ssssm_batches = 0;
             r.mem.plan_build_ns = 0;
+            r.sched = SchedStats::default();
             r.kernels.zero_timings();
         }
         out
@@ -564,6 +606,15 @@ fn rank_to_json(r: &RankMetrics) -> Json {
             ]),
         ),
         (
+            "sched",
+            Json::obj(vec![
+                ("steals", Json::Num(r.sched.steals as f64)),
+                ("steal_bytes", Json::Num(r.sched.steal_bytes as f64)),
+                ("lookahead_hits", Json::Num(r.sched.lookahead_hits as f64)),
+                ("priority_inversions", Json::Num(r.sched.priority_inversions as f64)),
+            ]),
+        ),
+        (
             "comm",
             Json::obj(vec![
                 ("msgs_sent", Json::Num(r.comm.msgs_sent as f64)),
@@ -584,6 +635,7 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
     let tasks = j.req("tasks")?;
     let comm = j.req("comm")?;
     let mem = j.req("mem")?;
+    let sched = j.req("sched")?;
     let mut r = RankMetrics {
         rank: j.req_u64("rank")? as usize,
         busy_nanos: j.req_u64("busy_nanos")?,
@@ -606,6 +658,12 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             index_searches_avoided: mem.req_u64("index_searches_avoided")?,
             plan_bytes: mem.req_u64("plan_bytes")?,
             plan_build_ns: mem.req_u64("plan_build_ns")?,
+        },
+        sched: SchedStats {
+            steals: sched.req_u64("steals")?,
+            steal_bytes: sched.req_u64("steal_bytes")?,
+            lookahead_hits: sched.req_u64("lookahead_hits")?,
+            priority_inversions: sched.req_u64("priority_inversions")?,
         },
         comm: CommMetrics {
             msgs_sent: comm.req_u64("msgs_sent")?,
@@ -689,6 +747,12 @@ mod tests {
                         plan_bytes: 1024,
                         plan_build_ns: 900,
                     },
+                    sched: SchedStats {
+                        steals: 2,
+                        steal_bytes: 320,
+                        lookahead_hits: 5,
+                        priority_inversions: 4,
+                    },
                     comm: CommMetrics {
                         msgs_sent: 4,
                         bytes_sent: 512,
@@ -730,6 +794,11 @@ mod tests {
         assert_eq!(mem.index_searches_avoided, 42);
         assert_eq!(mem.plan_bytes, 1024);
         assert_eq!(mem.plan_build_ns, 900);
+        let sched = report.total_sched();
+        assert_eq!(sched.steals, 2);
+        assert_eq!(sched.steal_bytes, 320);
+        assert_eq!(sched.lookahead_hits, 5);
+        assert_eq!(sched.priority_inversions, 4);
         assert!((report.observed_flops() - 1344.0).abs() < 1e-12);
     }
 
@@ -746,6 +815,11 @@ mod tests {
         assert_eq!(det.per_rank[0].comm.max_queue_depth, 0);
         assert_eq!(det.per_rank[0].mem.ssssm_batches, 0, "batch width is timing-dependent");
         assert_eq!(det.per_rank[0].mem.plan_build_ns, 0, "plan build time is a wall clock");
+        assert_eq!(
+            det.per_rank[0].sched,
+            SchedStats::default(),
+            "stealing/lookahead observables are interleaving-dependent"
+        );
         assert_eq!(det.per_rank[0].kernels.total_nanos(), 0);
         // Work counters untouched.
         assert_eq!(det.per_rank[0].tasks, report.per_rank[0].tasks);
@@ -768,6 +842,8 @@ mod tests {
         other.per_rank[0].comm.recv_timeouts = 8;
         other.per_rank[0].mem.ssssm_batches = 5;
         other.per_rank[0].mem.plan_build_ns = 123;
+        other.per_rank[0].sched.steals = 9;
+        other.per_rank[0].sched.lookahead_hits = 31;
         assert_eq!(other.without_timings(), det);
     }
 

@@ -10,6 +10,9 @@
 #   doc     rustdoc with warnings fatal (broken intra-doc links etc.)
 #   trace   schedule-trace validator over a 5-seed fault sweep
 #           (see docs/FAULT_INJECTION.md)
+#   sched   scheduling-correctness layer: critical-path priority
+#           property tests, policy determinism matrix, and the 128-rank
+#           DES policy study (see docs/SCHEDULING.md)
 #   bench   benchmark-regression gates: smoke + refactor + kernel
 #           baselines (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
 #   bench-kernels  the kernel-plan gate alone: re-runs bench_kernels and
@@ -60,6 +63,11 @@ stage_trace() {
     done
 }
 
+stage_sched() {
+    cargo test --release -q \
+        --test priorities --test determinism --test des_consistency --test refactor
+}
+
 stage_bench() {
     scripts/bench_compare.sh
 }
@@ -72,7 +80,7 @@ stage_bench_kernels() {
     ./target/release/bench_compare data/BENCH_kernels.json "$fresh/BENCH_kernels.json"
 }
 
-all_stages=(fmt clippy build test doc trace bench bench-kernels)
+all_stages=(fmt clippy build test doc trace sched bench bench-kernels)
 
 only=""
 if [[ "${1:-}" == "--stage" ]]; then

@@ -10,6 +10,8 @@
 //!   -np, --ranks <p>       simulated MPI ranks                [default 1]
 //!       --nb <n>           tile size (default: heuristic)
 //!       --schedule <s>     sync-free | level-set       [default sync-free]
+//!       --policy <p>       fifo | priority | priority-stealing
+//!                                                        [default priority]
 //!       --ordering <o>     auto | amd | nd | rcm | natural  [default auto]
 //!       --no-balance       disable the static load balancer
 //!       --no-adaptive      disable decision-tree kernel selection
@@ -25,6 +27,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use pangulu::core::dist::ScheduleMode;
+use pangulu::core::SchedulePolicy;
 use pangulu::prelude::*;
 use pangulu::reorder::FillReducing;
 use pangulu::sparse::gen::{self, PAPER_MATRICES};
@@ -37,6 +40,7 @@ struct Cli {
     ranks: usize,
     nb: Option<usize>,
     schedule: ScheduleMode,
+    policy: SchedulePolicy,
     ordering: FillReducing,
     balance: bool,
     adaptive: bool,
@@ -60,6 +64,8 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
   -np, --ranks <p>       simulated MPI ranks                [default 1]
       --nb <n>           tile size (default: heuristic)
       --schedule <s>     sync-free | level-set        [default sync-free]
+      --policy <p>       fifo | priority | priority-stealing
+                                                         [default priority]
       --ordering <o>     auto | amd | nd | rcm | natural    [default auto]
       --no-balance       disable the static load balancer
       --no-adaptive      disable decision-tree kernel selection
@@ -79,6 +85,7 @@ fn parse_args() -> Cli {
         ranks: 1,
         nb: None,
         schedule: ScheduleMode::SyncFree,
+        policy: SchedulePolicy::default(),
         ordering: FillReducing::Auto,
         balance: true,
         adaptive: true,
@@ -110,6 +117,17 @@ fn parse_args() -> Cli {
                     "level-set" => ScheduleMode::LevelSet,
                     other => {
                         eprintln!("unknown schedule {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--policy" => {
+                cli.policy = match next(&mut args, "--policy").as_str() {
+                    "fifo" => SchedulePolicy::Fifo,
+                    "priority" => SchedulePolicy::Priority,
+                    "priority-stealing" => SchedulePolicy::PriorityStealing,
+                    other => {
+                        eprintln!("unknown policy {other:?}");
                         usage()
                     }
                 }
@@ -200,6 +218,7 @@ fn main() -> ExitCode {
     let mut builder = Solver::builder()
         .ranks(cli.ranks)
         .schedule(cli.schedule)
+        .schedule_policy(cli.policy)
         .fill_reducing(cli.ordering)
         .adaptive_kernels(cli.adaptive)
         .load_balance(cli.balance);
@@ -237,6 +256,18 @@ fn main() -> ExitCode {
             d.bytes / 1024,
             d.mean_sync_wait()
         );
+    }
+    if let Some(report) = &s.report {
+        let sc = report.total_sched();
+        if sc.steals > 0 || sc.lookahead_hits > 0 {
+            println!(
+                "sched: {} steals | {} KiB stolen | {} lookahead hits | {} inversions",
+                sc.steals,
+                sc.steal_bytes / 1024,
+                sc.lookahead_hits,
+                sc.priority_inversions
+            );
+        }
     }
     if s.perturbed_pivots > 0 {
         println!("static pivoting perturbed {} pivots", s.perturbed_pivots);

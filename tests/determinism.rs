@@ -6,7 +6,9 @@
 //! {1×1, 1×2, 2×2, 3×2} × {SyncFree, LevelSet} matrix.
 
 use pangulu::comm::{FaultPlan, ProcessGrid};
-use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
+use pangulu::core::dist::{
+    factor_distributed_checked, FactorConfig, FactorRun, ScheduleMode, SchedulePolicy,
+};
 use pangulu::core::layout::OwnerMap;
 use pangulu::core::task::TaskGraph;
 use pangulu::core::trisolve::{backward_substitute, forward_substitute};
@@ -41,12 +43,19 @@ fn factor_once(prob: &Problem, pr: usize, pc: usize, mode: ScheduleMode) -> CscM
 }
 
 fn factor_with_config(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> CscMatrix {
+    factor_run(prob, pr, pc, cfg).0
+}
+
+fn factor_run(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> (CscMatrix, FactorRun) {
     let mut bm = prob.bm.clone();
     let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
-    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+    let run = factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
         .unwrap_or_else(|e| panic!("{pr}x{pc} {:?}: {e}", cfg.mode));
-    bm.to_csc()
+    (bm.to_csc(), run)
 }
+
+const POLICIES: [SchedulePolicy; 3] =
+    [SchedulePolicy::Fifo, SchedulePolicy::Priority, SchedulePolicy::PriorityStealing];
 
 /// Same seed, same grid, same mode → the factors are bitwise identical
 /// run to run, despite nondeterministic thread interleaving.
@@ -154,6 +163,147 @@ fn planned_factors_survive_adversarial_fault_plans() {
             planned.values(),
             "fault seed {seed}: faulted planned factors differ from the fault-free run"
         );
+    }
+}
+
+/// The scheduling policy changes only the order ready work is popped,
+/// never the arithmetic: Fifo, Priority and PriorityStealing compute
+/// factors bitwise equal to the 1×1 SyncFree reference on every grid.
+#[test]
+fn factors_agree_across_scheduling_policies() {
+    let prob = problem(7);
+    let reference = factor_once(&prob, 1, 1, ScheduleMode::SyncFree);
+    for (pr, pc) in grids() {
+        for policy in POLICIES {
+            let f = factor_with_config(
+                &prob,
+                pr,
+                pc,
+                &FactorConfig::with_mode(ScheduleMode::SyncFree).with_policy(policy),
+            );
+            assert_eq!(
+                reference.values(),
+                f.values(),
+                "{pr}x{pc} {policy:?}: factors differ from the 1x1 reference"
+            );
+        }
+    }
+}
+
+/// Policies stay bitwise-neutral when an adversarial (lossless
+/// delay/reorder) fault plan perturbs message timing — including the
+/// stealing policy, whose grant/result round-trips ride the same faulted
+/// mailboxes.
+#[test]
+fn policies_survive_adversarial_fault_plans() {
+    let prob = problem(8);
+    let reference = factor_once(&prob, 2, 2, ScheduleMode::SyncFree);
+    for seed in [11u64, 12, 13] {
+        let fault = FaultPlan::adversarial(seed);
+        for policy in POLICIES {
+            let f = factor_with_config(
+                &prob,
+                2,
+                2,
+                &FactorConfig::with_mode(ScheduleMode::SyncFree)
+                    .with_policy(policy)
+                    .with_fault(fault.clone()),
+            );
+            assert_eq!(
+                reference.values(),
+                f.values(),
+                "fault seed {seed} {policy:?}: factors differ from the fault-free run"
+            );
+        }
+    }
+}
+
+/// The lookahead window bounds *when* out-of-order work runs, not what
+/// it computes: every window — including 0, which degenerates to strict
+/// front-order execution — completes and matches the reference bitwise.
+#[test]
+fn lookahead_window_is_bitwise_neutral_including_zero() {
+    let prob = problem(9);
+    let reference = factor_once(&prob, 2, 2, ScheduleMode::SyncFree);
+    for window in [0usize, 1, 2, 64] {
+        for policy in [SchedulePolicy::Priority, SchedulePolicy::PriorityStealing] {
+            let f = factor_with_config(
+                &prob,
+                2,
+                2,
+                &FactorConfig::with_mode(ScheduleMode::SyncFree)
+                    .with_policy(policy)
+                    .with_lookahead(window),
+            );
+            assert_eq!(
+                reference.values(),
+                f.values(),
+                "window {window} {policy:?}: factors differ from the reference"
+            );
+        }
+    }
+}
+
+/// LevelSet runs the queue in Fifo order regardless of the requested
+/// policy (the barrier defines the schedule): all three policies must
+/// produce identical factors *and* identical counters — the regression
+/// guard for the blocked-top-task short-circuit in the LevelSet pop
+/// path, which must change how often the queue is peeked, never what is
+/// counted.
+#[test]
+fn levelset_ignores_policy_with_identical_counters() {
+    let prob = problem(10);
+    let (f_ref, run_ref) =
+        factor_run(&prob, 2, 2, &FactorConfig::with_mode(ScheduleMode::LevelSet));
+    let report_ref = run_ref.report.without_timings();
+    for policy in POLICIES {
+        let (f, run) = factor_run(
+            &prob,
+            2,
+            2,
+            &FactorConfig::with_mode(ScheduleMode::LevelSet).with_policy(policy),
+        );
+        assert_eq!(f_ref.values(), f.values(), "{policy:?}: LevelSet factors differ");
+        assert_eq!(
+            report_ref,
+            run.report.without_timings(),
+            "{policy:?}: LevelSet counters differ across policies"
+        );
+        assert!(run.steals.is_empty(), "{policy:?}: LevelSet must never steal");
+        let sched = run.report.total_sched();
+        assert_eq!((sched.steals, sched.steal_bytes), (0, 0), "{policy:?}: steal counters");
+    }
+}
+
+/// Non-stealing policies keep the steal counters deterministically zero
+/// (that is what lets the bench gate them exactly), and any steal the
+/// stealing policy performs is consistent between the record log and the
+/// metrics.
+#[test]
+fn steal_counters_are_zero_without_stealing_and_consistent_with_it() {
+    let prob = problem(11);
+    for policy in [SchedulePolicy::Fifo, SchedulePolicy::Priority] {
+        let (_, run) = factor_run(
+            &prob,
+            2,
+            2,
+            &FactorConfig::with_mode(ScheduleMode::SyncFree).with_policy(policy),
+        );
+        let sched = run.report.total_sched();
+        assert_eq!((sched.steals, sched.steal_bytes), (0, 0), "{policy:?} must not steal");
+        assert!(run.steals.is_empty(), "{policy:?} logged steal records");
+    }
+    let (_, run) = factor_run(
+        &prob,
+        2,
+        2,
+        &FactorConfig::with_mode(ScheduleMode::SyncFree)
+            .with_policy(SchedulePolicy::PriorityStealing),
+    );
+    let sched = run.report.total_sched();
+    assert_eq!(run.steals.len() as u64, sched.steals, "steal log and counter disagree");
+    if sched.steals > 0 {
+        assert!(sched.steal_bytes > 0, "steals moved no bytes");
     }
 }
 
