@@ -48,8 +48,12 @@ const SELF_TEST_SLOWDOWN: f64 = 1.2;
 /// deterministically zero — a nonzero value means a stealing policy
 /// leaked into a gated configuration. `lookahead_hits` and
 /// `priority_inversions` are timing-dependent and deliberately NOT
-/// gated.
-const EXACT_KEYS: [&str; 17] = [
+/// gated. The codec counters are exact too: `frames_sent` is one frame
+/// per mailbox send on a byte transport (zero on the in-process
+/// channel), and `codec_bytes_encoded` encodes every scatter payload
+/// exactly once — identical between the TCP and shm arms, so the gate
+/// holds whichever backend the bench environment could run.
+const EXACT_KEYS: [&str; 19] = [
     "msgs",
     "bytes",
     "tasks",
@@ -67,6 +71,8 @@ const EXACT_KEYS: [&str; 17] = [
     "analysis_reuses",
     "steals",
     "steal_bytes",
+    "frames_sent",
+    "codec_bytes_encoded",
 ];
 const FLOP_KEYS: [&str; 2] = ["observed_flops", "predicted_flops"];
 const FLOP_RTOL: f64 = 1e-9;

@@ -225,6 +225,8 @@ fn point_json(p: &SweepPoint) -> Json {
         ("analysis_reuses".into(), num(0.0)),
         ("steals".into(), num(0.0)),
         ("steal_bytes".into(), num(0.0)),
+        ("frames_sent".into(), num(0.0)),
+        ("codec_bytes_encoded".into(), num(0.0)),
         ("observed_flops".into(), num(p.ssssm_flops)),
         ("predicted_flops".into(), num(p.ssssm_flops)),
         ("residual".into(), num(0.0)),

@@ -32,7 +32,16 @@
 //!   stealing and lookahead actually engaged (`ab_steals > 0`,
 //!   `ab_lookahead_hits > 0`) on the kkt and circuit matrices. The
 //!   gated arms run the default non-stealing `Priority` policy, so
-//!   their `steals`/`steal_bytes` stay deterministically zero.
+//!   their `steals`/`steal_bytes` stay deterministically zero;
+//! * a transport A/B: a fourth solver refactors the same values over a
+//!   byte transport — TCP sockets when the environment allows binding
+//!   localhost listeners, otherwise (loudly logged) the shared-memory
+//!   rings, which charge the codec identically — again interleaved
+//!   rep-for-rep. `transport_ab_wall_seconds` is informational (socket
+//!   latency is machine state), but the arm's `frames_sent` and
+//!   `codec_bytes_encoded` are deterministic — one frame per mailbox
+//!   send, every scatter payload encoded exactly once — and
+//!   `bench_compare` gates them exactly on either fallback.
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_refactor.json`.
@@ -40,6 +49,7 @@
 use std::time::Instant;
 
 use pangulu_bench::{data_dir, secs, smoke_corpus};
+use pangulu_comm::{sockets_available, TransportKind};
 use pangulu_core::solver::Solver;
 use pangulu_core::SchedulePolicy;
 use pangulu_metrics::json::Json;
@@ -78,6 +88,15 @@ struct RefactorResult {
     ab_steals: u64,
     ab_steal_bytes: u64,
     ab_lookahead_hits: u64,
+    /// Which byte transport the A/B arm actually ran ("tcp" or "shm").
+    transport_ab: TransportKind,
+    /// Minimum steady-state wall time over the byte transport,
+    /// interleaved with the channel arms.
+    transport_ab_wall_seconds: f64,
+    /// Codec counters of one steady-state byte-transport run; both are
+    /// deterministic and identical between the TCP and shm fallbacks.
+    frames_sent: u64,
+    codec_bytes_encoded: u64,
     /// Minimum numeric-phase time across the refactorisation reps.
     numeric_seconds: f64,
     residual: f64,
@@ -87,7 +106,22 @@ struct RefactorResult {
     phases: PhaseCounters,
 }
 
-fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
+/// The byte transport for the A/B arm: TCP when the environment lets us
+/// bind localhost listeners, otherwise the shared-memory rings (which
+/// drive the same codec and charge identical deterministic counters).
+fn ab_transport() -> TransportKind {
+    if sockets_available() {
+        TransportKind::Tcp
+    } else {
+        eprintln!(
+            "bench_refactor: note: cannot bind localhost sockets; \
+             transport A/B arm falls back to shm rings"
+        );
+        TransportKind::Shm
+    }
+}
+
+fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) -> RefactorResult {
     let start = Instant::now();
     let mut solver = Solver::builder()
         .ranks(RANKS)
@@ -105,10 +139,16 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         .schedule_policy(SchedulePolicy::PriorityStealing)
         .build(a)
         .unwrap_or_else(|e| panic!("{name}: stealing factorisation failed: {e}"));
+    let mut wired = Solver::builder()
+        .ranks(RANKS)
+        .transport(ab)
+        .build(a)
+        .unwrap_or_else(|e| panic!("{name}: {ab} factorisation failed: {e}"));
 
     let mut best_wall = f64::INFINITY;
     let mut best_unplanned = f64::INFINITY;
     let mut best_stealing = f64::INFINITY;
+    let mut best_wired = f64::INFINITY;
     let mut best_numeric = f64::INFINITY;
     let mut ab_steals = 0u64;
     let mut ab_steal_bytes = 0u64;
@@ -139,7 +179,18 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         ab_steals += sched.steals;
         ab_steal_bytes += sched.steal_bytes;
         ab_lookahead_hits += sched.lookahead_hits;
+        let t = Instant::now();
+        wired.refactor(a).unwrap_or_else(|e| panic!("{name}: {ab} refactorisation failed: {e}"));
+        best_wired = best_wired.min(secs(t.elapsed()));
     }
+    let wired_report = wired
+        .stats()
+        .report
+        .clone()
+        .unwrap_or_else(|| panic!("{name}: {ab} refactorisation produced no RunReport"));
+    let frames_sent: u64 = wired_report.per_rank.iter().map(|r| r.comm.frames_sent).sum();
+    let codec_bytes_encoded: u64 =
+        wired_report.per_rank.iter().map(|r| r.comm.codec_bytes_encoded).sum();
 
     let stats = solver.stats();
     let phases = stats.phases.since(&first);
@@ -161,6 +212,10 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize) -> RefactorResult {
         ab_steals,
         ab_steal_bytes,
         ab_lookahead_hits,
+        transport_ab: ab,
+        transport_ab_wall_seconds: best_wired,
+        frames_sent,
+        codec_bytes_encoded,
         numeric_seconds: best_numeric,
         residual,
         report,
@@ -222,6 +277,13 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("ab_steals".into(), num(r.ab_steals as f64)),
         ("ab_steal_bytes".into(), num(r.ab_steal_bytes as f64)),
         ("ab_lookahead_hits".into(), num(r.ab_lookahead_hits as f64)),
+        // Transport A/B (byte-transport arm). The wall is informational;
+        // the codec counters are deterministic and exact-gated — they
+        // are identical whether the arm ran TCP or the shm fallback.
+        ("transport_ab".into(), Json::Str(r.transport_ab.to_string())),
+        ("transport_ab_wall_seconds".into(), num(r.transport_ab_wall_seconds)),
+        ("frames_sent".into(), num(r.frames_sent as f64)),
+        ("codec_bytes_encoded".into(), num(r.codec_bytes_encoded as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])
@@ -229,9 +291,10 @@ fn matrix_json(r: &RefactorResult) -> Json {
 
 fn main() {
     let reps = reps();
+    let ab = ab_transport();
     let mut results = Vec::new();
     for (name, a) in smoke_corpus() {
-        let r = run_one(name, &a, reps);
+        let r = run_one(name, &a, reps, ab);
         println!(
             "{:<14} n {:>5}  nnz {:>6}  first {:>8.4}s  steady {:>8.4}s  ({:>4.1}x)  \
              unplanned {:>8.4}s  resid {:.3e}",
@@ -262,6 +325,12 @@ fn main() {
             assert!(r.ab_steals > 0, "{name}: stealing arm never stole a task");
             assert!(r.ab_lookahead_hits > 0, "{name}: stealing arm never used lookahead");
         }
+        assert_eq!(
+            r.frames_sent,
+            r.report.total_messages(),
+            "{name}: byte transport framed a different message count than the channel arm"
+        );
+        assert!(r.codec_bytes_encoded > 0, "{name}: byte transport encoded nothing");
         results.push(r);
     }
     let total_wall: f64 = results.iter().map(|r| r.wall_seconds).sum();

@@ -135,6 +135,17 @@ fn matrix_json(r: &SmokeResult) -> Json {
         // policy, so both stay deterministically zero.
         ("steals".into(), num(r.report.total_sched().steals as f64)),
         ("steal_bytes".into(), num(r.report.total_sched().steal_bytes as f64)),
+        // Gated exactly: the smoke arm runs the in-process channel
+        // transport, so the codec counters stay deterministically zero —
+        // a nonzero value means envelopes were serialised needlessly.
+        (
+            "frames_sent".into(),
+            num(r.report.per_rank.iter().map(|p| p.comm.frames_sent).sum::<u64>() as f64),
+        ),
+        (
+            "codec_bytes_encoded".into(),
+            num(r.report.per_rank.iter().map(|p| p.comm.codec_bytes_encoded).sum::<u64>() as f64),
+        ),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])

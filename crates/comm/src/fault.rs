@@ -46,6 +46,12 @@ pub struct FaultPlan {
     pub latency: Duration,
     /// Payload shaping in bytes per second; `None` means infinite.
     pub bandwidth: Option<f64>,
+    /// Scheduled death of one rank: `(victim, after_recvs)` severs the
+    /// victim's transport once it has delivered that many messages. The
+    /// victim receives nothing from then on and its peers' sends fail;
+    /// the executor's stall detector must surface the starvation as a
+    /// structured error, never a hang.
+    pub peer_death: Option<(usize, u64)>,
 }
 
 impl Default for FaultPlan {
@@ -60,6 +66,7 @@ impl Default for FaultPlan {
             retry_backoff: Duration::ZERO,
             latency: Duration::ZERO,
             bandwidth: None,
+            peer_death: None,
         }
     }
 }
@@ -100,6 +107,13 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the death of `victim` after it has delivered
+    /// `after_recvs` messages (see the `peer_death` field docs).
+    pub fn with_peer_death(mut self, victim: usize, after_recvs: u64) -> Self {
+        self.peer_death = Some((victim, after_recvs));
+        self
+    }
+
     /// Derives a mixed adversarial plan from a single seed: every fault
     /// class is enabled with seed-dependent severity, with a retry budget
     /// generous enough that no message is permanently lost. This is the
@@ -120,6 +134,7 @@ impl FaultPlan {
             } else {
                 None
             },
+            peer_death: None,
         }
     }
 
@@ -130,6 +145,7 @@ impl FaultPlan {
             || self.drop_prob > 0.0
             || self.latency > Duration::ZERO
             || self.bandwidth.is_some()
+            || self.peer_death.is_some()
     }
 
     /// The transfer time the shaping parameters charge for a payload.

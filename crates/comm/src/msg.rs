@@ -54,7 +54,7 @@ pub enum BlockRole {
 }
 
 /// A block shipped between ranks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockMsg {
     /// Block row index.
     pub bi: usize,

@@ -1,0 +1,82 @@
+//! The in-process channel backend: one `std::sync::mpsc` receiver per
+//! rank, senders cloned all-to-all. Envelopes move by pointer — nothing
+//! is serialised, so the codec counters stay zero. This is the
+//! historical mailbox wiring, now one backend among three.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use super::{PeerClosed, Transport, TransportKind, WireEnvelope};
+
+/// One rank's channel endpoint.
+pub struct ChannelTransport {
+    rank: usize,
+    receiver: Receiver<WireEnvelope>,
+    /// Senders to every rank (own rank included, which keeps the channel
+    /// alive so a blocking receive can never see `Disconnected` while
+    /// this endpoint lives).
+    senders: Vec<Sender<WireEnvelope>>,
+    severed: bool,
+}
+
+/// Builds the `p` connected endpoints.
+pub fn build(p: usize) -> Vec<ChannelTransport> {
+    let mut senders: Vec<Sender<WireEnvelope>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Receiver<WireEnvelope>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = channel();
+        senders.push(s);
+        receivers.push(r);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| ChannelTransport {
+            rank,
+            receiver,
+            senders: senders.clone(),
+            severed: false,
+        })
+        .collect()
+}
+
+impl Transport for ChannelTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Channel
+    }
+
+    fn send(&mut self, to: usize, env: WireEnvelope) -> Result<(), PeerClosed> {
+        assert!(to < self.senders.len(), "destination rank {to} out of range");
+        assert_ne!(to, self.rank, "loopback never reaches the transport");
+        if self.severed {
+            return Err(PeerClosed);
+        }
+        self.senders[to].send(env).map_err(|_| PeerClosed)
+    }
+
+    fn try_recv(&mut self) -> Option<WireEnvelope> {
+        self.receiver.try_recv().ok()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Only reachable after `sever` swapped the receiver for a
+                // senderless one; burn the timeout instead of spinning.
+                std::thread::sleep(timeout.min(Duration::from_millis(1)));
+                None
+            }
+        }
+    }
+
+    fn sever(&mut self) {
+        // Dropping the receiver makes every peer's send fail, exactly as
+        // a vanished process would; a fresh senderless channel keeps the
+        // endpoint callable (receiving nothing ever again).
+        let (_, dead) = channel();
+        self.receiver = dead;
+        self.severed = true;
+    }
+}

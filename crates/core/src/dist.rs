@@ -38,7 +38,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pangulu_comm::{BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet};
+use pangulu_comm::{
+    BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet, TransportKind,
+};
 use pangulu_kernels::select::KernelSelector;
 use pangulu_kernels::{flops, KernelPlans, KernelScratch, SsssmUpdate, TimedKernels};
 use pangulu_metrics::{MemStats, RankMetrics, RunReport, SchedStats, TaskCounts};
@@ -132,6 +134,12 @@ pub struct FactorConfig {
     /// one-at-a-time through their plans instead of batch-fused (the
     /// two orders are bitwise identical by the batching contract).
     pub use_plans: bool,
+    /// Transport backend the rank mailboxes run on (in-process channels
+    /// by default). The factors and every deterministic counter are
+    /// backend-invariant — the cross-backend conformance suite asserts
+    /// bitwise-identical results over channels, shared-memory rings and
+    /// sockets.
+    pub transport: TransportKind,
 }
 
 impl Default for FactorConfig {
@@ -146,6 +154,7 @@ impl Default for FactorConfig {
             metrics: true,
             ssssm_batching: true,
             use_plans: true,
+            transport: TransportKind::Channel,
         }
     }
 }
@@ -203,6 +212,13 @@ impl FactorConfig {
     /// either way).
     pub fn with_plans(mut self, on: bool) -> Self {
         self.use_plans = on;
+        self
+    }
+
+    /// Selects the transport backend (in-process channels by default;
+    /// bitwise-neutral by the conformance contract).
+    pub fn with_transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 }
@@ -497,11 +513,11 @@ pub fn factor_distributed_cached(
     for st in &mut ws.ranks {
         st.reset(bm);
     }
-    let mailboxes = match &cfg.fault {
-        Some(plan) => MailboxSet::with_faults(p, plan.clone()),
-        None => MailboxSet::new(p),
-    }
-    .into_mailboxes();
+    // A backend that cannot come up (e.g. sockets in a sandbox) is a
+    // loud environment error, never a silent fallback to another one.
+    let mailboxes = MailboxSet::with_transport(p, cfg.transport, cfg.fault.clone())
+        .unwrap_or_else(|e| panic!("failed to build {} transport mesh: {e}", cfg.transport))
+        .into_mailboxes();
     let barrier = StepBarrier::new(p);
     let board = StealBoard::new(p);
     let prios = ws.priorities.clone();

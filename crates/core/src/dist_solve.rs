@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, Mailbox, MailboxSet};
+use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, Mailbox, MailboxSet, TransportKind};
 
 use crate::block::BlockMatrix;
 use crate::layout::OwnerMap;
@@ -33,7 +33,7 @@ enum Sweep {
 /// Solves `L U x = b` across `owners.num_ranks()` rank threads; `bm`
 /// holds the factored tiles. Returns `x`.
 pub fn solve_distributed(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64]) -> Vec<f64> {
-    solve_distributed_with_faults(bm, owners, b, None)
+    solve_distributed_on(bm, owners, b, TransportKind::Channel, None)
 }
 
 /// As [`solve_distributed`], but every message runs through the seeded
@@ -48,9 +48,22 @@ pub fn solve_distributed_with_faults(
     b: &[f64],
     fault: Option<&FaultPlan>,
 ) -> Vec<f64> {
+    solve_distributed_on(bm, owners, b, TransportKind::Channel, fault)
+}
+
+/// The general entry point: both sweeps on the chosen transport backend,
+/// optionally fault-injected. The solution is bitwise identical across
+/// backends (the conformance contract).
+pub fn solve_distributed_on(
+    bm: &BlockMatrix,
+    owners: &OwnerMap,
+    b: &[f64],
+    transport: TransportKind,
+    fault: Option<&FaultPlan>,
+) -> Vec<f64> {
     assert_eq!(b.len(), bm.n(), "rhs length must match matrix order");
-    let y = run_sweep(bm, owners, b, Sweep::Forward, fault);
-    run_sweep(bm, owners, &y, Sweep::Backward, fault)
+    let y = run_sweep(bm, owners, b, Sweep::Forward, transport, fault);
+    run_sweep(bm, owners, &y, Sweep::Backward, transport, fault)
 }
 
 /// One dependency-counted sweep. Returns the solved vector.
@@ -59,6 +72,7 @@ fn run_sweep(
     owners: &OwnerMap,
     b: &[f64],
     sweep: Sweep,
+    transport: TransportKind,
     fault: Option<&FaultPlan>,
 ) -> Vec<f64> {
     let nblk = bm.nblk();
@@ -82,11 +96,9 @@ fn run_sweep(
         }
     }
 
-    let mailboxes = match fault {
-        Some(plan) => MailboxSet::with_faults(p, plan.clone()),
-        None => MailboxSet::new(p),
-    }
-    .into_mailboxes();
+    let mailboxes = MailboxSet::with_transport(p, transport, fault.cloned())
+        .unwrap_or_else(|e| panic!("failed to build {transport} transport mesh: {e}"))
+        .into_mailboxes();
     let mut solved: Vec<(usize, Vec<f64>)> = Vec::with_capacity(nblk);
     std::thread::scope(|s| {
         let handles: Vec<_> = mailboxes
@@ -183,7 +195,11 @@ impl SweepWorker<'_> {
                 BlockRole::XSegment => {
                     let k = msg.bi;
                     // Compute the partial for every owned block in the
-                    // trigger column and ship it to the diagonal owner.
+                    // trigger column and ship it to the diagonal owner —
+                    // always through the mailbox, self included, so
+                    // every partial is charged and logged identically
+                    // whatever rank it lands on. A loopback partial
+                    // comes back through this same receive loop.
                     // (`triggers` is a shared borrow independent of self.)
                     let triggers = self.triggers;
                     for &id in &triggers[k] {
@@ -193,11 +209,7 @@ impl SweepWorker<'_> {
                         remaining_partials -= 1;
                         let (bi, _) = self.bm.block_coords(id);
                         let partial = block_times_segment(self.bm.block(id), &msg.values);
-                        self.deliver_partial(bi, k, partial, &mut acc, &mut pending, rank);
-                        if pending.get(&bi) == Some(&0) {
-                            self.solve_segment(bi, &mut acc, &mut out);
-                            remaining_solves -= 1;
-                        }
+                        self.deliver_partial(bi, k, partial);
                     }
                 }
                 BlockRole::Partial => {
@@ -218,31 +230,16 @@ impl SweepWorker<'_> {
         out
     }
 
-    /// Sends (or locally applies) a computed partial for segment `i`.
-    fn deliver_partial(
-        &mut self,
-        i: usize,
-        source_col: usize,
-        partial: Vec<f64>,
-        acc: &mut HashMap<usize, Vec<f64>>,
-        pending: &mut HashMap<usize, usize>,
-        rank: usize,
-    ) {
+    /// Ships a computed partial for segment `i` to the diagonal owner.
+    /// Self-deliveries take the mailbox loopback path like everything
+    /// else — the per-edge wire-model charge must not depend on the
+    /// owner map placing source and target on the same rank.
+    fn deliver_partial(&mut self, i: usize, source_col: usize, partial: Vec<f64>) {
         let dest = self.diag_owner(i);
-        if dest == rank {
-            apply_partial(acc.get_mut(&i).expect("owned segment"), &partial);
-            *pending.get_mut(&i).expect("owned counter") -= 1;
-        } else {
-            self.mailbox.send(
-                dest,
-                BlockMsg {
-                    bi: i,
-                    bj: source_col,
-                    role: BlockRole::Partial,
-                    values: partial.into(),
-                },
-            );
-        }
+        self.mailbox.send(
+            dest,
+            BlockMsg { bi: i, bj: source_col, role: BlockRole::Partial, values: partial.into() },
+        );
     }
 
     /// Solves the owned segment `k` in-block and broadcasts it.

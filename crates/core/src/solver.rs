@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pangulu_comm::ProcessGrid;
+use pangulu_comm::{ProcessGrid, TransportKind};
 use pangulu_kernels::select::{KernelSelector, Thresholds};
 use pangulu_kernels::{KernelPlans, PlanStats};
 use pangulu_metrics::{PhaseCounters, RunReport};
@@ -75,6 +75,10 @@ pub struct SolverOptions {
     /// factorisation, reused verbatim by every [`Solver::refactor`].
     /// Bitwise identical to unplanned execution either way.
     pub use_plans: bool,
+    /// Transport backend the distributed phases run on (in-process
+    /// channels by default). Factors, solutions and every deterministic
+    /// counter are backend-invariant.
+    pub transport: TransportKind,
 }
 
 impl Default for SolverOptions {
@@ -93,6 +97,7 @@ impl Default for SolverOptions {
             distributed_solve: true,
             shared_threads: None,
             use_plans: true,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -184,6 +189,14 @@ impl SolverBuilder {
     /// bitwise-neutral either way).
     pub fn use_plans(mut self, on: bool) -> Self {
         self.opts.use_plans = on;
+        self
+    }
+
+    /// Selects the transport backend of the distributed phases
+    /// (in-process channels by default; bitwise-neutral by the
+    /// conformance contract).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.opts.transport = kind;
         self
     }
 
@@ -396,7 +409,8 @@ impl Solver {
                 &FactorConfig::with_mode(opts.schedule)
                     .with_plans(opts.use_plans)
                     .with_policy(opts.policy)
-                    .with_lookahead(opts.lookahead),
+                    .with_lookahead(opts.lookahead)
+                    .with_transport(opts.transport),
                 &mut ws,
             )
             .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
@@ -629,7 +643,8 @@ impl Solver {
                 &FactorConfig::with_mode(self.opts.schedule)
                     .with_plans(self.opts.use_plans)
                     .with_policy(self.opts.policy)
-                    .with_lookahead(self.opts.lookahead),
+                    .with_lookahead(self.opts.lookahead)
+                    .with_transport(self.opts.transport),
                 ws,
             )
             .unwrap_or_else(|e| panic!("distributed refactorisation failed: {e}"));
@@ -658,7 +673,13 @@ impl Solver {
         let scaled: Vec<f64> = b.iter().zip(&r.row_scale).map(|(v, d)| v * d).collect();
         let w = r.row_perm.apply_vec(&scaled);
         let z = if self.distributed_solve {
-            crate::dist_solve::solve_distributed(&self.factored, &self.owners, &w)
+            crate::dist_solve::solve_distributed_on(
+                &self.factored,
+                &self.owners,
+                &w,
+                self.opts.transport,
+                None,
+            )
         } else {
             let mut z = w;
             forward_substitute(&self.factored, &mut z);

@@ -175,6 +175,14 @@ pub struct CommMetrics {
     pub undeliverable: u64,
     /// Deepest observed receive-queue depth (pending + held-back).
     pub max_queue_depth: u64,
+    /// Codec frames the transport backend actually wrote toward peers.
+    /// Zero on the in-process channel backend (nothing is serialised);
+    /// zeroed by `without_timings` so backends stay comparable.
+    pub frames_sent: u64,
+    /// Bytes freshly produced by the wire codec: frame headers plus the
+    /// payload once per distinct scatter (the encode-once fan-out).
+    /// Zero on the channel backend; zeroed by `without_timings`.
+    pub codec_bytes_encoded: u64,
     /// Per-destination traffic, ascending by rank; zero edges omitted.
     pub edges: Vec<EdgeStat>,
 }
@@ -490,8 +498,11 @@ impl RunReport {
     /// field (run wall time, per-rank busy/sync/idle, per-variant kernel
     /// nanoseconds) *and* every scheduling-dependent observable
     /// (blocked-receive count, receive timeouts, peak queue depth,
-    /// shutdown-race undeliverables) zeroed. Two runs with the same
-    /// matrix, grid, owner map and fault plan must compare equal under it.
+    /// shutdown-race undeliverables) *and* every backend-dependent wire
+    /// counter (codec frames/bytes — zero on the channel backend by
+    /// construction) zeroed. Two runs with the same matrix, grid, owner
+    /// map and fault plan must compare equal under it, whatever
+    /// transport backend either ran on.
     pub fn without_timings(&self) -> RunReport {
         let mut out = self.clone();
         out.wall_nanos = 0;
@@ -503,6 +514,8 @@ impl RunReport {
             r.comm.recv_timeouts = 0;
             r.comm.max_queue_depth = 0;
             r.comm.undeliverable = 0;
+            r.comm.frames_sent = 0;
+            r.comm.codec_bytes_encoded = 0;
             r.mem.ssssm_batches = 0;
             r.mem.plan_build_ns = 0;
             r.sched = SchedStats::default();
@@ -624,6 +637,8 @@ fn rank_to_json(r: &RankMetrics) -> Json {
                 ("recv_timeouts", Json::Num(r.comm.recv_timeouts as f64)),
                 ("undeliverable", Json::Num(r.comm.undeliverable as f64)),
                 ("max_queue_depth", Json::Num(r.comm.max_queue_depth as f64)),
+                ("frames_sent", Json::Num(r.comm.frames_sent as f64)),
+                ("codec_bytes_encoded", Json::Num(r.comm.codec_bytes_encoded as f64)),
                 ("edges", Json::Arr(edges)),
             ]),
         ),
@@ -673,6 +688,8 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             recv_timeouts: comm.req_u64("recv_timeouts")?,
             undeliverable: comm.req_u64("undeliverable")?,
             max_queue_depth: comm.req_u64("max_queue_depth")?,
+            frames_sent: comm.req_u64("frames_sent")?,
+            codec_bytes_encoded: comm.req_u64("codec_bytes_encoded")?,
             edges: Vec::new(),
         },
         kernels: KernelTally::default(),
@@ -761,6 +778,8 @@ mod tests {
                         recv_timeouts: 2,
                         undeliverable: 0,
                         max_queue_depth: 3,
+                        frames_sent: 4,
+                        codec_bytes_encoded: 736,
                         edges: vec![EdgeStat { to: 1, msgs: 4, bytes: 512 }],
                     },
                     kernels,
@@ -813,6 +832,11 @@ mod tests {
         assert_eq!(det.per_rank[0].blocked_recvs, 0);
         assert_eq!(det.per_rank[0].comm.recv_timeouts, 0);
         assert_eq!(det.per_rank[0].comm.max_queue_depth, 0);
+        assert_eq!(det.per_rank[0].comm.frames_sent, 0, "wire framing is backend-dependent");
+        assert_eq!(
+            det.per_rank[0].comm.codec_bytes_encoded, 0,
+            "codec output is backend-dependent"
+        );
         assert_eq!(det.per_rank[0].mem.ssssm_batches, 0, "batch width is timing-dependent");
         assert_eq!(det.per_rank[0].mem.plan_build_ns, 0, "plan build time is a wall clock");
         assert_eq!(
@@ -844,6 +868,8 @@ mod tests {
         other.per_rank[0].mem.plan_build_ns = 123;
         other.per_rank[0].sched.steals = 9;
         other.per_rank[0].sched.lookahead_hits = 31;
+        other.per_rank[0].comm.frames_sent = 17;
+        other.per_rank[0].comm.codec_bytes_encoded = 4096;
         assert_eq!(other.without_timings(), det);
     }
 

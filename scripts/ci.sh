@@ -13,6 +13,12 @@
 #   sched   scheduling-correctness layer: critical-path priority
 #           property tests, policy determinism matrix, and the 128-rank
 #           DES policy study (see docs/SCHEDULING.md)
+#   transport  cross-backend conformance layer: codec property tests,
+#           the wire-model accounting guard, peer-death failure modes,
+#           and the conformance suite over every transport backend
+#           (channel/shm always; TCP/UDS when the environment permits
+#           binding localhost sockets — skipped loudly otherwise; see
+#           docs/TRANSPORT.md)
 #   bench   benchmark-regression gates: smoke + refactor + kernel
 #           baselines (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
 #   bench-kernels  the kernel-plan gate alone: re-runs bench_kernels and
@@ -68,6 +74,12 @@ stage_sched() {
         --test priorities --test determinism --test des_consistency --test refactor
 }
 
+stage_transport() {
+    cargo test --release -q -p pangulu-comm
+    cargo test --release -q \
+        --test transport_conformance --test wire_model --test failure_modes
+}
+
 stage_bench() {
     scripts/bench_compare.sh
 }
@@ -80,7 +92,7 @@ stage_bench_kernels() {
     ./target/release/bench_compare data/BENCH_kernels.json "$fresh/BENCH_kernels.json"
 }
 
-all_stages=(fmt clippy build test doc trace sched bench bench-kernels)
+all_stages=(fmt clippy build test doc trace sched transport bench bench-kernels)
 
 only=""
 if [[ "${1:-}" == "--stage" ]]; then

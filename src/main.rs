@@ -12,6 +12,7 @@
 //!       --schedule <s>     sync-free | level-set       [default sync-free]
 //!       --policy <p>       fifo | priority | priority-stealing
 //!                                                        [default priority]
+//!       --transport <t>    channel | shm | tcp | uds       [default channel]
 //!       --ordering <o>     auto | amd | nd | rcm | natural  [default auto]
 //!       --no-balance       disable the static load balancer
 //!       --no-adaptive      disable decision-tree kernel selection
@@ -26,6 +27,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use pangulu::comm::TransportKind;
 use pangulu::core::dist::ScheduleMode;
 use pangulu::core::SchedulePolicy;
 use pangulu::prelude::*;
@@ -41,6 +43,7 @@ struct Cli {
     nb: Option<usize>,
     schedule: ScheduleMode,
     policy: SchedulePolicy,
+    transport: TransportKind,
     ordering: FillReducing,
     balance: bool,
     adaptive: bool,
@@ -66,6 +69,7 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
       --schedule <s>     sync-free | level-set        [default sync-free]
       --policy <p>       fifo | priority | priority-stealing
                                                          [default priority]
+      --transport <t>    channel | shm | tcp | uds        [default channel]
       --ordering <o>     auto | amd | nd | rcm | natural    [default auto]
       --no-balance       disable the static load balancer
       --no-adaptive      disable decision-tree kernel selection
@@ -86,6 +90,7 @@ fn parse_args() -> Cli {
         nb: None,
         schedule: ScheduleMode::SyncFree,
         policy: SchedulePolicy::default(),
+        transport: TransportKind::default(),
         ordering: FillReducing::Auto,
         balance: true,
         adaptive: true,
@@ -131,6 +136,13 @@ fn parse_args() -> Cli {
                         usage()
                     }
                 }
+            }
+            "--transport" => {
+                cli.transport =
+                    next(&mut args, "--transport").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    })
             }
             "--ordering" => {
                 cli.ordering = match next(&mut args, "--ordering").as_str() {
@@ -215,10 +227,20 @@ fn main() -> ExitCode {
     };
     println!("matrix: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
 
+    if cli.transport.needs_sockets() && !pangulu::comm::sockets_available() {
+        eprintln!(
+            "error: --transport {} needs localhost sockets, which this environment forbids \
+             (try --transport shm)",
+            cli.transport
+        );
+        return ExitCode::from(2);
+    }
+
     let mut builder = Solver::builder()
         .ranks(cli.ranks)
         .schedule(cli.schedule)
         .schedule_policy(cli.policy)
+        .transport(cli.transport)
         .fill_reducing(cli.ordering)
         .adaptive_kernels(cli.adaptive)
         .load_balance(cli.balance);

@@ -1,8 +1,18 @@
 //! Failure-path tests: the solver must reject unusable inputs with
-//! errors, not wrong answers.
+//! errors, not wrong answers — and a distributed run must survive the
+//! death of a peer rank with a structured stall error, never a hang.
 
+use std::time::Duration;
+
+use pangulu::comm::{sockets_available, FaultPlan, ProcessGrid, TransportKind};
+use pangulu::core::dist::{factor_distributed_checked, FactorConfig};
+use pangulu::core::layout::OwnerMap;
+use pangulu::core::task::TaskGraph;
+use pangulu::core::BlockMatrix;
+use pangulu::kernels::select::{KernelSelector, Thresholds};
 use pangulu::prelude::*;
-use pangulu::sparse::{CooMatrix, CscMatrix};
+use pangulu::sparse::ops::ensure_diagonal;
+use pangulu::sparse::{gen, CooMatrix, CscMatrix};
 
 #[test]
 fn structurally_singular_matrix_is_rejected() {
@@ -70,4 +80,55 @@ fn numerically_singular_with_floor_still_answers() {
     assert!(sign != 0);
     let (_x, resid, _) = solver.solve_refined(&a, &[1.0, 0.0], 1e-12, 3).unwrap();
     assert!(resid > 1e-6, "a singular system cannot be solved accurately: {resid}");
+}
+
+/// A peer rank dying mid-factorisation (its transport severed, its
+/// pending messages gone) must surface as a [`DistError`] naming the
+/// blocked rank and the operand blocks it never received — on every
+/// transport backend, within the stall timeout, under a hard watchdog
+/// that turns any hang into a test failure.
+#[test]
+fn peer_death_mid_factorisation_yields_structured_error_on_every_backend() {
+    let mut kinds = vec![TransportKind::Channel, TransportKind::Shm];
+    if sockets_available() {
+        kinds.push(TransportKind::Tcp);
+        kinds.push(TransportKind::Uds);
+    } else {
+        eprintln!("SKIP: sockets unavailable; peer-death coverage runs on channel/shm only");
+    }
+    let a = ensure_diagonal(&gen::random_sparse(96, 0.10, 41)).unwrap();
+    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
+    let bm0 = BlockMatrix::from_filled(&f, 10).unwrap();
+    let tg = TaskGraph::build(&bm0);
+    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
+    let owners = OwnerMap::balanced(&bm0, ProcessGrid::with_shape(2, 2), &tg);
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut outcomes = Vec::new();
+        for kind in kinds {
+            // Rank 1 dies after its third receive; everyone else keeps
+            // going until the missing blocks trip the stall timeout.
+            let cfg = FactorConfig::default()
+                .with_transport(kind)
+                .with_fault(FaultPlan::reliable(5).with_peer_death(1, 3))
+                .with_stall_timeout(Duration::from_millis(500));
+            let mut bm = bm0.clone();
+            let err = factor_distributed_checked(&mut bm, &tg, &owners, &sel, 1e-12, &cfg)
+                .expect_err("run must fail when a peer dies mid-factorisation");
+            outcomes.push((kind, err));
+        }
+        done_tx.send(outcomes).unwrap();
+    });
+    // Watchdog: a dead peer must produce an error, never a hang.
+    let outcomes = done_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("peer-death runs hung past the watchdog");
+    handle.join().unwrap();
+    for (kind, err) in outcomes {
+        assert!(!err.missing.is_empty(), "{kind}: error must name the missing blocks: {err}");
+        let text = err.to_string();
+        assert!(text.contains("rank"), "{kind}: error names the blocked rank: {text}");
+        assert!(text.contains("missing"), "{kind}: error names missing operands: {text}");
+    }
 }

@@ -1,0 +1,242 @@
+//! Cross-backend transport conformance suite.
+//!
+//! The [`pangulu::comm::Transport`] trait sits *below* the mailbox, so
+//! every observable of a distributed run — factored values, per-edge
+//! comm accounting, task/kernel tallies, fault-injection outcomes,
+//! structured stall errors — must be identical whether the envelopes
+//! travel over in-process channels, shared-memory rings, or real
+//! sockets. This suite proves it by re-running the wire-model fixture
+//! table, the determinism matrix, adversarial fault sweeps, and the
+//! stall-timeout error path over **every** backend and asserting
+//! bitwise-identical factors plus identical deterministic counters.
+//!
+//! Socket backends are skipped (loudly) when the environment forbids
+//! binding localhost listeners; channel and shared-memory always run.
+
+use std::time::Duration;
+
+use pangulu::comm::{sockets_available, FaultPlan, TransportKind};
+use pangulu::core::dist::{FactorConfig, ScheduleMode, SchedulePolicy};
+use pangulu::metrics::RunReport;
+
+#[path = "common/wire_fixture.rs"]
+mod wire_fixture;
+use wire_fixture::{
+    expected_edges, factor, factor_values, observed_edges, problem, Problem, GRIDS, PROBLEMS,
+};
+
+/// Every backend available in this environment. Channel and Shm are
+/// unconditional; Tcp/Uds require permission to bind localhost sockets
+/// and are skipped with a loud note when the sandbox forbids it.
+fn backends() -> Vec<TransportKind> {
+    let mut kinds = vec![TransportKind::Channel, TransportKind::Shm];
+    if sockets_available() {
+        kinds.push(TransportKind::Tcp);
+        kinds.push(TransportKind::Uds);
+    } else {
+        eprintln!(
+            "SKIP: cannot bind localhost sockets in this environment; \
+             conformance runs on channel/shm only"
+        );
+    }
+    kinds
+}
+
+fn cfg_on(kind: TransportKind, mode: ScheduleMode) -> FactorConfig {
+    FactorConfig::with_mode(mode).with_transport(kind)
+}
+
+/// The full 65-edge wire-model fixture table holds verbatim on every
+/// backend: per-edge msgs/bytes are charged by the mailbox above the
+/// transport, so moving the envelopes onto rings or sockets must not
+/// shift a single byte of accounting.
+#[test]
+fn fixture_edge_table_holds_on_every_backend() {
+    for kind in backends() {
+        for (seed, n, nb) in PROBLEMS {
+            let prob = problem(seed, n, nb);
+            for (pr, pc) in GRIDS {
+                let grid = format!("{pr}x{pc}");
+                let report = factor(&prob, pr, pc, &cfg_on(kind, ScheduleMode::SyncFree));
+                assert_eq!(
+                    observed_edges(&report),
+                    expected_edges(seed, &grid),
+                    "{kind}: seed {seed} grid {grid} drifted from the wire-model fixture"
+                );
+            }
+        }
+    }
+}
+
+/// Fault-free byte backends (shm vs sockets) agree on the codec
+/// counters too: same frames on the wire, same encoded bytes, with the
+/// payload of each scatter encoded exactly once. The channel backend
+/// reports zero for both — envelopes never leave process memory.
+#[test]
+fn codec_counters_agree_across_byte_backends() {
+    let prob = problem(42, 80, 9);
+    let mut byte_backend_totals: Vec<(TransportKind, u64, u64)> = Vec::new();
+    for kind in backends() {
+        let report = factor(&prob, 2, 2, &cfg_on(kind, ScheduleMode::SyncFree));
+        let frames: u64 = report.per_rank.iter().map(|r| r.comm.frames_sent).sum();
+        let bytes: u64 = report.per_rank.iter().map(|r| r.comm.codec_bytes_encoded).sum();
+        let msgs: u64 = report.per_rank.iter().map(|r| r.comm.msgs_sent).sum();
+        if kind.uses_codec() {
+            assert_eq!(frames, msgs, "{kind}: every mailbox send becomes exactly one frame");
+            assert!(bytes > 0, "{kind}: encoded bytes must be charged");
+            byte_backend_totals.push((kind, frames, bytes));
+        } else {
+            assert_eq!((frames, bytes), (0, 0), "{kind}: no wire, no codec counters");
+        }
+    }
+    if let Some(&(k0, f0, b0)) = byte_backend_totals.first() {
+        for &(k, f, b) in &byte_backend_totals[1..] {
+            assert_eq!((f0, b0), (f, b), "{k0} and {k} disagree on codec counters");
+        }
+    }
+}
+
+const POLICIES: [SchedulePolicy; 3] =
+    [SchedulePolicy::Fifo, SchedulePolicy::Priority, SchedulePolicy::PriorityStealing];
+
+fn is_stealing(policy: SchedulePolicy) -> bool {
+    matches!(policy, SchedulePolicy::PriorityStealing)
+}
+
+/// The determinism matrix, cross-backend: for every grid × policy ×
+/// schedule mode, every backend produces bitwise-identical factors, and
+/// (for non-stealing policies, whose execution traces are fully
+/// deterministic) an identical timing-free report. Stealing races are
+/// scheduling-dependent by design, so there only the factors are
+/// pinned — the same contract `tests/determinism.rs` enforces within
+/// one backend.
+#[test]
+fn factors_bitwise_identical_across_backends() {
+    let prob = problem(42, 80, 9);
+    for (pr, pc) in [(2, 2), (1, 4)] {
+        for mode in [ScheduleMode::SyncFree, ScheduleMode::LevelSet] {
+            for policy in POLICIES {
+                let mut reference: Option<(Vec<f64>, RunReport)> = None;
+                for kind in backends() {
+                    let cfg = cfg_on(kind, mode).with_policy(policy);
+                    let (values, report) = factor_values(&prob, pr, pc, &cfg);
+                    let projection = report.without_timings();
+                    match &reference {
+                        None => reference = Some((values, projection)),
+                        Some((ref_values, ref_projection)) => {
+                            assert!(
+                                ref_values == &values,
+                                "{kind}: {pr}x{pc} {mode:?} {policy:?} factors are not \
+                                 bitwise identical to the channel reference"
+                            );
+                            if !is_stealing(policy) {
+                                assert_eq!(
+                                    ref_projection, &projection,
+                                    "{kind}: {pr}x{pc} {mode:?} {policy:?} timing-free \
+                                     report differs from the channel reference"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial fault plans (delays, reordering, retried drops) are
+/// drawn per-edge from payload-independent RNG streams, so every
+/// backend sees the same fates: factors stay bitwise identical to a
+/// fault-free run and the timing-free projection — including
+/// retried/dropped tallies — is identical across backends per plan.
+#[test]
+fn fault_plan_sweep_is_backend_invariant() {
+    let prob = problem(41, 96, 10);
+    let clean = factor_values(&prob, 2, 2, &cfg_on(TransportKind::Channel, ScheduleMode::SyncFree));
+    let plans: Vec<FaultPlan> = vec![
+        FaultPlan::reliable(7).with_delays(0.5, Duration::from_micros(200)),
+        FaultPlan::reliable(13).with_delays(0.3, Duration::from_micros(120)).with_reordering(3),
+        FaultPlan::adversarial(21),
+        FaultPlan::adversarial(99),
+    ];
+    for (pi, plan) in plans.iter().enumerate() {
+        let mut reference: Option<RunReport> = None;
+        for kind in backends() {
+            let cfg = cfg_on(kind, ScheduleMode::SyncFree).with_fault(plan.clone());
+            let (values, report) = factor_values(&prob, 2, 2, &cfg);
+            assert!(
+                values == clean.0,
+                "{kind}: plan {pi} changed the factors vs the fault-free reference"
+            );
+            let projection = report.without_timings();
+            match &reference {
+                None => reference = Some(projection),
+                Some(r) => assert_eq!(
+                    r, &projection,
+                    "{kind}: plan {pi} timing-free report differs across backends"
+                ),
+            }
+        }
+    }
+}
+
+/// Dropping every message must surface the structured stall error —
+/// naming the blocked rank and the missing operand blocks — on every
+/// backend, not just the in-process one. No backend is allowed to hang.
+#[test]
+fn stall_timeout_error_is_structured_on_every_backend() {
+    let prob = problem(42, 80, 9);
+    for kind in backends() {
+        let cfg = cfg_on(kind, ScheduleMode::SyncFree)
+            .with_fault(FaultPlan::reliable(1).with_drops(1.0, 0, Duration::ZERO))
+            .with_stall_timeout(Duration::from_millis(400));
+        let t0 = std::time::Instant::now();
+        let err = factor_checked_err(&prob, 2, 2, &cfg)
+            .unwrap_or_else(|| panic!("{kind}: drop-all run must fail, not succeed"));
+        assert!(t0.elapsed() < Duration::from_secs(30), "{kind}: error must arrive promptly");
+        assert!(!err.missing.is_empty(), "{kind}: error must name missing blocks: {err}");
+        let text = err.to_string();
+        assert!(text.contains("rank"), "{kind}: error names the blocked rank: {text}");
+        assert!(text.contains("missing"), "{kind}: error names missing operands: {text}");
+    }
+}
+
+/// Steal-grant and steal-result frames round-trip over the byte
+/// backends: a stealing run on rings/sockets still converges to the
+/// same bitwise factors as the channel reference, and the grants that
+/// did fire crossed the wire as real frames.
+#[test]
+fn steal_frames_round_trip_on_byte_backends() {
+    let prob = problem(41, 96, 10);
+    let cfg = |kind| {
+        cfg_on(kind, ScheduleMode::SyncFree)
+            .with_policy(SchedulePolicy::PriorityStealing)
+            .with_lookahead(4)
+    };
+    let reference = factor_values(&prob, 2, 2, &cfg(TransportKind::Channel));
+    for kind in backends().into_iter().filter(|k| k.uses_codec()) {
+        let (values, report) = factor_values(&prob, 2, 2, &cfg(kind));
+        assert!(
+            values == reference.0,
+            "{kind}: stealing factors diverge from the channel reference"
+        );
+        let frames: u64 = report.per_rank.iter().map(|r| r.comm.frames_sent).sum();
+        let msgs: u64 = report.per_rank.iter().map(|r| r.comm.msgs_sent).sum();
+        assert_eq!(frames, msgs, "{kind}: steal traffic must be framed like any other send");
+    }
+}
+
+/// Runs the checked factorisation and returns its error, if any.
+fn factor_checked_err(
+    prob: &Problem,
+    pr: usize,
+    pc: usize,
+    cfg: &FactorConfig,
+) -> Option<pangulu::core::dist::DistError> {
+    use pangulu::comm::ProcessGrid;
+    use pangulu::core::dist::factor_distributed_checked;
+    use pangulu::core::layout::OwnerMap;
+    let mut bm = prob.bm.clone();
+    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg).err()
+}

@@ -5,127 +5,34 @@
 //! structure — but the *wire cost model* is an accounting invariant:
 //! [`pangulu::comm::Mailbox`] charges every edge the full
 //! `payload_bytes()` of every send, exactly as if each destination got
-//! its own buffer. This file pins that invariant two ways:
+//! its own buffer. This file pins that invariant three ways:
 //!
 //! 1. per-edge `CommMetrics` msgs/bytes are asserted against expected
 //!    values captured from the pre-Arc implementation (the fixture table
-//!    below) — any drift means the sharing leaked into the accounting;
+//!    in `tests/common/wire_fixture.rs`) — any drift means the sharing
+//!    leaked into the accounting;
 //! 2. the timing-free projection `RunReport::without_timings()` is
 //!    identical across fault plans that only perturb delivery timing and
 //!    order (delays + reordering, no drops), including the new
-//!    [`pangulu::metrics::MemStats`] counters.
+//!    [`pangulu::metrics::MemStats`] counters;
+//! 3. loopback (rank → same rank) sends are charged full freight on the
+//!    diagonal edge identically on every transport backend — placement
+//!    on the owner map must never make traffic disappear from the
+//!    accounting.
+//!
+//! The cross-backend conformance suite
+//! (`tests/transport_conformance.rs`) re-runs the same fixture table
+//! over the shared-memory and socket backends.
 
 use std::time::Duration;
 
-use pangulu::comm::{FaultPlan, ProcessGrid};
-use pangulu::core::dist::{factor_distributed_checked, FactorConfig, ScheduleMode};
-use pangulu::core::layout::OwnerMap;
-use pangulu::core::task::TaskGraph;
-use pangulu::core::BlockMatrix;
-use pangulu::kernels::select::{KernelSelector, Thresholds};
-use pangulu::metrics::RunReport;
-use pangulu::sparse::gen;
-use pangulu::sparse::ops::ensure_diagonal;
+use pangulu::comm::{sockets_available, BlockMsg, BlockRole, FaultPlan, MailboxSet, TransportKind};
+use pangulu::core::dist::{FactorConfig, ScheduleMode};
+use pangulu::metrics::{CommMetrics, RunReport};
 
-/// `(seed, grid, from, to, msgs, bytes)` for every non-empty edge of the
-/// two fixture problems on each grid shape, captured from the
-/// implementation that built one payload `Vec` per destination. The Arc
-/// fan-out must reproduce these numbers exactly.
-const EXPECTED_EDGES: &[(u64, &str, usize, usize, u64, u64)] = &[
-    (41, "2x2", 0, 1, 15, 9480),
-    (41, "2x2", 0, 2, 15, 9480),
-    (41, "2x2", 1, 0, 10, 7776),
-    (41, "2x2", 1, 3, 15, 8056),
-    (41, "2x2", 2, 0, 10, 7776),
-    (41, "2x2", 2, 3, 15, 8056),
-    (41, "2x2", 3, 1, 14, 9536),
-    (41, "2x2", 3, 2, 14, 9536),
-    (41, "1x4", 0, 1, 16, 6960),
-    (41, "1x4", 0, 2, 16, 6960),
-    (41, "1x4", 0, 3, 24, 12848),
-    (41, "1x4", 1, 0, 16, 10584),
-    (41, "1x4", 1, 2, 20, 13736),
-    (41, "1x4", 1, 3, 22, 14752),
-    (41, "1x4", 2, 0, 11, 7784),
-    (41, "1x4", 2, 1, 19, 13392),
-    (41, "1x4", 2, 3, 14, 9976),
-    (41, "1x4", 3, 0, 16, 10320),
-    (41, "1x4", 3, 1, 23, 15096),
-    (41, "1x4", 3, 2, 24, 15920),
-    (41, "4x1", 0, 1, 16, 6960),
-    (41, "4x1", 0, 2, 16, 6960),
-    (41, "4x1", 0, 3, 24, 12848),
-    (41, "4x1", 1, 0, 16, 10584),
-    (41, "4x1", 1, 2, 20, 13736),
-    (41, "4x1", 1, 3, 22, 14752),
-    (41, "4x1", 2, 0, 11, 7784),
-    (41, "4x1", 2, 1, 19, 13392),
-    (41, "4x1", 2, 3, 14, 9976),
-    (41, "4x1", 3, 0, 16, 10320),
-    (41, "4x1", 3, 1, 23, 15096),
-    (41, "4x1", 3, 2, 24, 15920),
-    (42, "2x2", 0, 1, 14, 7040),
-    (42, "2x2", 0, 2, 14, 7040),
-    (42, "2x2", 0, 3, 8, 4048),
-    (42, "2x2", 1, 0, 9, 5304),
-    (42, "2x2", 1, 3, 14, 7448),
-    (42, "2x2", 2, 0, 9, 5304),
-    (42, "2x2", 2, 3, 14, 7448),
-    (42, "2x2", 3, 1, 10, 6088),
-    (42, "2x2", 3, 2, 10, 6088),
-    (42, "1x4", 0, 1, 14, 5600),
-    (42, "1x4", 0, 2, 13, 4928),
-    (42, "1x4", 0, 3, 22, 9936),
-    (42, "1x4", 1, 0, 9, 5976),
-    (42, "1x4", 1, 2, 14, 8616),
-    (42, "1x4", 1, 3, 17, 10240),
-    (42, "1x4", 2, 0, 7, 4632),
-    (42, "1x4", 2, 1, 14, 8272),
-    (42, "1x4", 2, 3, 11, 6808),
-    (42, "1x4", 3, 0, 11, 6160),
-    (42, "1x4", 3, 1, 18, 9840),
-    (42, "1x4", 3, 2, 19, 10512),
-    (42, "4x1", 0, 1, 14, 5600),
-    (42, "4x1", 0, 2, 13, 4928),
-    (42, "4x1", 0, 3, 22, 9936),
-    (42, "4x1", 1, 0, 9, 5976),
-    (42, "4x1", 1, 2, 14, 8616),
-    (42, "4x1", 1, 3, 17, 10240),
-    (42, "4x1", 2, 0, 7, 4632),
-    (42, "4x1", 2, 1, 14, 8272),
-    (42, "4x1", 2, 3, 11, 6808),
-    (42, "4x1", 3, 0, 11, 6160),
-    (42, "4x1", 3, 1, 18, 9840),
-    (42, "4x1", 3, 2, 19, 10512),
-];
-
-/// The fixture problems: `(seed, n, nb)`.
-const PROBLEMS: [(u64, usize, usize); 2] = [(41, 96, 10), (42, 80, 9)];
-
-const GRIDS: [(usize, usize); 3] = [(2, 2), (1, 4), (4, 1)];
-
-struct Problem {
-    bm: BlockMatrix,
-    tg: TaskGraph,
-    sel: KernelSelector,
-}
-
-fn problem(seed: u64, n: usize, nb: usize) -> Problem {
-    let a = ensure_diagonal(&gen::random_sparse(n, 0.10, seed)).unwrap();
-    let f = pangulu::symbolic::symbolic_fill(&a).unwrap().filled_matrix(&a).unwrap();
-    let bm = BlockMatrix::from_filled(&f, nb).unwrap();
-    let tg = TaskGraph::build(&bm);
-    let sel = KernelSelector::new(a.nnz(), Thresholds::default());
-    Problem { bm, tg, sel }
-}
-
-fn factor(prob: &Problem, pr: usize, pc: usize, cfg: &FactorConfig) -> RunReport {
-    let mut bm = prob.bm.clone();
-    let owners = OwnerMap::balanced(&bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
-    factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
-        .unwrap_or_else(|e| panic!("{pr}x{pc}: {e}"))
-        .report
-}
+#[path = "common/wire_fixture.rs"]
+mod wire_fixture;
+use wire_fixture::{expected_edges, factor, observed_edges, problem, GRIDS, PROBLEMS};
 
 /// Per-edge message and byte counts match the pre-Arc accounting
 /// exactly: one shared payload buffer still charges every edge its full
@@ -137,20 +44,9 @@ fn per_edge_accounting_matches_prechange_fixture() {
         for (pr, pc) in GRIDS {
             let grid = format!("{pr}x{pc}");
             let report = factor(&prob, pr, pc, &FactorConfig::with_mode(ScheduleMode::SyncFree));
-            let mut observed: Vec<(usize, usize, u64, u64)> = report
-                .per_rank
-                .iter()
-                .flat_map(|r| r.comm.edges.iter().map(move |e| (r.rank, e.to, e.msgs, e.bytes)))
-                .filter(|&(_, _, msgs, _)| msgs > 0)
-                .collect();
-            observed.sort_unstable();
-            let expected: Vec<(usize, usize, u64, u64)> = EXPECTED_EDGES
-                .iter()
-                .filter(|&&(s, g, ..)| s == seed && g == grid)
-                .map(|&(_, _, from, to, msgs, bytes)| (from, to, msgs, bytes))
-                .collect();
             assert_eq!(
-                observed, expected,
+                observed_edges(&report),
+                expected_edges(seed, &grid),
                 "seed {seed} grid {grid}: per-edge msgs/bytes drifted from the \
                  pre-change wire model"
             );
@@ -198,6 +94,71 @@ fn without_timings_equal_across_fault_plans() {
         }
         for (i, p) in projections.iter().enumerate().skip(1) {
             assert_eq!(&projections[0], p, "{mode:?}: plan {i} changed the timing-free report");
+        }
+    }
+}
+
+/// The factorisation's `finish_block` fan-out excludes the producing
+/// rank (a rank never ships a finished block to itself), so the fixture
+/// table has no diagonal rows — pinned explicitly, because the loopback
+/// charging rule below would otherwise silently grow the table.
+#[test]
+fn factor_fixture_has_no_self_edges() {
+    assert!(
+        wire_fixture::EXPECTED_EDGES.iter().all(|&(_, _, from, to, ..)| from != to),
+        "fixture table contains a self-edge"
+    );
+    let prob = problem(41, 96, 10);
+    let report = factor(&prob, 2, 2, &FactorConfig::default());
+    for r in &report.per_rank {
+        assert!(
+            r.comm.edges.iter().all(|e| e.to != r.rank),
+            "rank {}: factorisation charged a loopback edge",
+            r.rank
+        );
+    }
+}
+
+/// Loopback regression: a send to the own rank is charged and logged on
+/// the diagonal edge with exactly the same msgs/bytes on every backend,
+/// is immune to drop-all fault plans, and never reaches the wire (zero
+/// frames). Before the transport split, the distributed solve applied
+/// self-partials directly, bypassing this accounting entirely.
+#[test]
+fn loopback_charges_are_backend_invariant() {
+    let mut kinds = vec![TransportKind::Channel, TransportKind::Shm];
+    if sockets_available() {
+        kinds.push(TransportKind::Tcp);
+        kinds.push(TransportKind::Uds);
+    } else {
+        eprintln!("SKIP: sockets unavailable, loopback invariance checked on channel/shm only");
+    }
+    let drop_all = FaultPlan::reliable(3).with_drops(1.0, 0, Duration::ZERO);
+    let mut reference: Option<CommMetrics> = None;
+    for &kind in &kinds {
+        let mut boxes =
+            MailboxSet::with_transport(2, kind, Some(drop_all.clone())).unwrap().into_mailboxes();
+        let mb = &mut boxes[0];
+        for bi in 0..5 {
+            mb.send(
+                0,
+                BlockMsg { bi, bj: bi, role: BlockRole::Partial, values: vec![1.0; 16].into() },
+            );
+        }
+        for bi in 0..5 {
+            let got = mb.try_recv().unwrap_or_else(|| panic!("{kind}: loopback delivery {bi}"));
+            assert_eq!(got.bi, bi, "{kind}: loopback FIFO");
+        }
+        assert_eq!(mb.dropped_msgs(), 0, "{kind}: drop-all plan must not touch loopback");
+        assert_eq!(mb.recv_log().len(), 5, "{kind}");
+        let m = mb.metrics();
+        assert_eq!(m.frames_sent, 0, "{kind}: loopback must never reach the wire");
+        assert_eq!(m.codec_bytes_encoded, 0, "{kind}");
+        assert_eq!(m.edges.len(), 1, "{kind}: exactly the diagonal edge");
+        assert_eq!(m.edges[0].to, 0, "{kind}");
+        match &reference {
+            None => reference = Some(m),
+            Some(r) => assert_eq!(r, &m, "{kind}: loopback accounting differs across backends"),
         }
     }
 }
