@@ -74,6 +74,17 @@ const EXACT_KEYS: [&str; 19] = [
     "frames_sent",
     "codec_bytes_encoded",
 ];
+/// Exact-gated keys that only some schemas emit (the mixed-precision
+/// A/B arm lives in the refactor benchmark only). Present in the
+/// baseline but absent from the fresh emission is a hard failure — a
+/// silently dropped counter must not pass the gate — while absent from
+/// the baseline means the baseline predates the counter and the key is
+/// skipped.
+const OPTIONAL_EXACT_KEYS: [&str; 4] =
+    ["mixed_bytes", "mixed_plan_bytes", "refine_iters", "precision_fallbacks"];
+/// Residual-gated keys that only some schemas emit, same presence rules
+/// as [`OPTIONAL_EXACT_KEYS`].
+const OPTIONAL_RESIDUAL_KEYS: [&str; 1] = ["mixed_residual"];
 const FLOP_KEYS: [&str; 2] = ["observed_flops", "predicted_flops"];
 const FLOP_RTOL: f64 = 1e-9;
 const RESIDUAL_FLOOR: f64 = 1e-11;
@@ -175,6 +186,13 @@ fn compare(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
                 ));
             }
         }
+        for key in OPTIONAL_EXACT_KEYS {
+            let Some(bv) = b.get(key).and_then(Json::as_f64) else { continue };
+            let fv = req_f64(f, key, name);
+            if bv != fv {
+                fails.push(format!("{name}: counter {key} drifted: baseline {bv} vs fresh {fv}"));
+            }
+        }
         for key in FLOP_KEYS {
             let bv = req_f64(b, key, name);
             let fv = req_f64(f, key, name);
@@ -194,6 +212,18 @@ fn compare(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
                 "{name}: residual regressed: fresh {fr:.3e} exceeds bound {bound:.3e} \
                  (baseline {br:.3e})"
             ));
+        }
+
+        for key in OPTIONAL_RESIDUAL_KEYS {
+            let Some(br) = b.get(key).and_then(Json::as_f64) else { continue };
+            let fr = req_f64(f, key, name);
+            let bound = (10.0 * br).max(RESIDUAL_FLOOR);
+            if fr > bound || fr.is_nan() {
+                fails.push(format!(
+                    "{name}: {key} regressed: fresh {fr:.3e} exceeds bound {bound:.3e} \
+                     (baseline {br:.3e})"
+                ));
+            }
         }
 
         // Per-matrix wall: informational only (tiny runs are noisy).

@@ -41,7 +41,16 @@
 //!   latency is machine state), but the arm's `frames_sent` and
 //!   `codec_bytes_encoded` are deterministic — one frame per mailbox
 //!   send, every scatter payload encoded exactly once — and
-//!   `bench_compare` gates them exactly on either fallback.
+//!   `bench_compare` gates them exactly on either fallback;
+//! * a precision A/B: a fifth solver factors in mixed precision
+//!   (f32 factors, iteratively refined solves), again interleaved
+//!   rep-for-rep. `mixed_wall_seconds` and `mixed_speedup` are
+//!   informational; `mixed_bytes` and `mixed_plan_bytes` are
+//!   deterministic (every scatter value narrowed 8 to 4 bytes, plan
+//!   indices u32 to u16) and exact-gated along with the refinement
+//!   iteration count of one solve (`refine_iters`) and
+//!   `precision_fallbacks` (must be 0 — the whole corpus is
+//!   well-conditioned enough for the f32 path).
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_refactor.json`.
@@ -50,7 +59,7 @@ use std::time::Instant;
 
 use pangulu_bench::{data_dir, secs, smoke_corpus};
 use pangulu_comm::{sockets_available, TransportKind};
-use pangulu_core::solver::Solver;
+use pangulu_core::solver::{Precision, Solver};
 use pangulu_core::SchedulePolicy;
 use pangulu_metrics::json::Json;
 use pangulu_metrics::{PhaseCounters, RunReport};
@@ -97,6 +106,16 @@ struct RefactorResult {
     /// deterministic and identical between the TCP and shm fallbacks.
     frames_sent: u64,
     codec_bytes_encoded: u64,
+    /// Mixed-precision A/B arm: minimum steady-state wall time,
+    /// deterministic traffic/plan footprint, and the refinement work of
+    /// one solve against the f32 factors.
+    mixed_wall_seconds: f64,
+    mixed_bytes: u64,
+    mixed_plan_bytes: u64,
+    mixed_msgs: u64,
+    mixed_residual: f64,
+    refine_iters: u64,
+    precision_fallbacks: u64,
     /// Minimum numeric-phase time across the refactorisation reps.
     numeric_seconds: f64,
     residual: f64,
@@ -144,11 +163,17 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
         .transport(ab)
         .build(a)
         .unwrap_or_else(|e| panic!("{name}: {ab} factorisation failed: {e}"));
+    let mut mixed = Solver::builder()
+        .ranks(RANKS)
+        .precision(Precision::MixedF32)
+        .build(a)
+        .unwrap_or_else(|e| panic!("{name}: mixed factorisation failed: {e}"));
 
     let mut best_wall = f64::INFINITY;
     let mut best_unplanned = f64::INFINITY;
     let mut best_stealing = f64::INFINITY;
     let mut best_wired = f64::INFINITY;
+    let mut best_mixed = f64::INFINITY;
     let mut best_numeric = f64::INFINITY;
     let mut ab_steals = 0u64;
     let mut ab_steal_bytes = 0u64;
@@ -182,6 +207,9 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
         let t = Instant::now();
         wired.refactor(a).unwrap_or_else(|e| panic!("{name}: {ab} refactorisation failed: {e}"));
         best_wired = best_wired.min(secs(t.elapsed()));
+        let t = Instant::now();
+        mixed.refactor(a).unwrap_or_else(|e| panic!("{name}: mixed refactorisation failed: {e}"));
+        best_mixed = best_mixed.min(secs(t.elapsed()));
     }
     let wired_report = wired
         .stats()
@@ -201,6 +229,16 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
     let b = gen::test_rhs(a.nrows(), 11);
     let x = solver.solve(&b).unwrap_or_else(|e| panic!("{name}: solve failed: {e}"));
     let residual = ops::relative_residual(a, &x, &b).expect("residual");
+
+    let mixed_report = mixed
+        .stats()
+        .report
+        .clone()
+        .unwrap_or_else(|| panic!("{name}: mixed refactorisation produced no RunReport"));
+    let before = mixed.precision_counters();
+    let xm = mixed.solve(&b).unwrap_or_else(|e| panic!("{name}: mixed solve failed: {e}"));
+    let mixed_residual = ops::relative_residual(a, &xm, &b).expect("mixed residual");
+    let refine_iters = mixed.precision_counters().refine_iters - before.refine_iters;
     RefactorResult {
         name,
         n: a.nrows(),
@@ -216,6 +254,13 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
         transport_ab_wall_seconds: best_wired,
         frames_sent,
         codec_bytes_encoded,
+        mixed_wall_seconds: best_mixed,
+        mixed_bytes: mixed_report.total_bytes(),
+        mixed_plan_bytes: mixed_report.total_mem().plan_bytes,
+        mixed_msgs: mixed_report.total_messages(),
+        mixed_residual,
+        refine_iters,
+        precision_fallbacks: before.precision_fallbacks,
         numeric_seconds: best_numeric,
         residual,
         report,
@@ -284,6 +329,16 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("transport_ab_wall_seconds".into(), num(r.transport_ab_wall_seconds)),
         ("frames_sent".into(), num(r.frames_sent as f64)),
         ("codec_bytes_encoded".into(), num(r.codec_bytes_encoded as f64)),
+        // Precision A/B (mixed f32 arm). Walls and speedup are
+        // informational; the byte/plan footprints and refinement work
+        // are deterministic and exact-gated.
+        ("mixed_wall_seconds".into(), num(r.mixed_wall_seconds)),
+        ("mixed_speedup".into(), num(r.wall_seconds / r.mixed_wall_seconds)),
+        ("mixed_residual".into(), num(r.mixed_residual)),
+        ("mixed_bytes".into(), num(r.mixed_bytes as f64)),
+        ("mixed_plan_bytes".into(), num(r.mixed_plan_bytes as f64)),
+        ("refine_iters".into(), num(r.refine_iters as f64)),
+        ("precision_fallbacks".into(), num(r.precision_fallbacks as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])
@@ -331,6 +386,42 @@ fn main() {
             "{name}: byte transport framed a different message count than the channel arm"
         );
         assert!(r.codec_bytes_encoded > 0, "{name}: byte transport encoded nothing");
+        assert_eq!(r.precision_fallbacks, 0, "{name}: mixed arm fell back to f64");
+        assert!(
+            r.mixed_residual < 1e-11,
+            "{name}: refined mixed residual {} misses the f64 gate",
+            r.mixed_residual
+        );
+        assert_eq!(
+            r.mixed_msgs,
+            r.report.total_messages(),
+            "{name}: mixed arm sent a different message count than the f64 arm"
+        );
+        // Every scatter value narrows 8 -> 4 bytes; the 24-byte
+        // per-message headers are precision-independent.
+        let headers = 24 * r.mixed_msgs;
+        assert_eq!(
+            r.mixed_bytes - headers,
+            (r.report.total_bytes() - headers) / 2,
+            "{name}: mixed payload traffic is not half the f64 traffic"
+        );
+        // The arena (u16 vs u32 indices) halves exactly; the per-plan
+        // offset structs are precision-independent, so the total shrinks
+        // strictly but lands between 1x and 2x depending on how much of
+        // the footprint the arena is.
+        println!(
+            "    plan bytes {} -> {} ({:.2}x), payload bytes {} -> {} ({:.2}x)",
+            r.report.total_mem().plan_bytes,
+            r.mixed_plan_bytes,
+            r.report.total_mem().plan_bytes as f64 / r.mixed_plan_bytes as f64,
+            r.report.total_bytes(),
+            r.mixed_bytes,
+            r.report.total_bytes() as f64 / r.mixed_bytes as f64,
+        );
+        assert!(
+            r.mixed_plan_bytes < r.report.total_mem().plan_bytes,
+            "{name}: u16 plan indices did not shrink the plan footprint"
+        );
         results.push(r);
     }
     let total_wall: f64 = results.iter().map(|r| r.wall_seconds).sum();

@@ -11,9 +11,10 @@
 //! body layout (all integers little-endian):
 //!   offset  size  field
 //!        0     4  magic          b"PGLU"
-//!        4     1  version        1
+//!        4     1  version        2
 //!        5     1  role tag       1..=7 (see below)
-//!        6     2  reserved       0
+//!        6     1  width tag      payload element width in bytes (8 | 4)
+//!        7     1  reserved       0
 //!        8     4  from           sending rank
 //!       12     8  seq            sender-side sequence number
 //!       20     8  delay_nanos    injected delivery delay (fault layer)
@@ -22,33 +23,44 @@
 //!       44     4  aux0           StealGrant cursor pos, else 0
 //!       48     4  aux1           StealGrant run width, else 0
 //!       52     4  nvals          payload element count
-//!       56    8n  payload        nvals f64 values
+//!       56    wn  payload        nvals elements of width w
 //! ```
 //!
 //! Role tags: 1 `DiagFactor`, 2 `LPanel`, 3 `UPanel`, 4 `XSegment`,
 //! 5 `Partial`, 6 `StealGrant`, 7 `StealResult`.
 //!
-//! Decoding is defensive: wrong magic, unknown version or role, an
-//! oversized or undersized length prefix, and a body whose length
-//! disagrees with its element count all surface as a structured
-//! [`CodecError`] — never a panic, never an out-of-bounds read. The
+//! Version 2 added the width tag (byte 6, previously reserved-zero):
+//! an f32 factorisation ships 4-byte elements, and a receiver expecting
+//! one element width rejects frames carrying the other
+//! ([`CodecError::WidthMismatch`]) instead of reinterpreting bytes.
+//! Version-1 frames — whose width byte was always 0 — are rejected as
+//! [`CodecError::BadVersion`] before the width is even inspected.
+//!
+//! Decoding is defensive: wrong magic, unknown version or role, a
+//! mismatched element width, an oversized or undersized length prefix,
+//! and a body whose length disagrees with its element count all surface
+//! as a structured [`CodecError`] — never a panic, never an
+//! out-of-bounds read. The
 //! [`FrameDecoder`] reassembles frames from an arbitrary byte stream
 //! (sockets deliver frames split and coalesced at will).
 //!
 //! Fan-out stays one-serialise: [`PayloadMemo`] caches the encoded bytes
-//! of the most recent `Arc<[f64]>` payload, so a finished block scattered
+//! of the most recent `Arc<[S]>` payload, so a finished block scattered
 //! to several destinations is encoded **once** and only the 60-byte
 //! header + length prefix is rewritten per edge.
 
 use std::sync::Arc;
+
+use pangulu_sparse::Scalar;
 
 use crate::msg::{BlockMsg, BlockRole};
 use crate::transport::WireEnvelope;
 
 /// Frame magic: the first four body bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PGLU";
-/// Current frame-format version.
-pub const VERSION: u8 = 1;
+/// Current frame-format version. Version 2 added the payload
+/// element-width tag at body offset 6.
+pub const VERSION: u8 = 2;
 /// Fixed body header size (before the payload values).
 pub const HEADER_LEN: usize = 56;
 /// Upper bound on the body length a decoder will accept. Anything larger
@@ -74,6 +86,16 @@ pub enum CodecError {
         /// Bytes actually present.
         have: usize,
     },
+    /// The frame carries elements of a different width than the
+    /// receiver's precision expects (e.g. an f32 payload arriving at an
+    /// f64 endpoint). Reinterpreting would silently corrupt values, so
+    /// the frame is rejected instead.
+    WidthMismatch {
+        /// Element width the receiver expects.
+        expected: u8,
+        /// Element width stamped in the frame header.
+        got: u8,
+    },
     /// The length prefix disagrees with the header's element count.
     LengthMismatch {
         /// Body length claimed by the prefix.
@@ -98,6 +120,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Truncated { needed, have } => {
                 write!(f, "truncated frame: need {needed} bytes, have {have}")
+            }
+            CodecError::WidthMismatch { expected, got } => {
+                write!(f, "frame carries {got}-byte elements, receiver expects {expected}-byte")
             }
             CodecError::LengthMismatch { claimed, derived } => {
                 write!(f, "frame length prefix {claimed} disagrees with payload-derived {derived}")
@@ -140,16 +165,18 @@ fn role_from(tag: u8, aux0: u32, aux1: u32) -> Result<BlockRole, CodecError> {
     })
 }
 
-/// Body length of a frame carrying `nvals` payload values.
-pub fn body_len(nvals: usize) -> usize {
-    HEADER_LEN + 8 * nvals
+/// Body length of a frame carrying `nvals` payload elements of
+/// precision `S`.
+pub fn body_len<S: Scalar>(nvals: usize) -> usize {
+    HEADER_LEN + S::WIDTH * nvals
 }
 
-/// Encodes a payload slice to its wire representation (f64 LE).
-pub fn encode_payload(values: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 8);
+/// Encodes a payload slice to its wire representation (little-endian
+/// elements of `S::WIDTH` bytes each).
+pub fn encode_payload<S: Scalar>(values: &[S]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * S::WIDTH);
     for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
+        v.write_le(&mut out);
     }
     out
 }
@@ -157,13 +184,14 @@ pub fn encode_payload(values: &[f64]) -> Vec<u8> {
 /// Appends the length prefix and body header for `env` to `out`. The
 /// caller appends the (possibly shared, pre-encoded) payload bytes after
 /// it; together they form one complete frame.
-pub fn encode_header(env: &WireEnvelope, out: &mut Vec<u8>) {
+pub fn encode_header<S: Scalar>(env: &WireEnvelope<S>, out: &mut Vec<u8>) {
     let nvals = env.msg.values.len();
-    out.extend_from_slice(&(body_len(nvals) as u32).to_le_bytes());
+    out.extend_from_slice(&(body_len::<S>(nvals) as u32).to_le_bytes());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(role_tag(env.msg.role));
-    out.extend_from_slice(&[0u8; 2]);
+    out.push(S::WIDTH_TAG);
+    out.push(0);
     out.extend_from_slice(&env.from.to_le_bytes());
     out.extend_from_slice(&env.seq.to_le_bytes());
     out.extend_from_slice(&env.delay_nanos.to_le_bytes());
@@ -176,8 +204,8 @@ pub fn encode_header(env: &WireEnvelope, out: &mut Vec<u8>) {
 }
 
 /// Encodes one complete frame (length prefix + header + payload).
-pub fn encode_frame(env: &WireEnvelope) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + body_len(env.msg.values.len()));
+pub fn encode_frame<S: Scalar>(env: &WireEnvelope<S>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body_len::<S>(env.msg.values.len()));
     encode_header(env, &mut out);
     out.extend_from_slice(&encode_payload(&env.msg.values));
     out
@@ -194,7 +222,7 @@ fn rd_u64(b: &[u8], at: usize) -> u64 {
 /// Decodes one complete frame **body** (the bytes after the length
 /// prefix). `claimed` is the length the prefix announced; the body slice
 /// must already be that long — the [`FrameDecoder`] guarantees it.
-pub fn decode_body(body: &[u8]) -> Result<WireEnvelope, CodecError> {
+pub fn decode_body<S: Scalar>(body: &[u8]) -> Result<WireEnvelope<S>, CodecError> {
     if body.len() < HEADER_LEN {
         return Err(CodecError::Truncated { needed: HEADER_LEN, have: body.len() });
     }
@@ -205,16 +233,19 @@ pub fn decode_body(body: &[u8]) -> Result<WireEnvelope, CodecError> {
     if body[4] != VERSION {
         return Err(CodecError::BadVersion(body[4]));
     }
+    if body[6] != S::WIDTH_TAG {
+        return Err(CodecError::WidthMismatch { expected: S::WIDTH_TAG, got: body[6] });
+    }
     let nvals = rd_u32(body, 52) as usize;
-    let derived = body_len(nvals);
+    let derived = body_len::<S>(nvals);
     if body.len() != derived {
         return Err(CodecError::LengthMismatch { claimed: body.len(), derived });
     }
     let role = role_from(body[5], rd_u32(body, 44), rd_u32(body, 48))?;
     let mut values = Vec::with_capacity(nvals);
     for i in 0..nvals {
-        let at = HEADER_LEN + 8 * i;
-        values.push(f64::from_le_bytes(body[at..at + 8].try_into().expect("8-byte slice")));
+        let at = HEADER_LEN + S::WIDTH * i;
+        values.push(S::read_le(&body[at..at + S::WIDTH]));
     }
     Ok(WireEnvelope {
         from: rd_u32(body, 8),
@@ -236,13 +267,19 @@ pub fn decode_body(body: &[u8]) -> Result<WireEnvelope, CodecError> {
 /// frame is still incomplete and a [`CodecError`] as soon as the stream
 /// is provably malformed (at which point the stream is unrecoverable —
 /// framing is lost).
-#[derive(Default)]
-pub struct FrameDecoder {
+pub struct FrameDecoder<S: Scalar = f64> {
     buf: Vec<u8>,
     pos: usize,
+    _marker: std::marker::PhantomData<S>,
 }
 
-impl FrameDecoder {
+impl<S: Scalar> Default for FrameDecoder<S> {
+    fn default() -> Self {
+        FrameDecoder { buf: Vec::new(), pos: 0, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<S: Scalar> FrameDecoder<S> {
     /// A fresh decoder with an empty reassembly buffer.
     pub fn new() -> Self {
         FrameDecoder::default()
@@ -264,7 +301,7 @@ impl FrameDecoder {
     }
 
     /// Extracts the next complete frame, if one is fully buffered.
-    pub fn next_frame(&mut self) -> Result<Option<WireEnvelope>, CodecError> {
+    pub fn next_frame(&mut self) -> Result<Option<WireEnvelope<S>>, CodecError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < 4 {
             return Ok(None);
@@ -280,7 +317,7 @@ impl FrameDecoder {
         if avail.len() < 4 + claimed {
             return Ok(None);
         }
-        let env = decode_body(&avail[4..4 + claimed])?;
+        let env = decode_body::<S>(&avail[4..4 + claimed])?;
         self.pos += 4 + claimed;
         Ok(Some(env))
     }
@@ -288,25 +325,30 @@ impl FrameDecoder {
 
 /// One-slot encode-once cache for scattered payloads.
 ///
-/// `finish_block` fans one `Arc<[f64]>` out to every dependent rank with
+/// `finish_block` fans one `Arc<[S]>` out to every dependent rank with
 /// consecutive sends; the memo recognises the repeated payload (by
 /// pointer identity, keeping a strong reference so the allocation cannot
 /// be recycled under the key) and hands back the same encoded bytes, so
 /// the scatter serialises the values exactly once.
 /// The memo slot: the payload used as key (held strongly, so the
 /// allocation cannot be recycled under it) and its encoded bytes.
-type MemoSlot = (Arc<[f64]>, Arc<[u8]>);
+type MemoSlot<S> = (Arc<[S]>, Arc<[u8]>);
 
-#[derive(Default)]
-pub struct PayloadMemo {
-    cached: Option<MemoSlot>,
+pub struct PayloadMemo<S: Scalar = f64> {
+    cached: Option<MemoSlot<S>>,
 }
 
-impl PayloadMemo {
+impl<S: Scalar> Default for PayloadMemo<S> {
+    fn default() -> Self {
+        PayloadMemo { cached: None }
+    }
+}
+
+impl<S: Scalar> PayloadMemo<S> {
     /// Returns the wire bytes of `values`, encoding only when the payload
     /// differs from the previous call's. `fresh_bytes` is bumped by the
     /// number of bytes newly produced.
-    pub fn encoded(&mut self, values: &Arc<[f64]>, fresh_bytes: &mut u64) -> Arc<[u8]> {
+    pub fn encoded(&mut self, values: &Arc<[S]>, fresh_bytes: &mut u64) -> Arc<[u8]> {
         if let Some((vals, bytes)) = &self.cached {
             if Arc::ptr_eq(vals, values) {
                 return bytes.clone();
@@ -323,7 +365,7 @@ impl PayloadMemo {
 mod tests {
     use super::*;
 
-    fn env(role: BlockRole, values: Vec<f64>) -> WireEnvelope {
+    fn env(role: BlockRole, values: Vec<f64>) -> WireEnvelope<f64> {
         WireEnvelope {
             from: 3,
             seq: 41,
@@ -346,7 +388,7 @@ mod tests {
         for role in roles {
             let e = env(role, vec![1.5, -2.25, f64::MIN_POSITIVE, 0.0]);
             let frame = encode_frame(&e);
-            let got = decode_body(&frame[4..]).expect("decode");
+            let got = decode_body::<f64>(&frame[4..]).expect("decode");
             assert_eq!(got.from, e.from);
             assert_eq!(got.seq, e.seq);
             assert_eq!(got.delay_nanos, e.delay_nanos);
@@ -363,7 +405,7 @@ mod tests {
         let b = encode_frame(&env(BlockRole::StealResult, vec![3.0]));
         let mut stream = a.clone();
         stream.extend_from_slice(&b);
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         let mut got = Vec::new();
         for chunk in stream.chunks(7) {
             dec.extend(chunk);
@@ -381,14 +423,14 @@ mod tests {
     fn bad_magic_is_an_error_not_a_panic() {
         let mut frame = encode_frame(&env(BlockRole::UPanel, vec![1.0]));
         frame[4] = b'X';
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&frame);
         assert!(matches!(dec.next_frame(), Err(CodecError::BadMagic(_))));
     }
 
     #[test]
     fn oversized_length_prefix_rejected_before_allocation() {
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
         assert_eq!(dec.next_frame(), Err(CodecError::Oversized(MAX_FRAME_LEN + 1)));
     }

@@ -47,6 +47,7 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use pangulu_metrics::{CommMetrics, EdgeStat};
+use pangulu_sparse::Scalar;
 
 use crate::fault::{EdgeRng, Fate, FaultPlan};
 use crate::msg::{BlockMsg, BlockRole};
@@ -68,25 +69,25 @@ pub struct DeliveryRecord {
 }
 
 /// Held-back message ordered by due time (earliest first out).
-struct HeldMsg {
+struct HeldMsg<S: Scalar> {
     /// `None` delivers immediately; `Some(t)` not before `t` — computed
     /// at arrival from the envelope's relative `delay_nanos`.
     due: Option<Instant>,
-    env: WireEnvelope,
+    env: WireEnvelope<S>,
 }
 
-impl PartialEq for HeldMsg {
+impl<S: Scalar> PartialEq for HeldMsg<S> {
     fn eq(&self, other: &Self) -> bool {
         self.due == other.due && self.env.seq == other.env.seq
     }
 }
-impl Eq for HeldMsg {}
-impl PartialOrd for HeldMsg {
+impl<S: Scalar> Eq for HeldMsg<S> {}
+impl<S: Scalar> PartialOrd for HeldMsg<S> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeldMsg {
+impl<S: Scalar> Ord for HeldMsg<S> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest due
         // (None = immediately) on top. `None < Some(_)` for Option.
@@ -95,18 +96,18 @@ impl Ord for HeldMsg {
 }
 
 /// Per-destination fault state of one sending mailbox.
-struct Edge {
+struct Edge<S: Scalar> {
     rng: EdgeRng,
     /// Bounded reorder buffer (only used when `reorder_depth > 0`).
-    buffer: Vec<WireEnvelope>,
+    buffer: Vec<WireEnvelope<S>>,
 }
 
 /// Builder for the full set of rank mailboxes.
-pub struct MailboxSet {
-    mailboxes: Vec<Mailbox>,
+pub struct MailboxSet<S: Scalar = f64> {
+    mailboxes: Vec<Mailbox<S>>,
 }
 
-impl MailboxSet {
+impl<S: Scalar> MailboxSet<S> {
     /// Creates mailboxes for `p` ranks, all-to-all connected over the
     /// in-process channel backend, with a reliable (fault-free) plan.
     pub fn new(p: usize) -> Self {
@@ -131,7 +132,7 @@ impl MailboxSet {
         plan: Option<FaultPlan>,
     ) -> io::Result<Self> {
         assert!(p > 0, "mailbox world needs at least one rank");
-        let endpoints = transport::build_endpoints(kind, p)?;
+        let endpoints = transport::build_endpoints::<S>(kind, p)?;
         let mailboxes = endpoints
             .into_iter()
             .enumerate()
@@ -167,20 +168,20 @@ impl MailboxSet {
     }
 
     /// Takes the per-rank mailboxes (one per worker thread).
-    pub fn into_mailboxes(self) -> Vec<Mailbox> {
+    pub fn into_mailboxes(self) -> Vec<Mailbox<S>> {
         self.mailboxes
     }
 }
 
 /// One rank's endpoint: its transport plus the accounting/fault state.
-pub struct Mailbox {
+pub struct Mailbox<S: Scalar = f64> {
     rank: usize,
     world: usize,
-    transport: Box<dyn Transport>,
+    transport: Box<dyn Transport<S>>,
     plan: Option<FaultPlan>,
-    edges: Option<Vec<Edge>>,
+    edges: Option<Vec<Edge<S>>>,
     /// Received-but-not-yet-due messages, and loopback deliveries.
-    holdback: BinaryHeap<HeldMsg>,
+    holdback: BinaryHeap<HeldMsg<S>>,
     send_seq: u64,
     /// Set once the scheduled peer death has fired on this rank.
     died: bool,
@@ -202,7 +203,7 @@ pub struct Mailbox {
     lost_log: Vec<DeliveryRecord>,
 }
 
-impl Mailbox {
+impl<S: Scalar> Mailbox<S> {
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.rank
@@ -233,7 +234,7 @@ impl Mailbox {
     /// reordered behind later sends, or — once its retry budget is
     /// exhausted — permanently lost; the runtime's recv-timeout path is
     /// responsible for surfacing a loss as a structured error.
-    pub fn send(&mut self, to: usize, msg: BlockMsg) {
+    pub fn send(&mut self, to: usize, msg: BlockMsg<S>) {
         assert!(to < self.world, "destination rank {to} out of range");
         let bytes = msg.payload_bytes() as u64;
         self.sent_msgs += 1;
@@ -301,9 +302,9 @@ impl Mailbox {
     }
 
     fn transmit(
-        transport: &mut dyn Transport,
+        transport: &mut dyn Transport<S>,
         to: usize,
-        env: WireEnvelope,
+        env: WireEnvelope<S>,
         record: DeliveryRecord,
         sent_log: &mut Vec<DeliveryRecord>,
         undeliverable: &mut u64,
@@ -353,7 +354,7 @@ impl Mailbox {
 
     /// Parks an envelope in the holdback heap, re-anchoring its relative
     /// injected delay at arrival time.
-    fn hold(&mut self, env: WireEnvelope) {
+    fn hold(&mut self, env: WireEnvelope<S>) {
         let due =
             (env.delay_nanos > 0).then(|| Instant::now() + Duration::from_nanos(env.delay_nanos));
         self.holdback.push(HeldMsg { due, env });
@@ -386,7 +387,7 @@ impl Mailbox {
     }
 
     /// Pops the earliest held message whose due time has passed.
-    fn pop_ripe(&mut self) -> Option<BlockMsg> {
+    fn pop_ripe(&mut self) -> Option<BlockMsg<S>> {
         let ripe = match self.holdback.peek() {
             Some(held) => held.due.is_none_or(|t| t <= Instant::now()),
             None => false,
@@ -407,7 +408,7 @@ impl Mailbox {
 
     /// Non-blocking receive. Messages still under an injected delay stay
     /// invisible until their due time.
-    pub fn try_recv(&mut self) -> Option<BlockMsg> {
+    pub fn try_recv(&mut self) -> Option<BlockMsg<S>> {
         self.maybe_die();
         self.pump();
         self.pop_ripe()
@@ -417,7 +418,7 @@ impl Mailbox {
     /// added to this rank's synchronisation-wait accounting. Returns
     /// `None` on timeout (and counts it — the caller's stall detector
     /// builds on these).
-    pub fn recv(&mut self, timeout: Duration) -> Option<BlockMsg> {
+    pub fn recv(&mut self, timeout: Duration) -> Option<BlockMsg<S>> {
         self.maybe_die();
         let start = Instant::now();
         let deadline = start + timeout;
@@ -546,13 +547,13 @@ mod tests {
     use super::*;
     use crate::msg::BlockRole;
 
-    fn msg(bi: usize) -> BlockMsg {
+    fn msg(bi: usize) -> BlockMsg<f64> {
         BlockMsg { bi, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0].into() }
     }
 
     #[test]
     fn send_and_receive_between_ranks() {
-        let mut boxes = MailboxSet::new(2).into_mailboxes();
+        let mut boxes = MailboxSet::<f64>::new(2).into_mailboxes();
         let (mut a, mut b) = {
             let b = boxes.pop().unwrap();
             let a = boxes.pop().unwrap();
@@ -572,13 +573,13 @@ mod tests {
 
     #[test]
     fn try_recv_empty_returns_none() {
-        let mut boxes = MailboxSet::new(1).into_mailboxes();
+        let mut boxes = MailboxSet::<f64>::new(1).into_mailboxes();
         assert!(boxes[0].try_recv().is_none());
     }
 
     #[test]
     fn recv_timeout_accumulates_sync_wait() {
-        let mut boxes = MailboxSet::new(1).into_mailboxes();
+        let mut boxes = MailboxSet::<f64>::new(1).into_mailboxes();
         let mb = &mut boxes[0];
         let got = mb.recv(Duration::from_millis(20));
         assert!(got.is_none());

@@ -15,6 +15,8 @@
 
 use std::sync::Arc;
 
+use pangulu_sparse::Scalar;
+
 /// Which role the shipped block plays at the receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockRole {
@@ -53,9 +55,12 @@ pub enum BlockRole {
     StealResult,
 }
 
-/// A block shipped between ranks.
+/// A block shipped between ranks. Generic over the element precision:
+/// an f32 factorisation ships 4-byte elements, halving the payload cost
+/// of every edge, and the codec stamps the element width into each frame
+/// header so a mismatched receiver rejects rather than reinterprets.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BlockMsg {
+pub struct BlockMsg<S: Scalar = f64> {
     /// Block row index.
     pub bi: usize,
     /// Block column index.
@@ -64,13 +69,14 @@ pub struct BlockMsg {
     pub role: BlockRole,
     /// The block's values in its (replicated) pattern order, shared
     /// across fan-out destinations.
-    pub values: Arc<[f64]>,
+    pub values: Arc<[S]>,
 }
 
-impl BlockMsg {
+impl<S: Scalar> BlockMsg<S> {
     /// Payload size in bytes, as charged by the communication cost model.
+    /// Scales with the element width: f32 blocks cost half the freight.
     pub fn payload_bytes(&self) -> usize {
-        self.values.len() * std::mem::size_of::<f64>() + 3 * std::mem::size_of::<u64>()
+        self.values.len() * S::WIDTH + 3 * std::mem::size_of::<u64>()
     }
 }
 
@@ -80,14 +86,23 @@ mod tests {
 
     #[test]
     fn payload_accounts_header_and_values() {
-        let m = BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0; 10].into() };
+        let m: BlockMsg =
+            BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0; 10].into() };
         assert_eq!(m.payload_bytes(), 10 * 8 + 24);
     }
 
     #[test]
+    fn f32_payload_is_half_freight() {
+        let m: BlockMsg<f32> =
+            BlockMsg { bi: 1, bj: 2, role: BlockRole::LPanel, values: vec![0.0f32; 10].into() };
+        assert_eq!(m.payload_bytes(), 10 * 4 + 24);
+    }
+
+    #[test]
     fn fanout_clones_share_one_payload_buffer() {
-        let m = BlockMsg { bi: 0, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0; 4].into() };
-        let fanned: Vec<BlockMsg> = (0..3).map(|_| m.clone()).collect();
+        let m: BlockMsg =
+            BlockMsg { bi: 0, bj: 0, role: BlockRole::DiagFactor, values: vec![1.0; 4].into() };
+        let fanned: Vec<BlockMsg<f64>> = (0..3).map(|_| m.clone()).collect();
         for copy in &fanned {
             assert!(Arc::ptr_eq(&m.values, &copy.values), "clone must not reallocate the payload");
             // Each clone is still charged full freight by the cost model.

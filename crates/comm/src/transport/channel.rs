@@ -6,23 +6,25 @@
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
+use pangulu_sparse::Scalar;
+
 use super::{PeerClosed, Transport, TransportKind, WireEnvelope};
 
 /// One rank's channel endpoint.
-pub struct ChannelTransport {
+pub struct ChannelTransport<S: Scalar = f64> {
     rank: usize,
-    receiver: Receiver<WireEnvelope>,
+    receiver: Receiver<WireEnvelope<S>>,
     /// Senders to every rank (own rank included, which keeps the channel
     /// alive so a blocking receive can never see `Disconnected` while
     /// this endpoint lives).
-    senders: Vec<Sender<WireEnvelope>>,
+    senders: Vec<Sender<WireEnvelope<S>>>,
     severed: bool,
 }
 
 /// Builds the `p` connected endpoints.
-pub fn build(p: usize) -> Vec<ChannelTransport> {
-    let mut senders: Vec<Sender<WireEnvelope>> = Vec::with_capacity(p);
-    let mut receivers: Vec<Receiver<WireEnvelope>> = Vec::with_capacity(p);
+pub fn build<S: Scalar>(p: usize) -> Vec<ChannelTransport<S>> {
+    let mut senders: Vec<Sender<WireEnvelope<S>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Receiver<WireEnvelope<S>>> = Vec::with_capacity(p);
     for _ in 0..p {
         let (s, r) = channel();
         senders.push(s);
@@ -40,12 +42,12 @@ pub fn build(p: usize) -> Vec<ChannelTransport> {
         .collect()
 }
 
-impl Transport for ChannelTransport {
+impl<S: Scalar> Transport<S> for ChannelTransport<S> {
     fn kind(&self) -> TransportKind {
         TransportKind::Channel
     }
 
-    fn send(&mut self, to: usize, env: WireEnvelope) -> Result<(), PeerClosed> {
+    fn send(&mut self, to: usize, env: WireEnvelope<S>) -> Result<(), PeerClosed> {
         assert!(to < self.senders.len(), "destination rank {to} out of range");
         assert_ne!(to, self.rank, "loopback never reaches the transport");
         if self.severed {
@@ -54,11 +56,11 @@ impl Transport for ChannelTransport {
         self.senders[to].send(env).map_err(|_| PeerClosed)
     }
 
-    fn try_recv(&mut self) -> Option<WireEnvelope> {
+    fn try_recv(&mut self) -> Option<WireEnvelope<S>> {
         self.receiver.try_recv().ok()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope<S>> {
         match self.receiver.recv_timeout(timeout) {
             Ok(env) => Some(env),
             Err(RecvTimeoutError::Timeout) => None,

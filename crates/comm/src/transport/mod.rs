@@ -34,6 +34,8 @@
 use std::io;
 use std::time::Duration;
 
+use pangulu_sparse::Scalar;
+
 use crate::msg::BlockMsg;
 
 pub mod channel;
@@ -114,7 +116,7 @@ pub struct TransportStats {
 /// A message on the wire: the block plus the routing/fault metadata that
 /// must survive a process boundary.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WireEnvelope {
+pub struct WireEnvelope<S: Scalar = f64> {
     /// Sending rank.
     pub from: u32,
     /// Sender-side sequence number (per sending mailbox) — the stable
@@ -124,7 +126,7 @@ pub struct WireEnvelope {
     /// arrival time.
     pub delay_nanos: u64,
     /// The block message itself.
-    pub msg: BlockMsg,
+    pub msg: BlockMsg<S>,
 }
 
 /// The peer endpoint is gone: it shut down, was severed, or closed the
@@ -159,15 +161,15 @@ impl std::error::Error for PeerClosed {}
 /// * `sever` simulates this endpoint's death: peers' subsequent sends
 ///   fail with [`PeerClosed`] and nothing is received any more. Used by
 ///   the peer-death fault injection and its tests.
-pub trait Transport: Send {
+pub trait Transport<S: Scalar = f64>: Send {
     /// Which backend this endpoint belongs to.
     fn kind(&self) -> TransportKind;
     /// Queues an envelope for rank `to`.
-    fn send(&mut self, to: usize, env: WireEnvelope) -> Result<(), PeerClosed>;
+    fn send(&mut self, to: usize, env: WireEnvelope<S>) -> Result<(), PeerClosed>;
     /// Next available envelope, without blocking.
-    fn try_recv(&mut self) -> Option<WireEnvelope>;
+    fn try_recv(&mut self) -> Option<WireEnvelope<S>>;
     /// Blocks up to `timeout` for the next envelope.
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope>;
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope<S>>;
     /// Pushes sender-side buffered bytes toward peers.
     fn flush(&mut self) {}
     /// Simulates this endpoint's death (see trait docs).
@@ -182,18 +184,23 @@ pub trait Transport: Send {
 /// backend. Only the socket backends can fail (e.g. a sandbox that
 /// forbids binding); callers surface that loudly rather than silently
 /// falling back.
-pub fn build_endpoints(kind: TransportKind, p: usize) -> io::Result<Vec<Box<dyn Transport>>> {
+pub fn build_endpoints<S: Scalar>(
+    kind: TransportKind,
+    p: usize,
+) -> io::Result<Vec<Box<dyn Transport<S>>>> {
     assert!(p > 0, "transport world needs at least one rank");
     Ok(match kind {
-        TransportKind::Channel => {
-            channel::build(p).into_iter().map(|t| Box::new(t) as Box<dyn Transport>).collect()
-        }
+        TransportKind::Channel => channel::build::<S>(p)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport<S>>)
+            .collect(),
         TransportKind::Shm => {
-            shm::build(p).into_iter().map(|t| Box::new(t) as Box<dyn Transport>).collect()
+            shm::build::<S>(p).into_iter().map(|t| Box::new(t) as Box<dyn Transport<S>>).collect()
         }
-        TransportKind::Tcp | TransportKind::Uds => {
-            sock::build(kind, p)?.into_iter().map(|t| Box::new(t) as Box<dyn Transport>).collect()
-        }
+        TransportKind::Tcp | TransportKind::Uds => sock::build::<S>(kind, p)?
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport<S>>)
+            .collect(),
     })
 }
 

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pangulu_sparse::Scalar;
+
 use crate::codec;
 use crate::codec::{FrameDecoder, PayloadMemo};
 
@@ -123,7 +125,7 @@ impl Ring {
 }
 
 /// One rank's shared-memory endpoint.
-pub struct ShmTransport {
+pub struct ShmTransport<S: Scalar = f64> {
     rank: usize,
     /// Outgoing ring per destination (`None` at the own index).
     out: Vec<Option<Arc<Ring>>>,
@@ -132,19 +134,19 @@ pub struct ShmTransport {
     /// Per-destination overflow bytes that did not fit in the ring yet.
     staged: Vec<VecDeque<u8>>,
     /// Per-source stream reassembly.
-    decoders: Vec<FrameDecoder>,
+    decoders: Vec<FrameDecoder<S>>,
     /// Decoded-but-not-yet-returned envelopes.
-    ready: VecDeque<WireEnvelope>,
+    ready: VecDeque<WireEnvelope<S>>,
     /// Round-robin start of the receive poll, for cross-edge fairness.
     next_poll: usize,
-    memo: PayloadMemo,
+    memo: PayloadMemo<S>,
     stats: TransportStats,
     scratch: Vec<u8>,
     severed: bool,
 }
 
 /// Builds the `p` endpoints over a full `p×p` ring mesh.
-pub fn build(p: usize) -> Vec<ShmTransport> {
+pub fn build<S: Scalar>(p: usize) -> Vec<ShmTransport<S>> {
     // rings[from][to]
     let rings: Vec<Vec<Option<Arc<Ring>>>> = (0..p)
         .map(|from| (0..p).map(|to| (from != to).then(|| Arc::new(Ring::new(RING_CAP)))).collect())
@@ -166,7 +168,7 @@ pub fn build(p: usize) -> Vec<ShmTransport> {
         .collect()
 }
 
-impl ShmTransport {
+impl<S: Scalar> ShmTransport<S> {
     /// Pushes staged bytes for `to` into its ring; `Err` when the
     /// consumer is gone.
     fn drain_staged(&mut self, to: usize) -> Result<(), PeerClosed> {
@@ -215,12 +217,12 @@ impl ShmTransport {
     }
 }
 
-impl Transport for ShmTransport {
+impl<S: Scalar> Transport<S> for ShmTransport<S> {
     fn kind(&self) -> TransportKind {
         TransportKind::Shm
     }
 
-    fn send(&mut self, to: usize, env: WireEnvelope) -> Result<(), PeerClosed> {
+    fn send(&mut self, to: usize, env: WireEnvelope<S>) -> Result<(), PeerClosed> {
         assert!(to < self.out.len(), "destination rank {to} out of range");
         assert_ne!(to, self.rank, "loopback never reaches the transport");
         if self.severed || self.out[to].is_none() {
@@ -236,20 +238,20 @@ impl Transport for ShmTransport {
         self.drain_staged(to)
     }
 
-    fn try_recv(&mut self) -> Option<WireEnvelope> {
+    fn try_recv(&mut self) -> Option<WireEnvelope<S>> {
         if self.ready.is_empty() {
             self.poll_wires();
         }
         self.ready.pop_front()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope<S>> {
         let deadline = Instant::now() + timeout;
         loop {
             // Keep pushing our own staged bytes while we wait — a ring
             // that was full when we sent may have drained by now.
             self.flush();
-            if let Some(env) = self.try_recv() {
+            if let Some(env) = Transport::try_recv(self) {
                 return Some(env);
             }
             if Instant::now() >= deadline {
@@ -281,7 +283,7 @@ impl Transport for ShmTransport {
     }
 }
 
-impl Drop for ShmTransport {
+impl<S: Scalar> Drop for ShmTransport<S> {
     fn drop(&mut self) {
         // A vanished endpoint must fail its peers' sends, exactly like
         // the dropped channel receiver in the channel backend.
@@ -296,7 +298,7 @@ mod tests {
     use super::*;
     use crate::msg::{BlockMsg, BlockRole};
 
-    fn env(seq: u64, vals: Vec<f64>) -> WireEnvelope {
+    fn env(seq: u64, vals: Vec<f64>) -> WireEnvelope<f64> {
         WireEnvelope {
             from: 0,
             seq,
@@ -307,7 +309,7 @@ mod tests {
 
     #[test]
     fn frames_cross_the_ring_in_order() {
-        let mut eps = build(2);
+        let mut eps = build::<f64>(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for seq in 0..20 {
@@ -320,7 +322,7 @@ mod tests {
 
     #[test]
     fn overflow_stages_instead_of_deadlocking() {
-        let mut eps = build(2);
+        let mut eps = build::<f64>(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         // ~64 KiB per frame: a handful overflow the 256 KiB ring.
@@ -340,7 +342,7 @@ mod tests {
 
     #[test]
     fn severed_endpoint_fails_peer_sends() {
-        let mut eps = build(2);
+        let mut eps = build::<f64>(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         b.sever();

@@ -20,6 +20,8 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use pangulu_sparse::Scalar;
+
 use crate::codec::{self, FrameDecoder, PayloadMemo};
 
 use super::{PeerClosed, Transport, TransportKind, TransportStats, WireEnvelope, POLL_INTERVAL};
@@ -63,17 +65,17 @@ impl Stream {
 }
 
 /// One rank's socket endpoint.
-pub struct SockTransport {
+pub struct SockTransport<S: Scalar = f64> {
     rank: usize,
     kind: TransportKind,
     /// Stream per peer (`None` at the own index or once a peer is gone).
     peers: Vec<Option<Stream>>,
     /// Per-peer bytes accepted by `send` but not yet by the kernel.
     outbox: Vec<VecDeque<u8>>,
-    decoders: Vec<FrameDecoder>,
-    ready: VecDeque<WireEnvelope>,
+    decoders: Vec<FrameDecoder<S>>,
+    ready: VecDeque<WireEnvelope<S>>,
     next_poll: usize,
-    memo: PayloadMemo,
+    memo: PayloadMemo<S>,
     stats: TransportStats,
     scratch: Box<[u8]>,
     severed: bool,
@@ -84,7 +86,7 @@ static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Builds the `p` endpoints over a full socket mesh. Fails if the
 /// environment forbids binding (the caller decides how loudly to skip).
-pub fn build(kind: TransportKind, p: usize) -> io::Result<Vec<SockTransport>> {
+pub fn build<S: Scalar>(kind: TransportKind, p: usize) -> io::Result<Vec<SockTransport<S>>> {
     assert!(kind.needs_sockets(), "socket builder called for {kind}");
     let mut streams: Vec<Vec<Option<Stream>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
@@ -187,7 +189,7 @@ pub fn build(kind: TransportKind, p: usize) -> io::Result<Vec<SockTransport>> {
         .collect())
 }
 
-impl SockTransport {
+impl<S: Scalar> SockTransport<S> {
     /// Writes as much of the outbox for `to` as the kernel accepts.
     fn drain_outbox(&mut self, to: usize) -> Result<(), PeerClosed> {
         while !self.outbox[to].is_empty() {
@@ -257,12 +259,12 @@ impl SockTransport {
     }
 }
 
-impl Transport for SockTransport {
+impl<S: Scalar> Transport<S> for SockTransport<S> {
     fn kind(&self) -> TransportKind {
         self.kind
     }
 
-    fn send(&mut self, to: usize, env: WireEnvelope) -> Result<(), PeerClosed> {
+    fn send(&mut self, to: usize, env: WireEnvelope<S>) -> Result<(), PeerClosed> {
         assert!(to < self.peers.len(), "destination rank {to} out of range");
         assert_ne!(to, self.rank, "loopback never reaches the transport");
         if self.severed || self.peers[to].is_none() {
@@ -278,18 +280,18 @@ impl Transport for SockTransport {
         self.drain_outbox(to)
     }
 
-    fn try_recv(&mut self) -> Option<WireEnvelope> {
+    fn try_recv(&mut self) -> Option<WireEnvelope<S>> {
         if self.ready.is_empty() {
             self.poll_wires();
         }
         self.ready.pop_front()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<WireEnvelope<S>> {
         let deadline = Instant::now() + timeout;
         loop {
             self.flush();
-            if let Some(env) = self.try_recv() {
+            if let Some(env) = Transport::try_recv(self) {
                 return Some(env);
             }
             if Instant::now() >= deadline {
@@ -321,7 +323,7 @@ impl Transport for SockTransport {
     }
 }
 
-impl Drop for SockTransport {
+impl<S: Scalar> Drop for SockTransport<S> {
     fn drop(&mut self) {
         for stream in self.peers.iter().flatten() {
             stream.shutdown();
@@ -335,7 +337,7 @@ mod tests {
     use super::*;
     use crate::msg::{BlockMsg, BlockRole};
 
-    fn env(seq: u64, vals: Vec<f64>) -> WireEnvelope {
+    fn env(seq: u64, vals: Vec<f64>) -> WireEnvelope<f64> {
         WireEnvelope {
             from: 0,
             seq,
@@ -349,7 +351,7 @@ mod tests {
             eprintln!("SKIP: sockets unavailable in this sandbox ({kind} backend untested here)");
             return;
         }
-        let mut eps = build(kind, 3).expect("mesh");
+        let mut eps = build::<f64>(kind, 3).expect("mesh");
         let mut c = eps.pop().unwrap();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
@@ -390,7 +392,7 @@ mod tests {
             eprintln!("SKIP: sockets unavailable in this sandbox");
             return;
         }
-        let mut eps = build(TransportKind::Tcp, 2).expect("mesh");
+        let mut eps = build::<f64>(TransportKind::Tcp, 2).expect("mesh");
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         b.sever();

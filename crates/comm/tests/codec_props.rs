@@ -27,7 +27,7 @@ fn role() -> impl Strategy<Value = BlockRole> {
 
 /// Draws an arbitrary envelope: any role, any coordinates, payloads of
 /// 0..64 values spanning several orders of magnitude plus exact zero.
-fn envelope() -> impl Strategy<Value = WireEnvelope> {
+fn envelope() -> impl Strategy<Value = WireEnvelope<f64>> {
     (
         (0u32..64, 0u64..u64::MAX, 0u64..u64::MAX),
         (0usize..10_000, 0usize..10_000),
@@ -56,8 +56,8 @@ proptest! {
     #[test]
     fn frames_round_trip_bitwise(env in envelope()) {
         let frame = encode_frame(&env);
-        prop_assert_eq!(frame.len(), 4 + body_len(env.msg.values.len()));
-        let got = decode_body(&frame[4..]).expect("well-formed frame must decode");
+        prop_assert_eq!(frame.len(), 4 + body_len::<f64>(env.msg.values.len()));
+        let got = decode_body::<f64>(&frame[4..]).expect("well-formed frame must decode");
         prop_assert_eq!(got.from, env.from);
         prop_assert_eq!(got.seq, env.seq);
         prop_assert_eq!(got.delay_nanos, env.delay_nanos);
@@ -77,7 +77,7 @@ proptest! {
     fn decoder_reassembles_any_chunking(a in envelope(), b in envelope(), chunk in 1usize..97) {
         let mut stream = encode_frame(&a);
         stream.extend_from_slice(&encode_frame(&b));
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         let mut got = Vec::new();
         for piece in stream.chunks(chunk) {
             dec.extend(piece);
@@ -99,7 +99,7 @@ proptest! {
     fn every_truncation_is_incomplete_or_structured(env in envelope(), cut_frac in 0.0f64..1.0) {
         let frame = encode_frame(&env);
         let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&frame[..cut]);
         match dec.next_frame() {
             Ok(None) => {}                       // honest "incomplete"
@@ -117,7 +117,7 @@ proptest! {
     fn corrupt_magic_rejected(env in envelope(), at in 0usize..4, bit in 0u8..8) {
         let mut frame = encode_frame(&env);
         frame[4 + at] ^= 1 << bit;
-        prop_assert_eq!(decode_body(&frame[4..]).unwrap_err(), CodecError::BadMagic({
+        prop_assert_eq!(decode_body::<f64>(&frame[4..]).unwrap_err(), CodecError::BadMagic({
             let mut m = MAGIC;
             m[at] ^= 1 << bit;
             m
@@ -130,7 +130,7 @@ proptest! {
         let mut frame = encode_frame(&env);
         if v == VERSION { return; }
         frame[4 + 4] = v;
-        prop_assert_eq!(decode_body(&frame[4..]).unwrap_err(), CodecError::BadVersion(v));
+        prop_assert_eq!(decode_body::<f64>(&frame[4..]).unwrap_err(), CodecError::BadVersion(v));
     }
 
     /// Any role tag outside 1..=7 is `BadRole`.
@@ -138,7 +138,7 @@ proptest! {
     fn unknown_role_tag_rejected(env in envelope(), tag in 8u8..255) {
         let mut frame = encode_frame(&env);
         frame[4 + 5] = tag;
-        prop_assert_eq!(decode_body(&frame[4..]).unwrap_err(), CodecError::BadRole(tag));
+        prop_assert_eq!(decode_body::<f64>(&frame[4..]).unwrap_err(), CodecError::BadRole(tag));
     }
 
     /// A length prefix above the cap is rejected as `Oversized` from the
@@ -146,7 +146,7 @@ proptest! {
     /// gigabyte of body.
     #[test]
     fn oversized_prefix_rejected_eagerly(extra in 1u32..u32::MAX - MAX_FRAME_LEN) {
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&(MAX_FRAME_LEN + extra).to_le_bytes());
         prop_assert_eq!(dec.next_frame(), Err(CodecError::Oversized(MAX_FRAME_LEN + extra)));
     }
@@ -155,7 +155,7 @@ proptest! {
     /// impossible and rejected as `Truncated`.
     #[test]
     fn undersized_prefix_rejected(claimed in 0u32..HEADER_LEN as u32) {
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&claimed.to_le_bytes());
         dec.extend(&vec![0u8; claimed as usize]);
         prop_assert_eq!(
@@ -170,16 +170,16 @@ proptest! {
     #[test]
     fn prefix_nvals_disagreement_rejected(env in envelope(), pad in 1usize..32) {
         let mut frame = encode_frame(&env);
-        let claimed = body_len(env.msg.values.len()) + pad;
+        let claimed = body_len::<f64>(env.msg.values.len()) + pad;
         frame[..4].copy_from_slice(&(claimed as u32).to_le_bytes());
         frame.extend_from_slice(&vec![0u8; pad]);
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&frame);
         prop_assert_eq!(
             dec.next_frame(),
             Err(CodecError::LengthMismatch {
                 claimed,
-                derived: body_len(env.msg.values.len()),
+                derived: body_len::<f64>(env.msg.values.len()),
             })
         );
     }
@@ -201,7 +201,7 @@ fn random_garbage_never_panics() {
     for _ in 0..256 {
         let len = (next() % 512) as usize;
         let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
-        let mut dec = FrameDecoder::new();
+        let mut dec = FrameDecoder::<f64>::new();
         dec.extend(&bytes);
         // Drain until incomplete or error; both are acceptable, panics are not.
         while let Ok(Some(_)) = dec.next_frame() {}
@@ -209,6 +209,115 @@ fn random_garbage_never_panics() {
     // Also through decode_body directly with exact-HEADER_LEN garbage.
     for _ in 0..256 {
         let body: Vec<u8> = (0..codec::HEADER_LEN).map(|_| next() as u8).collect();
-        let _ = decode_body(&body);
+        let _ = decode_body::<f64>(&body);
+        let _ = decode_body::<f32>(&body);
     }
+}
+
+/// Draws an arbitrary f32 envelope for the mixed-precision frame tests.
+fn envelope_f32() -> impl Strategy<Value = WireEnvelope<f32>> {
+    (
+        (0u32..64, 0u64..u64::MAX, 0u64..u64::MAX),
+        (0usize..10_000, 0usize..10_000),
+        role(),
+        collection::vec(-1.0e12f64..1.0e12, 0..64),
+    )
+        .prop_map(|((from, seq, delay_nanos), (bi, bj), role, values)| {
+            let mut values: Vec<f32> = values.into_iter().map(|v| v as f32).collect();
+            if !values.is_empty() {
+                values[0] = 0.0;
+            }
+            WireEnvelope {
+                from,
+                seq,
+                delay_nanos,
+                msg: BlockMsg { bi, bj, role, values: values.into() },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// f32 frames round-trip bitwise and ship 4-byte elements: the frame
+    /// is exactly `HEADER_LEN + 4·nvals` after the prefix — half the f64
+    /// payload freight.
+    #[test]
+    fn f32_frames_round_trip_bitwise_at_half_width(env in envelope_f32()) {
+        let frame = encode_frame(&env);
+        prop_assert_eq!(frame.len(), 4 + HEADER_LEN + 4 * env.msg.values.len());
+        let got = decode_body::<f32>(&frame[4..]).expect("well-formed f32 frame must decode");
+        prop_assert_eq!(got.msg.role, env.msg.role);
+        prop_assert_eq!(got.msg.values.len(), env.msg.values.len());
+        for (a, b) in got.msg.values.iter().zip(env.msg.values.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Truncating an f32 frame at any prefix is incomplete or a
+    /// structured error, and completing the stream recovers it.
+    #[test]
+    fn f32_truncation_is_incomplete_or_structured(env in envelope_f32(), cut_frac in 0.0f64..1.0) {
+        let frame = encode_frame(&env);
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let mut dec = FrameDecoder::<f32>::new();
+        dec.extend(&frame[..cut]);
+        match dec.next_frame() {
+            Ok(None) => {}
+            Ok(Some(_)) => prop_assert!(false, "decoded an envelope from a truncated f32 frame"),
+            Err(_) => {}
+        }
+        dec.extend(&frame[cut..]);
+        let got = dec.next_frame().expect("completed frame decodes").expect("one frame");
+        prop_assert_eq!(&got, &env);
+    }
+
+    /// Corrupting any single magic byte of an f32 frame is `BadMagic`.
+    #[test]
+    fn f32_corrupt_magic_rejected(env in envelope_f32(), at in 0usize..4, bit in 0u8..8) {
+        let mut frame = encode_frame(&env);
+        frame[4 + at] ^= 1 << bit;
+        prop_assert!(matches!(
+            decode_body::<f32>(&frame[4..]),
+            Err(CodecError::BadMagic(_))
+        ));
+    }
+
+    /// An f32 frame arriving at an f64 endpoint (and vice versa) is
+    /// rejected as `WidthMismatch` — never reinterpreted.
+    #[test]
+    fn cross_width_frames_rejected(e64 in envelope(), e32 in envelope_f32()) {
+        let f64_frame = encode_frame(&e64);
+        prop_assert_eq!(
+            decode_body::<f32>(&f64_frame[4..]).unwrap_err(),
+            CodecError::WidthMismatch { expected: 4, got: 8 }
+        );
+        let f32_frame = encode_frame(&e32);
+        prop_assert_eq!(
+            decode_body::<f64>(&f32_frame[4..]).unwrap_err(),
+            CodecError::WidthMismatch { expected: 8, got: 4 }
+        );
+    }
+}
+
+/// A version-1 frame — the pre-width-tag format whose byte 6 was
+/// reserved-zero — is rejected as `BadVersion`, not a panic and not a
+/// misdecode: the decoder checks the version before trusting any layout
+/// that changed with it.
+#[test]
+fn version_one_frames_rejected_as_bad_version() {
+    let env = WireEnvelope::<f64> {
+        from: 1,
+        seq: 9,
+        delay_nanos: 0,
+        msg: BlockMsg { bi: 2, bj: 3, role: BlockRole::LPanel, values: vec![1.0, 2.0].into() },
+    };
+    let mut frame = encode_frame(&env);
+    frame[4 + 4] = 1; // rewrite the version byte to the legacy format
+    frame[4 + 6] = 0; // ...whose width byte was always reserved-zero
+    assert_eq!(decode_body::<f64>(&frame[4..]), Err(CodecError::BadVersion(1)));
+    assert_eq!(decode_body::<f32>(&frame[4..]), Err(CodecError::BadVersion(1)));
+    let mut dec = FrameDecoder::<f64>::new();
+    dec.extend(&frame);
+    assert_eq!(dec.next_frame(), Err(CodecError::BadVersion(1)));
 }

@@ -44,7 +44,7 @@ fn send_to_self_survives_fault_plans() {
 #[test]
 #[should_panic(expected = "at least one rank")]
 fn zero_rank_world_is_rejected() {
-    let _ = MailboxSet::new(0);
+    let _ = MailboxSet::<f64>::new(0);
 }
 
 #[test]
@@ -56,7 +56,7 @@ fn out_of_range_destination_is_rejected() {
 
 #[test]
 fn recv_timeout_returns_none_and_counts() {
-    let mut boxes = MailboxSet::new(2).into_mailboxes();
+    let mut boxes = MailboxSet::<f64>::new(2).into_mailboxes();
     let mb = &mut boxes[0];
     assert_eq!(mb.recv_timeouts(), 0);
     let before = mb.sync_wait();
@@ -125,7 +125,7 @@ fn send_to_dead_receiver_is_counted_not_fatal() {
 
 #[test]
 fn world_size_is_visible_to_every_rank() {
-    let boxes = MailboxSet::new(5).into_mailboxes();
+    let boxes = MailboxSet::<f64>::new(5).into_mailboxes();
     for (i, mb) in boxes.iter().enumerate() {
         assert_eq!(mb.rank(), i);
         assert_eq!(mb.world_size(), 5);

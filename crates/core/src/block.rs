@@ -9,11 +9,13 @@
 //! operands `(i, k)`, `(k, j)` present implies the product is structurally
 //! empty (the skip is free).
 
-use pangulu_sparse::{CscMatrix, Result, SparseError};
+use pangulu_sparse::{CscMatrix, Result, Scalar, SparseError};
 
-/// The blocked form of the filled matrix.
+/// The blocked form of the filled matrix, generic over the element
+/// precision (`f64` by default; `f32` on the mixed-precision path, which
+/// halves every block's value storage and wire payload).
 #[derive(Debug, Clone)]
-pub struct BlockMatrix {
+pub struct BlockMatrix<S: Scalar = f64> {
     /// Global matrix order.
     n: usize,
     /// Block (tile) size.
@@ -25,10 +27,10 @@ pub struct BlockMatrix {
     /// First-layer CSC: block row index of each non-empty block.
     blk_row_idx: Vec<usize>,
     /// The intra-block sub-matrices, in first-layer order.
-    blocks: Vec<CscMatrix>,
+    blocks: Vec<CscMatrix<S>>,
 }
 
-impl BlockMatrix {
+impl BlockMatrix<f64> {
     /// Chooses the block size from the matrix order and the density of
     /// the matrix *after* symbolic factorisation (paper §4.1, step 3).
     ///
@@ -61,6 +63,14 @@ impl BlockMatrix {
     /// assert_eq!(bm.to_csc(), filled);      // lossless tiling
     /// ```
     pub fn from_filled(filled: &CscMatrix, nb: usize) -> Result<Self> {
+        Self::from_filled_generic(filled, nb)
+    }
+}
+
+impl<S: Scalar> BlockMatrix<S> {
+    /// Cuts a filled (closed-pattern) matrix of any precision into
+    /// `nb x nb` tiles. See [`BlockMatrix::from_filled`].
+    pub fn from_filled_generic(filled: &CscMatrix<S>, nb: usize) -> Result<Self> {
         if !filled.is_square() {
             return Err(SparseError::NotSquare { nrows: filled.nrows(), ncols: filled.ncols() });
         }
@@ -76,7 +86,7 @@ impl BlockMatrix {
         let mut blk_col_ptr = Vec::with_capacity(nblk + 1);
         blk_col_ptr.push(0usize);
         let mut blk_row_idx: Vec<usize> = Vec::new();
-        let mut blocks: Vec<CscMatrix> = Vec::new();
+        let mut blocks: Vec<CscMatrix<S>> = Vec::new();
 
         // Row → block-row map avoids a division per stored entry.
         let row_block: Vec<u32> = (0..n).map(|i| (i / nb) as u32).collect();
@@ -124,8 +134,8 @@ impl BlockMatrix {
                 .collect();
             let mut block_rows: Vec<Vec<usize>> =
                 block_col_ptrs.iter().map(|p| vec![0usize; *p.last().unwrap()]).collect();
-            let mut block_vals: Vec<Vec<f64>> =
-                block_col_ptrs.iter().map(|p| vec![0.0f64; *p.last().unwrap()]).collect();
+            let mut block_vals: Vec<Vec<S>> =
+                block_col_ptrs.iter().map(|p| vec![S::ZERO; *p.last().unwrap()]).collect();
             // Flat write cursors, one per (slot, local column).
             let mut cursor: Vec<usize> = Vec::with_capacity(present.len() * bcols);
             for p in &block_col_ptrs {
@@ -206,18 +216,34 @@ impl BlockMatrix {
     }
 
     /// The block with the given id.
-    pub fn block(&self, id: usize) -> &CscMatrix {
+    pub fn block(&self, id: usize) -> &CscMatrix<S> {
         &self.blocks[id]
     }
 
     /// Mutable access to a block.
-    pub fn block_mut(&mut self, id: usize) -> &mut CscMatrix {
+    pub fn block_mut(&mut self, id: usize) -> &mut CscMatrix<S> {
         &mut self.blocks[id]
+    }
+
+    /// Clones the structure into another precision: patterns are shared
+    /// verbatim, every value is rounded through `f64`. This is the
+    /// precision-drop entry point of the mixed-precision path (an
+    /// `f64 → f32 → f64` round trip of f32-representable values is
+    /// exact).
+    pub fn cast<T: Scalar>(&self) -> BlockMatrix<T> {
+        BlockMatrix {
+            n: self.n,
+            nb: self.nb,
+            nblk: self.nblk,
+            blk_col_ptr: self.blk_col_ptr.clone(),
+            blk_row_idx: self.blk_row_idx.clone(),
+            blocks: self.blocks.iter().map(|b| b.cast()).collect(),
+        }
     }
 
     /// Two blocks mutably at once (for kernels reading one and writing
     /// another); ids must differ.
-    pub fn block_pair_mut(&mut self, a: usize, b: usize) -> (&mut CscMatrix, &mut CscMatrix) {
+    pub fn block_pair_mut(&mut self, a: usize, b: usize) -> (&mut CscMatrix<S>, &mut CscMatrix<S>) {
         assert_ne!(a, b);
         if a < b {
             let (lo, hi) = self.blocks.split_at_mut(b);
@@ -235,7 +261,7 @@ impl BlockMatrix {
         a: usize,
         b: usize,
         c: usize,
-    ) -> (&CscMatrix, &CscMatrix, &mut CscMatrix) {
+    ) -> (&CscMatrix<S>, &CscMatrix<S>, &mut CscMatrix<S>) {
         assert!(a != b && a != c && b != c, "SSSSM operands must be distinct blocks");
         let ptr = self.blocks.as_mut_ptr();
         // Safety: the three indices are distinct and in bounds, so the
@@ -256,18 +282,60 @@ impl BlockMatrix {
     }
 
     /// Reassembles the global matrix from the tiles (tests / solve phase).
-    pub fn to_csc(&self) -> CscMatrix {
+    /// Values round-trip through `f64` (exact for both precisions).
+    pub fn to_csc(&self) -> CscMatrix<S> {
         let mut coo = pangulu_sparse::CooMatrix::with_capacity(self.n, self.n, self.nnz());
         for bj in 0..self.nblk {
             for (bi, id) in self.col_blocks(bj) {
                 let b = &self.blocks[id];
                 for (r, c, v) in b.iter() {
-                    coo.push(bi * self.nb + r, bj * self.nb + c, v)
+                    coo.push(bi * self.nb + r, bj * self.nb + c, v.to_f64())
                         .expect("block entries are in bounds");
                 }
             }
         }
-        coo.to_csc()
+        coo.to_csc().cast()
+    }
+
+    /// Position of every stored block entry inside this matrix's
+    /// [`BlockMatrix::to_csc`] image, in block-column iteration order.
+    /// The map depends only on the pattern, so a same-pattern caller can
+    /// build it once and then refresh the CSC's values with
+    /// [`BlockMatrix::write_csc_values`] instead of re-assembling the
+    /// whole matrix.
+    pub fn csc_value_map(&self, csc: &CscMatrix<S>) -> Vec<usize> {
+        let mut map = Vec::with_capacity(self.nnz());
+        for bj in 0..self.nblk {
+            for (bi, id) in self.col_blocks(bj) {
+                for (r, c, _) in self.blocks[id].iter() {
+                    let (gi, gj) = (bi * self.nb + r, bj * self.nb + c);
+                    let lo = csc.col_ptr()[gj];
+                    let hi = csc.col_ptr()[gj + 1];
+                    let off = csc.row_idx()[lo..hi]
+                        .binary_search(&gi)
+                        .expect("block entry present in the CSC image");
+                    map.push(lo + off);
+                }
+            }
+        }
+        map
+    }
+
+    /// Refreshes `out`'s values from this matrix through a map built by
+    /// [`BlockMatrix::csc_value_map`] — `out` keeps its pattern, and the
+    /// values land exactly where [`BlockMatrix::to_csc`] would put them.
+    pub fn write_csc_values(&self, map: &[usize], out: &mut CscMatrix<S>) {
+        let values = out.values_mut();
+        let mut k = 0;
+        for bj in 0..self.nblk {
+            for (_, id) in self.col_blocks(bj) {
+                for &v in self.blocks[id].values() {
+                    values[map[k]] = v;
+                    k += 1;
+                }
+            }
+        }
+        debug_assert_eq!(k, map.len());
     }
 
     /// Total stored entries across blocks.
@@ -279,7 +347,7 @@ impl BlockMatrix {
     /// `from..nblk` into a CSC matrix — after a partial factorisation
     /// (see `seq::factor_sequential_partial`) this is the Schur
     /// complement.
-    pub fn trailing_csc(&self, from: usize) -> CscMatrix {
+    pub fn trailing_csc(&self, from: usize) -> CscMatrix<S> {
         let base = from * self.nb;
         let m = self.n - base.min(self.n);
         let mut coo = pangulu_sparse::CooMatrix::new(m, m);
@@ -290,12 +358,12 @@ impl BlockMatrix {
                 }
                 let b = &self.blocks[id];
                 for (r, c, v) in b.iter() {
-                    coo.push(bi * self.nb + r - base, bj * self.nb + c - base, v)
+                    coo.push(bi * self.nb + r - base, bj * self.nb + c - base, v.to_f64())
                         .expect("trailing entries in bounds");
                 }
             }
         }
-        coo.to_csc()
+        coo.to_csc().cast()
     }
 
     /// Approximate heap bytes of the two-layer structure (the memory the

@@ -44,7 +44,7 @@ use pangulu_comm::{
 use pangulu_kernels::select::KernelSelector;
 use pangulu_kernels::{flops, KernelPlans, KernelScratch, SsssmUpdate, TimedKernels};
 use pangulu_metrics::{MemStats, RankMetrics, RunReport, SchedStats, TaskCounts};
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 use crate::block::BlockMatrix;
 use crate::layout::OwnerMap;
@@ -410,8 +410,8 @@ pub struct FactorRun {
 /// Factorises `bm` in place across `owners.num_ranks()` rank threads.
 /// Panics if the run stalls (see [`factor_distributed_checked`] for the
 /// error-returning form).
-pub fn factor_distributed(
-    bm: &mut BlockMatrix,
+pub fn factor_distributed<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     owners: &OwnerMap,
     selector: &KernelSelector,
@@ -435,8 +435,8 @@ pub fn factor_distributed(
 /// kernel with wall-clock start/end offsets — the per-rank timeline used
 /// to verify at runtime that the synchronisation-free array never lets a
 /// kernel start before its dependencies finish.
-pub fn factor_distributed_traced(
-    bm: &mut BlockMatrix,
+pub fn factor_distributed_traced<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     owners: &OwnerMap,
     selector: &KernelSelector,
@@ -466,8 +466,8 @@ pub fn factor_distributed_traced(
 /// Builds a transient [`NumericWorkspace`] for the run; callers that
 /// factor the same pattern repeatedly should build the workspace once
 /// and call [`factor_distributed_cached`] instead.
-pub fn factor_distributed_checked(
-    bm: &mut BlockMatrix,
+pub fn factor_distributed_checked<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     owners: &OwnerMap,
     selector: &KernelSelector,
@@ -497,14 +497,14 @@ pub fn factor_distributed_checked(
 /// never changes the deterministic ascending-step application order.
 /// On [`DistError`] the workspace is left dirty but safe: the next run's
 /// reset restores every flag and value from `bm`.
-pub fn factor_distributed_cached(
-    bm: &mut BlockMatrix,
+pub fn factor_distributed_cached<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     owners: &OwnerMap,
     selector: &KernelSelector,
     pivot_floor: f64,
     cfg: &FactorConfig,
-    ws: &mut NumericWorkspace,
+    ws: &mut NumericWorkspace<S>,
 ) -> Result<FactorRun, DistError> {
     let p = owners.num_ranks();
     assert_eq!(ws.ranks.len(), p, "workspace was built for a different rank count");
@@ -515,7 +515,7 @@ pub fn factor_distributed_cached(
     }
     // A backend that cannot come up (e.g. sockets in a sandbox) is a
     // loud environment error, never a silent fallback to another one.
-    let mailboxes = MailboxSet::with_transport(p, cfg.transport, cfg.fault.clone())
+    let mailboxes = MailboxSet::<S>::with_transport(p, cfg.transport, cfg.fault.clone())
         .unwrap_or_else(|e| panic!("failed to build {} transport mesh: {e}", cfg.transport))
         .into_mailboxes();
     let barrier = StepBarrier::new(p);
@@ -526,7 +526,7 @@ pub fn factor_distributed_cached(
 
     let mut worker_outputs: Vec<WorkerOutput> = Vec::with_capacity(p);
     {
-        let bm_ref: &BlockMatrix = bm;
+        let bm_ref: &BlockMatrix<S> = bm;
         std::thread::scope(|s| {
             let handles: Vec<_> = mailboxes
                 .into_iter()
@@ -584,6 +584,8 @@ pub fn factor_distributed_cached(
             ranks: p,
             wall_nanos: duration_nanos(start.elapsed()),
             predicted_flops: if cfg.metrics { predicted_total_flops(bm, tg) } else { 0.0 },
+            scalar_width: S::WIDTH as u64,
+            precision_fallbacks: 0,
             per_rank: Vec::with_capacity(p),
         },
         ..Default::default()
@@ -609,7 +611,7 @@ pub fn factor_distributed_cached(
 /// Kernels only ever write inside the stored pattern, so the metered
 /// "observed" FLOPs of a complete run must sum to exactly this — a
 /// consistency check the metrics tests lean on.
-pub fn predicted_total_flops(bm: &BlockMatrix, tg: &TaskGraph) -> f64 {
+pub fn predicted_total_flops<S: Scalar>(bm: &BlockMatrix<S>, tg: &TaskGraph) -> f64 {
     let mut total = 0.0f64;
     for id in 0..bm.num_blocks() {
         let (bi, bj) = bm.block_coords(id);
@@ -740,19 +742,19 @@ struct WorkerOutput {
 /// One rank's pattern-dependent executor state, built once per
 /// (pattern, grid, owner map) and reusable across numeric-only
 /// refactorisations. See [`NumericWorkspace`].
-struct RankState {
+struct RankState<S: Scalar> {
     rank: usize,
     /// This rank's working copies of its owned blocks, indexed by block
     /// id. A slot is `None` only for unowned blocks (and transiently for
     /// the kernel target while a panel/SSSSM task runs on it, which is
     /// what lets operands be borrowed from the table without cloning).
-    my_blocks: Vec<Option<CscMatrix>>,
+    my_blocks: Vec<Option<CscMatrix<S>>>,
     /// The receive-side pattern cache: remote blocks, indexed by block
     /// id. The first receive for a block builds its CSC structure from
     /// the replicated pattern; every later receive — in the same run or
     /// any subsequent refactorisation — memcpys values into the cached
     /// shell (counted as [`MemStats::pattern_cache_hits`]).
-    remote: Vec<Option<CscMatrix>>,
+    remote: Vec<Option<CscMatrix<S>>>,
     /// Finished owned blocks (panel op done), by block id.
     finished: Vec<bool>,
     /// Synchronisation-free counters for owned blocks, by block id.
@@ -779,7 +781,7 @@ struct RankState {
     /// Precomputed kernel index plans, built lazily per task on this
     /// rank's first touch and — like the rest of this state — reused
     /// verbatim across numeric-only refactorisations.
-    plans: KernelPlans,
+    plans: KernelPlans<S>,
     /// The immutable analysis copy of the dependency counters, used by
     /// [`RankState::reset`] instead of re-walking the task graph.
     counter_init: Vec<usize>,
@@ -788,15 +790,15 @@ struct RankState {
     /// Level-set mode: tasks owed per elimination step.
     step_total: Vec<usize>,
     /// Pooled dense kernel scratch, persistent across runs.
-    scratch: KernelScratch,
+    scratch: KernelScratch<S>,
 }
 
-impl RankState {
-    fn new(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap, rank: usize) -> Self {
+impl<S: Scalar> RankState<S> {
+    fn new(bm: &BlockMatrix<S>, tg: &TaskGraph, owners: &OwnerMap, rank: usize) -> Self {
         let nblocks = bm.num_blocks();
         // Clone owned blocks (the "distribute the matrix" preprocessing
         // step — each rank stores only what it computes on, §4.2).
-        let mut my_blocks: Vec<Option<CscMatrix>> = vec![None; nblocks];
+        let mut my_blocks: Vec<Option<CscMatrix<S>>> = vec![None; nblocks];
         let mut counter_init = vec![0usize; nblocks];
         let mut remaining = 0usize;
         let mut step_total = vec![0usize; bm.nblk() + 1];
@@ -853,7 +855,7 @@ impl RankState {
     /// is cleared. The remote pattern shells keep their structure (their
     /// stale values are only ever read after a fresh receive overwrites
     /// them — `avail` gates every operand lookup).
-    fn reset(&mut self, bm: &BlockMatrix) {
+    fn reset(&mut self, bm: &BlockMatrix<S>) {
         for (id, slot) in self.my_blocks.iter_mut().enumerate() {
             if let Some(b) = slot {
                 b.values_mut().copy_from_slice(bm.block(id).values());
@@ -876,8 +878,8 @@ impl RankState {
 /// scratch). Build it once per (pattern, grid, owner map) and pass it to
 /// [`factor_distributed_cached`] for every same-pattern factorisation;
 /// steady-state runs then do no pattern-dependent setup at all.
-pub struct NumericWorkspace {
-    ranks: Vec<RankState>,
+pub struct NumericWorkspace<S: Scalar = f64> {
+    ranks: Vec<RankState<S>>,
     num_blocks: usize,
     /// The analysis-time critical-path priority vector (see
     /// [`TaskPriorities`]): computed once per pattern alongside the rest
@@ -886,10 +888,10 @@ pub struct NumericWorkspace {
     priorities: Arc<TaskPriorities>,
 }
 
-impl NumericWorkspace {
+impl<S: Scalar> NumericWorkspace<S> {
     /// Builds the per-rank state for `owners.num_ranks()` ranks over the
     /// pattern of `bm` (values are re-read from `bm` at every run).
-    pub fn new(bm: &BlockMatrix, tg: &TaskGraph, owners: &OwnerMap) -> Self {
+    pub fn new(bm: &BlockMatrix<S>, tg: &TaskGraph, owners: &OwnerMap) -> Self {
         let ranks = (0..owners.num_ranks()).map(|r| RankState::new(bm, tg, owners, r)).collect();
         NumericWorkspace {
             ranks,
@@ -965,35 +967,35 @@ impl Ord for QueueEntry {
 /// target's values arrived with the grant, the panel operands either are
 /// already here or are still in flight from their producers (the victim
 /// only grants runs whose operands were shipped to this rank).
-struct StolenJob {
+struct StolenJob<S: Scalar> {
     victim: usize,
     bi: usize,
     bj: usize,
     /// The granted `(k, gid)` slice of the target's ascending-k chain.
     span: Vec<(usize, usize)>,
     /// The thief's private working copy of the target block.
-    target: CscMatrix,
+    target: CscMatrix<S>,
 }
 
 /// Per-rank executor: the run-scoped view over a rank's cached
 /// [`RankState`] (block tables, counters, schedules) plus everything that
 /// is fresh per run (mailbox, task queue, metrics, trace).
-struct Worker<'a> {
+struct Worker<'a, S: Scalar> {
     rank: usize,
-    bm: &'a BlockMatrix,
+    bm: &'a BlockMatrix<S>,
     tg: &'a TaskGraph,
     owners: &'a OwnerMap,
     selector: &'a KernelSelector,
     pivot_floor: f64,
     mode: ScheduleMode,
     stall_timeout: Duration,
-    mailbox: Mailbox,
+    mailbox: Mailbox<S>,
     barrier: &'a StepBarrier,
     abort: &'a AtomicBool,
     first_err: &'a Mutex<Option<DistError>>,
 
     /// The rank's cached executor state (already reset for this run).
-    st: &'a mut RankState,
+    st: &'a mut RankState<S>,
     /// Widest SSSSM fusion allowed (1 = one-at-a-time; see
     /// [`FactorConfig::ssssm_batching`]).
     max_batch: usize,
@@ -1034,7 +1036,7 @@ struct Worker<'a> {
     /// Live loans on owned targets: `cid → (pos, width, thief)`.
     loans: HashMap<usize, (usize, usize, usize)>,
     /// Granted runs this rank accepted and has not finished yet.
-    stolen_jobs: Vec<StolenJob>,
+    stolen_jobs: Vec<StolenJob<S>>,
     /// Victim-side log of every grant this rank handed out.
     steal_records: Vec<StealRecord>,
     /// Scheduling observables (steals, steal bytes, lookahead hits,
@@ -1065,17 +1067,17 @@ struct Worker<'a> {
     trace: Vec<TraceEvent>,
 }
 
-impl<'a> Worker<'a> {
+impl<'a, S: Scalar> Worker<'a, S> {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        bm: &'a BlockMatrix,
+        bm: &'a BlockMatrix<S>,
         tg: &'a TaskGraph,
         owners: &'a OwnerMap,
         selector: &'a KernelSelector,
         pivot_floor: f64,
         cfg: &FactorConfig,
-        mailbox: Mailbox,
-        st: &'a mut RankState,
+        mailbox: Mailbox<S>,
+        st: &'a mut RankState<S>,
         prio: &'a TaskPriorities,
         barrier: &'a StepBarrier,
         board: &'a StealBoard,
@@ -1157,13 +1159,13 @@ impl<'a> Worker<'a> {
     /// *other* `Worker` fields (the kernel meter, the scratch arena, a
     /// taken-out target) can still resolve operands without cloning.
     fn lookup_operand<'b>(
-        bm: &BlockMatrix,
-        my_blocks: &'b [Option<CscMatrix>],
-        remote: &'b [Option<CscMatrix>],
+        bm: &BlockMatrix<S>,
+        my_blocks: &'b [Option<CscMatrix<S>>],
+        remote: &'b [Option<CscMatrix<S>>],
         finished: &[bool],
         bi: usize,
         bj: usize,
-    ) -> &'b CscMatrix {
+    ) -> &'b CscMatrix<S> {
         let id = bm.block_id(bi, bj).expect("operand block exists");
         if let Some(b) = my_blocks[id].as_ref() {
             debug_assert!(finished[id], "operand used before finished");
@@ -1545,7 +1547,10 @@ impl<'a> Worker<'a> {
                 let id = self.bm.block_id(k, k).expect("diag exists");
                 let st = &mut *self.st;
                 let blk = st.my_blocks[id].as_mut().expect("getrf on owned block");
-                if self.use_plans && self.selector.planned_getrf(blk.nnz()) {
+                if self.use_plans
+                    && self.selector.planned_getrf(blk.nnz())
+                    && st.plans.fits(blk.nnz())
+                {
                     let (p, arena) = st.plans.getrf_for(k, blk);
                     self.perturbed += self.timed.getrf_planned(blk, p, arena, self.pivot_floor);
                     self.mem.planned_calls += 1;
@@ -1567,7 +1572,11 @@ impl<'a> Worker<'a> {
                 let mut blk = st.my_blocks[id].take().expect("gessm on owned block");
                 let diag =
                     Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, k, k);
-                if self.use_plans && self.selector.planned_gessm(blk.nnz()) {
+                if self.use_plans
+                    && self.selector.planned_gessm(blk.nnz())
+                    && st.plans.fits(blk.nnz())
+                    && st.plans.fits(diag.nnz())
+                {
                     let (p, arena) = st.plans.gessm_for(id, diag, &blk);
                     self.timed.gessm_planned(diag, &mut blk, p, arena);
                     self.mem.planned_calls += 1;
@@ -1586,7 +1595,11 @@ impl<'a> Worker<'a> {
                 let mut blk = st.my_blocks[id].take().expect("tstrf on owned block");
                 let diag =
                     Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, k, k);
-                if self.use_plans && self.selector.planned_tstrf(blk.nnz()) {
+                if self.use_plans
+                    && self.selector.planned_tstrf(blk.nnz())
+                    && st.plans.fits(blk.nnz())
+                    && st.plans.fits(diag.nnz())
+                {
                     let (p, arena) = st.plans.tstrf_for(id, diag, &blk);
                     self.timed.tstrf_planned(diag, &mut blk, p, arena);
                     self.mem.planned_calls += 1;
@@ -1632,7 +1645,7 @@ impl<'a> Worker<'a> {
                     // `ssssm_batch`).
                     let bm = self.bm;
                     let st = &mut *self.st;
-                    let mut pending: Vec<SsssmUpdate<'_>> = Vec::with_capacity(width);
+                    let mut pending: Vec<SsssmUpdate<'_, S>> = Vec::with_capacity(width);
                     for n in 0..width {
                         let uk = st.upd_order[cid][pos + n];
                         let a = Self::lookup_operand(
@@ -1652,7 +1665,7 @@ impl<'a> Worker<'a> {
                             j,
                         );
                         let fl = flops::ssssm_flops(a, b);
-                        if self.selector.planned_ssssm(fl) {
+                        if self.selector.planned_ssssm(fl) && st.plans.fits(target.nnz()) {
                             if !pending.is_empty() {
                                 if pending.len() > 1 {
                                     self.mem.ssssm_batches += 1;
@@ -1683,7 +1696,7 @@ impl<'a> Worker<'a> {
                 } else {
                     let bm = self.bm;
                     let ks = &self.st.upd_order[cid][pos..pos + width];
-                    let updates: Vec<SsssmUpdate<'_>> = ks
+                    let updates: Vec<SsssmUpdate<'_, S>> = ks
                         .iter()
                         .map(|&uk| {
                             let a = Self::lookup_operand(
@@ -1775,7 +1788,7 @@ impl<'a> Worker<'a> {
         // handed to each mailbox share the buffer. When every dependent is
         // local no payload is materialised at all. The mailbox still
         // charges full per-edge bytes — the wire cost model is unchanged.
-        let mut payload: Option<Arc<[f64]>> = None;
+        let mut payload: Option<Arc<[S]>> = None;
         for dest in dests {
             if dest == self.rank {
                 continue;
@@ -1796,7 +1809,7 @@ impl<'a> Worker<'a> {
         self.on_block_available(bi, bj, role);
     }
 
-    fn handle_msg(&mut self, msg: BlockMsg) {
+    fn handle_msg(&mut self, msg: BlockMsg<S>) {
         // Steal traffic is not operand fan-out: intercept it before the
         // remote-caching path (a grant's target copy must never enter the
         // shared operand tables).
@@ -1835,7 +1848,7 @@ impl<'a> Worker<'a> {
                 ));
             }
         }
-        self.mem.bytes_copied += (msg.values.len() * std::mem::size_of::<f64>()) as u64;
+        self.mem.bytes_copied += (msg.values.len() * S::WIDTH) as u64;
         self.on_block_available(msg.bi, msg.bj, msg.role);
     }
 
@@ -2026,7 +2039,7 @@ impl<'a> Worker<'a> {
     /// the task graph (the per-target chain is global analysis data, not
     /// owner state), and the target is rebuilt from the replicated
     /// pattern plus the shipped values.
-    fn on_steal_grant(&mut self, msg: BlockMsg, pos: usize, width: usize) {
+    fn on_steal_grant(&mut self, msg: BlockMsg<S>, pos: usize, width: usize) {
         let cid = self.bm.block_id(msg.bi, msg.bj).expect("granted target is replicated");
         let tpl = self.bm.block(cid);
         assert_eq!(msg.values.len(), tpl.nnz(), "granted values do not match pattern");
@@ -2073,7 +2086,7 @@ impl<'a> Worker<'a> {
     /// victim would have made on the same operands, so the returned
     /// values are bitwise identical to the victim executing locally (the
     /// batching contract makes one-at-a-time equal to any fused split).
-    fn run_stolen_job(&mut self, mut job: StolenJob) {
+    fn run_stolen_job(&mut self, mut job: StolenJob<S>) {
         let (bi, bj) = (job.bi, job.bj);
         for &(uk, gid) in &job.span {
             let trace_start = self.trace_origin.map(|origin| origin.elapsed());
@@ -2082,7 +2095,8 @@ impl<'a> Worker<'a> {
             let a = Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, bi, uk);
             let b = Self::lookup_operand(self.bm, &st.my_blocks, &st.remote, &st.finished, uk, bj);
             let fl = flops::ssssm_flops(a, b);
-            if self.use_plans && self.selector.planned_ssssm(fl) {
+            if self.use_plans && self.selector.planned_ssssm(fl) && st.plans.fits(job.target.nnz())
+            {
                 let (p, arena) = st.plans.ssssm_for(gid, a, b, &job.target);
                 self.timed.ssssm_planned(a, b, &mut job.target, p, arena, fl);
                 self.mem.planned_calls += 1;
@@ -2121,7 +2135,7 @@ impl<'a> Worker<'a> {
     /// Victim side: fold a returned run back in — exactly the
     /// book-keeping [`Post::Update`] does for a locally executed run,
     /// with the values memcpy'd from the result payload.
-    fn on_steal_result(&mut self, msg: BlockMsg) {
+    fn on_steal_result(&mut self, msg: BlockMsg<S>) {
         let cid = self.bm.block_id(msg.bi, msg.bj).expect("result target is owned here");
         let (pos, width, _thief) =
             self.loans.remove(&cid).expect("steal result without a live loan");

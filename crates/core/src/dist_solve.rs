@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pangulu_comm::{BlockMsg, BlockRole, FaultPlan, Mailbox, MailboxSet, TransportKind};
+use pangulu_sparse::Scalar;
 
 use crate::block::BlockMatrix;
 use crate::layout::OwnerMap;
@@ -32,7 +33,7 @@ enum Sweep {
 
 /// Solves `L U x = b` across `owners.num_ranks()` rank threads; `bm`
 /// holds the factored tiles. Returns `x`.
-pub fn solve_distributed(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64]) -> Vec<f64> {
+pub fn solve_distributed<S: Scalar>(bm: &BlockMatrix<S>, owners: &OwnerMap, b: &[S]) -> Vec<S> {
     solve_distributed_on(bm, owners, b, TransportKind::Channel, None)
 }
 
@@ -42,39 +43,39 @@ pub fn solve_distributed(bm: &BlockMatrix, owners: &OwnerMap, b: &[f64]) -> Vec<
 /// message (e.g. [`FaultPlan::adversarial`]); a plan with permanent
 /// drops makes the blocked rank panic via its stall guard instead of
 /// hanging.
-pub fn solve_distributed_with_faults(
-    bm: &BlockMatrix,
+pub fn solve_distributed_with_faults<S: Scalar>(
+    bm: &BlockMatrix<S>,
     owners: &OwnerMap,
-    b: &[f64],
+    b: &[S],
     fault: Option<&FaultPlan>,
-) -> Vec<f64> {
+) -> Vec<S> {
     solve_distributed_on(bm, owners, b, TransportKind::Channel, fault)
 }
 
 /// The general entry point: both sweeps on the chosen transport backend,
 /// optionally fault-injected. The solution is bitwise identical across
 /// backends (the conformance contract).
-pub fn solve_distributed_on(
-    bm: &BlockMatrix,
+pub fn solve_distributed_on<S: Scalar>(
+    bm: &BlockMatrix<S>,
     owners: &OwnerMap,
-    b: &[f64],
+    b: &[S],
     transport: TransportKind,
     fault: Option<&FaultPlan>,
-) -> Vec<f64> {
+) -> Vec<S> {
     assert_eq!(b.len(), bm.n(), "rhs length must match matrix order");
     let y = run_sweep(bm, owners, b, Sweep::Forward, transport, fault);
     run_sweep(bm, owners, &y, Sweep::Backward, transport, fault)
 }
 
 /// One dependency-counted sweep. Returns the solved vector.
-fn run_sweep(
-    bm: &BlockMatrix,
+fn run_sweep<S: Scalar>(
+    bm: &BlockMatrix<S>,
     owners: &OwnerMap,
-    b: &[f64],
+    b: &[S],
     sweep: Sweep,
     transport: TransportKind,
     fault: Option<&FaultPlan>,
-) -> Vec<f64> {
+) -> Vec<S> {
     let nblk = bm.nblk();
     let p = owners.num_ranks();
 
@@ -96,10 +97,10 @@ fn run_sweep(
         }
     }
 
-    let mailboxes = MailboxSet::with_transport(p, transport, fault.cloned())
+    let mailboxes = MailboxSet::<S>::with_transport(p, transport, fault.cloned())
         .unwrap_or_else(|e| panic!("failed to build {transport} transport mesh: {e}"))
         .into_mailboxes();
-    let mut solved: Vec<(usize, Vec<f64>)> = Vec::with_capacity(nblk);
+    let mut solved: Vec<(usize, Vec<S>)> = Vec::with_capacity(nblk);
     std::thread::scope(|s| {
         let handles: Vec<_> = mailboxes
             .into_iter()
@@ -116,7 +117,7 @@ fn run_sweep(
         }
     });
 
-    let mut x = vec![0.0f64; bm.n()];
+    let mut x = vec![S::ZERO; bm.n()];
     for (k, seg) in solved {
         let base = k * bm.nb();
         x[base..base + seg.len()].copy_from_slice(&seg);
@@ -124,29 +125,29 @@ fn run_sweep(
     x
 }
 
-struct SweepWorker<'a> {
-    bm: &'a BlockMatrix,
+struct SweepWorker<'a, S: Scalar> {
+    bm: &'a BlockMatrix<S>,
     owners: &'a OwnerMap,
-    b: &'a [f64],
+    b: &'a [S],
     sweep: Sweep,
     contributors: &'a [Vec<usize>],
     triggers: &'a [Vec<usize>],
-    mailbox: Mailbox,
+    mailbox: Mailbox<S>,
 }
 
-impl SweepWorker<'_> {
+impl<S: Scalar> SweepWorker<'_, S> {
     fn diag_owner(&self, k: usize) -> usize {
         self.owners.owner_of(self.bm.block_id(k, k).expect("diagonal block exists"))
     }
 
-    fn run(mut self) -> Vec<(usize, Vec<f64>)> {
+    fn run(mut self) -> Vec<(usize, Vec<S>)> {
         let rank = self.mailbox.rank();
         let nblk = self.bm.nblk();
         let nb = self.bm.nb();
 
         // Owned diagonal segments: accumulators seeded with b, plus the
         // outstanding-contribution counters (the solve's sync-free array).
-        let mut acc: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut acc: HashMap<usize, Vec<S>> = HashMap::new();
         let mut pending: HashMap<usize, usize> = HashMap::new();
         let mut remaining_solves = 0usize;
         // Off-diagonal work this rank owes others: one partial per owned
@@ -166,7 +167,7 @@ impl SweepWorker<'_> {
                 col.iter().filter(|&&id| self.owners.owner_of(id) == rank).count();
         }
 
-        let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut out: Vec<(usize, Vec<S>)> = Vec::new();
         // Segments whose counters hit zero solve immediately (leaves).
         let ready: Vec<usize> = pending.iter().filter(|&(_, &c)| c == 0).map(|(&k, _)| k).collect();
         for k in ready {
@@ -234,7 +235,7 @@ impl SweepWorker<'_> {
     /// Self-deliveries take the mailbox loopback path like everything
     /// else — the per-edge wire-model charge must not depend on the
     /// owner map placing source and target on the same rank.
-    fn deliver_partial(&mut self, i: usize, source_col: usize, partial: Vec<f64>) {
+    fn deliver_partial(&mut self, i: usize, source_col: usize, partial: Vec<S>) {
         let dest = self.diag_owner(i);
         self.mailbox.send(
             dest,
@@ -246,8 +247,8 @@ impl SweepWorker<'_> {
     fn solve_segment(
         &mut self,
         k: usize,
-        acc: &mut HashMap<usize, Vec<f64>>,
-        out: &mut Vec<(usize, Vec<f64>)>,
+        acc: &mut HashMap<usize, Vec<S>>,
+        out: &mut Vec<(usize, Vec<S>)>,
     ) {
         let rank = self.mailbox.rank();
         let mut seg = acc.remove(&k).expect("segment accumulator");
@@ -267,7 +268,7 @@ impl SweepWorker<'_> {
         if !dests.is_empty() {
             // One shared payload for the whole broadcast (self-sends
             // included); each edge still pays full wire-model freight.
-            let payload: Arc<[f64]> = seg.as_slice().into();
+            let payload: Arc<[S]> = seg.as_slice().into();
             for dest in dests {
                 self.mailbox.send(
                     dest,
@@ -280,10 +281,10 @@ impl SweepWorker<'_> {
 }
 
 /// `blk · seg` (dense result over the block's rows).
-fn block_times_segment(blk: &pangulu_sparse::CscMatrix, seg: &[f64]) -> Vec<f64> {
-    let mut out = vec![0.0f64; blk.nrows()];
+fn block_times_segment<S: Scalar>(blk: &pangulu_sparse::CscMatrix<S>, seg: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; blk.nrows()];
     for (c, &xc) in seg.iter().enumerate().take(blk.ncols()) {
-        if xc == 0.0 {
+        if xc == S::ZERO {
             continue;
         }
         let (rows, vals) = blk.col(c);
@@ -295,9 +296,9 @@ fn block_times_segment(blk: &pangulu_sparse::CscMatrix, seg: &[f64]) -> Vec<f64>
 }
 
 /// `acc -= partial`.
-fn apply_partial(acc: &mut [f64], partial: &[f64]) {
+fn apply_partial<S: Scalar>(acc: &mut [S], partial: &[S]) {
     for (a, p) in acc.iter_mut().zip(partial) {
-        *a -= p;
+        *a -= *p;
     }
 }
 

@@ -45,4 +45,4 @@ pub mod trisolve;
 pub use block::BlockMatrix;
 pub use dist::SchedulePolicy;
 pub use layout::OwnerMap;
-pub use solver::{Solver, SolverBuilder, SolverOptions, SolverPlan};
+pub use solver::{Precision, Solver, SolverBuilder, SolverOptions, SolverPlan};

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use pangulu_kernels::{
     flops, getrf, plan, select::KernelSelector, ssssm, trsm, KernelPlans, KernelScratch,
 };
+use pangulu_sparse::Scalar;
 
 use crate::block::BlockMatrix;
 use crate::task::TaskGraph;
@@ -57,8 +58,8 @@ impl NumericStats {
 /// right-looking sweep over elimination steps. `pivot_floor` is the static
 /// pivot perturbation threshold (0 disables perturbation and panics on a
 /// zero pivot).
-pub fn factor_sequential(
-    bm: &mut BlockMatrix,
+pub fn factor_sequential<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
@@ -72,8 +73,8 @@ pub fn factor_sequential(
 /// **Schur complement** `S = A22 − A21·A11⁻¹·A12` — the building block of
 /// domain-decomposition and partial-elimination workflows. Use
 /// [`BlockMatrix`]`::trailing_csc(stop_at)` to extract `S`.
-pub fn factor_sequential_partial(
-    bm: &mut BlockMatrix,
+pub fn factor_sequential_partial<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
@@ -137,7 +138,7 @@ pub fn factor_sequential_partial(
 /// GETRF slots by elimination step, the panel solves by target block
 /// id, SSSSM by task-graph update index — the slot keying every
 /// executor in this crate uses.
-pub fn empty_plans(bm: &BlockMatrix, tg: &TaskGraph) -> KernelPlans {
+pub fn empty_plans<S: Scalar>(bm: &BlockMatrix<S>, tg: &TaskGraph) -> KernelPlans<S> {
     KernelPlans::with_slots(bm.nblk(), bm.num_blocks(), bm.num_blocks(), tg.ssssm.len())
 }
 
@@ -147,12 +148,12 @@ pub fn empty_plans(bm: &BlockMatrix, tg: &TaskGraph) -> KernelPlans {
 /// built lazily in `plans` on first touch and reused verbatim on later
 /// calls (the steady state of `Solver::refactor`). Results are bitwise
 /// identical to the unplanned sweep.
-pub fn factor_sequential_planned(
-    bm: &mut BlockMatrix,
+pub fn factor_sequential_planned<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
-    plans: &mut KernelPlans,
+    plans: &mut KernelPlans<S>,
 ) -> NumericStats {
     let mut stats = NumericStats { flops: tg.total_flops(), ..Default::default() };
     let mut scratch = KernelScratch::with_capacity(bm.nb());
@@ -166,7 +167,7 @@ pub fn factor_sequential_planned(
         let t0 = Instant::now();
         let nnz = bm.block(diag_id).nnz();
         let blk = bm.block_mut(diag_id);
-        stats.perturbed_pivots += if selector.planned_getrf(nnz) {
+        stats.perturbed_pivots += if selector.planned_getrf(nnz) && plans.fits(nnz) {
             let (p, arena) = plans.getrf_for(k, blk);
             plan::getrf_planned(blk, p, arena, pivot_floor)
         } else {
@@ -180,7 +181,7 @@ pub fn factor_sequential_planned(
             let b_id = bm.block_id(k, j).expect("U panel exists");
             let nnz = bm.block(b_id).nnz();
             let (diag, b) = bm.block_pair_mut(diag_id, b_id);
-            if selector.planned_gessm(nnz) {
+            if selector.planned_gessm(nnz) && plans.fits(nnz) && plans.fits(diag.nnz()) {
                 let (p, arena) = plans.gessm_for(b_id, diag, b);
                 plan::gessm_planned(diag, b, p, arena);
             } else {
@@ -192,7 +193,7 @@ pub fn factor_sequential_planned(
             let b_id = bm.block_id(i, k).expect("L panel exists");
             let nnz = bm.block(b_id).nnz();
             let (diag, b) = bm.block_pair_mut(diag_id, b_id);
-            if selector.planned_tstrf(nnz) {
+            if selector.planned_tstrf(nnz) && plans.fits(nnz) && plans.fits(diag.nnz()) {
                 let (p, arena) = plans.tstrf_for(b_id, diag, b);
                 plan::tstrf_planned(diag, b, p, arena);
             } else {
@@ -213,7 +214,7 @@ pub fn factor_sequential_planned(
                 let fl = flops::ssssm_flops(bm.block(a_id), bm.block(b_id));
                 debug_assert_eq!(tg.ssssm[upd_idx], (i, j, k), "update cursor out of sync");
                 let (a, b, c) = bm.ssssm_operands(a_id, b_id, c_id);
-                if selector.planned_ssssm(fl) {
+                if selector.planned_ssssm(fl) && plans.fits(c.nnz()) {
                     let (p, arena) = plans.ssssm_for(upd_idx, a, b, c);
                     plan::ssssm_planned(a, b, c, p, arena);
                 } else {
@@ -234,8 +235,8 @@ pub fn factor_sequential_planned(
 /// before its panel ops. Same kernels, same FLOPs, different locality and
 /// dependency shape — the classic design alternative the regular 2-D
 /// layout makes easy to express, provided here for ablation studies.
-pub fn factor_left_looking(
-    bm: &mut BlockMatrix,
+pub fn factor_left_looking<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,

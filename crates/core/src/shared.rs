@@ -21,7 +21,7 @@ use std::sync::Mutex;
 
 use pangulu_kernels::select::KernelSelector;
 use pangulu_kernels::{flops, getrf, plan, ssssm, trsm, KernelPlans, KernelScratch};
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 use crate::block::BlockMatrix;
 use crate::seq::NumericStats;
@@ -60,22 +60,22 @@ struct BlockState {
 /// Safety: writers hold the block's `claimed` latch; readers only touch
 /// blocks whose `finished` flag they observed with `Acquire`, which
 /// happens-after the writer's final store.
-struct SharedBlocks {
-    ptr: *mut CscMatrix,
+struct SharedBlocks<S> {
+    ptr: *mut CscMatrix<S>,
 }
 
-unsafe impl Send for SharedBlocks {}
-unsafe impl Sync for SharedBlocks {}
+unsafe impl<S: Scalar> Send for SharedBlocks<S> {}
+unsafe impl<S: Scalar> Sync for SharedBlocks<S> {}
 
-impl SharedBlocks {
+impl<S: Scalar> SharedBlocks<S> {
     #[inline]
-    unsafe fn get(&self, id: usize) -> &CscMatrix {
+    unsafe fn get(&self, id: usize) -> &CscMatrix<S> {
         &*self.ptr.add(id)
     }
 
     #[inline]
     #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, id: usize) -> &mut CscMatrix {
+    unsafe fn get_mut(&self, id: usize) -> &mut CscMatrix<S> {
         &mut *self.ptr.add(id)
     }
 }
@@ -84,8 +84,8 @@ impl SharedBlocks {
 /// Deterministic results are **not** guaranteed bit-for-bit when several
 /// SSSSM updates race for the same target (floating-point addition is
 /// not associative); tests use tolerances accordingly.
-pub fn factor_shared(
-    bm: &mut BlockMatrix,
+pub fn factor_shared<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
@@ -98,8 +98,8 @@ pub fn factor_shared(
 /// pool (fully built before the threads start, so no locking is needed)
 /// plus the `(i, j, k) → task-graph update index` map that keys SSSSM
 /// plan slots.
-struct PlannedCtx<'a> {
-    plans: &'a KernelPlans,
+struct PlannedCtx<'a, S: Scalar> {
+    plans: &'a KernelPlans<S>,
     ssssm_index: HashMap<(usize, usize, usize), usize>,
 }
 
@@ -109,13 +109,13 @@ struct PlannedCtx<'a> {
 /// (single-threaded, from patterns only) before the workers start, so
 /// the pool is immutable during execution and reused verbatim on later
 /// calls.
-pub fn factor_shared_planned(
-    bm: &mut BlockMatrix,
+pub fn factor_shared_planned<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
     threads: usize,
-    plans: &mut KernelPlans,
+    plans: &mut KernelPlans<S>,
 ) -> NumericStats {
     build_all_plans(bm, tg, selector, plans);
     let ctx = PlannedCtx {
@@ -132,26 +132,32 @@ pub fn factor_shared_planned(
 /// the dense-addressed variants) get no plan, keeping the pool's memory
 /// proportional to the planned working set — the same plans the
 /// distributed executor would build lazily.
-fn build_all_plans(
-    bm: &BlockMatrix,
+fn build_all_plans<S: Scalar>(
+    bm: &BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
-    plans: &mut KernelPlans,
+    plans: &mut KernelPlans<S>,
 ) {
     for k in 0..bm.nblk() {
         let diag_id = bm.block_id(k, k).expect("diag exists");
-        if selector.planned_getrf(bm.block(diag_id).nnz()) {
+        if selector.planned_getrf(bm.block(diag_id).nnz()) && plans.fits(bm.block(diag_id).nnz()) {
             plans.getrf_for(k, bm.block(diag_id));
         }
         for &j in &tg.u_panels[k] {
             let id = bm.block_id(k, j).expect("panel exists");
-            if selector.planned_gessm(bm.block(id).nnz()) {
+            if selector.planned_gessm(bm.block(id).nnz())
+                && plans.fits(bm.block(id).nnz())
+                && plans.fits(bm.block(diag_id).nnz())
+            {
                 plans.gessm_for(id, bm.block(diag_id), bm.block(id));
             }
         }
         for &i in &tg.l_panels[k] {
             let id = bm.block_id(i, k).expect("panel exists");
-            if selector.planned_tstrf(bm.block(id).nnz()) {
+            if selector.planned_tstrf(bm.block(id).nnz())
+                && plans.fits(bm.block(id).nnz())
+                && plans.fits(bm.block(diag_id).nnz())
+            {
                 plans.tstrf_for(id, bm.block(diag_id), bm.block(id));
             }
         }
@@ -161,18 +167,20 @@ fn build_all_plans(
         let b_id = bm.block_id(k, j).expect("U operand");
         if selector.planned_ssssm(flops::ssssm_flops(bm.block(a_id), bm.block(b_id))) {
             let c_id = bm.block_id(i, j).expect("target");
-            plans.ssssm_for(n, bm.block(a_id), bm.block(b_id), bm.block(c_id));
+            if plans.fits(bm.block(c_id).nnz()) {
+                plans.ssssm_for(n, bm.block(a_id), bm.block(b_id), bm.block(c_id));
+            }
         }
     }
 }
 
-fn factor_shared_inner(
-    bm: &mut BlockMatrix,
+fn factor_shared_inner<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
     threads: usize,
-    planned: Option<&PlannedCtx<'_>>,
+    planned: Option<&PlannedCtx<'_, S>>,
 ) -> NumericStats {
     let threads = threads.max(1);
     let nblk = bm.nblk();
@@ -210,7 +218,7 @@ fn factor_shared_inner(
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                let mut scratch = KernelScratch::with_capacity(nb);
+                let mut scratch = KernelScratch::<S>::with_capacity(nb);
                 loop {
                     if remaining.load(Ordering::Acquire) == 0 {
                         break;
@@ -253,9 +261,9 @@ fn factor_shared_inner(
     }
 }
 
-fn blocks_ptr(bm: &mut BlockMatrix) -> *mut CscMatrix {
+fn blocks_ptr<S: Scalar>(bm: &mut BlockMatrix<S>) -> *mut CscMatrix<S> {
     // The block store is a dense slice; ids index it directly.
-    bm.block_mut(0) as *mut CscMatrix
+    bm.block_mut(0) as *mut CscMatrix<S>
 }
 
 /// Spins until the block's exclusive latch is taken.
@@ -290,20 +298,20 @@ fn wait_finished(state: &BlockState) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn execute_shared(
-    bm: &BlockMatrix,
+fn execute_shared<S: Scalar>(
+    bm: &BlockMatrix<S>,
     tg: &TaskGraph,
     selector: &KernelSelector,
     pivot_floor: f64,
-    shared: &SharedBlocks,
+    shared: &SharedBlocks<S>,
     state: &[BlockState],
     diag_ready: &[AtomicBool],
     queue: &Mutex<Sched>,
     remaining: &AtomicUsize,
     perturbed: &AtomicUsize,
     task: Task,
-    scratch: &mut KernelScratch,
-    planned: Option<&PlannedCtx<'_>>,
+    scratch: &mut KernelScratch<S>,
+    planned: Option<&PlannedCtx<'_, S>>,
 ) {
     match task {
         Task::Getrf { k } => {
@@ -431,8 +439,8 @@ fn execute_shared(
 /// Schedules SSSSM tasks unlocked by the completion of `U(k, j)`: each
 /// becomes runnable once both panel operands have published; the second
 /// finisher wins the claim under the queue lock and pushes.
-fn schedule_ssssm_for_u(
-    bm: &BlockMatrix,
+fn schedule_ssssm_for_u<S: Scalar>(
+    bm: &BlockMatrix<S>,
     tg: &TaskGraph,
     state: &[BlockState],
     queue: &Mutex<Sched>,
@@ -452,8 +460,8 @@ fn schedule_ssssm_for_u(
 }
 
 /// Schedules SSSSM tasks unlocked by the completion of `L(i, k)`.
-fn schedule_ssssm_for_l(
-    bm: &BlockMatrix,
+fn schedule_ssssm_for_l<S: Scalar>(
+    bm: &BlockMatrix<S>,
     tg: &TaskGraph,
     state: &[BlockState],
     queue: &Mutex<Sched>,

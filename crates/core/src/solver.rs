@@ -11,15 +11,16 @@
 //! kernel selection and pivoting; [`Solver::solve`] then answers any
 //! number of right-hand sides against the factorisation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pangulu_comm::{ProcessGrid, TransportKind};
 use pangulu_kernels::select::{KernelSelector, Thresholds};
 use pangulu_kernels::{KernelPlans, PlanStats};
-use pangulu_metrics::{PhaseCounters, RunReport};
+use pangulu_metrics::{PhaseCounters, PrecisionCounters, RunReport};
 use pangulu_reorder::{reorder_for_lu, FillReducing, Reordering};
-use pangulu_sparse::{CscMatrix, Result, SparseError};
+use pangulu_sparse::{CscMatrix, Result, Scalar, SparseError};
 use pangulu_symbolic::{stats::SymbolicStats, symbolic_fill};
 
 use crate::block::BlockMatrix;
@@ -34,6 +35,32 @@ use crate::trisolve::{
     backward_substitute, backward_substitute_transpose, forward_substitute,
     forward_substitute_transpose,
 };
+
+/// Numeric precision of the factorisation (see `docs/PRECISION.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Factor and solve entirely in f64 — the reference path.
+    #[default]
+    F64,
+    /// Factor in f32 against the unchanged f64 analysis (reordering,
+    /// symbolic fill, block layout, priorities are all pattern-only),
+    /// halving wire payloads, scatter traffic and plan arenas; recover
+    /// f64 accuracy at solve time with iterative refinement. A
+    /// factor-time probe falls back to f64 transparently when the f32
+    /// factors cannot be refined (counted in
+    /// [`PrecisionCounters::precision_fallbacks`]).
+    MixedF32,
+}
+
+/// Inner-residual target of the mixed refinement loop (relative ∞-norm
+/// against the scaled permuted system): effectively "refine to
+/// roundoff"; the stagnation check usually stops the loop first.
+const REFINE_TOL: f64 = 1e-14;
+/// Correction cap per refinement loop.
+const MAX_REFINE_ITERS: usize = 40;
+/// Factor-time probe gate: a mixed factorisation whose probe solve
+/// cannot refine below this inner residual falls back to f64.
+const PROBE_GATE: f64 = 1e-11;
 
 /// Tunable options of the pipeline.
 #[derive(Debug, Clone)]
@@ -79,6 +106,9 @@ pub struct SolverOptions {
     /// channels by default). Factors, solutions and every deterministic
     /// counter are backend-invariant.
     pub transport: TransportKind,
+    /// Numeric precision of the factorisation: full f64, or the mixed
+    /// f32-factor/refined-solve path.
+    pub precision: Precision,
 }
 
 impl Default for SolverOptions {
@@ -98,6 +128,7 @@ impl Default for SolverOptions {
             shared_threads: None,
             use_plans: true,
             transport: TransportKind::default(),
+            precision: Precision::default(),
         }
     }
 }
@@ -200,6 +231,14 @@ impl SolverBuilder {
         self
     }
 
+    /// Selects the numeric precision: [`Precision::F64`] (default) or
+    /// the mixed f32-factor / iteratively-refined-solve path
+    /// [`Precision::MixedF32`].
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.opts.precision = p;
+        self
+    }
+
     /// Runs the full pipeline on `a`.
     pub fn build(self, a: &CscMatrix) -> Result<Solver> {
         Solver::factor_with(a, self.opts)
@@ -237,6 +276,10 @@ pub struct FactorStats {
     /// how often each pipeline phase actually ran versus was served from
     /// the cached analysis (see [`Solver::refactor`]).
     pub phases: PhaseCounters,
+    /// Mixed-precision factor-time accounting (kept mixed factors,
+    /// fallbacks, probe refinement iterations); the solve-time
+    /// refinement work is folded in by [`Solver::precision_counters`].
+    pub precision: PrecisionCounters,
 }
 
 impl FactorStats {
@@ -288,6 +331,272 @@ impl SolverPlan {
     }
 }
 
+/// The f32 side of a mixed-precision solver. The public
+/// [`Solver::factored`] always holds the exact widened f64 image of
+/// these factors, so reports, determinants and bitwise comparisons read
+/// the same numbers the refinement loop solves against.
+struct MixedState {
+    /// The live f32 factors.
+    factored32: BlockMatrix<f32>,
+    /// Multi-rank executor state of the f32 runs, cached for
+    /// [`Solver::refactor`] exactly like the f64 workspace.
+    workspace32: Option<NumericWorkspace<f32>>,
+    /// `u16`-indexed kernel plans of sequential/shared f32 runs.
+    kernel_plans32: Option<KernelPlans<f32>>,
+    /// The scaled permuted input `Pr·Dr·A·Dc·Pcᵀ` in f64 (fill slots
+    /// zero), kept so the refinement loop can form exact f64 residuals
+    /// in the inner domain; its values are refreshed in place on every
+    /// refactorisation through `csc_map`.
+    scaled_a: CscMatrix,
+    /// Pattern-only map from block entries to `scaled_a` value slots
+    /// (see [`BlockMatrix::csc_value_map`]), built once.
+    csc_map: Vec<usize>,
+    /// Refinement iterations across solves ([`Solver::solve`] takes
+    /// `&self`, hence atomics).
+    refine_iters: AtomicU64,
+    /// Solves that ran the refinement loop.
+    refined_solves: AtomicU64,
+}
+
+/// What one numeric-phase run produced, whichever executor ran it.
+#[derive(Default)]
+struct NumericSummary {
+    perturbed_pivots: usize,
+    numeric: Option<NumericStats>,
+    dist: Option<DistStats>,
+    report: Option<RunReport>,
+}
+
+impl NumericSummary {
+    fn apply(self, stats: &mut FactorStats) {
+        stats.perturbed_pivots = self.perturbed_pivots;
+        if self.numeric.is_some() {
+            stats.numeric = self.numeric;
+        }
+        if self.dist.is_some() {
+            stats.dist = self.dist;
+        }
+        if self.report.is_some() {
+            stats.report = self.report;
+        }
+    }
+}
+
+/// Runs the numeric phase in scalar type `S` over already scattered
+/// blocks, dispatching to the shared-memory, sequential or distributed
+/// executor exactly as the pipeline always has. A missing multi-rank
+/// workspace is built here and left in `workspace` for reuse.
+#[allow(clippy::too_many_arguments)]
+fn run_numeric<S: Scalar>(
+    bm: &mut BlockMatrix<S>,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    opts: &SolverOptions,
+    workspace: &mut Option<NumericWorkspace<S>>,
+    kernel_plans: &mut Option<KernelPlans<S>>,
+) -> NumericSummary {
+    let mut out = NumericSummary::default();
+    if let Some(threads) = opts.shared_threads {
+        let ns = if let Some(plans) = kernel_plans.as_mut() {
+            crate::shared::factor_shared_planned(bm, tg, selector, pivot_floor, threads, plans)
+        } else {
+            crate::shared::factor_shared(bm, tg, selector, pivot_floor, threads)
+        };
+        out.perturbed_pivots = ns.perturbed_pivots;
+        out.numeric = Some(ns);
+    } else if opts.ranks == 1 {
+        let ns = if let Some(plans) = kernel_plans.as_mut() {
+            factor_sequential_planned(bm, tg, selector, pivot_floor, plans)
+        } else {
+            factor_sequential(bm, tg, selector, pivot_floor)
+        };
+        out.perturbed_pivots = ns.perturbed_pivots;
+        out.numeric = Some(ns);
+    } else {
+        // A fault-free run only stalls on an executor bug; keep the
+        // pre-report panic semantics of `factor_distributed` here.
+        if workspace.is_none() {
+            *workspace = Some(NumericWorkspace::new(bm, tg, owners));
+        }
+        let ws = workspace.as_mut().expect("workspace built above");
+        let run = factor_distributed_cached(
+            bm,
+            tg,
+            owners,
+            selector,
+            pivot_floor,
+            &FactorConfig::with_mode(opts.schedule)
+                .with_plans(opts.use_plans)
+                .with_policy(opts.policy)
+                .with_lookahead(opts.lookahead)
+                .with_transport(opts.transport),
+            ws,
+        )
+        .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
+        out.perturbed_pivots = run.stats.perturbed_pivots;
+        out.dist = Some(run.stats);
+        out.report = Some(run.report);
+    }
+    out
+}
+
+/// Solves `M z = w` against the f32 factors with f64 iterative
+/// refinement: sequential f32 triangular sweeps produce corrections,
+/// exact f64 residuals `w − M z` against the scaled permuted input `m`
+/// gate them. Returns the solution, the final relative ∞-norm residual
+/// and the number of corrections applied. Deterministic for a fixed
+/// `(factors, m, w)`: a correction that fails to reduce the residual is
+/// discarded and the loop stops.
+fn refine_inner(
+    factors32: &BlockMatrix<f32>,
+    m: &CscMatrix,
+    w: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, f64, usize) {
+    let tri32 = |r: &[f64]| -> Vec<f64> {
+        let mut v: Vec<f32> = r.iter().map(|&x| x as f32).collect();
+        forward_substitute(factors32, &mut v);
+        backward_substitute(factors32, &mut v);
+        v.into_iter().map(f64::from).collect()
+    };
+    let norm_w = w.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    if norm_w == 0.0 {
+        return (vec![0.0; w.len()], 0.0, 0);
+    }
+    let residual = |z: &[f64]| -> (Vec<f64>, f64) {
+        let mz = pangulu_sparse::ops::spmv(m, z).expect("analysis fixes the dimensions");
+        let r: Vec<f64> = w.iter().zip(&mz).map(|(p, q)| p - q).collect();
+        let rel = r.iter().fold(0.0f64, |acc, v| acc.max(v.abs())) / norm_w;
+        (r, rel)
+    };
+    let mut z = tri32(w);
+    let (mut r, mut rel) = residual(&z);
+    let mut iters = 0usize;
+    while rel.is_finite() && rel > tol && iters < max_iters {
+        let prev = z.clone();
+        let dz = tri32(&r);
+        for (zi, di) in z.iter_mut().zip(&dz) {
+            *zi += *di;
+        }
+        iters += 1;
+        let (new_r, new_rel) = residual(&z);
+        if new_rel.partial_cmp(&rel) != Some(std::cmp::Ordering::Less) {
+            // Stagnation (or divergence, incl. NaN): keep the best
+            // iterate, bitwise.
+            z = prev;
+            break;
+        }
+        r = new_r;
+        rel = new_rel;
+    }
+    (z, rel, iters)
+}
+
+/// Narrows every stored value of `src` into `dst`'s (same-pattern)
+/// blocks — the refactor-path equivalent of `src.cast::<f32>()` without
+/// the allocation.
+fn narrow_into(src: &BlockMatrix, dst: &mut BlockMatrix<f32>) {
+    for id in 0..src.num_blocks() {
+        let s = src.block(id).values();
+        for (d, v) in dst.block_mut(id).values_mut().iter_mut().zip(s) {
+            *d = *v as f32;
+        }
+    }
+}
+
+/// Widens every stored f32 value of `src` into `dst`'s (same-pattern)
+/// f64 blocks, exactly — the in-place equivalent of `src.cast::<f64>()`.
+fn widen_into(src: &BlockMatrix<f32>, dst: &mut BlockMatrix) {
+    for id in 0..src.num_blocks() {
+        let s = src.block(id).values();
+        for (d, v) in dst.block_mut(id).values_mut().iter_mut().zip(s) {
+            *d = f64::from(*v);
+        }
+    }
+}
+
+/// Attempts the f32 numeric phase of a mixed-precision solver: casts
+/// the scattered f64 blocks down, factors them against the unchanged
+/// analysis, then probes the factors with one deterministic refinement
+/// solve (all-ones right-hand side in the inner domain). On success the
+/// run summary and the live [`MixedState`] come back; a stalled probe
+/// returns `None` and the caller re-factors in f64 — counted, never
+/// surfaced as an error.
+///
+/// `prev` is the retiring state of a refactorisation: its f32 buffers,
+/// residual matrix, value map, executor workspace and kernel plans are
+/// all reused in place, so the steady state allocates nothing.
+#[allow(clippy::too_many_arguments)]
+fn try_factor_mixed(
+    bm: &BlockMatrix,
+    tg: &TaskGraph,
+    owners: &OwnerMap,
+    selector: &KernelSelector,
+    pivot_floor: f64,
+    opts: &SolverOptions,
+    prev: Option<MixedState>,
+    precision: &mut PrecisionCounters,
+) -> Option<(NumericSummary, MixedState)> {
+    let (mut bm32, scaled_a, csc_map, mut workspace32, mut kernel_plans32) = match prev {
+        Some(mut state) => {
+            narrow_into(bm, &mut state.factored32);
+            bm.write_csc_values(&state.csc_map, &mut state.scaled_a);
+            (
+                state.factored32,
+                state.scaled_a,
+                state.csc_map,
+                state.workspace32,
+                state.kernel_plans32,
+            )
+        }
+        None => {
+            let scaled_a = bm.to_csc();
+            let csc_map = bm.csc_value_map(&scaled_a);
+            (bm.cast::<f32>(), scaled_a, csc_map, None, None)
+        }
+    };
+    if kernel_plans32.is_none()
+        && opts.use_plans
+        && (opts.ranks == 1 || opts.shared_threads.is_some())
+    {
+        kernel_plans32 = Some(empty_plans(&bm32, tg));
+    }
+    let summary = run_numeric(
+        &mut bm32,
+        tg,
+        owners,
+        selector,
+        pivot_floor,
+        opts,
+        &mut workspace32,
+        &mut kernel_plans32,
+    );
+    let ones = vec![1.0f64; scaled_a.ncols()];
+    let (_, rel, iters) = refine_inner(&bm32, &scaled_a, &ones, REFINE_TOL, MAX_REFINE_ITERS);
+    precision.probe_refine_iters += iters as u64;
+    if rel.is_finite() && rel <= PROBE_GATE {
+        precision.mixed_factors += 1;
+        Some((
+            summary,
+            MixedState {
+                factored32: bm32,
+                workspace32,
+                kernel_plans32,
+                scaled_a,
+                csc_map,
+                refine_iters: AtomicU64::new(0),
+                refined_solves: AtomicU64::new(0),
+            },
+        ))
+    } else {
+        precision.precision_fallbacks += 1;
+        None
+    }
+}
+
 /// A factored system ready to solve right-hand sides.
 pub struct Solver {
     opts: SolverOptions,
@@ -305,6 +614,9 @@ pub struct Solver {
     /// rank states). `None` when [`SolverOptions::use_plans`] is off or
     /// the solver is multi-rank.
     kernel_plans: Option<KernelPlans>,
+    /// The live f32 side of a mixed-precision solver; `None` in f64 mode
+    /// and after a transparent fallback.
+    mixed: Option<MixedState>,
     distributed_solve: bool,
     stats: FactorStats,
     n: usize,
@@ -369,64 +681,57 @@ impl Solver {
         let pivot_floor = opts.pivot_floor_rel * reordering.matrix.norm_max().max(1.0);
         let t = Instant::now();
         let mut workspace = None;
-        let mut kernel_plans = (opts.use_plans
-            && (opts.ranks == 1 || opts.shared_threads.is_some()))
-        .then(|| empty_plans(&bm, &tg));
-        if let Some(threads) = opts.shared_threads {
-            let ns = if let Some(plans) = kernel_plans.as_mut() {
-                crate::shared::factor_shared_planned(
-                    &mut bm,
-                    &tg,
-                    &selector,
-                    pivot_floor,
-                    threads,
-                    plans,
-                )
-            } else {
-                crate::shared::factor_shared(&mut bm, &tg, &selector, pivot_floor, threads)
-            };
-            stats.perturbed_pivots = ns.perturbed_pivots;
-            stats.numeric = Some(ns);
-        } else if opts.ranks == 1 {
-            let ns = if let Some(plans) = kernel_plans.as_mut() {
-                factor_sequential_planned(&mut bm, &tg, &selector, pivot_floor, plans)
-            } else {
-                factor_sequential(&mut bm, &tg, &selector, pivot_floor)
-            };
-            stats.perturbed_pivots = ns.perturbed_pivots;
-            stats.numeric = Some(ns);
-        } else {
-            // A fault-free run only stalls on an executor bug; keep the
-            // pre-report panic semantics of `factor_distributed` here.
-            // The per-rank workspace is kept for [`Solver::refactor`].
-            let mut ws = NumericWorkspace::new(&bm, &tg, &owners);
-            let run = factor_distributed_cached(
+        let mut kernel_plans = None;
+        let mut mixed = None;
+        if opts.precision == Precision::MixedF32 {
+            if let Some((summary, state)) = try_factor_mixed(
+                &bm,
+                &tg,
+                &owners,
+                &selector,
+                pivot_floor,
+                &opts,
+                None,
+                &mut stats.precision,
+            ) {
+                // Publish the exact widened f64 image of the f32 factors
+                // so reports, determinants and bitwise comparisons read
+                // the same numbers the refinement loop solves against.
+                bm = state.factored32.cast::<f64>();
+                summary.apply(&mut stats);
+                mixed = Some(state);
+            }
+        }
+        if mixed.is_none() {
+            // f64 path — requested, or the mixed probe fell back to it.
+            kernel_plans = (opts.use_plans && (opts.ranks == 1 || opts.shared_threads.is_some()))
+                .then(|| empty_plans(&bm, &tg));
+            let summary = run_numeric(
                 &mut bm,
                 &tg,
                 &owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(opts.schedule)
-                    .with_plans(opts.use_plans)
-                    .with_policy(opts.policy)
-                    .with_lookahead(opts.lookahead)
-                    .with_transport(opts.transport),
-                &mut ws,
-            )
-            .unwrap_or_else(|e| panic!("distributed factorisation failed: {e}"));
-            stats.perturbed_pivots = run.stats.perturbed_pivots;
-            stats.dist = Some(run.stats);
-            stats.report = Some(run.report);
-            workspace = Some(ws);
+                &opts,
+                &mut workspace,
+                &mut kernel_plans,
+            );
+            summary.apply(&mut stats);
+        }
+        if let Some(report) = stats.report.as_mut() {
+            report.precision_fallbacks = stats.precision.precision_fallbacks;
         }
         stats.numeric_time = t.elapsed();
 
         // The analysis cache: pattern fingerprint plus the critical-path
         // priorities (shared with the workspace's copy on multi-rank
         // solvers — one allocation, never recomputed by `refactor`).
-        let priorities = match &workspace {
-            Some(ws) => ws.priorities(),
-            None => Arc::new(TaskPriorities::compute(&bm, &tg)),
+        let priorities = if let Some(ws) = &workspace {
+            ws.priorities()
+        } else if let Some(ws32) = mixed.as_ref().and_then(|m| m.workspace32.as_ref()) {
+            ws32.priorities()
+        } else {
+            Arc::new(TaskPriorities::compute(&bm, &tg))
         };
         let plan = SolverPlan {
             n,
@@ -446,6 +751,7 @@ impl Solver {
             plan,
             workspace,
             kernel_plans,
+            mixed,
             stats,
             n,
         })
@@ -474,6 +780,43 @@ impl Solver {
     /// The cached pattern analysis (see [`Solver::refactor`]).
     pub fn plan(&self) -> &SolverPlan {
         &self.plan
+    }
+
+    /// The numeric precision the solver was configured for.
+    pub fn precision(&self) -> Precision {
+        self.opts.precision
+    }
+
+    /// The precision the factors actually hold: [`Precision::MixedF32`]
+    /// while the f32 factors are live, [`Precision::F64`] otherwise —
+    /// including after a transparent fallback (see
+    /// [`Solver::precision_counters`]).
+    pub fn effective_precision(&self) -> Precision {
+        if self.mixed.is_some() {
+            Precision::MixedF32
+        } else {
+            Precision::F64
+        }
+    }
+
+    /// The live f32 factors of a mixed-precision solver (`None` in f64
+    /// mode and after a fallback). [`Solver::factored`] always holds
+    /// their exact widened f64 image, so bitwise factor comparisons can
+    /// read either.
+    pub fn factored32(&self) -> Option<&BlockMatrix<f32>> {
+        self.mixed.as_ref().map(|m| &m.factored32)
+    }
+
+    /// Mixed-precision accounting over the solver's lifetime: the
+    /// factor-time outcomes from [`FactorStats::precision`] plus the
+    /// refinement work of every solve so far.
+    pub fn precision_counters(&self) -> PrecisionCounters {
+        let mut c = self.stats.precision;
+        if let Some(m) = &self.mixed {
+            c.refine_iters += m.refine_iters.load(Ordering::Relaxed);
+            c.refined_solves += m.refined_solves.load(Ordering::Relaxed);
+        }
+        c
     }
 
     /// Memory and build accounting of the kernel index plans:
@@ -597,60 +940,66 @@ impl Solver {
         };
         let pivot_floor = self.opts.pivot_floor_rel * norm.max(1.0);
         let t = Instant::now();
-        if let Some(threads) = self.opts.shared_threads {
-            let ns = if let Some(plans) = self.kernel_plans.as_mut() {
-                crate::shared::factor_shared_planned(
-                    &mut self.factored,
-                    &self.tg,
-                    &selector,
-                    pivot_floor,
-                    threads,
-                    plans,
-                )
-            } else {
-                crate::shared::factor_shared(
-                    &mut self.factored,
-                    &self.tg,
-                    &selector,
-                    pivot_floor,
-                    threads,
-                )
-            };
-            self.stats.perturbed_pivots = ns.perturbed_pivots;
-            self.stats.numeric = Some(ns);
-        } else if self.opts.ranks == 1 {
-            let ns = if let Some(plans) = self.kernel_plans.as_mut() {
-                factor_sequential_planned(
-                    &mut self.factored,
-                    &self.tg,
-                    &selector,
-                    pivot_floor,
-                    plans,
-                )
-            } else {
-                factor_sequential(&mut self.factored, &self.tg, &selector, pivot_floor)
-            };
-            self.stats.perturbed_pivots = ns.perturbed_pivots;
-            self.stats.numeric = Some(ns);
+        if let Some(state) = self.mixed.take() {
+            // Fold the retiring state's solve counters into the lifetime
+            // totals before its atomics drop; the f32 executor state and
+            // plans carry over to the new factorisation.
+            self.stats.precision.refine_iters += state.refine_iters.load(Ordering::Relaxed);
+            self.stats.precision.refined_solves += state.refined_solves.load(Ordering::Relaxed);
+            match try_factor_mixed(
+                &self.factored,
+                &self.tg,
+                &self.owners,
+                &selector,
+                pivot_floor,
+                &self.opts,
+                Some(state),
+                &mut self.stats.precision,
+            ) {
+                Some((summary, new_state)) => {
+                    widen_into(&new_state.factored32, &mut self.factored);
+                    summary.apply(&mut self.stats);
+                    self.mixed = Some(new_state);
+                }
+                None => {
+                    // Transparent fallback: this and every future numeric
+                    // phase runs in f64. Sequential/shared solvers need
+                    // f64 plans and multi-rank ones an f64 workspace;
+                    // both are built once here and cached from then on.
+                    if self.opts.use_plans
+                        && (self.opts.ranks == 1 || self.opts.shared_threads.is_some())
+                        && self.kernel_plans.is_none()
+                    {
+                        self.kernel_plans = Some(empty_plans(&self.factored, &self.tg));
+                    }
+                    let summary = run_numeric(
+                        &mut self.factored,
+                        &self.tg,
+                        &self.owners,
+                        &selector,
+                        pivot_floor,
+                        &self.opts,
+                        &mut self.workspace,
+                        &mut self.kernel_plans,
+                    );
+                    summary.apply(&mut self.stats);
+                }
+            }
         } else {
-            let ws = self.workspace.as_mut().expect("multi-rank solver retains its workspace");
-            let run = factor_distributed_cached(
+            let summary = run_numeric(
                 &mut self.factored,
                 &self.tg,
                 &self.owners,
                 &selector,
                 pivot_floor,
-                &FactorConfig::with_mode(self.opts.schedule)
-                    .with_plans(self.opts.use_plans)
-                    .with_policy(self.opts.policy)
-                    .with_lookahead(self.opts.lookahead)
-                    .with_transport(self.opts.transport),
-                ws,
-            )
-            .unwrap_or_else(|e| panic!("distributed refactorisation failed: {e}"));
-            self.stats.perturbed_pivots = run.stats.perturbed_pivots;
-            self.stats.dist = Some(run.stats);
-            self.stats.report = Some(run.report);
+                &self.opts,
+                &mut self.workspace,
+                &mut self.kernel_plans,
+            );
+            summary.apply(&mut self.stats);
+        }
+        if let Some(report) = self.stats.report.as_mut() {
+            report.precision_fallbacks = self.stats.precision.precision_fallbacks;
         }
         self.stats.numeric_time = t.elapsed();
         self.stats.phases.numeric_runs += 1;
@@ -672,7 +1021,16 @@ impl Solver {
         let r = &self.reordering;
         let scaled: Vec<f64> = b.iter().zip(&r.row_scale).map(|(v, d)| v * d).collect();
         let w = r.row_perm.apply_vec(&scaled);
-        let z = if self.distributed_solve {
+        let z = if let Some(mx) = &self.mixed {
+            // Mixed mode: the f32 triangular solve is only a preconditioner;
+            // iterative refinement against the captured f64 scaled system
+            // recovers full f64 accuracy (or stops at the stagnation point).
+            let (z, _rel, iters) =
+                refine_inner(&mx.factored32, &mx.scaled_a, &w, REFINE_TOL, MAX_REFINE_ITERS);
+            mx.refine_iters.fetch_add(iters as u64, Ordering::Relaxed);
+            mx.refined_solves.fetch_add(1, Ordering::Relaxed);
+            z
+        } else if self.distributed_solve {
             crate::dist_solve::solve_distributed_on(
                 &self.factored,
                 &self.owners,
@@ -810,6 +1168,12 @@ impl Solver {
     /// Solves the transposed system `Aᵀ x = b` against the same
     /// factorisation (`Aᵀ = (P_rᵀ D_r⁻¹ L U D_c⁻¹ P_c)ᵀ`, so `Uᵀ` then
     /// `Lᵀ` substitution with the transforms mirrored).
+    ///
+    /// In mixed-precision mode this runs against the widened f32 factors
+    /// without iterative refinement, so transpose solves (and hence
+    /// [`Solver::condest`]) carry single-precision accuracy — fine for a
+    /// condition *estimate*, but use [`Precision::F64`] when transposed
+    /// solutions themselves must be accurate.
     pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != self.n {
             return Err(SparseError::DimensionMismatch(format!(
@@ -1127,5 +1491,187 @@ mod tests {
             let x = solver.solve(&b).unwrap();
             assert!(relative_residual(&a, &x, &b).unwrap() < 1e-10);
         }
+    }
+
+    fn factor32_bits(s: &Solver) -> Vec<u32> {
+        let bm = s.factored32().expect("mixed solver holds f32 factors");
+        (0..bm.num_blocks())
+            .flat_map(|id| bm.block(id).values().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    fn hilbert(n: usize) -> CscMatrix {
+        let mut coo = pangulu_sparse::CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                coo.push(i, j, 1.0 / ((i + j + 1) as f64)).unwrap();
+            }
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn mixed_precision_recovers_f64_accuracy() {
+        for (tag, a) in [
+            ("laplacian", gen::laplacian_2d(15, 14)),
+            ("circuit", gen::circuit(300, 21)),
+            ("kkt", gen::kkt(200, 90, 7)),
+        ] {
+            let solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+            assert_eq!(solver.precision(), Precision::MixedF32, "{tag}");
+            assert_eq!(solver.effective_precision(), Precision::MixedF32, "{tag}");
+            let b = gen::test_rhs(a.nrows(), 11);
+            let x = solver.solve(&b).unwrap();
+            assert!(relative_residual(&a, &x, &b).unwrap() < 1e-12, "{tag}");
+            let c = solver.precision_counters();
+            assert_eq!(c.mixed_factors, 1, "{tag}");
+            assert_eq!(c.precision_fallbacks, 0, "{tag}");
+            assert_eq!(c.refined_solves, 1, "{tag}");
+            assert!(c.refine_iters >= 1 && c.refine_iters <= 32, "{tag}: {}", c.refine_iters);
+        }
+    }
+
+    #[test]
+    fn mixed_f32_factors_bitwise_identical_across_modes() {
+        // The determinism contract extends to the f32 factors: sequential,
+        // shared-memory and every multi-rank schedule produce the same bits.
+        let a = gen::circuit(300, 21);
+        let base = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let want = factor32_bits(&base);
+        let variants: Vec<Solver> = vec![
+            Solver::builder().precision(Precision::MixedF32).use_plans(false).build(&a).unwrap(),
+            Solver::builder().precision(Precision::MixedF32).shared_threads(3).build(&a).unwrap(),
+            Solver::builder().precision(Precision::MixedF32).ranks(4).build(&a).unwrap(),
+            Solver::builder()
+                .precision(Precision::MixedF32)
+                .ranks(4)
+                .schedule_policy(SchedulePolicy::PriorityStealing)
+                .lookahead(4)
+                .build(&a)
+                .unwrap(),
+        ];
+        for (i, s) in variants.iter().enumerate() {
+            assert_eq!(factor32_bits(s), want, "variant {i} diverged");
+        }
+    }
+
+    #[test]
+    fn widened_factors_match_f32_image_exactly() {
+        let a = gen::laplacian_2d(12, 12);
+        let solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let f32bm = solver.factored32().unwrap();
+        let f64bm = solver.factored();
+        for id in 0..f64bm.num_blocks() {
+            for (wide, narrow) in f64bm.block(id).values().iter().zip(f32bm.block(id).values()) {
+                assert_eq!(*wide, *narrow as f64, "widening must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_matrix_falls_back_to_f64_transparently() {
+        // Hilbert order 10: κ ≈ 1.6e13, so f32 refinement diverges — the
+        // factor-time probe detects it and re-factors in f64 without
+        // surfacing an error.
+        let a = hilbert(10);
+        let solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        assert_eq!(solver.precision(), Precision::MixedF32);
+        assert_eq!(solver.effective_precision(), Precision::F64);
+        assert!(solver.factored32().is_none());
+        let c = solver.precision_counters();
+        assert_eq!(c.precision_fallbacks, 1);
+        assert_eq!(c.mixed_factors, 0);
+        let x_true = gen::test_rhs(a.nrows(), 3);
+        let b = pangulu_sparse::ops::spmv(&a, &x_true).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(relative_residual(&a, &x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn multirank_fallback_reports_in_run_report() {
+        let a = hilbert(12);
+        let solver = Solver::builder().precision(Precision::MixedF32).ranks(2).build(&a).unwrap();
+        assert_eq!(solver.effective_precision(), Precision::F64);
+        let report = solver.stats().report.as_ref().expect("multi-rank run report");
+        assert_eq!(report.precision_fallbacks, 1);
+        assert_eq!(report.scalar_width, 8, "fallback report comes from the f64 run");
+        let x_true = gen::test_rhs(a.nrows(), 3);
+        let b = pangulu_sparse::ops::spmv(&a, &x_true).unwrap();
+        let x = solver.solve(&b).unwrap();
+        assert!(relative_residual(&a, &x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_multirank_report_has_f32_scalar_width() {
+        let a = gen::circuit(300, 21);
+        let solver = Solver::builder().precision(Precision::MixedF32).ranks(4).build(&a).unwrap();
+        assert_eq!(solver.effective_precision(), Precision::MixedF32);
+        let report = solver.stats().report.as_ref().expect("multi-rank run report");
+        assert_eq!(report.scalar_width, 4);
+        assert_eq!(report.precision_fallbacks, 0);
+    }
+
+    #[test]
+    fn mixed_refactor_stays_mixed_and_folds_counters() {
+        let a = gen::circuit(300, 21);
+        let mut solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let b = gen::test_rhs(a.nrows(), 5);
+        solver.solve(&b).unwrap();
+        let before = solver.precision_counters();
+        assert_eq!(before.refined_solves, 1);
+
+        // Same pattern, scaled values: stays on the f32 path, and the
+        // retiring state's solve counters survive the swap.
+        let scaled = CscMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.col_ptr().to_vec(),
+            a.row_idx().to_vec(),
+            a.values().iter().map(|v| v * 1.5).collect(),
+        )
+        .unwrap();
+        solver.refactor(&scaled).unwrap();
+        assert_eq!(solver.effective_precision(), Precision::MixedF32);
+        let after = solver.precision_counters();
+        assert_eq!(after.mixed_factors, 2);
+        assert_eq!(after.refined_solves, 1, "pre-refactor solves kept");
+        let x = solver.solve(&b).unwrap();
+        assert!(relative_residual(&scaled, &x, &b).unwrap() < 1e-12);
+        assert_eq!(solver.precision_counters().refined_solves, 2);
+    }
+
+    #[test]
+    fn mixed_refactor_matches_fresh_mixed_factorisation() {
+        // Same-values refactor matches a fresh mixed factorisation
+        // bit-for-bit (new values would pick a different MC64 matching,
+        // so only identical values admit the fresh-run reference), and
+        // refactoring away and back restores the original f32 bits.
+        let a = gen::fem_blocked(50, 5, 2, 13);
+        let fresh = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let mut solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        solver.refactor(&a).unwrap();
+        assert_eq!(factor32_bits(&solver), factor32_bits(&fresh));
+
+        let scaled = CscMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.col_ptr().to_vec(),
+            a.row_idx().to_vec(),
+            a.values().iter().map(|v| v * 0.75).collect(),
+        )
+        .unwrap();
+        solver.refactor(&scaled).unwrap();
+        solver.refactor(&a).unwrap();
+        assert_eq!(factor32_bits(&solver), factor32_bits(&fresh), "refactor is not reversible");
+    }
+
+    #[test]
+    fn f64_solver_reports_scalar_width_8() {
+        let a = gen::laplacian_2d(10, 10);
+        let solver = Solver::builder().ranks(2).build(&a).unwrap();
+        let report = solver.stats().report.as_ref().expect("multi-rank run report");
+        assert_eq!(report.scalar_width, 8);
+        assert_eq!(report.precision_fallbacks, 0);
+        assert_eq!(solver.precision_counters(), PrecisionCounters::default());
     }
 }

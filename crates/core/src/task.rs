@@ -108,7 +108,7 @@ pub struct TaskGraph {
 
 impl TaskGraph {
     /// Builds the graph from the block structure. `O(Σ_k |L_k|·|U_k|)`.
-    pub fn build(bm: &BlockMatrix) -> Self {
+    pub fn build<S: pangulu_sparse::Scalar>(bm: &BlockMatrix<S>) -> Self {
         let nblk = bm.nblk();
         let mut l_panels: Vec<Vec<usize>> = vec![Vec::new(); nblk];
         let mut u_panels: Vec<Vec<usize>> = vec![Vec::new(); nblk];
@@ -217,7 +217,12 @@ impl TaskGraph {
 
     /// Destination ranks that must receive the factored diagonal block
     /// `k`: the owners of its row and column panels.
-    pub fn diag_destinations(&self, bm: &BlockMatrix, owners: &OwnerMap, k: usize) -> Vec<usize> {
+    pub fn diag_destinations<S: pangulu_sparse::Scalar>(
+        &self,
+        bm: &BlockMatrix<S>,
+        owners: &OwnerMap,
+        k: usize,
+    ) -> Vec<usize> {
         let mut dests: Vec<usize> = self.l_panels[k]
             .iter()
             .map(|&i| owners.owner_of(bm.block_id(i, k).expect("panel exists")))
@@ -234,9 +239,9 @@ impl TaskGraph {
 
     /// Destination ranks of a finished L-panel block `(i, k)`: the owners
     /// of every SSSSM target `(i, j)` it feeds.
-    pub fn l_panel_destinations(
+    pub fn l_panel_destinations<S: pangulu_sparse::Scalar>(
         &self,
-        bm: &BlockMatrix,
+        bm: &BlockMatrix<S>,
         owners: &OwnerMap,
         i: usize,
         k: usize,
@@ -254,7 +259,11 @@ impl TaskGraph {
     /// Sorted elimination steps of the SSSSM updates targeting block
     /// `cid`, with their indices into [`TaskGraph::ssssm`] — the
     /// ascending-k reduction chain the executor walks with its cursor.
-    pub fn update_chain(&self, bm: &BlockMatrix, cid: usize) -> Vec<(usize, usize)> {
+    pub fn update_chain<S: pangulu_sparse::Scalar>(
+        &self,
+        bm: &BlockMatrix<S>,
+        cid: usize,
+    ) -> Vec<(usize, usize)> {
         let (bi, bj) = bm.block_coords(cid);
         let mut chain: Vec<(usize, usize)> = self
             .ssssm
@@ -268,9 +277,9 @@ impl TaskGraph {
     }
 
     /// Destination ranks of a finished U-panel block `(k, j)`.
-    pub fn u_panel_destinations(
+    pub fn u_panel_destinations<S: pangulu_sparse::Scalar>(
         &self,
-        bm: &BlockMatrix,
+        bm: &BlockMatrix<S>,
         owners: &OwnerMap,
         k: usize,
         j: usize,
@@ -312,7 +321,7 @@ pub struct TaskPriorities {
 
 impl TaskPriorities {
     /// Computes the critical-path lengths for `tg` over `bm`'s structure.
-    pub fn compute(bm: &BlockMatrix, tg: &TaskGraph) -> Self {
+    pub fn compute<S: pangulu_sparse::Scalar>(bm: &BlockMatrix<S>, tg: &TaskGraph) -> Self {
         let nblk = tg.nblk;
         let nblocks = bm.num_blocks();
         let mut panel = vec![0.0f64; nblocks];

@@ -5,13 +5,13 @@
 //! within the diagonal block, then push updates through the panel blocks.
 
 use crate::block::BlockMatrix;
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 /// In-block unit-lower solve on a segment (`L(k,k) y = x` in place).
-pub(crate) fn solve_diag_lower(d: &CscMatrix, x: &mut [f64]) {
+pub(crate) fn solve_diag_lower<S: Scalar>(d: &CscMatrix<S>, x: &mut [S]) {
     for c in 0..d.ncols() {
         let xc = x[c];
-        if xc == 0.0 {
+        if xc == S::ZERO {
             continue;
         }
         let (rows, vals) = d.col(c);
@@ -23,13 +23,13 @@ pub(crate) fn solve_diag_lower(d: &CscMatrix, x: &mut [f64]) {
 }
 
 /// In-block upper solve on a segment (`U(k,k) x = y` in place).
-pub(crate) fn solve_diag_upper(d: &CscMatrix, x: &mut [f64]) {
+pub(crate) fn solve_diag_upper<S: Scalar>(d: &CscMatrix<S>, x: &mut [S]) {
     for c in (0..d.ncols()).rev() {
         let (rows, vals) = d.col(c);
         let dpos = rows.binary_search(&c).expect("diagonal entry stored");
         x[c] /= vals[dpos];
         let xc = x[c];
-        if xc == 0.0 {
+        if xc == S::ZERO {
             continue;
         }
         for (&r, &v) in rows[..dpos].iter().zip(&vals[..dpos]) {
@@ -40,7 +40,7 @@ pub(crate) fn solve_diag_upper(d: &CscMatrix, x: &mut [f64]) {
 
 /// Solves `L y = b` in place, where `L` is the unit-lower factor stored in
 /// the blocked packed form.
-pub fn forward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
+pub fn forward_substitute<S: Scalar>(bm: &BlockMatrix<S>, x: &mut [S]) {
     assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
     let nb = bm.nb();
     for k in 0..bm.nblk() {
@@ -57,7 +57,7 @@ pub fn forward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
             let tgt = bi * nb;
             for c in 0..blk.ncols() {
                 let xc = x[base + c];
-                if xc == 0.0 {
+                if xc == S::ZERO {
                     continue;
                 }
                 let (rows, vals) = blk.col(c);
@@ -71,7 +71,7 @@ pub fn forward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
 
 /// Solves `U x = y` in place, where `U` is the upper factor (diagonal
 /// included) stored in the blocked packed form.
-pub fn backward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
+pub fn backward_substitute<S: Scalar>(bm: &BlockMatrix<S>, x: &mut [S]) {
     assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
     let nb = bm.nb();
     for k in (0..bm.nblk()).rev() {
@@ -88,7 +88,7 @@ pub fn backward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
             let tgt = bi * nb;
             for c in 0..blk.ncols() {
                 let xc = x[base + c];
-                if xc == 0.0 {
+                if xc == S::ZERO {
                     continue;
                 }
                 let (rows, vals) = blk.col(c);
@@ -104,7 +104,7 @@ pub fn backward_substitute(bm: &BlockMatrix, x: &mut [f64]) {
 /// (`Aᵀx = b`). `Uᵀ` is lower triangular with the diagonal of `U`; the
 /// CSC layout makes its rows available as `U`'s columns, so the inner
 /// loops are dot products over stored columns.
-pub fn forward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
+pub fn forward_substitute_transpose<S: Scalar>(bm: &BlockMatrix<S>, x: &mut [S]) {
     assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
     let nb = bm.nb();
     for k in 0..bm.nblk() {
@@ -120,7 +120,7 @@ pub fn forward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
             let src = bj * nb;
             for c in 0..blk.ncols() {
                 let (rows, vals) = blk.col(c);
-                let mut acc = 0.0;
+                let mut acc = S::ZERO;
                 for (&r, &v) in rows.iter().zip(vals) {
                     acc += v * x[src + r];
                 }
@@ -144,7 +144,7 @@ pub fn forward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
 
 /// Solves `Lᵀ x = y` in place — the second half of a transpose solve.
 /// `Lᵀ` is unit upper triangular; rows of `Lᵀ` are `L`'s columns.
-pub fn backward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
+pub fn backward_substitute_transpose<S: Scalar>(bm: &BlockMatrix<S>, x: &mut [S]) {
     assert_eq!(x.len(), bm.n(), "rhs length must match matrix order");
     let nb = bm.nb();
     for k in (0..bm.nblk()).rev() {
@@ -159,7 +159,7 @@ pub fn backward_substitute_transpose(bm: &BlockMatrix, x: &mut [f64]) {
             let src = bi * nb;
             for c in 0..blk.ncols() {
                 let (rows, vals) = blk.col(c);
-                let mut acc = 0.0;
+                let mut acc = S::ZERO;
                 for (&r, &v) in rows.iter().zip(vals) {
                     acc += v * x[src + r];
                 }

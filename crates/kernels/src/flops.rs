@@ -5,7 +5,7 @@
 //! SSSSM FLOP count; the discrete-event scalability simulator also charges
 //! tasks by these numbers. All counts are derived from patterns only.
 
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 /// Fixed per-task launch overhead added to every task weight by the
 /// critical-path priority computation. Keeping it strictly positive
@@ -18,7 +18,7 @@ pub const TASK_LAUNCH_COST: f64 = 1.0;
 /// FLOPs of a GETRF on a diagonal block: for each column `j`, two flops
 /// per (upper entry `k`, strict-lower entry of column `k`) pair, plus one
 /// division per strict-lower entry of `j`.
-pub fn getrf_flops(block: &CscMatrix) -> f64 {
+pub fn getrf_flops<S: Scalar>(block: &CscMatrix<S>) -> f64 {
     let n = block.ncols();
     // Strict-lower counts per column.
     let lcount: Vec<usize> = (0..n)
@@ -43,7 +43,7 @@ pub fn getrf_flops(block: &CscMatrix) -> f64 {
 
 /// FLOPs of a GESSM `L X = B`: two flops per (entry `(k, c)` of `B`,
 /// strict-lower entry of `L(:, k)`) pair.
-pub fn gessm_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
+pub fn gessm_flops<S: Scalar>(diag: &CscMatrix<S>, b: &CscMatrix<S>) -> f64 {
     let n = diag.ncols();
     let lcount: Vec<usize> = (0..n)
         .map(|k| {
@@ -64,7 +64,7 @@ pub fn gessm_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
 /// FLOPs of a TSTRF `X U = B`: two flops per (entry `(r, k)` of `B`,
 /// strict-upper entry of row `k` of `U`) pair, plus one division per entry
 /// of `B`.
-pub fn tstrf_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
+pub fn tstrf_flops<S: Scalar>(diag: &CscMatrix<S>, b: &CscMatrix<S>) -> f64 {
     let n = diag.ncols();
     // Strict-upper counts per *row* of the diagonal block.
     let mut ucount = vec![0usize; n];
@@ -86,7 +86,7 @@ pub fn tstrf_flops(diag: &CscMatrix, b: &CscMatrix) -> f64 {
 /// Walks `B`'s row indices against `A`'s column pointer directly — one
 /// subtraction per touched `B` entry — instead of a per-entry
 /// `col_nnz` accessor call, so the cost is O(entries touched).
-pub fn ssssm_flops(a: &CscMatrix, b: &CscMatrix) -> f64 {
+pub fn ssssm_flops<S: Scalar>(a: &CscMatrix<S>, b: &CscMatrix<S>) -> f64 {
     let a_ptr = a.col_ptr();
     let mut pairs = 0usize;
     for &k in b.row_idx() {
@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn empty_blocks_cost_nothing() {
-        let e = CscMatrix::zeros(4, 4);
+        let e = CscMatrix::<f64>::zeros(4, 4);
         assert_eq!(getrf_flops(&e), 0.0);
         assert_eq!(ssssm_flops(&e, &e), 0.0);
         assert_eq!(gessm_flops(&e, &e), 0.0);

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 use crate::scratch::{find_in_col, scatter_axpy, KernelScratch};
 use crate::GetrfVariant;
@@ -47,10 +47,10 @@ pub(crate) fn team_size() -> usize {
 /// Panics if an update target is missing from the pattern (violation of
 /// the symbolic closure contract) or if a pivot is exactly zero while
 /// `pivot_floor == 0`.
-pub fn getrf(
-    a: &mut CscMatrix,
+pub fn getrf<S: Scalar>(
+    a: &mut CscMatrix<S>,
     variant: GetrfVariant,
-    scratch: &mut KernelScratch,
+    scratch: &mut KernelScratch<S>,
     pivot_floor: f64,
 ) -> usize {
     assert!(a.is_square(), "GETRF requires a square block");
@@ -62,20 +62,26 @@ pub fn getrf(
 }
 
 /// Applies the static-pivot floor; returns 1 if the pivot was perturbed.
+/// The floor itself is always an `f64` magnitude; the replacement value is
+/// rounded into the working precision.
 #[inline]
-pub(crate) fn apply_floor(pivot: &mut f64, pivot_floor: f64) -> usize {
-    if pivot.abs() >= pivot_floor && *pivot != 0.0 {
+pub(crate) fn apply_floor<S: Scalar>(pivot: &mut S, pivot_floor: f64) -> usize {
+    if pivot.abs().to_f64() >= pivot_floor && *pivot != S::ZERO {
         return 0;
     }
     assert!(pivot_floor > 0.0, "zero pivot with no perturbation floor");
-    *pivot = if *pivot < 0.0 { -pivot_floor } else { pivot_floor };
+    *pivot = if *pivot < S::ZERO { S::from_f64(-pivot_floor) } else { S::from_f64(pivot_floor) };
     1
 }
 
 /// `C_V1`: sequential left-looking with a dense working column. Sources
 /// (columns `< j`) live strictly left of the split point, so the borrow
 /// split is allocation-free.
-fn getrf_cv1(a: &mut CscMatrix, scratch: &mut KernelScratch, pivot_floor: f64) -> usize {
+fn getrf_cv1<S: Scalar>(
+    a: &mut CscMatrix<S>,
+    scratch: &mut KernelScratch<S>,
+    pivot_floor: f64,
+) -> usize {
     let n = a.ncols();
     scratch.ensure(n);
     let mut perturbed = 0usize;
@@ -92,7 +98,7 @@ fn getrf_cv1(a: &mut CscMatrix, scratch: &mut KernelScratch, pivot_floor: f64) -
         // Apply updates from each upper entry k < j in ascending order.
         for &k in rows_j.iter().take_while(|&&k| k < j) {
             let ukj = scratch.dense[k];
-            if ukj != 0.0 {
+            if ukj != S::ZERO {
                 let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
                 let rows_k = &row_idx[klo..khi];
                 let vals_k = &left[klo..khi];
@@ -110,7 +116,7 @@ fn getrf_cv1(a: &mut CscMatrix, scratch: &mut KernelScratch, pivot_floor: f64) -
         // Gather back and clear.
         for (off, &i) in rows_j.iter().enumerate() {
             vals_j[off] = scratch.dense[i];
-            scratch.dense[i] = 0.0;
+            scratch.dense[i] = S::ZERO;
         }
     }
     perturbed
@@ -122,16 +128,16 @@ fn getrf_cv1(a: &mut CscMatrix, scratch: &mut KernelScratch, pivot_floor: f64) -
 /// claimed `j`; other workers read it only after `ready[j]` is observed
 /// `true` with `Acquire`, which synchronises with the writer's `Release`
 /// store. The pattern arrays are never written.
-struct SfluShared<'m> {
+struct SfluShared<'m, S> {
     col_ptr: &'m [usize],
     row_idx: &'m [usize],
-    values: *mut f64,
+    values: *mut S,
 }
 
-unsafe impl Send for SfluShared<'_> {}
-unsafe impl Sync for SfluShared<'_> {}
+unsafe impl<S: Scalar> Send for SfluShared<'_, S> {}
+unsafe impl<S: Scalar> Sync for SfluShared<'_, S> {}
 
-impl SfluShared<'_> {
+impl<S: Scalar> SfluShared<'_, S> {
     #[inline]
     fn col_rows(&self, j: usize) -> &[usize] {
         &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
@@ -139,7 +145,7 @@ impl SfluShared<'_> {
 
     /// Immutable view of a *finished* column's values.
     #[inline]
-    unsafe fn col_vals(&self, j: usize) -> &[f64] {
+    unsafe fn col_vals(&self, j: usize) -> &[S] {
         std::slice::from_raw_parts(
             self.values.add(self.col_ptr[j]),
             self.col_ptr[j + 1] - self.col_ptr[j],
@@ -149,7 +155,7 @@ impl SfluShared<'_> {
     /// Mutable view of the claimed column's values.
     #[inline]
     #[allow(clippy::mut_from_ref)]
-    unsafe fn col_vals_mut(&self, j: usize) -> &mut [f64] {
+    unsafe fn col_vals_mut(&self, j: usize) -> &mut [S] {
         std::slice::from_raw_parts_mut(
             self.values.add(self.col_ptr[j]),
             self.col_ptr[j + 1] - self.col_ptr[j],
@@ -162,7 +168,7 @@ impl SfluShared<'_> {
 /// spins (with `hint::spin_loop`) until each upper-pattern dependency
 /// column is published. Deadlock-free: the lowest claimed-unfinished
 /// column only depends on finished columns.
-fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize {
+fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: bool) -> usize {
     let n = a.ncols();
     let workers = team_size().min(n.max(1));
     if workers <= 1 {
@@ -186,7 +192,7 @@ fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                let mut dense = if dense_mapping { vec![0.0f64; n] } else { Vec::new() };
+                let mut dense = if dense_mapping { vec![S::ZERO; n] } else { Vec::new() };
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= n {
@@ -217,7 +223,7 @@ fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize
                             }
                         }
                         let ukj = if dense_mapping { dense[k] } else { vals_j[off_k] };
-                        if ukj == 0.0 {
+                        if ukj == S::ZERO {
                             continue;
                         }
                         let rows_k = shared.col_rows(k);
@@ -245,7 +251,7 @@ fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize
                         }
                         for (off, &i) in rows_j.iter().enumerate() {
                             vals_j[off] = dense[i];
-                            dense[i] = 0.0;
+                            dense[i] = S::ZERO;
                         }
                     } else {
                         vals_j[diag_off] = pivot;
@@ -262,7 +268,7 @@ fn getrf_sflu(a: &mut CscMatrix, pivot_floor: f64, dense_mapping: bool) -> usize
 }
 
 /// Sequential bin-search traversal (the 1-worker body of `G_V1`).
-fn getrf_binsearch_seq(a: &mut CscMatrix, pivot_floor: f64) -> usize {
+fn getrf_binsearch_seq<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64) -> usize {
     let n = a.ncols();
     let mut perturbed = 0usize;
     let (col_ptr, row_idx, values) = a.parts_mut();
@@ -276,7 +282,7 @@ fn getrf_binsearch_seq(a: &mut CscMatrix, pivot_floor: f64) -> usize {
                 break;
             }
             let ukj = vals_j[off_k];
-            if ukj == 0.0 {
+            if ukj == S::ZERO {
                 continue;
             }
             let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);

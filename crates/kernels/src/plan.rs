@@ -19,9 +19,16 @@
 //! unplanned kernels (`tests/planned_equivalence.rs` holds the crate to
 //! this on random closed patterns).
 //!
-//! **Memory model.** Index lists live in one pooled `u32` arena per
-//! [`KernelPlans`]; each per-task plan holds small structs-of-offsets
-//! into it. Plans are built lazily on first touch (one-shot factors do
+//! **Memory model.** Index lists live in one pooled arena per
+//! [`KernelPlans`], whose element type is the scalar's
+//! [`Scalar::PlanIdx`] — `u32` for `f64`, `u16` for `f32`, which is the
+//! structural halving of `plan_bytes` in mixed-precision mode. Arena
+//! elements are value-array positions *within one block*, so they fit
+//! the narrow index whenever the block's nnz does; [`KernelPlans::fits`]
+//! is the guard call sites use to fall back (bitwise identically) to the
+//! unplanned kernels on oversized blocks. Each per-task plan holds small
+//! structs-of-`u32`-offsets into the arena (arena offsets grow with the
+//! whole pool, so they stay wide). Plans are built lazily on first touch (one-shot factors do
 //! not pay for tasks a fault plan skipped) and reused verbatim across
 //! refactorisations — no per-call allocation. [`KernelPlans::stats`]
 //! reports bytes from slice *lengths*, which are independent of build
@@ -32,9 +39,16 @@
 
 use std::time::Instant;
 
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, PlanIndex, Scalar};
 
 use crate::getrf::apply_floor;
+
+/// Narrows a block-local position into the arena's index type. Callers
+/// guarantee the fit via [`KernelPlans::fits`].
+#[inline(always)]
+fn idx<I: PlanIndex>(v: usize) -> I {
+    I::from_usize(v)
+}
 
 /// One SSSSM product term: all of `A(:, k)` scaled by one `B(k, j)`.
 #[derive(Debug, Clone, Copy)]
@@ -164,11 +178,11 @@ pub struct GetrfPlan {
 /// Panics if a product entry has no slot in `C`'s pattern (violation of
 /// the symbolic closure contract, which the unplanned dense path would
 /// silently corrupt on).
-pub fn build_ssssm_plan(
-    a: &CscMatrix,
-    b: &CscMatrix,
-    c: &CscMatrix,
-    arena: &mut Vec<u32>,
+pub fn build_ssssm_plan<S: Scalar>(
+    a: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    c: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
 ) -> SsssmPlan {
     let mut plan = SsssmPlan::default();
     let a_ptr = a.col_ptr();
@@ -190,7 +204,7 @@ pub fn build_ssssm_plan(
             for &i in &a_rows[alo..ahi] {
                 let pos =
                     crows.binary_search(&i).expect("SSSSM plan target missing: pattern not closed");
-                arena.push((clo + pos) as u32);
+                arena.push(idx(clo + pos));
             }
             plan.entries.push(SsssmEntry {
                 bp: (blo + off) as u32,
@@ -207,7 +221,11 @@ pub fn build_ssssm_plan(
 /// Builds the row-match plan for `L X = B`, simulating the `C_V1` merge
 /// walk (unmatched source rows are skipped exactly as the kernel's
 /// cursor skips them).
-pub fn build_gessm_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>) -> GessmPlan {
+pub fn build_gessm_plan<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+) -> GessmPlan {
     let mut plan = GessmPlan::default();
     let l_ptr = diag_lu.col_ptr();
     let l_rows = diag_lu.row_idx();
@@ -226,8 +244,8 @@ pub fn build_gessm_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>
                     cur += 1;
                 }
                 if cur < tail.len() && tail[cur] == i {
-                    arena.push((start + q) as u32);
-                    arena.push((blo + p + 1 + cur) as u32);
+                    arena.push(idx(start + q));
+                    arena.push(idx(blo + p + 1 + cur));
                     pairs += 1;
                     cur += 1;
                 } else {
@@ -248,7 +266,11 @@ pub fn build_gessm_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>
 ///
 /// # Panics
 /// Panics if the factor's diagonal entry is structurally missing.
-pub fn build_tstrf_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>) -> TstrfPlan {
+pub fn build_tstrf_plan<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+) -> TstrfPlan {
     let mut plan = TstrfPlan::default();
     let d_ptr = diag_lu.col_ptr();
     let d_rows = diag_lu.row_idx();
@@ -275,8 +297,8 @@ pub fn build_tstrf_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>
                     cur += 1;
                 }
                 if cur < rows_j.len() && rows_j[cur] == r {
-                    arena.push((klo + t) as u32);
-                    arena.push((jlo + cur) as u32);
+                    arena.push(idx(klo + t));
+                    arena.push(idx(jlo + cur));
                     pairs += 1;
                     cur += 1;
                 } else {
@@ -304,7 +326,7 @@ pub fn build_tstrf_plan(diag_lu: &CscMatrix, b: &CscMatrix, arena: &mut Vec<u32>
 /// # Panics
 /// Panics if an update target or a diagonal entry is missing from the
 /// pattern (closure violation).
-pub fn build_getrf_plan(a: &CscMatrix, arena: &mut Vec<u32>) -> GetrfPlan {
+pub fn build_getrf_plan<S: Scalar>(a: &CscMatrix<S>, arena: &mut Vec<S::PlanIdx>) -> GetrfPlan {
     let mut plan = GetrfPlan::default();
     let col_ptr = a.col_ptr();
     let row_idx = a.row_idx();
@@ -326,7 +348,7 @@ pub fn build_getrf_plan(a: &CscMatrix, arena: &mut Vec<u32>) -> GetrfPlan {
                 let pos = rows_j
                     .binary_search(&i)
                     .expect("GETRF plan target missing: pattern not closed");
-                arena.push(pos as u32);
+                arena.push(idx(pos));
             }
             plan.uents.push(GetrfUent {
                 u_rel: off_k as u32,
@@ -350,61 +372,71 @@ pub fn build_getrf_plan(a: &CscMatrix, arena: &mut Vec<u32>) -> GetrfPlan {
 
 /// Planned `C ← C − A·B`: pure indexed arithmetic, bitwise identical to
 /// [`crate::ssssm::ssssm`] with `C_V1`.
-pub fn ssssm_planned(
-    a: &CscMatrix,
-    b: &CscMatrix,
-    c: &mut CscMatrix,
+pub fn ssssm_planned<S: Scalar>(
+    a: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    c: &mut CscMatrix<S>,
     plan: &SsssmPlan,
-    arena: &[u32],
+    arena: &[S::PlanIdx],
 ) {
     let avals = a.values();
     let bvals = b.values();
     let cvals = c.values_mut();
     for e in &plan.entries {
         let bkj = bvals[e.bp as usize];
-        if bkj == 0.0 {
+        if bkj == S::ZERO {
             continue;
         }
         let srcs = &avals[e.a_lo as usize..e.a_lo as usize + e.len as usize];
         let tgts = &arena[e.tgt_off as usize..e.tgt_off as usize + e.len as usize];
         for (&t, &aik) in tgts.iter().zip(srcs) {
-            cvals[t as usize] -= aik * bkj;
+            cvals[t.index()] -= aik * bkj;
         }
     }
 }
 
 /// Planned `L X = B`: bitwise identical to [`crate::trsm::gessm`] with
 /// `C_V1`.
-pub fn gessm_planned(diag_lu: &CscMatrix, b: &mut CscMatrix, plan: &GessmPlan, arena: &[u32]) {
+pub fn gessm_planned<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &mut CscMatrix<S>,
+    plan: &GessmPlan,
+    arena: &[S::PlanIdx],
+) {
     let lvals = diag_lu.values();
     let bvals = b.values_mut();
     for s in &plan.srcs {
         let xk = bvals[s.x_idx as usize];
-        if xk == 0.0 {
+        if xk == S::ZERO {
             continue;
         }
         let pairs = &arena[s.pair_off as usize..s.pair_off as usize + 2 * s.pair_len as usize];
         for pr in pairs.chunks_exact(2) {
-            bvals[pr[1] as usize] -= lvals[pr[0] as usize] * xk;
+            bvals[pr[1].index()] -= lvals[pr[0].index()] * xk;
         }
     }
 }
 
 /// Planned `X U = B`: bitwise identical to [`crate::trsm::tstrf`] with
 /// `C_V1`.
-pub fn tstrf_planned(diag_lu: &CscMatrix, b: &mut CscMatrix, plan: &TstrfPlan, arena: &[u32]) {
+pub fn tstrf_planned<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &mut CscMatrix<S>,
+    plan: &TstrfPlan,
+    arena: &[S::PlanIdx],
+) {
     let dvals = diag_lu.values();
     let bvals = b.values_mut();
     for col in &plan.cols {
         for ue in &plan.uents[col.u_off as usize..col.u_off as usize + col.u_len as usize] {
             let ukj = dvals[ue.u_idx as usize];
-            if ukj == 0.0 {
+            if ukj == S::ZERO {
                 continue;
             }
             let pairs =
                 &arena[ue.pair_off as usize..ue.pair_off as usize + 2 * ue.pair_len as usize];
             for pr in pairs.chunks_exact(2) {
-                bvals[pr[1] as usize] -= bvals[pr[0] as usize] * ukj;
+                bvals[pr[1].index()] -= bvals[pr[0].index()] * ukj;
             }
         }
         let ujj = dvals[col.ujj_idx as usize];
@@ -416,10 +448,10 @@ pub fn tstrf_planned(diag_lu: &CscMatrix, b: &mut CscMatrix, plan: &TstrfPlan, a
 
 /// Planned GETRF: bitwise identical to [`crate::getrf::getrf`] with
 /// `C_V1`. Returns the perturbed-pivot count.
-pub fn getrf_planned(
-    a: &mut CscMatrix,
+pub fn getrf_planned<S: Scalar>(
+    a: &mut CscMatrix<S>,
     plan: &GetrfPlan,
-    arena: &[u32],
+    arena: &[S::PlanIdx],
     pivot_floor: f64,
 ) -> usize {
     let mut perturbed = 0usize;
@@ -430,13 +462,13 @@ pub fn getrf_planned(
         let vals_j = &mut right[..col.len as usize];
         for ue in &plan.uents[col.u_off as usize..col.u_off as usize + col.u_len as usize] {
             let ukj = vals_j[ue.u_rel as usize];
-            if ukj == 0.0 {
+            if ukj == S::ZERO {
                 continue;
             }
             let srcs = &left[ue.src_lo as usize..ue.src_lo as usize + ue.len as usize];
             let tgts = &arena[ue.tgt_off as usize..ue.tgt_off as usize + ue.len as usize];
             for (&t, &lik) in tgts.iter().zip(srcs) {
-                vals_j[t as usize] -= lik * ukj;
+                vals_j[t.index()] -= lik * ukj;
             }
         }
         let diag = col.diag_rel as usize;
@@ -473,8 +505,8 @@ pub struct PlanStats {
 /// for pre-built plans (shared-memory workers build eagerly, then read
 /// without locks).
 #[derive(Debug, Default)]
-pub struct KernelPlans {
-    arena: Vec<u32>,
+pub struct KernelPlans<S: Scalar = f64> {
+    arena: Vec<S::PlanIdx>,
     getrf: Vec<Option<GetrfPlan>>,
     gessm: Vec<Option<GessmPlan>>,
     tstrf: Vec<Option<TstrfPlan>>,
@@ -483,7 +515,7 @@ pub struct KernelPlans {
     build_ns: u64,
 }
 
-impl KernelPlans {
+impl<S: Scalar> KernelPlans<S> {
     /// Creates an empty pool with the given slot counts per class.
     pub fn with_slots(getrf: usize, gessm: usize, tstrf: usize, ssssm: usize) -> Self {
         KernelPlans {
@@ -497,8 +529,18 @@ impl KernelPlans {
         }
     }
 
+    /// `true` if a block with `nnz` stored entries can be planned in this
+    /// pool's index width. `f64` pools use `u32` indices (always fits in
+    /// practice); `f32` pools use `u16` and decline blocks with more than
+    /// 65535 entries — those run the unplanned kernels, which are bitwise
+    /// identical, so the fallback is invisible to results.
+    #[inline]
+    pub fn fits(&self, nnz: usize) -> bool {
+        nnz <= <S::PlanIdx as PlanIndex>::MAX_INDEX
+    }
+
     /// The GETRF plan for `slot`, built from `a`'s pattern on first use.
-    pub fn getrf_for(&mut self, slot: usize, a: &CscMatrix) -> (&GetrfPlan, &[u32]) {
+    pub fn getrf_for(&mut self, slot: usize, a: &CscMatrix<S>) -> (&GetrfPlan, &[S::PlanIdx]) {
         if self.getrf[slot].is_none() {
             let start = Instant::now();
             let plan = build_getrf_plan(a, &mut self.arena);
@@ -512,9 +554,9 @@ impl KernelPlans {
     pub fn gessm_for(
         &mut self,
         slot: usize,
-        diag_lu: &CscMatrix,
-        b: &CscMatrix,
-    ) -> (&GessmPlan, &[u32]) {
+        diag_lu: &CscMatrix<S>,
+        b: &CscMatrix<S>,
+    ) -> (&GessmPlan, &[S::PlanIdx]) {
         if self.gessm[slot].is_none() {
             let start = Instant::now();
             let plan = build_gessm_plan(diag_lu, b, &mut self.arena);
@@ -528,9 +570,9 @@ impl KernelPlans {
     pub fn tstrf_for(
         &mut self,
         slot: usize,
-        diag_lu: &CscMatrix,
-        b: &CscMatrix,
-    ) -> (&TstrfPlan, &[u32]) {
+        diag_lu: &CscMatrix<S>,
+        b: &CscMatrix<S>,
+    ) -> (&TstrfPlan, &[S::PlanIdx]) {
         if self.tstrf[slot].is_none() {
             let start = Instant::now();
             let plan = build_tstrf_plan(diag_lu, b, &mut self.arena);
@@ -544,10 +586,10 @@ impl KernelPlans {
     pub fn ssssm_for(
         &mut self,
         slot: usize,
-        a: &CscMatrix,
-        b: &CscMatrix,
-        c: &CscMatrix,
-    ) -> (&SsssmPlan, &[u32]) {
+        a: &CscMatrix<S>,
+        b: &CscMatrix<S>,
+        c: &CscMatrix<S>,
+    ) -> (&SsssmPlan, &[S::PlanIdx]) {
         if self.ssssm[slot].is_none() {
             let start = Instant::now();
             let plan = build_ssssm_plan(a, b, c, &mut self.arena);
@@ -558,22 +600,22 @@ impl KernelPlans {
     }
 
     /// Pre-built GETRF plan, if any (immutable, for shared workers).
-    pub fn get_getrf(&self, slot: usize) -> Option<(&GetrfPlan, &[u32])> {
+    pub fn get_getrf(&self, slot: usize) -> Option<(&GetrfPlan, &[S::PlanIdx])> {
         self.getrf.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
     }
 
     /// Pre-built GESSM plan, if any.
-    pub fn get_gessm(&self, slot: usize) -> Option<(&GessmPlan, &[u32])> {
+    pub fn get_gessm(&self, slot: usize) -> Option<(&GessmPlan, &[S::PlanIdx])> {
         self.gessm.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
     }
 
     /// Pre-built TSTRF plan, if any.
-    pub fn get_tstrf(&self, slot: usize) -> Option<(&TstrfPlan, &[u32])> {
+    pub fn get_tstrf(&self, slot: usize) -> Option<(&TstrfPlan, &[S::PlanIdx])> {
         self.tstrf.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
     }
 
     /// Pre-built SSSSM plan, if any.
-    pub fn get_ssssm(&self, slot: usize) -> Option<(&SsssmPlan, &[u32])> {
+    pub fn get_ssssm(&self, slot: usize) -> Option<(&SsssmPlan, &[S::PlanIdx])> {
         self.ssssm.get(slot)?.as_ref().map(|p| (p, self.arena.as_slice()))
     }
 
@@ -731,7 +773,7 @@ mod tests {
 
     #[test]
     fn empty_blocks_yield_empty_plans() {
-        let e = CscMatrix::zeros(8, 8);
+        let e = CscMatrix::<f64>::zeros(8, 8);
         let mut arena = Vec::new();
         let sp = build_ssssm_plan(&e, &e, &e, &mut arena);
         let gp = build_gessm_plan(&e, &e, &mut arena);

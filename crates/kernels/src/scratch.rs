@@ -1,29 +1,31 @@
 //! Shared kernel machinery: reusable scratch buffers and safe parallel
 //! access to disjoint CSC columns.
 
+use pangulu_sparse::Scalar;
+
 /// Reusable dense scratch for the `Direct` (dense-mapping) kernels.
 ///
 /// Allocated once per worker and resized on demand, so the hot kernel
 /// loops never allocate (perf-book rule: no allocation in inner loops).
 #[derive(Debug, Default)]
-pub struct KernelScratch {
+pub struct KernelScratch<S = f64> {
     /// Dense accumulation buffer, one slot per block row.
-    pub dense: Vec<f64>,
+    pub dense: Vec<S>,
     /// Generic index stack (DFS, merge cursors).
     pub stack: Vec<usize>,
 }
 
-impl KernelScratch {
+impl<S: Scalar> KernelScratch<S> {
     /// Creates scratch sized for blocks of dimension `nb`.
     pub fn with_capacity(nb: usize) -> Self {
-        KernelScratch { dense: vec![0.0; nb], stack: Vec::with_capacity(nb) }
+        KernelScratch { dense: vec![S::ZERO; nb], stack: Vec::with_capacity(nb) }
     }
 
     /// Ensures the dense buffer covers `n` rows (zero-filled).
     #[inline]
     pub fn ensure(&mut self, n: usize) {
         if self.dense.len() < n {
-            self.dense.resize(n, 0.0);
+            self.dense.resize(n, S::ZERO);
         }
     }
 }
@@ -51,7 +53,7 @@ pub(crate) fn contiguous_start(rows: &[usize]) -> Option<usize> {
 /// Dense axpy `dense[rows] -= coef * vals`, taking the contiguous fast
 /// path when the row list is a single run.
 #[inline]
-pub(crate) fn scatter_axpy(dense: &mut [f64], rows: &[usize], vals: &[f64], coef: f64) {
+pub(crate) fn scatter_axpy<S: Scalar>(dense: &mut [S], rows: &[usize], vals: &[S], coef: S) {
     if let Some(start) = contiguous_start(rows) {
         for (d, &v) in dense[start..start + vals.len()].iter_mut().zip(vals) {
             *d -= v * coef;
@@ -68,12 +70,12 @@ pub(crate) fn scatter_axpy(dense: &mut [f64], rows: &[usize], vals: &[f64], coef
 /// runs, target positions are plain offsets and the update is one
 /// vectorisable slice loop. Returns `false` (untouched) otherwise.
 #[inline]
-pub(crate) fn try_direct_axpy(
+pub(crate) fn try_direct_axpy<S: Scalar>(
     tgt_rows: &[usize],
-    tgt_vals: &mut [f64],
+    tgt_vals: &mut [S],
     src_rows: &[usize],
-    src_vals: &[f64],
-    coef: f64,
+    src_vals: &[S],
+    coef: S,
 ) -> bool {
     let (Some(t0), Some(s0)) = (contiguous_start(tgt_rows), contiguous_start(src_rows)) else {
         return false;
@@ -95,7 +97,7 @@ mod tests {
 
     #[test]
     fn scratch_resizes() {
-        let mut s = KernelScratch::with_capacity(4);
+        let mut s = KernelScratch::<f64>::with_capacity(4);
         s.ensure(10);
         assert!(s.dense.len() >= 10);
         assert!(s.dense.iter().all(|&v| v == 0.0));

@@ -16,7 +16,7 @@
 //! * `G_V2` — direct addressing, column teams with per-worker dense
 //!   buffers ("warp-level column").
 
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 use crate::scratch::{find_in_col, scatter_axpy, try_direct_axpy, KernelScratch};
 use crate::SsssmVariant;
@@ -26,12 +26,12 @@ use crate::SsssmVariant;
 const SPLIT_BIN_THRESHOLD: usize = 32;
 
 /// Computes `C ← C − A·B` in place on `C`.
-pub fn ssssm(
-    a: &CscMatrix,
-    b: &CscMatrix,
-    c: &mut CscMatrix,
+pub fn ssssm<S: Scalar>(
+    a: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    c: &mut CscMatrix<S>,
     variant: SsssmVariant,
-    scratch: &mut KernelScratch,
+    scratch: &mut KernelScratch<S>,
 ) {
     debug_assert_eq!(a.ncols(), b.nrows(), "SSSSM inner dimension mismatch");
     debug_assert_eq!(c.nrows(), a.nrows(), "SSSSM row mismatch");
@@ -69,11 +69,11 @@ pub fn ssssm(
 /// One pending update in a same-target batch: `C ← C − A·B` plus the
 /// per-update metadata the kernel meter records.
 #[derive(Debug, Clone, Copy)]
-pub struct SsssmUpdate<'a> {
+pub struct SsssmUpdate<'a, S = f64> {
     /// L-panel operand `(i, k)`.
-    pub a: &'a CscMatrix,
+    pub a: &'a CscMatrix<S>,
     /// U-panel operand `(k, j)`.
-    pub b: &'a CscMatrix,
+    pub b: &'a CscMatrix<S>,
     /// The variant the selector chose for this update. A singleton batch
     /// runs it; wider batches fuse into the direct-addressing pass but
     /// still tally under this variant, keeping the selector's decision
@@ -96,7 +96,11 @@ pub struct SsssmUpdate<'a> {
 /// which the factorisation never stores (fill starts at `+0.0` and the
 /// kernels only subtract finite products). `tests/batched_ssssm.rs` holds
 /// the runtime to this across grids and fault seeds.
-pub fn ssssm_batch(updates: &[SsssmUpdate<'_>], c: &mut CscMatrix, scratch: &mut KernelScratch) {
+pub fn ssssm_batch<S: Scalar>(
+    updates: &[SsssmUpdate<'_, S>],
+    c: &mut CscMatrix<S>,
+    scratch: &mut KernelScratch<S>,
+) {
     if let [u] = updates {
         return ssssm(u.a, u.b, c, u.variant, scratch);
     }
@@ -121,7 +125,7 @@ pub fn ssssm_batch(updates: &[SsssmUpdate<'_>], c: &mut CscMatrix, scratch: &mut
         for u in updates {
             let (brows, bvals) = u.b.col(j);
             for (&k, &bkj) in brows.iter().zip(bvals) {
-                if bkj == 0.0 {
+                if bkj == S::ZERO {
                     continue;
                 }
                 let (arows, avals) = u.a.col(k);
@@ -130,20 +134,20 @@ pub fn ssssm_batch(updates: &[SsssmUpdate<'_>], c: &mut CscMatrix, scratch: &mut
         }
         for (off, &i) in crows.iter().enumerate() {
             cvals[off] = dense[i];
-            dense[i] = 0.0;
+            dense[i] = S::ZERO;
         }
     }
 }
 
 /// Direct addressing: scatter the C column into a dense buffer, apply all
 /// sparse axpys, gather back.
-fn update_col_dense(
-    a: &CscMatrix,
+fn update_col_dense<S: Scalar>(
+    a: &CscMatrix<S>,
     brows: &[usize],
-    bvals: &[f64],
+    bvals: &[S],
     crows: &[usize],
-    cvals: &mut [f64],
-    dense: &mut [f64],
+    cvals: &mut [S],
+    dense: &mut [S],
 ) {
     if brows.is_empty() || crows.is_empty() {
         return;
@@ -152,7 +156,7 @@ fn update_col_dense(
         dense[i] = cvals[off];
     }
     for (&k, &bkj) in brows.iter().zip(bvals) {
-        if bkj == 0.0 {
+        if bkj == S::ZERO {
             continue;
         }
         let (arows, avals) = a.col(k);
@@ -160,19 +164,19 @@ fn update_col_dense(
     }
     for (off, &i) in crows.iter().enumerate() {
         cvals[off] = dense[i];
-        dense[i] = 0.0;
+        dense[i] = S::ZERO;
     }
 }
 
 /// Bin-search addressing with the adaptive split-bin switch: columns with
 /// many updates use merge walks (linear in the two patterns), light
 /// columns use per-entry binary search.
-fn update_col_adaptive(
-    a: &CscMatrix,
+fn update_col_adaptive<S: Scalar>(
+    a: &CscMatrix<S>,
     brows: &[usize],
-    bvals: &[f64],
+    bvals: &[S],
     crows: &[usize],
-    cvals: &mut [f64],
+    cvals: &mut [S],
 ) {
     if brows.is_empty() || crows.is_empty() {
         return;
@@ -186,15 +190,15 @@ fn update_col_adaptive(
 }
 
 /// Pure bin-search addressing.
-fn update_col_binsearch(
-    a: &CscMatrix,
+fn update_col_binsearch<S: Scalar>(
+    a: &CscMatrix<S>,
     brows: &[usize],
-    bvals: &[f64],
+    bvals: &[S],
     crows: &[usize],
-    cvals: &mut [f64],
+    cvals: &mut [S],
 ) {
     for (&k, &bkj) in brows.iter().zip(bvals) {
-        if bkj == 0.0 {
+        if bkj == S::ZERO {
             continue;
         }
         let (arows, avals) = a.col(k);
@@ -202,7 +206,7 @@ fn update_col_binsearch(
             continue;
         }
         for (&i, &aik) in arows.iter().zip(avals) {
-            if aik == 0.0 {
+            if aik == S::ZERO {
                 continue;
             }
             let pos =
@@ -213,15 +217,15 @@ fn update_col_binsearch(
 }
 
 /// Merge addressing: walk the sorted A column and C column together.
-fn update_col_merge(
-    a: &CscMatrix,
+fn update_col_merge<S: Scalar>(
+    a: &CscMatrix<S>,
     brows: &[usize],
-    bvals: &[f64],
+    bvals: &[S],
     crows: &[usize],
-    cvals: &mut [f64],
+    cvals: &mut [S],
 ) {
     for (&k, &bkj) in brows.iter().zip(bvals) {
-        if bkj == 0.0 {
+        if bkj == S::ZERO {
             continue;
         }
         let (arows, avals) = a.col(k);
@@ -247,16 +251,16 @@ fn update_col_merge(
 /// of `b`) from an atomic counter across a worker team, giving each worker
 /// a private dense buffer. Value ranges per column are disjoint, so the
 /// raw-pointer writes are race-free.
-fn parallel_cols<F>(b: &CscMatrix, c: &mut CscMatrix, dense_len: usize, f: F)
+fn parallel_cols<S: Scalar, F>(b: &CscMatrix<S>, c: &mut CscMatrix<S>, dense_len: usize, f: F)
 where
-    F: Fn(&[usize], &[f64], &[usize], &mut [f64], &mut [f64]) + Sync,
+    F: Fn(&[usize], &[S], &[usize], &mut [S], &mut [S]) + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let ncols = c.ncols();
     let workers = crate::getrf::team_size().min(ncols.max(1));
     let (col_ptr, row_idx, values) = c.parts_mut();
     if workers <= 1 {
-        let mut dense = vec![0.0f64; dense_len];
+        let mut dense = vec![S::ZERO; dense_len];
         for j in 0..ncols {
             let (brows, bvals) = b.col(j);
             let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
@@ -264,11 +268,11 @@ where
         }
         return;
     }
-    struct SharedVals(*mut f64);
-    unsafe impl Send for SharedVals {}
-    unsafe impl Sync for SharedVals {}
-    impl SharedVals {
-        fn get(&self) -> *mut f64 {
+    struct SharedVals<S>(*mut S);
+    unsafe impl<S: Scalar> Send for SharedVals<S> {}
+    unsafe impl<S: Scalar> Sync for SharedVals<S> {}
+    impl<S> SharedVals<S> {
+        fn get(&self) -> *mut S {
             self.0
         }
     }
@@ -277,7 +281,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                let mut dense = vec![0.0f64; dense_len];
+                let mut dense = vec![S::ZERO; dense_len];
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= ncols {

@@ -18,7 +18,7 @@ use std::time::Instant;
 use pangulu_metrics::{
     KernelTally, CLASS_GESSM, CLASS_GETRF, CLASS_SSSSM, CLASS_TSTRF, VARIANT_PLANNED,
 };
-use pangulu_sparse::CscMatrix;
+use pangulu_sparse::{CscMatrix, Scalar};
 
 use crate::plan::{GessmPlan, GetrfPlan, SsssmPlan, TstrfPlan};
 use crate::scratch::KernelScratch;
@@ -84,11 +84,11 @@ impl TimedKernels {
     }
 
     /// Metered [`getrf::getrf`]; returns the perturbed-pivot count.
-    pub fn getrf(
+    pub fn getrf<S: Scalar>(
         &mut self,
-        a: &mut CscMatrix,
+        a: &mut CscMatrix<S>,
         variant: GetrfVariant,
-        scratch: &mut KernelScratch,
+        scratch: &mut KernelScratch<S>,
         pivot_floor: f64,
     ) -> usize {
         if !self.enabled {
@@ -102,12 +102,12 @@ impl TimedKernels {
     }
 
     /// Metered [`trsm::gessm`].
-    pub fn gessm(
+    pub fn gessm<S: Scalar>(
         &mut self,
-        diag_lu: &CscMatrix,
-        b: &mut CscMatrix,
+        diag_lu: &CscMatrix<S>,
+        b: &mut CscMatrix<S>,
         variant: TrsmVariant,
-        scratch: &mut KernelScratch,
+        scratch: &mut KernelScratch<S>,
     ) {
         if !self.enabled {
             return trsm::gessm(diag_lu, b, variant, scratch);
@@ -119,12 +119,12 @@ impl TimedKernels {
     }
 
     /// Metered [`trsm::tstrf`].
-    pub fn tstrf(
+    pub fn tstrf<S: Scalar>(
         &mut self,
-        diag_lu: &CscMatrix,
-        b: &mut CscMatrix,
+        diag_lu: &CscMatrix<S>,
+        b: &mut CscMatrix<S>,
         variant: TrsmVariant,
-        scratch: &mut KernelScratch,
+        scratch: &mut KernelScratch<S>,
     ) {
         if !self.enabled {
             return trsm::tstrf(diag_lu, b, variant, scratch);
@@ -138,13 +138,13 @@ impl TimedKernels {
     /// Metered [`ssssm::ssssm`]. The scheduler already computed
     /// [`flops::ssssm_flops`] for variant selection, so it is passed in
     /// rather than re-derived.
-    pub fn ssssm(
+    pub fn ssssm<S: Scalar>(
         &mut self,
-        a: &CscMatrix,
-        b: &CscMatrix,
-        c: &mut CscMatrix,
+        a: &CscMatrix<S>,
+        b: &CscMatrix<S>,
+        c: &mut CscMatrix<S>,
         variant: SsssmVariant,
-        scratch: &mut KernelScratch,
+        scratch: &mut KernelScratch<S>,
         model_flops: f64,
     ) {
         if !self.enabled {
@@ -159,11 +159,11 @@ impl TimedKernels {
     /// with the same model FLOPs as the unplanned kernel (planned
     /// execution performs identical arithmetic, so the observed ==
     /// predicted FLOPs invariant is preserved).
-    pub fn getrf_planned(
+    pub fn getrf_planned<S: Scalar>(
         &mut self,
-        a: &mut CscMatrix,
+        a: &mut CscMatrix<S>,
         p: &GetrfPlan,
-        arena: &[u32],
+        arena: &[S::PlanIdx],
         pivot_floor: f64,
     ) -> usize {
         if !self.enabled {
@@ -177,12 +177,12 @@ impl TimedKernels {
     }
 
     /// Metered [`plan::gessm_planned`].
-    pub fn gessm_planned(
+    pub fn gessm_planned<S: Scalar>(
         &mut self,
-        diag_lu: &CscMatrix,
-        b: &mut CscMatrix,
+        diag_lu: &CscMatrix<S>,
+        b: &mut CscMatrix<S>,
         p: &GessmPlan,
-        arena: &[u32],
+        arena: &[S::PlanIdx],
     ) {
         if !self.enabled {
             return plan::gessm_planned(diag_lu, b, p, arena);
@@ -194,12 +194,12 @@ impl TimedKernels {
     }
 
     /// Metered [`plan::tstrf_planned`].
-    pub fn tstrf_planned(
+    pub fn tstrf_planned<S: Scalar>(
         &mut self,
-        diag_lu: &CscMatrix,
-        b: &mut CscMatrix,
+        diag_lu: &CscMatrix<S>,
+        b: &mut CscMatrix<S>,
         p: &TstrfPlan,
-        arena: &[u32],
+        arena: &[S::PlanIdx],
     ) {
         if !self.enabled {
             return plan::tstrf_planned(diag_lu, b, p, arena);
@@ -212,13 +212,13 @@ impl TimedKernels {
 
     /// Metered [`plan::ssssm_planned`]; the scheduler's model FLOPs are
     /// passed through as for [`TimedKernels::ssssm`].
-    pub fn ssssm_planned(
+    pub fn ssssm_planned<S: Scalar>(
         &mut self,
-        a: &CscMatrix,
-        b: &CscMatrix,
-        c: &mut CscMatrix,
+        a: &CscMatrix<S>,
+        b: &CscMatrix<S>,
+        c: &mut CscMatrix<S>,
         p: &SsssmPlan,
-        arena: &[u32],
+        arena: &[S::PlanIdx],
         model_flops: f64,
     ) {
         if !self.enabled {
@@ -235,11 +235,11 @@ impl TimedKernels {
     /// whatever the batch width. The fused elapsed time is apportioned
     /// evenly across the batch — only the nanoseconds, which the
     /// determinism projection zeroes anyway.
-    pub fn ssssm_batch(
+    pub fn ssssm_batch<S: Scalar>(
         &mut self,
-        updates: &[ssssm::SsssmUpdate<'_>],
-        c: &mut CscMatrix,
-        scratch: &mut KernelScratch,
+        updates: &[ssssm::SsssmUpdate<'_, S>],
+        c: &mut CscMatrix<S>,
+        scratch: &mut KernelScratch<S>,
     ) {
         if !self.enabled {
             return ssssm::ssssm_batch(updates, c, scratch);

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use pangulu_sparse::{CscMatrix, CsrMatrix};
+use pangulu_sparse::{CscMatrix, CsrMatrix, Scalar};
 
 use crate::getrf::team_size;
 use crate::scratch::{find_in_col, scatter_axpy, try_direct_axpy, KernelScratch};
@@ -28,11 +28,11 @@ use crate::TrsmVariant;
 /// Solves `L X = B` in place (`B` becomes `X`); `diag_lu` is the packed
 /// factor of the diagonal block, of which only the strict lower part is
 /// used (unit diagonal implied).
-pub fn gessm(
-    diag_lu: &CscMatrix,
-    b: &mut CscMatrix,
+pub fn gessm<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &mut CscMatrix<S>,
     variant: TrsmVariant,
-    scratch: &mut KernelScratch,
+    scratch: &mut KernelScratch<S>,
 ) {
     debug_assert_eq!(diag_lu.nrows(), b.nrows(), "GESSM dimension mismatch");
     lower_solve(diag_lu, None, b, variant, scratch);
@@ -47,11 +47,11 @@ pub fn gessm(
 /// Unlike GESSM, the columns are *dependent*, so the team variants use the
 /// un-sync claim-in-order scheme (ready flag per column) instead of free
 /// column parallelism.
-pub fn tstrf(
-    diag_lu: &CscMatrix,
-    b: &mut CscMatrix,
+pub fn tstrf<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &mut CscMatrix<S>,
     variant: TrsmVariant,
-    scratch: &mut KernelScratch,
+    scratch: &mut KernelScratch<S>,
 ) {
     debug_assert_eq!(diag_lu.ncols(), b.ncols(), "TSTRF dimension mismatch");
     match variant {
@@ -75,7 +75,7 @@ enum TstrfAddr {
 /// Upper entries `(k, U(k,j))` with `k < j` and the diagonal `U(j,j)` of
 /// the factor's column `j`.
 #[inline]
-fn upper_of(diag_lu: &CscMatrix, j: usize) -> (&[usize], &[f64], f64) {
+fn upper_of<S: Scalar>(diag_lu: &CscMatrix<S>, j: usize) -> (&[usize], &[S], S) {
     let (rows, vals) = diag_lu.col(j);
     let dpos = rows.partition_point(|&r| r < j);
     debug_assert!(dpos < rows.len() && rows[dpos] == j, "diagonal entry missing");
@@ -85,15 +85,15 @@ fn upper_of(diag_lu: &CscMatrix, j: usize) -> (&[usize], &[f64], f64) {
 /// One TSTRF column update: `col_j = (col_j − Σ_k col_k · U(k,j)) / U(j,j)`.
 /// `get_col(k)` returns the (already solved) source column `k` of `X`.
 #[allow(clippy::too_many_arguments)]
-fn tstrf_col<'a>(
+fn tstrf_col<'a, S: Scalar>(
     uk_rows: &[usize],
-    uk_vals: &[f64],
-    ujj: f64,
+    uk_vals: &[S],
+    ujj: S,
     rows_j: &[usize],
-    vals_j: &mut [f64],
-    get_col: impl Fn(usize) -> (&'a [usize], &'a [f64]),
+    vals_j: &mut [S],
+    get_col: impl Fn(usize) -> (&'a [usize], &'a [S]),
     addr: TstrfAddr,
-    dense: &mut [f64],
+    dense: &mut [S],
 ) {
     match addr {
         TstrfAddr::Dense => {
@@ -101,7 +101,7 @@ fn tstrf_col<'a>(
                 dense[r] = vals_j[off];
             }
             for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
-                if ukj == 0.0 {
+                if ukj == S::ZERO {
                     continue;
                 }
                 let (krows, kvals) = get_col(k);
@@ -109,12 +109,12 @@ fn tstrf_col<'a>(
             }
             for (off, &r) in rows_j.iter().enumerate() {
                 vals_j[off] = dense[r] / ujj;
-                dense[r] = 0.0;
+                dense[r] = S::ZERO;
             }
         }
         TstrfAddr::Merge => {
             for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
-                if ukj == 0.0 {
+                if ukj == S::ZERO {
                     continue;
                 }
                 let (krows, kvals) = get_col(k);
@@ -140,7 +140,7 @@ fn tstrf_col<'a>(
         }
         TstrfAddr::BinSearch => {
             for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
-                if ukj == 0.0 {
+                if ukj == S::ZERO {
                     continue;
                 }
                 let (krows, kvals) = get_col(k);
@@ -160,7 +160,7 @@ fn tstrf_col<'a>(
             for (off, &r) in rows_j.iter().enumerate() {
                 let mut acc = vals_j[off];
                 for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
-                    if ukj == 0.0 {
+                    if ukj == S::ZERO {
                         continue;
                     }
                     let (krows, kvals) = get_col(k);
@@ -175,7 +175,12 @@ fn tstrf_col<'a>(
 }
 
 /// Sequential TSTRF (`C_V1` merge / `C_V2` dense).
-fn tstrf_seq(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr, scratch: &mut KernelScratch) {
+fn tstrf_seq<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &mut CscMatrix<S>,
+    addr: TstrfAddr,
+    scratch: &mut KernelScratch<S>,
+) {
     scratch.ensure(b.nrows());
     let (col_ptr, row_idx, values) = b.parts_mut();
     let ncols = col_ptr.len() - 1;
@@ -186,7 +191,7 @@ fn tstrf_seq(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr, scratch: &
         // columns < j, strictly left of `lo`.
         let (left, right) = values.split_at_mut(lo);
         let vals_j = &mut right[..hi - lo];
-        let get_col = |k: usize| -> (&[usize], &[f64]) {
+        let get_col = |k: usize| -> (&[usize], &[S]) {
             let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
             (&row_idx[klo..khi], &left[klo..khi])
         };
@@ -206,7 +211,7 @@ fn tstrf_seq(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr, scratch: &
 /// Un-sync TSTRF (`G_V*`): workers claim columns in ascending order and
 /// spin on per-column ready flags for their dependencies — the same
 /// synchronisation-free pattern as the SFLU GETRF.
-fn tstrf_unsync(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr) {
+fn tstrf_unsync<S: Scalar>(diag_lu: &CscMatrix<S>, b: &mut CscMatrix<S>, addr: TstrfAddr) {
     let nrows = b.nrows();
     let ncols = b.ncols();
     let workers = team_size().min(ncols.max(1));
@@ -223,7 +228,7 @@ fn tstrf_unsync(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr) {
         for _ in 0..workers {
             s.spawn(|| {
                 let mut dense =
-                    if addr == TstrfAddr::Dense { vec![0.0f64; nrows] } else { Vec::new() };
+                    if addr == TstrfAddr::Dense { vec![S::ZERO; nrows] } else { Vec::new() };
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= ncols {
@@ -247,7 +252,7 @@ fn tstrf_unsync(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr) {
                     // columns are read only after their Release store.
                     let vals_j =
                         unsafe { std::slice::from_raw_parts_mut(vptr.get().add(lo), hi - lo) };
-                    let get_col = |k: usize| -> (&[usize], &[f64]) {
+                    let get_col = |k: usize| -> (&[usize], &[S]) {
                         let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
                         let kv =
                             unsafe { std::slice::from_raw_parts(vptr.get().add(klo), khi - klo) };
@@ -273,12 +278,12 @@ fn tstrf_unsync(diag_lu: &CscMatrix, b: &mut CscMatrix, addr: TstrfAddr) {
 /// Forward substitution engine: solves `(L or D+L) X = B` in place on `B`.
 /// `diag` of `None` means unit diagonal (GESSM); `Some(d)` divides by
 /// `d[k]` before propagating (TSTRF's transposed system).
-fn lower_solve(
-    l: &CscMatrix,
-    diag: Option<&[f64]>,
-    b: &mut CscMatrix,
+fn lower_solve<S: Scalar>(
+    l: &CscMatrix<S>,
+    diag: Option<&[S]>,
+    b: &mut CscMatrix<S>,
     variant: TrsmVariant,
-    scratch: &mut KernelScratch,
+    scratch: &mut KernelScratch<S>,
 ) {
     match variant {
         TrsmVariant::CV1 => {
@@ -313,7 +318,7 @@ fn lower_solve(
 
 /// Strict-lower slice of column `k` of the factor.
 #[inline]
-fn strict_lower(l: &CscMatrix, k: usize) -> (&[usize], &[f64]) {
+fn strict_lower<S: Scalar>(l: &CscMatrix<S>, k: usize) -> (&[usize], &[S]) {
     let (rows, vals) = l.col(k);
     let start = rows.partition_point(|&i| i <= k);
     (&rows[start..], &vals[start..])
@@ -321,14 +326,19 @@ fn strict_lower(l: &CscMatrix, k: usize) -> (&[usize], &[f64]) {
 
 /// `C_V1`: merge addressing — two-pointer walks between the factor column
 /// and the unknown column (both sorted).
-fn solve_col_merge(l: &CscMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals_c: &mut [f64]) {
+fn solve_col_merge<S: Scalar>(
+    l: &CscMatrix<S>,
+    diag: Option<&[S]>,
+    rows_c: &[usize],
+    vals_c: &mut [S],
+) {
     for p in 0..rows_c.len() {
         let k = rows_c[p];
         if let Some(d) = diag {
             vals_c[p] /= d[k];
         }
         let xk = vals_c[p];
-        if xk == 0.0 {
+        if xk == S::ZERO {
             continue;
         }
         let (lrows, lvals) = strict_lower(l, k);
@@ -352,12 +362,12 @@ fn solve_col_merge(l: &CscMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals_c
 }
 
 /// `C_V2` / `G_V3` core: direct addressing through a dense buffer.
-fn solve_col_direct(
-    l: &CscMatrix,
-    diag: Option<&[f64]>,
+fn solve_col_direct<S: Scalar>(
+    l: &CscMatrix<S>,
+    diag: Option<&[S]>,
     rows_c: &[usize],
-    vals_c: &mut [f64],
-    dense: &mut [f64],
+    vals_c: &mut [S],
+    dense: &mut [S],
 ) {
     for (off, &i) in rows_c.iter().enumerate() {
         dense[i] = vals_c[off];
@@ -367,7 +377,7 @@ fn solve_col_direct(
             dense[k] /= d[k];
         }
         let xk = dense[k];
-        if xk == 0.0 {
+        if xk == S::ZERO {
             continue;
         }
         let (lrows, lvals) = strict_lower(l, k);
@@ -375,19 +385,24 @@ fn solve_col_direct(
     }
     for (off, &i) in rows_c.iter().enumerate() {
         vals_c[off] = dense[i];
-        dense[i] = 0.0;
+        dense[i] = S::ZERO;
     }
 }
 
 /// `G_V1` core: bin-search addressing within the column.
-fn solve_col_binsearch(l: &CscMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals_c: &mut [f64]) {
+fn solve_col_binsearch<S: Scalar>(
+    l: &CscMatrix<S>,
+    diag: Option<&[S]>,
+    rows_c: &[usize],
+    vals_c: &mut [S],
+) {
     for p in 0..rows_c.len() {
         let k = rows_c[p];
         if let Some(d) = diag {
             vals_c[p] /= d[k];
         }
         let xk = vals_c[p];
-        if xk == 0.0 {
+        if xk == S::ZERO {
             continue;
         }
         let (lrows, lvals) = strict_lower(l, k);
@@ -404,7 +419,12 @@ fn solve_col_binsearch(l: &CscMatrix, diag: Option<&[f64]>, rows_c: &[usize], va
 /// factor's row `i` and binary-searching `x_k` in the column pattern;
 /// entries absent from the pattern are structural zeros and contribute
 /// nothing.
-fn solve_col_dot(l_csr: &CsrMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals_c: &mut [f64]) {
+fn solve_col_dot<S: Scalar>(
+    l_csr: &CsrMatrix<S>,
+    diag: Option<&[S]>,
+    rows_c: &[usize],
+    vals_c: &mut [S],
+) {
     for p in 0..rows_c.len() {
         let i = rows_c[p];
         let mut acc = vals_c[p];
@@ -426,15 +446,15 @@ fn solve_col_dot(l_csr: &CsrMatrix, diag: Option<&[f64]>, rows_c: &[usize], vals
 /// from an atomic counter across a worker team. Each worker gets a private
 /// dense buffer of `dense_len` zeros. Columns are disjoint value ranges,
 /// so the raw-pointer writes are race-free.
-fn parallel_columns<F>(b: &mut CscMatrix, dense_len: usize, f: F)
+fn parallel_columns<S: Scalar, F>(b: &mut CscMatrix<S>, dense_len: usize, f: F)
 where
-    F: Fn(&[usize], &mut [f64], &mut [f64]) + Sync,
+    F: Fn(&[usize], &mut [S], &mut [S]) + Sync,
 {
     let ncols = b.ncols();
     let workers = team_size().min(ncols.max(1));
     let (col_ptr, row_idx, values) = b.parts_mut();
     if workers <= 1 {
-        let mut dense = vec![0.0f64; dense_len];
+        let mut dense = vec![S::ZERO; dense_len];
         for c in 0..ncols {
             let (lo, hi) = (col_ptr[c], col_ptr[c + 1]);
             f(&row_idx[lo..hi], &mut values[lo..hi], &mut dense);
@@ -446,7 +466,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                let mut dense = vec![0.0f64; dense_len];
+                let mut dense = vec![S::ZERO; dense_len];
                 loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= ncols {
@@ -464,11 +484,11 @@ where
     });
 }
 
-struct SharedVals(*mut f64);
-unsafe impl Send for SharedVals {}
-unsafe impl Sync for SharedVals {}
-impl SharedVals {
-    fn get(&self) -> *mut f64 {
+struct SharedVals<S>(*mut S);
+unsafe impl<S: Scalar> Send for SharedVals<S> {}
+unsafe impl<S: Scalar> Sync for SharedVals<S> {}
+impl<S> SharedVals<S> {
+    fn get(&self) -> *mut S {
         self.0
     }
 }

@@ -317,6 +317,44 @@ impl PhaseCounters {
     }
 }
 
+/// Mixed-precision accounting of one solver's lifetime (see
+/// `docs/PRECISION.md`).
+///
+/// The mixed path factors in f32 against the f64 analysis and recovers
+/// accuracy at solve time with iterative refinement; these counters make
+/// that machinery observable. `refine_iters` is deterministic for a
+/// fixed matrix and right-hand side (the correction solves run the
+/// sequential f32 substitution), so benchmark gates can compare it
+/// exactly, like the phase counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecisionCounters {
+    /// Numeric factorisations that ran (and kept) the f32 mixed path.
+    pub mixed_factors: u64,
+    /// Mixed factorisations abandoned for a transparent f64 re-factor
+    /// after the factor-time refinement probe stalled.
+    pub precision_fallbacks: u64,
+    /// Refinement iterations spent by factor-time probes.
+    pub probe_refine_iters: u64,
+    /// Refinement iterations across all solves.
+    pub refine_iters: u64,
+    /// Solves that ran the mixed refinement loop.
+    pub refined_solves: u64,
+}
+
+impl PrecisionCounters {
+    /// The work done since an earlier snapshot (elementwise difference),
+    /// mirroring [`PhaseCounters::since`].
+    pub fn since(&self, earlier: &PrecisionCounters) -> PrecisionCounters {
+        PrecisionCounters {
+            mixed_factors: self.mixed_factors - earlier.mixed_factors,
+            precision_fallbacks: self.precision_fallbacks - earlier.precision_fallbacks,
+            probe_refine_iters: self.probe_refine_iters - earlier.probe_refine_iters,
+            refine_iters: self.refine_iters - earlier.refine_iters,
+            refined_solves: self.refined_solves - earlier.refined_solves,
+        }
+    }
+}
+
 /// Tasks executed, by kernel kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskCounts {
@@ -399,6 +437,14 @@ pub struct RunReport {
     /// The symbolic phase's FLOP prediction for the whole factorisation
     /// (0 when the caller did not provide one).
     pub predicted_flops: f64,
+    /// Element width (bytes) of the scalar type the run factored in:
+    /// 8 for f64, 4 for the mixed f32 path, 0 when unknown (reports
+    /// predating the field). Deterministic — kept by `without_timings`.
+    pub scalar_width: u64,
+    /// Mixed factorisations this solver abandoned for f64 because the
+    /// refinement probe stalled (cumulative over the solver's lifetime;
+    /// 0 on pure-f64 runs). Stamped by the solver, not the executor.
+    pub precision_fallbacks: u64,
     /// Per-rank metrics, ascending by rank.
     pub per_rank: Vec<RankMetrics>,
 }
@@ -533,6 +579,8 @@ impl RunReport {
             ("ranks", Json::Num(self.ranks as f64)),
             ("wall_nanos", Json::Num(self.wall_nanos as f64)),
             ("predicted_flops", Json::Num(self.predicted_flops)),
+            ("scalar_width", Json::Num(self.scalar_width as f64)),
+            ("precision_fallbacks", Json::Num(self.precision_fallbacks as f64)),
             ("observed_flops", Json::Num(self.observed_flops())),
             ("mean_sync_fraction", Json::Num(self.mean_sync_fraction())),
             ("per_rank", Json::Arr(per_rank)),
@@ -550,6 +598,13 @@ impl RunReport {
             ranks: doc.req_u64("ranks")? as usize,
             wall_nanos: doc.req_u64("wall_nanos")?,
             predicted_flops: doc.req_f64("predicted_flops")?,
+            // Both fields postdate pangulu-run-report-v1's first cut;
+            // absent means an old document, read as 0 ("unknown"/none).
+            scalar_width: doc.get("scalar_width").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            precision_fallbacks: doc
+                .get("precision_fallbacks")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64,
             per_rank: Vec::new(),
         };
         for r in doc
@@ -745,6 +800,8 @@ mod tests {
             ranks: 2,
             wall_nanos: 5_000_000,
             predicted_flops: 2048.0,
+            scalar_width: 8,
+            precision_fallbacks: 1,
             per_rank: vec![
                 RankMetrics {
                     rank: 0,
@@ -913,6 +970,54 @@ mod tests {
                 preprocess_runs: 0,
                 numeric_runs: 3,
                 analysis_reuses: 3
+            }
+        );
+    }
+
+    #[test]
+    fn precision_fields_survive_roundtrip_and_timings_projection() {
+        let report = sample_report();
+        assert_eq!(report.scalar_width, 8);
+        assert_eq!(report.precision_fallbacks, 1);
+        let det = report.without_timings();
+        assert_eq!(det.scalar_width, 8, "scalar width is deterministic");
+        assert_eq!(det.precision_fallbacks, 1, "fallback count is deterministic");
+        // Old documents without the fields parse as 0.
+        let mut old = report.clone();
+        old.scalar_width = 0;
+        old.precision_fallbacks = 0;
+        let text = old
+            .to_json()
+            .replace("\"scalar_width\"", "\"ignored_a\"")
+            .replace("\"precision_fallbacks\"", "\"ignored_b\"");
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back.scalar_width, 0);
+        assert_eq!(back.precision_fallbacks, 0);
+    }
+
+    #[test]
+    fn precision_counters_diff_isolates_steady_state() {
+        let first = PrecisionCounters {
+            mixed_factors: 1,
+            precision_fallbacks: 0,
+            probe_refine_iters: 4,
+            refine_iters: 0,
+            refined_solves: 0,
+        };
+        let mut after = first;
+        after.mixed_factors += 3;
+        after.probe_refine_iters += 12;
+        after.refine_iters += 9;
+        after.refined_solves += 3;
+        let steady = after.since(&first);
+        assert_eq!(
+            steady,
+            PrecisionCounters {
+                mixed_factors: 3,
+                precision_fallbacks: 0,
+                probe_refine_iters: 12,
+                refine_iters: 9,
+                refined_solves: 3,
             }
         );
     }

@@ -4,20 +4,25 @@
 //! `col_ptr` is monotone with `col_ptr[0] == 0` and
 //! `col_ptr[ncols] == row_idx.len() == values.len()`; within each column the
 //! row indices are strictly increasing (sorted, no duplicates) and in bounds.
+//!
+//! The value type is generic over [`Scalar`] with `f64` as the default,
+//! so `CscMatrix` in existing code means `CscMatrix<f64>`; the
+//! mixed-precision factorisation path instantiates `CscMatrix<f32>`.
 
+use crate::scalar::Scalar;
 use crate::{CooMatrix, CsrMatrix, DenseMatrix, Result, SparseError};
 
 /// A sparse matrix in compressed sparse column form.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CscMatrix {
+pub struct CscMatrix<S = f64> {
     nrows: usize,
     ncols: usize,
     col_ptr: Vec<usize>,
     row_idx: Vec<usize>,
-    values: Vec<f64>,
+    values: Vec<S>,
 }
 
-impl CscMatrix {
+impl<S: Scalar> CscMatrix<S> {
     /// Builds a CSC matrix from raw parts, validating all invariants.
     ///
     /// # Examples
@@ -25,8 +30,8 @@ impl CscMatrix {
     /// use pangulu_sparse::CscMatrix;
     /// // [ 4 0 ]
     /// // [ 2 3 ]
-    /// let a = CscMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1],
-    ///                               vec![4.0, 2.0, 3.0]).unwrap();
+    /// let a: CscMatrix = CscMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1],
+    ///                                          vec![4.0, 2.0, 3.0]).unwrap();
     /// assert_eq!(a.get(1, 0), 2.0);
     /// assert_eq!(a.get(0, 1), 0.0);
     /// ```
@@ -35,7 +40,7 @@ impl CscMatrix {
         ncols: usize,
         col_ptr: Vec<usize>,
         row_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Result<Self> {
         let m = CscMatrix { nrows, ncols, col_ptr, row_idx, values };
         m.validate()?;
@@ -52,7 +57,7 @@ impl CscMatrix {
         ncols: usize,
         col_ptr: Vec<usize>,
         row_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Self {
         let m = CscMatrix { nrows, ncols, col_ptr, row_idx, values };
         debug_assert!(m.validate().is_ok(), "from_parts_unchecked given invalid structure");
@@ -77,7 +82,7 @@ impl CscMatrix {
             ncols: n,
             col_ptr: (0..=n).collect(),
             row_idx: (0..n).collect(),
-            values: vec![1.0; n],
+            values: vec![S::ONE; n],
         }
     }
 
@@ -175,19 +180,19 @@ impl CscMatrix {
 
     /// Value array (length `nnz`).
     #[inline]
-    pub fn values(&self) -> &[f64] {
+    pub fn values(&self) -> &[S] {
         &self.values
     }
 
     /// Mutable value array; the pattern stays fixed.
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [f64] {
+    pub fn values_mut(&mut self) -> &mut [S] {
         &mut self.values
     }
 
     /// The row indices and values of column `j`.
     #[inline]
-    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+    pub fn col(&self, j: usize) -> (&[usize], &[S]) {
         let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
         (&self.row_idx[lo..hi], &self.values[lo..hi])
     }
@@ -196,7 +201,7 @@ impl CscMatrix {
     /// The pattern itself cannot change — exactly what in-place kernels
     /// need.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> (&[usize], &mut [f64]) {
+    pub fn col_mut(&mut self, j: usize) -> (&[usize], &mut [S]) {
         let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
         (&self.row_idx[lo..hi], &mut self.values[lo..hi])
     }
@@ -205,7 +210,7 @@ impl CscMatrix {
     /// `(col_ptr, row_idx, values-mutable)`. Lets kernels hold the pattern
     /// and mutate values simultaneously.
     #[inline]
-    pub fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+    pub fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [S]) {
         (&self.col_ptr, &self.row_idx, &mut self.values)
     }
 
@@ -215,12 +220,12 @@ impl CscMatrix {
         self.col_ptr[j + 1] - self.col_ptr[j]
     }
 
-    /// Value at `(i, j)`, or 0.0 if not stored. O(log col_nnz).
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    /// Value at `(i, j)`, or zero if not stored. O(log col_nnz).
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (rows, vals) = self.col(j);
         match rows.binary_search(&i) {
             Ok(k) => vals[k],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
@@ -232,24 +237,24 @@ impl CscMatrix {
     }
 
     /// Iterates over stored entries in column-major order as `(row, col, value)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
         (0..self.ncols).flat_map(move |j| {
             let (rows, vals) = self.col(j);
             rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, j, v))
         })
     }
 
-    /// Converts to triplet form.
+    /// Converts to triplet form (widening values to `f64`).
     pub fn to_coo(&self) -> CooMatrix {
         let mut m = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         for (r, c, v) in self.iter() {
-            m.push(r, c, v).expect("csc indices are in bounds");
+            m.push(r, c, v.to_f64()).expect("csc indices are in bounds");
         }
         m
     }
 
     /// Converts to compressed sparse row form.
-    pub fn to_csr(&self) -> CsrMatrix {
+    pub fn to_csr(&self) -> CsrMatrix<S> {
         let mut row_counts = vec![0usize; self.nrows + 1];
         for &r in &self.row_idx {
             row_counts[r + 1] += 1;
@@ -259,7 +264,7 @@ impl CscMatrix {
         }
         let row_ptr = row_counts.clone();
         let mut col_idx = vec![0usize; self.nnz()];
-        let mut values = vec![0.0f64; self.nnz()];
+        let mut values = vec![S::ZERO; self.nnz()];
         let mut next = row_ptr.clone();
         // Walking columns in order makes each row's column list sorted.
         for j in 0..self.ncols {
@@ -274,17 +279,17 @@ impl CscMatrix {
         CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
     }
 
-    /// Converts to a dense column-major matrix.
+    /// Converts to a dense column-major matrix (widening values to `f64`).
     pub fn to_dense(&self) -> DenseMatrix {
         let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
         for (r, c, v) in self.iter() {
-            d[(r, c)] = v;
+            d[(r, c)] = v.to_f64();
         }
         d
     }
 
     /// Transpose (values included).
-    pub fn transpose(&self) -> CscMatrix {
+    pub fn transpose(&self) -> CscMatrix<S> {
         let t = self.to_csr();
         // CSR of A has the same memory layout as CSC of A^T.
         CscMatrix::from_parts_unchecked(
@@ -297,7 +302,7 @@ impl CscMatrix {
     }
 
     /// Returns a matrix with the same pattern and all values set to `v`.
-    pub fn with_constant_values(&self, v: f64) -> CscMatrix {
+    pub fn with_constant_values(&self, v: S) -> CscMatrix<S> {
         CscMatrix {
             nrows: self.nrows,
             ncols: self.ncols,
@@ -307,13 +312,27 @@ impl CscMatrix {
         }
     }
 
+    /// Re-types the matrix into another scalar precision: the pattern is
+    /// shared bit-for-bit, every value is rounded through `f64`.
+    /// `cast::<f32>()` is the precision drop of the mixed factorisation
+    /// path; casting back widens exactly.
+    pub fn cast<T: Scalar>(&self) -> CscMatrix<T> {
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: self.values.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
     /// Extracts the sub-matrix `rows x cols` given *sorted* index ranges
     /// expressed as half-open intervals. Used by the blocking stage.
     pub fn sub_matrix(
         &self,
         row_range: std::ops::Range<usize>,
         col_range: std::ops::Range<usize>,
-    ) -> CscMatrix {
+    ) -> CscMatrix<S> {
         let nrows = row_range.end - row_range.start;
         let ncols = col_range.end - col_range.start;
         let mut col_ptr = Vec::with_capacity(ncols + 1);
@@ -334,22 +353,22 @@ impl CscMatrix {
     }
 
     /// The lower triangle (diagonal included) as its own matrix.
-    pub fn lower_triangle(&self) -> CscMatrix {
+    pub fn lower_triangle(&self) -> CscMatrix<S> {
         self.filter_entries(|i, j| i >= j)
     }
 
     /// The upper triangle (diagonal included) as its own matrix.
-    pub fn upper_triangle(&self) -> CscMatrix {
+    pub fn upper_triangle(&self) -> CscMatrix<S> {
         self.filter_entries(|i, j| i <= j)
     }
 
-    /// The stored diagonal values (`0.0` where not stored).
-    pub fn diagonal(&self) -> Vec<f64> {
+    /// The stored diagonal values (zero where not stored).
+    pub fn diagonal(&self) -> Vec<S> {
         (0..self.nrows.min(self.ncols)).map(|j| self.get(j, j)).collect()
     }
 
     /// Keeps the entries for which `keep(row, col)` holds.
-    pub fn filter_entries(&self, keep: impl Fn(usize, usize) -> bool) -> CscMatrix {
+    pub fn filter_entries(&self, keep: impl Fn(usize, usize) -> bool) -> CscMatrix<S> {
         let mut col_ptr = Vec::with_capacity(self.ncols + 1);
         col_ptr.push(0usize);
         let mut row_idx = Vec::new();
@@ -367,14 +386,14 @@ impl CscMatrix {
         CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, values)
     }
 
-    /// Frobenius norm of the stored values.
+    /// Frobenius norm of the stored values (accumulated in `f64`).
     pub fn norm_fro(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.values.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
     }
 
     /// Maximum absolute stored value (0.0 for an empty matrix).
     pub fn norm_max(&self) -> f64 {
-        self.values.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        self.values.iter().fold(0.0f64, |m, v| m.max(v.to_f64().abs()))
     }
 
     /// `true` if every diagonal position of a square matrix is stored.
@@ -383,7 +402,7 @@ impl CscMatrix {
     }
 
     /// Drops stored entries with `|value| <= tol`, keeping the diagonal.
-    pub fn drop_tolerance(&self, tol: f64) -> CscMatrix {
+    pub fn drop_tolerance(&self, tol: f64) -> CscMatrix<S> {
         let mut col_ptr = Vec::with_capacity(self.ncols + 1);
         col_ptr.push(0);
         let mut row_idx = Vec::new();
@@ -391,7 +410,7 @@ impl CscMatrix {
         for j in 0..self.ncols {
             let (rows, vals) = self.col(j);
             for (&r, &v) in rows.iter().zip(vals) {
-                if v.abs() > tol || r == j {
+                if v.to_f64().abs() > tol || r == j {
                     row_idx.push(r);
                     values.push(v);
                 }
@@ -427,22 +446,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_ptr_len() {
-        assert!(CscMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
     }
 
     #[test]
     fn validate_rejects_unsorted_rows() {
-        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::<f64>::from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
     }
 
     #[test]
     fn validate_rejects_duplicate_rows() {
-        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::<f64>::from_parts(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
     }
 
     #[test]
     fn validate_rejects_oob_row() {
-        assert!(CscMatrix::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CscMatrix::<f64>::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
     }
 
     #[test]
@@ -471,7 +490,7 @@ mod tests {
 
     #[test]
     fn identity_is_identity() {
-        let i = CscMatrix::identity(4);
+        let i = CscMatrix::<f64>::identity(4);
         assert!(i.has_full_diagonal());
         assert_eq!(i.nnz(), 4);
         for j in 0..4 {
@@ -502,8 +521,14 @@ mod tests {
 
     #[test]
     fn drop_tolerance_keeps_diagonal() {
-        let m = CscMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1e-30, 2.0, 1e-30])
-            .unwrap();
+        let m = CscMatrix::<f64>::from_parts(
+            2,
+            2,
+            vec![0, 2, 3],
+            vec![0, 1, 1],
+            vec![1e-30, 2.0, 1e-30],
+        )
+        .unwrap();
         let d = m.drop_tolerance(1e-12);
         // Both tiny diagonal entries kept, the large off-diagonal kept.
         assert_eq!(d.nnz(), 3);
@@ -530,8 +555,17 @@ mod tests {
     }
 
     #[test]
+    fn cast_roundtrip_is_exact_for_f32_representable() {
+        let m = sample();
+        let f: CscMatrix<f32> = m.cast();
+        assert_eq!(f.get(2, 0), 2.0f32);
+        let back: CscMatrix<f64> = f.cast();
+        assert_eq!(back, m);
+    }
+
+    #[test]
     fn density_of_empty() {
-        assert_eq!(CscMatrix::zeros(0, 0).density(), 0.0);
+        assert_eq!(CscMatrix::<f64>::zeros(0, 0).density(), 0.0);
         assert!((sample().density() - 5.0 / 9.0).abs() < 1e-15);
     }
 }

@@ -3,26 +3,27 @@
 //! Used where row access is the natural traversal (TSTRF-style row
 //! operations, row-structure statistics); mirrors [`crate::CscMatrix`].
 
+use crate::scalar::Scalar;
 use crate::{CscMatrix, Result, SparseError};
 
 /// A sparse matrix in compressed sparse row form.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrix<S = f64> {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
-    values: Vec<f64>,
+    values: Vec<S>,
 }
 
-impl CsrMatrix {
+impl<S: Scalar> CsrMatrix<S> {
     /// Builds a CSR matrix from raw parts, validating all invariants.
     pub fn from_parts(
         nrows: usize,
         ncols: usize,
         row_ptr: Vec<usize>,
         col_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Result<Self> {
         let m = CsrMatrix { nrows, ncols, row_ptr, col_idx, values };
         m.validate()?;
@@ -35,7 +36,7 @@ impl CsrMatrix {
         ncols: usize,
         row_ptr: Vec<usize>,
         col_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Self {
         let m = CsrMatrix { nrows, ncols, row_ptr, col_idx, values };
         debug_assert!(m.validate().is_ok(), "from_parts_unchecked given invalid structure");
@@ -115,19 +116,19 @@ impl CsrMatrix {
 
     /// Value array.
     #[inline]
-    pub fn values(&self) -> &[f64] {
+    pub fn values(&self) -> &[S] {
         &self.values
     }
 
     /// Mutable value array; the pattern stays fixed.
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [f64] {
+    pub fn values_mut(&mut self) -> &mut [S] {
         &mut self.values
     }
 
     /// The column indices and values of row `i`.
     #[inline]
-    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+    pub fn row(&self, i: usize) -> (&[usize], &[S]) {
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
         (&self.col_idx[lo..hi], &self.values[lo..hi])
     }
@@ -138,17 +139,17 @@ impl CsrMatrix {
         self.row_ptr[i + 1] - self.row_ptr[i]
     }
 
-    /// Value at `(i, j)` or 0.0 if not stored.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    /// Value at `(i, j)` or zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (cols, vals) = self.row(i);
         match cols.binary_search(&j) {
             Ok(k) => vals[k],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
     /// Converts to CSC.
-    pub fn to_csc(&self) -> CscMatrix {
+    pub fn to_csc(&self) -> CscMatrix<S> {
         let mut col_counts = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
             col_counts[c + 1] += 1;
@@ -158,7 +159,7 @@ impl CsrMatrix {
         }
         let col_ptr = col_counts.clone();
         let mut row_idx = vec![0usize; self.nnz()];
-        let mut values = vec![0.0f64; self.nnz()];
+        let mut values = vec![S::ZERO; self.nnz()];
         let mut next = col_ptr.clone();
         for i in 0..self.nrows {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
@@ -202,7 +203,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad() {
-        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
-        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![3], vec![1.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(1, 2, vec![0, 1], vec![3], vec![1.0]).is_err());
     }
 }

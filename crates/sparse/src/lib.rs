@@ -27,12 +27,14 @@ pub mod gen;
 pub mod io;
 pub mod ops;
 pub mod permute;
+pub mod scalar;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use permute::Permutation;
+pub use scalar::{PlanIndex, Scalar};
 
 /// Errors produced by the sparse substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,209 @@
+//! The numeric value type of the solver stack.
+//!
+//! Everything numeric in the stack — matrix values, kernel arithmetic,
+//! wire payloads, plan arenas — is generic over [`Scalar`], with `f64`
+//! as the default type parameter so existing call sites compile
+//! unchanged. The only implementations are `f64` (the reference
+//! precision) and `f32` (the mixed-precision factorisation path, whose
+//! accuracy is recovered by iterative refinement in the solve phase).
+//!
+//! The trait deliberately exposes *width* alongside arithmetic:
+//! [`Scalar::WIDTH`] drives payload and copy accounting, and
+//! [`Scalar::WIDTH_TAG`] is stamped into every wire frame header so a
+//! receiver expecting one element width rejects frames carrying the
+//! other instead of reinterpreting bytes. [`Scalar::PlanIdx`] picks the
+//! index width of kernel plan arenas (`u32` for `f64`, `u16` for `f32`),
+//! which is what halves `plan_bytes` in mixed mode.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Index type stored in kernel plan arenas.
+///
+/// Plans hold positions *within a block* (row slots, value offsets), so
+/// narrower indices suffice when blocks are small; the f32 path uses
+/// `u16` and declines to plan any block whose index space does not fit
+/// (see the fits-guards in `pangulu-kernels::plan`).
+pub trait PlanIndex: Copy + Send + Sync + Debug + Eq + 'static {
+    /// Largest representable index.
+    const MAX_INDEX: usize;
+    /// Converts from `usize`; callers must have checked `v <= MAX_INDEX`.
+    fn from_usize(v: usize) -> Self;
+    /// Widens back to `usize`.
+    fn index(self) -> usize;
+}
+
+impl PlanIndex for u32 {
+    const MAX_INDEX: usize = u32::MAX as usize;
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        debug_assert!(v <= Self::MAX_INDEX);
+        v as u32
+    }
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl PlanIndex for u16 {
+    const MAX_INDEX: usize = u16::MAX as usize;
+    #[inline(always)]
+    fn from_usize(v: usize) -> Self {
+        debug_assert!(v <= Self::MAX_INDEX);
+        v as u16
+    }
+    #[inline(always)]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A floating-point element type the solver can factor in.
+///
+/// Sealed in spirit: only `f32` and `f64` make sense, and the codec's
+/// width tag has exactly two legal values.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + std::iter::Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Element width in bytes (4 or 8); drives payload accounting.
+    const WIDTH: usize;
+    /// Width tag stamped into wire frame headers (equals `WIDTH`).
+    const WIDTH_TAG: u8;
+    /// Human-readable precision label ("f64" / "f32") for reports.
+    const LABEL: &'static str;
+    /// Plan-arena index type (`u32` for f64, `u16` for f32).
+    type PlanIdx: PlanIndex;
+
+    /// Rounds an `f64` into this precision.
+    fn from_f64(v: f64) -> Self;
+    /// Widens to `f64` exactly.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Appends the little-endian bytes of `self` to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Reads one element from exactly `WIDTH` little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const WIDTH: usize = 8;
+    const WIDTH_TAG: u8 = 8;
+    const LABEL: &'static str = "f64";
+    type PlanIdx = u32;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().expect("8-byte element"))
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const WIDTH: usize = 4;
+    const WIDTH_TAG: u8 = 4;
+    const LABEL: &'static str = "f32";
+    type PlanIdx = u16;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes.try_into().expect("4-byte element"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_tags() {
+        assert_eq!(<f64 as Scalar>::WIDTH, std::mem::size_of::<f64>());
+        assert_eq!(<f32 as Scalar>::WIDTH, std::mem::size_of::<f32>());
+        assert_eq!(<f64 as Scalar>::WIDTH_TAG, 8);
+        assert_eq!(<f32 as Scalar>::WIDTH_TAG, 4);
+    }
+
+    #[test]
+    fn le_roundtrip() {
+        let mut buf = Vec::new();
+        1.5f64.write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf), 1.5);
+        buf.clear();
+        (-0.25f32).write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf), -0.25);
+    }
+
+    #[test]
+    fn f32_rounds_through_f64() {
+        let v = 1.0 + 1e-12; // not representable in f32
+        assert_eq!(f32::from_f64(v), 1.0f32);
+        assert_eq!(f32::from_f64(v).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn plan_index_bounds() {
+        assert_eq!(<u16 as PlanIndex>::MAX_INDEX, 65535);
+        assert_eq!(u16::from_usize(65535).index(), 65535);
+        assert_eq!(u32::from_usize(70000).index(), 70000);
+    }
+}

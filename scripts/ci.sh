@@ -19,6 +19,10 @@
 #           (channel/shm always; TCP/UDS when the environment permits
 #           binding localhost sockets — skipped loudly otherwise; see
 #           docs/TRANSPORT.md)
+#   precision  mixed-precision layer: the solver's mixed/fallback unit
+#           tests, the ill-conditioned fallback suite, and the
+#           golden-corpus mixed-precision equivalence assertions
+#           (see docs/PRECISION.md)
 #   bench   benchmark-regression gates: smoke + refactor + kernel
 #           baselines (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
 #   bench-kernels  the kernel-plan gate alone: re-runs bench_kernels and
@@ -80,6 +84,12 @@ stage_transport() {
         --test transport_conformance --test wire_model --test failure_modes
 }
 
+stage_precision() {
+    cargo test --release -q -p pangulu-core --lib -- \
+        mixed precision scalar_width fallback falls_back widened
+    cargo test --release -q --test precision_fallback --test solver_equivalence
+}
+
 stage_bench() {
     scripts/bench_compare.sh
 }
@@ -92,7 +102,7 @@ stage_bench_kernels() {
     ./target/release/bench_compare data/BENCH_kernels.json "$fresh/BENCH_kernels.json"
 }
 
-all_stages=(fmt clippy build test doc trace sched transport bench bench-kernels)
+all_stages=(fmt clippy build test doc trace sched transport precision bench bench-kernels)
 
 only=""
 if [[ "${1:-}" == "--stage" ]]; then

@@ -49,6 +49,6 @@ pub use pangulu_symbolic as symbolic;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use pangulu_core::solver::{Solver, SolverBuilder, SolverOptions, SolverPlan};
+    pub use pangulu_core::solver::{Precision, Solver, SolverBuilder, SolverOptions, SolverPlan};
     pub use pangulu_sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix};
 }

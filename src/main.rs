@@ -16,6 +16,8 @@
 //!       --ordering <o>     auto | amd | nd | rcm | natural  [default auto]
 //!       --no-balance       disable the static load balancer
 //!       --no-adaptive      disable decision-tree kernel selection
+//!       --precision <p>    f64 | mixed (f32 factor + refined solve)
+//!                                                            [default f64]
 //!       --refine <tol>     iterative refinement to the given tolerance
 //!       --refactor-reps <n> re-run the numeric-only refactorisation n times
 //!       --rhs <path>       right-hand side file (one value per line)
@@ -47,6 +49,7 @@ struct Cli {
     ordering: FillReducing,
     balance: bool,
     adaptive: bool,
+    precision: Precision,
     refine: Option<f64>,
     refactor_reps: usize,
     rhs: Option<String>,
@@ -73,6 +76,8 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
       --ordering <o>     auto | amd | nd | rcm | natural    [default auto]
       --no-balance       disable the static load balancer
       --no-adaptive      disable decision-tree kernel selection
+      --precision <p>    f64 | mixed (f32 factor + refined solve)
+                                                           [default f64]
       --refine <tol>     iterative refinement to the given tolerance
       --refactor-reps <n> re-run the numeric-only refactorisation n times
       --rhs <path>       right-hand side file (one value per line)
@@ -94,6 +99,7 @@ fn parse_args() -> Cli {
         ordering: FillReducing::Auto,
         balance: true,
         adaptive: true,
+        precision: Precision::F64,
         refine: None,
         refactor_reps: 0,
         rhs: None,
@@ -158,6 +164,16 @@ fn parse_args() -> Cli {
                 }
             }
             "--no-balance" => cli.balance = false,
+            "--precision" => {
+                cli.precision = match next(&mut args, "--precision").as_str() {
+                    "f64" => Precision::F64,
+                    "mixed" => Precision::MixedF32,
+                    other => {
+                        eprintln!("unknown precision {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--no-adaptive" => cli.adaptive = false,
             "--refine" => {
                 cli.refine = Some(next(&mut args, "--refine").parse().unwrap_or_else(|_| usage()))
@@ -243,7 +259,8 @@ fn main() -> ExitCode {
         .transport(cli.transport)
         .fill_reducing(cli.ordering)
         .adaptive_kernels(cli.adaptive)
-        .load_balance(cli.balance);
+        .load_balance(cli.balance)
+        .precision(cli.precision);
     if let Some(nb) = cli.nb {
         builder = builder.block_size(nb);
     }
@@ -293,6 +310,19 @@ fn main() -> ExitCode {
     }
     if s.perturbed_pivots > 0 {
         println!("static pivoting perturbed {} pivots", s.perturbed_pivots);
+    }
+    if cli.precision == Precision::MixedF32 {
+        let pc = solver.precision_counters();
+        match solver.effective_precision() {
+            Precision::MixedF32 => println!(
+                "precision: mixed f32 factors | probe refinement {} iters",
+                pc.probe_refine_iters
+            ),
+            Precision::F64 => println!(
+                "precision: fell back to f64 (f32 refinement stalled; {} fallback)",
+                pc.precision_fallbacks
+            ),
+        }
     }
     if let Some(path) = &cli.report_json {
         match &s.report {
@@ -363,6 +393,15 @@ fn main() -> ExitCode {
         },
     };
     println!("relative residual {resid:.3e}");
+    if cli.precision == Precision::MixedF32 {
+        let pc = solver.precision_counters();
+        if pc.refined_solves > 0 {
+            println!(
+                "precision: {} refined solves | {} refinement iters total",
+                pc.refined_solves, pc.refine_iters
+            );
+        }
+    }
 
     if let Some(path) = &cli.out {
         let mut f = match std::fs::File::create(path) {

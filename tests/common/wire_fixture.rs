@@ -134,6 +134,26 @@ pub fn factor_values(
     (bm.to_csc().values().to_vec(), report)
 }
 
+/// As [`factor_values`], but running the numeric phase in f32 — the
+/// mixed-precision column of the conformance suite. The owner map comes
+/// from the f64 pattern (layout is value-free, so it is identical), and
+/// the returned words are the raw f32 factor bits for exact
+/// cross-backend comparison.
+pub fn factor_values32(
+    prob: &Problem,
+    pr: usize,
+    pc: usize,
+    cfg: &FactorConfig,
+) -> (Vec<u32>, RunReport) {
+    let mut bm = prob.bm.cast::<f32>();
+    let owners = OwnerMap::balanced(&prob.bm, ProcessGrid::with_shape(pr, pc), &prob.tg);
+    let report = factor_distributed_checked(&mut bm, &prob.tg, &owners, &prob.sel, 1e-12, cfg)
+        .unwrap_or_else(|e| panic!("{pr}x{pc} f32 ({:?} transport): {e}", cfg.transport))
+        .report;
+    let bits = bm.to_csc().values().iter().map(|v| v.to_bits()).collect();
+    (bits, report)
+}
+
 /// The expected `(from, to, msgs, bytes)` rows for one problem/grid.
 pub fn expected_edges(seed: u64, grid: &str) -> Vec<(usize, usize, u64, u64)> {
     EXPECTED_EDGES

@@ -1,0 +1,96 @@
+//! Transparent mixed-precision fallback: an ill-conditioned system
+//! whose f32 factorisation cannot be refined to f64 accuracy must
+//! re-factor in f64 behind the same API — no error reaches the caller,
+//! the solve meets f64 accuracy, and the fallback is visible only in
+//! the counters (`precision_fallbacks = 1`, both in
+//! `Solver::precision_counters` and the multi-rank `RunReport`).
+
+use pangulu::prelude::*;
+use pangulu::sparse::ops::{relative_residual, spmv};
+use pangulu::sparse::{gen, CooMatrix, CscMatrix};
+
+/// The Hilbert matrix `H[i][j] = 1/(i+j+1)`: at order 10 its condition
+/// number is ~1.6e13, so `cond(A)·eps_f32 ≫ 1` and f32-preconditioned
+/// refinement stalls far above any f64 residual gate — while the f64
+/// factorisation still solves it backward-stably. Its ill-conditioning
+/// survives row/column scaling, which defeats MC64-equilibration
+/// rescues that a merely badly-scaled fixture would enjoy.
+fn hilbert(n: usize) -> CscMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            coo.push(i, j, 1.0 / ((i + j + 1) as f64)).unwrap();
+        }
+    }
+    coo.to_csc()
+}
+
+#[test]
+fn ill_conditioned_fixture_falls_back_without_surfacing_an_error() {
+    for (tag, ranks) in [("seq", 1usize), ("2x1 grid", 2), ("2x2 grid", 4)] {
+        let a = hilbert(10);
+        // The factorisation itself must succeed — the fallback is
+        // internal, not an error path.
+        let solver = Solver::builder()
+            .precision(Precision::MixedF32)
+            .ranks(ranks)
+            .build(&a)
+            .unwrap_or_else(|e| panic!("{tag}: fallback surfaced an error: {e}"));
+
+        assert_eq!(solver.precision(), Precision::MixedF32, "{tag}: requested mode kept");
+        assert_eq!(solver.effective_precision(), Precision::F64, "{tag}: factors must be f64");
+        assert!(solver.factored32().is_none(), "{tag}: no f32 factors may survive a fallback");
+
+        let c = solver.precision_counters();
+        assert_eq!(c.precision_fallbacks, 1, "{tag}");
+        assert_eq!(c.mixed_factors, 0, "{tag}");
+        assert!(c.probe_refine_iters > 0, "{tag}: the probe never ran");
+
+        if ranks > 1 {
+            let report = solver.stats().report.as_ref().expect("multi-rank run report");
+            assert_eq!(report.precision_fallbacks, 1, "{tag}: fallback missing from run report");
+            assert_eq!(report.scalar_width, 8, "{tag}: report must come from the f64 run");
+        }
+
+        // And the solver actually solves the system at f64 accuracy.
+        let x_true = gen::test_rhs(a.nrows(), 3);
+        let b = spmv(&a, &x_true).unwrap();
+        let x = solver.solve(&b).unwrap();
+        let r = relative_residual(&a, &x, &b).unwrap();
+        assert!(r < 1e-12, "{tag}: fallback residual {r:.3e}");
+    }
+}
+
+/// A fallback pins the solver to f64 for its remaining lifetime:
+/// refactoring with the same (still ill-conditioned) values does not
+/// retry the f32 path, and the counters keep the single fallback.
+#[test]
+fn fallback_is_sticky_across_refactorisations() {
+    let a = hilbert(10);
+    let mut solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+    assert_eq!(solver.precision_counters().precision_fallbacks, 1);
+
+    solver.refactor(&a).unwrap();
+    assert_eq!(solver.effective_precision(), Precision::F64);
+    let c = solver.precision_counters();
+    assert_eq!(c.precision_fallbacks, 1, "a sticky fallback must not re-probe and re-fall");
+    assert_eq!(c.mixed_factors, 0);
+
+    let x_true = gen::test_rhs(a.nrows(), 5);
+    let b = spmv(&a, &x_true).unwrap();
+    let x = solver.solve(&b).unwrap();
+    assert!(relative_residual(&a, &x, &b).unwrap() < 1e-12);
+}
+
+/// A well-conditioned system in the same session stays on the f32 path —
+/// the fallback is a per-solver decision, not a global switch.
+#[test]
+fn fallback_does_not_leak_across_solvers() {
+    let bad = hilbert(10);
+    let good = gen::laplacian_2d(12, 12);
+    let s_bad = Solver::builder().precision(Precision::MixedF32).build(&bad).unwrap();
+    let s_good = Solver::builder().precision(Precision::MixedF32).build(&good).unwrap();
+    assert_eq!(s_bad.effective_precision(), Precision::F64);
+    assert_eq!(s_good.effective_precision(), Precision::MixedF32);
+    assert_eq!(s_good.precision_counters().precision_fallbacks, 0);
+}

@@ -95,6 +95,58 @@ fn golden_corpus_residuals_stay_within_recorded_bounds() {
     }
 }
 
+/// Mixed precision on the golden corpus: the f32-factor /
+/// refined-solve path must meet the SAME recorded f64 bounds on every
+/// matrix — iterative refinement recovers full f64 accuracy — with a
+/// bounded, deterministic number of refinement iterations, no
+/// fallbacks, and f32 factors bitwise identical between the 1-rank and
+/// 4-rank grids.
+#[test]
+fn golden_corpus_mixed_precision_meets_f64_bounds() {
+    // Recorded per-matrix refinement iteration counts (all 2 at
+    // recording time; bound 8 leaves margin without letting the loop
+    // degenerate). Deterministic: refinement always runs sequentially.
+    const MAX_REFINE: u64 = 8;
+    for (name, bound) in GOLDEN_BOUNDS {
+        let a = golden_matrix(name);
+        let b = gen::test_rhs(a.nrows(), 11);
+
+        let m1 = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let m4 = Solver::builder().precision(Precision::MixedF32).ranks(4).build(&a).unwrap();
+        assert_eq!(m1.effective_precision(), Precision::MixedF32, "{name}: 1-rank fell back");
+        assert_eq!(m4.effective_precision(), Precision::MixedF32, "{name}: 4-rank fell back");
+
+        let x1 = m1.solve(&b).unwrap();
+        let x4 = m4.solve(&b).unwrap();
+        let r1 = relative_residual(&a, &x1, &b).unwrap();
+        let r4 = relative_residual(&a, &x4, &b).unwrap();
+        assert!(r1 < bound, "{name}: mixed 1-rank residual {r1:.3e} over f64 bound {bound:.0e}");
+        assert!(r4 < bound, "{name}: mixed 4-rank residual {r4:.3e} over f64 bound {bound:.0e}");
+
+        for (tag, s) in [("1-rank", &m1), ("4-rank", &m4)] {
+            let c = s.precision_counters();
+            assert_eq!(c.precision_fallbacks, 0, "{name} {tag}");
+            assert_eq!(c.refined_solves, 1, "{name} {tag}");
+            assert!(
+                c.refine_iters >= 1 && c.refine_iters <= MAX_REFINE,
+                "{name} {tag}: {} refinement iterations out of bounds",
+                c.refine_iters
+            );
+        }
+        // Same grid-independence contract as the f64 factors, but on
+        // the raw f32 bits.
+        let f1 = m1.factored32().unwrap();
+        let f4 = m4.factored32().unwrap();
+        for id in 0..f1.num_blocks() {
+            assert_eq!(
+                f1.block(id).values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                f4.block(id).values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{name}: f32 factors differ between grids in block {id}"
+            );
+        }
+    }
+}
+
 #[test]
 fn block_size_does_not_change_solution() {
     let a = gen::cage_like(250, 17);

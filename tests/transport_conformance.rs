@@ -22,7 +22,8 @@ use pangulu::metrics::RunReport;
 #[path = "common/wire_fixture.rs"]
 mod wire_fixture;
 use wire_fixture::{
-    expected_edges, factor, factor_values, observed_edges, problem, Problem, GRIDS, PROBLEMS,
+    expected_edges, factor, factor_values, factor_values32, observed_edges, problem, Problem,
+    GRIDS, PROBLEMS,
 };
 
 /// Every backend available in this environment. Channel and Shm are
@@ -198,6 +199,75 @@ fn stall_timeout_error_is_structured_on_every_backend() {
         let text = err.to_string();
         assert!(text.contains("rank"), "{kind}: error names the blocked rank: {text}");
         assert!(text.contains("missing"), "{kind}: error names missing operands: {text}");
+    }
+}
+
+/// The mixed-precision column of the determinism matrix: factoring the
+/// same fixture in f32 keeps the cross-backend bitwise contract — every
+/// backend, every policy, both grids produce word-for-word identical
+/// f32 factors — and every report is stamped with the 4-byte scalar
+/// width. This is the contract the mixed-precision solver leans on when
+/// it promises grid- and transport-independent f32 factors.
+#[test]
+fn mixed_precision_factors_bitwise_identical_across_backends() {
+    let prob = problem(42, 80, 9);
+    for (pr, pc) in [(2, 2), (1, 4)] {
+        for policy in POLICIES {
+            let mut reference: Option<Vec<u32>> = None;
+            for kind in backends() {
+                let cfg = cfg_on(kind, ScheduleMode::SyncFree).with_policy(policy);
+                let (bits, report) = factor_values32(&prob, pr, pc, &cfg);
+                assert_eq!(report.scalar_width, 4, "{kind}: f32 run must report 4-byte scalars");
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(ref_bits) => assert!(
+                        ref_bits == &bits,
+                        "{kind}: {pr}x{pc} {policy:?} f32 factors are not bitwise \
+                         identical to the channel reference"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Halved payload on the wire: an f32 run sends the same messages and
+/// frames as the f64 run (the schedule is pattern-driven), but every
+/// payload element shrinks from 8 to 4 bytes while the per-frame
+/// overhead — 4-byte length prefix plus the 56-byte body header — is
+/// precision-independent. On the byte backends the codec counters must
+/// reflect exactly that split; the channel backend charges nothing in
+/// either precision. The mailbox accounting above the transport obeys
+/// the same relation with its own 24-byte per-message header.
+#[test]
+fn mixed_precision_halves_codec_payload_on_every_byte_backend() {
+    const FRAME_OVERHEAD: u64 = 60; // 4-byte length prefix + 56-byte body header
+    const MSG_OVERHEAD: u64 = 24; // mailbox accounting header per message
+    let prob = problem(41, 96, 10);
+    let msgs = |r: &RunReport| r.per_rank.iter().map(|p| p.comm.msgs_sent).sum::<u64>();
+    let bytes = |r: &RunReport| r.per_rank.iter().map(|p| p.comm.bytes_sent).sum::<u64>();
+    let frames = |r: &RunReport| r.per_rank.iter().map(|p| p.comm.frames_sent).sum::<u64>();
+    let codec = |r: &RunReport| r.per_rank.iter().map(|p| p.comm.codec_bytes_encoded).sum::<u64>();
+    for kind in backends() {
+        let cfg = cfg_on(kind, ScheduleMode::SyncFree);
+        let (_, r64) = factor_values(&prob, 2, 2, &cfg);
+        let (_, r32) = factor_values32(&prob, 2, 2, &cfg);
+        assert_eq!(msgs(&r32), msgs(&r64), "{kind}: precision must not change the schedule");
+        let m = msgs(&r64);
+        assert_eq!(
+            bytes(&r32) - MSG_OVERHEAD * m,
+            (bytes(&r64) - MSG_OVERHEAD * m) / 2,
+            "{kind}: mailbox payload accounting must halve exactly"
+        );
+        if kind.uses_codec() {
+            assert_eq!(frames(&r32), frames(&r64), "{kind}: one frame per send, any width");
+            let f = frames(&r64);
+            let (p32, p64) = (codec(&r32) - FRAME_OVERHEAD * f, codec(&r64) - FRAME_OVERHEAD * f);
+            assert_eq!(p64, 2 * p32, "{kind}: encoded payload bytes must halve exactly");
+            assert!(p32 > 0, "{kind}: the f32 run must still encode real payloads");
+        } else {
+            assert_eq!(codec(&r32), 0, "{kind}: no wire, no codec counters in f32 either");
+        }
     }
 }
 
