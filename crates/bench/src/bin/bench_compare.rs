@@ -80,8 +80,15 @@ const EXACT_KEYS: [&str; 19] = [
 /// silently dropped counter must not pass the gate — while absent from
 /// the baseline means the baseline predates the counter and the key is
 /// skipped.
-const OPTIONAL_EXACT_KEYS: [&str; 4] =
-    ["mixed_bytes", "mixed_plan_bytes", "refine_iters", "precision_fallbacks"];
+const OPTIONAL_EXACT_KEYS: [&str; 7] = [
+    "mixed_bytes",
+    "mixed_plan_bytes",
+    "refine_iters",
+    "precision_fallbacks",
+    "plan_runs",
+    "run_axpy_entries",
+    "probe_skips",
+];
 /// Residual-gated keys that only some schemas emit, same presence rules
 /// as [`OPTIONAL_EXACT_KEYS`].
 const OPTIONAL_RESIDUAL_KEYS: [&str; 1] = ["mixed_residual"];

@@ -19,6 +19,15 @@
 //! `index_searches_avoided`, `plan_bytes`) that `bench_compare` gates
 //! exactly; wall time is gated on the corpus total like the other
 //! benchmark schemas.
+//!
+//! A third, **f32 lane A/B** arm narrows the same scenario to f32,
+//! rebuilds the (u16-indexed) plans, asserts the f32 planned result is
+//! bitwise identical to the unplanned f32 `C_V1` run, then times the
+//! planned f32 kernel. `{label}_f32_planned_seconds` and
+//! `{label}_lane_speedup` (f64-planned over f32-planned — the payoff of
+//! twice the lanes per vector register on the same run-segmented slice
+//! loops) are informational keys, never exact-gated; the f64 kernels
+//! alone define the gated wall.
 
 use std::time::Instant;
 
@@ -89,6 +98,8 @@ struct SweepPoint {
     nb: usize,
     /// (label, unplanned seconds, planned seconds) per kernel class.
     kernels: Vec<(&'static str, f64, f64)>,
+    /// (label, planned f32 seconds) per kernel class — the lane A/B arm.
+    lanes: Vec<(&'static str, f64)>,
     planned_calls: u64,
     index_searches_avoided: u64,
     plan_bytes: u64,
@@ -165,6 +176,58 @@ fn run_point(c: &mut Criterion, bm: &BlockMatrix, tg: &TaskGraph, nb: usize) -> 
     });
     kernels.push(("ssssm", un, pl));
 
+    // f32 lane A/B arm: same scenario narrowed, plans rebuilt over the
+    // u16 arena, bitwise identity asserted before any timing.
+    let d32 = s.diag_lu.cast::<f32>();
+    let upper32 = s.upper.cast::<f32>();
+    let lower32 = s.lower.cast::<f32>();
+    let l32 = s.l_op.cast::<f32>();
+    let uop32 = s.u_op.cast::<f32>();
+    let target32 = s.target.cast::<f32>();
+    let mut scratch32 = KernelScratch::<f32>::with_capacity(bm.nb());
+    let mut arena32 = Vec::new();
+    let p_gessm32 = plan::build_gessm_plan(&d32, &upper32, &mut arena32);
+    let p_tstrf32 = plan::build_tstrf_plan(&d32, &lower32, &mut arena32);
+    let p_ssssm32 = plan::build_ssssm_plan(&l32, &uop32, &target32, &mut arena32);
+    let mut want = upper32.clone();
+    trsm::gessm(&d32, &mut want, TrsmVariant::CV1, &mut scratch32);
+    let mut got = upper32.clone();
+    plan::gessm_planned(&d32, &mut got, &p_gessm32, &arena32);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned f32 GESSM diverged");
+    let mut want = lower32.clone();
+    trsm::tstrf(&d32, &mut want, TrsmVariant::CV1, &mut scratch32);
+    let mut got = lower32.clone();
+    plan::tstrf_planned(&d32, &mut got, &p_tstrf32, &arena32);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned f32 TSTRF diverged");
+    let mut want = target32.clone();
+    ssssm::ssssm(&l32, &uop32, &mut want, SsssmVariant::CV1, &mut scratch32);
+    let mut got = target32.clone();
+    plan::ssssm_planned(&l32, &uop32, &mut got, &p_ssssm32, &arena32);
+    assert_eq!(want.values(), got.values(), "nb{nb}: planned f32 SSSSM diverged");
+
+    let mut lanes = Vec::new();
+    let pl32 = timed(c, &group, "gessm/P_V1_f32", || {
+        let mut b = upper32.clone();
+        let t = Instant::now();
+        plan::gessm_planned(&d32, &mut b, &p_gessm32, &arena32);
+        t.elapsed().as_secs_f64()
+    });
+    lanes.push(("gessm", pl32));
+    let pl32 = timed(c, &group, "tstrf/P_V1_f32", || {
+        let mut b = lower32.clone();
+        let t = Instant::now();
+        plan::tstrf_planned(&d32, &mut b, &p_tstrf32, &arena32);
+        t.elapsed().as_secs_f64()
+    });
+    lanes.push(("tstrf", pl32));
+    let pl32 = timed(c, &group, "ssssm/P_V1_f32", || {
+        let mut t_blk = target32.clone();
+        let t = Instant::now();
+        plan::ssssm_planned(&l32, &uop32, &mut t_blk, &p_ssssm32, &arena32);
+        t.elapsed().as_secs_f64()
+    });
+    lanes.push(("ssssm", pl32));
+
     let searches = p_gessm.searches_avoided + p_tstrf.searches_avoided + p_ssssm.searches_avoided;
     let plan_bytes = (std::mem::size_of_val(arena.as_slice())
         + std::mem::size_of_val(p_gessm.srcs.as_slice())
@@ -174,6 +237,7 @@ fn run_point(c: &mut Criterion, bm: &BlockMatrix, tg: &TaskGraph, nb: usize) -> 
     SweepPoint {
         nb,
         kernels,
+        lanes,
         planned_calls: 3 * SAMPLES as u64,
         index_searches_avoided: searches * SAMPLES as u64,
         plan_bytes,
@@ -196,6 +260,11 @@ fn point_json(p: &SweepPoint) -> Json {
         obj.push((format!("{label}_seconds"), num(*un)));
         obj.push((format!("{label}_planned_seconds"), num(*pl)));
         obj.push((format!("{label}_planned_speedup"), num(un / pl)));
+    }
+    // Lane A/B — informational, never exact-gated (pure timing).
+    for ((label, _, pl), (_, pl32)) in p.kernels.iter().zip(&p.lanes) {
+        obj.push((format!("{label}_f32_planned_seconds"), num(*pl32)));
+        obj.push((format!("{label}_lane_speedup"), num(pl / pl32)));
     }
     // The full exact-key set of the shared gate schema; keys that have no
     // meaning for a single-process micro-benchmark are constant zeros.
@@ -249,12 +318,15 @@ fn main() {
         let bm = BlockMatrix::from_filled(&filled, nb).expect("blocking");
         let tg = TaskGraph::build(&bm);
         let p = run_point(&mut c, &bm, &tg, nb);
-        for (label, un, pl) in &p.kernels {
+        for ((label, un, pl), (_, pl32)) in p.kernels.iter().zip(&p.lanes) {
             println!(
-                "nb{nb:03} {label}: unplanned {:>9.3e}s  planned {:>9.3e}s  ({:>5.2}x)",
+                "nb{nb:03} {label}: unplanned {:>9.3e}s  planned {:>9.3e}s  ({:>5.2}x)  \
+                 f32 planned {:>9.3e}s  (lane {:>5.2}x)",
                 un,
                 pl,
-                un / pl
+                un / pl,
+                pl32,
+                pl / pl32
             );
         }
         points.push(p);

@@ -3,7 +3,9 @@
 //!
 //! For every matrix of the shared smoke corpus, factors once on a 2x2
 //! rank grid (the full five-phase pipeline), then calls
-//! [`Solver::refactor`] `PANGULU_REFACTOR_REPS` times (default 3) with
+//! [`Solver::refactor`] `PANGULU_REFACTOR_REPS` times (default 5, so the
+//! default probe cadence of 4 shows both skipped and mid-sequence probed
+//! refactorisations) with
 //! the same values and keeps the minimum steady-state wall time. The
 //! emitted `BENCH_refactor.json` carries, per matrix:
 //!
@@ -50,14 +52,30 @@
 //!   indices u32 to u16) and exact-gated along with the refinement
 //!   iteration count of one solve (`refine_iters`) and
 //!   `precision_fallbacks` (must be 0 — the whole corpus is
-//!   well-conditioned enough for the f32 path).
+//!   well-conditioned enough for the f32 path). The mixed arm's
+//!   refactors run under the default acceptance-probe cadence, so
+//!   `probe_skips` (exact-gated) counts the probe solves the steady
+//!   state never paid, and the harness asserts it is non-zero;
+//! * run-segmented planned replay: `plan_runs` and `run_axpy_entries`
+//!   (both exact-gated) record how many contiguous-run segments the
+//!   plans compressed to and how many entries executed as slice-loop
+//!   continuations rather than per-entry scatter.
+//!
+//! `--scale <k>` (or `PANGULU_BENCH_SCALE`) multiplies every corpus
+//! generator's leading dimension. The default — and the committed-
+//! baseline configuration — is **scale 2**: past the crossover where
+//! the mixed arm's halved memory traffic wins in wall time
+//! (`mixed_speedup > 1` on the bandwidth-bound matrices; see the
+//! honest-accounting notes in docs/PRECISION.md — matrices whose f32
+//! factors land in the subnormal range stay below 1). `--scale 1`
+//! reproduces the historical smoke-sized corpus.
 //!
 //! `scripts/bench_compare.sh` diffs a fresh emission against the
 //! checked-in baseline `data/BENCH_refactor.json`.
 
 use std::time::Instant;
 
-use pangulu_bench::{data_dir, secs, smoke_corpus};
+use pangulu_bench::{data_dir, secs, smoke_corpus_scaled};
 use pangulu_comm::{sockets_available, TransportKind};
 use pangulu_core::solver::{Precision, Solver};
 use pangulu_core::SchedulePolicy;
@@ -76,7 +94,33 @@ fn reps() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&r| r >= 1)
-        .unwrap_or(3)
+        .unwrap_or(5)
+}
+
+/// Default corpus scale: past the mixed-precision wall-time crossover on
+/// the bandwidth-bound corpus matrices, small enough for every CI run.
+const DEFAULT_SCALE: usize = 2;
+
+/// Corpus scale factor: `--scale <k>` argument, else `PANGULU_BENCH_SCALE`,
+/// else [`DEFAULT_SCALE`] — the committed-baseline configuration
+/// (`scripts/bench_compare.sh` passes no arguments, so the checked-in
+/// `BENCH_refactor.json` is always the default-scale corpus).
+fn corpus_scale() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&k| k >= 1)
+                .expect("--scale needs a positive integer");
+        }
+    }
+    std::env::var("PANGULU_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 1)
+        .unwrap_or(DEFAULT_SCALE)
 }
 
 struct RefactorResult {
@@ -116,6 +160,9 @@ struct RefactorResult {
     mixed_residual: f64,
     refine_iters: u64,
     precision_fallbacks: u64,
+    /// Probe solves the mixed arm's cadence skipped across its reps
+    /// (deterministic: reps and cadence are both fixed).
+    probe_skips: u64,
     /// Minimum numeric-phase time across the refactorisation reps.
     numeric_seconds: f64,
     residual: f64,
@@ -239,6 +286,7 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
     let xm = mixed.solve(&b).unwrap_or_else(|e| panic!("{name}: mixed solve failed: {e}"));
     let mixed_residual = ops::relative_residual(a, &xm, &b).expect("mixed residual");
     let refine_iters = mixed.precision_counters().refine_iters - before.refine_iters;
+    let probe_skips = mixed.precision_counters().probe_skips;
     RefactorResult {
         name,
         n: a.nrows(),
@@ -261,6 +309,7 @@ fn run_one(name: &'static str, a: &CscMatrix, reps: usize, ab: TransportKind) ->
         mixed_residual,
         refine_iters,
         precision_fallbacks: before.precision_fallbacks,
+        probe_skips,
         numeric_seconds: best_numeric,
         residual,
         report,
@@ -307,6 +356,8 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("planned_calls".into(), num(mem.planned_calls as f64)),
         ("index_searches_avoided".into(), num(mem.index_searches_avoided as f64)),
         ("plan_bytes".into(), num(mem.plan_bytes as f64)),
+        ("plan_runs".into(), num(mem.plan_runs as f64)),
+        ("run_axpy_entries".into(), num(mem.run_axpy_entries as f64)),
         ("reorder_runs".into(), num(r.phases.reorder_runs as f64)),
         ("symbolic_runs".into(), num(r.phases.symbolic_runs as f64)),
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),
@@ -339,6 +390,7 @@ fn matrix_json(r: &RefactorResult) -> Json {
         ("mixed_plan_bytes".into(), num(r.mixed_plan_bytes as f64)),
         ("refine_iters".into(), num(r.refine_iters as f64)),
         ("precision_fallbacks".into(), num(r.precision_fallbacks as f64)),
+        ("probe_skips".into(), num(r.probe_skips as f64)),
         ("observed_flops".into(), num(r.report.observed_flops())),
         ("predicted_flops".into(), num(r.report.predicted_flops)),
     ])
@@ -346,9 +398,10 @@ fn matrix_json(r: &RefactorResult) -> Json {
 
 fn main() {
     let reps = reps();
+    let scale = corpus_scale();
     let ab = ab_transport();
     let mut results = Vec::new();
-    for (name, a) in smoke_corpus() {
+    for (name, a) in smoke_corpus_scaled(scale) {
         let r = run_one(name, &a, reps, ab);
         println!(
             "{:<14} n {:>5}  nnz {:>6}  first {:>8.4}s  steady {:>8.4}s  ({:>4.1}x)  \
@@ -387,6 +440,15 @@ fn main() {
         );
         assert!(r.codec_bytes_encoded > 0, "{name}: byte transport encoded nothing");
         assert_eq!(r.precision_fallbacks, 0, "{name}: mixed arm fell back to f64");
+        assert!(
+            r.probe_skips > 0,
+            "{name}: steady-state mixed refactors never skipped the acceptance probe"
+        );
+        assert!(mem.plan_runs > 0, "{name}: planned replay recorded no run segments");
+        assert!(
+            mem.run_axpy_entries > 0,
+            "{name}: planned replay executed no entries as slice-loop continuations"
+        );
         assert!(
             r.mixed_residual < 1e-11,
             "{name}: refined mixed residual {} misses the f64 gate",
@@ -434,6 +496,7 @@ fn main() {
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("ranks".into(), num(RANKS as f64)),
         ("reps".into(), num(reps as f64)),
+        ("scale".into(), num(scale as f64)),
         ("total_wall_seconds".into(), num(total_wall)),
         ("matrices".into(), Json::Arr(results.iter().map(matrix_json).collect())),
     ]);

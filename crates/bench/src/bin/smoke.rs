@@ -126,6 +126,8 @@ fn matrix_json(r: &SmokeResult) -> Json {
         ("planned_calls".into(), num(mem.planned_calls as f64)),
         ("index_searches_avoided".into(), num(mem.index_searches_avoided as f64)),
         ("plan_bytes".into(), num(mem.plan_bytes as f64)),
+        ("plan_runs".into(), num(mem.plan_runs as f64)),
+        ("run_axpy_entries".into(), num(mem.run_axpy_entries as f64)),
         ("reorder_runs".into(), num(r.phases.reorder_runs as f64)),
         ("symbolic_runs".into(), num(r.phases.symbolic_runs as f64)),
         ("preprocess_runs".into(), num(r.phases.preprocess_runs as f64)),

@@ -88,14 +88,28 @@ pub fn secs(d: Duration) -> f64 {
 /// tens-of-milliseconds range (sub-10ms runs are all spawn jitter) while
 /// staying fast enough for every CI invocation.
 pub fn smoke_corpus() -> Vec<(&'static str, CscMatrix)> {
+    smoke_corpus_scaled(1)
+}
+
+/// The smoke corpus with the generator dimensions scaled by `scale`.
+/// `scale = 1` is exactly [`smoke_corpus`] — the committed smoke
+/// baseline — while larger scales grow each matrix *towards its own
+/// bandwidth-bound regime*: the structured generators scale both of
+/// their shape dimensions (grid sides for the Laplacian, primal/dual
+/// split for KKT, band width for the banded matrix), so per-factor
+/// arithmetic outgrows the fixed spawn/probe/scheduling overheads and
+/// the mixed-precision and planned-replay speedups become visible
+/// (`bench_refactor` commits its baseline at scale 2 for that reason).
+pub fn smoke_corpus_scaled(scale: usize) -> Vec<(&'static str, CscMatrix)> {
     use pangulu_sparse::gen;
+    let s = scale.max(1);
     vec![
-        ("laplacian_2d", gen::laplacian_2d(64, 64)),
-        ("circuit", gen::circuit(3000, 21)),
-        ("fem_blocked", gen::fem_blocked(240, 5, 2, 13)),
-        ("kkt", gen::kkt(1200, 560, 7)),
-        ("cage_like", gen::cage_like(1600, 17)),
-        ("dense_banded", gen::dense_banded(1000, 12, 0.5, 9)),
+        ("laplacian_2d", gen::laplacian_2d(64 * s, 64 * s)),
+        ("circuit", gen::circuit(3000 * s, 21)),
+        ("fem_blocked", gen::fem_blocked(240 * s, 5, 2, 13)),
+        ("kkt", gen::kkt(1200 * s, 560 * s, 7)),
+        ("cage_like", gen::cage_like(1600 * s, 17)),
+        ("dense_banded", gen::dense_banded(1000 * s, 12 * s, 0.5, 9)),
     ]
 }
 

@@ -42,7 +42,7 @@ use pangulu_comm::{
     BlockMsg, BlockRole, DeliveryRecord, FaultPlan, Mailbox, MailboxSet, TransportKind,
 };
 use pangulu_kernels::select::KernelSelector;
-use pangulu_kernels::{flops, KernelPlans, KernelScratch, SsssmUpdate, TimedKernels};
+use pangulu_kernels::{flops, KernelPlans, KernelScratch, PlanEncoding, SsssmUpdate, TimedKernels};
 use pangulu_metrics::{MemStats, RankMetrics, RunReport, SchedStats, TaskCounts};
 use pangulu_sparse::{CscMatrix, Scalar};
 
@@ -134,6 +134,11 @@ pub struct FactorConfig {
     /// one-at-a-time through their plans instead of batch-fused (the
     /// two orders are bitwise identical by the batching contract).
     pub use_plans: bool,
+    /// Arena encoding of the kernel index plans (run segments by
+    /// default). Per-entry encoding keeps the flat per-slot layout; the
+    /// two replay bitwise identically, so the knob exists for the
+    /// determinism matrix and perf A/Bs, not for correctness.
+    pub plan_encoding: PlanEncoding,
     /// Transport backend the rank mailboxes run on (in-process channels
     /// by default). The factors and every deterministic counter are
     /// backend-invariant — the cross-backend conformance suite asserts
@@ -154,6 +159,7 @@ impl Default for FactorConfig {
             metrics: true,
             ssssm_batching: true,
             use_plans: true,
+            plan_encoding: PlanEncoding::default(),
             transport: TransportKind::Channel,
         }
     }
@@ -212,6 +218,14 @@ impl FactorConfig {
     /// either way).
     pub fn with_plans(mut self, on: bool) -> Self {
         self.use_plans = on;
+        self
+    }
+
+    /// Selects the plan-arena encoding (run segments by default;
+    /// bitwise-neutral either way). Plans already cached in a reused
+    /// workspace keep the layout they were built with.
+    pub fn with_plan_encoding(mut self, encoding: PlanEncoding) -> Self {
+        self.plan_encoding = encoding;
         self
     }
 
@@ -511,6 +525,7 @@ pub fn factor_distributed_cached<S: Scalar>(
     assert_eq!(ws.num_blocks, bm.num_blocks(), "workspace was built for a different pattern");
     let start = Instant::now();
     for st in &mut ws.ranks {
+        st.plans.set_encoding(cfg.plan_encoding);
         st.reset(bm);
     }
     // A backend that cannot come up (e.g. sockets in a sandbox) is a
@@ -586,6 +601,7 @@ pub fn factor_distributed_cached<S: Scalar>(
             predicted_flops: if cfg.metrics { predicted_total_flops(bm, tg) } else { 0.0 },
             scalar_width: S::WIDTH as u64,
             precision_fallbacks: 0,
+            probe_skips: 0,
             per_rank: Vec::with_capacity(p),
         },
         ..Default::default()
@@ -1555,6 +1571,8 @@ impl<'a, S: Scalar> Worker<'a, S> {
                     self.perturbed += self.timed.getrf_planned(blk, p, arena, self.pivot_floor);
                     self.mem.planned_calls += 1;
                     self.mem.index_searches_avoided += p.searches_avoided;
+                    self.mem.plan_runs += p.runs;
+                    self.mem.run_axpy_entries += p.run_entries;
                 } else {
                     let variant = self.selector.getrf(blk.nnz());
                     self.perturbed +=
@@ -1581,6 +1599,8 @@ impl<'a, S: Scalar> Worker<'a, S> {
                     self.timed.gessm_planned(diag, &mut blk, p, arena);
                     self.mem.planned_calls += 1;
                     self.mem.index_searches_avoided += p.searches_avoided;
+                    self.mem.plan_runs += p.runs;
+                    self.mem.run_axpy_entries += p.run_entries;
                 } else {
                     let variant = self.selector.gessm(blk.nnz());
                     self.timed.gessm(diag, &mut blk, variant, &mut st.scratch);
@@ -1604,6 +1624,8 @@ impl<'a, S: Scalar> Worker<'a, S> {
                     self.timed.tstrf_planned(diag, &mut blk, p, arena);
                     self.mem.planned_calls += 1;
                     self.mem.index_searches_avoided += p.searches_avoided;
+                    self.mem.plan_runs += p.runs;
+                    self.mem.run_axpy_entries += p.run_entries;
                 } else {
                     let variant = self.selector.tstrf(blk.nnz());
                     self.timed.tstrf(diag, &mut blk, variant, &mut st.scratch);
@@ -1678,6 +1700,8 @@ impl<'a, S: Scalar> Worker<'a, S> {
                             self.timed.ssssm_planned(a, b, &mut target, p, arena, fl);
                             self.mem.planned_calls += 1;
                             self.mem.index_searches_avoided += p.searches_avoided;
+                            self.mem.plan_runs += p.runs;
+                            self.mem.run_axpy_entries += p.run_entries;
                         } else {
                             pending.push(SsssmUpdate {
                                 a,
@@ -2101,6 +2125,8 @@ impl<'a, S: Scalar> Worker<'a, S> {
                 self.timed.ssssm_planned(a, b, &mut job.target, p, arena, fl);
                 self.mem.planned_calls += 1;
                 self.mem.index_searches_avoided += p.searches_avoided;
+                self.mem.plan_runs += p.runs;
+                self.mem.run_axpy_entries += p.run_entries;
             } else {
                 let upd = SsssmUpdate { a, b, variant: self.selector.ssssm(fl), model_flops: fl };
                 self.timed.ssssm_batch(&[upd], &mut job.target, &mut st.scratch);

@@ -109,6 +109,16 @@ pub struct SolverOptions {
     /// Numeric precision of the factorisation: full f64, or the mixed
     /// f32-factor/refined-solve path.
     pub precision: Precision,
+    /// Acceptance-probe cadence of the mixed path: the first
+    /// factorisation always probes, then only every `probe_every`-th
+    /// refactorisation repeats the probe solve — unless the
+    /// perturbed-pivot count drifts from the last probed factorisation,
+    /// which forces an early re-probe (the drift gate). `1` probes every
+    /// time (the pre-cadence behaviour); values are clamped to ≥ 1.
+    /// Skipped probes are counted in
+    /// [`PrecisionCounters::probe_skips`]. Ignored under
+    /// [`Precision::F64`].
+    pub probe_every: usize,
 }
 
 impl Default for SolverOptions {
@@ -129,6 +139,7 @@ impl Default for SolverOptions {
             use_plans: true,
             transport: TransportKind::default(),
             precision: Precision::default(),
+            probe_every: 4,
         }
     }
 }
@@ -236,6 +247,15 @@ impl SolverBuilder {
     /// [`Precision::MixedF32`].
     pub fn precision(mut self, p: Precision) -> Self {
         self.opts.precision = p;
+        self
+    }
+
+    /// Sets the mixed-path acceptance-probe cadence: probe on the first
+    /// factorisation, then every `k`-th refactorisation (default 4;
+    /// clamped to ≥ 1, where 1 probes every time). A perturbed-pivot
+    /// drift forces an early re-probe regardless of the cadence.
+    pub fn probe_every(mut self, k: usize) -> Self {
+        self.opts.probe_every = k.max(1);
         self
     }
 
@@ -356,6 +376,14 @@ struct MixedState {
     refine_iters: AtomicU64,
     /// Solves that ran the refinement loop.
     refined_solves: AtomicU64,
+    /// Refactorisations since the acceptance probe last ran; the probe
+    /// repeats once this reaches `probe_every` (see
+    /// [`SolverOptions::probe_every`]).
+    refactors_since_probe: usize,
+    /// Perturbed-pivot count of the last *probed* factorisation — the
+    /// drift gate: a refactorisation whose count differs re-probes
+    /// immediately, cadence or not.
+    probed_perturbed: usize,
 }
 
 /// What one numeric-phase run produced, whichever executor ran it.
@@ -462,6 +490,41 @@ fn refine_inner(
         backward_substitute(factors32, &mut v);
         v.into_iter().map(f64::from).collect()
     };
+    refine_with(tri32, m, w, tol, max_iters)
+}
+
+/// The transposed twin of [`refine_inner`]: solves `Mᵀ z = w` with the
+/// f32 transpose sweeps (`Uᵀ` then `Lᵀ`) as the preconditioner and exact
+/// f64 residuals against `mt = Mᵀ` — so mixed-mode transpose solves
+/// (and [`Solver::condest`]) recover the same f64 accuracy as forward
+/// solves. `mt` is the transposed scaled system, built by the caller.
+fn refine_inner_transpose(
+    factors32: &BlockMatrix<f32>,
+    mt: &CscMatrix,
+    w: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, f64, usize) {
+    let tri32 = |r: &[f64]| -> Vec<f64> {
+        let mut v: Vec<f32> = r.iter().map(|&x| x as f32).collect();
+        forward_substitute_transpose(factors32, &mut v);
+        backward_substitute_transpose(factors32, &mut v);
+        v.into_iter().map(f64::from).collect()
+    };
+    refine_with(tri32, mt, w, tol, max_iters)
+}
+
+/// The shared refinement loop of [`refine_inner`] /
+/// [`refine_inner_transpose`]: corrections from `tri32`, exact f64
+/// residuals `w − m z` gating them, stagnation keeping the best iterate
+/// bitwise.
+fn refine_with(
+    tri32: impl Fn(&[f64]) -> Vec<f64>,
+    m: &CscMatrix,
+    w: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, f64, usize) {
     let norm_w = w.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
     if norm_w == 0.0 {
         return (vec![0.0; w.len()], 0.0, 0);
@@ -529,6 +592,11 @@ fn widen_into(src: &BlockMatrix<f32>, dst: &mut BlockMatrix) {
 /// `prev` is the retiring state of a refactorisation: its f32 buffers,
 /// residual matrix, value map, executor workspace and kernel plans are
 /// all reused in place, so the steady state allocates nothing.
+///
+/// Refactorisations amortise the probe: the solve only reruns every
+/// [`SolverOptions::probe_every`]-th refactorisation or when the
+/// perturbed-pivot count drifts from the last probed run; skips are
+/// counted in [`PrecisionCounters::probe_skips`].
 #[allow(clippy::too_many_arguments)]
 fn try_factor_mixed(
     bm: &BlockMatrix,
@@ -540,6 +608,7 @@ fn try_factor_mixed(
     prev: Option<MixedState>,
     precision: &mut PrecisionCounters,
 ) -> Option<(NumericSummary, MixedState)> {
+    let prev_cadence = prev.as_ref().map(|s| (s.refactors_since_probe, s.probed_perturbed));
     let (mut bm32, scaled_a, csc_map, mut workspace32, mut kernel_plans32) = match prev {
         Some(mut state) => {
             narrow_into(bm, &mut state.factored32);
@@ -574,6 +643,34 @@ fn try_factor_mixed(
         &mut workspace32,
         &mut kernel_plans32,
     );
+    // Amortised acceptance probing: a refactorisation inside the cadence
+    // window whose perturbed-pivot count matches the last probed run
+    // skips the probe solve entirely — the factors were accepted K
+    // refactors ago and nothing structural about the pivoting changed.
+    // The first factorisation (no `prev`) always probes.
+    if let Some((since, probed_perturbed)) = prev_cadence {
+        let cadence_due = since + 1 >= opts.probe_every.max(1);
+        let drifted = summary.perturbed_pivots != probed_perturbed;
+        if !cadence_due && !drifted {
+            precision.probe_skips += 1;
+            precision.mixed_factors += 1;
+            return Some((
+                summary,
+                MixedState {
+                    factored32: bm32,
+                    workspace32,
+                    kernel_plans32,
+                    scaled_a,
+                    csc_map,
+                    refine_iters: AtomicU64::new(0),
+                    refined_solves: AtomicU64::new(0),
+                    refactors_since_probe: since + 1,
+                    probed_perturbed,
+                },
+            ));
+        }
+    }
+    let probed_perturbed = summary.perturbed_pivots;
     let ones = vec![1.0f64; scaled_a.ncols()];
     let (_, rel, iters) = refine_inner(&bm32, &scaled_a, &ones, REFINE_TOL, MAX_REFINE_ITERS);
     precision.probe_refine_iters += iters as u64;
@@ -589,6 +686,8 @@ fn try_factor_mixed(
                 csc_map,
                 refine_iters: AtomicU64::new(0),
                 refined_solves: AtomicU64::new(0),
+                refactors_since_probe: 0,
+                probed_perturbed,
             },
         ))
     } else {
@@ -720,6 +819,7 @@ impl Solver {
         }
         if let Some(report) = stats.report.as_mut() {
             report.precision_fallbacks = stats.precision.precision_fallbacks;
+            report.probe_skips = stats.precision.probe_skips;
         }
         stats.numeric_time = t.elapsed();
 
@@ -1000,6 +1100,7 @@ impl Solver {
         }
         if let Some(report) = self.stats.report.as_mut() {
             report.precision_fallbacks = self.stats.precision.precision_fallbacks;
+            report.probe_skips = self.stats.precision.probe_skips;
         }
         self.stats.numeric_time = t.elapsed();
         self.stats.phases.numeric_runs += 1;
@@ -1169,11 +1270,12 @@ impl Solver {
     /// factorisation (`Aᵀ = (P_rᵀ D_r⁻¹ L U D_c⁻¹ P_c)ᵀ`, so `Uᵀ` then
     /// `Lᵀ` substitution with the transforms mirrored).
     ///
-    /// In mixed-precision mode this runs against the widened f32 factors
-    /// without iterative refinement, so transpose solves (and hence
-    /// [`Solver::condest`]) carry single-precision accuracy — fine for a
-    /// condition *estimate*, but use [`Precision::F64`] when transposed
-    /// solutions themselves must be accurate.
+    /// In mixed-precision mode the f32 transpose sweeps are only a
+    /// preconditioner: the same exact-f64-residual refinement loop as
+    /// [`Solver::solve`] runs against the transposed scaled system, so
+    /// transpose solves (and hence [`Solver::condest`]) recover full f64
+    /// accuracy. Iterations fold into the lifetime
+    /// [`PrecisionCounters::refine_iters`] / `refined_solves` totals.
     pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>> {
         if b.len() != self.n {
             return Err(SparseError::DimensionMismatch(format!(
@@ -1186,8 +1288,17 @@ impl Solver {
         let r = &self.reordering;
         let scaled: Vec<f64> = b.iter().zip(&r.col_scale).map(|(v, d)| v * d).collect();
         let mut z = r.col_perm.apply_vec(&scaled);
-        forward_substitute_transpose(&self.factored, &mut z);
-        backward_substitute_transpose(&self.factored, &mut z);
+        if let Some(mx) = &self.mixed {
+            let mt = mx.scaled_a.transpose();
+            let (zt, _rel, iters) =
+                refine_inner_transpose(&mx.factored32, &mt, &z, REFINE_TOL, MAX_REFINE_ITERS);
+            mx.refine_iters.fetch_add(iters as u64, Ordering::Relaxed);
+            mx.refined_solves.fetch_add(1, Ordering::Relaxed);
+            z = zt;
+        } else {
+            forward_substitute_transpose(&self.factored, &mut z);
+            backward_substitute_transpose(&self.factored, &mut z);
+        }
         let u = r.row_perm.apply_inv_vec(&z);
         Ok(u.iter().zip(&r.row_scale).map(|(v, d)| v * d).collect())
     }
@@ -1663,6 +1774,116 @@ mod tests {
         solver.refactor(&scaled).unwrap();
         solver.refactor(&a).unwrap();
         assert_eq!(factor32_bits(&solver), factor32_bits(&fresh), "refactor is not reversible");
+    }
+
+    /// Same pattern, scaled values — the cheapest pattern-preserving
+    /// refactor input.
+    fn rescaled(a: &CscMatrix, factor: f64) -> CscMatrix {
+        CscMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.col_ptr().to_vec(),
+            a.row_idx().to_vec(),
+            a.values().iter().map(|v| v * factor).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mixed_probe_cadence_skips_steady_state_refactors() {
+        // Default cadence (4): the first factorisation probes, the next
+        // three refactors skip, the fourth re-probes.
+        let a = gen::circuit(300, 21);
+        let mut solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        let after_factor = solver.precision_counters();
+        assert_eq!(after_factor.probe_skips, 0);
+        assert!(after_factor.probe_refine_iters >= 1);
+        for i in 1..=3 {
+            solver.refactor(&rescaled(&a, 1.0 + 0.25 * i as f64)).unwrap();
+            let c = solver.precision_counters();
+            assert_eq!(c.probe_skips, i as u64, "refactor {i} must skip the probe");
+            assert_eq!(c.mixed_factors, 1 + i as u64, "skipped probes still count as mixed");
+            assert_eq!(
+                c.probe_refine_iters, after_factor.probe_refine_iters,
+                "no probe solve ran during the skip window"
+            );
+        }
+        // Fourth refactor: cadence due, the probe solve runs again.
+        solver.refactor(&rescaled(&a, 2.5)).unwrap();
+        let c = solver.precision_counters();
+        assert_eq!(c.probe_skips, 3);
+        assert!(c.probe_refine_iters > after_factor.probe_refine_iters);
+        assert_eq!(solver.effective_precision(), Precision::MixedF32);
+        // Accuracy is unaffected by skipping probes.
+        let b = gen::test_rhs(a.nrows(), 9);
+        let x = solver.solve(&b).unwrap();
+        assert!(relative_residual(&rescaled(&a, 2.5), &x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_probe_every_one_probes_every_refactor() {
+        let a = gen::laplacian_2d(15, 14);
+        let mut solver =
+            Solver::builder().precision(Precision::MixedF32).probe_every(1).build(&a).unwrap();
+        let first = solver.precision_counters().probe_refine_iters;
+        solver.refactor(&rescaled(&a, 1.5)).unwrap();
+        let c = solver.precision_counters();
+        assert_eq!(c.probe_skips, 0, "cadence 1 never skips");
+        assert!(c.probe_refine_iters >= first, "probe ran again");
+        assert_eq!(c.mixed_factors, 2);
+    }
+
+    #[test]
+    fn mixed_probe_skips_surface_in_run_report() {
+        let a = gen::circuit(300, 21);
+        let mut solver =
+            Solver::builder().precision(Precision::MixedF32).ranks(2).build(&a).unwrap();
+        solver.refactor(&rescaled(&a, 1.5)).unwrap();
+        let report = solver.stats().report.as_ref().expect("multi-rank run report");
+        assert_eq!(report.probe_skips, 1);
+        assert_eq!(report.scalar_width, 4);
+    }
+
+    #[test]
+    fn mixed_probe_drift_gate_forces_early_reprobe() {
+        // Scaling the input down to ~1e-300 leaves every pivot below the
+        // static floor (whose `norm.max(1.0)` clamp keeps the floor at
+        // 1e-12), so the perturbed-pivot count drifts from the probed
+        // factorisation and the probe must re-run even though the
+        // cadence isn't due.
+        let a = gen::circuit(300, 21);
+        let mut solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        assert_eq!(solver.stats().perturbed_pivots, 0, "baseline run perturbs nothing");
+        let probed = solver.precision_counters().probe_refine_iters;
+        solver.refactor(&rescaled(&a, 1e-300)).unwrap();
+        assert!(solver.stats().perturbed_pivots >= 1, "drift actually happened");
+        let c = solver.precision_counters();
+        assert_eq!(c.probe_skips, 0, "drift gate must not skip");
+        // The probe ran: either it re-accepted the f32 factors (more
+        // probe iterations) or it rejected them (a counted fallback).
+        assert!(
+            c.probe_refine_iters > probed || c.precision_fallbacks == 1,
+            "probe solve must have run"
+        );
+    }
+
+    #[test]
+    fn mixed_transpose_solve_refines_to_f64_accuracy() {
+        let a = gen::circuit(300, 21);
+        let solver = Solver::builder().precision(Precision::MixedF32).build(&a).unwrap();
+        assert_eq!(solver.effective_precision(), Precision::MixedF32);
+        let x_true = gen::test_rhs(a.nrows(), 17);
+        let at = a.transpose();
+        let b = pangulu_sparse::ops::spmv(&at, &x_true).unwrap();
+        let x = solver.solve_transpose(&b).unwrap();
+        assert!(relative_residual(&at, &x, &b).unwrap() < 1e-12, "transpose solve refined");
+        let c = solver.precision_counters();
+        assert_eq!(c.refined_solves, 1, "transpose solve counted as refined");
+        assert!(c.refine_iters >= 1, "refinement iterations folded in");
+        // And the condition estimate (one solve + one transpose solve
+        // per Hager step) still works in mixed mode.
+        let est = solver.condest(&a).unwrap();
+        assert!(est.is_finite() && est >= 1.0);
     }
 
     #[test]

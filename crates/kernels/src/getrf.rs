@@ -19,9 +19,12 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use pangulu_sparse::{CscMatrix, Scalar};
+use pangulu_sparse::{collect_runs, CscMatrix, Scalar};
 
-use crate::scratch::{find_in_col, scatter_axpy, KernelScratch};
+use crate::scratch::{
+    axpy_into_runs, find_in_col, gather_zero_runs, run_friendly, scatter_axpy, scatter_runs,
+    KernelScratch,
+};
 use crate::GetrfVariant;
 
 /// Number of worker threads the "GPU" (team) kernels use.
@@ -84,6 +87,7 @@ fn getrf_cv1<S: Scalar>(
 ) -> usize {
     let n = a.ncols();
     scratch.ensure(n);
+    let KernelScratch { dense, runs, .. } = scratch;
     let mut perturbed = 0usize;
     let (col_ptr, row_idx, values) = a.parts_mut();
     for j in 0..n {
@@ -91,33 +95,29 @@ fn getrf_cv1<S: Scalar>(
         let (left, right) = values.split_at_mut(lo);
         let vals_j = &mut right[..hi - lo];
         let rows_j = &row_idx[lo..hi];
-        // Scatter column j.
-        for (off, &i) in rows_j.iter().enumerate() {
-            scratch.dense[i] = vals_j[off];
-        }
+        // Scatter column j (run list found once, reused by the gather).
+        collect_runs(rows_j, runs);
+        scatter_runs(dense, runs, vals_j);
         // Apply updates from each upper entry k < j in ascending order.
         for &k in rows_j.iter().take_while(|&&k| k < j) {
-            let ukj = scratch.dense[k];
+            let ukj = dense[k];
             if ukj != S::ZERO {
                 let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
                 let rows_k = &row_idx[klo..khi];
                 let vals_k = &left[klo..khi];
                 let start = rows_k.partition_point(|&i| i <= k);
-                scatter_axpy(&mut scratch.dense, &rows_k[start..], &vals_k[start..], ukj);
+                scatter_axpy(dense, &rows_k[start..], &vals_k[start..], ukj);
             }
         }
         // Pivot and scale the lower part.
-        let mut pivot = scratch.dense[j];
+        let mut pivot = dense[j];
         perturbed += apply_floor(&mut pivot, pivot_floor);
-        scratch.dense[j] = pivot;
+        dense[j] = pivot;
         for &i in rows_j.iter().skip_while(|&&i| i <= j) {
-            scratch.dense[i] /= pivot;
+            dense[i] /= pivot;
         }
         // Gather back and clear.
-        for (off, &i) in rows_j.iter().enumerate() {
-            vals_j[off] = scratch.dense[i];
-            scratch.dense[i] = S::ZERO;
-        }
+        gather_zero_runs(dense, runs, vals_j);
     }
     perturbed
 }
@@ -193,6 +193,7 @@ fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: 
         for _ in 0..workers {
             s.spawn(|| {
                 let mut dense = if dense_mapping { vec![S::ZERO; n] } else { Vec::new() };
+                let mut runs = Vec::new();
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= n {
@@ -201,10 +202,12 @@ fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: 
                     let rows_j = shared.col_rows(j);
                     // Safety: we claimed column j.
                     let vals_j = unsafe { shared.col_vals_mut(j) };
+                    // Column j's run list, found once and reused across
+                    // the k-loop (bin-search) or scatter/gather (dense).
+                    collect_runs(rows_j, &mut runs);
+                    let widened = !dense_mapping && run_friendly(&runs, rows_j.len());
                     if dense_mapping {
-                        for (&i, &v) in rows_j.iter().zip(vals_j.iter()) {
-                            dense[i] = v;
-                        }
+                        scatter_runs(&mut dense, &runs, vals_j);
                     }
                     for (off_k, &k) in rows_j.iter().enumerate() {
                         if k >= j {
@@ -232,6 +235,8 @@ fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: 
                         let start = rows_k.partition_point(|&i| i <= k);
                         if dense_mapping {
                             scatter_axpy(&mut dense, &rows_k[start..], &vals_k[start..], ukj);
+                        } else if widened {
+                            axpy_into_runs(&runs, vals_j, &rows_k[start..], &vals_k[start..], ukj);
                         } else {
                             for (&i, &lik) in rows_k[start..].iter().zip(&vals_k[start..]) {
                                 let pos = find_in_col(rows_j, i)
@@ -249,10 +254,7 @@ fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: 
                         for &i in &rows_j[diag_off + 1..] {
                             dense[i] /= pivot;
                         }
-                        for (off, &i) in rows_j.iter().enumerate() {
-                            vals_j[off] = dense[i];
-                            dense[i] = S::ZERO;
-                        }
+                        gather_zero_runs(&mut dense, &runs, vals_j);
                     } else {
                         vals_j[diag_off] = pivot;
                         for v in &mut vals_j[diag_off + 1..] {
@@ -271,12 +273,15 @@ fn getrf_sflu<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64, dense_mapping: 
 fn getrf_binsearch_seq<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64) -> usize {
     let n = a.ncols();
     let mut perturbed = 0usize;
+    let mut runs = Vec::new();
     let (col_ptr, row_idx, values) = a.parts_mut();
     for j in 0..n {
         let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
         let (left, right) = values.split_at_mut(lo);
         let vals_j = &mut right[..hi - lo];
         let rows_j = &row_idx[lo..hi];
+        collect_runs(rows_j, &mut runs);
+        let widened = run_friendly(&runs, rows_j.len());
         for (off_k, &k) in rows_j.iter().enumerate() {
             if k >= j {
                 break;
@@ -289,6 +294,10 @@ fn getrf_binsearch_seq<S: Scalar>(a: &mut CscMatrix<S>, pivot_floor: f64) -> usi
             let rows_k = &row_idx[klo..khi];
             let vals_k = &left[klo..khi];
             let start = rows_k.partition_point(|&i| i <= k);
+            if widened {
+                axpy_into_runs(&runs, vals_j, &rows_k[start..], &vals_k[start..], ukj);
+                continue;
+            }
             for (&i, &lik) in rows_k[start..].iter().zip(&vals_k[start..]) {
                 let pos = find_in_col(rows_j, i)
                     .expect("GETRF update target missing: pattern not closed");

@@ -19,6 +19,20 @@
 //! unplanned kernels (`tests/planned_equivalence.rs` holds the crate to
 //! this on random closed patterns).
 //!
+//! **Run-segment encoding.** By default ([`PlanEncoding::Runs`]) a
+//! builder does not store one arena element per touched value slot: it
+//! compresses each entry's index list into maximal contiguous-run
+//! segments (start, len), found with [`pangulu_sparse::for_each_run`].
+//! Replay then executes one slice-level axpy per segment — loops over
+//! `&mut dst[t0..t0+len]` zipped with a contiguous source — which the
+//! compiler autovectorises, with `f32` getting twice the lanes per op.
+//! Because runs partition the index list left to right, the per-element
+//! arithmetic (mul-then-sub, ascending order, runtime zero skips) is
+//! unchanged, so run-planned replay stays bitwise identical to both the
+//! per-entry plans and the unplanned kernels. [`PlanEncoding::PerEntry`]
+//! keeps the flat per-slot layout for A/B tests and the determinism
+//! matrix.
+//!
 //! **Memory model.** Index lists live in one pooled arena per
 //! [`KernelPlans`], whose element type is the scalar's
 //! [`Scalar::PlanIdx`] — `u32` for `f64`, `u16` for `f32`, which is the
@@ -39,7 +53,7 @@
 
 use std::time::Instant;
 
-use pangulu_sparse::{CscMatrix, PlanIndex, Scalar};
+use pangulu_sparse::{for_each_run, CscMatrix, PlanIndex, Scalar};
 
 use crate::getrf::apply_floor;
 
@@ -48,6 +62,62 @@ use crate::getrf::apply_floor;
 #[inline(always)]
 fn idx<I: PlanIndex>(v: usize) -> I {
     I::from_usize(v)
+}
+
+/// Arena layout of a kernel plan's index lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanEncoding {
+    /// One arena element per touched value slot (flat index lists).
+    PerEntry,
+    /// Maximal contiguous-run segments; replay runs slice-level axpys.
+    #[default]
+    Runs,
+}
+
+/// Compresses the sorted position list `tgts` into `(start, len)` run
+/// segments appended to `arena`; returns the segment count. Used by the
+/// SSSSM/GETRF builders, whose sources advance sequentially so only the
+/// target positions need encoding.
+fn push_run_segs<I: PlanIndex>(tgts: &[usize], arena: &mut Vec<I>) -> u32 {
+    let mut runs = 0u32;
+    for_each_run(tgts, |r| {
+        arena.push(idx(r.start));
+        arena.push(idx(r.len));
+        runs += 1;
+    });
+    runs
+}
+
+/// Compresses `(src, tgt)` index pairs into `(src_start, tgt_start, len)`
+/// triples appended to `arena` — a run requires *both* indices to advance
+/// in lockstep. Returns the triple count. Used by the GESSM/TSTRF
+/// builders, whose merge walks pair a source slot with a target slot.
+fn push_pair_run_segs<I: PlanIndex>(pairs: &[(usize, usize)], arena: &mut Vec<I>) -> u32 {
+    let mut runs = 0u32;
+    let mut p = 0;
+    while p < pairs.len() {
+        let (s0, t0) = pairs[p];
+        let mut q = p + 1;
+        while q < pairs.len() && pairs[q] == (s0 + (q - p), t0 + (q - p)) {
+            q += 1;
+        }
+        arena.push(idx(s0));
+        arena.push(idx(t0));
+        arena.push(idx(q - p));
+        runs += 1;
+        p = q;
+    }
+    runs
+}
+
+/// Entries a run segmentation absorbs beyond each segment's head: a
+/// `total`-entry list split into `runs` maximal segments executes
+/// `total - runs` elements as slice-loop continuations instead of
+/// per-entry indexed steps. Zero for a fully scattered list.
+#[inline]
+fn run_entries_of(total: usize, runs: u32) -> u64 {
+    debug_assert!(runs as usize <= total);
+    (total - runs as usize) as u64
 }
 
 /// One SSSSM product term: all of `A(:, k)` scaled by one `B(k, j)`.
@@ -59,8 +129,11 @@ pub struct SsssmEntry {
     pub a_lo: u32,
     /// Number of entries in `A(:, k)`.
     pub len: u32,
-    /// Arena offset of the `len` target slots in `c.values()`.
+    /// Arena offset of the target encoding in `c.values()`: `len` flat
+    /// slots when `runs == 0`, else `runs` `(start, len)` segment pairs.
     pub tgt_off: u32,
+    /// Run-segment count; `0` marks the per-entry arena layout.
+    pub runs: u32,
 }
 
 /// Scatter plan for one SSSSM task `C ← C − A·B`.
@@ -71,6 +144,10 @@ pub struct SsssmPlan {
     pub entries: Vec<SsssmEntry>,
     /// Index lookups the unplanned addressing would perform per call.
     pub searches_avoided: u64,
+    /// Run segments stored in the arena (0 under per-entry encoding).
+    pub runs: u64,
+    /// Entries executed as slice-loop continuations per replay.
+    pub run_entries: u64,
 }
 
 /// One solved unknown `x_k` of a GESSM column and its propagation pairs.
@@ -78,10 +155,14 @@ pub struct SsssmPlan {
 pub struct GessmSrc {
     /// Absolute index of `x_k` in `b.values()`.
     pub x_idx: u32,
-    /// Arena offset of the interleaved `(l_idx, tgt_idx)` pairs.
+    /// Arena offset of the propagation encoding: interleaved
+    /// `(l_idx, tgt_idx)` pairs when `runs == 0`, else `runs`
+    /// `(l_start, tgt_start, len)` triples.
     pub pair_off: u32,
-    /// Number of pairs.
+    /// Number of pairs (total propagation entries, either layout).
     pub pair_len: u32,
+    /// Run-segment count; `0` marks the per-entry arena layout.
+    pub runs: u32,
 }
 
 /// Row-match plan for one GESSM task `L X = B`.
@@ -92,6 +173,10 @@ pub struct GessmPlan {
     pub srcs: Vec<GessmSrc>,
     /// Merge/binary-search positions resolved at plan time.
     pub searches_avoided: u64,
+    /// Run segments stored in the arena (0 under per-entry encoding).
+    pub runs: u64,
+    /// Entries executed as slice-loop continuations per replay.
+    pub run_entries: u64,
 }
 
 /// One column of a TSTRF plan.
@@ -114,11 +199,14 @@ pub struct TstrfCol {
 pub struct TstrfUent {
     /// Absolute index of `U(k, j)` in `diag_lu.values()`.
     pub u_idx: u32,
-    /// Arena offset of the interleaved `(src_idx, tgt_idx)` pairs (both
-    /// absolute into `b.values()`).
+    /// Arena offset of the update encoding (all indices absolute into
+    /// `b.values()`): interleaved `(src_idx, tgt_idx)` pairs when
+    /// `runs == 0`, else `runs` `(src_start, tgt_start, len)` triples.
     pub pair_off: u32,
-    /// Number of pairs.
+    /// Number of pairs (total update entries, either layout).
     pub pair_len: u32,
+    /// Run-segment count; `0` marks the per-entry arena layout.
+    pub runs: u32,
 }
 
 /// Row-match plan for one TSTRF task `X U = B`.
@@ -130,6 +218,10 @@ pub struct TstrfPlan {
     pub uents: Vec<TstrfUent>,
     /// Merge positions resolved at plan time.
     pub searches_avoided: u64,
+    /// Run segments stored in the arena (0 under per-entry encoding).
+    pub runs: u64,
+    /// Entries executed as slice-loop continuations per replay.
+    pub run_entries: u64,
 }
 
 /// One column of a GETRF plan.
@@ -157,8 +249,11 @@ pub struct GetrfUent {
     pub src_lo: u32,
     /// Number of source entries.
     pub len: u32,
-    /// Arena offset of the `len` target offsets *within column `j`*.
+    /// Arena offset of the target encoding, *within column `j`*: `len`
+    /// flat offsets when `runs == 0`, else `runs` `(start, len)` pairs.
     pub tgt_off: u32,
+    /// Run-segment count; `0` marks the per-entry arena layout.
+    pub runs: u32,
 }
 
 /// Pivot/update plan for one GETRF task.
@@ -170,6 +265,10 @@ pub struct GetrfPlan {
     pub uents: Vec<GetrfUent>,
     /// Binary-search lookups the un-planned addressing would perform.
     pub searches_avoided: u64,
+    /// Run segments stored in the arena (0 under per-entry encoding).
+    pub runs: u64,
+    /// Entries executed as slice-loop continuations per replay.
+    pub run_entries: u64,
 }
 
 /// Builds the scatter plan for `C ← C − A·B` (patterns only).
@@ -184,9 +283,21 @@ pub fn build_ssssm_plan<S: Scalar>(
     c: &CscMatrix<S>,
     arena: &mut Vec<S::PlanIdx>,
 ) -> SsssmPlan {
+    build_ssssm_plan_enc(a, b, c, arena, PlanEncoding::Runs)
+}
+
+/// [`build_ssssm_plan`] with an explicit arena encoding.
+pub fn build_ssssm_plan_enc<S: Scalar>(
+    a: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    c: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+    encoding: PlanEncoding,
+) -> SsssmPlan {
     let mut plan = SsssmPlan::default();
     let a_ptr = a.col_ptr();
     let a_rows = a.row_idx();
+    let mut tgts: Vec<usize> = Vec::new();
     for j in 0..c.ncols() {
         let (brows, _) = b.col(j);
         let (crows, _) = c.col(j);
@@ -200,17 +311,30 @@ pub fn build_ssssm_plan<S: Scalar>(
             if alo == ahi {
                 continue;
             }
-            let tgt_off = arena.len() as u32;
+            tgts.clear();
             for &i in &a_rows[alo..ahi] {
                 let pos =
                     crows.binary_search(&i).expect("SSSSM plan target missing: pattern not closed");
-                arena.push(idx(clo + pos));
+                tgts.push(clo + pos);
+            }
+            let tgt_off = arena.len() as u32;
+            let runs = match encoding {
+                PlanEncoding::PerEntry => {
+                    arena.extend(tgts.iter().map(|&t| idx::<S::PlanIdx>(t)));
+                    0
+                }
+                PlanEncoding::Runs => push_run_segs(&tgts, arena),
+            };
+            if runs > 0 {
+                plan.runs += u64::from(runs);
+                plan.run_entries += run_entries_of(tgts.len(), runs);
             }
             plan.entries.push(SsssmEntry {
                 bp: (blo + off) as u32,
                 a_lo: alo as u32,
                 len: (ahi - alo) as u32,
                 tgt_off,
+                runs,
             });
             plan.searches_avoided += (ahi - alo) as u64;
         }
@@ -226,9 +350,20 @@ pub fn build_gessm_plan<S: Scalar>(
     b: &CscMatrix<S>,
     arena: &mut Vec<S::PlanIdx>,
 ) -> GessmPlan {
+    build_gessm_plan_enc(diag_lu, b, arena, PlanEncoding::Runs)
+}
+
+/// [`build_gessm_plan`] with an explicit arena encoding.
+pub fn build_gessm_plan_enc<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+    encoding: PlanEncoding,
+) -> GessmPlan {
     let mut plan = GessmPlan::default();
     let l_ptr = diag_lu.col_ptr();
     let l_rows = diag_lu.row_idx();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for c in 0..b.ncols() {
         let (rows_c, _) = b.col(c);
         let blo = b.col_ptr()[c];
@@ -236,25 +371,42 @@ pub fn build_gessm_plan<S: Scalar>(
             let (klo, khi) = (l_ptr[k], l_ptr[k + 1]);
             let start = klo + l_rows[klo..khi].partition_point(|&i| i <= k);
             let tail = &rows_c[p + 1..];
-            let pair_off = arena.len() as u32;
-            let mut pairs = 0u32;
+            pairs.clear();
             let mut cur = 0usize;
             for (q, &i) in l_rows[start..khi].iter().enumerate() {
                 while cur < tail.len() && tail[cur] < i {
                     cur += 1;
                 }
                 if cur < tail.len() && tail[cur] == i {
-                    arena.push(idx(start + q));
-                    arena.push(idx(blo + p + 1 + cur));
-                    pairs += 1;
+                    pairs.push((start + q, blo + p + 1 + cur));
                     cur += 1;
                 } else {
                     debug_assert!(false, "GESSM plan target missing: pattern not closed");
                 }
             }
-            if pairs > 0 {
-                plan.srcs.push(GessmSrc { x_idx: (blo + p) as u32, pair_off, pair_len: pairs });
-                plan.searches_avoided += u64::from(pairs);
+            if !pairs.is_empty() {
+                let pair_off = arena.len() as u32;
+                let runs = match encoding {
+                    PlanEncoding::PerEntry => {
+                        for &(l, t) in &pairs {
+                            arena.push(idx(l));
+                            arena.push(idx(t));
+                        }
+                        0
+                    }
+                    PlanEncoding::Runs => push_pair_run_segs(&pairs, arena),
+                };
+                if runs > 0 {
+                    plan.runs += u64::from(runs);
+                    plan.run_entries += run_entries_of(pairs.len(), runs);
+                }
+                plan.srcs.push(GessmSrc {
+                    x_idx: (blo + p) as u32,
+                    pair_off,
+                    pair_len: pairs.len() as u32,
+                    runs,
+                });
+                plan.searches_avoided += pairs.len() as u64;
             }
         }
     }
@@ -271,11 +423,22 @@ pub fn build_tstrf_plan<S: Scalar>(
     b: &CscMatrix<S>,
     arena: &mut Vec<S::PlanIdx>,
 ) -> TstrfPlan {
+    build_tstrf_plan_enc(diag_lu, b, arena, PlanEncoding::Runs)
+}
+
+/// [`build_tstrf_plan`] with an explicit arena encoding.
+pub fn build_tstrf_plan_enc<S: Scalar>(
+    diag_lu: &CscMatrix<S>,
+    b: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+    encoding: PlanEncoding,
+) -> TstrfPlan {
     let mut plan = TstrfPlan::default();
     let d_ptr = diag_lu.col_ptr();
     let d_rows = diag_lu.row_idx();
     let b_ptr = b.col_ptr();
     let b_rows = b.row_idx();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for j in 0..b.ncols() {
         let (jlo, jhi) = (b_ptr[j], b_ptr[j + 1]);
         if jlo == jhi {
@@ -289,25 +452,42 @@ pub fn build_tstrf_plan<S: Scalar>(
         for q in 0..dpos {
             let k = d_rows[dlo + q];
             let (klo, khi) = (b_ptr[k], b_ptr[k + 1]);
-            let pair_off = arena.len() as u32;
-            let mut pairs = 0u32;
+            pairs.clear();
             let mut cur = 0usize;
             for (t, &r) in b_rows[klo..khi].iter().enumerate() {
                 while cur < rows_j.len() && rows_j[cur] < r {
                     cur += 1;
                 }
                 if cur < rows_j.len() && rows_j[cur] == r {
-                    arena.push(idx(klo + t));
-                    arena.push(idx(jlo + cur));
-                    pairs += 1;
+                    pairs.push((klo + t, jlo + cur));
                     cur += 1;
                 } else {
                     debug_assert!(false, "TSTRF plan target missing: pattern not closed");
                 }
             }
-            if pairs > 0 {
-                plan.uents.push(TstrfUent { u_idx: (dlo + q) as u32, pair_off, pair_len: pairs });
-                plan.searches_avoided += u64::from(pairs);
+            if !pairs.is_empty() {
+                let pair_off = arena.len() as u32;
+                let runs = match encoding {
+                    PlanEncoding::PerEntry => {
+                        for &(s, t) in &pairs {
+                            arena.push(idx(s));
+                            arena.push(idx(t));
+                        }
+                        0
+                    }
+                    PlanEncoding::Runs => push_pair_run_segs(&pairs, arena),
+                };
+                if runs > 0 {
+                    plan.runs += u64::from(runs);
+                    plan.run_entries += run_entries_of(pairs.len(), runs);
+                }
+                plan.uents.push(TstrfUent {
+                    u_idx: (dlo + q) as u32,
+                    pair_off,
+                    pair_len: pairs.len() as u32,
+                    runs,
+                });
+                plan.searches_avoided += pairs.len() as u64;
             }
         }
         plan.cols.push(TstrfCol {
@@ -327,9 +507,19 @@ pub fn build_tstrf_plan<S: Scalar>(
 /// Panics if an update target or a diagonal entry is missing from the
 /// pattern (closure violation).
 pub fn build_getrf_plan<S: Scalar>(a: &CscMatrix<S>, arena: &mut Vec<S::PlanIdx>) -> GetrfPlan {
+    build_getrf_plan_enc(a, arena, PlanEncoding::Runs)
+}
+
+/// [`build_getrf_plan`] with an explicit arena encoding.
+pub fn build_getrf_plan_enc<S: Scalar>(
+    a: &CscMatrix<S>,
+    arena: &mut Vec<S::PlanIdx>,
+    encoding: PlanEncoding,
+) -> GetrfPlan {
     let mut plan = GetrfPlan::default();
     let col_ptr = a.col_ptr();
     let row_idx = a.row_idx();
+    let mut tgts: Vec<usize> = Vec::new();
     for j in 0..a.ncols() {
         let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
         let rows_j = &row_idx[lo..hi];
@@ -343,18 +533,31 @@ pub fn build_getrf_plan<S: Scalar>(a: &CscMatrix<S>, arena: &mut Vec<S::PlanIdx>
             if start == khi {
                 continue;
             }
-            let tgt_off = arena.len() as u32;
+            tgts.clear();
             for &i in &row_idx[start..khi] {
                 let pos = rows_j
                     .binary_search(&i)
                     .expect("GETRF plan target missing: pattern not closed");
-                arena.push(idx(pos));
+                tgts.push(pos);
+            }
+            let tgt_off = arena.len() as u32;
+            let runs = match encoding {
+                PlanEncoding::PerEntry => {
+                    arena.extend(tgts.iter().map(|&t| idx::<S::PlanIdx>(t)));
+                    0
+                }
+                PlanEncoding::Runs => push_run_segs(&tgts, arena),
+            };
+            if runs > 0 {
+                plan.runs += u64::from(runs);
+                plan.run_entries += run_entries_of(tgts.len(), runs);
             }
             plan.uents.push(GetrfUent {
                 u_rel: off_k as u32,
                 src_lo: start as u32,
                 len: (khi - start) as u32,
                 tgt_off,
+                runs,
             });
             plan.searches_avoided += (khi - start) as u64;
         }
@@ -388,9 +591,24 @@ pub fn ssssm_planned<S: Scalar>(
             continue;
         }
         let srcs = &avals[e.a_lo as usize..e.a_lo as usize + e.len as usize];
-        let tgts = &arena[e.tgt_off as usize..e.tgt_off as usize + e.len as usize];
-        for (&t, &aik) in tgts.iter().zip(srcs) {
-            cvals[t.index()] -= aik * bkj;
+        if e.runs == 0 {
+            let tgts = &arena[e.tgt_off as usize..e.tgt_off as usize + e.len as usize];
+            for (&t, &aik) in tgts.iter().zip(srcs) {
+                cvals[t.index()] -= aik * bkj;
+            }
+        } else {
+            // Run segments: one slice axpy per (start, len) pair, the
+            // source consumed sequentially. Same per-element order and
+            // arithmetic as the flat walk, so bitwise identical.
+            let segs = &arena[e.tgt_off as usize..e.tgt_off as usize + 2 * e.runs as usize];
+            let mut s = 0usize;
+            for seg in segs.chunks_exact(2) {
+                let (t0, rl) = (seg[0].index(), seg[1].index());
+                for (c, &aik) in cvals[t0..t0 + rl].iter_mut().zip(&srcs[s..s + rl]) {
+                    *c -= aik * bkj;
+                }
+                s += rl;
+            }
         }
     }
 }
@@ -410,9 +628,22 @@ pub fn gessm_planned<S: Scalar>(
         if xk == S::ZERO {
             continue;
         }
-        let pairs = &arena[s.pair_off as usize..s.pair_off as usize + 2 * s.pair_len as usize];
-        for pr in pairs.chunks_exact(2) {
-            bvals[pr[1].index()] -= lvals[pr[0].index()] * xk;
+        if s.runs == 0 {
+            let pairs = &arena[s.pair_off as usize..s.pair_off as usize + 2 * s.pair_len as usize];
+            for pr in pairs.chunks_exact(2) {
+                bvals[pr[1].index()] -= lvals[pr[0].index()] * xk;
+            }
+        } else {
+            // (l_start, tgt_start, len) triples: both cursors advance in
+            // lockstep inside a run, so the slice loop performs the same
+            // subtractions in the same order as the pair walk.
+            let trs = &arena[s.pair_off as usize..s.pair_off as usize + 3 * s.runs as usize];
+            for tr in trs.chunks_exact(3) {
+                let (l0, t0, rl) = (tr[0].index(), tr[1].index(), tr[2].index());
+                for (b, &l) in bvals[t0..t0 + rl].iter_mut().zip(&lvals[l0..l0 + rl]) {
+                    *b -= l * xk;
+                }
+            }
         }
     }
 }
@@ -433,10 +664,25 @@ pub fn tstrf_planned<S: Scalar>(
             if ukj == S::ZERO {
                 continue;
             }
-            let pairs =
-                &arena[ue.pair_off as usize..ue.pair_off as usize + 2 * ue.pair_len as usize];
-            for pr in pairs.chunks_exact(2) {
-                bvals[pr[1].index()] -= bvals[pr[0].index()] * ukj;
+            if ue.runs == 0 {
+                let pairs =
+                    &arena[ue.pair_off as usize..ue.pair_off as usize + 2 * ue.pair_len as usize];
+                for pr in pairs.chunks_exact(2) {
+                    bvals[pr[1].index()] -= bvals[pr[0].index()] * ukj;
+                }
+            } else {
+                // (src_start, tgt_start, len) triples, both absolute into
+                // b.values(). The source column k precedes the target
+                // column j in CSC order, so src_start + len <= tgt_start
+                // and the borrow split below is always valid.
+                let trs = &arena[ue.pair_off as usize..ue.pair_off as usize + 3 * ue.runs as usize];
+                for tr in trs.chunks_exact(3) {
+                    let (s0, t0, rl) = (tr[0].index(), tr[1].index(), tr[2].index());
+                    let (left, right) = bvals.split_at_mut(t0);
+                    for (t, &sv) in right[..rl].iter_mut().zip(&left[s0..s0 + rl]) {
+                        *t -= sv * ukj;
+                    }
+                }
             }
         }
         let ujj = dvals[col.ujj_idx as usize];
@@ -466,9 +712,23 @@ pub fn getrf_planned<S: Scalar>(
                 continue;
             }
             let srcs = &left[ue.src_lo as usize..ue.src_lo as usize + ue.len as usize];
-            let tgts = &arena[ue.tgt_off as usize..ue.tgt_off as usize + ue.len as usize];
-            for (&t, &lik) in tgts.iter().zip(srcs) {
-                vals_j[t.index()] -= lik * ukj;
+            if ue.runs == 0 {
+                let tgts = &arena[ue.tgt_off as usize..ue.tgt_off as usize + ue.len as usize];
+                for (&t, &lik) in tgts.iter().zip(srcs) {
+                    vals_j[t.index()] -= lik * ukj;
+                }
+            } else {
+                // (start, len) pairs of offsets within column j, source
+                // consumed sequentially from the contiguous left slice.
+                let segs = &arena[ue.tgt_off as usize..ue.tgt_off as usize + 2 * ue.runs as usize];
+                let mut s = 0usize;
+                for seg in segs.chunks_exact(2) {
+                    let (t0, rl) = (seg[0].index(), seg[1].index());
+                    for (t, &lik) in vals_j[t0..t0 + rl].iter_mut().zip(&srcs[s..s + rl]) {
+                        *t -= lik * ukj;
+                    }
+                    s += rl;
+                }
             }
         }
         let diag = col.diag_rel as usize;
@@ -511,12 +771,14 @@ pub struct KernelPlans<S: Scalar = f64> {
     gessm: Vec<Option<GessmPlan>>,
     tstrf: Vec<Option<TstrfPlan>>,
     ssssm: Vec<Option<SsssmPlan>>,
+    encoding: PlanEncoding,
     builds: u64,
     build_ns: u64,
 }
 
 impl<S: Scalar> KernelPlans<S> {
-    /// Creates an empty pool with the given slot counts per class.
+    /// Creates an empty pool with the given slot counts per class,
+    /// using the default run-segment arena encoding.
     pub fn with_slots(getrf: usize, gessm: usize, tstrf: usize, ssssm: usize) -> Self {
         KernelPlans {
             arena: Vec::new(),
@@ -524,9 +786,29 @@ impl<S: Scalar> KernelPlans<S> {
             gessm: (0..gessm).map(|_| None).collect(),
             tstrf: (0..tstrf).map(|_| None).collect(),
             ssssm: (0..ssssm).map(|_| None).collect(),
+            encoding: PlanEncoding::default(),
             builds: 0,
             build_ns: 0,
         }
+    }
+
+    /// Overrides the arena encoding (must be set before the first build;
+    /// plans already built keep their layout). Used by the determinism
+    /// matrix to A/B run-segment replay against per-entry replay.
+    pub fn with_encoding(mut self, encoding: PlanEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// In-place variant of [`KernelPlans::with_encoding`], for pools that
+    /// live inside a cached workspace.
+    pub fn set_encoding(&mut self, encoding: PlanEncoding) {
+        self.encoding = encoding;
+    }
+
+    /// The arena encoding this pool builds with.
+    pub fn encoding(&self) -> PlanEncoding {
+        self.encoding
     }
 
     /// `true` if a block with `nnz` stored entries can be planned in this
@@ -543,7 +825,7 @@ impl<S: Scalar> KernelPlans<S> {
     pub fn getrf_for(&mut self, slot: usize, a: &CscMatrix<S>) -> (&GetrfPlan, &[S::PlanIdx]) {
         if self.getrf[slot].is_none() {
             let start = Instant::now();
-            let plan = build_getrf_plan(a, &mut self.arena);
+            let plan = build_getrf_plan_enc(a, &mut self.arena, self.encoding);
             self.note_build(start);
             self.getrf[slot] = Some(plan);
         }
@@ -559,7 +841,7 @@ impl<S: Scalar> KernelPlans<S> {
     ) -> (&GessmPlan, &[S::PlanIdx]) {
         if self.gessm[slot].is_none() {
             let start = Instant::now();
-            let plan = build_gessm_plan(diag_lu, b, &mut self.arena);
+            let plan = build_gessm_plan_enc(diag_lu, b, &mut self.arena, self.encoding);
             self.note_build(start);
             self.gessm[slot] = Some(plan);
         }
@@ -575,7 +857,7 @@ impl<S: Scalar> KernelPlans<S> {
     ) -> (&TstrfPlan, &[S::PlanIdx]) {
         if self.tstrf[slot].is_none() {
             let start = Instant::now();
-            let plan = build_tstrf_plan(diag_lu, b, &mut self.arena);
+            let plan = build_tstrf_plan_enc(diag_lu, b, &mut self.arena, self.encoding);
             self.note_build(start);
             self.tstrf[slot] = Some(plan);
         }
@@ -592,7 +874,7 @@ impl<S: Scalar> KernelPlans<S> {
     ) -> (&SsssmPlan, &[S::PlanIdx]) {
         if self.ssssm[slot].is_none() {
             let start = Instant::now();
-            let plan = build_ssssm_plan(a, b, c, &mut self.arena);
+            let plan = build_ssssm_plan_enc(a, b, c, &mut self.arena, self.encoding);
             self.note_build(start);
             self.ssssm[slot] = Some(plan);
         }

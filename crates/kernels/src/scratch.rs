@@ -1,7 +1,8 @@
-//! Shared kernel machinery: reusable scratch buffers and safe parallel
-//! access to disjoint CSC columns.
+//! Shared kernel machinery: reusable scratch buffers, run-segmented
+//! slice loops for the unplanned fast paths, and safe parallel access to
+//! disjoint CSC columns.
 
-use pangulu_sparse::Scalar;
+use pangulu_sparse::{for_each_run, RunSeg, Scalar};
 
 /// Reusable dense scratch for the `Direct` (dense-mapping) kernels.
 ///
@@ -13,12 +14,15 @@ pub struct KernelScratch<S = f64> {
     pub dense: Vec<S>,
     /// Generic index stack (DFS, merge cursors).
     pub stack: Vec<usize>,
+    /// Per-column contiguous-run list, found once per target column and
+    /// reused across that column's whole k-loop (and its scatter/gather).
+    pub runs: Vec<RunSeg>,
 }
 
 impl<S: Scalar> KernelScratch<S> {
     /// Creates scratch sized for blocks of dimension `nb`.
     pub fn with_capacity(nb: usize) -> Self {
-        KernelScratch { dense: vec![S::ZERO; nb], stack: Vec::with_capacity(nb) }
+        KernelScratch { dense: vec![S::ZERO; nb], stack: Vec::with_capacity(nb), runs: Vec::new() }
     }
 
     /// Ensures the dense buffer covers `n` rows (zero-filled).
@@ -50,25 +54,26 @@ pub(crate) fn contiguous_start(rows: &[usize]) -> Option<usize> {
     }
 }
 
-/// Dense axpy `dense[rows] -= coef * vals`, taking the contiguous fast
-/// path when the row list is a single run.
+/// Dense axpy `dense[rows] -= coef * vals`, walking the row list as
+/// maximal contiguous runs so each run is a straight (vectorisable)
+/// slice loop. Runs partition the list left to right, so the per-element
+/// order and arithmetic match the per-entry walk exactly.
 #[inline]
 pub(crate) fn scatter_axpy<S: Scalar>(dense: &mut [S], rows: &[usize], vals: &[S], coef: S) {
-    if let Some(start) = contiguous_start(rows) {
-        for (d, &v) in dense[start..start + vals.len()].iter_mut().zip(vals) {
+    for_each_run(rows, |r| {
+        for (d, &v) in dense[r.start..r.start + r.len].iter_mut().zip(&vals[r.off..r.off + r.len]) {
             *d -= v * coef;
         }
-    } else {
-        for (&r, &v) in rows.iter().zip(vals) {
-            dense[r] -= v * coef;
-        }
-    }
+    });
 }
 
 /// Sparse-into-sparse axpy `target[src_rows] -= coef * src_vals` on the
-/// both-contiguous fast path: when source and target columns are single
-/// runs, target positions are plain offsets and the update is one
-/// vectorisable slice loop. Returns `false` (untouched) otherwise.
+/// single-run-target fast path: when the target column is one contiguous
+/// run, target positions are plain offsets and each maximal *source* run
+/// becomes one vectorisable slice loop (the source no longer needs to be
+/// a single run itself). Returns `false` (untouched) when the target is
+/// fragmented; callers fall back to their merge/search walk, which
+/// performs the identical per-element operations.
 #[inline]
 pub(crate) fn try_direct_axpy<S: Scalar>(
     tgt_rows: &[usize],
@@ -77,18 +82,82 @@ pub(crate) fn try_direct_axpy<S: Scalar>(
     src_vals: &[S],
     coef: S,
 ) -> bool {
-    let (Some(t0), Some(s0)) = (contiguous_start(tgt_rows), contiguous_start(src_rows)) else {
+    let Some(t0) = contiguous_start(tgt_rows) else {
         return false;
     };
     if src_rows.is_empty() {
         return true;
     }
-    debug_assert!(s0 >= t0 && s0 + src_rows.len() <= t0 + tgt_rows.len(), "closure violated");
-    let off = s0 - t0;
-    for (d, &v) in tgt_vals[off..off + src_vals.len()].iter_mut().zip(src_vals) {
-        *d -= v * coef;
-    }
+    debug_assert!(
+        src_rows[0] >= t0 && src_rows[src_rows.len() - 1] < t0 + tgt_rows.len(),
+        "closure violated"
+    );
+    for_each_run(src_rows, |r| {
+        let off = r.start - t0;
+        for (d, &v) in tgt_vals[off..off + r.len].iter_mut().zip(&src_vals[r.off..r.off + r.len]) {
+            *d -= v * coef;
+        }
+    });
     true
+}
+
+/// Whether a column's precomputed run list is worth the run-mapped axpy:
+/// single-run columns always are, fragmented columns qualify once runs
+/// average at least two entries (so the slice loops amortise the per-run
+/// segment lookup). Purely structural — the choice never changes the
+/// arithmetic, only how target positions are located.
+#[inline]
+pub(crate) fn run_friendly(runs: &[RunSeg], nnz: usize) -> bool {
+    runs.len() == 1 || 2 * runs.len() <= nnz
+}
+
+/// Sparse-into-sparse axpy against a target whose maximal runs were
+/// computed once per column (`collect_runs`) and are reused across the
+/// whole k-loop. Every maximal source run lies inside exactly one target
+/// run — consecutive rows all present in the target cannot straddle a
+/// target gap (pattern closure) — so each source run resolves with one
+/// binary search over the run list instead of per-entry searches over
+/// the row list, then updates as a slice loop.
+#[inline]
+pub(crate) fn axpy_into_runs<S: Scalar>(
+    tgt_runs: &[RunSeg],
+    tgt_vals: &mut [S],
+    src_rows: &[usize],
+    src_vals: &[S],
+    coef: S,
+) {
+    for_each_run(src_rows, |r| {
+        let t = tgt_runs.partition_point(|tr| tr.start <= r.start) - 1;
+        let tr = tgt_runs[t];
+        debug_assert!(
+            r.start >= tr.start && r.start + r.len <= tr.start + tr.len,
+            "closure violated"
+        );
+        let off = tr.off + (r.start - tr.start);
+        for (d, &v) in tgt_vals[off..off + r.len].iter_mut().zip(&src_vals[r.off..r.off + r.len]) {
+            *d -= v * coef;
+        }
+    });
+}
+
+/// Scatters `vals` (a column's value slice) into the dense buffer using
+/// the column's precomputed run list: one `copy_from_slice` per segment.
+#[inline]
+pub(crate) fn scatter_runs<S: Scalar>(dense: &mut [S], runs: &[RunSeg], vals: &[S]) {
+    for r in runs {
+        dense[r.start..r.start + r.len].copy_from_slice(&vals[r.off..r.off + r.len]);
+    }
+}
+
+/// Gathers the dense buffer back into `vals` and re-zeroes the touched
+/// slots, using the same precomputed run list as the scatter.
+#[inline]
+pub(crate) fn gather_zero_runs<S: Scalar>(dense: &mut [S], runs: &[RunSeg], vals: &mut [S]) {
+    for r in runs {
+        let d = &mut dense[r.start..r.start + r.len];
+        vals[r.off..r.off + r.len].copy_from_slice(d);
+        d.fill(S::ZERO);
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +177,52 @@ mod tests {
         let rows = [1usize, 4, 9];
         assert_eq!(find_in_col(&rows, 4), Some(1));
         assert_eq!(find_in_col(&rows, 5), None);
+    }
+
+    #[test]
+    fn widened_direct_axpy_takes_fragmented_sources() {
+        // Single-run target, source with a gap: previously fell back.
+        let tgt_rows = [2usize, 3, 4, 5, 6];
+        let mut tgt = [10.0f64; 5];
+        let src_rows = [2usize, 3, 5];
+        let src = [1.0, 2.0, 4.0];
+        assert!(try_direct_axpy(&tgt_rows, &mut tgt, &src_rows, &src, 2.0));
+        assert_eq!(tgt, [8.0, 6.0, 10.0, 2.0, 10.0]);
+        // Fragmented target still declines.
+        let frag_rows = [0usize, 2, 3];
+        let mut frag = [1.0f64; 3];
+        assert!(!try_direct_axpy(&frag_rows, &mut frag, &[2usize], &[1.0], 1.0));
+        assert_eq!(frag, [1.0; 3]);
+    }
+
+    #[test]
+    fn run_mapped_axpy_matches_per_entry_search() {
+        let tgt_rows = [0usize, 1, 4, 5, 6, 9];
+        let src_rows = [1usize, 4, 5, 9];
+        let src = [1.0f64, 2.0, 3.0, 4.0];
+        let mut runs = Vec::new();
+        pangulu_sparse::collect_runs(&tgt_rows, &mut runs);
+        let mut got = [1.0f64; 6];
+        axpy_into_runs(&runs, &mut got, &src_rows, &src, 0.5);
+        let mut want = [1.0f64; 6];
+        for (&r, &v) in src_rows.iter().zip(&src) {
+            want[tgt_rows.iter().position(|&t| t == r).unwrap()] -= v * 0.5;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn run_scatter_gather_round_trips() {
+        let rows = [1usize, 2, 5, 6, 7];
+        let vals = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let mut runs = Vec::new();
+        pangulu_sparse::collect_runs(&rows, &mut runs);
+        let mut dense = [0.0f64; 9];
+        scatter_runs(&mut dense, &runs, &vals);
+        assert_eq!(dense, [0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 5.0, 0.0]);
+        let mut back = [0.0f64; 5];
+        gather_zero_runs(&mut dense, &runs, &mut back);
+        assert_eq!(back, vals);
+        assert!(dense.iter().all(|&v| v == 0.0));
     }
 }

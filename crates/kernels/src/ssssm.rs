@@ -16,9 +16,12 @@
 //! * `G_V2` — direct addressing, column teams with per-worker dense
 //!   buffers ("warp-level column").
 
-use pangulu_sparse::{CscMatrix, Scalar};
+use pangulu_sparse::{collect_runs, CscMatrix, RunSeg, Scalar};
 
-use crate::scratch::{find_in_col, scatter_axpy, try_direct_axpy, KernelScratch};
+use crate::scratch::{
+    axpy_into_runs, find_in_col, gather_zero_runs, run_friendly, scatter_axpy, scatter_runs,
+    KernelScratch,
+};
 use crate::SsssmVariant;
 
 /// Per-column updates above this count switch `C_V2`/`G_V1` from
@@ -39,28 +42,29 @@ pub fn ssssm<S: Scalar>(
     match variant {
         SsssmVariant::CV1 => {
             scratch.ensure(c.nrows());
+            let KernelScratch { dense, runs, .. } = scratch;
             for j in 0..c.ncols() {
                 let (brows, bvals) = b.col(j);
                 let (crows, cvals) = c.col_mut(j);
-                update_col_dense(a, brows, bvals, crows, cvals, &mut scratch.dense);
+                update_col_dense(a, brows, bvals, crows, cvals, dense, runs);
             }
         }
         SsssmVariant::CV2 => {
             for j in 0..c.ncols() {
                 let (brows, bvals) = b.col(j);
                 let (crows, cvals) = c.col_mut(j);
-                update_col_adaptive(a, brows, bvals, crows, cvals);
+                update_col_adaptive(a, brows, bvals, crows, cvals, &mut scratch.runs);
             }
         }
         SsssmVariant::GV1 => {
-            parallel_cols(b, c, 0, |brows, bvals, crows, cvals, _| {
-                update_col_adaptive(a, brows, bvals, crows, cvals)
+            parallel_cols(b, c, 0, |brows, bvals, crows, cvals, _, runs| {
+                update_col_adaptive(a, brows, bvals, crows, cvals, runs)
             });
         }
         SsssmVariant::GV2 => {
             let nrows = c.nrows();
-            parallel_cols(b, c, nrows, |brows, bvals, crows, cvals, dense| {
-                update_col_dense(a, brows, bvals, crows, cvals, dense)
+            parallel_cols(b, c, nrows, |brows, bvals, crows, cvals, dense, runs| {
+                update_col_dense(a, brows, bvals, crows, cvals, dense, runs)
             });
         }
     }
@@ -110,7 +114,7 @@ pub fn ssssm_batch<S: Scalar>(
         debug_assert_eq!(c.ncols(), u.b.ncols(), "SSSSM col mismatch");
     }
     scratch.ensure(c.nrows());
-    let dense = &mut scratch.dense;
+    let KernelScratch { dense, runs, .. } = scratch;
     for j in 0..c.ncols() {
         if updates.iter().all(|u| u.b.col_nnz(j) == 0) {
             continue;
@@ -119,9 +123,8 @@ pub fn ssssm_batch<S: Scalar>(
         if crows.is_empty() {
             continue;
         }
-        for (off, &i) in crows.iter().enumerate() {
-            dense[i] = cvals[off];
-        }
+        collect_runs(crows, runs);
+        scatter_runs(dense, runs, cvals);
         for u in updates {
             let (brows, bvals) = u.b.col(j);
             for (&k, &bkj) in brows.iter().zip(bvals) {
@@ -132,15 +135,13 @@ pub fn ssssm_batch<S: Scalar>(
                 scatter_axpy(dense, arows, avals, bkj);
             }
         }
-        for (off, &i) in crows.iter().enumerate() {
-            cvals[off] = dense[i];
-            dense[i] = S::ZERO;
-        }
+        gather_zero_runs(dense, runs, cvals);
     }
 }
 
 /// Direct addressing: scatter the C column into a dense buffer, apply all
-/// sparse axpys, gather back.
+/// sparse axpys, gather back. The column's run list is found once and
+/// reused by scatter and gather (one `copy_from_slice` per segment).
 fn update_col_dense<S: Scalar>(
     a: &CscMatrix<S>,
     brows: &[usize],
@@ -148,13 +149,13 @@ fn update_col_dense<S: Scalar>(
     crows: &[usize],
     cvals: &mut [S],
     dense: &mut [S],
+    runs: &mut Vec<RunSeg>,
 ) {
     if brows.is_empty() || crows.is_empty() {
         return;
     }
-    for (off, &i) in crows.iter().enumerate() {
-        dense[i] = cvals[off];
-    }
+    collect_runs(crows, runs);
+    scatter_runs(dense, runs, cvals);
     for (&k, &bkj) in brows.iter().zip(bvals) {
         if bkj == S::ZERO {
             continue;
@@ -162,23 +163,36 @@ fn update_col_dense<S: Scalar>(
         let (arows, avals) = a.col(k);
         scatter_axpy(dense, arows, avals, bkj);
     }
-    for (off, &i) in crows.iter().enumerate() {
-        cvals[off] = dense[i];
-        dense[i] = S::ZERO;
-    }
+    gather_zero_runs(dense, runs, cvals);
 }
 
-/// Bin-search addressing with the adaptive split-bin switch: columns with
-/// many updates use merge walks (linear in the two patterns), light
-/// columns use per-entry binary search.
+/// Bin-search addressing with the adaptive split-bin switch: run-friendly
+/// target columns (single run, or runs averaging two-plus entries) use
+/// run-mapped slice axpys against the run list found once per column;
+/// among the rest, columns with many updates use merge walks (linear in
+/// the two patterns) and light columns per-entry binary search. The
+/// choice only changes how target positions are located, never the
+/// arithmetic, so all three paths are bitwise identical.
 fn update_col_adaptive<S: Scalar>(
     a: &CscMatrix<S>,
     brows: &[usize],
     bvals: &[S],
     crows: &[usize],
     cvals: &mut [S],
+    runs: &mut Vec<RunSeg>,
 ) {
     if brows.is_empty() || crows.is_empty() {
+        return;
+    }
+    collect_runs(crows, runs);
+    if run_friendly(runs, crows.len()) {
+        for (&k, &bkj) in brows.iter().zip(bvals) {
+            if bkj == S::ZERO {
+                continue;
+            }
+            let (arows, avals) = a.col(k);
+            axpy_into_runs(runs, cvals, arows, avals, bkj);
+        }
         return;
     }
     let updates: usize = brows.iter().map(|&k| a.col_nnz(k)).sum();
@@ -202,9 +216,6 @@ fn update_col_binsearch<S: Scalar>(
             continue;
         }
         let (arows, avals) = a.col(k);
-        if try_direct_axpy(crows, cvals, arows, avals, bkj) {
-            continue;
-        }
         for (&i, &aik) in arows.iter().zip(avals) {
             if aik == S::ZERO {
                 continue;
@@ -229,9 +240,6 @@ fn update_col_merge<S: Scalar>(
             continue;
         }
         let (arows, avals) = a.col(k);
-        if try_direct_axpy(crows, cvals, arows, avals, bkj) {
-            continue;
-        }
         let mut cur = 0usize;
         for (&i, &aik) in arows.iter().zip(avals) {
             while cur < crows.len() && crows[cur] < i {
@@ -253,7 +261,7 @@ fn update_col_merge<S: Scalar>(
 /// raw-pointer writes are race-free.
 fn parallel_cols<S: Scalar, F>(b: &CscMatrix<S>, c: &mut CscMatrix<S>, dense_len: usize, f: F)
 where
-    F: Fn(&[usize], &[S], &[usize], &mut [S], &mut [S]) + Sync,
+    F: Fn(&[usize], &[S], &[usize], &mut [S], &mut [S], &mut Vec<RunSeg>) + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let ncols = c.ncols();
@@ -261,10 +269,11 @@ where
     let (col_ptr, row_idx, values) = c.parts_mut();
     if workers <= 1 {
         let mut dense = vec![S::ZERO; dense_len];
+        let mut runs = Vec::new();
         for j in 0..ncols {
             let (brows, bvals) = b.col(j);
             let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
-            f(brows, bvals, &row_idx[lo..hi], &mut values[lo..hi], &mut dense);
+            f(brows, bvals, &row_idx[lo..hi], &mut values[lo..hi], &mut dense, &mut runs);
         }
         return;
     }
@@ -282,6 +291,7 @@ where
         for _ in 0..workers {
             s.spawn(|| {
                 let mut dense = vec![S::ZERO; dense_len];
+                let mut runs = Vec::new();
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= ncols {
@@ -293,7 +303,7 @@ where
                     // columns are disjoint value ranges.
                     let cvals =
                         unsafe { std::slice::from_raw_parts_mut(vptr.get().add(lo), hi - lo) };
-                    f(brows, bvals, &row_idx[lo..hi], cvals, &mut dense);
+                    f(brows, bvals, &row_idx[lo..hi], cvals, &mut dense, &mut runs);
                 }
             });
         }

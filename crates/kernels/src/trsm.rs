@@ -19,10 +19,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use pangulu_sparse::{CscMatrix, CsrMatrix, Scalar};
+use pangulu_sparse::{collect_runs, for_each_run, CscMatrix, CsrMatrix, RunSeg, Scalar};
 
 use crate::getrf::team_size;
-use crate::scratch::{find_in_col, scatter_axpy, try_direct_axpy, KernelScratch};
+use crate::scratch::{
+    axpy_into_runs, find_in_col, run_friendly, scatter_axpy, scatter_runs, try_direct_axpy,
+    KernelScratch,
+};
 use crate::TrsmVariant;
 
 /// Solves `L X = B` in place (`B` becomes `X`); `diag_lu` is the packed
@@ -94,12 +97,12 @@ fn tstrf_col<'a, S: Scalar>(
     get_col: impl Fn(usize) -> (&'a [usize], &'a [S]),
     addr: TstrfAddr,
     dense: &mut [S],
+    runs: &mut Vec<RunSeg>,
 ) {
     match addr {
         TstrfAddr::Dense => {
-            for (off, &r) in rows_j.iter().enumerate() {
-                dense[r] = vals_j[off];
-            }
+            collect_runs(rows_j, runs);
+            scatter_runs(dense, runs, vals_j);
             for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
                 if ukj == S::ZERO {
                     continue;
@@ -107,18 +110,26 @@ fn tstrf_col<'a, S: Scalar>(
                 let (krows, kvals) = get_col(k);
                 scatter_axpy(dense, krows, kvals, ukj);
             }
-            for (off, &r) in rows_j.iter().enumerate() {
-                vals_j[off] = dense[r] / ujj;
-                dense[r] = S::ZERO;
+            for r in runs.iter() {
+                let d = &mut dense[r.start..r.start + r.len];
+                for (v, dv) in vals_j[r.off..r.off + r.len].iter_mut().zip(d.iter_mut()) {
+                    *v = *dv / ujj;
+                    *dv = S::ZERO;
+                }
             }
         }
         TstrfAddr::Merge => {
+            // The target column is fixed across the whole k-loop, so its
+            // run list is found once and reused for every source column.
+            collect_runs(rows_j, runs);
+            let widened = run_friendly(runs, rows_j.len());
             for (&k, &ukj) in uk_rows.iter().zip(uk_vals) {
                 if ukj == S::ZERO {
                     continue;
                 }
                 let (krows, kvals) = get_col(k);
-                if try_direct_axpy(rows_j, vals_j, krows, kvals, ukj) {
+                if widened {
+                    axpy_into_runs(runs, vals_j, krows, kvals, ukj);
                     continue;
                 }
                 let mut cur = 0usize;
@@ -182,6 +193,7 @@ fn tstrf_seq<S: Scalar>(
     scratch: &mut KernelScratch<S>,
 ) {
     scratch.ensure(b.nrows());
+    let KernelScratch { dense, runs, .. } = scratch;
     let (col_ptr, row_idx, values) = b.parts_mut();
     let ncols = col_ptr.len() - 1;
     for j in 0..ncols {
@@ -195,16 +207,7 @@ fn tstrf_seq<S: Scalar>(
             let (klo, khi) = (col_ptr[k], col_ptr[k + 1]);
             (&row_idx[klo..khi], &left[klo..khi])
         };
-        tstrf_col(
-            uk_rows,
-            uk_vals,
-            ujj,
-            &row_idx[lo..hi],
-            vals_j,
-            get_col,
-            addr,
-            &mut scratch.dense,
-        );
+        tstrf_col(uk_rows, uk_vals, ujj, &row_idx[lo..hi], vals_j, get_col, addr, dense, runs);
     }
 }
 
@@ -229,6 +232,7 @@ fn tstrf_unsync<S: Scalar>(diag_lu: &CscMatrix<S>, b: &mut CscMatrix<S>, addr: T
             s.spawn(|| {
                 let mut dense =
                     if addr == TstrfAddr::Dense { vec![S::ZERO; nrows] } else { Vec::new() };
+                let mut runs = Vec::new();
                 loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= ncols {
@@ -267,6 +271,7 @@ fn tstrf_unsync<S: Scalar>(diag_lu: &CscMatrix<S>, b: &mut CscMatrix<S>, addr: T
                         get_col,
                         addr,
                         &mut dense,
+                        &mut runs,
                     );
                     ready[j].store(true, Ordering::Release);
                 }
@@ -369,9 +374,9 @@ fn solve_col_direct<S: Scalar>(
     vals_c: &mut [S],
     dense: &mut [S],
 ) {
-    for (off, &i) in rows_c.iter().enumerate() {
-        dense[i] = vals_c[off];
-    }
+    for_each_run(rows_c, |r| {
+        dense[r.start..r.start + r.len].copy_from_slice(&vals_c[r.off..r.off + r.len]);
+    });
     for &k in rows_c {
         if let Some(d) = diag {
             dense[k] /= d[k];
@@ -383,10 +388,11 @@ fn solve_col_direct<S: Scalar>(
         let (lrows, lvals) = strict_lower(l, k);
         scatter_axpy(dense, lrows, lvals, xk);
     }
-    for (off, &i) in rows_c.iter().enumerate() {
-        vals_c[off] = dense[i];
-        dense[i] = S::ZERO;
-    }
+    for_each_run(rows_c, |r| {
+        let d = &mut dense[r.start..r.start + r.len];
+        vals_c[r.off..r.off + r.len].copy_from_slice(d);
+        d.fill(S::ZERO);
+    });
 }
 
 /// `G_V1` core: bin-search addressing within the column.

@@ -6,9 +6,11 @@
 
 use proptest::prelude::*;
 
-use pangulu_kernels::{getrf, plan, ssssm, trsm, GetrfVariant, KernelScratch, TrsmVariant};
+use pangulu_kernels::{
+    getrf, plan, ssssm, trsm, GetrfVariant, KernelScratch, PlanEncoding, SsssmVariant, TrsmVariant,
+};
 use pangulu_sparse::ops::ensure_diagonal;
-use pangulu_sparse::{CooMatrix, CscMatrix};
+use pangulu_sparse::{CooMatrix, CscMatrix, Scalar};
 use pangulu_symbolic::symbolic_fill;
 
 /// A random diagonally dominant matrix of order `2 * nb`, filled and cut
@@ -187,6 +189,122 @@ proptest! {
         plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
         prop_assert_eq!(want.values(), got.values());
     }
+}
+
+/// Runs all four kernels through both arena encodings in scalar type
+/// `S` and asserts each planned replay equals the unplanned `C_V1`
+/// reference bit for bit. The run-segmented encoding executes slice
+/// loops over the same element order (no reduction reorder, no FMA),
+/// so both encodings — and the scalar kernel — must agree exactly.
+fn assert_encodings_match<S: Scalar>(
+    diag: &CscMatrix<S>,
+    upper: &CscMatrix<S>,
+    lower: &CscMatrix<S>,
+    tail: &CscMatrix<S>,
+) {
+    let nb = diag.ncols();
+    let mut scratch = KernelScratch::<S>::with_capacity(nb);
+    let mut lu = diag.clone();
+    let perturbed = getrf::getrf(&mut lu, GetrfVariant::CV1, &mut scratch, 1e-12);
+    let mut u_op = upper.clone();
+    trsm::gessm(&lu, &mut u_op, TrsmVariant::CV1, &mut scratch);
+    let mut l_op = lower.clone();
+    trsm::tstrf(&lu, &mut l_op, TrsmVariant::CV1, &mut scratch);
+    let mut want_tail = tail.clone();
+    ssssm::ssssm(&l_op, &u_op, &mut want_tail, SsssmVariant::CV1, &mut scratch);
+
+    for enc in [PlanEncoding::PerEntry, PlanEncoding::Runs] {
+        let mut arena = Vec::new();
+        let p = plan::build_getrf_plan_enc(diag, &mut arena, enc);
+        let mut got = diag.clone();
+        let got_perturbed = plan::getrf_planned(&mut got, &p, &arena, 1e-12);
+        assert_eq!(lu.values(), got.values(), "{enc:?} GETRF diverged");
+        assert_eq!(perturbed, got_perturbed, "{enc:?} GETRF pivot count diverged");
+
+        let p = plan::build_gessm_plan_enc(&lu, upper, &mut arena, enc);
+        let mut got = upper.clone();
+        plan::gessm_planned(&lu, &mut got, &p, &arena);
+        assert_eq!(u_op.values(), got.values(), "{enc:?} GESSM diverged");
+
+        let p = plan::build_tstrf_plan_enc(&lu, lower, &mut arena, enc);
+        let mut got = lower.clone();
+        plan::tstrf_planned(&lu, &mut got, &p, &arena);
+        assert_eq!(l_op.values(), got.values(), "{enc:?} TSTRF diverged");
+
+        let p = plan::build_ssssm_plan_enc(&l_op, &u_op, tail, &mut arena, enc);
+        let mut got = tail.clone();
+        plan::ssssm_planned(&l_op, &u_op, &mut got, &p, &arena);
+        assert_eq!(want_tail.values(), got.values(), "{enc:?} SSSSM diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Run-segmented replay == per-entry replay == unplanned kernel,
+    /// bitwise, in both f64 and the mixed path's f32.
+    #[test]
+    fn run_encoding_matches_per_entry_and_unplanned_both_widths(
+        (nb, entries) in inputs()
+    ) {
+        let (diag, upper, lower, tail) = blocks(nb, &entries);
+        assert_encodings_match(&diag, &upper, &lower, &tail);
+        assert_encodings_match(
+            &diag.cast::<f32>(),
+            &upper.cast::<f32>(),
+            &lower.cast::<f32>(),
+            &tail.cast::<f32>(),
+        );
+    }
+
+    /// The same cross-encoding × width pin on near-empty patterns:
+    /// empty columns and vanishing panels must replay identically.
+    #[test]
+    fn run_encoding_degenerate_patterns_both_widths(
+        (nb, entries) in sparse_inputs()
+    ) {
+        let (diag, upper, lower, tail) = blocks(nb, &entries);
+        assert_encodings_match(&diag, &upper, &lower, &tail);
+        assert_encodings_match(
+            &diag.cast::<f32>(),
+            &upper.cast::<f32>(),
+            &lower.cast::<f32>(),
+            &tail.cast::<f32>(),
+        );
+    }
+}
+
+/// Crafted degenerate shapes the random strategies rarely hit together:
+/// an all-gaps (alternating-row) panel column, a single-run column and
+/// empty columns, replayed through both encodings in both widths.
+#[test]
+fn run_encoding_alternating_gaps_and_single_runs() {
+    let nb = 8;
+    let mut entries = Vec::new();
+    // Column nb+1 of the upper panel: alternating rows 0,2,4,6 (every
+    // run is length 1 — worst case for the run encoding).
+    for i in [0usize, 2, 4, 6] {
+        entries.push((i, nb + 1, 1.0 + i as f64 / 4.0));
+    }
+    // Column nb+3: one contiguous run 2..=5 (best case).
+    for i in 2usize..6 {
+        entries.push((i, nb + 3, -1.25 + i as f64 / 8.0));
+    }
+    // Lower panel mirrors; columns nb+0/nb+2 of the tail stay empty.
+    for j in [0usize, 2, 4, 6] {
+        entries.push((nb + j, 1, 0.5 + j as f64 / 4.0));
+    }
+    for j in 2usize..6 {
+        entries.push((nb + j, 3, 0.75 - j as f64 / 8.0));
+    }
+    let (diag, upper, lower, tail) = blocks(nb, &entries);
+    assert_encodings_match(&diag, &upper, &lower, &tail);
+    assert_encodings_match(
+        &diag.cast::<f32>(),
+        &upper.cast::<f32>(),
+        &lower.cast::<f32>(),
+        &tail.cast::<f32>(),
+    );
 }
 
 /// A structurally empty panel (zero stored entries): every builder must

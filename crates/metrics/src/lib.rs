@@ -228,6 +228,15 @@ pub struct MemStats {
     /// being re-derived inside the kernel. Static per plan, so
     /// deterministic.
     pub index_searches_avoided: u64,
+    /// Run segments executed by planned replay: each is one slice-level
+    /// axpy over a contiguous stretch of a plan's index list (see the
+    /// run-segment encoding in `docs/KERNEL_PLANS.md`). Static per plan,
+    /// so deterministic.
+    pub plan_runs: u64,
+    /// Plan entries executed as slice-loop continuations beyond each run
+    /// segment's head — the per-entry index steps the run encoding
+    /// absorbed into vectorisable slice loops. Static per plan.
+    pub run_axpy_entries: u64,
     /// Resident footprint of the kernel plan arenas on this rank, bytes.
     /// A gauge, not a rate: it stays flat across refactorisation reps
     /// once every executed task's plan has been built.
@@ -335,6 +344,10 @@ pub struct PrecisionCounters {
     pub precision_fallbacks: u64,
     /// Refinement iterations spent by factor-time probes.
     pub probe_refine_iters: u64,
+    /// Mixed factorisations that skipped the acceptance probe under the
+    /// probe cadence (`probe_every`, see `docs/PRECISION.md`) instead of
+    /// paying its refinement wall.
+    pub probe_skips: u64,
     /// Refinement iterations across all solves.
     pub refine_iters: u64,
     /// Solves that ran the mixed refinement loop.
@@ -349,6 +362,7 @@ impl PrecisionCounters {
             mixed_factors: self.mixed_factors - earlier.mixed_factors,
             precision_fallbacks: self.precision_fallbacks - earlier.precision_fallbacks,
             probe_refine_iters: self.probe_refine_iters - earlier.probe_refine_iters,
+            probe_skips: self.probe_skips - earlier.probe_skips,
             refine_iters: self.refine_iters - earlier.refine_iters,
             refined_solves: self.refined_solves - earlier.refined_solves,
         }
@@ -445,6 +459,10 @@ pub struct RunReport {
     /// refinement probe stalled (cumulative over the solver's lifetime;
     /// 0 on pure-f64 runs). Stamped by the solver, not the executor.
     pub precision_fallbacks: u64,
+    /// Mixed factorisations that skipped the acceptance probe under the
+    /// solver's probe cadence (cumulative; 0 on pure-f64 runs).
+    /// Stamped by the solver, not the executor. Deterministic.
+    pub probe_skips: u64,
     /// Per-rank metrics, ascending by rank.
     pub per_rank: Vec<RankMetrics>,
 }
@@ -488,6 +506,8 @@ impl RunReport {
             m.ssssm_batches += r.mem.ssssm_batches;
             m.planned_calls += r.mem.planned_calls;
             m.index_searches_avoided += r.mem.index_searches_avoided;
+            m.plan_runs += r.mem.plan_runs;
+            m.run_axpy_entries += r.mem.run_axpy_entries;
             m.plan_bytes += r.mem.plan_bytes;
             m.plan_build_ns += r.mem.plan_build_ns;
         }
@@ -581,6 +601,7 @@ impl RunReport {
             ("predicted_flops", Json::Num(self.predicted_flops)),
             ("scalar_width", Json::Num(self.scalar_width as f64)),
             ("precision_fallbacks", Json::Num(self.precision_fallbacks as f64)),
+            ("probe_skips", Json::Num(self.probe_skips as f64)),
             ("observed_flops", Json::Num(self.observed_flops())),
             ("mean_sync_fraction", Json::Num(self.mean_sync_fraction())),
             ("per_rank", Json::Arr(per_rank)),
@@ -605,6 +626,7 @@ impl RunReport {
                 .get("precision_fallbacks")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0) as u64,
+            probe_skips: doc.get("probe_skips").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             per_rank: Vec::new(),
         };
         for r in doc
@@ -669,6 +691,8 @@ fn rank_to_json(r: &RankMetrics) -> Json {
                 ("ssssm_batches", Json::Num(r.mem.ssssm_batches as f64)),
                 ("planned_calls", Json::Num(r.mem.planned_calls as f64)),
                 ("index_searches_avoided", Json::Num(r.mem.index_searches_avoided as f64)),
+                ("plan_runs", Json::Num(r.mem.plan_runs as f64)),
+                ("run_axpy_entries", Json::Num(r.mem.run_axpy_entries as f64)),
                 ("plan_bytes", Json::Num(r.mem.plan_bytes as f64)),
                 ("plan_build_ns", Json::Num(r.mem.plan_build_ns as f64)),
             ]),
@@ -726,6 +750,11 @@ fn rank_from_json(j: &Json) -> Result<RankMetrics, JsonError> {
             ssssm_batches: mem.req_u64("ssssm_batches")?,
             planned_calls: mem.req_u64("planned_calls")?,
             index_searches_avoided: mem.req_u64("index_searches_avoided")?,
+            // Run-encoding counters postdate the schema's first cut;
+            // absent means an old document, read as 0.
+            plan_runs: mem.get("plan_runs").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            run_axpy_entries: mem.get("run_axpy_entries").and_then(Json::as_f64).unwrap_or(0.0)
+                as u64,
             plan_bytes: mem.req_u64("plan_bytes")?,
             plan_build_ns: mem.req_u64("plan_build_ns")?,
         },
@@ -802,6 +831,7 @@ mod tests {
             predicted_flops: 2048.0,
             scalar_width: 8,
             precision_fallbacks: 1,
+            probe_skips: 2,
             per_rank: vec![
                 RankMetrics {
                     rank: 0,
@@ -818,6 +848,8 @@ mod tests {
                         ssssm_batches: 1,
                         planned_calls: 3,
                         index_searches_avoided: 42,
+                        plan_runs: 7,
+                        run_axpy_entries: 35,
                         plan_bytes: 1024,
                         plan_build_ns: 900,
                     },
@@ -868,6 +900,8 @@ mod tests {
         assert_eq!(mem.ssssm_batches, 1);
         assert_eq!(mem.planned_calls, 3);
         assert_eq!(mem.index_searches_avoided, 42);
+        assert_eq!(mem.plan_runs, 7);
+        assert_eq!(mem.run_axpy_entries, 35);
         assert_eq!(mem.plan_bytes, 1024);
         assert_eq!(mem.plan_build_ns, 900);
         let sched = report.total_sched();
@@ -909,6 +943,8 @@ mod tests {
         assert_eq!(det.per_rank[0].mem.pattern_cache_hits, 1);
         assert_eq!(det.per_rank[0].mem.planned_calls, 3);
         assert_eq!(det.per_rank[0].mem.index_searches_avoided, 42);
+        assert_eq!(det.per_rank[0].mem.plan_runs, 7, "run counts are static per plan");
+        assert_eq!(det.per_rank[0].mem.run_axpy_entries, 35, "run entries are static per plan");
         assert_eq!(det.per_rank[0].mem.plan_bytes, 1024);
         assert_eq!(det.per_rank[0].comm.msgs_sent, 4);
         assert_eq!(det.per_rank[0].comm.bytes_sent, 512);
@@ -982,17 +1018,29 @@ mod tests {
         let det = report.without_timings();
         assert_eq!(det.scalar_width, 8, "scalar width is deterministic");
         assert_eq!(det.precision_fallbacks, 1, "fallback count is deterministic");
+        assert_eq!(det.probe_skips, 2, "skip count is deterministic");
         // Old documents without the fields parse as 0.
         let mut old = report.clone();
         old.scalar_width = 0;
         old.precision_fallbacks = 0;
+        old.probe_skips = 0;
+        for r in &mut old.per_rank {
+            r.mem.plan_runs = 0;
+            r.mem.run_axpy_entries = 0;
+        }
         let text = old
             .to_json()
             .replace("\"scalar_width\"", "\"ignored_a\"")
-            .replace("\"precision_fallbacks\"", "\"ignored_b\"");
+            .replace("\"precision_fallbacks\"", "\"ignored_b\"")
+            .replace("\"probe_skips\"", "\"ignored_c\"")
+            .replace("\"plan_runs\"", "\"ignored_d\"")
+            .replace("\"run_axpy_entries\"", "\"ignored_e\"");
         let back = RunReport::from_json(&text).unwrap();
         assert_eq!(back.scalar_width, 0);
         assert_eq!(back.precision_fallbacks, 0);
+        assert_eq!(back.probe_skips, 0);
+        assert_eq!(back.per_rank[0].mem.plan_runs, 0);
+        assert_eq!(back.per_rank[0].mem.run_axpy_entries, 0);
     }
 
     #[test]
@@ -1001,12 +1049,14 @@ mod tests {
             mixed_factors: 1,
             precision_fallbacks: 0,
             probe_refine_iters: 4,
+            probe_skips: 0,
             refine_iters: 0,
             refined_solves: 0,
         };
         let mut after = first;
         after.mixed_factors += 3;
         after.probe_refine_iters += 12;
+        after.probe_skips += 2;
         after.refine_iters += 9;
         after.refined_solves += 3;
         let steady = after.since(&first);
@@ -1016,6 +1066,7 @@ mod tests {
                 mixed_factors: 3,
                 precision_fallbacks: 0,
                 probe_refine_iters: 12,
+                probe_skips: 2,
                 refine_iters: 9,
                 refined_solves: 3,
             }

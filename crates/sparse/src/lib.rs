@@ -27,6 +27,7 @@ pub mod gen;
 pub mod io;
 pub mod ops;
 pub mod permute;
+pub mod runs;
 pub mod scalar;
 
 pub use coo::CooMatrix;
@@ -34,6 +35,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use permute::Permutation;
+pub use runs::{collect_runs, for_each_run, RunSeg};
 pub use scalar::{PlanIndex, Scalar};
 
 /// Errors produced by the sparse substrate.

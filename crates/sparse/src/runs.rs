@@ -1,0 +1,116 @@
+//! Contiguous-run detection over sorted index sequences.
+//!
+//! The kernel layer's hot loops walk sorted index lists — row patterns
+//! of a CSC column, value-slot targets recorded in a kernel plan. When a
+//! stretch of that list is *consecutive* (`start, start+1, …`), the
+//! per-entry gather/scatter it drives collapses to a slice operation the
+//! compiler autovectorises: `dst[start..start+len]` updated from a
+//! contiguous source, no index indirection per element. This module is
+//! the one place that finds those stretches, shared by the plan builders
+//! (which bake run segments into the pooled arenas) and the unplanned
+//! scratch fast paths (which detect runs per call).
+//!
+//! Splitting a walk into maximal runs never changes the element order:
+//! runs partition the list left to right, so the arithmetic performed
+//! per element is the same, in the same order, as the per-entry walk —
+//! the bitwise-identity contract of `pangulu-kernels` survives.
+
+/// One maximal run of consecutive indices inside a sorted slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSeg {
+    /// Offset of the run's first element within the scanned slice.
+    pub off: usize,
+    /// Value of the run's first element (`idx[off]`).
+    pub start: usize,
+    /// Run length: `idx[off + k] == start + k` for `k < len`.
+    pub len: usize,
+}
+
+/// Calls `f` for each maximal run of consecutive values in `idx`
+/// (strictly increasing input assumed, as CSC row patterns are).
+#[inline]
+pub fn for_each_run(idx: &[usize], mut f: impl FnMut(RunSeg)) {
+    let mut p = 0;
+    while p < idx.len() {
+        let start = idx[p];
+        let mut q = p + 1;
+        while q < idx.len() && idx[q] == start + (q - p) {
+            q += 1;
+        }
+        f(RunSeg { off: p, start, len: q - p });
+        p = q;
+    }
+}
+
+/// Collects the maximal runs of `idx` into `out` (cleared first). The
+/// scratch paths compute a column's runs once and reuse them across the
+/// whole k-loop of that column.
+#[inline]
+pub fn collect_runs(idx: &[usize], out: &mut Vec<RunSeg>) {
+    out.clear();
+    for_each_run(idx, |r| out.push(r));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(idx: &[usize]) -> Vec<RunSeg> {
+        let mut out = Vec::new();
+        collect_runs(idx, &mut out);
+        out
+    }
+
+    #[test]
+    fn empty_has_no_runs() {
+        assert!(runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_one_run() {
+        assert_eq!(runs(&[7]), vec![RunSeg { off: 0, start: 7, len: 1 }]);
+    }
+
+    #[test]
+    fn fully_contiguous_is_one_run() {
+        assert_eq!(runs(&[3, 4, 5, 6]), vec![RunSeg { off: 0, start: 3, len: 4 }]);
+    }
+
+    #[test]
+    fn alternating_gaps_are_singleton_runs() {
+        assert_eq!(
+            runs(&[0, 2, 4]),
+            vec![
+                RunSeg { off: 0, start: 0, len: 1 },
+                RunSeg { off: 1, start: 2, len: 1 },
+                RunSeg { off: 2, start: 4, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_pattern_splits_at_each_gap() {
+        assert_eq!(
+            runs(&[1, 2, 3, 7, 8, 11]),
+            vec![
+                RunSeg { off: 0, start: 1, len: 3 },
+                RunSeg { off: 3, start: 7, len: 2 },
+                RunSeg { off: 5, start: 11, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn runs_partition_the_slice() {
+        let idx = [0usize, 1, 5, 6, 7, 9, 20, 21];
+        let mut covered = 0;
+        for_each_run(&idx, |r| {
+            assert_eq!(r.off, covered);
+            for k in 0..r.len {
+                assert_eq!(idx[r.off + k], r.start + k);
+            }
+            covered += r.len;
+        });
+        assert_eq!(covered, idx.len());
+    }
+}

@@ -21,8 +21,8 @@
 #           docs/TRANSPORT.md)
 #   precision  mixed-precision layer: the solver's mixed/fallback unit
 #           tests, the ill-conditioned fallback suite, and the
-#           golden-corpus mixed-precision equivalence assertions
-#           (see docs/PRECISION.md)
+#           golden-corpus mixed-precision equivalence assertions,
+#           and the probe-cadence tests (see docs/PRECISION.md)
 #   bench   benchmark-regression gates: smoke + refactor + kernel
 #           baselines (see docs/OBSERVABILITY.md and docs/PERFORMANCE.md)
 #   bench-kernels  the kernel-plan gate alone: re-runs bench_kernels and
@@ -86,7 +86,7 @@ stage_transport() {
 
 stage_precision() {
     cargo test --release -q -p pangulu-core --lib -- \
-        mixed precision scalar_width fallback falls_back widened
+        mixed precision scalar_width fallback falls_back widened probe
     cargo test --release -q --test precision_fallback --test solver_equivalence
 }
 

@@ -18,6 +18,7 @@
 //!       --no-adaptive      disable decision-tree kernel selection
 //!       --precision <p>    f64 | mixed (f32 factor + refined solve)
 //!                                                            [default f64]
+//!       --probe-every <k>  mixed acceptance-probe cadence     [default 4]
 //!       --refine <tol>     iterative refinement to the given tolerance
 //!       --refactor-reps <n> re-run the numeric-only refactorisation n times
 //!       --rhs <path>       right-hand side file (one value per line)
@@ -50,6 +51,7 @@ struct Cli {
     balance: bool,
     adaptive: bool,
     precision: Precision,
+    probe_every: usize,
     refine: Option<f64>,
     refactor_reps: usize,
     rhs: Option<String>,
@@ -78,6 +80,9 @@ usage: pangulu [OPTIONS] (-F <matrix.mtx> | --gen <name>)
       --no-adaptive      disable decision-tree kernel selection
       --precision <p>    f64 | mixed (f32 factor + refined solve)
                                                            [default f64]
+      --probe-every <k>  mixed acceptance-probe cadence: probe on the
+                         first factor, then every k-th refactor
+                         (pivot drift re-probes early)      [default 4]
       --refine <tol>     iterative refinement to the given tolerance
       --refactor-reps <n> re-run the numeric-only refactorisation n times
       --rhs <path>       right-hand side file (one value per line)
@@ -100,6 +105,7 @@ fn parse_args() -> Cli {
         balance: true,
         adaptive: true,
         precision: Precision::F64,
+        probe_every: 4,
         refine: None,
         refactor_reps: 0,
         rhs: None,
@@ -175,6 +181,10 @@ fn parse_args() -> Cli {
                 }
             }
             "--no-adaptive" => cli.adaptive = false,
+            "--probe-every" => {
+                cli.probe_every =
+                    next(&mut args, "--probe-every").parse().unwrap_or_else(|_| usage())
+            }
             "--refine" => {
                 cli.refine = Some(next(&mut args, "--refine").parse().unwrap_or_else(|_| usage()))
             }
@@ -260,7 +270,8 @@ fn main() -> ExitCode {
         .fill_reducing(cli.ordering)
         .adaptive_kernels(cli.adaptive)
         .load_balance(cli.balance)
-        .precision(cli.precision);
+        .precision(cli.precision)
+        .probe_every(cli.probe_every);
     if let Some(nb) = cli.nb {
         builder = builder.block_size(nb);
     }
@@ -361,6 +372,15 @@ fn main() -> ExitCode {
             ph.reorder_runs, ph.symbolic_runs, ph.preprocess_runs, ph.numeric_runs,
             ph.analysis_reuses
         );
+        if cli.precision == Precision::MixedF32 {
+            let pc = solver.precision_counters();
+            println!(
+                "precision: {} probes skipped of {} mixed factors (cadence {})",
+                pc.probe_skips,
+                pc.mixed_factors,
+                cli.probe_every.max(1)
+            );
+        }
     }
 
     let b = match load_rhs(&cli, a.nrows()) {

@@ -14,6 +14,7 @@ use pangulu::core::task::TaskGraph;
 use pangulu::core::trisolve::{backward_substitute, forward_substitute};
 use pangulu::core::BlockMatrix;
 use pangulu::kernels::select::{KernelSelector, Thresholds};
+use pangulu::kernels::PlanEncoding;
 use pangulu::sparse::gen;
 use pangulu::sparse::ops::{ensure_diagonal, relative_residual};
 use pangulu::sparse::CscMatrix;
@@ -163,6 +164,69 @@ fn planned_factors_survive_adversarial_fault_plans() {
             planned.values(),
             "fault seed {seed}: faulted planned factors differ from the fault-free run"
         );
+    }
+}
+
+/// The plan-arena encoding is bitwise-neutral too: the default
+/// run-segmented replay (slice-level axpy loops over maximal contiguous
+/// runs), the legacy per-entry replay and the unplanned walk all compute
+/// the same factors across grids × policies — and under adversarial
+/// fault plans. Runs partition each index list left to right, so the
+/// per-element order and arithmetic never change; this pins that.
+#[test]
+fn run_planned_factors_are_bitwise_identical_across_encodings() {
+    let prob = problem(12);
+    let reference = factor_once(&prob, 1, 1, ScheduleMode::SyncFree);
+    for (pr, pc) in grids() {
+        for policy in POLICIES {
+            let base = FactorConfig::with_mode(ScheduleMode::SyncFree).with_policy(policy);
+            let run_planned = factor_with_config(
+                &prob,
+                pr,
+                pc,
+                &base.clone().with_plan_encoding(PlanEncoding::Runs),
+            );
+            let per_entry = factor_with_config(
+                &prob,
+                pr,
+                pc,
+                &base.clone().with_plan_encoding(PlanEncoding::PerEntry),
+            );
+            let unplanned = factor_with_config(&prob, pr, pc, &base.with_plans(false));
+            assert_eq!(
+                run_planned.values(),
+                per_entry.values(),
+                "{pr}x{pc} {policy:?}: run-segmented replay diverged from per-entry"
+            );
+            assert_eq!(
+                run_planned.values(),
+                unplanned.values(),
+                "{pr}x{pc} {policy:?}: run-segmented replay diverged from unplanned"
+            );
+            assert_eq!(
+                reference.values(),
+                run_planned.values(),
+                "{pr}x{pc} {policy:?}: run-segmented factors differ from the 1x1 reference"
+            );
+        }
+    }
+    for seed in [14u64, 15] {
+        let fault = FaultPlan::adversarial(seed);
+        for enc in [PlanEncoding::Runs, PlanEncoding::PerEntry] {
+            let f = factor_with_config(
+                &prob,
+                2,
+                2,
+                &FactorConfig::with_mode(ScheduleMode::SyncFree)
+                    .with_fault(fault.clone())
+                    .with_plan_encoding(enc),
+            );
+            assert_eq!(
+                reference.values(),
+                f.values(),
+                "fault seed {seed} {enc:?}: faulted factors differ from the reference"
+            );
+        }
     }
 }
 
